@@ -1,0 +1,83 @@
+// Ablation: what if the Cortex-A9 had an aggressive hardware stream
+// prefetcher? The calibrated platform models bake the *measured* average
+// latency hiding into miss_overlap/MSHR parameters; this bench runs the
+// mechanistic prefetcher instead and separates the two memory behaviours:
+// streaming (prefetchable — bandwidth recovers) vs pointer chasing
+// (fundamentally serial — nothing helps). A design-space data point for
+// the embedded-HPC SoCs the Mont-Blanc project was arguing for.
+#include <iostream>
+
+#include "arch/platforms.h"
+#include "kernels/latency.h"
+#include "kernels/membench.h"
+#include "support/table.h"
+
+namespace {
+
+using mb::support::fmt_fixed;
+
+mb::sim::Machine machine_with(bool prefetch) {
+  mb::sim::Machine m(mb::arch::snowball(),
+                     mb::sim::PagePolicy::kConsecutive,
+                     mb::support::Rng(1));
+  if (prefetch) {
+    mb::cache::PrefetcherConfig cfg;
+    cfg.enabled = true;
+    cfg.degree = 4;
+    m.set_prefetcher(cfg);
+  }
+  return m;
+}
+
+double stream_gbs(bool prefetch, std::uint64_t kb) {
+  auto m = machine_with(prefetch);
+  mb::kernels::MembenchParams p;
+  p.array_bytes = kb * 1024;
+  p.elem_bits = 64;
+  p.unroll = 8;
+  p.passes = 2;
+  return mb::kernels::membench_run(m, p).bandwidth_bytes_per_s / 1e9;
+}
+
+double chase_ns(bool prefetch, std::uint64_t kb) {
+  auto m = machine_with(prefetch);
+  mb::kernels::LatencyParams p;
+  p.buffer_bytes = kb * 1024;
+  p.stride_bytes = 64;
+  p.hops = 4096;
+  return mb::kernels::latency_run(m, p).ns_per_hop;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: a stream prefetcher on the Snowball ===\n\n";
+  mb::support::Table stream({"Array", "No prefetch (GB/s)",
+                             "Prefetch deg=4 (GB/s)", "Gain"});
+  for (const std::uint64_t kb : {16ull, 128ull, 1024ull, 4096ull}) {
+    const double off = stream_gbs(false, kb);
+    const double on = stream_gbs(true, kb);
+    stream.add_row({std::to_string(kb) + " KB", fmt_fixed(off, 2),
+                    fmt_fixed(on, 2), fmt_fixed(on / off, 2) + "x"});
+  }
+  std::cout << "--- streaming (membench, 64-bit, unroll 8) ---\n"
+            << stream << '\n';
+
+  mb::support::Table chase({"Buffer", "No prefetch (ns/hop)",
+                            "Prefetch deg=4 (ns/hop)"});
+  for (const std::uint64_t kb : {16ull, 1024ull, 8192ull}) {
+    chase.add_row({std::to_string(kb) + " KB",
+                   fmt_fixed(chase_ns(false, kb), 1),
+                   fmt_fixed(chase_ns(true, kb), 1)});
+  }
+  std::cout << "--- pointer chase (random permutation) ---\n"
+            << chase << '\n';
+  std::cout
+      << "The prefetcher pays off exactly where latency is the limiter "
+         "(the L2-resident\nwindow); DRAM-sized streams are already at "
+         "the bandwidth ceiling, and the\npointer chase is immune — "
+         "dependent misses cannot be predicted. Memory-level\n"
+         "parallelism is a workload property before it is a hardware "
+         "one.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: transposition-table size on the StockFish-proxy workload.
+//
+// A TT cuts the searched node count — but its probes are uniform random
+// accesses over the whole table, a pattern that the Xeon's 8 MB L3 absorbs
+// and the A9's 512 KB L2 does not. Another instance of the paper's
+// Sec.-V/VII theme: an optimization that is straightforwardly good on the
+// server can be much less so on the embedded platform, so it has to be
+// *measured*, not assumed.
+#include <iostream>
+
+#include "arch/platforms.h"
+#include "kernels/chessbench.h"
+#include "support/table.h"
+
+namespace {
+
+using mb::support::fmt_eng;
+using mb::support::fmt_fixed;
+
+void sweep(const mb::arch::Platform& platform) {
+  std::cout << "--- " << platform.name << " ---\n";
+  mb::sim::Machine machine(platform, mb::sim::PagePolicy::kConsecutive,
+                           mb::support::Rng(1));
+  mb::support::Table table({"TT size", "Nodes", "TT hit rate", "Time (ms)",
+                            "Speedup vs no TT"});
+  double baseline = 0.0;
+  for (const std::uint64_t tt_bytes :
+       {0ull, 256ull << 10, 1ull << 20, 4ull << 20}) {
+    mb::kernels::ChessbenchParams p;
+    p.depth = 4;
+    p.positions = 3;
+    p.tt_bytes = tt_bytes;
+    const auto r = mb::kernels::chessbench_run(machine, p);
+    if (tt_bytes == 0) baseline = r.sim.seconds;
+    const double hit_rate =
+        r.stats.tt_probes > 0
+            ? static_cast<double>(r.stats.tt_hits) / r.stats.tt_probes
+            : 0.0;
+    table.add_row(
+        {tt_bytes == 0 ? "off" : std::to_string(tt_bytes >> 10) + " KB",
+         std::to_string(r.stats.nodes), fmt_fixed(hit_rate, 2),
+         fmt_fixed(r.sim.seconds * 1e3, 2),
+         fmt_fixed(baseline / r.sim.seconds, 2)});
+  }
+  std::cout << table << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: transposition table size (chess search, "
+               "depth 4, 3 positions) ===\n\n";
+  sweep(mb::arch::xeon_x5550());
+  sweep(mb::arch::snowball());
+  std::cout
+      << "The node reduction is identical on both machines. At shallow "
+         "depth the\nsavings dominate everywhere; what the platforms "
+         "disagree on is the probe\ncost once the table outgrows the "
+         "embedded cache hierarchy — measure, don't\nassume (the paper's "
+         "Sec. V moral).\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation for Sec. V-B / VI-B: search strategies over the magicfilter
+// unroll space on both architectures. Evaluates how many measurements each
+// strategy needs and whether it lands in the platform's sweet spot — the
+// paper's argument that intuition-guided (greedy) tuning that works on
+// Nehalem is not sufficient on embedded cores.
+#include <iostream>
+
+#include "arch/platforms.h"
+#include "core/tuner.h"
+#include "kernels/magicfilter.h"
+#include "support/table.h"
+
+namespace {
+
+using mb::support::fmt_fixed;
+
+mb::core::Workload magicfilter_workload() {
+  return [](const mb::core::Point& p, mb::sim::Machine& m) {
+    mb::kernels::MagicfilterParams mp;
+    mp.n = 20;
+    mp.dims = 1;
+    mp.unroll = static_cast<std::uint32_t>(p.get("unroll"));
+    return mb::kernels::magicfilter_run(m, mp).cycles_per_output;
+  };
+}
+
+void evaluate(const mb::arch::Platform& platform) {
+  std::cout << "--- " << platform.name << " ---\n";
+  mb::core::MachineFactory factory = [platform](std::uint64_t seed) {
+    return mb::sim::Machine(platform, mb::sim::PagePolicy::kConsecutive,
+                            mb::support::Rng(seed));
+  };
+  mb::core::MeasurementPlan plan;
+  plan.repetitions = 3;
+  plan.fresh_machine_per_rep = false;
+
+  mb::core::ParamSpace space;
+  space.add_range("unroll", 1, 12);
+
+  mb::support::Table table(
+      {"Strategy", "Best unroll", "Cycles/output", "Measurements"});
+  for (const auto strategy :
+       {mb::core::Strategy::kExhaustive, mb::core::Strategy::kHillClimb,
+        mb::core::Strategy::kRandom}) {
+    mb::core::Tuner tuner(mb::core::Harness(factory, nullptr, plan),
+                          mb::core::Direction::kMinimize);
+    const auto report =
+        tuner.tune(space, magicfilter_workload(), strategy, /*budget=*/4);
+    table.add_row({std::string(mb::core::strategy_name(strategy)),
+                   std::to_string(report.best.get("unroll")),
+                   fmt_fixed(report.best_value, 1),
+                   std::to_string(report.evaluations)});
+  }
+  std::cout << table << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: tuning strategies on the magicfilter unroll "
+               "space ===\n(random search budget: 4 of 12 points)\n\n";
+  evaluate(mb::arch::xeon_x5550());
+  evaluate(mb::arch::tegra2_node());
+  std::cout
+      << "Exhaustive search finds the platform optimum by construction;\n"
+         "the budgeted strategies show the cost/quality trade-off the\n"
+         "paper's call for automated, systematic tuning is about.\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Figure 1: exponential growth of supercomputing power as
+// recorded by the TOP500, plus the introduction's exascale arithmetic.
+#include <iostream>
+
+#include "power/top500.h"
+#include "support/table.h"
+
+int main() {
+  using mb::support::fmt_eng;
+  const mb::power::Top500Model model;
+
+  std::cout << "=== Figure 1: TOP500 performance development ===\n\n";
+  mb::support::Table table(
+      {"Year", "Sum (GFLOPS)", "#1 (GFLOPS)", "#500 (GFLOPS)"});
+  for (const auto& p : mb::power::top500_series(model, 1993, 2018)) {
+    table.add_row({mb::support::fmt_fixed(p.year, 0), fmt_eng(p.sum_gflops),
+                   fmt_eng(p.top_gflops), fmt_eng(p.last_gflops)});
+  }
+  std::cout << table << '\n';
+
+  const double exa_year = mb::power::projected_year_for(model, 1e9);
+  std::cout << "Projected #1 system reaches 1 EFLOPS in: "
+            << mb::support::fmt_fixed(exa_year, 1) << "\n";
+
+  mb::power::ExascaleRequirement req;
+  std::cout << "Exaflop in a " << req.power_budget_w / 1e6
+            << " MW budget requires " << req.required_efficiency()
+            << " GFLOPS/W\n";
+  std::cout << "2012 state of the art ~2 GFLOPS/W -> improvement needed: "
+            << mb::support::fmt_fixed(req.improvement_over(2.0), 0)
+            << "x (the paper's 25x)\n";
+  return 0;
+}

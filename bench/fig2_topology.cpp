@@ -1,0 +1,14 @@
+// Reproduces Figure 2: memory hierarchies of the two single-node
+// platforms, in the style of hwloc's lstopo.
+#include <iostream>
+
+#include "arch/platforms.h"
+#include "arch/topology.h"
+
+int main() {
+  std::cout << "=== Figure 2a: Xeon X5550 topology ===\n"
+            << mb::arch::render_topology(mb::arch::xeon_x5550()) << '\n';
+  std::cout << "=== Figure 2b: ST-Ericsson A9500 (Snowball) topology ===\n"
+            << mb::arch::render_topology(mb::arch::snowball()) << '\n';
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Reproduces Figure 3: strong scaling of LINPACK, SPECFEM3D and BigDFT on
+// the Tibidabo cluster. Expected shapes:
+//   3a LINPACK   — ~80% efficiency at ~100 cores, linear tail after 32
+//   3b SPECFEM3D — ~90% efficiency (vs the 4-core baseline: the instance
+//                  does not fit one node)
+//   3c BigDFT    — efficiency collapses by 36 cores (Ethernet alltoallv)
+#include <iostream>
+#include <vector>
+
+#include "apps/bigdft.h"
+#include "apps/hpl.h"
+#include "apps/specfem.h"
+#include "stats/scaling.h"
+#include "support/table.h"
+
+namespace {
+
+using mb::stats::ScalingPoint;
+using mb::support::fmt_fixed;
+
+void print_series(const std::string& title,
+                  const std::vector<ScalingPoint>& series) {
+  std::cout << title << '\n';
+  mb::support::Table table({"Cores", "Time (s)", "Speedup", "Efficiency"});
+  for (const auto& p : series) {
+    table.add_row({std::to_string(p.cores), fmt_fixed(p.time_s, 3),
+                   fmt_fixed(p.speedup, 1), fmt_fixed(p.efficiency, 2)});
+  }
+  std::cout << table << '\n';
+}
+
+std::vector<ScalingPoint> sweep(const std::vector<int>& cores,
+                                double (*run)(std::uint32_t)) {
+  std::vector<double> times;
+  for (int c : cores) times.push_back(run(static_cast<std::uint32_t>(c)));
+  return mb::stats::strong_scaling(cores, times);
+}
+
+double hpl_time(std::uint32_t cores) {
+  mb::apps::HplParams p;
+  p.ranks = cores;
+  p.n = 32768;  // memory-filling N, as HPL is run in practice
+  p.block = 128;
+  auto cluster = mb::apps::tibidabo_cluster(std::max(1u, cores / 2));
+  cluster.mtu_bytes = 1u << 20;  // coarse frames for month-long runs
+  return mb::apps::run_hpl(cluster, p).makespan_s;
+}
+
+double specfem_time(std::uint32_t cores) {
+  mb::apps::SpecfemParams p;
+  p.ranks = cores;
+  p.steps = 10;
+  p.compute_s_per_step = 3.0;
+  const auto cluster = mb::apps::tibidabo_cluster(std::max(1u, cores / 2));
+  return mb::apps::run_specfem(cluster, p).makespan_s;
+}
+
+double bigdft_time(std::uint32_t cores) {
+  mb::apps::BigDftParams p;
+  p.ranks = cores;
+  p.iterations = 5;
+  p.compute_s_per_iter = 2.0;
+  p.transpose_bytes = 24ull << 20;
+  const auto cluster = mb::apps::tibidabo_cluster(std::max(1u, cores / 2));
+  return mb::apps::run_bigdft(cluster, p).makespan_s;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 3: strong scaling on Tibidabo "
+               "(Tegra2 nodes, 1GbE tree) ===\n\n";
+
+  const auto hpl =
+      sweep({2, 4, 8, 16, 32, 48, 64, 80, 96}, hpl_time);
+  print_series("--- Fig. 3a: LINPACK (HPL) ---", hpl);
+  std::cout << "Tail linear after 32 cores: "
+            << (mb::stats::tail_is_linear(hpl, 32) ? "yes" : "no")
+            << " (paper: yes)\n\n";
+
+  const auto spec =
+      sweep({4, 8, 16, 32, 64, 128, 192}, specfem_time);
+  print_series("--- Fig. 3b: SPECFEM3D (baseline = 4 cores; the instance "
+               "needs 2 nodes) ---",
+               spec);
+  std::cout << "Final efficiency: "
+            << fmt_fixed(mb::stats::final_efficiency(spec), 2)
+            << " (paper: ~0.90)\n\n";
+
+  const auto big = sweep({2, 4, 8, 16, 24, 36}, bigdft_time);
+  print_series("--- Fig. 3c: BigDFT ---", big);
+  std::cout << "Final efficiency: "
+            << fmt_fixed(mb::stats::final_efficiency(big), 2)
+            << " (paper: drops rapidly; well below the others)\n";
+  return 0;
+}

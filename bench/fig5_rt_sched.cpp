@@ -1,0 +1,114 @@
+// Reproduces Figure 5: impact of real-time scheduling priority on the ARM
+// Snowball's effective memory bandwidth. 42 randomized repetitions for
+// each array size in 1..50 KB (stride 1): under the anomalous RT
+// scheduler two execution modes appear (~5x apart) and the degraded
+// measurements are consecutive in time (Fig. 5b's sequence-order plot).
+#include <algorithm>
+#include <iostream>
+
+#include "arch/platforms.h"
+#include "core/harness.h"
+#include "kernels/membench.h"
+#include "stats/histogram.h"
+#include "support/table.h"
+
+namespace {
+
+using mb::support::fmt_fixed;
+
+mb::core::ResultSet measure(bool realtime) {
+  mb::core::MachineFactory factory = [](std::uint64_t seed) {
+    return mb::sim::Machine(mb::arch::snowball(),
+                            mb::sim::PagePolicy::kReuseBiased,
+                            mb::support::Rng(seed));
+  };
+  std::unique_ptr<mb::os::SchedulerModel> sched;
+  if (realtime) {
+    sched = std::make_unique<mb::os::RealTimeAnomalous>(
+        mb::support::Rng(2013));
+  } else {
+    sched = std::make_unique<mb::os::FairScheduler>(mb::support::Rng(2013));
+  }
+
+  mb::core::MeasurementPlan plan;
+  plan.repetitions = 42;  // the paper's repetition count
+  plan.fresh_machine_per_rep = false;
+  plan.seed = 7;
+
+  mb::core::ParamSpace space;
+  space.add("array_kb", {1, 2, 4, 8, 16, 24, 32, 40, 50});
+
+  mb::core::Workload workload = [](const mb::core::Point& p,
+                                   mb::sim::Machine& m) {
+    mb::kernels::MembenchParams mp;
+    mp.array_bytes = static_cast<std::uint64_t>(p.get("array_kb")) * 1024;
+    mp.stride_elems = 1;
+    mp.elem_bits = 32;
+    mp.passes = 4;
+    const auto r = mb::kernels::membench_run(m, mp);
+    // Store time per byte; bandwidth = 1 / value.
+    return r.sim.seconds / static_cast<double>(r.bytes_accessed);
+  };
+
+  mb::core::Harness harness(factory, std::move(sched), plan);
+  return harness.run(space, workload);
+}
+
+void report(const char* title, const mb::core::ResultSet& results) {
+  std::cout << title << '\n';
+  mb::support::Table table({"Array (KB)", "BW mean (GB/s)", "Modes",
+                            "Low/High (GB/s)"});
+  const std::vector<int> sizes{1, 2, 4, 8, 16, 24, 32, 40, 50};
+  // Pool the degraded samples of every size in global measurement order —
+  // the paper's Fig. 5b sequence-order plot spans the whole campaign.
+  std::vector<std::size_t> degraded_orders;
+  std::size_t bimodal_variants = 0;
+  for (std::size_t v = 0; v < sizes.size(); ++v) {
+    // Values are seconds/byte: convert to bandwidth for reporting.
+    std::vector<double> bw;
+    for (double spb : results.samples(v)) bw.push_back(1e-9 / spb);
+    const auto split = mb::stats::split_modes(results.samples(v));
+    const double mean_bw = mb::stats::mean(bw);
+    std::string modes = split.bimodal ? "2" : "1";
+    // For time-per-byte, the high cluster is the slow mode.
+    std::string lohi =
+        split.bimodal
+            ? fmt_fixed(1e-9 / split.high_center, 2) + " / " +
+                  fmt_fixed(1e-9 / split.low_center, 2)
+            : "-";
+    table.add_row(
+        {std::to_string(sizes[v]), fmt_fixed(mean_bw, 2), modes, lohi});
+    if (split.bimodal) {
+      ++bimodal_variants;
+      for (const std::size_t i : split.high_indices)
+        degraded_orders.push_back(results.orders(v)[i]);
+    }
+  }
+  std::cout << table;
+  std::sort(degraded_orders.begin(), degraded_orders.end());
+  std::cout << "bimodal sizes: " << bimodal_variants << "/" << sizes.size()
+            << "; degraded measurements consecutive in sequence order: "
+            << (mb::stats::is_temporally_clustered(
+                    degraded_orders, results.total_samples())
+                    ? "yes"
+                    : "no")
+            << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 5: real-time priority on the ARM Snowball ===\n"
+               "(42 randomized repetitions per array size, stride 1)\n\n";
+  const auto rt = measure(/*realtime=*/true);
+  report("--- SCHED_FIFO (real-time priority) ---", rt);
+
+  const auto fair = measure(/*realtime=*/false);
+  report("--- default scheduler (control) ---", fair);
+
+  std::cout
+      << "Paper findings reproduced when the RT table shows 2 modes ~5x\n"
+         "apart with consecutive degraded samples, while the control\n"
+         "scheduler shows a single mode.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Figure 6: influence of code optimizations (element size x
+// loop unrolling) on effective bandwidth for a 48KB stride-1 array.
+// Expected shapes:
+//   6a Nehalem  — vectorizing and unrolling both monotonically help;
+//                 best = 128-bit + unroll.
+//   6b Snowball — 128-bit is no better than 32-bit; unrolling 128-bit
+//                 *degrades* performance (register spills); best =
+//                 64-bit + unroll.
+#include <iostream>
+
+#include "arch/platforms.h"
+#include "kernels/membench.h"
+#include "support/table.h"
+
+namespace {
+
+using mb::support::fmt_fixed;
+
+void sweep(const mb::arch::Platform& platform) {
+  std::cout << "--- " << platform.name << " ---\n";
+  mb::sim::Machine machine(platform, mb::sim::PagePolicy::kConsecutive,
+                           mb::support::Rng(1));
+  mb::support::Table table({"Element", "Unroll=1 (GB/s)", "Unroll=8 (GB/s)",
+                            "Unrolling helps?"});
+  for (const std::uint32_t bits : {32u, 64u, 128u}) {
+    double bw[2];
+    for (int u = 0; u < 2; ++u) {
+      mb::kernels::MembenchParams p;
+      p.array_bytes = 48 * 1024;
+      p.stride_elems = 1;
+      p.elem_bits = bits;
+      p.unroll = u == 0 ? 1 : 8;
+      p.passes = 8;
+      bw[u] = mb::kernels::membench_run(machine, p).bandwidth_bytes_per_s /
+              1e9;
+    }
+    table.add_row({std::to_string(bits) + "b", fmt_fixed(bw[0], 2),
+                   fmt_fixed(bw[1], 2), bw[1] > bw[0] ? "yes" : "NO"});
+  }
+  std::cout << table << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 6: element size x loop unrolling "
+               "(48KB array, stride 1) ===\n\n";
+  sweep(mb::arch::xeon_x5550());
+  sweep(mb::arch::snowball());
+  std::cout
+      << "Paper shapes: on Nehalem both optimizations always help; on the\n"
+         "Snowball 128-bit ~ 32-bit, and unrolling the 128-bit variant is\n"
+         "detrimental. Best ARM variant: 64-bit + unrolling.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Model self-validation: the pointer-chase latency curve. Running
+// lat_mem_rd-style chases of growing footprint must recover the
+// platforms' configured cache/DRAM latencies as plateaus — evidence that
+// the machine models measure what they claim to measure.
+#include <iostream>
+
+#include "arch/platforms.h"
+#include "kernels/latency.h"
+#include "support/table.h"
+
+namespace {
+
+using mb::support::fmt_fixed;
+
+void curve(const mb::arch::Platform& platform) {
+  std::cout << "--- " << platform.name << " ---\n";
+  std::cout << "configured: L1 " << platform.caches[0].latency_cycles
+            << " cyc";
+  for (std::size_t i = 1; i < platform.caches.size(); ++i)
+    std::cout << ", " << platform.caches[i].name << " "
+              << platform.caches[i].latency_cycles << " cyc";
+  std::cout << ", DRAM " << platform.mem.latency_ns << " ns\n";
+
+  mb::sim::Machine machine(platform, mb::sim::PagePolicy::kConsecutive,
+                           mb::support::Rng(1));
+  mb::support::Table table({"Buffer", "cycles/hop", "ns/hop"});
+  for (const std::uint64_t kb :
+       {4ull, 8ull, 16ull, 32ull, 64ull, 128ull, 256ull, 512ull, 1024ull,
+        4096ull, 16384ull}) {
+    mb::kernels::LatencyParams p;
+    p.buffer_bytes = kb * 1024;
+    p.stride_bytes = 64;
+    p.hops = 4096;
+    const auto r = mb::kernels::latency_run(machine, p);
+    table.add_row({std::to_string(kb) + " KB",
+                   fmt_fixed(r.cycles_per_hop, 1),
+                   fmt_fixed(r.ns_per_hop, 1)});
+  }
+  std::cout << table << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Pointer-chase latency curves (model self-validation) "
+               "===\n(random 64B-stride chase; plateaus = configured "
+               "latencies)\n\n";
+  curve(mb::arch::xeon_x5550());
+  curve(mb::arch::snowball());
+  std::cout << "Large-footprint hops also pay TLB walks — visible as the "
+               "curve drifting\nabove the raw DRAM latency.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Microbenchmarks of the simulator's own hot loops (google-benchmark):
+// cache-model access rate, hierarchy walks, DES event throughput, RNG and
+// kernel trace generation. These bound how large an experiment the
+// framework can afford.
+#include <benchmark/benchmark.h>
+
+#include "arch/platforms.h"
+#include "cache/hierarchy.h"
+#include "kernels/membench.h"
+#include "sim/event_queue.h"
+#include "sim/machine.h"
+#include "support/rng.h"
+
+namespace {
+
+void BM_CacheAccess(benchmark::State& state) {
+  mb::cache::Cache cache(mb::arch::snowball().caches[0]);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access_line(addr, false));
+    addr += 32;
+    if (addr >= 64 * 1024) addr = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  mb::cache::Hierarchy h(mb::arch::xeon_x5550());
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.access(addr, 8, false));
+    addr += 64;
+    if (addr >= 1024 * 1024) addr = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void BM_MachineTouch(benchmark::State& state) {
+  mb::sim::Machine m(mb::arch::snowball(),
+                     mb::sim::PagePolicy::kConsecutive,
+                     mb::support::Rng(1));
+  const auto region = m.mmap(256 * 1024);
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    m.touch(region.vaddr + off, 4, false);
+    off = (off + 32) % (256 * 1024);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineTouch);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    mb::sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i)
+      q.schedule_at(i, [&sink] { ++sink; });
+    q.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_Rng(benchmark::State& state) {
+  mb::support::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Rng);
+
+void BM_MembenchTrace(benchmark::State& state) {
+  mb::sim::Machine m(mb::arch::snowball(),
+                     mb::sim::PagePolicy::kConsecutive,
+                     mb::support::Rng(1));
+  mb::kernels::MembenchParams p;
+  p.array_bytes = 32 * 1024;
+  p.passes = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mb::kernels::membench_run(m, p));
+  }
+  state.SetItemsProcessed(state.iterations() * p.accessed_per_pass() *
+                          p.passes);
+}
+BENCHMARK(BM_MembenchTrace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

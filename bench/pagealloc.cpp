@@ -1,0 +1,73 @@
+// Ablation for Sec. V-A.1: influence of physical page allocation on
+// reproducibility. The membench kernel at the L1-cache-size boundary is
+// measured under the three OS page-placement models:
+//
+//   consecutive   — contiguous frames (the x86-like assumption):
+//                   stable across runs.
+//   reuse-biased  — random placement, frames recycled within a run (the
+//                   observed ARM behaviour): stable *within* a run,
+//                   different *between* runs.
+//   random        — fresh random placement per allocation (what a
+//                   thoroughly randomized benchmark must emulate).
+#include <iostream>
+
+#include "arch/platforms.h"
+#include "kernels/membench.h"
+#include "stats/descriptive.h"
+#include "support/table.h"
+
+namespace {
+
+using mb::support::fmt_fixed;
+
+/// Bandwidths of `reps` measurements in one "run" (shared machine).
+std::vector<double> one_run(mb::sim::PagePolicy policy, std::uint64_t seed,
+                            int reps) {
+  mb::sim::Machine machine(mb::arch::snowball(), policy,
+                           mb::support::Rng(seed));
+  std::vector<double> bw;
+  for (int i = 0; i < reps; ++i) {
+    mb::kernels::MembenchParams p;
+    p.array_bytes = 40 * 1024;  // just above the 32 KB L1
+    p.passes = 4;
+    bw.push_back(
+        mb::kernels::membench_run(machine, p).bandwidth_bytes_per_s / 1e9);
+  }
+  return bw;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Sec. V-A.1 ablation: physical page allocation and "
+               "reproducibility ===\n(Snowball, 40KB array around the "
+               "32KB L1 size)\n\n";
+
+  mb::support::Table table({"Policy", "Within-run CV", "Between-run CV",
+                            "Run means (GB/s)"});
+  for (const auto policy :
+       {mb::sim::PagePolicy::kConsecutive, mb::sim::PagePolicy::kReuseBiased,
+        mb::sim::PagePolicy::kRandom}) {
+    std::vector<double> run_means;
+    std::vector<double> within_cv;
+    std::string means;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto bw = one_run(policy, seed, 8);
+      run_means.push_back(mb::stats::mean(bw));
+      within_cv.push_back(mb::stats::cv(bw));
+      if (!means.empty()) means += ' ';
+      means += fmt_fixed(run_means.back(), 2);
+    }
+    table.add_row({std::string(mb::sim::page_policy_name(policy)),
+                   fmt_fixed(mb::stats::mean(within_cv), 4),
+                   fmt_fixed(mb::stats::cv(run_means), 4), means});
+  }
+  std::cout << table;
+  std::cout
+      << "\nPaper finding reproduced when reuse-biased shows ~zero\n"
+         "within-run variability but substantial between-run variability\n"
+         "('very little performance variability inside a set of\n"
+         "measurements ... from one run to another very different global\n"
+         "behavior'), while consecutive placement is stable everywhere.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Roofline placement of every Table-II workload on both platforms: the
+// one-glance explanation of the paper's ratios. Compute-bound DP kernels
+// (LINPACK, BigDFT) sit under wildly different compute roofs; the
+// streaming kernel hugs each machine's memory roof; SPECFEM3D's SP work
+// lands in between.
+#include <iostream>
+
+#include "arch/platforms.h"
+#include "kernels/linpack.h"
+#include "kernels/magicfilter.h"
+#include "kernels/membench.h"
+#include "kernels/stencil.h"
+#include "sim/roofline.h"
+#include "support/table.h"
+
+namespace {
+
+using mb::support::fmt_fixed;
+
+void analyze(const mb::arch::Platform& platform) {
+  const auto dp = mb::sim::dp_roofline(platform);
+  std::cout << "--- " << platform.name << " ---\n"
+            << "DP roof " << fmt_fixed(dp.peak_gflops, 1)
+            << " GFLOPS, memory roof " << fmt_fixed(dp.bandwidth_gbs, 1)
+            << " GB/s, ridge at " << fmt_fixed(dp.ridge_intensity(), 1)
+            << " flops/byte\n";
+
+  mb::sim::Machine m(platform, mb::sim::PagePolicy::kConsecutive,
+                     mb::support::Rng(1));
+  std::vector<mb::sim::RooflinePoint> points;
+
+  {
+    mb::kernels::LinpackParams p;
+    p.n = 96;
+    p.block = 32;
+    points.push_back(mb::sim::place_on_roofline(
+        dp, "LINPACK", mb::kernels::linpack_run(m, p).sim,
+        platform.cores));
+  }
+  {
+    mb::kernels::MagicfilterParams p;
+    p.n = 20;
+    p.dims = 3;
+    p.unroll = 4;
+    points.push_back(mb::sim::place_on_roofline(
+        dp, "BigDFT magicfilter", mb::kernels::magicfilter_run(m, p).sim,
+        platform.cores));
+  }
+  {
+    mb::kernels::StencilParams p;
+    p.n = 24;  // DRAM-visible instance
+    p.steps = 4;
+    points.push_back(mb::sim::place_on_roofline(
+        mb::sim::sp_roofline(platform), "SPECFEM3D stencil (SP)",
+        mb::kernels::stencil_run(m, p).sim, platform.cores));
+  }
+  {
+    mb::kernels::MembenchParams p;
+    p.array_bytes = 4 * 1024 * 1024;
+    p.elem_bits = 64;
+    p.unroll = 8;
+    p.passes = 2;
+    p.bandwidth_sharers = platform.cores;  // whole-chip streaming
+    points.push_back(mb::sim::place_on_roofline(
+        dp, "membench stream", mb::kernels::membench_run(m, p).sim,
+        platform.cores));
+  }
+
+  mb::support::Table table({"Kernel", "AI (flop/B)", "Achieved GF",
+                            "Attainable GF", "Fraction", "Bound"});
+  for (const auto& p : points) {
+    table.add_row({p.name, fmt_fixed(p.intensity, 2),
+                   fmt_fixed(p.achieved_gflops, 2),
+                   fmt_fixed(p.attainable_gflops, 2),
+                   fmt_fixed(p.roofline_fraction, 2),
+                   p.memory_bound ? "memory" : "compute"});
+  }
+  std::cout << table << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Roofline placement of the Table II workloads ===\n\n";
+  analyze(mb::arch::xeon_x5550());
+  analyze(mb::arch::snowball());
+  std::cout
+      << "Reading: the DP kernels are compute-roof limited, and the DP "
+         "roofs differ by\n~30x between the machines — while the memory "
+         "roofs differ by ~20x and the SP\nroofs by much less. That "
+         "asymmetry is Table II in one picture.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation for Sec. V-A's premise: the membench kernel's (array size x
+// stride) plane gives "a crude estimation how temporal and spatial
+// locality of the code impact performance on a given machine". Prints the
+// effective-bandwidth grid for both platforms: size sweeps temporal
+// locality (cache levels), stride sweeps spatial locality (line and page
+// utilization; large strides also thrash the TLB).
+#include <iostream>
+
+#include "arch/platforms.h"
+#include "kernels/membench.h"
+#include "support/table.h"
+
+namespace {
+
+using mb::support::fmt_fixed;
+
+void grid(const mb::arch::Platform& platform) {
+  std::cout << "--- " << platform.name << " (GB/s, 64-bit elements, "
+               "unroll 4) ---\n";
+  mb::sim::Machine machine(platform, mb::sim::PagePolicy::kConsecutive,
+                           mb::support::Rng(1));
+  const std::vector<std::uint64_t> sizes_kb{8, 32, 128, 512, 2048};
+  const std::vector<std::uint32_t> strides{1, 2, 4, 8, 16, 64};
+
+  std::vector<std::string> header{"Size \\ Stride"};
+  for (const auto s : strides) header.push_back(std::to_string(s));
+  mb::support::Table table(header);
+
+  for (const auto kb : sizes_kb) {
+    std::vector<std::string> row{std::to_string(kb) + " KB"};
+    for (const auto stride : strides) {
+      mb::kernels::MembenchParams p;
+      p.array_bytes = kb * 1024;
+      p.stride_elems = stride;
+      p.elem_bits = 64;
+      p.unroll = 4;
+      p.passes = 4;
+      const auto r = mb::kernels::membench_run(machine, p);
+      row.push_back(fmt_fixed(r.bandwidth_bytes_per_s / 1e9, 2));
+    }
+    table.add_row(row);
+  }
+  std::cout << table << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Sec. V-A ablation: temporal x spatial locality plane "
+               "===\n(effective bandwidth of accessed bytes; strided "
+               "accesses waste the rest of each line)\n\n";
+  grid(mb::arch::xeon_x5550());
+  grid(mb::arch::snowball());
+  std::cout
+      << "Reading the grid: moving right (larger stride) wastes cache-line "
+         "bytes\nand eventually TLB reach; moving down (larger arrays) "
+         "falls out of L1,\nL2 (and L3 where present). The ARM cliff "
+         "arrives one level earlier and\nfalls farther — the 'very "
+         "different memory hierarchy' the paper probes.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// OmpSs-style task-granularity tuning (paper Sec. II objectives + VI-B).
+//
+// The Mont-Blanc project ports its applications to BSC's OmpSs task model;
+// the first tuning question any tasking runtime poses is *grain size*:
+// few big tasks load-balance poorly, many small tasks drown in dispatch
+// overhead. This example sweeps the chunk count of a fixed computation on
+// the embedded dual-core and the server quad-core, then lets the core
+// tuning framework find each platform's optimum — which differ, again.
+#include <iostream>
+
+#include "core/param_space.h"
+#include "core/search.h"
+#include "omp/taskgraph.h"
+#include "support/table.h"
+
+namespace {
+
+using mb::support::fmt_fixed;
+
+struct NodeModel {
+  std::string name;
+  std::uint32_t cores;
+  double task_overhead_s;  ///< dispatch cost per task on this core
+};
+
+double makespan(const NodeModel& node, std::int64_t chunks) {
+  // 100 ms of irregular work (+-60% task-size spread) with a 5% serial
+  // prologue, split into `chunks` tasks.
+  const auto g = mb::omp::irregular_graph(
+      0.1, 0.05, static_cast<std::uint32_t>(chunks), 0.6, 42);
+  return mb::omp::schedule(g, node.cores, node.task_overhead_s).makespan;
+}
+
+void tune(const NodeModel& node) {
+  std::cout << "--- " << node.name << " (" << node.cores << " cores, "
+            << node.task_overhead_s * 1e6 << " us/task dispatch) ---\n";
+  mb::core::ParamSpace space;
+  space.add("chunks", {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096});
+
+  mb::support::Table table({"Chunks", "Makespan (ms)", "Efficiency"});
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto chunks = space.at(i).get("chunks");
+    const auto g = mb::omp::irregular_graph(
+        0.1, 0.05, static_cast<std::uint32_t>(chunks), 0.6, 42);
+    const auto s =
+        mb::omp::schedule(g, node.cores, node.task_overhead_s);
+    table.add_row({std::to_string(chunks), fmt_fixed(s.makespan * 1e3, 3),
+                   fmt_fixed(s.efficiency, 2)});
+  }
+  std::cout << table;
+
+  const auto best = mb::core::exhaustive_search(
+      space,
+      [&node](const mb::core::Point& p) {
+        return makespan(node, p.get("chunks"));
+      },
+      mb::core::Direction::kMinimize);
+  std::cout << "optimal grain: " << space.at(best.best_index).get("chunks")
+            << " chunks (" << fmt_fixed(best.best_value * 1e3, 3)
+            << " ms)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== OmpSs-style task granularity tuning ===\n\n";
+  // The embedded runtime pays more per task (slower core, same bookkeeping
+  // code), and has fewer cores to feed.
+  tune({"Tegra2-class node", 2, 25e-6});
+  tune({"Xeon X5550-class node", 4, 4e-6});
+  std::cout
+      << "Both platforms want enough chunks to balance load, but the "
+         "embedded node's\nhigher per-task cost caps the useful grain much "
+         "earlier — the tasking-runtime\nversion of the paper's narrow "
+         "ARM sweet spots.\n";
+  return 0;
+}

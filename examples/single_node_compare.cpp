@@ -1,0 +1,94 @@
+// Compare two platforms on one kernel, Table-II style: performance ratio
+// and energy ratio under the paper's conservative power accounting.
+//
+//   $ ./single_node_compare            # default: LINPACK
+//   $ ./single_node_compare coremark
+//   $ ./single_node_compare chess
+//   $ ./single_node_compare stencil
+//   $ ./single_node_compare magicfilter
+#include <iostream>
+#include <string>
+
+#include "arch/platforms.h"
+#include "kernels/chessbench.h"
+#include "kernels/coremark.h"
+#include "kernels/linpack.h"
+#include "kernels/magicfilter.h"
+#include "kernels/stencil.h"
+#include "power/energy.h"
+#include "support/table.h"
+
+namespace {
+
+/// Seconds for one core to finish the chosen workload on `machine`.
+double run_workload(const std::string& which, mb::sim::Machine& machine) {
+  if (which == "coremark") {
+    mb::kernels::CoremarkParams p;
+    p.iterations = 8;
+    return mb::kernels::coremark_run(machine, p).sim.seconds;
+  }
+  if (which == "chess") {
+    mb::kernels::ChessbenchParams p;
+    p.depth = 4;
+    p.positions = 2;
+    return mb::kernels::chessbench_run(machine, p).sim.seconds;
+  }
+  if (which == "stencil") {
+    mb::kernels::StencilParams p;
+    p.n = 12;
+    p.steps = 20;
+    return mb::kernels::stencil_run(machine, p).sim.seconds;
+  }
+  if (which == "magicfilter") {
+    mb::kernels::MagicfilterParams p;
+    p.n = 20;
+    p.dims = 3;
+    p.unroll = 4;
+    return mb::kernels::magicfilter_run(machine, p).sim.seconds;
+  }
+  mb::kernels::LinpackParams p;  // default: linpack
+  p.n = 96;
+  p.block = 32;
+  return mb::kernels::linpack_run(machine, p).sim.seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "linpack";
+
+  const auto arm_platform = mb::arch::snowball();
+  const auto x86_platform = mb::arch::xeon_x5550();
+  mb::sim::Machine arm(arm_platform, mb::sim::PagePolicy::kConsecutive,
+                       mb::support::Rng(1));
+  mb::sim::Machine x86(x86_platform, mb::sim::PagePolicy::kConsecutive,
+                       mb::support::Rng(1));
+
+  // Whole-machine time: per-core time divided by core count (the paper
+  // compares 2 Snowball cores against 4 Xeon cores).
+  const double t_arm = run_workload(which, arm) / arm_platform.cores;
+  const double t_x86 = run_workload(which, x86) / x86_platform.cores;
+
+  const double perf_ratio = t_arm / t_x86;
+  const double energy =
+      mb::power::energy_ratio(arm_platform, t_arm, x86_platform, t_x86);
+
+  std::cout << "workload: " << which << "\n\n";
+  mb::support::Table table({"Platform", "Time (ms)", "Energy (J)"});
+  table.add_row({arm_platform.name,
+                 mb::support::fmt_fixed(t_arm * 1e3, 3),
+                 mb::support::fmt_eng(
+                     mb::power::energy_j(arm_platform, t_arm))});
+  table.add_row({x86_platform.name,
+                 mb::support::fmt_fixed(t_x86 * 1e3, 3),
+                 mb::support::fmt_eng(
+                     mb::power::energy_j(x86_platform, t_x86))});
+  std::cout << table << '\n';
+  std::cout << "performance ratio (Xeon faster by): "
+            << mb::support::fmt_fixed(perf_ratio, 1) << "x\n";
+  std::cout << "energy ratio (ARM / x86):           "
+            << mb::support::fmt_fixed(energy, 2)
+            << (energy < 1.0 ? "  -> the ARM board uses less energy\n"
+                             : "  -> the Xeon uses less energy\n");
+  return 0;
+}

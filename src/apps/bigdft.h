@@ -1,0 +1,47 @@
+// BigDFT application model (paper Sec. IV, Fig. 3c and Fig. 4).
+//
+// BigDFT's wavelet transforms are 3-D convolutions applied axis by axis;
+// between axes the distributed array is transposed with MPI_Alltoallv
+// ("BigDFT mostly uses all to all communication patterns"). The model
+// captures exactly that phase structure: per SCF iteration, a compute
+// phase (magicfilter work, perfectly partitioned) followed by alltoallv
+// transposes whose total volume is fixed by the grid — the strong-scaling
+// poison on commodity Ethernet.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/cluster.h"
+#include "mpi/program.h"
+
+namespace mb::apps {
+
+struct BigDftParams {
+  std::uint32_t ranks = 8;
+  std::uint32_t iterations = 10;
+  /// Sequential compute time of one iteration's convolutions (seconds on
+  /// one reference core); divided by ranks under strong scaling.
+  double compute_s_per_iter = 2.0;
+  /// Total bytes moved by one transpose (the full distributed array);
+  /// each iteration performs `transposes` of them.
+  std::uint64_t transpose_bytes = 48ull << 20;
+  std::uint32_t transposes = 2;
+  /// Small DIIS/energy reductions per iteration.
+  std::uint32_t allreduces = 1;
+  /// Per-(iteration, rank) compute imbalance (fraction of compute time):
+  /// the OS/load noise that desynchronizes collective entry, making only
+  /// some alltoallv instances hit the buffer-overflow incast.
+  double imbalance = 0.10;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Builds the per-rank program.
+mpi::Program bigdft_program(const BigDftParams& params);
+
+/// Convenience: builds and runs on a cluster sized for params.ranks.
+AppRunResult run_bigdft(const ClusterConfig& cluster,
+                        const BigDftParams& params);
+
+}  // namespace mb::apps

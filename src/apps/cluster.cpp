@@ -1,0 +1,62 @@
+#include "apps/cluster.h"
+
+#include "support/check.h"
+
+namespace mb::apps {
+
+ClusterConfig tibidabo_cluster(std::uint32_t nodes) {
+  ClusterConfig c;
+  c.nodes = nodes;
+  c.cores_per_node = 2;
+  c.tree = net::tibidabo_tree(nodes);
+  return c;
+}
+
+ClusterConfig upgraded_cluster(std::uint32_t nodes) {
+  ClusterConfig c;
+  c.nodes = nodes;
+  c.cores_per_node = 2;
+  c.tree = net::upgraded_tree(nodes);
+  return c;
+}
+
+AppRunResult run_on_cluster(const ClusterConfig& config,
+                            const mpi::Program& program) {
+  support::check(program.ranks() == config.nodes * config.cores_per_node,
+                 "run_on_cluster",
+                 "program ranks must equal nodes * cores_per_node");
+
+  sim::EventQueue queue;
+  net::Network network(queue, config.mtu_bytes);
+  const net::ClusterTopology topo = net::build_tree(network, config.tree);
+
+  std::vector<net::NodeId> rank_to_host;
+  rank_to_host.reserve(program.ranks());
+  for (std::uint32_t r = 0; r < program.ranks(); ++r)
+    rank_to_host.push_back(topo.hosts[r / config.cores_per_node]);
+
+  AppRunResult result;
+  mpi::Runtime runtime(queue, network, std::move(rank_to_host), config.mpi,
+                       &result.trace);
+  result.makespan_s = runtime.run(program);
+
+  // Aggregate drop counts over host links (both directions) and uplinks.
+  for (std::uint32_t n = 0; n < config.nodes; ++n) {
+    const net::NodeId host = topo.hosts[n];
+    const net::NodeId sw =
+        topo.leaf_switches.size() == 1
+            ? topo.leaf_switches[0]
+            : topo.leaf_switches[n / config.tree.switch_ports];
+    result.network_drops += network.link_stats(host, sw).drops;
+    result.network_drops += network.link_stats(sw, host).drops;
+  }
+  if (topo.leaf_switches.size() > 1) {
+    for (const net::NodeId sw : topo.leaf_switches) {
+      result.network_drops += network.link_stats(sw, topo.root_switch).drops;
+      result.network_drops += network.link_stats(topo.root_switch, sw).drops;
+    }
+  }
+  return result;
+}
+
+}  // namespace mb::apps

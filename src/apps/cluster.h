@@ -1,0 +1,42 @@
+// Cluster harness: wires a topology, an MPI runtime and a trace together
+// so application models can be launched with one call.
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/program.h"
+#include "mpi/runtime.h"
+#include "net/topology.h"
+#include "trace/trace.h"
+
+namespace mb::apps {
+
+struct ClusterConfig {
+  std::uint32_t nodes = 16;
+  std::uint32_t cores_per_node = 2;  ///< Tegra2: dual Cortex-A9
+  net::TreeParams tree;              ///< interconnect parameters
+  mpi::RuntimeConfig mpi;
+  /// Frame granularity (see net::Network): raise for long-running apps
+  /// (HPL at realistic N) where per-Ethernet-frame simulation is overkill.
+  std::uint32_t mtu_bytes = net::Network::kMtuBytes;
+};
+
+/// The Tibidabo cluster as studied in the paper (Sec. II-B / IV).
+ClusterConfig tibidabo_cluster(std::uint32_t nodes);
+
+/// Tibidabo after the switch upgrade the paper announces.
+ClusterConfig upgraded_cluster(std::uint32_t nodes);
+
+struct AppRunResult {
+  double makespan_s = 0.0;
+  trace::Trace trace;
+  std::uint64_t network_drops = 0;  ///< buffer-overflow retransmissions
+};
+
+/// Runs `program` on a freshly built cluster. The program's rank count
+/// must equal nodes * cores_per_node; ranks are packed node-major
+/// (ranks 2k and 2k+1 share node k on the dual-core Tibidabo boards).
+AppRunResult run_on_cluster(const ClusterConfig& config,
+                            const mpi::Program& program);
+
+}  // namespace mb::apps

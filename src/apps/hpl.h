@@ -1,0 +1,39 @@
+// LINPACK/HPL application model (paper Sec. IV, Fig. 3a).
+//
+// Right-looking LU over a block-cyclic distribution, modelled at panel
+// granularity: per panel, the owning process column factors it (parallel
+// across the column), broadcasts it (binomial), and all ranks update their
+// share of the trailing matrix. Communication is broadcast-dominated —
+// "LINPACK is only affected to a lesser extent" by the Ethernet trouble,
+// and its Fig. 3a speedup stays linear past 32 nodes at ~80% efficiency.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/cluster.h"
+#include "mpi/program.h"
+
+namespace mb::apps {
+
+struct HplParams {
+  std::uint32_t ranks = 16;
+  std::uint32_t n = 16384;       ///< global matrix dimension
+  std::uint32_t block = 64;      ///< panel width
+  /// Seconds per double-precision flop on one reference core (Tegra2:
+  /// ~1/0.3 GFLOPS; calibrate from kernels::linpack_run).
+  double seconds_per_flop = 3.3e-9;
+
+  void validate() const;
+
+  /// Total factorization flops (2n^3/3).
+  double total_flops() const;
+};
+
+mpi::Program hpl_program(const HplParams& params);
+
+AppRunResult run_hpl(const ClusterConfig& cluster, const HplParams& params);
+
+/// GFLOPS of a finished run.
+double hpl_gflops(const HplParams& params, double makespan_s);
+
+}  // namespace mb::apps

@@ -1,0 +1,30 @@
+#include "apps/registry.h"
+
+#include "support/check.h"
+
+namespace mb::apps {
+
+const std::vector<AppInfo>& montblanc_applications() {
+  static const std::vector<AppInfo> kApps = {
+      {"YALES2", "Combustion", "CNRS/CORIA"},
+      {"EUTERPE", "Fusion", "BSC"},
+      {"SPECFEM3D", "Wave Propagation", "CNRS"},
+      {"MP2C", "Multi-particle Collision", "JSC"},
+      {"BigDFT", "Electronic Structure", "CEA"},
+      {"Quantum Expresso", "Electronic Structure", "CINECA"},
+      {"PEPC", "Coulomb & Gravitational Forces", "JSC"},
+      {"SMMP", "Protein Folding", "JSC"},
+      {"PorFASI", "Protein Folding", "JSC"},
+      {"COSMO", "Weather Forecast", "CINECA"},
+      {"BQCD", "Particle Physics", "LRZ"},
+  };
+  return kApps;
+}
+
+const AppInfo& find_application(const std::string& code) {
+  for (const auto& app : montblanc_applications())
+    if (app.code == code) return app;
+  support::fail("find_application", "unknown application code: " + code);
+}
+
+}  // namespace mb::apps

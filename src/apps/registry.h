@@ -1,0 +1,21 @@
+// The Mont-Blanc application portfolio (paper Table I).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mb::apps {
+
+struct AppInfo {
+  std::string code;
+  std::string domain;
+  std::string institution;
+};
+
+/// The eleven applications selected for porting and optimization.
+const std::vector<AppInfo>& montblanc_applications();
+
+/// Looks an application up by code name; throws when absent.
+const AppInfo& find_application(const std::string& code);
+
+}  // namespace mb::apps

@@ -1,0 +1,41 @@
+// Platform descriptor serialization.
+//
+// Lets users define their own machines in a plain text format instead of
+// C++ — the natural extension point of the library (the paper's method is
+// meant to be applied to each new board that comes along). The format is
+// INI-like: top-level keys, a [core] section, one [cache] section per
+// level (L1 first), and a [mem] section. serialize/parse round-trip
+// exactly, and every built-in platform ships as a parseable description.
+//
+//   name = My Board
+//   power_w = 3.0
+//   cores = 2
+//   [core]
+//   name = Cortex-A7
+//   freq_hz = 8e8
+//   issue_width = 1
+//   recip.int_alu = 1
+//   ...
+//   [cache]
+//   name = L1d
+//   size_bytes = 16384
+//   ...
+//   [mem]
+//   kind = DDR2
+//   ...
+#pragma once
+
+#include <string>
+
+#include "arch/platform.h"
+
+namespace mb::arch {
+
+/// Serializes a platform to the text format (validates first).
+std::string serialize_platform(const Platform& platform);
+
+/// Parses the text format; throws support::Error with a line number on
+/// malformed input. The result is validate()d before returning.
+Platform parse_platform(const std::string& text);
+
+}  // namespace mb::arch

@@ -1,0 +1,259 @@
+#include "arch/platforms.h"
+
+#include "support/units.h"
+
+namespace mb::arch {
+namespace {
+
+using support::GHz;
+using support::KiB;
+using support::MiB;
+using support::GiB;
+
+void set_rt(CoreConfig& core, OpClass c, double cycles_per_op) {
+  core.recip_throughput[static_cast<std::size_t>(c)] = cycles_per_op;
+}
+
+/// Cortex-A9 core shared by Snowball and Tegra2 (NEON presence differs).
+CoreConfig cortex_a9(bool has_neon) {
+  CoreConfig core;
+  core.name = has_neon ? "Cortex-A9+NEON" : "Cortex-A9";
+  core.freq_hz = 1.0 * GHz;
+  core.issue_width = 2;
+  core.out_of_order = true;  // small 2-wide OoO window
+  core.miss_overlap = 0.10;  // almost no capacity to hide misses
+  core.mshr = 3.0;           // PL310 supports a few outstanding fills
+  core.branch_mispredict_penalty = 9.0;
+  core.int_registers = 12;  // r0-r12 minus fixed-role registers
+  // gcc-4.6 allocates NEON Q registers conservatively (softfp ABI): about
+  // half the architectural file is effectively usable in unrolled bodies.
+  core.fp_registers = has_neon ? 8 : 4;
+  // VFPv3: 32 D registers with NEON, 16 (D16) without; several serve as
+  // scratch, leaving this many unrolled doubles register-resident. The
+  // D16 budget of 11 puts the magicfilter spill staircase at unroll~5,
+  // where the paper's Fig. 7b cache-access curve jumps on Tegra2.
+  core.dp_scalar_registers = has_neon ? 24 : 11;
+  core.fp_dep_latency_cycles = 4.0;       // VFP/NEON result-to-use
+  core.tlb_entries = 32;                  // Cortex-A9 micro-TLB
+  core.tlb_associativity = 32;
+  core.tlb_walk_cycles = 40;
+
+  set_rt(core, OpClass::kIntAlu, 0.5);  // two integer pipes
+  set_rt(core, OpClass::kIntMul, 2.0);
+  set_rt(core, OpClass::kInt64, 1.8);  // 32-bit core: ADDS/ADC pairs, some
+                                       // dual-issue across the halves
+  set_rt(core, OpClass::kFpAddSp, 1.0);
+  set_rt(core, OpClass::kFpMulSp, 1.0);
+  // VFP double precision is the A9's weak spot (and with gcc's softfp
+  // code generation the practical throughput is worse than the pipe's
+  // nameplate): one DP result every ~3 cycles. This is what stretches the
+  // BigDFT and LINPACK rows of Table II.
+  set_rt(core, OpClass::kFpAddDp, 3.0);
+  set_rt(core, OpClass::kFpMulDp, 3.0);
+  if (has_neon) {
+    // NEON datapath is 64 bits wide: a 128-bit op cracks into two halves.
+    core.vector_bits = 64;
+    core.vector_dp = false;  // NEON is single precision only (paper Sec. II)
+    set_rt(core, OpClass::kVecSp, 2.0);   // nominal 128-bit op = 2 x 64-bit
+    set_rt(core, OpClass::kVecDp, 0.0);   // unsupported -> decomposed
+  } else {
+    core.vector_bits = 0;
+    core.vector_dp = false;
+    set_rt(core, OpClass::kVecSp, 0.0);
+    set_rt(core, OpClass::kVecDp, 0.0);
+  }
+  set_rt(core, OpClass::kLoad32, 1.0);
+  set_rt(core, OpClass::kLoad64, 1.0);   // LDRD / NEON D-register load
+  // Quad-register NEON loads on the A9 are notoriously slow: they issue
+  // over several cycles and effectively bypass the L1 into the PL310 —
+  // this is why the paper finds 128-bit "vectorized" accesses no better
+  // than 32-bit scalar ones (Fig. 6b).
+  set_rt(core, OpClass::kLoad128, has_neon ? 8.0 : 0.0);
+  set_rt(core, OpClass::kStore32, 1.0);
+  set_rt(core, OpClass::kStore64, 1.5);
+  set_rt(core, OpClass::kStore128, has_neon ? 8.0 : 0.0);
+  set_rt(core, OpClass::kBranch, 1.0);
+  return core;
+}
+
+CoreConfig nehalem() {
+  CoreConfig core;
+  core.name = "Nehalem";
+  core.freq_hz = 2.66 * GHz;
+  core.issue_width = 4;
+  core.out_of_order = true;
+  core.miss_overlap = 0.65;  // deep ROB + aggressive prefetch
+  core.mshr = 10.0;          // 10 line-fill buffers per core
+  core.branch_mispredict_penalty = 15.0;
+  core.int_registers = 14;
+  core.fp_registers = 16;  // XMM0-15
+  // One scalar double per XMM register minus a scratch register: the
+  // magicfilter staircase lands at unroll~9 (Fig. 7a).
+  core.dp_scalar_registers = 15;
+  core.fp_dep_latency_cycles = 3.0;
+  core.tlb_entries = 64;  // Nehalem L1 DTLB
+  core.tlb_associativity = 4;
+  core.tlb_walk_cycles = 25;
+
+  set_rt(core, OpClass::kIntAlu, 0.34);  // three ALU ports
+  set_rt(core, OpClass::kIntMul, 1.0);
+  set_rt(core, OpClass::kInt64, 0.34);  // native 64-bit
+  set_rt(core, OpClass::kFpAddSp, 1.0);
+  set_rt(core, OpClass::kFpMulSp, 1.0);
+  set_rt(core, OpClass::kFpAddDp, 1.0);  // dedicated FADD pipe
+  set_rt(core, OpClass::kFpMulDp, 1.0);  // dedicated FMUL pipe
+  core.vector_bits = 128;
+  core.vector_dp = true;  // SSE2 packed double
+  set_rt(core, OpClass::kVecSp, 1.0);
+  set_rt(core, OpClass::kVecDp, 1.0);
+  core.split_lsu = true;  // dedicated load and store ports
+  set_rt(core, OpClass::kLoad32, 1.0);  // one load port
+  set_rt(core, OpClass::kLoad64, 1.0);
+  set_rt(core, OpClass::kLoad128, 1.0);
+  set_rt(core, OpClass::kStore32, 1.0);  // one store port
+  set_rt(core, OpClass::kStore64, 1.0);
+  set_rt(core, OpClass::kStore128, 1.0);
+  set_rt(core, OpClass::kBranch, 1.0);
+  return core;
+}
+
+CoreConfig cortex_a15() {
+  CoreConfig core;
+  core.name = "Cortex-A15";
+  core.freq_hz = 1.7 * GHz;
+  core.issue_width = 3;
+  core.out_of_order = true;
+  core.miss_overlap = 0.40;
+  core.mshr = 6.0;
+  core.branch_mispredict_penalty = 15.0;
+  core.int_registers = 12;
+  core.fp_registers = 16;
+  core.dp_scalar_registers = 28;
+  core.fp_dep_latency_cycles = 4.0;
+  core.tlb_entries = 32;
+  core.tlb_associativity = 32;
+  core.tlb_walk_cycles = 35;
+  core.split_lsu = true;  // A15 has separate load and store pipelines
+
+  set_rt(core, OpClass::kIntAlu, 0.5);
+  set_rt(core, OpClass::kIntMul, 1.0);
+  set_rt(core, OpClass::kInt64, 2.0);
+  set_rt(core, OpClass::kFpAddSp, 0.5);
+  set_rt(core, OpClass::kFpMulSp, 0.5);
+  set_rt(core, OpClass::kFpAddDp, 1.0);  // VFPv4: fully pipelined DP
+  set_rt(core, OpClass::kFpMulDp, 1.0);
+  core.vector_bits = 128;   // full-width NEON datapath
+  core.vector_dp = false;   // NEON still SP-only on ARMv7
+  set_rt(core, OpClass::kVecSp, 1.0);
+  set_rt(core, OpClass::kVecDp, 0.0);
+  set_rt(core, OpClass::kLoad32, 1.0);
+  set_rt(core, OpClass::kLoad64, 1.0);
+  set_rt(core, OpClass::kLoad128, 1.0);
+  set_rt(core, OpClass::kStore32, 1.0);
+  set_rt(core, OpClass::kStore64, 1.0);
+  set_rt(core, OpClass::kStore128, 1.5);
+  set_rt(core, OpClass::kBranch, 1.0);
+  return core;
+}
+
+CacheConfig cache(std::string name, std::uint64_t size, std::uint32_t line,
+                  std::uint32_t ways, std::uint32_t latency, bool shared) {
+  CacheConfig c;
+  c.name = std::move(name);
+  c.size_bytes = size;
+  c.line_bytes = line;
+  c.associativity = ways;
+  c.latency_cycles = latency;
+  c.shared = shared;
+  return c;
+}
+
+}  // namespace
+
+Platform snowball() {
+  Platform p;
+  p.name = "Snowball (ST-Ericsson A9500)";
+  p.core = cortex_a9(/*has_neon=*/true);
+  p.cores = 2;
+  p.caches = {
+      cache("L1d", 32 * KiB, 32, 4, 4, /*shared=*/false),
+      cache("L2", 512 * KiB, 32, 8, 20, /*shared=*/true),
+  };
+  p.mem.kind = "LP-DDR2";
+  p.mem.latency_ns = 110.0;
+  p.mem.bandwidth_bytes_per_s = 0.8e9;  // sustainable, not peak
+  p.mem.total_bytes = 796 * MiB;        // as reported by hwloc (Fig. 2b)
+  p.mem.page_bytes = 4096;
+  p.gpu = GpuConfig{"Mali-400", 10.0, /*general_purpose=*/false};
+  p.power_w = 2.5;  // full board over USB; paper's conservative bound
+  p.validate();
+  return p;
+}
+
+Platform xeon_x5550() {
+  Platform p;
+  p.name = "Intel Xeon X5550 (Nehalem)";
+  p.core = nehalem();
+  p.cores = 4;  // hyperthreading disabled in the paper's runs
+  p.caches = {
+      cache("L1d", 32 * KiB, 64, 8, 4, /*shared=*/false),
+      cache("L2", 256 * KiB, 64, 8, 10, /*shared=*/false),
+      cache("L3", 8 * MiB, 64, 16, 38, /*shared=*/true),
+  };
+  p.mem.kind = "DDR3";
+  p.mem.latency_ns = 65.0;
+  p.mem.bandwidth_bytes_per_s = 16.0e9;  // triple channel, sustainable
+  p.mem.total_bytes = 12 * GiB;
+  p.mem.page_bytes = 4096;
+  p.power_w = 95.0;  // TDP, the paper's accounting
+  p.validate();
+  return p;
+}
+
+Platform tegra2_node() {
+  Platform p;
+  p.name = "Tibidabo node (NVIDIA Tegra2)";
+  p.core = cortex_a9(/*has_neon=*/false);
+  p.cores = 2;
+  p.caches = {
+      cache("L1d", 32 * KiB, 32, 4, 4, /*shared=*/false),
+      cache("L2", 1 * MiB, 32, 16, 25, /*shared=*/true),
+  };
+  p.mem.kind = "DDR2-667";
+  p.mem.latency_ns = 100.0;
+  p.mem.bandwidth_bytes_per_s = 1.0e9;
+  p.mem.total_bytes = 1 * GiB;
+  p.mem.page_bytes = 4096;
+  // Tegra2 has a GPU but it is not programmable for general purpose use;
+  // Tibidabo is being extended with Tegra3 + discrete GPU (paper Sec. VI-A).
+  p.gpu = GpuConfig{"GeForce ULP", 5.0, /*general_purpose=*/false};
+  p.power_w = 8.5;  // board-level (SoC + NIC + DRAM), per Tibidabo report
+  p.validate();
+  return p;
+}
+
+Platform exynos5() {
+  Platform p;
+  p.name = "Samsung Exynos 5 Dual";
+  p.core = cortex_a15();
+  p.cores = 2;
+  p.caches = {
+      cache("L1d", 32 * KiB, 64, 2, 4, /*shared=*/false),
+      cache("L2", 1 * MiB, 64, 16, 21, /*shared=*/true),
+  };
+  p.mem.kind = "LP-DDR3";
+  p.mem.latency_ns = 90.0;
+  p.mem.bandwidth_bytes_per_s = 6.0e9;
+  p.mem.total_bytes = 2 * GiB;
+  p.mem.page_bytes = 4096;
+  p.gpu = GpuConfig{"Mali-T604", 68.0, /*general_purpose=*/true};
+  p.power_w = 5.0;  // paper's projection: ~100 GFLOPS at 5 W with the GPU
+  p.validate();
+  return p;
+}
+
+std::vector<Platform> all_builtin_platforms() {
+  return {snowball(), xeon_x5550(), tegra2_node(), exynos5()};
+}
+
+}  // namespace mb::arch

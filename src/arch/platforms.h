@@ -1,0 +1,33 @@
+// Built-in descriptors for the machines studied in the paper.
+//
+// Microarchitectural parameters follow published characteristics of each
+// part; they are calibrated so that the derived peaks match the machines'
+// documented capabilities (e.g. Xeon X5550 peak DP = 42.6 GFLOPS, Cortex-A9
+// VFP ~1 DP flop/cycle/core). See DESIGN.md for the calibration notes.
+#pragma once
+
+#include "arch/platform.h"
+
+namespace mb::arch {
+
+/// ST-Ericsson A9500 "Snowball" board: 2x Cortex-A9 @1 GHz with NEON
+/// (single precision only), 32 KB L1 / 512 KB shared L2, LP-DDR2, 2.5 W
+/// full-board power budget (USB-powered, the paper's conservative number).
+Platform snowball();
+
+/// Intel Xeon X5550: 4x Nehalem @2.66 GHz (hyperthreading disabled, as in
+/// the paper), SSE 128-bit DP, 32K/256K/8M hierarchy, DDR3, 95 W TDP.
+Platform xeon_x5550();
+
+/// One Tibidabo compute node: NVIDIA Tegra2 = 2x Cortex-A9 @1 GHz *without*
+/// NEON (Tegra2 omits the media extension), VFPv3-D16 FPU, 1 MB L2.
+Platform tegra2_node();
+
+/// Samsung Exynos 5 Dual (projected Mont-Blanc prototype): 2x Cortex-A15
+/// @1.7 GHz + Mali-T604 GPU; the paper quotes ~100 GFLOPS at ~5 W.
+Platform exynos5();
+
+/// All built-in platforms (for registry-style iteration in tools/tests).
+std::vector<Platform> all_builtin_platforms();
+
+}  // namespace mb::arch

@@ -1,0 +1,54 @@
+#include "arch/topology.h"
+
+#include <sstream>
+
+#include "support/units.h"
+
+namespace mb::arch {
+namespace {
+
+std::string size_str(std::uint64_t bytes) {
+  using support::GiB;
+  using support::KiB;
+  using support::MiB;
+  std::ostringstream out;
+  if (bytes >= GiB && bytes % GiB == 0)
+    out << bytes / GiB << "GB";
+  else if (bytes >= MiB)
+    out << bytes / MiB << "MB";
+  else
+    out << bytes / KiB << "KB";
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_topology(const Platform& p) {
+  std::ostringstream out;
+  out << "Machine (" << size_str(p.mem.total_bytes) << ")\n";
+  out << "  Socket P#0\n";
+
+  // Shared levels wrap the per-core column; private levels repeat per core.
+  std::vector<const CacheConfig*> shared, private_levels;
+  for (auto it = p.caches.rbegin(); it != p.caches.rend(); ++it) {
+    if (it->shared)
+      shared.push_back(&*it);
+    else
+      private_levels.push_back(&*it);
+  }
+
+  std::string indent = "    ";
+  for (const CacheConfig* c : shared) {
+    out << indent << c->name << " (" << size_str(c->size_bytes) << ")\n";
+    indent += "  ";
+  }
+  for (std::uint32_t core = 0; core < p.cores; ++core) {
+    std::string line;
+    for (const CacheConfig* c : private_levels)
+      line += c->name + " (" + size_str(c->size_bytes) + ") + ";
+    out << indent << line << "Core P#" << core << " + PU P#" << core << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mb::arch

@@ -1,0 +1,20 @@
+// hwloc-style ASCII rendering of a platform's topology (paper Figure 2).
+#pragma once
+
+#include <string>
+
+#include "arch/platform.h"
+
+namespace mb::arch {
+
+/// Renders a nested Machine/Socket/Cache/Core/PU diagram similar to hwloc's
+/// lstopo text output, e.g.
+///
+///   Machine (12GB)
+///     Socket P#0
+///       L3 (8192KB)
+///         L2 (256KB) + L1 (32KB) + Core P#0 + PU P#0
+///         ...
+std::string render_topology(const Platform& p);
+
+}  // namespace mb::arch

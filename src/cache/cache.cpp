@@ -1,0 +1,105 @@
+#include "cache/cache.h"
+
+#include <bit>
+
+#include "support/check.h"
+
+namespace mb::cache {
+
+Cache::Cache(const arch::CacheConfig& config)
+    : config_(config),
+      sets_(config.sets()),
+      ways_(config.associativity),
+      line_shift_(static_cast<std::uint32_t>(
+          std::countr_zero(static_cast<std::uint64_t>(config.line_bytes)))),
+      lines_(sets_ * ways_) {
+  support::check(sets_ > 0 && (sets_ & (sets_ - 1)) == 0, "Cache",
+                 "set count must be a nonzero power of two");
+}
+
+std::uint64_t Cache::set_index(std::uint64_t addr) const {
+  return (addr >> line_shift_) & (sets_ - 1);
+}
+
+std::uint64_t Cache::tag(std::uint64_t addr) const {
+  return addr >> line_shift_;  // full line address as tag; set is implied
+}
+
+bool Cache::access_line(std::uint64_t addr, bool write) {
+  ++stats_.accesses;
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t t = tag(addr);
+  Line* base = &lines_[set * ways_];
+
+  // MRU-first search.
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == t) {
+      // Move to front (true LRU).
+      Line hit = base[w];
+      for (std::uint32_t k = w; k > 0; --k) base[k] = base[k - 1];
+      hit.dirty = hit.dirty || write;
+      base[0] = hit;
+      ++stats_.hits;
+      return true;
+    }
+  }
+
+  ++stats_.misses;
+  // Evict the LRU way (last slot).
+  Line& victim = base[ways_ - 1];
+  if (victim.valid) {
+    ++stats_.evictions;
+    if (victim.dirty) ++stats_.writebacks;
+  }
+  for (std::uint32_t k = ways_ - 1; k > 0; --k) base[k] = base[k - 1];
+  base[0] = Line{t, /*valid=*/true, /*dirty=*/write};
+  return false;
+}
+
+void Cache::fill_line(std::uint64_t addr) {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t t = tag(addr);
+  Line* base = &lines_[set * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == t) {
+      // Already resident: refresh LRU position only.
+      Line hit = base[w];
+      for (std::uint32_t k = w; k > 0; --k) base[k] = base[k - 1];
+      base[0] = hit;
+      return;
+    }
+  }
+  Line& victim = base[ways_ - 1];
+  if (victim.valid) {
+    ++stats_.evictions;
+    if (victim.dirty) ++stats_.writebacks;
+  }
+  for (std::uint32_t k = ways_ - 1; k > 0; --k) base[k] = base[k - 1];
+  base[0] = Line{t, /*valid=*/true, /*dirty=*/false};
+}
+
+std::uint32_t Cache::access(std::uint64_t addr, std::uint32_t bytes,
+                            bool write) {
+  support::check(bytes > 0, "Cache::access", "bytes must be positive");
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + bytes - 1) >> line_shift_;
+  std::uint32_t misses = 0;
+  for (std::uint64_t line = first; line <= last; ++line)
+    if (!access_line(line << line_shift_, write)) ++misses;
+  return misses;
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t t = tag(addr);
+  const Line* base = &lines_[set * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w)
+    if (base[w].valid && base[w].tag == t) return true;
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& line : lines_) line = Line{};
+}
+
+}  // namespace mb::cache

@@ -1,0 +1,80 @@
+// Trace-driven set-associative cache model.
+//
+// This is the heart of the paper's Section V reproduction: conflict misses
+// caused by the OS's physical page placement (Sec. V-A.1) and the cache
+// traffic growth under aggressive loop unrolling (Fig. 7) are both direct
+// functions of how addresses map into a set-associative structure. The model
+// is a classic write-back/write-allocate LRU cache operating on (physical)
+// byte addresses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/platform.h"
+
+namespace mb::cache {
+
+/// Statistics accumulated by one cache level.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;  ///< dirty evictions
+
+  double miss_ratio() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// One level of set-associative cache with true-LRU replacement,
+/// write-back + write-allocate policy.
+class Cache {
+ public:
+  explicit Cache(const arch::CacheConfig& config);
+
+  /// Accesses `bytes` bytes starting at `addr` (may straddle lines; each
+  /// touched line is accessed once). Returns the number of line misses.
+  std::uint32_t access(std::uint64_t addr, std::uint32_t bytes, bool write);
+
+  /// Single-line probe: true on hit. Updates LRU and dirty state.
+  bool access_line(std::uint64_t addr, bool write);
+
+  /// Inserts a line without demand-access bookkeeping (prefetch fill):
+  /// no access/hit/miss counts; evictions and writebacks still count
+  /// (the displaced line really leaves). No-op if already resident.
+  void fill_line(std::uint64_t addr);
+
+  /// Probes without updating state (for tests and analyzers).
+  bool contains(std::uint64_t addr) const;
+
+  /// Invalidates all lines and clears dirty bits; stats are preserved.
+  void flush();
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  const arch::CacheConfig& config() const { return config_; }
+  std::uint64_t set_index(std::uint64_t addr) const;
+  std::uint64_t tag(std::uint64_t addr) const;
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  arch::CacheConfig config_;
+  std::uint64_t sets_;
+  std::uint32_t ways_;
+  std::uint32_t line_shift_;
+  // ways_ lines per set, MRU-first order within a set.
+  std::vector<Line> lines_;
+  CacheStats stats_;
+};
+
+}  // namespace mb::cache

@@ -1,0 +1,107 @@
+// Multi-level cache hierarchy.
+//
+// Models one core's view of the platform's cache levels: an access probes
+// L1; on miss it proceeds to L2, and so on to memory. Fill policy is
+// non-inclusive non-exclusive (NINE): a miss allocates in every level it
+// traversed, evictions do not back-invalidate. Stats per level plus memory
+// traffic are kept for the cost model.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "arch/platform.h"
+#include "cache/cache.h"
+
+namespace mb::cache {
+
+/// Outcome of one hierarchy access.
+struct AccessResult {
+  /// 0-based index of the level that hit; == levels() when served by memory.
+  std::size_t hit_level = 0;
+  std::uint32_t lines_touched = 1;
+};
+
+/// Aggregate view consumed by sim::CostModel.
+struct HierarchyStats {
+  std::vector<CacheStats> level;     ///< per cache level
+  std::uint64_t memory_accesses = 0; ///< line fills from DRAM
+  std::uint64_t memory_bytes = 0;    ///< fill + writeback traffic
+  std::uint64_t prefetches = 0;      ///< lines pulled by the prefetcher
+};
+
+/// Sequential stream prefetcher configuration. Disabled by default: the
+/// calibrated platform models bake average prefetch benefit into their
+/// miss_overlap/MSHR parameters; enabling this gives the *mechanistic*
+/// version for ablations ("what if the A9 had a Nehalem-class stream
+/// prefetcher?").
+struct PrefetcherConfig {
+  bool enabled = false;
+  /// Consecutive-line misses needed to confirm a stream.
+  std::uint32_t train_threshold = 2;
+  /// Lines fetched ahead once a stream is confirmed.
+  std::uint32_t degree = 2;
+  /// Concurrently tracked streams.
+  std::uint32_t streams = 8;
+};
+
+class Hierarchy {
+ public:
+  /// Builds private copies of every level in `configs` (L1 first).
+  explicit Hierarchy(std::span<const arch::CacheConfig> configs);
+
+  /// Convenience: builds from a platform's cache list.
+  explicit Hierarchy(const arch::Platform& platform);
+
+  /// Installs (or disables) the stream prefetcher.
+  void set_prefetcher(const PrefetcherConfig& config);
+  const PrefetcherConfig& prefetcher() const { return prefetcher_; }
+
+  /// Accesses `bytes` at the given address pair. Levels with
+  /// `physically_indexed` use `paddr`; virtually-indexed levels use `vaddr`.
+  /// The access must not straddle a page boundary (callers split there,
+  /// since the physical mapping changes).
+  AccessResult access(std::uint64_t vaddr, std::uint64_t paddr,
+                      std::uint32_t bytes, bool write);
+
+  /// Convenience for identity-mapped traces (tests, analyzers).
+  AccessResult access(std::uint64_t addr, std::uint32_t bytes, bool write) {
+    return access(addr, addr, bytes, write);
+  }
+
+  std::size_t levels() const { return levels_.size(); }
+  const Cache& level(std::size_t i) const { return levels_[i]; }
+
+  HierarchyStats stats() const;
+  void reset_stats();
+  void flush();
+
+ private:
+  struct Stream {
+    std::uint64_t next_line = 0;
+    std::uint32_t confidence = 0;
+    bool valid = false;
+  };
+
+  /// Brings one line into every level without touching demand stats and
+  /// remembers it as an outstanding prefetch (stream continuation).
+  void prefetch_line(std::uint64_t paddr);
+  void train_prefetcher(std::uint64_t paddr_line);
+  /// Demand access touched a prefetched line: keep the stream ahead.
+  void continue_stream(std::uint64_t paddr_line);
+
+  std::vector<Cache> levels_;
+  std::uint64_t memory_accesses_ = 0;
+  std::uint64_t memory_bytes_ = 0;
+  std::uint64_t prefetches_ = 0;
+  PrefetcherConfig prefetcher_;
+  std::vector<Stream> streams_;
+  // Prefetched-but-not-yet-demanded lines (bounded FIFO window).
+  std::unordered_set<std::uint64_t> outstanding_;
+  std::deque<std::uint64_t> outstanding_fifo_;
+};
+
+}  // namespace mb::cache

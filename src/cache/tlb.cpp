@@ -1,0 +1,51 @@
+#include "cache/tlb.h"
+
+#include <bit>
+
+#include "support/check.h"
+
+namespace mb::cache {
+
+Tlb::Tlb(const TlbConfig& config)
+    : config_(config),
+      sets_(config.entries / config.associativity),
+      ways_(config.associativity),
+      page_shift_(static_cast<std::uint32_t>(
+          std::countr_zero(static_cast<std::uint64_t>(config.page_bytes)))),
+      entries_(config.entries) {
+  support::check(config.entries > 0 && config.associativity > 0, "Tlb",
+                 "entries and associativity must be positive");
+  support::check(config.entries % config.associativity == 0, "Tlb",
+                 "entries must divide evenly into sets");
+  support::check((sets_ & (sets_ - 1)) == 0, "Tlb",
+                 "set count must be a power of two");
+  support::check((config.page_bytes & (config.page_bytes - 1)) == 0, "Tlb",
+                 "page size must be a power of two");
+}
+
+bool Tlb::access(std::uint64_t vaddr) {
+  ++stats_.accesses;
+  const std::uint64_t vpn = vaddr >> page_shift_;
+  const std::uint64_t set = vpn & (sets_ - 1);
+  Entry* base = &entries_[set * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].vpn == vpn) {
+      Entry hit = base[w];
+      for (std::uint32_t k = w; k > 0; --k) base[k] = base[k - 1];
+      base[0] = hit;
+      ++stats_.hits;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  if (base[ways_ - 1].valid) ++stats_.evictions;
+  for (std::uint32_t k = ways_ - 1; k > 0; --k) base[k] = base[k - 1];
+  base[0] = Entry{vpn, true};
+  return false;
+}
+
+void Tlb::flush() {
+  for (auto& e : entries_) e = Entry{};
+}
+
+}  // namespace mb::cache

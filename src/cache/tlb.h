@@ -1,0 +1,50 @@
+// Translation lookaside buffer model.
+//
+// A small fully/set-associative cache of virtual page numbers. TLB misses
+// charge a page-walk penalty in the cost model; with randomized physical
+// page placement (Sec. V-A.1 of the paper) TLB behaviour stays a function of
+// *virtual* pages, so it is modelled separately from the data caches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace mb::cache {
+
+struct TlbConfig {
+  std::uint32_t entries = 32;
+  std::uint32_t associativity = 32;  ///< == entries -> fully associative
+  std::uint32_t page_bytes = 4096;
+  std::uint32_t walk_penalty_cycles = 30;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config);
+
+  /// Looks up the page of `vaddr`; true on hit. Misses install the entry.
+  bool access(std::uint64_t vaddr);
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+  void flush();
+
+  const TlbConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::uint64_t vpn = 0;
+    bool valid = false;
+  };
+
+  TlbConfig config_;
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::uint32_t page_shift_;
+  std::vector<Entry> entries_;  // MRU-first within each set
+  CacheStats stats_;
+};
+
+}  // namespace mb::cache

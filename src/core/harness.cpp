@@ -1,0 +1,60 @@
+#include "core/harness.h"
+
+#include <optional>
+
+#include "support/check.h"
+
+namespace mb::core {
+
+Harness::Harness(MachineFactory factory,
+                 std::unique_ptr<os::SchedulerModel> scheduler,
+                 MeasurementPlan plan)
+    : factory_(std::move(factory)),
+      scheduler_(std::move(scheduler)),
+      plan_(plan) {
+  support::check(static_cast<bool>(factory_), "Harness",
+                 "machine factory required");
+  support::check(plan_.repetitions >= 1, "Harness",
+                 "at least one repetition");
+}
+
+ResultSet Harness::run(const ParamSpace& space, const Workload& workload) {
+  support::check(space.size() > 0, "Harness::run", "empty parameter space");
+  support::check(static_cast<bool>(workload), "Harness::run",
+                 "workload required");
+
+  const std::size_t variants = space.size();
+  ResultSet results(variants);
+  support::Rng rng(plan_.seed);
+
+  // The measurement schedule: every (variant, repetition) pair once.
+  struct Cell {
+    std::size_t variant;
+    std::uint32_t rep;
+  };
+  std::vector<Cell> schedule;
+  schedule.reserve(variants * plan_.repetitions);
+  for (std::uint32_t rep = 0; rep < plan_.repetitions; ++rep)
+    for (std::size_t v = 0; v < variants; ++v) schedule.push_back({v, rep});
+  if (plan_.randomize_order) rng.shuffle(schedule);
+
+  // Per-repetition machines (fresh placement per rep) or one shared.
+  std::vector<std::optional<sim::Machine>> machines(
+      plan_.fresh_machine_per_rep ? plan_.repetitions : 1);
+
+  std::size_t order = 0;
+  for (const Cell& cell : schedule) {
+    const std::size_t slot = plan_.fresh_machine_per_rep ? cell.rep : 0;
+    if (!machines[slot]) {
+      std::uint64_t mix = plan_.seed + slot;
+      machines[slot].emplace(factory_(support::splitmix64(mix)));
+    }
+    const Point point = space.at(cell.variant);
+    double value = workload(point, *machines[slot]);
+    if (scheduler_ != nullptr) value *= scheduler_->next_slowdown();
+    results.add(cell.variant, value, order++);
+  }
+  return results;
+}
+
+}  // namespace mb::core

@@ -1,0 +1,62 @@
+// Randomized benchmarking harness.
+//
+// Section V-A.1's lesson: on these platforms, "benchmarks and auto-tuning
+// methods need to be thoroughly randomized to avoid experimental bias" —
+// physical page placement is drawn per run and sticks, so measuring
+// variants in a fixed order on one machine state confounds variant effects
+// with placement effects. The harness therefore:
+//
+//  * interleaves (variant, repetition) measurements in a shuffled order,
+//  * optionally rebuilds the machine per repetition (fresh page placement,
+//    a fresh "run" in the paper's sense),
+//  * applies an OS scheduler disturbance model to every measurement.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/param_space.h"
+#include "core/resultset.h"
+#include "os/scheduler.h"
+#include "sim/machine.h"
+#include "support/rng.h"
+
+namespace mb::core {
+
+/// A tunable workload: runs one variant on a machine, returns the metric
+/// in *time-like* units (lower is better; bandwidths are inverted by the
+/// caller or compared with Direction::kMaximize on 1/t).
+using Workload =
+    std::function<double(const Point&, sim::Machine&)>;
+
+/// Builds a fresh machine for a "new run" (new boot / new page placement).
+using MachineFactory = std::function<sim::Machine(std::uint64_t seed)>;
+
+struct MeasurementPlan {
+  std::uint32_t repetitions = 42;  ///< the paper's Fig. 5 uses 42
+  bool randomize_order = true;
+  /// Rebuild the machine each repetition: each rep sees a fresh physical
+  /// page placement (between-run variability). When false, all reps share
+  /// one machine (within-run stability, the paper's malloc/free reuse).
+  bool fresh_machine_per_rep = true;
+  std::uint64_t seed = 1;
+};
+
+class Harness {
+ public:
+  /// `scheduler` may be null (no disturbance).
+  Harness(MachineFactory factory, std::unique_ptr<os::SchedulerModel> scheduler,
+          MeasurementPlan plan);
+
+  /// Measures every point of `space` according to the plan.
+  ResultSet run(const ParamSpace& space, const Workload& workload);
+
+  const MeasurementPlan& plan() const { return plan_; }
+
+ private:
+  MachineFactory factory_;
+  std::unique_ptr<os::SchedulerModel> scheduler_;
+  MeasurementPlan plan_;
+};
+
+}  // namespace mb::core

@@ -1,0 +1,95 @@
+#include "core/param_space.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace mb::core {
+
+Point::Point(std::vector<std::string> names,
+             std::vector<std::int64_t> values)
+    : names_(std::move(names)), values_(std::move(values)) {
+  support::check(names_.size() == values_.size(), "Point",
+                 "names and values must align");
+}
+
+std::int64_t Point::get(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return values_[i];
+  support::fail("Point::get", "unknown dimension name");
+}
+
+std::string Point::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (i) out << ' ';
+    out << names_[i] << '=' << values_[i];
+  }
+  return out.str();
+}
+
+ParamSpace& ParamSpace::add(std::string name,
+                            std::vector<std::int64_t> values) {
+  support::check(!values.empty(), "ParamSpace::add",
+                 "dimension needs at least one value");
+  for (const auto& d : dims_)
+    support::check(d.name != name, "ParamSpace::add",
+                   "duplicate dimension name");
+  dims_.push_back({std::move(name), std::move(values)});
+  return *this;
+}
+
+ParamSpace& ParamSpace::add_range(std::string name, std::int64_t lo,
+                                  std::int64_t hi, std::int64_t step) {
+  support::check(step > 0, "ParamSpace::add_range", "step must be positive");
+  support::check(lo <= hi, "ParamSpace::add_range", "lo must be <= hi");
+  std::vector<std::int64_t> values;
+  for (std::int64_t v = lo; v <= hi; v += step) values.push_back(v);
+  return add(std::move(name), std::move(values));
+}
+
+std::size_t ParamSpace::size() const {
+  if (dims_.empty()) return 0;
+  std::size_t n = 1;
+  for (const auto& d : dims_) n *= d.values.size();
+  return n;
+}
+
+Point ParamSpace::at(std::size_t index) const {
+  support::check(index < size(), "ParamSpace::at", "index out of range");
+  const auto c = coords(index);
+  std::vector<std::string> names;
+  std::vector<std::int64_t> values;
+  names.reserve(dims_.size());
+  values.reserve(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    names.push_back(dims_[d].name);
+    values.push_back(dims_[d].values[c[d]]);
+  }
+  return Point(std::move(names), std::move(values));
+}
+
+std::size_t ParamSpace::index_of(
+    const std::vector<std::size_t>& value_indices) const {
+  support::check(value_indices.size() == dims_.size(),
+                 "ParamSpace::index_of", "wrong coordinate count");
+  std::size_t index = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    support::check(value_indices[d] < dims_[d].values.size(),
+                   "ParamSpace::index_of", "coordinate out of range");
+    index = index * dims_[d].values.size() + value_indices[d];
+  }
+  return index;
+}
+
+std::vector<std::size_t> ParamSpace::coords(std::size_t index) const {
+  support::check(index < size(), "ParamSpace::coords", "index out of range");
+  std::vector<std::size_t> c(dims_.size());
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    c[d] = index % dims_[d].values.size();
+    index /= dims_[d].values.size();
+  }
+  return c;
+}
+
+}  // namespace mb::core

@@ -1,0 +1,73 @@
+// Tuning parameter spaces.
+//
+// The paper's Section V concludes that optimization on low-power platforms
+// "may have to explore more systematically parameter space, rather than
+// being guided by developers' intuition". A ParamSpace is the explicit
+// cartesian product of named dimensions (unroll degree, element width,
+// block size, ...) that the search strategies in core/search.h walk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mb::core {
+
+/// One point of a parameter space: a value per dimension.
+class Point {
+ public:
+  Point(std::vector<std::string> names, std::vector<std::int64_t> values);
+
+  std::int64_t get(std::string_view name) const;
+  std::int64_t operator[](std::size_t dim) const { return values_[dim]; }
+  std::size_t dims() const { return values_.size(); }
+  const std::vector<std::int64_t>& values() const { return values_; }
+
+  /// "unroll=4 elem_bits=64"
+  std::string to_string() const;
+
+  bool operator==(const Point& other) const {
+    return values_ == other.values_;
+  }
+
+ private:
+  std::vector<std::string> names_;  // shared ordering with the space
+  std::vector<std::int64_t> values_;
+};
+
+class ParamSpace {
+ public:
+  /// Adds a dimension with explicit values (non-empty).
+  ParamSpace& add(std::string name, std::vector<std::int64_t> values);
+
+  /// Adds an integer range [lo, hi] with a stride.
+  ParamSpace& add_range(std::string name, std::int64_t lo, std::int64_t hi,
+                        std::int64_t step = 1);
+
+  std::size_t dims() const { return dims_.size(); }
+  const std::string& name(std::size_t dim) const { return dims_[dim].name; }
+  const std::vector<std::int64_t>& values(std::size_t dim) const {
+    return dims_[dim].values;
+  }
+
+  /// Total number of points (product of dimension sizes).
+  std::size_t size() const;
+
+  /// The i-th point in row-major order (last dimension fastest).
+  Point at(std::size_t index) const;
+
+  /// Index of the point with the given per-dimension value indices.
+  std::size_t index_of(const std::vector<std::size_t>& value_indices) const;
+
+  /// Per-dimension value indices of the i-th point (inverse of index_of).
+  std::vector<std::size_t> coords(std::size_t index) const;
+
+ private:
+  struct Dim {
+    std::string name;
+    std::vector<std::int64_t> values;
+  };
+  std::vector<Dim> dims_;
+};
+
+}  // namespace mb::core

@@ -1,0 +1,76 @@
+#include "core/resultset.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace mb::core {
+
+ResultSet::ResultSet(std::size_t variants) : samples_(variants) {
+  support::check(variants > 0, "ResultSet", "need at least one variant");
+}
+
+void ResultSet::add(std::size_t v, double value, std::size_t order) {
+  support::check(v < samples_.size(), "ResultSet::add",
+                 "variant out of range");
+  samples_[v].values.push_back(value);
+  samples_[v].orders.push_back(order);
+  ++total_;
+}
+
+std::vector<double> ResultSet::samples(std::size_t v) const {
+  support::check(v < samples_.size(), "ResultSet::samples",
+                 "variant out of range");
+  return samples_[v].values;
+}
+
+const std::vector<std::size_t>& ResultSet::orders(std::size_t v) const {
+  support::check(v < samples_.size(), "ResultSet::orders",
+                 "variant out of range");
+  return samples_[v].orders;
+}
+
+stats::Summary ResultSet::summary(std::size_t v) const {
+  return stats::summarize(samples(v));
+}
+
+stats::ModeSplit ResultSet::modes(std::size_t v) const {
+  return stats::split_modes(samples(v));
+}
+
+bool ResultSet::degraded_mode_is_temporal(std::size_t v) const {
+  const auto split = modes(v);
+  if (!split.bimodal) return false;
+  // For time-like metrics the degraded mode is the *high* cluster; map
+  // sample indices back to global measurement order and test clustering.
+  const auto& ords = orders(v);
+  std::vector<std::size_t> degraded;
+  for (const std::size_t i : split.high_indices) degraded.push_back(ords[i]);
+  std::sort(degraded.begin(), degraded.end());
+  return stats::is_temporally_clustered(degraded, total_);
+}
+
+std::size_t ResultSet::best(Direction dir) const {
+  std::size_t best_v = 0;
+  double best_val = 0.0;
+  bool first = true;
+  for (std::size_t v = 0; v < samples_.size(); ++v) {
+    if (samples_[v].values.empty()) continue;
+    const double m = mean(v);
+    const bool better = first || (dir == Direction::kMinimize ? m < best_val
+                                                              : m > best_val);
+    if (better) {
+      best_v = v;
+      best_val = m;
+      first = false;
+    }
+  }
+  support::check(!first, "ResultSet::best", "no samples recorded");
+  return best_v;
+}
+
+double ResultSet::mean(std::size_t v) const {
+  return stats::mean(samples(v));
+}
+
+}  // namespace mb::core

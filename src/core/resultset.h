@@ -1,0 +1,57 @@
+// Benchmark result sets with the statistics the paper's methodology needs:
+// per-variant sample series (in measurement order, so temporal clustering
+// is detectable), summaries, and execution-mode analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/modes.h"
+
+namespace mb::core {
+
+/// Which way "better" points for a metric.
+enum class Direction { kMinimize, kMaximize };
+
+class ResultSet {
+ public:
+  explicit ResultSet(std::size_t variants);
+
+  /// Records one measurement of variant `v`. `order` is the global
+  /// measurement sequence number (for temporal analyses).
+  void add(std::size_t v, double value, std::size_t order);
+
+  std::size_t variants() const { return samples_.size(); }
+  std::size_t total_samples() const { return total_; }
+
+  /// Samples of a variant in the order they were measured.
+  std::vector<double> samples(std::size_t v) const;
+  /// Global order numbers aligned with samples(v).
+  const std::vector<std::size_t>& orders(std::size_t v) const;
+
+  stats::Summary summary(std::size_t v) const;
+
+  /// Mode analysis (paper Fig. 5): detects bimodal variants.
+  stats::ModeSplit modes(std::size_t v) const;
+
+  /// True when the variant's low-performance mode samples occurred
+  /// consecutively in global measurement order (Fig. 5b).
+  bool degraded_mode_is_temporal(std::size_t v) const;
+
+  /// Index of the best variant by mean, in the given direction.
+  std::size_t best(Direction dir) const;
+
+  /// Mean of a variant (shorthand).
+  double mean(std::size_t v) const;
+
+ private:
+  struct Series {
+    std::vector<double> values;
+    std::vector<std::size_t> orders;
+  };
+  std::vector<Series> samples_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mb::core

@@ -1,0 +1,151 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.h"
+
+namespace mb::core {
+namespace {
+
+bool better(double candidate, double incumbent, Direction dir) {
+  return dir == Direction::kMinimize ? candidate < incumbent
+                                     : candidate > incumbent;
+}
+
+}  // namespace
+
+SearchOutcome exhaustive_search(const ParamSpace& space,
+                                const Evaluator& eval, Direction dir) {
+  support::check(space.size() > 0, "exhaustive_search", "empty space");
+  SearchOutcome out;
+  bool first = true;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const double v = eval(space.at(i));
+    out.visited.emplace_back(i, v);
+    ++out.evaluations;
+    if (first || better(v, out.best_value, dir)) {
+      out.best_index = i;
+      out.best_value = v;
+      first = false;
+    }
+  }
+  return out;
+}
+
+SearchOutcome random_search(const ParamSpace& space, const Evaluator& eval,
+                            Direction dir, std::size_t budget,
+                            support::Rng rng) {
+  support::check(space.size() > 0, "random_search", "empty space");
+  support::check(budget >= 1, "random_search", "budget must be >= 1");
+  // Sample without replacement via a truncated permutation.
+  auto perm = rng.permutation(space.size());
+  const std::size_t n = std::min(budget, space.size());
+
+  SearchOutcome out;
+  bool first = true;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = perm[k];
+    const double v = eval(space.at(i));
+    out.visited.emplace_back(i, v);
+    ++out.evaluations;
+    if (first || better(v, out.best_value, dir)) {
+      out.best_index = i;
+      out.best_value = v;
+      first = false;
+    }
+  }
+  return out;
+}
+
+SearchOutcome hill_climb(const ParamSpace& space, const Evaluator& eval,
+                         Direction dir,
+                         std::optional<std::vector<std::size_t>> start,
+                         std::size_t budget) {
+  support::check(space.size() > 0, "hill_climb", "empty space");
+  std::vector<std::size_t> cur =
+      start.value_or(std::vector<std::size_t>(space.dims(), 0));
+  support::check(cur.size() == space.dims(), "hill_climb",
+                 "start coordinate dimension mismatch");
+
+  SearchOutcome out;
+  std::set<std::size_t> seen;
+  auto visit = [&](const std::vector<std::size_t>& coords) {
+    const std::size_t idx = space.index_of(coords);
+    const double v = eval(space.at(idx));
+    if (seen.insert(idx).second) {
+      out.visited.emplace_back(idx, v);
+      ++out.evaluations;
+    }
+    return v;
+  };
+
+  double cur_val = visit(cur);
+  out.best_index = space.index_of(cur);
+  out.best_value = cur_val;
+
+  bool improved = true;
+  while (improved && out.evaluations < budget) {
+    improved = false;
+    std::vector<std::size_t> best_nb;
+    double best_nb_val = cur_val;
+    for (std::size_t d = 0; d < space.dims(); ++d) {
+      for (int delta : {-1, +1}) {
+        if (delta < 0 && cur[d] == 0) continue;
+        if (delta > 0 && cur[d] + 1 >= space.values(d).size()) continue;
+        auto nb = cur;
+        nb[d] += static_cast<std::size_t>(delta);
+        const double v = visit(nb);
+        if (better(v, best_nb_val, dir)) {
+          best_nb_val = v;
+          best_nb = nb;
+        }
+        if (out.evaluations >= budget) break;
+      }
+      if (out.evaluations >= budget) break;
+    }
+    if (!best_nb.empty()) {
+      cur = best_nb;
+      cur_val = best_nb_val;
+      out.best_index = space.index_of(cur);
+      out.best_value = cur_val;
+      improved = true;
+    }
+  }
+  return out;
+}
+
+SweetSpot sweet_spot(const ParamSpace& space,
+                     const std::vector<double>& metric, Direction dir,
+                     double tolerance) {
+  support::check(space.dims() == 1, "sweet_spot",
+                 "sweet spots are defined over 1-D spaces");
+  support::check(metric.size() == space.size(), "sweet_spot",
+                 "one metric value per point required");
+  support::check(tolerance >= 0.0, "sweet_spot",
+                 "tolerance must be non-negative");
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < metric.size(); ++i)
+    if (better(metric[i], metric[best], dir)) best = i;
+
+  const double bound = dir == Direction::kMinimize
+                           ? metric[best] * (1.0 + tolerance)
+                           : metric[best] * (1.0 - tolerance);
+  auto inside = [&](std::size_t i) {
+    return dir == Direction::kMinimize ? metric[i] <= bound
+                                       : metric[i] >= bound;
+  };
+
+  std::size_t lo = best, hi = best;
+  while (lo > 0 && inside(lo - 1)) --lo;
+  while (hi + 1 < metric.size() && inside(hi + 1)) ++hi;
+
+  SweetSpot s;
+  s.lo = space.values(0)[lo];
+  s.hi = space.values(0)[hi];
+  s.width = hi - lo + 1;
+  return s;
+}
+
+}  // namespace mb::core

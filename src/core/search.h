@@ -1,0 +1,62 @@
+// Search strategies over parameter spaces.
+//
+// The paper contrasts developer intuition with systematic exploration and
+// notes that the profitable region ("sweet spot") can be much narrower on
+// embedded cores than on server cores — so a strategy that works on
+// Nehalem (greedy hill climbing from an intuition-provided start) can miss
+// the optimum on Tegra2 entirely. Exhaustive, random-budget and
+// hill-climbing strategies are provided, plus sweet-spot extraction.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/param_space.h"
+#include "core/resultset.h"
+#include "support/rng.h"
+
+namespace mb::core {
+
+/// Evaluates one point; smaller is better under kMinimize.
+using Evaluator = std::function<double(const Point&)>;
+
+struct SearchOutcome {
+  std::size_t best_index = 0;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+  /// Value per visited point index (unvisited absent).
+  std::vector<std::pair<std::size_t, double>> visited;
+};
+
+/// Evaluates every point.
+SearchOutcome exhaustive_search(const ParamSpace& space,
+                                const Evaluator& eval, Direction dir);
+
+/// Evaluates `budget` distinct random points (all of them when budget
+/// exceeds the space).
+SearchOutcome random_search(const ParamSpace& space, const Evaluator& eval,
+                            Direction dir, std::size_t budget,
+                            support::Rng rng);
+
+/// Coordinate hill climbing from `start` (defaults to the first point):
+/// repeatedly moves to the best improving +-1 neighbour along any
+/// dimension until no neighbour improves or the budget is exhausted.
+SearchOutcome hill_climb(const ParamSpace& space, const Evaluator& eval,
+                         Direction dir,
+                         std::optional<std::vector<std::size_t>> start = {},
+                         std::size_t budget = 10'000);
+
+/// Sweet-spot extraction over a 1-D space (paper Fig. 7): the contiguous
+/// range of values around the optimum whose metric stays within
+/// `tolerance` (fractional) of the best.
+struct SweetSpot {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::size_t width = 0;  ///< number of values in the range
+};
+
+SweetSpot sweet_spot(const ParamSpace& space,
+                     const std::vector<double>& metric, Direction dir,
+                     double tolerance = 0.10);
+
+}  // namespace mb::core

@@ -1,0 +1,71 @@
+#include "core/tuner.h"
+
+#include "stats/descriptive.h"
+#include "support/check.h"
+
+namespace mb::core {
+
+std::string_view strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kExhaustive: return "exhaustive";
+    case Strategy::kRandom: return "random";
+    case Strategy::kHillClimb: return "hill-climb";
+  }
+  return "?";
+}
+
+Tuner::Tuner(Harness harness, Direction direction)
+    : harness_(std::move(harness)), direction_(direction) {}
+
+TuneReport Tuner::tune(const ParamSpace& space, const Workload& workload,
+                       Strategy strategy, std::size_t budget) {
+  support::check(space.size() > 0, "Tuner::tune", "empty space");
+
+  if (strategy == Strategy::kExhaustive) {
+    // One interleaved measurement campaign over the full space.
+    const ResultSet results = harness_.run(space, workload);
+    TuneReport report{space.at(0), 0.0, 0, {}};
+    const std::size_t best = results.best(direction_);
+    report.best = space.at(best);
+    report.best_value = results.mean(best);
+    report.evaluations = results.total_samples();
+    for (std::size_t v = 0; v < space.size(); ++v)
+      report.evaluated.emplace_back(v, results.mean(v));
+    return report;
+  }
+
+  // Sequential strategies: measure points on demand (each point still gets
+  // the harness's repetitions, via a single-point space).
+  Evaluator eval = [&](const Point& point) {
+    ParamSpace single;
+    for (std::size_t d = 0; d < point.dims(); ++d)
+      single.add(std::string(space.name(d)), {point[d]});
+    const ResultSet r = harness_.run(single, workload);
+    return r.mean(0);
+  };
+
+  SearchOutcome outcome;
+  if (strategy == Strategy::kRandom) {
+    outcome = random_search(space, eval, direction_, budget,
+                            support::Rng(harness_.plan().seed));
+  } else {
+    outcome = hill_climb(space, eval, direction_, {}, budget);
+  }
+
+  TuneReport report{space.at(outcome.best_index), 0.0, 0, {}};
+  report.best_value = outcome.best_value;
+  report.evaluations = outcome.evaluations * harness_.plan().repetitions;
+  report.evaluated = outcome.visited;
+  return report;
+}
+
+std::map<std::string, TuneReport> Tuner::tune_per_instance(
+    const std::map<std::string, ParamSpace>& instances,
+    const Workload& workload, Strategy strategy) {
+  std::map<std::string, TuneReport> out;
+  for (const auto& [key, space] : instances)
+    out.emplace(key, tune(space, workload, strategy));
+  return out;
+}
+
+}  // namespace mb::core

@@ -1,0 +1,59 @@
+// Auto-tuning facade (paper Sec. V-B and VI-B).
+//
+// Ties the harness, the statistics and the search strategies together, and
+// implements the paper's two tuning levels:
+//
+//  * static tuning   — "platform specific tuning of the application",
+//    performed once per platform at build time: tune() over a space.
+//  * instance tuning — "instance specific tuning": optimal parameters
+//    depend on the problem size, so tune_per_instance() produces a best
+//    variant per instance key (e.g. per array size).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/harness.h"
+#include "core/search.h"
+
+namespace mb::core {
+
+struct TuneReport {
+  Point best;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+  /// Mean metric per fully-evaluated point (index -> value); complete for
+  /// exhaustive searches, partial otherwise.
+  std::vector<std::pair<std::size_t, double>> evaluated;
+};
+
+enum class Strategy { kExhaustive, kRandom, kHillClimb };
+
+std::string_view strategy_name(Strategy s);
+
+class Tuner {
+ public:
+  /// `harness` performs the (randomized, repeated) measurements; the mean
+  /// over repetitions is the point metric handed to the search strategy.
+  /// Note: kExhaustive measures everything through the harness in one
+  /// interleaved campaign (best methodology); the sequential strategies
+  /// measure point by point as they walk.
+  Tuner(Harness harness, Direction direction);
+
+  TuneReport tune(const ParamSpace& space, const Workload& workload,
+                  Strategy strategy = Strategy::kExhaustive,
+                  std::size_t budget = 10'000);
+
+  /// Instance-specific tuning: one report per (key, space) pair — e.g.
+  /// problem sizes mapping to possibly different best variants.
+  std::map<std::string, TuneReport> tune_per_instance(
+      const std::map<std::string, ParamSpace>& instances,
+      const Workload& workload, Strategy strategy = Strategy::kExhaustive);
+
+ private:
+  Harness harness_;
+  Direction direction_;
+};
+
+}  // namespace mb::core

@@ -1,0 +1,54 @@
+#include "counters/counters.h"
+
+#include <sstream>
+
+namespace mb::counters {
+
+std::string_view counter_name(Counter c) {
+  switch (c) {
+    case Counter::kTotCyc: return "PAPI_TOT_CYC";
+    case Counter::kTotIns: return "PAPI_TOT_INS";
+    case Counter::kL1Dca: return "PAPI_L1_DCA";
+    case Counter::kL1Dcm: return "PAPI_L1_DCM";
+    case Counter::kL2Dca: return "PAPI_L2_DCA";
+    case Counter::kL2Dcm: return "PAPI_L2_DCM";
+    case Counter::kL3Dcm: return "PAPI_L3_DCM";
+    case Counter::kTlbDm: return "PAPI_TLB_DM";
+    case Counter::kBrMsp: return "PAPI_BR_MSP";
+    case Counter::kFpOps: return "PAPI_FP_OPS";
+    case Counter::kMemWcy: return "PAPI_MEM_WCY";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+CounterSet& CounterSet::operator+=(const CounterSet& other) {
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    values_[i] += other.values_[i];
+  return *this;
+}
+
+double CounterSet::ipc() const {
+  const auto cyc = get(Counter::kTotCyc);
+  return cyc == 0 ? 0.0
+                  : static_cast<double>(get(Counter::kTotIns)) /
+                        static_cast<double>(cyc);
+}
+
+double CounterSet::l1_miss_ratio() const {
+  const auto acc = get(Counter::kL1Dca);
+  return acc == 0 ? 0.0
+                  : static_cast<double>(get(Counter::kL1Dcm)) /
+                        static_cast<double>(acc);
+}
+
+std::string CounterSet::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    out << counter_name(static_cast<Counter>(i)) << "  " << values_[i]
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mb::counters

@@ -1,0 +1,70 @@
+// PAPI-style performance counter interface.
+//
+// The paper's auto-tuning experiments (Sec. V-B, Fig. 7) benchmark kernel
+// variants with PAPI hardware counters — total cycles and cache accesses in
+// particular. Our simulated machines populate the same counter set, so the
+// tuning framework and the benches read results through an interface
+// shaped like the real tool.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mb::counters {
+
+/// Counter identifiers; names mirror PAPI preset events.
+enum class Counter : std::uint8_t {
+  kTotCyc,   ///< PAPI_TOT_CYC — total cycles
+  kTotIns,   ///< PAPI_TOT_INS — instructions completed
+  kL1Dca,    ///< PAPI_L1_DCA — L1 data cache accesses
+  kL1Dcm,    ///< PAPI_L1_DCM — L1 data cache misses
+  kL2Dca,    ///< PAPI_L2_DCA — L2 accesses
+  kL2Dcm,    ///< PAPI_L2_DCM — L2 misses
+  kL3Dcm,    ///< PAPI_L3_DCM — L3 misses (0 on 2-level hierarchies)
+  kTlbDm,    ///< PAPI_TLB_DM — data TLB misses
+  kBrMsp,    ///< PAPI_BR_MSP — mispredicted branches
+  kFpOps,    ///< PAPI_FP_OPS — floating point operations
+  kMemWcy,   ///< PAPI_MEM_WCY — cycles stalled on memory
+  kCount
+};
+
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount);
+
+/// PAPI-style event name ("PAPI_TOT_CYC", ...).
+std::string_view counter_name(Counter c);
+
+/// A fixed set of counter values; value semantics, addable.
+class CounterSet {
+ public:
+  std::uint64_t get(Counter c) const {
+    return values_[static_cast<std::size_t>(c)];
+  }
+  void set(Counter c, std::uint64_t v) {
+    values_[static_cast<std::size_t>(c)] = v;
+  }
+  void add(Counter c, std::uint64_t v) {
+    values_[static_cast<std::size_t>(c)] += v;
+  }
+
+  CounterSet& operator+=(const CounterSet& other);
+  friend CounterSet operator+(CounterSet a, const CounterSet& b) {
+    a += b;
+    return a;
+  }
+
+  /// Instructions per cycle; 0 when no cycles recorded.
+  double ipc() const;
+  /// L1 miss ratio; 0 when no accesses recorded.
+  double l1_miss_ratio() const;
+
+  /// Multi-line "PAPI_XXX  value" dump.
+  std::string to_string() const;
+
+ private:
+  std::array<std::uint64_t, kCounterCount> values_{};
+};
+
+}  // namespace mb::counters

@@ -1,0 +1,90 @@
+#include "gpu/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mb::gpu {
+
+GpuDevice mali_t604() {
+  GpuDevice d;
+  d.name = "Mali-T604";
+  d.peak_sp_gflops = 68.0;
+  d.mem_bandwidth_bytes_per_s = 6.0e9;  // shares the LP-DDR3 with the CPU
+  d.launch_overhead_s = 12e-6;
+  d.local_memory_bytes = 32 * 1024;
+  d.efficiency = 0.55;
+  d.general_purpose = true;
+  d.power_w = 2.0;
+  return d;
+}
+
+GpuDevice tegra3_gpu() {
+  GpuDevice d;
+  d.name = "Tegra3 GPU (GPGPU-capable companion)";
+  d.peak_sp_gflops = 24.0;
+  d.mem_bandwidth_bytes_per_s = 2.0e9;
+  d.launch_overhead_s = 25e-6;  // discrete-ish path over the SoC fabric
+  d.local_memory_bytes = 16 * 1024;
+  d.efficiency = 0.5;
+  d.general_purpose = true;
+  d.power_w = 2.5;
+  return d;
+}
+
+GpuDevice mali_400() {
+  GpuDevice d;
+  d.name = "Mali-400";
+  d.peak_sp_gflops = 10.0;
+  d.mem_bandwidth_bytes_per_s = 0.8e9;
+  d.general_purpose = false;  // no compute API on the Snowball's GPU
+  d.power_w = 1.0;
+  return d;
+}
+
+void GpuKernel::validate() const {
+  support::check(flops_per_element > 0.0, "GpuKernel",
+                 "flops_per_element must be positive");
+  support::check(bytes_per_element >= 0.0, "GpuKernel",
+                 "bytes_per_element must be non-negative");
+  support::check(elements > 0, "GpuKernel", "elements must be positive");
+  support::check(buffer_elements > 0, "GpuKernel",
+                 "buffer_elements must be positive");
+  support::check(element_bytes > 0, "GpuKernel",
+                 "element_bytes must be positive");
+}
+
+double gpu_kernel_seconds(const GpuDevice& device, const GpuKernel& kernel) {
+  kernel.validate();
+  support::check(device.general_purpose, "gpu_kernel_seconds",
+                 "device has no general-purpose compute capability");
+
+  const std::uint64_t launches =
+      (kernel.elements + kernel.buffer_elements - 1) /
+      kernel.buffer_elements;
+  const std::uint64_t chunk_bytes =
+      kernel.buffer_elements * kernel.element_bytes;
+  const bool spills = chunk_bytes > device.local_memory_bytes;
+  const double throughput = device.peak_sp_gflops * 1e9 *
+                            device.efficiency *
+                            (spills ? device.spill_throughput_factor : 1.0);
+
+  double total = 0.0;
+  std::uint64_t remaining = kernel.elements;
+  for (std::uint64_t l = 0; l < launches; ++l) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(kernel.buffer_elements, remaining);
+    remaining -= n;
+    const double compute =
+        static_cast<double>(n) * kernel.flops_per_element / throughput;
+    const double memory = static_cast<double>(n) * kernel.bytes_per_element /
+                          device.mem_bandwidth_bytes_per_s;
+    total += device.launch_overhead_s + std::max(compute, memory);
+  }
+  return total;
+}
+
+double gpu_kernel_joules(const GpuDevice& device, const GpuKernel& kernel) {
+  return device.power_w * gpu_kernel_seconds(device, kernel);
+}
+
+}  // namespace mb::gpu

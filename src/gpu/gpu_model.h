@@ -1,0 +1,62 @@
+// Embedded-GPU execution model (paper Sec. VI, "Perspectives").
+//
+// The paper's forward-looking sections argue that (a) hybrid
+// CPU+embedded-GPU nodes are the path to 5-7 GFLOPS/W (Tegra3 extension of
+// Tibidabo, Mali-T604 in the final prototype) and (b) GPU kernels need
+// *instance-specific* tuning — "optimal buffer size used in GPU kernel
+// could be tuned to match the length of the input problem", enabled by
+// OpenCL's runtime compilation.
+//
+// The model is deliberately throughput-level: a kernel launch costs a
+// fixed software overhead plus max(compute, memory) time; work is
+// processed in buffer-sized chunks, so small buffers are launch-overhead
+// bound, oversized buffers spill out of local memory — the convex curve
+// whose optimum moves with the problem size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/check.h"
+
+namespace mb::gpu {
+
+struct GpuDevice {
+  std::string name;
+  double peak_sp_gflops = 0.0;
+  double mem_bandwidth_bytes_per_s = 0.0;
+  double launch_overhead_s = 15e-6;   ///< driver + queue submission
+  std::uint64_t local_memory_bytes = 32 * 1024;
+  /// Throughput multiplier once a chunk exceeds local memory (spills to
+  /// global memory): < 1.
+  double spill_throughput_factor = 0.25;
+  /// Achievable fraction of peak on well-shaped kernels.
+  double efficiency = 0.6;
+  bool general_purpose = true;
+  double power_w = 1.5;  ///< incremental board power while busy
+};
+
+/// The GPUs the paper names.
+GpuDevice mali_t604();        ///< final Mont-Blanc prototype (Exynos 5)
+GpuDevice tegra3_gpu();       ///< Tibidabo extension, SP-capable
+GpuDevice mali_400();         ///< Snowball; NOT general purpose
+
+/// One data-parallel kernel pass over `elements` items.
+struct GpuKernel {
+  double flops_per_element = 0.0;
+  double bytes_per_element = 0.0;   ///< global traffic per element
+  std::uint64_t elements = 0;       ///< instance size N
+  std::uint64_t buffer_elements = 0;///< tunable chunk size B
+  std::uint64_t element_bytes = 4;  ///< SP data
+
+  void validate() const;
+};
+
+/// Execution time of the kernel on the device, processing the instance in
+/// ceil(N / B) buffer-sized launches.
+double gpu_kernel_seconds(const GpuDevice& device, const GpuKernel& kernel);
+
+/// Energy consumed by the GPU for that time.
+double gpu_kernel_joules(const GpuDevice& device, const GpuKernel& kernel);
+
+}  // namespace mb::gpu

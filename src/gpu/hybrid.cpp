@@ -1,0 +1,50 @@
+#include "gpu/hybrid.h"
+
+#include "arch/platforms.h"
+#include "support/check.h"
+
+namespace mb::gpu {
+
+HybridNode tegra3_node() {
+  // A Tegra3-class CPU: model as the Tegra2 node descriptor with four
+  // cores at a slightly higher clock and NEON present (Tegra3 restored
+  // the media extension).
+  arch::Platform cpu = arch::tegra2_node();
+  cpu.name = "Tegra3 (4x Cortex-A9 @1.3 GHz + NEON)";
+  cpu.cores = 4;
+  cpu.core.freq_hz = 1.3e9;
+  cpu.core.vector_bits = 64;
+  cpu.core.recip_throughput[static_cast<std::size_t>(
+      arch::OpClass::kVecSp)] = 2.0;
+  cpu.power_w = 4.0;
+  return {cpu, tegra3_gpu()};
+}
+
+HybridNode exynos5_node() { return {arch::exynos5(), mali_t604()}; }
+
+HybridThroughput hybrid_sp_throughput(const HybridNode& node,
+                                      double cpu_efficiency) {
+  support::check(cpu_efficiency > 0.0 && cpu_efficiency <= 1.0,
+                 "hybrid_sp_throughput",
+                 "cpu_efficiency must be in (0, 1]");
+  support::check(node.gpu.general_purpose, "hybrid_sp_throughput",
+                 "node's GPU cannot run compute kernels");
+
+  HybridThroughput t;
+  t.cpu_gflops = node.cpu.peak_sp_gflops() * cpu_efficiency;
+  t.gpu_gflops = node.gpu.peak_sp_gflops * node.gpu.efficiency;
+  t.total_gflops = t.cpu_gflops + t.gpu_gflops;
+  t.gpu_fraction = t.gpu_gflops / t.total_gflops;
+  t.gflops_per_watt = t.total_gflops / node.power_w();
+  return t;
+}
+
+double hybrid_seconds(const HybridNode& node, double flops,
+                      double cpu_efficiency) {
+  support::check(flops >= 0.0, "hybrid_seconds",
+                 "flops must be non-negative");
+  const HybridThroughput t = hybrid_sp_throughput(node, cpu_efficiency);
+  return flops / (t.total_gflops * 1e9);
+}
+
+}  // namespace mb::gpu

@@ -1,0 +1,49 @@
+// Hybrid CPU+GPU node model (paper Sec. VI-A).
+//
+// "Low-power versions of these accelerators exist and have a very
+// attractive performance per Watt ratio" — the paper's case for extending
+// Tibidabo with Tegra3+GPU and for the Exynos5/Mali-T604 prototype, where
+// "even an efficiency of 5 or 7 GFLOPS per Watt would be an
+// accomplishment". This module computes the achievable single-precision
+// throughput and GFLOPS/W of a CPU+GPU node with work split between the
+// two, for codes (like SPECFEM3D) that can use single precision.
+#pragma once
+
+#include "arch/platform.h"
+#include "gpu/gpu_model.h"
+
+namespace mb::gpu {
+
+struct HybridNode {
+  arch::Platform cpu;
+  GpuDevice gpu;
+
+  /// Total board power while both engines are busy.
+  double power_w() const { return cpu.power_w + gpu.power_w; }
+};
+
+/// The Tibidabo extension: Tegra3-class node with a companion GPU.
+HybridNode tegra3_node();
+/// The final Mont-Blanc prototype node: Exynos5 + Mali-T604.
+HybridNode exynos5_node();
+
+struct HybridThroughput {
+  double cpu_gflops = 0.0;
+  double gpu_gflops = 0.0;
+  double total_gflops = 0.0;
+  double gpu_fraction = 0.0;       ///< share of work placed on the GPU
+  double gflops_per_watt = 0.0;
+};
+
+/// Optimal static split of a single-precision, compute-bound workload
+/// between CPU and GPU (both run concurrently; the split equalizes finish
+/// times). `cpu_efficiency` discounts the CPU's achievable fraction of SP
+/// peak on the given kernel.
+HybridThroughput hybrid_sp_throughput(const HybridNode& node,
+                                      double cpu_efficiency = 0.5);
+
+/// Time to run `flops` single-precision flops with the optimal split.
+double hybrid_seconds(const HybridNode& node, double flops,
+                      double cpu_efficiency = 0.5);
+
+}  // namespace mb::gpu

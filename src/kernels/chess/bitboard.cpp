@@ -1,0 +1,109 @@
+#include "kernels/chess/bitboard.h"
+
+#include <array>
+
+namespace mb::kernels::chess {
+namespace {
+
+std::uint64_t g_bitboard_ops = 0;
+
+std::array<Bitboard, 64> build_knight_table() {
+  std::array<Bitboard, 64> t{};
+  constexpr int kOffsets[8][2] = {{1, 2},  {2, 1},  {2, -1}, {1, -2},
+                                  {-1, -2}, {-2, -1}, {-2, 1}, {-1, 2}};
+  for (Square s = 0; s < 64; ++s) {
+    Bitboard a = 0;
+    for (const auto& o : kOffsets) {
+      const int f = file_of(s) + o[0];
+      const int r = rank_of(s) + o[1];
+      if (f >= 0 && f < 8 && r >= 0 && r < 8) a |= bb(make_square(f, r));
+    }
+    t[static_cast<std::size_t>(s)] = a;
+  }
+  return t;
+}
+
+std::array<Bitboard, 64> build_king_table() {
+  std::array<Bitboard, 64> t{};
+  for (Square s = 0; s < 64; ++s) {
+    Bitboard a = 0;
+    for (int df = -1; df <= 1; ++df) {
+      for (int dr = -1; dr <= 1; ++dr) {
+        if (df == 0 && dr == 0) continue;
+        const int f = file_of(s) + df;
+        const int r = rank_of(s) + dr;
+        if (f >= 0 && f < 8 && r >= 0 && r < 8) a |= bb(make_square(f, r));
+      }
+    }
+    t[static_cast<std::size_t>(s)] = a;
+  }
+  return t;
+}
+
+std::array<std::array<Bitboard, 64>, 2> build_pawn_table() {
+  std::array<std::array<Bitboard, 64>, 2> t{};
+  for (Square s = 0; s < 64; ++s) {
+    const Bitboard b = bb(s);
+    t[kWhite][static_cast<std::size_t>(s)] =
+        east(north(b)) | west(north(b));
+    t[kBlack][static_cast<std::size_t>(s)] =
+        east(south(b)) | west(south(b));
+  }
+  return t;
+}
+
+const std::array<Bitboard, 64> kKnightTable = build_knight_table();
+const std::array<Bitboard, 64> kKingTable = build_king_table();
+const std::array<std::array<Bitboard, 64>, 2> kPawnTable = build_pawn_table();
+
+/// Scans one ray until a blocker (blocker square included).
+Bitboard ray(Square s, int df, int dr, Bitboard occupied) {
+  Bitboard a = 0;
+  int f = file_of(s) + df;
+  int r = rank_of(s) + dr;
+  while (f >= 0 && f < 8 && r >= 0 && r < 8) {
+    const Square sq = make_square(f, r);
+    a |= bb(sq);
+    ++g_bitboard_ops;
+    if (occupied & bb(sq)) break;
+    f += df;
+    r += dr;
+  }
+  return a;
+}
+
+}  // namespace
+
+Bitboard knight_attacks(Square s) {
+  ++g_bitboard_ops;
+  return kKnightTable[static_cast<std::size_t>(s)];
+}
+
+Bitboard king_attacks(Square s) {
+  ++g_bitboard_ops;
+  return kKingTable[static_cast<std::size_t>(s)];
+}
+
+Bitboard pawn_attacks(Color c, Square s) {
+  ++g_bitboard_ops;
+  return kPawnTable[c][static_cast<std::size_t>(s)];
+}
+
+Bitboard bishop_attacks(Square s, Bitboard occupied) {
+  return ray(s, 1, 1, occupied) | ray(s, 1, -1, occupied) |
+         ray(s, -1, 1, occupied) | ray(s, -1, -1, occupied);
+}
+
+Bitboard rook_attacks(Square s, Bitboard occupied) {
+  return ray(s, 1, 0, occupied) | ray(s, -1, 0, occupied) |
+         ray(s, 0, 1, occupied) | ray(s, 0, -1, occupied);
+}
+
+Bitboard queen_attacks(Square s, Bitboard occupied) {
+  return bishop_attacks(s, occupied) | rook_attacks(s, occupied);
+}
+
+std::uint64_t bitboard_ops() { return g_bitboard_ops; }
+void reset_bitboard_ops() { g_bitboard_ops = 0; }
+
+}  // namespace mb::kernels::chess

@@ -1,0 +1,72 @@
+// Bitboard primitives for the chess benchmark.
+//
+// A 64-bit-word-per-piece-set representation, exactly the data layout that
+// makes chess engines heavy users of 64-bit integer operations — the reason
+// the StockFish row of Table II shows a large (20x) performance ratio on
+// the 32-bit ARM: every mask, shift and popcount decomposes there.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace mb::kernels::chess {
+
+using Bitboard = std::uint64_t;
+
+enum Color : std::uint8_t { kWhite = 0, kBlack = 1 };
+enum PieceType : std::uint8_t {
+  kPawn = 0, kKnight, kBishop, kRook, kQueen, kKing, kPieceTypes
+};
+
+/// Squares are 0..63, a1 = 0, h1 = 7, a8 = 56.
+using Square = std::int8_t;
+inline constexpr Square kNoSquare = -1;
+
+constexpr Bitboard bb(Square s) { return Bitboard{1} << s; }
+constexpr int file_of(Square s) { return s & 7; }
+constexpr int rank_of(Square s) { return s >> 3; }
+constexpr Square make_square(int file, int rank) {
+  return static_cast<Square>(rank * 8 + file);
+}
+
+inline int popcount(Bitboard b) { return std::popcount(b); }
+inline Square lsb(Bitboard b) {
+  return static_cast<Square>(std::countr_zero(b));
+}
+/// Pops and returns the lowest set square.
+inline Square pop_lsb(Bitboard& b) {
+  const Square s = lsb(b);
+  b &= b - 1;
+  return s;
+}
+
+inline constexpr Bitboard kFileA = 0x0101010101010101ULL;
+inline constexpr Bitboard kFileH = kFileA << 7;
+inline constexpr Bitboard kRank1 = 0xFFULL;
+inline constexpr Bitboard kRank2 = kRank1 << 8;
+inline constexpr Bitboard kRank7 = kRank1 << 48;
+inline constexpr Bitboard kRank8 = kRank1 << 56;
+
+/// Single-step shifts with edge masking.
+constexpr Bitboard north(Bitboard b) { return b << 8; }
+constexpr Bitboard south(Bitboard b) { return b >> 8; }
+constexpr Bitboard east(Bitboard b) { return (b & ~kFileH) << 1; }
+constexpr Bitboard west(Bitboard b) { return (b & ~kFileA) >> 1; }
+
+/// Precomputed leaper attacks.
+Bitboard knight_attacks(Square s);
+Bitboard king_attacks(Square s);
+Bitboard pawn_attacks(Color c, Square s);
+
+/// Sliding attacks by ray scan given the full occupancy.
+Bitboard bishop_attacks(Square s, Bitboard occupied);
+Bitboard rook_attacks(Square s, Bitboard occupied);
+Bitboard queen_attacks(Square s, Bitboard occupied);
+
+/// Dynamic 64-bit-operation counter for the benchmark's instruction mix:
+/// incremented by the attack generators (one unit per mask/shift cluster).
+/// Reset before a search, read after.
+std::uint64_t bitboard_ops();
+void reset_bitboard_ops();
+
+}  // namespace mb::kernels::chess

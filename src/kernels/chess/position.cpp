@@ -1,0 +1,360 @@
+#include "kernels/chess/position.h"
+
+#include <cctype>
+
+#include "kernels/chess/zobrist.h"
+#include "support/check.h"
+
+namespace mb::kernels::chess {
+
+void Position::put(Color c, PieceType t, Square s) {
+  piece_bb_[c][t] |= bb(s);
+  hash_ ^= zobrist_piece(c, t, s);
+}
+
+void Position::clear(Color c, PieceType t, Square s) {
+  piece_bb_[c][t] &= ~bb(s);
+  hash_ ^= zobrist_piece(c, t, s);
+}
+
+std::uint64_t Position::compute_hash() const {
+  std::uint64_t h = 0;
+  for (int c = 0; c < 2; ++c) {
+    for (int t = 0; t < kPieceTypes; ++t) {
+      Bitboard b = piece_bb_[c][t];
+      while (b) {
+        h ^= zobrist_piece(static_cast<Color>(c),
+                           static_cast<PieceType>(t), pop_lsb(b));
+      }
+    }
+  }
+  h ^= zobrist_castling(castling_);
+  if (ep_ != kNoSquare) h ^= zobrist_ep_file(file_of(ep_));
+  if (stm_ == kBlack) h ^= zobrist_side();
+  return h;
+}
+
+std::string Move::to_string() const {
+  std::string s;
+  s += static_cast<char>('a' + file_of(from()));
+  s += static_cast<char>('1' + rank_of(from()));
+  s += static_cast<char>('a' + file_of(to()));
+  s += static_cast<char>('1' + rank_of(to()));
+  if (is_promotion()) {
+    constexpr const char* kPromo = "pnbrqk";
+    s += kPromo[promotion()];
+  }
+  return s;
+}
+
+Position Position::initial() {
+  return from_fen(
+      "rnbqkbnr/pppppppp/8/8/8/8/PPPPPPPP/RNBQKBNR w KQkq -");
+}
+
+Position Position::from_fen(const std::string& fen) {
+  Position p;
+  std::size_t i = 0;
+  int rank = 7, file = 0;
+  // Board field.
+  for (; i < fen.size() && fen[i] != ' '; ++i) {
+    const char ch = fen[i];
+    if (ch == '/') {
+      --rank;
+      file = 0;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      file += ch - '0';
+      continue;
+    }
+    const Color c = std::isupper(static_cast<unsigned char>(ch)) ? kWhite
+                                                                 : kBlack;
+    PieceType t;
+    switch (std::tolower(static_cast<unsigned char>(ch))) {
+      case 'p': t = kPawn; break;
+      case 'n': t = kKnight; break;
+      case 'b': t = kBishop; break;
+      case 'r': t = kRook; break;
+      case 'q': t = kQueen; break;
+      case 'k': t = kKing; break;
+      default:
+        support::fail("Position::from_fen", "bad piece character");
+    }
+    support::check(rank >= 0 && file < 8, "Position::from_fen",
+                   "board field overflows");
+    p.put(c, t, make_square(file, rank));
+    ++file;
+  }
+  support::check(i < fen.size(), "Position::from_fen", "missing side field");
+  ++i;  // space
+  p.stm_ = fen[i] == 'w' ? kWhite : kBlack;
+  i += 2;
+  // Castling field.
+  for (; i < fen.size() && fen[i] != ' '; ++i) {
+    switch (fen[i]) {
+      case 'K': p.castling_ |= kWhiteKingside; break;
+      case 'Q': p.castling_ |= kWhiteQueenside; break;
+      case 'k': p.castling_ |= kBlackKingside; break;
+      case 'q': p.castling_ |= kBlackQueenside; break;
+      case '-': break;
+      default:
+        support::fail("Position::from_fen", "bad castling character");
+    }
+  }
+  if (i < fen.size()) ++i;  // space
+  // En passant field.
+  if (i < fen.size() && fen[i] != '-') {
+    support::check(i + 1 < fen.size(), "Position::from_fen",
+                   "truncated en-passant field");
+    p.ep_ = make_square(fen[i] - 'a', fen[i + 1] - '1');
+  }
+  // Pieces already entered the hash through put(); fold in the state keys.
+  p.hash_ ^= zobrist_castling(p.castling_);
+  if (p.ep_ != kNoSquare) p.hash_ ^= zobrist_ep_file(file_of(p.ep_));
+  if (p.stm_ == kBlack) p.hash_ ^= zobrist_side();
+  return p;
+}
+
+Bitboard Position::occupied(Color c) const {
+  Bitboard b = 0;
+  for (int t = 0; t < kPieceTypes; ++t) b |= piece_bb_[c][t];
+  return b;
+}
+
+Bitboard Position::occupied() const {
+  return occupied(kWhite) | occupied(kBlack);
+}
+
+PieceType Position::piece_on(Color c, Square s) const {
+  const Bitboard mask = bb(s);
+  for (int t = 0; t < kPieceTypes; ++t)
+    if (piece_bb_[c][t] & mask) return static_cast<PieceType>(t);
+  return kPieceTypes;
+}
+
+bool Position::attacked(Square s, Color by) const {
+  const Bitboard occ = occupied();
+  if (pawn_attacks(by == kWhite ? kBlack : kWhite, s) &
+      piece_bb_[by][kPawn])
+    return true;
+  if (knight_attacks(s) & piece_bb_[by][kKnight]) return true;
+  if (king_attacks(s) & piece_bb_[by][kKing]) return true;
+  const Bitboard diag = bishop_attacks(s, occ);
+  if (diag & (piece_bb_[by][kBishop] | piece_bb_[by][kQueen])) return true;
+  const Bitboard ortho = rook_attacks(s, occ);
+  if (ortho & (piece_bb_[by][kRook] | piece_bb_[by][kQueen])) return true;
+  return false;
+}
+
+bool Position::in_check() const {
+  const Bitboard king = piece_bb_[stm_][kKing];
+  support::check(king != 0, "Position::in_check", "side to move has no king");
+  return attacked(lsb(king), stm_ == kWhite ? kBlack : kWhite);
+}
+
+void Position::make(Move m) {
+  const Color us = stm_;
+  const Color them = us == kWhite ? kBlack : kWhite;
+  const Square from = m.from();
+  const Square to = m.to();
+  const PieceType pt = piece_on(us, from);
+  support::check(pt != kPieceTypes, "Position::make", "no piece on from");
+
+  // Retire the old state keys; piece keys update inside put()/clear().
+  hash_ ^= zobrist_castling(castling_);
+  if (ep_ != kNoSquare) hash_ ^= zobrist_ep_file(file_of(ep_));
+
+  // Remove any captured piece.
+  if (m.flag() == Move::kEnPassant) {
+    const Square cap = us == kWhite ? static_cast<Square>(to - 8)
+                                    : static_cast<Square>(to + 8);
+    clear(them, kPawn, cap);
+  } else if (m.is_capture()) {
+    const PieceType victim = piece_on(them, to);
+    support::check(victim != kPieceTypes, "Position::make",
+                   "capture without a victim");
+    clear(them, victim, to);
+  }
+
+  // Move the piece (with promotion).
+  clear(us, pt, from);
+  put(us, m.is_promotion() ? m.promotion() : pt, to);
+
+  // Castling: move the rook too.
+  if (m.flag() == Move::kCastle) {
+    Square rook_from, rook_to;
+    if (to > from) {  // kingside
+      rook_from = make_square(7, rank_of(from));
+      rook_to = make_square(5, rank_of(from));
+    } else {
+      rook_from = make_square(0, rank_of(from));
+      rook_to = make_square(3, rank_of(from));
+    }
+    clear(us, kRook, rook_from);
+    put(us, kRook, rook_to);
+  }
+
+  // Castling-right updates: king or rook moved, or rook captured.
+  auto revoke = [this](Square sq) {
+    switch (sq) {
+      case 4: castling_ &= static_cast<std::uint8_t>(
+                  ~(kWhiteKingside | kWhiteQueenside));
+              break;
+      case 0: castling_ &= static_cast<std::uint8_t>(~kWhiteQueenside); break;
+      case 7: castling_ &= static_cast<std::uint8_t>(~kWhiteKingside); break;
+      case 60: castling_ &= static_cast<std::uint8_t>(
+                   ~(kBlackKingside | kBlackQueenside));
+               break;
+      case 56: castling_ &= static_cast<std::uint8_t>(~kBlackQueenside);
+               break;
+      case 63: castling_ &= static_cast<std::uint8_t>(~kBlackKingside); break;
+      default: break;
+    }
+  };
+  revoke(from);
+  revoke(to);
+
+  // En passant target.
+  ep_ = kNoSquare;
+  if (m.flag() == Move::kDoublePush)
+    ep_ = us == kWhite ? static_cast<Square>(from + 8)
+                       : static_cast<Square>(from - 8);
+
+  stm_ = them;
+
+  // Enter the new state keys.
+  hash_ ^= zobrist_castling(castling_);
+  if (ep_ != kNoSquare) hash_ ^= zobrist_ep_file(file_of(ep_));
+  hash_ ^= zobrist_side();
+}
+
+void Position::pseudo_legal_moves(std::vector<Move>& out) const {
+  const Color us = stm_;
+  const Color them = us == kWhite ? kBlack : kWhite;
+  const Bitboard own = occupied(us);
+  const Bitboard their = occupied(them);
+  const Bitboard occ = own | their;
+  const Bitboard empty = ~occ;
+
+  // ---- pawns ----
+  const Bitboard pawns = piece_bb_[us][kPawn];
+  const int fwd = us == kWhite ? 8 : -8;
+  const Bitboard promo_rank = us == kWhite ? kRank8 : kRank1;
+  const Bitboard start_rank = us == kWhite ? kRank2 : kRank7;
+
+  auto add_pawn_move = [&](Square from, Square to, Move::Flag flag) {
+    if (bb(to) & promo_rank) {
+      for (PieceType p : {kQueen, kRook, kBishop, kKnight})
+        out.emplace_back(from, to, flag, p);
+    } else {
+      out.emplace_back(from, to, flag);
+    }
+  };
+
+  for (Bitboard b = pawns; b;) {
+    const Square s = pop_lsb(b);
+    const auto push = static_cast<Square>(s + fwd);
+    if (bb(push) & empty) {
+      add_pawn_move(s, push, Move::kQuiet);
+      if (bb(s) & start_rank) {
+        const auto dbl = static_cast<Square>(s + 2 * fwd);
+        if (bb(dbl) & empty) out.emplace_back(s, dbl, Move::kDoublePush);
+      }
+    }
+    Bitboard caps = pawn_attacks(us, s) & their;
+    while (caps) add_pawn_move(s, pop_lsb(caps), Move::kCapture);
+    if (ep_ != kNoSquare && (pawn_attacks(us, s) & bb(ep_)))
+      out.emplace_back(s, ep_, Move::kEnPassant);
+  }
+
+  // ---- leapers and sliders ----
+  auto add_targets = [&](Square from, Bitboard targets) {
+    Bitboard quiet = targets & empty;
+    while (quiet) out.emplace_back(from, pop_lsb(quiet), Move::kQuiet);
+    Bitboard caps = targets & their;
+    while (caps) out.emplace_back(from, pop_lsb(caps), Move::kCapture);
+  };
+
+  for (Bitboard b = piece_bb_[us][kKnight]; b;) {
+    const Square s = pop_lsb(b);
+    add_targets(s, knight_attacks(s));
+  }
+  for (Bitboard b = piece_bb_[us][kBishop]; b;) {
+    const Square s = pop_lsb(b);
+    add_targets(s, bishop_attacks(s, occ));
+  }
+  for (Bitboard b = piece_bb_[us][kRook]; b;) {
+    const Square s = pop_lsb(b);
+    add_targets(s, rook_attacks(s, occ));
+  }
+  for (Bitboard b = piece_bb_[us][kQueen]; b;) {
+    const Square s = pop_lsb(b);
+    add_targets(s, queen_attacks(s, occ));
+  }
+
+  // ---- king ----
+  const Bitboard king = piece_bb_[us][kKing];
+  if (king) {
+    const Square ks = lsb(king);
+    add_targets(ks, king_attacks(ks));
+
+    // Castling: rights present, path empty, king path not attacked.
+    const int base_rank = us == kWhite ? 0 : 7;
+    const auto kside =
+        static_cast<std::uint8_t>(us == kWhite ? kWhiteKingside
+                                               : kBlackKingside);
+    const auto qside =
+        static_cast<std::uint8_t>(us == kWhite ? kWhiteQueenside
+                                               : kBlackQueenside);
+    if ((castling_ & kside) && ks == make_square(4, base_rank)) {
+      const Square f1 = make_square(5, base_rank);
+      const Square g1 = make_square(6, base_rank);
+      if (!(occ & (bb(f1) | bb(g1))) && !attacked(ks, them) &&
+          !attacked(f1, them) && !attacked(g1, them)) {
+        out.emplace_back(ks, g1, Move::kCastle);
+      }
+    }
+    if ((castling_ & qside) && ks == make_square(4, base_rank)) {
+      const Square d1 = make_square(3, base_rank);
+      const Square c1 = make_square(2, base_rank);
+      const Square b1 = make_square(1, base_rank);
+      if (!(occ & (bb(d1) | bb(c1) | bb(b1))) && !attacked(ks, them) &&
+          !attacked(d1, them) && !attacked(c1, them)) {
+        out.emplace_back(ks, c1, Move::kCastle);
+      }
+    }
+  }
+}
+
+std::vector<Move> Position::legal_moves() const {
+  std::vector<Move> pseudo;
+  pseudo.reserve(64);
+  pseudo_legal_moves(pseudo);
+  std::vector<Move> legal;
+  legal.reserve(pseudo.size());
+  const Color us = stm_;
+  const Color them = us == kWhite ? kBlack : kWhite;
+  for (const Move m : pseudo) {
+    Position next = *this;
+    next.make(m);
+    const Bitboard king = next.piece_bb_[us][kKing];
+    if (king != 0 && !next.attacked(lsb(king), them)) legal.push_back(m);
+  }
+  return legal;
+}
+
+std::uint64_t perft(const Position& pos, int depth) {
+  if (depth == 0) return 1;
+  const auto moves = pos.legal_moves();
+  if (depth == 1) return moves.size();
+  std::uint64_t nodes = 0;
+  for (const Move m : moves) {
+    Position next = pos;
+    next.make(m);
+    nodes += perft(next, depth - 1);
+  }
+  return nodes;
+}
+
+}  // namespace mb::kernels::chess

@@ -1,0 +1,123 @@
+// Chess position, move encoding and legal move generation (copy-make).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/chess/bitboard.h"
+
+namespace mb::kernels::chess {
+
+/// Packed move: from(6) | to(6) | promo(3) | flags(3).
+class Move {
+ public:
+  enum Flag : std::uint8_t {
+    kQuiet = 0,
+    kCapture = 1,
+    kDoublePush = 2,
+    kEnPassant = 3,  // also a capture
+    kCastle = 4,
+  };
+
+  Move() = default;
+  Move(Square from, Square to, Flag flag = kQuiet,
+       PieceType promo = kPieceTypes)
+      : bits_(static_cast<std::uint32_t>(from) |
+              (static_cast<std::uint32_t>(to) << 6) |
+              (static_cast<std::uint32_t>(promo) << 12) |
+              (static_cast<std::uint32_t>(flag) << 15)) {}
+
+  Square from() const { return static_cast<Square>(bits_ & 63); }
+  Square to() const { return static_cast<Square>((bits_ >> 6) & 63); }
+  PieceType promotion() const {
+    return static_cast<PieceType>((bits_ >> 12) & 7);
+  }
+  bool is_promotion() const { return promotion() != kPieceTypes; }
+  Flag flag() const { return static_cast<Flag>((bits_ >> 15) & 7); }
+  bool is_capture() const {
+    return flag() == kCapture || flag() == kEnPassant;
+  }
+
+  bool operator==(const Move&) const = default;
+
+  /// Long algebraic ("e2e4", "e7e8q").
+  std::string to_string() const;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// Castling right bits.
+enum CastleRight : std::uint8_t {
+  kWhiteKingside = 1,
+  kWhiteQueenside = 2,
+  kBlackKingside = 4,
+  kBlackQueenside = 8,
+};
+
+class Position {
+ public:
+  /// The standard initial position.
+  static Position initial();
+
+  /// Parses a FEN string (board, side, castling, en passant fields).
+  static Position from_fen(const std::string& fen);
+
+  Color side_to_move() const { return stm_; }
+  Bitboard pieces(Color c, PieceType t) const { return piece_bb_[c][t]; }
+  Bitboard occupied(Color c) const;
+  Bitboard occupied() const;
+  std::uint8_t castling() const { return castling_; }
+  Square en_passant() const { return ep_; }
+
+  /// The piece type on a square for `c`, or kPieceTypes if none.
+  PieceType piece_on(Color c, Square s) const;
+
+  /// True when `s` is attacked by any piece of color `by`.
+  bool attacked(Square s, Color by) const;
+
+  /// True when the side to move's king is in check.
+  bool in_check() const;
+
+  /// Applies a move (must be legal or at least pseudo-legal); the position
+  /// is modified in place — callers copy first (copy-make).
+  void make(Move m);
+
+  /// All strictly legal moves.
+  std::vector<Move> legal_moves() const;
+
+  /// Pseudo-legal moves (may leave the king in check).
+  void pseudo_legal_moves(std::vector<Move>& out) const;
+
+  /// Counting material for the evaluator: piece counts per type.
+  int count(Color c, PieceType t) const {
+    return popcount(piece_bb_[c][t]);
+  }
+
+  /// Zobrist signature, maintained incrementally by make().
+  std::uint64_t hash() const { return hash_; }
+
+  /// Recomputes the signature from the board state (test oracle for the
+  /// incremental updates).
+  std::uint64_t compute_hash() const;
+
+ private:
+  Position() = default;
+
+  void put(Color c, PieceType t, Square s);
+  void clear(Color c, PieceType t, Square s);
+
+  std::array<std::array<Bitboard, kPieceTypes>, 2> piece_bb_{};
+  Color stm_ = kWhite;
+  std::uint8_t castling_ = 0;
+  Square ep_ = kNoSquare;
+  std::uint64_t hash_ = 0;
+};
+
+/// perft: the number of leaf nodes of the legal move tree at `depth`.
+/// The canonical move-generator correctness oracle.
+std::uint64_t perft(const Position& pos, int depth);
+
+}  // namespace mb::kernels::chess

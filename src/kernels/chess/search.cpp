@@ -1,0 +1,123 @@
+#include "kernels/chess/search.h"
+
+#include <algorithm>
+#include <array>
+
+#include "support/check.h"
+
+namespace mb::kernels::chess {
+namespace {
+
+constexpr std::array<int, kPieceTypes> kPieceValue = {100, 320, 330,
+                                                      500, 900, 0};
+
+/// A compact piece-square bonus: centralization for minor pieces and
+/// pawns, back-rank shelter for kings. Indexed from white's perspective;
+/// mirrored for black.
+int square_bonus(PieceType t, Square s, Color c) {
+  const int rank = c == kWhite ? rank_of(s) : 7 - rank_of(s);
+  const int file = file_of(s);
+  const int center_dist =
+      std::max(std::abs(2 * file - 7), std::abs(2 * rank - 7));
+  switch (t) {
+    case kPawn:
+      return 2 * rank;  // push bonus
+    case kKnight:
+    case kBishop:
+      return 12 - 3 * center_dist / 2;
+    case kRook:
+      return rank == 6 ? 10 : 0;  // seventh rank
+    case kQueen:
+      return 4 - center_dist;
+    case kKing:
+      return rank == 0 ? 8 : -4 * rank;  // stay sheltered
+    default:
+      return 0;
+  }
+}
+
+int evaluate_side(const Position& pos, Color c) {
+  int score = 0;
+  for (int t = 0; t < kPieceTypes; ++t) {
+    Bitboard b = pos.pieces(c, static_cast<PieceType>(t));
+    score += kPieceValue[static_cast<std::size_t>(t)] * popcount(b);
+    while (b) {
+      const Square s = pop_lsb(b);
+      score += square_bonus(static_cast<PieceType>(t), s, c);
+    }
+  }
+  return score;
+}
+
+/// MVV-LVA ordering key: most valuable victim, least valuable aggressor.
+int order_key(const Position& pos, Move m) {
+  if (!m.is_capture()) return 0;
+  const Color them =
+      pos.side_to_move() == kWhite ? kBlack : kWhite;
+  const PieceType victim = m.flag() == Move::kEnPassant
+                               ? kPawn
+                               : pos.piece_on(them, m.to());
+  const PieceType aggressor = pos.piece_on(pos.side_to_move(), m.from());
+  const int v =
+      victim == kPieceTypes ? 0 : kPieceValue[static_cast<std::size_t>(victim)];
+  const int a = aggressor == kPieceTypes
+                    ? 0
+                    : kPieceValue[static_cast<std::size_t>(aggressor)];
+  return 10'000 + 10 * v - a;
+}
+
+int alphabeta(const Position& pos, int depth, int alpha, int beta,
+              SearchStats& stats, Move* best_out) {
+  ++stats.nodes;
+  if (depth == 0) {
+    ++stats.evals;
+    return evaluate(pos);
+  }
+  auto moves = pos.legal_moves();
+  if (moves.empty()) {
+    // Checkmate (prefer shorter mates) or stalemate.
+    return pos.in_check() ? -30'000 - depth : 0;
+  }
+  std::stable_sort(moves.begin(), moves.end(), [&pos](Move a, Move b) {
+    return order_key(pos, a) > order_key(pos, b);
+  });
+
+  Move best = moves.front();
+  for (const Move m : moves) {
+    Position next = pos;
+    next.make(m);
+    ++stats.moves_made;
+    const int score =
+        -alphabeta(next, depth - 1, -beta, -alpha, stats, nullptr);
+    if (score >= beta) {
+      ++stats.cutoffs;
+      if (best_out != nullptr) *best_out = m;
+      return beta;
+    }
+    if (score > alpha) {
+      alpha = score;
+      best = m;
+    }
+  }
+  if (best_out != nullptr) *best_out = best;
+  return alpha;
+}
+
+}  // namespace
+
+int evaluate(const Position& pos) {
+  const int white = evaluate_side(pos, kWhite);
+  const int black = evaluate_side(pos, kBlack);
+  const int score = white - black;
+  return pos.side_to_move() == kWhite ? score : -score;
+}
+
+SearchResult search(const Position& pos, int depth) {
+  support::check(depth >= 1, "chess::search", "depth must be >= 1");
+  SearchResult result;
+  result.score = alphabeta(pos, depth, -1'000'000, 1'000'000, result.stats,
+                           &result.best);
+  return result;
+}
+
+}  // namespace mb::kernels::chess

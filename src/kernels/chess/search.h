@@ -1,0 +1,31 @@
+// Alpha-beta search with a material + piece-square evaluation — the
+// StockFish-proxy workload of Table II. Node throughput (nodes/second) is
+// the benchmark metric, exactly like the real engine's `bench` command.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/chess/position.h"
+
+namespace mb::kernels::chess {
+
+/// Centipawn evaluation from the side to move's perspective.
+int evaluate(const Position& pos);
+
+struct SearchStats {
+  std::uint64_t nodes = 0;       ///< interior + leaf nodes visited
+  std::uint64_t evals = 0;       ///< leaf evaluations
+  std::uint64_t moves_made = 0;  ///< copy-make operations
+  std::uint64_t cutoffs = 0;     ///< beta cutoffs (ordering quality)
+};
+
+struct SearchResult {
+  Move best;
+  int score = 0;  ///< centipawns, side-to-move perspective
+  SearchStats stats;
+};
+
+/// Fixed-depth alpha-beta with MVV-LVA capture ordering. depth >= 1.
+SearchResult search(const Position& pos, int depth);
+
+}  // namespace mb::kernels::chess

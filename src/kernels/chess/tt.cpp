@@ -1,0 +1,141 @@
+#include "kernels/chess/tt.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "kernels/chess/search.h"
+#include "support/check.h"
+
+namespace mb::kernels::chess {
+
+TranspositionTable::TranspositionTable(std::uint64_t bytes) {
+  support::check(bytes >= sizeof(TtEntry), "TranspositionTable",
+                 "table must hold at least one entry");
+  const std::uint64_t want = bytes / sizeof(TtEntry);
+  const std::uint64_t entries = std::bit_floor(std::max<std::uint64_t>(
+      1, want));
+  table_.assign(entries, TtEntry{});
+  mask_ = entries - 1;
+}
+
+const TtEntry* TranspositionTable::probe(std::uint64_t key) {
+  ++probes_;
+  const TtEntry& e = table_[slot_of(key)];
+  if (e.valid() && e.key == key) {
+    ++hits_;
+    return &e;
+  }
+  return nullptr;
+}
+
+void TranspositionTable::store(std::uint64_t key, std::int32_t score,
+                               int depth, Bound bound, Move best) {
+  support::check(depth >= 0, "TranspositionTable::store",
+                 "depth must be non-negative");
+  TtEntry& e = table_[slot_of(key)];
+  if (e.valid() && e.key != key && e.depth > depth) return;  // keep deeper
+  e.key = key;
+  e.score = score;
+  e.depth = static_cast<std::int16_t>(depth);
+  e.bound = bound;
+  e.best = best;
+  ++stores_;
+}
+
+void TranspositionTable::clear() {
+  std::fill(table_.begin(), table_.end(), TtEntry{});
+  probes_ = hits_ = stores_ = 0;
+}
+
+namespace {
+
+int alphabeta_tt(const Position& pos, int depth, int alpha, int beta,
+                 TranspositionTable& tt, SearchStats& stats,
+                 Move* best_out) {
+  ++stats.nodes;
+  if (depth == 0) {
+    ++stats.evals;
+    return evaluate(pos);
+  }
+
+  const std::uint64_t key = pos.hash();
+  Move tt_move;
+  bool have_tt_move = false;
+  if (const TtEntry* e = tt.probe(key)) {
+    if (e->depth >= depth) {
+      // Only exact same-depth-or-deeper scores may cut at interior nodes;
+      // bound entries adjust the window.
+      if (e->bound == Bound::kExact) {
+        if (best_out != nullptr) *best_out = e->best;
+        return e->score;
+      }
+      if (e->bound == Bound::kLower) alpha = std::max(alpha, e->score);
+      if (e->bound == Bound::kUpper) beta = std::min(beta, e->score);
+      if (alpha >= beta) {
+        if (best_out != nullptr) *best_out = e->best;
+        ++stats.cutoffs;
+        return e->score;
+      }
+    }
+    tt_move = e->best;
+    have_tt_move = true;
+  }
+
+  auto moves = pos.legal_moves();
+  if (moves.empty()) return pos.in_check() ? -30'000 - depth : 0;
+
+  // Order: TT move first, then captures by MVV-LVA (reuse the evaluator's
+  // value table implicitly via capture flag + victim type).
+  auto key_of = [&pos, &tt_move, have_tt_move](Move m) {
+    if (have_tt_move && m == tt_move) return 1'000'000;
+    if (!m.is_capture()) return 0;
+    const Color them = pos.side_to_move() == kWhite ? kBlack : kWhite;
+    const PieceType victim = m.flag() == Move::kEnPassant
+                                 ? kPawn
+                                 : pos.piece_on(them, m.to());
+    return 10'000 + 10 * static_cast<int>(victim);
+  };
+  std::stable_sort(moves.begin(), moves.end(), [&key_of](Move a, Move b) {
+    return key_of(a) > key_of(b);
+  });
+
+  const int alpha_orig = alpha;
+  Move best = moves.front();
+  int best_score = -1'000'000;
+  for (const Move m : moves) {
+    Position next = pos;
+    next.make(m);
+    ++stats.moves_made;
+    const int score =
+        -alphabeta_tt(next, depth - 1, -beta, -alpha, tt, stats, nullptr);
+    if (score > best_score) {
+      best_score = score;
+      best = m;
+    }
+    alpha = std::max(alpha, score);
+    if (alpha >= beta) {
+      ++stats.cutoffs;
+      break;
+    }
+  }
+
+  const Bound bound = best_score <= alpha_orig ? Bound::kUpper
+                      : best_score >= beta     ? Bound::kLower
+                                               : Bound::kExact;
+  tt.store(key, best_score, depth, bound, best);
+  if (best_out != nullptr) *best_out = best;
+  return best_score;
+}
+
+}  // namespace
+
+SearchResult search_tt(const Position& pos, int depth,
+                       TranspositionTable& tt) {
+  support::check(depth >= 1, "chess::search_tt", "depth must be >= 1");
+  SearchResult result;
+  result.score = alphabeta_tt(pos, depth, -1'000'000, 1'000'000, tt,
+                              result.stats, &result.best);
+  return result;
+}
+
+}  // namespace mb::kernels::chess

@@ -1,0 +1,67 @@
+// Transposition table: the cache-unfriendly heart of every real chess
+// engine. A fixed-size array of hash-indexed entries with depth-preferred
+// replacement; probes are effectively random accesses over the whole
+// table, so a realistically sized TT turns the search partially
+// memory-bound — behaviour the chessbench kernel traces through the
+// simulated machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/chess/position.h"
+#include "kernels/chess/search.h"
+
+namespace mb::kernels::chess {
+
+enum class Bound : std::uint8_t { kExact, kLower, kUpper };
+
+struct TtEntry {
+  std::uint64_t key = 0;
+  std::int32_t score = 0;
+  std::int16_t depth = -1;
+  Bound bound = Bound::kExact;
+  Move best;
+  bool valid() const { return depth >= 0; }
+};
+
+class TranspositionTable {
+ public:
+  /// Size is rounded up to the next power of two of entries.
+  explicit TranspositionTable(std::uint64_t bytes);
+
+  /// Entry for `key`, or nullptr on miss.
+  const TtEntry* probe(std::uint64_t key);
+
+  /// Stores with depth-preferred replacement: an entry only yields to a
+  /// same-key update or a deeper search result (plus always-replace for
+  /// empty slots).
+  void store(std::uint64_t key, std::int32_t score, int depth, Bound bound,
+             Move best);
+
+  std::uint64_t entries() const { return mask_ + 1; }
+  std::uint64_t bytes() const { return entries() * sizeof(TtEntry); }
+  std::uint64_t probes() const { return probes_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t stores() const { return stores_; }
+
+  /// Index of a key (exposed so the benchmark can trace the access).
+  std::uint64_t slot_of(std::uint64_t key) const { return key & mask_; }
+
+  void clear();
+
+ private:
+  std::vector<TtEntry> table_;
+  std::uint64_t mask_;
+  std::uint64_t probes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+/// Alpha-beta with the transposition table (same move ordering as
+/// search(); TT best-move tried first). Returns the identical root score
+/// as the plain search at equal depth.
+SearchResult search_tt(const Position& pos, int depth,
+                       TranspositionTable& tt);
+
+}  // namespace mb::kernels::chess

@@ -1,0 +1,57 @@
+#include "kernels/chess/zobrist.h"
+
+#include <array>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace mb::kernels::chess {
+namespace {
+
+struct Tables {
+  std::array<std::array<std::array<std::uint64_t, 64>, kPieceTypes>, 2>
+      piece;
+  std::uint64_t side;
+  std::array<std::uint64_t, 16> castling;
+  std::array<std::uint64_t, 8> ep_file;
+};
+
+Tables build() {
+  Tables t;
+  std::uint64_t state = 0xC0FFEE5EEDULL;
+  for (auto& per_color : t.piece)
+    for (auto& per_piece : per_color)
+      for (auto& key : per_piece) key = support::splitmix64(state);
+  t.side = support::splitmix64(state);
+  for (auto& key : t.castling) key = support::splitmix64(state);
+  for (auto& key : t.ep_file) key = support::splitmix64(state);
+  return t;
+}
+
+const Tables& tables() {
+  static const Tables kTables = build();
+  return kTables;
+}
+
+}  // namespace
+
+std::uint64_t zobrist_piece(Color c, PieceType t, Square s) {
+  support::check(t < kPieceTypes && s >= 0 && s < 64, "zobrist_piece",
+                 "piece/square out of range");
+  return tables().piece[c][t][static_cast<std::size_t>(s)];
+}
+
+std::uint64_t zobrist_side() { return tables().side; }
+
+std::uint64_t zobrist_castling(std::uint8_t rights) {
+  support::check(rights < 16, "zobrist_castling", "rights out of range");
+  return tables().castling[rights];
+}
+
+std::uint64_t zobrist_ep_file(int file) {
+  support::check(file >= 0 && file < 8, "zobrist_ep_file",
+                 "file out of range");
+  return tables().ep_file[static_cast<std::size_t>(file)];
+}
+
+}  // namespace mb::kernels::chess

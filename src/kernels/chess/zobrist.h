@@ -1,0 +1,21 @@
+// Zobrist hashing: the incremental position signature used by the
+// transposition table. Keys are generated from a fixed-seed SplitMix64
+// stream, so hashes are stable across runs and platforms.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/chess/bitboard.h"
+
+namespace mb::kernels::chess {
+
+/// Key of a (color, piece, square) occupancy bit.
+std::uint64_t zobrist_piece(Color c, PieceType t, Square s);
+/// Key toggled when black is to move.
+std::uint64_t zobrist_side();
+/// Key of a castling-rights nibble (0..15).
+std::uint64_t zobrist_castling(std::uint8_t rights);
+/// Key of an en-passant file (0..7).
+std::uint64_t zobrist_ep_file(int file);
+
+}  // namespace mb::kernels::chess

@@ -1,0 +1,129 @@
+#include "kernels/chessbench.h"
+
+#include <optional>
+
+#include "kernels/chess/tt.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace mb::kernels {
+
+using arch::OpClass;
+using chess::Position;
+
+void ChessbenchParams::validate() const {
+  support::check(depth >= 1 && depth <= 6, "ChessbenchParams",
+                 "depth must be in [1, 6]");
+  support::check(positions >= 1 && positions <= chessbench_suite().size(),
+                 "ChessbenchParams", "positions out of range");
+  support::check(tt_bytes <= (64ull << 20), "ChessbenchParams",
+                 "transposition table capped at 64 MB");
+}
+
+const std::vector<std::string>& chessbench_suite() {
+  static const std::vector<std::string> kSuite = {
+      // Startpos and a few classic benchmark middlegames.
+      "rnbqkbnr/pppppppp/8/8/8/8/PPPPPPPP/RNBQKBNR w KQkq -",
+      // "Kiwipete" (Peterson): heavy tactics, castling both sides.
+      "r3k2r/p1ppqpb1/bn2pnp1/3PN3/1p2P3/2N2Q1p/PPPBBPPP/R3K2R w KQkq -",
+      // Endgame with passed pawns.
+      "8/2p5/3p4/KP5r/1R3p1k/8/4P1P1/8 w - -",
+      // Symmetric four-knights middlegame.
+      "r2q1rk1/2p1bppp/p2p1n2/1p2P3/4P1b1/1nP1BN2/PP3PPP/RN1QR1K1 w - -",
+      // Open Sicilian structure.
+      "r1bqkb1r/pp1n1ppp/2p1pn2/3p4/2PP4/2N1PN2/PP3PPP/R1BQKB1R w KQ -",
+  };
+  return kSuite;
+}
+
+ChessbenchStats chessbench_native(const ChessbenchParams& params) {
+  params.validate();
+  chess::reset_bitboard_ops();
+  ChessbenchStats total;
+  std::optional<chess::TranspositionTable> tt;
+  if (params.tt_bytes > 0) tt.emplace(params.tt_bytes);
+  for (std::uint32_t i = 0; i < params.positions; ++i) {
+    const Position pos = Position::from_fen(chessbench_suite()[i]);
+    const chess::SearchResult r =
+        tt ? chess::search_tt(pos, params.depth, *tt)
+           : chess::search(pos, params.depth);
+    total.nodes += r.stats.nodes;
+    total.evals += r.stats.evals;
+    total.moves_made += r.stats.moves_made;
+  }
+  total.bitboard_ops = chess::bitboard_ops();
+  if (tt) {
+    total.tt_probes = tt->probes();
+    total.tt_hits = tt->hits();
+  }
+  return total;
+}
+
+ChessbenchResult chessbench_run(sim::Machine& machine,
+                                const ChessbenchParams& params) {
+  params.validate();
+  const ChessbenchStats stats = chessbench_native(params);
+
+  // The engine's working set (search stack of positions, attack tables,
+  // move lists) is a few KB and stays cache resident; model it as a hot
+  // region re-touched per copy-make.
+  const os::Region buf = machine.mmap(16 * 1024);
+  const os::Region tt_buf =
+      machine.mmap(params.tt_bytes > 0 ? params.tt_bytes : 4096);
+  machine.flush_caches();
+  machine.begin_measurement();
+  // Each copy-make writes a ~128-byte Position and reads its parent; touch
+  // a rotating window so the trace has realistic L1 behaviour without
+  // costing one touch per word. (Sampled: one 64-byte touch per 8 makes.)
+  const std::uint64_t samples = stats.moves_made / 8;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const std::uint64_t slot = (i % 64) * 128;
+    machine.touch(buf.vaddr + slot, 64, /*write=*/i % 2 == 0);
+  }
+  // TT probes are uniform random reads over the whole table — the cache-
+  // hostile access pattern of real engines. Replay them (sampled 1-in-4;
+  // the slot sequence is pseudo-random exactly like real probe targets).
+  support::Rng tt_rng(0xD1CE);
+  const std::uint64_t tt_entries =
+      params.tt_bytes > 0 ? params.tt_bytes / 24 : 0;
+  const std::uint64_t tt_samples = stats.tt_probes / 4;
+  for (std::uint64_t i = 0; i < tt_samples; ++i) {
+    const std::uint64_t slot = tt_rng.uniform_u64(0, tt_entries - 1);
+    machine.touch(tt_buf.vaddr + slot * 24, 16, /*write=*/i % 3 == 0);
+  }
+
+  // ---- instruction mix, from measured engine counters ----
+  sim::InstrMix mix;
+  // Attack generation: each counted cluster is a few masks/shifts on
+  // 64-bit words.
+  mix.add(OpClass::kInt64, stats.bitboard_ops * 3);
+  // Copy-make: a Position is 13 x 64-bit words copied, plus bookkeeping.
+  mix.add(OpClass::kLoad64, stats.moves_made * 13);
+  mix.add(OpClass::kStore64, stats.moves_made * 13);
+  mix.add(OpClass::kInt64, stats.moves_made * 6);
+  // Evaluation: popcounts and per-square bonus loops.
+  mix.add(OpClass::kInt64, stats.evals * 24);
+  mix.add(OpClass::kIntAlu, stats.evals * 40);
+  // Search control flow: move ordering, loop overhead, alpha-beta tests.
+  mix.add(OpClass::kIntAlu, stats.nodes * 30);
+  mix.add(OpClass::kBranch, stats.nodes * 14);
+  // Chess branches are data dependent and mispredict heavily.
+  mix.mispredicted_branches = stats.nodes * 14 / 12;
+  // TT probes: hash mixing + a dependent load whose latency cannot be
+  // hidden (the next step of the search waits on the entry).
+  mix.add(OpClass::kInt64, stats.tt_probes * 4);
+  mix.add(OpClass::kLoad64, stats.tt_probes * 2);
+  mix.serialized_loads += stats.tt_probes;
+
+  const sim::SimResult sim = machine.end_measurement(mix);
+  machine.munmap(buf);
+  machine.munmap(tt_buf);
+
+  ChessbenchResult result;
+  result.sim = sim;
+  result.stats = stats;
+  result.nodes_per_s = static_cast<double>(stats.nodes) / sim.seconds;
+  return result;
+}
+
+}  // namespace mb::kernels

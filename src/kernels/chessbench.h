@@ -1,0 +1,57 @@
+// StockFish-proxy benchmark (paper Table II).
+//
+// Runs fixed-depth alpha-beta searches over a suite of positions with the
+// real bitboard engine in kernels/chess/ and reports nodes per second. The
+// instruction mix is built from quantities the engine actually counts
+// (nodes, copy-make operations, attack generations, evaluations), with the
+// 64-bit bitboard work classified as kInt64 — which the cost model
+// decomposes on the 32-bit Cortex-A9, reproducing the 20x gap of Table II.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/chess/search.h"
+#include "sim/machine.h"
+
+namespace mb::kernels {
+
+struct ChessbenchParams {
+  int depth = 4;  ///< search depth per position
+  /// Number of suite positions to search (<= the built-in suite size).
+  std::uint32_t positions = 4;
+  /// Transposition table size; 0 disables the TT (plain alpha-beta).
+  /// A realistically sized table exceeds the embedded caches, so probes
+  /// become the search's memory-bound component.
+  std::uint64_t tt_bytes = 0;
+  void validate() const;
+};
+
+/// The built-in opening/middlegame suite (FEN strings).
+const std::vector<std::string>& chessbench_suite();
+
+struct ChessbenchStats {
+  std::uint64_t nodes = 0;
+  std::uint64_t evals = 0;
+  std::uint64_t moves_made = 0;
+  std::uint64_t bitboard_ops = 0;
+  std::uint64_t tt_probes = 0;  ///< 0 when the TT is disabled
+  std::uint64_t tt_hits = 0;
+};
+
+/// Native run: searches the suite, returns the aggregated engine counters
+/// (deterministic, used for validation and as the simulated run's ground
+/// truth).
+ChessbenchStats chessbench_native(const ChessbenchParams& params);
+
+struct ChessbenchResult {
+  sim::SimResult sim;
+  ChessbenchStats stats;
+  double nodes_per_s = 0.0;  ///< the Table II "ops/s" metric
+};
+
+/// Simulated run on a machine.
+ChessbenchResult chessbench_run(sim::Machine& machine,
+                                const ChessbenchParams& params);
+
+}  // namespace mb::kernels

@@ -1,0 +1,280 @@
+#include "kernels/coremark.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace mb::kernels {
+
+using arch::OpClass;
+
+void CoremarkParams::validate() const {
+  support::check(list_nodes >= 2, "CoremarkParams", "need >= 2 list nodes");
+  support::check(matrix_n >= 2 && matrix_n <= 64, "CoremarkParams",
+                 "matrix_n must be in [2, 64]");
+  support::check(state_input_len >= 1, "CoremarkParams",
+                 "state input must not be empty");
+  support::check(iterations >= 1, "CoremarkParams",
+                 "iterations must be >= 1");
+}
+
+std::uint16_t crc16_update(std::uint16_t crc, std::uint8_t byte) {
+  crc ^= static_cast<std::uint16_t>(byte) << 8;
+  for (int bit = 0; bit < 8; ++bit) {
+    if (crc & 0x8000)
+      crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+    else
+      crc = static_cast<std::uint16_t>(crc << 1);
+  }
+  return crc;
+}
+
+std::uint16_t crc16(const std::uint8_t* data, std::size_t len,
+                    std::uint16_t seed) {
+  std::uint16_t crc = seed;
+  for (std::size_t i = 0; i < len; ++i) crc = crc16_update(crc, data[i]);
+  return crc;
+}
+
+namespace {
+
+/// Dynamic-operation accounting shared by native and simulated runs. The
+/// counters are incremented inside the real workload loops, so the mix is
+/// measured, not estimated.
+struct OpCount {
+  std::uint64_t int_alu = 0;
+  std::uint64_t int_mul = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t taken_surprises = 0;  ///< data-dependent branch flips
+};
+
+struct ListNode {
+  std::int32_t value;
+  std::int32_t next;  ///< index, -1 terminates (index-linked list)
+};
+
+/// Trace hook: touches node/array slots when a machine is attached.
+struct Touch {
+  sim::Machine* machine = nullptr;
+  std::uint64_t base = 0;
+  void at(std::uint64_t offset, std::uint32_t bytes, bool write) const {
+    if (machine != nullptr) machine->touch(base + offset, bytes, write);
+  }
+};
+
+/// Workload 1: linked list — find the k-th largest by repeated scans, then
+/// reverse the list. Exercises dependent loads and branchy compares.
+std::uint16_t run_list(std::vector<ListNode>& nodes, std::int32_t& head,
+                       std::uint16_t crc, OpCount& ops, const Touch& t) {
+  // Full scan: running max and sum.
+  std::int32_t maxv = std::numeric_limits<std::int32_t>::min();
+  std::int64_t sum = 0;
+  for (std::int32_t i = head; i != -1;) {
+    const ListNode& nd = nodes[static_cast<std::size_t>(i)];
+    t.at(static_cast<std::uint64_t>(i) * sizeof(ListNode), 8, false);
+    ops.loads += 2;  // value + next
+    ops.int_alu += 2;
+    ops.branches += 2;
+    if (nd.value > maxv) {
+      maxv = nd.value;
+      ++ops.taken_surprises;  // data-dependent, poorly predicted
+    }
+    sum += nd.value;
+    i = nd.next;
+  }
+  // In-place reversal.
+  std::int32_t prev = -1, cur = head;
+  while (cur != -1) {
+    ListNode& nd = nodes[static_cast<std::size_t>(cur)];
+    t.at(static_cast<std::uint64_t>(cur) * sizeof(ListNode), 8, true);
+    ops.loads += 1;
+    ops.stores += 1;
+    ops.int_alu += 2;
+    ops.branches += 1;
+    const std::int32_t nxt = nd.next;
+    nd.next = prev;
+    prev = cur;
+    cur = nxt;
+  }
+  head = prev;  // the list is now reversed; next pass starts at the old tail
+  crc = crc16_update(crc, static_cast<std::uint8_t>(maxv & 0xFF));
+  crc = crc16_update(crc, static_cast<std::uint8_t>(sum & 0xFF));
+  // CRC16 of two bytes: 16 shift/xor rounds plus compares.
+  ops.int_alu += 2 * 8 * 3;
+  ops.branches += 2 * 8;
+  return crc;
+}
+
+/// Workload 2: matrix — integer multiply C = A*B plus a bit-twiddle pass.
+std::uint16_t run_matrix(const std::vector<std::int16_t>& a,
+                         const std::vector<std::int16_t>& b,
+                         std::vector<std::int32_t>& c, std::uint32_t n,
+                         std::uint16_t crc, OpCount& ops, const Touch& t,
+                         std::uint64_t mat_base) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (std::uint32_t k = 0; k < n; ++k) {
+        acc += static_cast<std::int32_t>(a[i * n + k]) * b[k * n + j];
+        ops.int_mul += 1;
+        ops.int_alu += 2;
+        ops.loads += 2;
+      }
+      t.at(mat_base + (static_cast<std::uint64_t>(i) * n + j) * 4, 4, true);
+      c[i * n + j] = acc ^ (acc >> 7);
+      ops.int_alu += 2;
+      ops.stores += 1;
+      ops.branches += 1;
+    }
+  }
+  std::int32_t fold = 0;
+  for (std::uint32_t i = 0; i < n * n; ++i) {
+    fold ^= c[i];
+    ops.int_alu += 1;
+    ops.loads += 1;
+  }
+  ops.branches += n * n / 8;
+  return crc16_update(crc, static_cast<std::uint8_t>(fold & 0xFF));
+}
+
+/// Workload 3: table-driven state machine over a byte string (CoreMark's
+/// number-format scanner, reduced): states x input classes.
+std::uint16_t run_state(const std::vector<std::uint8_t>& input,
+                        std::uint16_t crc, OpCount& ops, const Touch& t,
+                        std::uint64_t input_base) {
+  enum State { kStart, kInt, kFloat, kHex, kInvalid, kNumStates };
+  std::uint32_t counts[kNumStates] = {};
+  State s = kStart;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const std::uint8_t ch = input[i];
+    t.at(input_base + i, 1, false);
+    ops.loads += 1;
+    ops.branches += 3;  // class tests
+    ops.int_alu += 3;
+    State next;
+    if (ch >= '0' && ch <= '9')
+      next = (s == kFloat) ? kFloat : kInt;
+    else if (ch == '.')
+      next = kFloat;
+    else if (ch == 'x' || (ch >= 'a' && ch <= 'f'))
+      next = kHex;
+    else if (ch == ',')
+      next = kStart;  // separator resets
+    else {
+      next = kInvalid;
+      ++ops.taken_surprises;
+    }
+    s = next;
+    ++counts[s];
+    ops.stores += 1;
+  }
+  std::uint8_t fold = 0;
+  for (const auto cnt : counts) fold ^= static_cast<std::uint8_t>(cnt);
+  return crc16_update(crc, fold);
+}
+
+struct SuiteOutcome {
+  std::uint16_t crc = 0;
+  OpCount ops;
+};
+
+SuiteOutcome run_suite(const CoremarkParams& params, std::uint64_t seed,
+                       const Touch& t) {
+  params.validate();
+  support::Rng rng(seed);
+
+  // Build the index-linked list in shuffled order so traversal hops around
+  // memory like a heap-allocated list would.
+  std::vector<ListNode> nodes(params.list_nodes);
+  const auto order = support::Rng(seed ^ 0xABCD).permutation(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes[order[i]].value =
+        static_cast<std::int32_t>(rng.uniform_u64(0, 1 << 20));
+    nodes[order[i]].next =
+        (i + 1 < nodes.size()) ? static_cast<std::int32_t>(order[i + 1]) : -1;
+  }
+  // Traversal starts at the first node of the shuffled chain.
+  std::int32_t head = static_cast<std::int32_t>(order[0]);
+
+  const std::uint32_t n = params.matrix_n;
+  std::vector<std::int16_t> a(static_cast<std::size_t>(n) * n);
+  std::vector<std::int16_t> b(a.size());
+  std::vector<std::int32_t> c(a.size());
+  for (auto& x : a) x = static_cast<std::int16_t>(rng.uniform_u64(0, 255));
+  for (auto& x : b) x = static_cast<std::int16_t>(rng.uniform_u64(0, 255));
+
+  std::vector<std::uint8_t> input(params.state_input_len);
+  const char alphabet[] = "0123456789.xabcf,+- ";
+  for (auto& ch : input)
+    ch = static_cast<std::uint8_t>(
+        alphabet[rng.index(sizeof(alphabet) - 1)]);
+
+  const std::uint64_t list_bytes = nodes.size() * sizeof(ListNode);
+  const std::uint64_t mat_base = list_bytes;
+  const std::uint64_t input_base = mat_base + c.size() * 4;
+
+  SuiteOutcome out;
+  out.crc = 0xFFFF;
+  for (std::uint32_t it = 0; it < params.iterations; ++it) {
+    out.crc = run_list(nodes, head, out.crc, out.ops, t);
+    out.crc = run_matrix(a, b, c, n, out.crc, out.ops, t, mat_base);
+    out.crc = run_state(input, out.crc, out.ops, t, input_base);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint16_t coremark_native(const CoremarkParams& params,
+                              std::uint64_t seed) {
+  Touch t;  // no machine
+  return run_suite(params, seed, t).crc;
+}
+
+CoremarkResult coremark_run(sim::Machine& machine,
+                            const CoremarkParams& params,
+                            std::uint64_t seed) {
+  params.validate();
+  const std::uint64_t working_set =
+      params.list_nodes * 8ull +
+      static_cast<std::uint64_t>(params.matrix_n) * params.matrix_n * 8 +
+      params.state_input_len + 4096;
+  const os::Region buf = machine.mmap(working_set);
+  machine.flush_caches();
+  machine.begin_measurement();
+
+  Touch t;
+  t.machine = &machine;
+  t.base = buf.vaddr;
+  const SuiteOutcome out = run_suite(params, seed, t);
+
+  sim::InstrMix mix;
+  mix.add(OpClass::kIntAlu, out.ops.int_alu);
+  mix.add(OpClass::kIntMul, out.ops.int_mul);
+  mix.add(OpClass::kLoad32, out.ops.loads);
+  mix.add(OpClass::kStore32, out.ops.stores);
+  mix.add(OpClass::kBranch, out.ops.branches);
+  // Data-dependent branches mispredict; loop branches mostly do not.
+  mix.mispredicted_branches =
+      out.ops.taken_surprises + out.ops.branches / 64;
+  // List traversal serializes on the next-pointer load: one dependent load
+  // per node visit (two visits per iteration: scan + reverse).
+  mix.serialized_loads =
+      static_cast<std::uint64_t>(params.iterations) * params.list_nodes * 2;
+
+  const sim::SimResult sim = machine.end_measurement(mix);
+  machine.munmap(buf);
+
+  CoremarkResult result;
+  result.sim = sim;
+  result.crc = out.crc;
+  result.iterations_per_s = params.iterations / sim.seconds;
+  return result;
+}
+
+}  // namespace mb::kernels

@@ -1,0 +1,93 @@
+#include "kernels/latency.h"
+
+#include <numeric>
+#include <set>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace mb::kernels {
+
+using arch::OpClass;
+
+void LatencyParams::validate() const {
+  support::check(stride_bytes >= 8, "LatencyParams",
+                 "stride must hold a pointer");
+  support::check(buffer_bytes >= 2 * stride_bytes, "LatencyParams",
+                 "need at least two slots");
+  support::check(buffer_bytes % stride_bytes == 0, "LatencyParams",
+                 "buffer must be a whole number of slots");
+  support::check(hops >= 1, "LatencyParams", "hops must be >= 1");
+}
+
+namespace {
+
+/// Sattolo's algorithm: a uniformly random permutation with a single
+/// cycle, so the chase visits every slot before repeating.
+std::vector<std::uint64_t> single_cycle(std::uint64_t n,
+                                        std::uint64_t seed) {
+  std::vector<std::uint64_t> next(n);
+  std::iota(next.begin(), next.end(), 0);
+  support::Rng rng(seed);
+  for (std::uint64_t i = n - 1; i > 0; --i) {
+    const std::uint64_t j = rng.uniform_u64(0, i - 1);
+    std::swap(next[i], next[j]);
+  }
+  return next;
+}
+
+}  // namespace
+
+std::uint64_t latency_native(const LatencyParams& params) {
+  params.validate();
+  const auto next = single_cycle(params.slots(), params.seed);
+  std::set<std::uint64_t> visited;
+  std::uint64_t cur = 0;
+  for (std::uint32_t h = 0; h < params.hops; ++h) {
+    visited.insert(cur);
+    cur = next[cur];
+  }
+  return visited.size();
+}
+
+LatencyResult latency_run(sim::Machine& machine,
+                          const LatencyParams& params) {
+  params.validate();
+  const auto next = single_cycle(params.slots(), params.seed);
+
+  const os::Region buf = machine.mmap(params.buffer_bytes);
+  machine.flush_caches();
+
+  // Warm pass: bring the chain into whichever levels it fits.
+  std::uint64_t cur = 0;
+  for (std::uint64_t s = 0; s < params.slots(); ++s) {
+    machine.touch(buf.vaddr + cur * params.stride_bytes, 8, false);
+    cur = next[cur];
+  }
+
+  machine.begin_measurement();
+  cur = 0;
+  for (std::uint32_t h = 0; h < params.hops; ++h) {
+    machine.touch(buf.vaddr + cur * params.stride_bytes, 8, false);
+    cur = next[cur];
+  }
+
+  sim::InstrMix mix;
+  mix.add(OpClass::kLoad64, params.hops);
+  mix.add(OpClass::kIntAlu, params.hops);  // address formation
+  // Every load feeds the next: the chain is fully serialized, and any
+  // miss pays its whole latency.
+  mix.serialized_loads = params.hops;
+  mix.dependent_miss_fraction = 1.0;
+
+  const sim::SimResult sim = machine.end_measurement(mix);
+  machine.munmap(buf);
+
+  LatencyResult result;
+  result.sim = sim;
+  result.cycles_per_hop = sim.breakdown.total / params.hops;
+  result.ns_per_hop = sim.seconds * 1e9 / params.hops;
+  return result;
+}
+
+}  // namespace mb::kernels

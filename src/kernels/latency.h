@@ -1,0 +1,47 @@
+// Pointer-chase latency kernel (lat_mem_rd style).
+//
+// The complement of membench: where membench measures achievable
+// *bandwidth*, the chase measures exposed *load-to-use latency*. A buffer
+// is filled with a random cyclic permutation of pointers and traversed —
+// every load depends on the previous one, so no amount of out-of-order
+// machinery can overlap them. The measured cycles/hop curve plateaus at
+// each cache level's latency and ends at DRAM: running it on a simulated
+// machine therefore *recovers the platform's configured latencies*, which
+// makes it the model's self-validation kernel (and a classic tool the
+// paper's methodology would reach for).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace mb::kernels {
+
+struct LatencyParams {
+  std::uint64_t buffer_bytes = 32 * 1024;
+  std::uint32_t hops = 4096;      ///< chase steps measured
+  std::uint64_t seed = 1;         ///< permutation seed
+  std::uint32_t stride_bytes = 64;///< one pointer per this many bytes
+
+  std::uint64_t slots() const { return buffer_bytes / stride_bytes; }
+  void validate() const;
+};
+
+/// Builds the random single-cycle permutation (Sattolo's algorithm) and
+/// walks it natively; returns the number of distinct slots visited in
+/// `hops` steps (== min(hops, slots): the cycle property, used by tests).
+std::uint64_t latency_native(const LatencyParams& params);
+
+struct LatencyResult {
+  sim::SimResult sim;
+  double cycles_per_hop = 0.0;
+  double ns_per_hop = 0.0;
+};
+
+/// Walks the same permutation through the simulated machine with fully
+/// serialized loads.
+LatencyResult latency_run(sim::Machine& machine,
+                          const LatencyParams& params);
+
+}  // namespace mb::kernels

@@ -1,0 +1,84 @@
+// LINPACK-style dense linear algebra kernel (paper Table II, Fig. 3a).
+//
+// A real blocked right-looking LU factorization with partial pivoting
+// (dgetrf-style): unblocked panel factorization, row-swap, triangular solve
+// for the panel's trailing row block, and a register-blocked DGEMM trailing
+// update. Validation computes ||PA - LU|| / (n ||A||).
+//
+// The simulated run executes the same factorization while tracing the
+// block-level memory accesses of the DGEMM microkernel through the Machine
+// and building the dynamic instruction mix (packed DP ops, so the cost
+// model's decomposition reproduces the SSE-vs-VFP asymmetry that makes this
+// the most ARM-hostile row of Table II).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace mb::kernels {
+
+struct LinpackParams {
+  std::uint32_t n = 128;    ///< matrix dimension
+  std::uint32_t block = 32; ///< panel width
+  void validate() const;
+};
+
+/// Dense column-major matrix helper.
+class Matrix {
+ public:
+  Matrix(std::uint32_t rows, std::uint32_t cols);
+
+  double& at(std::uint32_t r, std::uint32_t c);
+  double at(std::uint32_t r, std::uint32_t c) const;
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  std::uint64_t index(std::uint32_t r, std::uint32_t c) const;
+  const std::vector<double>& data() const { return data_; }
+
+  /// Fills with deterministic uniform(-1,1) entries plus a diagonal boost
+  /// (keeps the factorization well conditioned).
+  void fill_random(std::uint64_t seed);
+
+  /// Infinity norm.
+  double norm_inf() const;
+
+ private:
+  std::uint32_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Result of a (simulated or native) factorization.
+struct LinpackResult {
+  sim::SimResult sim;               ///< zeroed for native runs
+  std::uint64_t flops = 0;
+  double mflops = 0.0;              ///< simulated rate (0 for native)
+  double residual = 0.0;            ///< ||PA - LU|| / (n * ||A|| * eps)
+  std::vector<std::uint32_t> pivots;
+};
+
+/// Factors a copy of `a` natively (no machine) and reports the residual.
+LinpackResult linpack_native(const LinpackParams& params,
+                             std::uint64_t seed = 1);
+
+/// Factors on the simulated machine: same math, plus trace + mix.
+LinpackResult linpack_run(sim::Machine& machine, const LinpackParams& params,
+                          std::uint64_t seed = 1);
+
+/// Factors `a` in place natively; returns the pivot vector. Building block
+/// exposed for solve tests and the HPL application model.
+std::vector<std::uint32_t> lu_factor_inplace(Matrix& a,
+                                             const LinpackParams& params);
+
+/// Solves A x = b using a factorization produced by the routines above
+/// (forward/back substitution with the recorded pivots). `lu` is the
+/// factored matrix. Used by validation tests.
+std::vector<double> lu_solve(const Matrix& lu,
+                             const std::vector<std::uint32_t>& pivots,
+                             std::vector<double> b);
+
+/// Theoretical flop count of LU on an n x n matrix: 2n^3/3 + lower order.
+std::uint64_t lu_flops(std::uint32_t n);
+
+}  // namespace mb::kernels

@@ -1,0 +1,243 @@
+#include "kernels/magicfilter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace mb::kernels {
+
+using arch::OpClass;
+
+const std::array<double, 16>& magicfilter_coefficients() {
+  // Lowpass magic filter of BigDFT (Daubechies-16 family). The dominant
+  // central coefficient and rapidly decaying tails are what give the
+  // kernel its numerical character; the sum is ~1 (interpolating filter).
+  static const std::array<double, 16> kFilter = {
+      8.4334247333529341094733325815816e-7,
+      -0.1290557201342060969516786758559028e-4,
+      0.8762984476210559564689161894116397e-4,
+      -0.30158038132690463167163703826169879e-3,
+      0.174723713672993903449447812749852942e-2,
+      -0.942047030201080385922711540948195075e-2,
+      0.2373821463724942397566389712597274535e-1,
+      0.612625895831207982195380597e-1,
+      0.9940415697834003993178616713,
+      -0.604895289196983516002834636e-1,
+      -0.2103025160930381434955489412839065067e-1,
+      0.1337263414854794752733423467013220997e-1,
+      -0.344128144493493857280881509686821861e-2,
+      0.49443227688689919192282259476750972e-3,
+      -0.5185986881173432922848639136911487e-4,
+      2.72734492911979659657715313017228e-6,
+  };
+  return kFilter;
+}
+
+void MagicfilterParams::validate() const {
+  support::check(n >= 16, "MagicfilterParams",
+                 "grid edge must be >= filter length (16)");
+  support::check(unroll >= 1 && unroll <= 16, "MagicfilterParams",
+                 "unroll must be in [1, 16]");
+  support::check(dims >= 1 && dims <= 3, "MagicfilterParams",
+                 "dims must be in [1, 3]");
+}
+
+void magicfilter_axis(const std::vector<double>& in, std::vector<double>& out,
+                      std::uint32_t n, std::uint32_t axis) {
+  support::check(axis < 3, "magicfilter_axis", "axis must be 0, 1 or 2");
+  const std::uint64_t n64 = n;
+  support::check(in.size() == n64 * n64 * n64 && out.size() == in.size(),
+                 "magicfilter_axis", "arrays must be n^3");
+  const auto& f = magicfilter_coefficients();
+  const std::uint64_t stride = axis == 0 ? 1 : (axis == 1 ? n64 : n64 * n64);
+
+  // Iterate over all lines along `axis`.
+  for (std::uint64_t a = 0; a < n64; ++a) {
+    for (std::uint64_t b = 0; b < n64; ++b) {
+      // Base index of the line: the two non-axis coordinates are (a, b).
+      std::uint64_t base;
+      switch (axis) {
+        case 0: base = n64 * (a + n64 * b); break;
+        case 1: base = a + n64 * n64 * b; break;
+        default: base = a + n64 * b; break;
+      }
+      for (std::uint64_t i = 0; i < n64; ++i) {
+        double acc = 0.0;
+        for (std::uint64_t l = 0; l < 16; ++l) {
+          // Filter is centered: taps run from -8 .. +7 around the output.
+          const std::uint64_t src = (i + n64 + l - 8) % n64;
+          acc += f[l] * in[base + src * stride];
+        }
+        out[base + i * stride] = acc;
+      }
+    }
+  }
+}
+
+double magicfilter_native(const MagicfilterParams& params,
+                          std::uint64_t seed) {
+  params.validate();
+  const std::uint64_t n = params.n;
+  const std::uint64_t total = n * n * n;
+  std::vector<double> a(total), b(total);
+  support::Rng rng(seed);
+  for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+
+  for (std::uint32_t axis = 0; axis < params.dims; ++axis) {
+    magicfilter_axis(a, b, params.n, axis);
+    a.swap(b);
+  }
+  double norm2 = 0.0;
+  for (double x : a) norm2 += x * x;
+  return std::sqrt(norm2);
+}
+
+double magicfilter_live_values(std::uint32_t unroll) {
+  // One accumulator per unrolled line (inputs are consumed immediately),
+  // plus the current coefficient and address/loop temporaries the compiler
+  // keeps in FP-adjacent registers.
+  return unroll + 7.0;
+}
+
+MagicfilterResult magicfilter_run(sim::Machine& machine,
+                                  const MagicfilterParams& params) {
+  params.validate();
+  const arch::Platform& platform = machine.platform();
+  const std::uint64_t n = params.n;
+  const std::uint64_t total = n * n * n;
+
+  const os::Region in = machine.mmap(total * 8);
+  const os::Region out = machine.mmap(total * 8);
+  const os::Region coeffs = machine.mmap(16 * 8);
+  machine.flush_caches();
+  machine.begin_measurement();
+
+  // Spill model: every accumulator beyond the scalar-DP register budget
+  // is stored and reloaded once per filter tap (2 accesses x 16 taps per
+  // spilled value per unrolled group). The *accesses* appear on every
+  // platform — the Fig. 7 cache-access staircase — but their cycle cost is
+  // platform dependent: a deep out-of-order core forwards them from the
+  // store buffer almost for free, a 2-wide embedded core pays for each op.
+  // The exposed fraction reuses miss_overlap as the OoO-depth proxy.
+  const double live = magicfilter_live_values(params.unroll);
+  const double budget = platform.core.dp_scalar_registers;
+  const double spilled = std::max(0.0, live - budget);
+  const auto spill_per_group = static_cast<std::uint64_t>(spilled * 32.0);
+  const double exposed = (1.0 - platform.core.miss_overlap) *
+                         (1.0 - platform.core.miss_overlap);
+  const auto spill_ops_charged =
+      static_cast<std::uint64_t>(spilled * 32.0 * exposed);
+
+  sim::InstrMix mix;
+  std::uint64_t outputs = 0;
+
+  for (std::uint32_t axis = 0; axis < params.dims; ++axis) {
+    const std::uint64_t stride = axis == 0 ? 1 : (axis == 1 ? n : n * n);
+    for (std::uint64_t a = 0; a < n; ++a) {
+      // Process the n lines indexed by b in groups of `unroll`.
+      for (std::uint64_t b0 = 0; b0 < n; b0 += params.unroll) {
+        const std::uint64_t group =
+            std::min<std::uint64_t>(params.unroll, n - b0);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          // One output element per line in the group; the 16-tap inner
+          // loop loads each coefficient once per group (the unrolling
+          // payoff) and one input element per line per tap.
+          for (std::uint64_t l = 0; l < 16; ++l) {
+            machine.touch(coeffs.vaddr + l * 8, 8, false);
+            for (std::uint64_t u = 0; u < group; ++u) {
+              const std::uint64_t line_a = a;
+              const std::uint64_t line_b = b0 + u;
+              std::uint64_t base;
+              switch (axis) {
+                case 0: base = n * (line_a + n * line_b); break;
+                case 1: base = line_a + n * n * line_b; break;
+                default: base = line_a + n * line_b; break;
+              }
+              const std::uint64_t src = (i + n + l - 8) % n;
+              machine.touch(in.vaddr + (base + src * stride) * 8, 8, false);
+            }
+          }
+          for (std::uint64_t u = 0; u < group; ++u) {
+            const std::uint64_t line_a = a;
+            const std::uint64_t line_b = b0 + u;
+            std::uint64_t base;
+            switch (axis) {
+              case 0: base = n * (line_a + n * line_b); break;
+              case 1: base = line_a + n * n * line_b; break;
+              default: base = line_a + n * line_b; break;
+            }
+            machine.touch(out.vaddr + (base + i * stride) * 8, 8, true);
+            ++outputs;
+          }
+          // Spilled values bounce through the stack once per tap burst.
+          for (std::uint64_t s = 0; s < spill_per_group; ++s) {
+            machine.touch(coeffs.vaddr + 128 - 8, 8, s % 2 == 0);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- instruction mix ----
+  // BigDFT "has been optimized for Intel architecture while the code
+  // remains unchanged ... on the ARM platform" (paper Sec. III-B): on a
+  // platform with packed-DP hardware the convolution runs as SSE2 code
+  // (two taps per op, paired loads); elsewhere it is scalar VFP output.
+  const std::uint64_t groups =
+      (outputs / params.unroll) + (outputs % params.unroll ? 1 : 0);
+  const std::uint64_t taps = outputs * 16;
+  mix.flops = 2 * taps;
+  if (platform.core.vector_dp) {
+    mix.add(OpClass::kVecDp, taps);  // taps/2 packed muls + taps/2 adds
+    mix.add(OpClass::kLoad128, taps / 2);
+    // The tuned SSE variant keeps all 16 coefficients register-resident
+    // across a line: one broadcast per line, not per group.
+    mix.add(OpClass::kLoad64, (outputs / params.n) * 16);
+  } else {
+    mix.add(OpClass::kFpMulDp, taps);
+    mix.add(OpClass::kFpAddDp, taps);
+    mix.add(OpClass::kLoad64, taps);         // input element per tap
+    mix.add(OpClass::kLoad64, groups * 16);  // coefficient per group
+  }
+  mix.add(OpClass::kStore64, outputs);
+  mix.add(OpClass::kStore64, groups * spill_ops_charged / 2);
+  mix.add(OpClass::kLoad64, groups * spill_ops_charged / 2);
+  // Addressing: the Intel-optimized variant strength-reduces to pointer
+  // bumps; plain compiled output recomputes indices per tap.
+  mix.add(OpClass::kIntAlu,
+          platform.core.vector_dp ? taps / 2 : taps * 2);
+  mix.add(OpClass::kBranch, groups * 16);   // tap loop per group
+  mix.mispredicted_branches = groups / 16;
+
+  // Accumulator chains: `unroll` independent chains of 16 dependent adds.
+  const double fp_lat = platform.core.fp_dep_latency_cycles;
+  if (params.unroll < fp_lat) {
+    mix.serialized_fp = static_cast<std::uint64_t>(
+        static_cast<double>(taps) * (1.0 - params.unroll / fp_lat));
+  }
+  // Spilled accumulators reload right after being stored: a store-to-load
+  // hazard a shallow pipeline stalls on, while a deep OoO core forwards.
+  const double reloads =
+      static_cast<double>(groups) * 16.0 * spilled;
+  mix.serialized_loads +=
+      static_cast<std::uint64_t>(reloads * 0.35 * exposed);
+
+  const sim::SimResult sim = machine.end_measurement(mix);
+  machine.munmap(in);
+  machine.munmap(out);
+  machine.munmap(coeffs);
+
+  MagicfilterResult result;
+  result.sim = sim;
+  result.cycles_per_output =
+      sim.breakdown.total / static_cast<double>(outputs);
+  result.cache_accesses_per_output =
+      static_cast<double>(sim.counters.get(counters::Counter::kL1Dca)) /
+      static_cast<double>(outputs);
+  result.spill_values = spilled;
+  return result;
+}
+
+}  // namespace mb::kernels

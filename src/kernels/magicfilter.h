@@ -1,0 +1,68 @@
+// BigDFT "magic filter" kernel (paper Sec. V-B, Fig. 7).
+//
+// The electronic-potential computation in BigDFT applies a 16-coefficient
+// "magic filter" as three successive 1-D convolutions over a 3-D array
+// (Daubechies-wavelet formalism). It is the use case of the paper's
+// auto-tuning study: the inner loops can be unrolled with degree 1..12, and
+// the right degree differs radically between Nehalem and Tegra2 because of
+// register pressure.
+//
+// Two faces, like every kernel here:
+//  * magicfilter_native()  — real double-precision convolution, validated
+//    against a direct reference sum in the tests.
+//  * magicfilter_run()     — replays the unrolled variant's access pattern
+//    on a simulated machine and builds its instruction mix; cache accesses
+//    fall with moderate unrolling (coefficient reuse) and climb once the
+//    accumulators spill (the paper's staircase).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace mb::kernels {
+
+/// The 16 lowpass magic-filter coefficients (BigDFT convention).
+const std::array<double, 16>& magicfilter_coefficients();
+
+struct MagicfilterParams {
+  std::uint32_t n = 24;       ///< cubic grid edge (n^3 elements)
+  std::uint32_t unroll = 1;   ///< unrolled output lines, 1..12 in the paper
+  std::uint32_t dims = 3;     ///< convolve this many axes (1..3)
+
+  std::uint64_t outputs() const {
+    return static_cast<std::uint64_t>(dims) * n * n * n;
+  }
+  void validate() const;
+};
+
+/// Applies the magic filter along one axis with periodic boundaries.
+/// `in` and `out` are n^3 arrays; axis 0 is contiguous.
+void magicfilter_axis(const std::vector<double>& in, std::vector<double>& out,
+                      std::uint32_t n, std::uint32_t axis);
+
+/// Full native computation: `dims` successive axis applications on a
+/// deterministic pseudo-random field. Returns the array's L2 norm (the
+/// checksum used by validation tests). Unrolling does not change the math,
+/// only the schedule — the checksum must be identical for every unroll.
+double magicfilter_native(const MagicfilterParams& params,
+                          std::uint64_t seed = 1);
+
+struct MagicfilterResult {
+  sim::SimResult sim;
+  double cycles_per_output = 0.0;
+  double cache_accesses_per_output = 0.0;  ///< L1 DCA / outputs (Fig. 7)
+  double spill_values = 0.0;               ///< register values spilled
+};
+
+/// Simulated run of the unrolled variant.
+MagicfilterResult magicfilter_run(sim::Machine& machine,
+                                  const MagicfilterParams& params);
+
+/// Live double-precision values in the unrolled loop body (accumulators,
+/// streamed inputs, coefficient and address temporaries).
+double magicfilter_live_values(std::uint32_t unroll);
+
+}  // namespace mb::kernels

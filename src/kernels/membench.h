@@ -1,0 +1,71 @@
+// Strided memory-access micro-benchmark (paper Sec. V-A, Figs. 5 and 6).
+//
+// Modeled on the Tikir et al. kernel the paper bases its Section V on: loop
+// over an array of a fixed size with a fixed stride, accumulating loaded
+// elements; effective bandwidth = bytes accessed / time. Variants differ in
+//   * element width: 32, 64 or 128 bits ("vectorization"),
+//   * unroll factor: 1 (none) or more (independent accumulator streams).
+//
+// The kernel has two faces:
+//   * run_native() — executes the real loop on host memory and returns a
+//     checksum; validates the arithmetic of every variant.
+//   * run(Machine&) — replays the exact access pattern through a simulated
+//     machine (so physical page placement matters) and builds the dynamic
+//     instruction mix, including the register-pressure spill model that
+//     reproduces the paper's "unrolling can be detrimental on ARM" finding.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/instr_mix.h"
+#include "sim/machine.h"
+
+namespace mb::kernels {
+
+struct MembenchParams {
+  std::uint64_t array_bytes = 32 * 1024;
+  std::uint32_t stride_elems = 1;   ///< in elements
+  std::uint32_t elem_bits = 32;     ///< 32, 64 or 128
+  std::uint32_t unroll = 1;         ///< independent accumulator streams
+  std::uint32_t passes = 8;         ///< sweeps over the array
+  /// Cores concurrently driving DRAM (whole-chip runs share bandwidth).
+  std::uint32_t bandwidth_sharers = 1;
+
+  std::uint64_t elem_bytes() const { return elem_bits / 8; }
+  std::uint64_t elements() const { return array_bytes / elem_bytes(); }
+  /// Elements actually accessed per pass (stride skips the rest).
+  std::uint64_t accessed_per_pass() const {
+    return (elements() + stride_elems - 1) / stride_elems;
+  }
+  std::uint64_t bytes_accessed() const {
+    return accessed_per_pass() * elem_bytes() * passes;
+  }
+
+  void validate() const;
+};
+
+struct MembenchResult {
+  sim::SimResult sim;
+  double bandwidth_bytes_per_s = 0.0;  ///< effective bandwidth
+  std::uint64_t bytes_accessed = 0;
+  /// Extra loads+stores per accessed element due to register spills (the
+  /// quantity behind Fig. 6b's detrimental-unrolling effect).
+  double spill_accesses_per_elem = 0.0;
+};
+
+/// Executes the real accumulation loop on host memory; returns the sum.
+/// Deterministic for a given params/seed (array filled from the seed).
+double membench_native(const MembenchParams& params, std::uint64_t seed = 1);
+
+/// Replays the access pattern on the simulated machine. The array is
+/// mmapped (page placement per the machine's policy), traced through the
+/// cache hierarchy, and costed. `fresh_buffer` forces a new mmap/munmap
+/// cycle per call (the paper's malloc/free-per-measurement behaviour).
+MembenchResult membench_run(sim::Machine& machine,
+                            const MembenchParams& params);
+
+/// Register pressure of a variant in 128-bit register equivalents:
+/// unroll streams x (accumulator + in-flight element).
+double membench_register_pressure(const MembenchParams& params);
+
+}  // namespace mb::kernels

@@ -1,0 +1,54 @@
+// Seismic wave-propagation proxy for SPECFEM3D (paper Table II, Fig. 3b).
+//
+// SPECFEM3D propagates seismic waves with a continuous-Galerkin spectral
+// element method in single precision. This proxy solves the same physics —
+// the second-order wave equation on a 3-D grid with periodic boundaries —
+// with the standard leapfrog scheme:
+//
+//   u_next = 2 u - u_prev + c^2 * laplacian(u)        (c^2 = CFL^2)
+//
+// Single precision matters: it is why SPECFEM3D runs comparatively well on
+// the NEON-equipped ARM boards (Table II ratio 7.9, energy ratio 0.2) and
+// why the paper calls it a natural fit for the SP-only embedded GPUs.
+//
+// Validation: an exact discrete standing-wave solution of the leapfrog
+// scheme (the scheme's own dispersion relation), plus invariance checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace mb::kernels {
+
+struct StencilParams {
+  std::uint32_t n = 24;      ///< cubic grid edge
+  std::uint32_t steps = 4;   ///< leapfrog time steps
+  double cfl = 0.4;          ///< Courant number (c dt / dx), < 1/sqrt(3)
+  void validate() const;
+};
+
+/// One leapfrog step on n^3 single-precision grids (periodic boundaries).
+void stencil_step(const std::vector<float>& prev, const std::vector<float>& cur,
+                  std::vector<float>& next, std::uint32_t n, double cfl);
+
+/// Initializes the (1,1,1) standing-wave mode and steps it `params.steps`
+/// times; returns the maximum absolute error against the exact discrete
+/// solution. Small (~1e-5, SP rounding) when the scheme is implemented
+/// correctly.
+double stencil_dispersion_error(const StencilParams& params);
+
+/// Native checksum run on a pseudo-random field (for cross-run identity).
+double stencil_native(const StencilParams& params, std::uint64_t seed = 1);
+
+struct StencilResult {
+  sim::SimResult sim;
+  double points_per_s = 0.0;   ///< grid-point updates per second
+  double seconds_per_step = 0.0;
+};
+
+/// Simulated run: trace + instruction mix on a machine.
+StencilResult stencil_run(sim::Machine& machine, const StencilParams& params);
+
+}  // namespace mb::kernels

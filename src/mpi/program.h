@@ -1,0 +1,92 @@
+// MPI-like per-rank programs.
+//
+// Applications are expressed as a sequence of operations per rank —
+// compute intervals, point-to-point messages and collectives. Collectives
+// lower to point-to-point schedules (binomial broadcast, ring allreduce,
+// pairwise-exchange alltoallv, dissemination barrier) exactly like a real
+// MPI library over Ethernet would, so their congestion behaviour is the
+// emergent property the paper studies, not an input parameter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mb::mpi {
+
+struct Op {
+  enum class Kind : std::uint8_t {
+    kCompute,     ///< seconds of local work
+    kSend,        ///< buffered (eager) send: completes after send overhead
+    kRecv,        ///< blocks until the matching message arrives
+    kBarrier,     ///< dissemination barrier
+    kBcast,       ///< binomial tree broadcast
+    kAllreduce,   ///< ring reduce-scatter + allgather
+    kAlltoallv,   ///< MPICH-style: all sends posted, then all receives
+    kGather,      ///< linear gather to the root
+    kScatter,     ///< linear scatter from the root
+    kAllgather,   ///< ring allgather
+    kReduce,      ///< binomial reduction to the root
+    kBeginGroup,  ///< trace marker: a lowered collective starts
+    kEndGroup,    ///< trace marker: a lowered collective ends
+  };
+
+  Kind kind = Kind::kCompute;
+  double seconds = 0.0;               ///< kCompute
+  std::uint32_t peer = 0;             ///< kSend dst / kRecv src
+  std::uint64_t bytes = 0;            ///< payload
+  std::int32_t tag = 0;               ///< message matching
+  std::uint32_t root = 0;             ///< kBcast
+  std::vector<std::uint64_t> counts;  ///< kAlltoallv: bytes per destination
+  std::string label;                  ///< trace label
+
+  static Op compute(double seconds, std::string label = "compute");
+  static Op send(std::uint32_t dst, std::uint64_t bytes, std::int32_t tag);
+  static Op recv(std::uint32_t src, std::int32_t tag);
+  static Op barrier();
+  static Op bcast(std::uint32_t root, std::uint64_t bytes,
+                  std::string label = "bcast");
+  static Op allreduce(std::uint64_t bytes, std::string label = "allreduce");
+  static Op alltoallv(std::vector<std::uint64_t> counts,
+                      std::string label = "alltoallv");
+  static Op gather(std::uint32_t root, std::uint64_t bytes_per_rank,
+                   std::string label = "gather");
+  static Op scatter(std::uint32_t root, std::uint64_t bytes_per_rank,
+                    std::string label = "scatter");
+  static Op allgather(std::uint64_t bytes_per_rank,
+                      std::string label = "allgather");
+  static Op reduce(std::uint32_t root, std::uint64_t bytes,
+                   std::string label = "reduce");
+};
+
+/// True for the kinds lower_collective() accepts.
+bool is_collective(Op::Kind kind);
+
+/// A program is one op list per rank.
+class Program {
+ public:
+  explicit Program(std::uint32_t ranks);
+
+  std::uint32_t ranks() const {
+    return static_cast<std::uint32_t>(per_rank_.size());
+  }
+  std::vector<Op>& rank(std::uint32_t r) { return per_rank_.at(r); }
+  const std::vector<Op>& rank(std::uint32_t r) const {
+    return per_rank_.at(r);
+  }
+
+  /// Appends `op` to every rank (the common SPMD case).
+  void append_all(const Op& op);
+
+ private:
+  std::vector<std::vector<Op>> per_rank_;
+};
+
+/// Lowers collectives to point-to-point ops (exposed for tests). The
+/// returned list contains only kCompute/kSend/kRecv plus group markers.
+/// `tag_base` must be unique per collective instance so rounds of
+/// different collectives never cross-match.
+std::vector<Op> lower_collective(const Op& op, std::uint32_t rank,
+                                 std::uint32_t ranks, std::int32_t tag_base);
+
+}  // namespace mb::mpi

@@ -1,0 +1,169 @@
+#include "mpi/runtime.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace mb::mpi {
+
+Runtime::Runtime(sim::EventQueue& queue, net::Network& network,
+                 std::vector<net::NodeId> rank_to_host, RuntimeConfig config,
+                 trace::Trace* trace)
+    : queue_(queue),
+      network_(network),
+      rank_to_host_(std::move(rank_to_host)),
+      config_(config),
+      trace_(trace) {
+  support::check(!rank_to_host_.empty(), "Runtime", "need at least one rank");
+  for (const net::NodeId host : rank_to_host_) {
+    support::check(host < network_.nodes(), "Runtime", "unknown host");
+    support::check(!network_.is_switch(host), "Runtime",
+                   "ranks must live on hosts, not switches");
+  }
+}
+
+void Runtime::record(std::uint32_t rank, double t0, double t1,
+                     trace::EventKind kind, const std::string& label,
+                     std::uint64_t bytes) {
+  if (trace_ == nullptr) return;
+  trace::Record r;
+  r.rank = rank;
+  r.t0 = t0;
+  r.t1 = t1;
+  r.kind = kind;
+  r.label = label;
+  r.bytes = bytes;
+  trace_->add(r);
+}
+
+double Runtime::run(const Program& program) {
+  const auto ranks = static_cast<std::uint32_t>(rank_to_host_.size());
+  support::check(program.ranks() == ranks, "Runtime::run",
+                 "program rank count must match the runtime");
+
+  // Lower collectives. Tag bases are assigned per collective *occurrence*,
+  // so the op sequences must contain collectives in the same order on
+  // every rank (the usual MPI requirement).
+  states_.assign(ranks, RankState{});
+  finished_ = 0;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    std::int32_t tag_base = next_tag_base_;
+    auto& ops = states_[r].ops;
+    for (const Op& op : program.rank(r)) {
+      if (is_collective(op.kind)) {
+        const auto lowered = lower_collective(op, r, ranks, tag_base);
+        ops.insert(ops.end(), lowered.begin(), lowered.end());
+        tag_base += 4096;
+      } else if (op.kind == Op::Kind::kSend ||
+                 op.kind == Op::Kind::kRecv) {
+        support::check(op.tag < (1 << 16), "Runtime::run",
+                       "user tags must stay below 1<<16");
+        ops.push_back(op);
+      } else {
+        ops.push_back(op);
+      }
+    }
+    if (r == ranks - 1) next_tag_base_ = tag_base;  // consumed instances
+  }
+
+  for (std::uint32_t r = 0; r < ranks; ++r) advance(r);
+  queue_.run();
+
+  support::check(finished_ == ranks, "Runtime::run",
+                 "deadlock: some ranks never completed their program");
+  double makespan = 0.0;
+  for (const auto& s : states_) makespan = std::max(makespan, s.finish_time);
+  return makespan;
+}
+
+void Runtime::deliver(std::uint32_t dst_rank, std::uint32_t src_rank,
+                      std::int32_t tag) {
+  RankState& s = states_[dst_rank];
+  const auto key = std::make_pair(src_rank, tag);
+  s.mailbox[key].push_back(queue_.now());
+  if (s.waiting && *s.waiting == key) {
+    s.waiting.reset();
+    advance(dst_rank);
+  }
+}
+
+void Runtime::advance(std::uint32_t rank) {
+  RankState& s = states_[rank];
+  while (s.pc < s.ops.size()) {
+    const Op& op = s.ops[s.pc];
+    const double now = queue_.now();
+    switch (op.kind) {
+      case Op::Kind::kCompute: {
+        record(rank, now, now + op.seconds, trace::EventKind::kCompute,
+               op.label, 0);
+        ++s.pc;
+        queue_.schedule_in(op.seconds, [this, rank] { advance(rank); });
+        return;
+      }
+      case Op::Kind::kSend: {
+        const std::uint32_t dst = op.peer;
+        const std::int32_t tag = op.tag;
+        const net::NodeId src_host = rank_to_host_[rank];
+        const net::NodeId dst_host = rank_to_host_[dst];
+        if (s.group_label.empty()) {
+          record(rank, now, now + config_.send_overhead_s,
+                 trace::EventKind::kSend, "send", op.bytes);
+        }
+        if (src_host == dst_host) {
+          const double t = config_.intra_latency_s +
+                           static_cast<double>(op.bytes) /
+                               config_.intra_bandwidth_bytes_per_s;
+          queue_.schedule_in(config_.send_overhead_s + t,
+                             [this, dst, rank, tag] {
+                               deliver(dst, rank, tag);
+                             });
+        } else {
+          network_.send(src_host, dst_host, op.bytes,
+                        [this, dst, rank, tag] { deliver(dst, rank, tag); });
+        }
+        ++s.pc;
+        queue_.schedule_in(config_.send_overhead_s,
+                           [this, rank] { advance(rank); });
+        return;
+      }
+      case Op::Kind::kRecv: {
+        const auto key = std::make_pair(op.peer, op.tag);
+        auto it = s.mailbox.find(key);
+        if (it == s.mailbox.end() || it->second.empty()) {
+          s.waiting = key;
+          return;
+        }
+        it->second.erase(it->second.begin());
+        if (it->second.empty()) s.mailbox.erase(it);
+        if (s.group_label.empty()) {
+          record(rank, now, now + config_.recv_overhead_s,
+                 trace::EventKind::kRecv, "recv", op.bytes);
+        }
+        ++s.pc;
+        queue_.schedule_in(config_.recv_overhead_s,
+                           [this, rank] { advance(rank); });
+        return;
+      }
+      case Op::Kind::kBeginGroup: {
+        s.group_start = now;
+        s.group_label = op.label;
+        ++s.pc;
+        break;
+      }
+      case Op::Kind::kEndGroup: {
+        record(rank, s.group_start, now, trace::EventKind::kCollective,
+               op.label, 0);
+        s.group_label.clear();
+        ++s.pc;
+        break;
+      }
+      default:
+        support::fail("Runtime::advance",
+                      "unlowered collective reached execution");
+    }
+  }
+  s.finish_time = queue_.now();
+  ++finished_;
+}
+
+}  // namespace mb::mpi

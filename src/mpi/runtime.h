@@ -1,0 +1,75 @@
+// MPI-like runtime executing rank programs over the network simulator.
+//
+// Each rank is a little state machine advancing through its op list:
+// compute schedules a wakeup, buffered sends hand the payload to the
+// (simulated) NIC and complete after the software send overhead,
+// receives block until the matching (source, tag) message arrives.
+// Collectives are lowered to point-to-point schedules on the fly
+// (see mpi/program.h) and traced as single intervals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mpi/program.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+#include "trace/trace.h"
+
+namespace mb::mpi {
+
+struct RuntimeConfig {
+  double send_overhead_s = 25e-6;  ///< software cost to post a send
+  double recv_overhead_s = 20e-6;  ///< software cost to complete a receive
+  /// Intra-node transfers (ranks on the same host) bypass the network:
+  double intra_latency_s = 3e-6;
+  double intra_bandwidth_bytes_per_s = 1.2e9;
+};
+
+class Runtime {
+ public:
+  /// `rank_to_host[r]` is the network vertex hosting rank r (several
+  /// ranks may share one host — the dual-core Tibidabo nodes).
+  /// `trace` may be null.
+  Runtime(sim::EventQueue& queue, net::Network& network,
+          std::vector<net::NodeId> rank_to_host, RuntimeConfig config,
+          trace::Trace* trace);
+
+  /// Runs `program` to completion; returns the makespan (seconds from
+  /// start to the last rank finishing). Throws on deadlock.
+  double run(const Program& program);
+
+ private:
+  struct RankState {
+    std::vector<Op> ops;  ///< fully lowered op list
+    std::size_t pc = 0;
+    bool blocked = false;
+    double finish_time = 0.0;
+    double group_start = 0.0;
+    std::string group_label;
+    // Arrived-but-unmatched messages and the receive each op waits for.
+    std::map<std::pair<std::uint32_t, std::int32_t>, std::vector<double>>
+        mailbox;
+    std::optional<std::pair<std::uint32_t, std::int32_t>> waiting;
+  };
+
+  void advance(std::uint32_t rank);
+  void deliver(std::uint32_t dst_rank, std::uint32_t src_rank,
+               std::int32_t tag);
+  void record(std::uint32_t rank, double t0, double t1,
+              trace::EventKind kind, const std::string& label,
+              std::uint64_t bytes);
+
+  sim::EventQueue& queue_;
+  net::Network& network_;
+  std::vector<net::NodeId> rank_to_host_;
+  RuntimeConfig config_;
+  trace::Trace* trace_;
+  std::vector<RankState> states_;
+  std::int32_t next_tag_base_ = 1 << 16;  // user tags stay below
+  std::uint32_t finished_ = 0;
+};
+
+}  // namespace mb::mpi

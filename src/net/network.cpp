@@ -1,0 +1,205 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "support/check.h"
+
+namespace mb::net {
+
+namespace {
+constexpr std::uint32_t kNoHop = ~std::uint32_t{0};
+}
+
+Network::Network(sim::EventQueue& queue, std::uint32_t mtu_bytes)
+    : queue_(queue), mtu_(mtu_bytes) {
+  support::check(mtu_bytes >= 64, "Network", "MTU must be at least 64 bytes");
+}
+
+NodeId Network::add_node(std::string name, bool is_switch) {
+  support::check(!routed_, "Network::add_node",
+                 "graph is frozen after finalize_routes");
+  names_.push_back(std::move(name));
+  is_switch_.push_back(is_switch);
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(names_.size() - 1);
+}
+
+void Network::add_link(NodeId a, NodeId b, LinkSpec spec) {
+  support::check(!routed_, "Network::add_link",
+                 "graph is frozen after finalize_routes");
+  support::check(a < names_.size() && b < names_.size(), "Network::add_link",
+                 "unknown node");
+  support::check(a != b, "Network::add_link", "no self links");
+  support::check(spec.bandwidth_bytes_per_s > 0.0, "Network::add_link",
+                 "bandwidth must be positive");
+  for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    DirectedLink l;
+    l.from = from;
+    l.to = to;
+    l.spec = spec;
+    adjacency_[from].push_back(static_cast<std::uint32_t>(links_.size()));
+    links_.push_back(l);
+  }
+}
+
+void Network::finalize_routes() {
+  support::check(!routed_, "Network::finalize_routes", "already routed");
+  const std::size_t n = names_.size();
+  next_hop_.assign(n, std::vector<std::uint32_t>(n, kNoHop));
+  // BFS from every destination, walking reverse links (all links are
+  // symmetric here), recording the first hop toward the destination.
+  for (NodeId dst = 0; dst < n; ++dst) {
+    std::deque<NodeId> frontier{dst};
+    std::vector<bool> seen(n, false);
+    seen[dst] = true;
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (const std::uint32_t li : adjacency_[cur]) {
+        // links_[li] goes cur -> neighbour; the reverse direction
+        // (neighbour -> cur) is the hop the neighbour should take.
+        const NodeId nb = links_[li].to;
+        if (seen[nb]) continue;
+        seen[nb] = true;
+        next_hop_[nb][dst] = static_cast<std::uint32_t>(link_index(nb, cur));
+        frontier.push_back(nb);
+      }
+    }
+  }
+  routed_ = true;
+}
+
+std::size_t Network::link_index(NodeId a, NodeId b) const {
+  for (const std::uint32_t li : adjacency_[a])
+    if (links_[li].to == b) return li;
+  support::fail("Network::link_index", "no such link");
+}
+
+const LinkStats& Network::link_stats(NodeId a, NodeId b) const {
+  return links_[link_index(a, b)].stats;
+}
+
+void Network::degrade_link(NodeId a, NodeId b, double bandwidth_factor,
+                           double extra_latency_s) {
+  support::check(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0,
+                 "Network::degrade_link",
+                 "bandwidth factor must be in (0, 1]");
+  support::check(extra_latency_s >= 0.0, "Network::degrade_link",
+                 "extra latency must be non-negative");
+  for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    DirectedLink& link = links_[link_index(from, to)];
+    link.spec.bandwidth_bytes_per_s *= bandwidth_factor;
+    link.spec.latency_s += extra_latency_s;
+  }
+}
+
+std::size_t Network::route_hops(NodeId src, NodeId dst) const {
+  support::check(routed_, "Network::route_hops", "call finalize_routes first");
+  std::size_t hops = 0;
+  NodeId cur = src;
+  while (cur != dst) {
+    const std::uint32_t li = next_hop_[cur][dst];
+    support::check(li != kNoHop, "Network::route_hops", "no route");
+    cur = links_[li].to;
+    ++hops;
+  }
+  return hops;
+}
+
+void Network::send(NodeId src, NodeId dst, std::uint64_t bytes,
+                   Callback on_delivered) {
+  support::check(routed_, "Network::send", "call finalize_routes first");
+  support::check(src < names_.size() && dst < names_.size(), "Network::send",
+                 "unknown node");
+  support::check(static_cast<bool>(on_delivered), "Network::send",
+                 "delivery callback required");
+
+  if (src == dst) {
+    // Loopback: deliver immediately (caller models any memcpy cost).
+    queue_.schedule_in(0.0, std::move(on_delivered));
+    return;
+  }
+
+  // Build the hop path once.
+  auto hops = std::make_shared<std::vector<std::uint32_t>>();
+  NodeId cur = src;
+  while (cur != dst) {
+    const std::uint32_t li = next_hop_[cur][dst];
+    support::check(li != kNoHop, "Network::send", "no route");
+    hops->push_back(li);
+    cur = links_[li].to;
+  }
+  const Path path = hops;
+
+  const std::uint64_t frames =
+      std::max<std::uint64_t>(1, (bytes + mtu_ - 1) / mtu_);
+  auto remaining = std::make_shared<std::uint64_t>(frames);
+  auto cb = std::make_shared<Callback>(std::move(on_delivered));
+
+  std::uint64_t left = std::max<std::uint64_t>(bytes, 1);
+  for (std::uint64_t f = 0; f < frames; ++f) {
+    const auto frame_bytes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(left, mtu_));
+    left -= frame_bytes;
+    // Inject into the first link now; each frame flows independently.
+    forward(frame_bytes, path, 0, remaining, cb);
+  }
+}
+
+void Network::forward(std::uint32_t frame_bytes, Path path, std::size_t hop,
+                      std::shared_ptr<std::uint64_t> remaining,
+                      std::shared_ptr<Callback> on_delivered) {
+  DirectedLink& link = links_[(*path)[hop]];
+  const double now = queue_.now();
+  const double start = std::max(now, link.busy_until);
+  const double wait = start - now;
+
+  // Output-port buffer overflow: the frame is dropped and retransmitted
+  // after the transport timeout (see LinkSpec). Only switch ports drop
+  // (hop > 0): the first hop's queue is the sender's own memory, where
+  // frames wait for the NIC at no cost beyond time.
+  // In coarse-MTU mode frames are aggregated bursts; the drop threshold
+  // scales with the frame size so coarsening trades drop fidelity for
+  // speed instead of fabricating overflows.
+  const double buffer_limit =
+      std::max<double>(link.spec.buffer_bytes, 4.0 * mtu_);
+  const double queued_bytes = wait * link.spec.bandwidth_bytes_per_s;
+  if (hop > 0 && queued_bytes > buffer_limit) {
+    link.stats.drops += 1;
+    queue_.schedule_in(
+        link.spec.retransmit_timeout_s,
+        [this, frame_bytes, path = std::move(path), hop,
+         remaining = std::move(remaining),
+         on_delivered = std::move(on_delivered)]() mutable {
+          forward(frame_bytes, std::move(path), hop, std::move(remaining),
+                  std::move(on_delivered));
+        });
+    return;
+  }
+
+  const double tx =
+      static_cast<double>(frame_bytes + 38) /  // preamble + IFG + headers
+      link.spec.bandwidth_bytes_per_s;
+  link.busy_until = start + tx;
+  link.stats.frames += 1;
+  link.stats.bytes += frame_bytes;
+  link.stats.busy_s += tx;
+  link.stats.queued_s += wait;
+  link.stats.max_queue_s = std::max(link.stats.max_queue_s, wait);
+
+  const double arrival = start + tx + link.spec.latency_s;
+  auto cont = [this, path = std::move(path), hop, frame_bytes,
+               remaining = std::move(remaining),
+               on_delivered = std::move(on_delivered)] {
+    if (hop + 1 < path->size()) {
+      forward(frame_bytes, path, hop + 1, remaining, on_delivered);
+    } else {
+      if (--*remaining == 0) (*on_delivered)();
+    }
+  };
+  queue_.schedule_at(arrival, std::move(cont));
+}
+
+}  // namespace mb::net

@@ -1,0 +1,121 @@
+// Packet-level Ethernet network simulator.
+//
+// Models the Tibidabo interconnect of Section IV: nodes with GbE NICs wired
+// through store-and-forward switches (48-port 1 GbE in the paper). Messages
+// are cut into MTU-sized frames; every directed link serializes frames
+// (busy-until bookkeeping on the event queue), so output-port contention —
+// the cause of the delayed all_to_all_v collectives in Fig. 4 — emerges
+// naturally from concurrent flows sharing an uplink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace mb::net {
+
+/// One direction of a cable: bandwidth, propagation+processing latency,
+/// and the output-port buffering of the upstream device. When the queue in
+/// front of the link exceeds `buffer_bytes`, newly arriving frames are
+/// dropped and retransmitted after `retransmit_timeout_s` — the TCP-over-
+/// cheap-GbE behaviour behind the paper's "sometimes delayed" collectives
+/// (incast on all_to_all_v overflows the switch buffers).
+struct LinkSpec {
+  double bandwidth_bytes_per_s = 0.0;
+  double latency_s = 0.0;
+  double buffer_bytes = 1e18;          ///< effectively infinite by default
+  double retransmit_timeout_s = 0.2;   ///< Linux TCP minimum RTO
+};
+
+/// Vertex id in the network graph (hosts and switches share the space).
+using NodeId = std::uint32_t;
+
+/// Statistics per directed link (for congestion analysis).
+struct LinkStats {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t drops = 0;    ///< buffer-overflow drops (retransmitted)
+  double busy_s = 0.0;        ///< cumulated transmission time
+  double queued_s = 0.0;      ///< cumulated waiting-for-link time
+  double max_queue_s = 0.0;   ///< worst single-frame queueing delay
+};
+
+class Network {
+ public:
+  static constexpr std::uint32_t kMtuBytes = 1500;
+
+  /// `mtu_bytes` sets frame granularity. 1500 (Ethernet) gives full
+  /// congestion fidelity; large values coarsen messages into few frames —
+  /// used to make month-long HPL runs simulable while keeping link
+  /// serialization and queueing behaviour.
+  explicit Network(sim::EventQueue& queue,
+                   std::uint32_t mtu_bytes = kMtuBytes);
+
+  std::uint32_t mtu() const { return mtu_; }
+
+  /// Adds a vertex; `is_switch` only matters for reporting.
+  NodeId add_node(std::string name, bool is_switch);
+
+  /// Adds a full-duplex edge (two directed links with `spec` each).
+  void add_link(NodeId a, NodeId b, LinkSpec spec);
+
+  /// Computes routes (BFS shortest path; the topologies here are trees).
+  /// Must be called after the graph is final and before send().
+  void finalize_routes();
+
+  using Callback = std::function<void()>;
+
+  /// Sends `bytes` from `src` to `dst`; invokes `on_delivered` when the
+  /// last frame arrives. Zero-byte messages are sent as one header frame.
+  void send(NodeId src, NodeId dst, std::uint64_t bytes,
+            Callback on_delivered);
+
+  /// Fault injection: degrades both directions of the a-b cable —
+  /// bandwidth is multiplied by `bandwidth_factor` (in (0, 1]) and
+  /// `extra_latency_s` is added per frame. Models a renegotiated-down or
+  /// error-prone link (a failing NIC, a bad cable): the straggler-maker
+  /// of real clusters. May be called after finalize_routes().
+  void degrade_link(NodeId a, NodeId b, double bandwidth_factor,
+                    double extra_latency_s);
+
+  std::size_t nodes() const { return names_.size(); }
+  const std::string& name(NodeId n) const { return names_[n]; }
+  bool is_switch(NodeId n) const { return is_switch_[n]; }
+
+  /// Stats of the directed link a->b. Throws if absent.
+  const LinkStats& link_stats(NodeId a, NodeId b) const;
+
+  /// Number of hops of the current route (for tests).
+  std::size_t route_hops(NodeId src, NodeId dst) const;
+
+ private:
+  struct DirectedLink {
+    NodeId from, to;
+    LinkSpec spec;
+    double busy_until = 0.0;
+    LinkStats stats;
+  };
+
+  using Path = std::shared_ptr<const std::vector<std::uint32_t>>;
+
+  std::size_t link_index(NodeId a, NodeId b) const;
+  void forward(std::uint32_t frame_bytes, Path path, std::size_t hop,
+               std::shared_ptr<std::uint64_t> remaining,
+               std::shared_ptr<Callback> on_delivered);
+
+  sim::EventQueue& queue_;
+  std::uint32_t mtu_;
+  std::vector<std::string> names_;
+  std::vector<bool> is_switch_;
+  std::vector<DirectedLink> links_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;  // node -> link idxs
+  // next_hop_[src][dst] = link index to take; computed by finalize_routes.
+  std::vector<std::vector<std::uint32_t>> next_hop_;
+  bool routed_ = false;
+};
+
+}  // namespace mb::net

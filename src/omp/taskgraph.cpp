@@ -1,0 +1,178 @@
+#include "omp/taskgraph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace mb::omp {
+
+TaskId TaskGraph::add(double seconds, std::vector<TaskId> deps,
+                      std::string label) {
+  support::check(seconds >= 0.0, "TaskGraph::add",
+                 "task duration must be non-negative");
+  const auto id = static_cast<TaskId>(tasks_.size());
+  for (const TaskId d : deps)
+    support::check(d < id, "TaskGraph::add",
+                   "dependencies must reference earlier tasks");
+  tasks_.push_back(Task{seconds, std::move(label), std::move(deps)});
+  return id;
+}
+
+double TaskGraph::total_work() const {
+  double acc = 0.0;
+  for (const auto& t : tasks_) acc += t.seconds;
+  return acc;
+}
+
+namespace {
+
+/// Downward rank: task duration plus the longest chain through successors.
+std::vector<double> upward_ranks(const TaskGraph& g) {
+  const std::size_t n = g.size();
+  std::vector<std::vector<TaskId>> succ(n);
+  for (TaskId t = 0; t < n; ++t)
+    for (const TaskId d : g.task(t).deps) succ[d].push_back(t);
+  std::vector<double> rank(n, 0.0);
+  // Tasks are topologically ordered by construction: walk backwards.
+  for (TaskId t = static_cast<TaskId>(n); t-- > 0;) {
+    double best = 0.0;
+    for (const TaskId s : succ[t]) best = std::max(best, rank[s]);
+    rank[t] = g.task(t).seconds + best;
+  }
+  return rank;
+}
+
+}  // namespace
+
+double TaskGraph::critical_path() const {
+  if (tasks_.empty()) return 0.0;
+  const auto ranks = upward_ranks(*this);
+  return *std::max_element(ranks.begin(), ranks.end());
+}
+
+ScheduleResult schedule(const TaskGraph& graph, std::uint32_t cores,
+                        double per_task_overhead_s) {
+  support::check(cores >= 1, "omp::schedule", "need at least one core");
+  support::check(per_task_overhead_s >= 0.0, "omp::schedule",
+                 "overhead must be non-negative");
+  const std::size_t n = graph.size();
+  ScheduleResult result;
+  result.busy.assign(cores, 0.0);
+  result.start.assign(n, 0.0);
+  if (n == 0) {
+    result.efficiency = 1.0;
+    return result;
+  }
+
+  const auto ranks = upward_ranks(graph);
+  std::vector<std::uint32_t> missing_deps(n, 0);
+  std::vector<std::vector<TaskId>> succ(n);
+  std::vector<double> finish(n, 0.0);
+  for (TaskId t = 0; t < n; ++t) {
+    missing_deps[t] = static_cast<std::uint32_t>(graph.task(t).deps.size());
+    for (const TaskId d : graph.task(t).deps) succ[d].push_back(t);
+  }
+
+  // Ready queue ordered by upward rank (longest chain first).
+  auto cmp = [&ranks](TaskId a, TaskId b) { return ranks[a] < ranks[b]; };
+  std::priority_queue<TaskId, std::vector<TaskId>, decltype(cmp)> ready(cmp);
+  // Earliest time each ready task may start (max over dep finishes).
+  std::vector<double> earliest(n, 0.0);
+  for (TaskId t = 0; t < n; ++t)
+    if (missing_deps[t] == 0) ready.push(t);
+
+  std::vector<double> core_free(cores, 0.0);
+  std::size_t scheduled = 0;
+  while (scheduled < n) {
+    support::check(!ready.empty(), "omp::schedule",
+                   "dependency cycle (unreachable by construction)");
+    const TaskId t = ready.top();
+    ready.pop();
+    // Place on the earliest-free core.
+    const auto core = static_cast<std::size_t>(
+        std::min_element(core_free.begin(), core_free.end()) -
+        core_free.begin());
+    const double start =
+        std::max(core_free[core], earliest[t]) + per_task_overhead_s;
+    result.start[t] = start;
+    finish[t] = start + graph.task(t).seconds;
+    core_free[core] = finish[t];
+    result.busy[core] += graph.task(t).seconds;
+    result.makespan = std::max(result.makespan, finish[t]);
+    ++scheduled;
+    for (const TaskId s : succ[t]) {
+      earliest[s] = std::max(earliest[s], finish[t]);
+      if (--missing_deps[s] == 0) ready.push(s);
+    }
+  }
+  const double work = graph.total_work();
+  result.efficiency =
+      work > 0.0 ? work / (result.makespan * cores) : 1.0;
+  return result;
+}
+
+TaskGraph amdahl_graph(double total_seconds, double serial_fraction,
+                       std::uint32_t chunks) {
+  support::check(total_seconds > 0.0, "amdahl_graph",
+                 "total time must be positive");
+  support::check(serial_fraction >= 0.0 && serial_fraction <= 1.0,
+                 "amdahl_graph", "serial fraction must be in [0, 1]");
+  support::check(chunks >= 1, "amdahl_graph", "need at least one chunk");
+  TaskGraph g;
+  const TaskId serial =
+      g.add(total_seconds * serial_fraction, {}, "serial");
+  const double chunk = total_seconds * (1.0 - serial_fraction) / chunks;
+  for (std::uint32_t c = 0; c < chunks; ++c)
+    g.add(chunk, {serial}, "chunk");
+  return g;
+}
+
+TaskGraph irregular_graph(double total_seconds, double serial_fraction,
+                          std::uint32_t chunks, double imbalance,
+                          std::uint64_t seed) {
+  support::check(imbalance >= 0.0 && imbalance < 1.0, "irregular_graph",
+                 "imbalance must be in [0, 1)");
+  TaskGraph g = amdahl_graph(total_seconds, serial_fraction, chunks);
+  // Redistribute the parallel work across the chunks with random weights
+  // (totals preserved). Chunk tasks are ids 1..chunks.
+  support::Rng rng(seed);
+  std::vector<double> w(chunks);
+  double sum = 0.0;
+  for (auto& x : w) {
+    x = 1.0 + rng.uniform(-imbalance, imbalance);
+    sum += x;
+  }
+  TaskGraph out;
+  const TaskId serial = out.add(g.task(0).seconds, {}, "serial");
+  const double parallel = total_seconds * (1.0 - serial_fraction);
+  for (std::uint32_t cidx = 0; cidx < chunks; ++cidx)
+    out.add(parallel * w[cidx] / sum, {serial}, "chunk");
+  return out;
+}
+
+TaskGraph lu_wavefront_graph(double panel_seconds, double update_seconds,
+                             std::uint32_t panels) {
+  support::check(panels >= 1, "lu_wavefront_graph",
+                 "need at least one panel");
+  TaskGraph g;
+  TaskId prev_first_update = 0;
+  bool has_prev = false;
+  for (std::uint32_t k = 0; k < panels; ++k) {
+    std::vector<TaskId> panel_deps;
+    if (has_prev) panel_deps.push_back(prev_first_update);
+    const TaskId panel = g.add(panel_seconds, panel_deps, "panel");
+    const std::uint32_t updates = panels - k;
+    for (std::uint32_t u = 0; u < updates; ++u) {
+      const TaskId up = g.add(update_seconds, {panel}, "update");
+      if (u == 0) {
+        prev_first_update = up;
+        has_prev = true;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace mb::omp

@@ -1,0 +1,72 @@
+#include "os/address_space.h"
+
+#include <bit>
+
+#include "support/check.h"
+
+namespace mb::os {
+
+AddressSpace::AddressSpace(std::unique_ptr<PageAllocator> allocator,
+                           std::uint32_t page_bytes)
+    : allocator_(std::move(allocator)),
+      page_bytes_(page_bytes),
+      page_shift_(static_cast<std::uint32_t>(
+          std::countr_zero(static_cast<std::uint64_t>(page_bytes)))),
+      next_vaddr_(static_cast<std::uint64_t>(page_bytes) * 16) {
+  support::check(allocator_ != nullptr, "AddressSpace",
+                 "allocator must not be null");
+  support::check(page_bytes > 0 && (page_bytes & (page_bytes - 1)) == 0,
+                 "AddressSpace", "page size must be a power of two");
+}
+
+Region AddressSpace::mmap(std::uint64_t bytes) {
+  support::check(bytes > 0, "AddressSpace::mmap", "bytes must be positive");
+  const std::uint64_t pages = (bytes + page_bytes_ - 1) / page_bytes_;
+  const std::vector<Pfn> frames =
+      allocator_->allocate(static_cast<std::size_t>(pages));
+
+  Region region{next_vaddr_, pages * page_bytes_};
+  const std::uint64_t first_vpn = region.vaddr >> page_shift_;
+  for (std::uint64_t i = 0; i < pages; ++i)
+    page_table_[first_vpn + i] = frames[static_cast<std::size_t>(i)];
+  next_vaddr_ += (pages + 1) * page_bytes_;  // leave a guard page gap
+  return region;
+}
+
+void AddressSpace::munmap(const Region& region) {
+  const std::uint64_t pages = region.bytes >> page_shift_;
+  const std::uint64_t first_vpn = region.vaddr >> page_shift_;
+  std::vector<Pfn> frames;
+  frames.reserve(static_cast<std::size_t>(pages));
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    auto it = page_table_.find(first_vpn + i);
+    support::check(it != page_table_.end(), "AddressSpace::munmap",
+                   "region not mapped");
+    frames.push_back(it->second);
+    page_table_.erase(it);
+  }
+  allocator_->free(frames);
+}
+
+std::uint64_t AddressSpace::translate(std::uint64_t vaddr) const {
+  const auto it = page_table_.find(vaddr >> page_shift_);
+  support::check(it != page_table_.end(), "AddressSpace::translate",
+                 "unmapped virtual address");
+  return (it->second << page_shift_) | (vaddr & (page_bytes_ - 1));
+}
+
+std::vector<Pfn> AddressSpace::frames_of(const Region& region) const {
+  const std::uint64_t pages = region.bytes >> page_shift_;
+  const std::uint64_t first_vpn = region.vaddr >> page_shift_;
+  std::vector<Pfn> out;
+  out.reserve(static_cast<std::size_t>(pages));
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    const auto it = page_table_.find(first_vpn + i);
+    support::check(it != page_table_.end(), "AddressSpace::frames_of",
+                   "region not mapped");
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace mb::os

@@ -1,0 +1,52 @@
+// Virtual address space backed by a PageAllocator.
+//
+// Kernels generate virtual addresses; the data caches of the platforms in
+// the paper are physically indexed, so the page-frame layout chosen by the
+// allocator directly shapes conflict-miss behaviour (paper Sec. V-A.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "os/page_alloc.h"
+
+namespace mb::os {
+
+/// A region handle returned by mmap(); identifies pages for munmap().
+struct Region {
+  std::uint64_t vaddr = 0;
+  std::uint64_t bytes = 0;
+};
+
+class AddressSpace {
+ public:
+  /// Page size must be a power of two. The allocator provides frames.
+  AddressSpace(std::unique_ptr<PageAllocator> allocator,
+               std::uint32_t page_bytes);
+
+  /// Maps `bytes` (rounded up to whole pages) at the next free virtual
+  /// address; returns the region.
+  Region mmap(std::uint64_t bytes);
+
+  /// Unmaps a region previously returned by mmap and frees its frames.
+  void munmap(const Region& region);
+
+  /// Translates a virtual address. Throws for unmapped addresses.
+  std::uint64_t translate(std::uint64_t vaddr) const;
+
+  std::uint32_t page_bytes() const { return page_bytes_; }
+
+  /// The frames backing a region, in virtual-page order (for tests).
+  std::vector<Pfn> frames_of(const Region& region) const;
+
+ private:
+  std::unique_ptr<PageAllocator> allocator_;
+  std::uint32_t page_bytes_;
+  std::uint32_t page_shift_;
+  std::uint64_t next_vaddr_;
+  std::unordered_map<std::uint64_t, Pfn> page_table_;  // vpn -> pfn
+};
+
+}  // namespace mb::os

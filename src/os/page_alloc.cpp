@@ -1,0 +1,117 @@
+#include "os/page_alloc.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace mb::os {
+
+// ---------------------------------------------------------------- consecutive
+
+ConsecutivePageAllocator::ConsecutivePageAllocator(std::size_t total_frames)
+    : used_(total_frames, false), free_count_(total_frames) {
+  support::check(total_frames > 0, "ConsecutivePageAllocator",
+                 "frame pool must not be empty");
+}
+
+std::vector<Pfn> ConsecutivePageAllocator::allocate(std::size_t n) {
+  support::check(n <= free_count_, "ConsecutivePageAllocator::allocate",
+                 "out of physical frames");
+  std::vector<Pfn> out;
+  out.reserve(n);
+  std::size_t i = search_hint_;
+  while (out.size() < n) {
+    if (i >= used_.size()) i = 0;
+    if (!used_[i]) {
+      used_[i] = true;
+      out.push_back(i);
+    }
+    ++i;
+  }
+  search_hint_ = i;
+  free_count_ -= n;
+  return out;
+}
+
+void ConsecutivePageAllocator::free(const std::vector<Pfn>& frames) {
+  for (Pfn f : frames) {
+    support::check(f < used_.size() && used_[f],
+                   "ConsecutivePageAllocator::free", "double free or bad pfn");
+    used_[f] = false;
+    ++free_count_;
+    search_hint_ = std::min<std::size_t>(search_hint_, f);
+  }
+}
+
+std::size_t ConsecutivePageAllocator::available() const { return free_count_; }
+
+// --------------------------------------------------------------- reuse-biased
+
+ReuseBiasedPageAllocator::ReuseBiasedPageAllocator(std::size_t total_frames,
+                                                   support::Rng rng)
+    : rng_(rng) {
+  support::check(total_frames > 0, "ReuseBiasedPageAllocator",
+                 "frame pool must not be empty");
+  free_list_.resize(total_frames);
+  for (std::size_t i = 0; i < total_frames; ++i) free_list_[i] = i;
+}
+
+std::vector<Pfn> ReuseBiasedPageAllocator::allocate(std::size_t n) {
+  support::check(n <= free_list_.size(),
+                 "ReuseBiasedPageAllocator::allocate",
+                 "out of physical frames");
+  if (!shuffled_) {
+    // The state of a freshly booted machine: frame order is effectively
+    // arbitrary with respect to the process's virtual layout.
+    rng_.shuffle(free_list_);
+    shuffled_ = true;
+  }
+  std::vector<Pfn> out(free_list_.end() - static_cast<std::ptrdiff_t>(n),
+                       free_list_.end());
+  free_list_.resize(free_list_.size() - n);
+  return out;
+}
+
+void ReuseBiasedPageAllocator::free(const std::vector<Pfn>& frames) {
+  // LIFO: the next allocate() of the same size returns exactly these frames
+  // (in reverse order), reproducing the paper's within-run stability.
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it)
+    free_list_.push_back(*it);
+}
+
+std::size_t ReuseBiasedPageAllocator::available() const {
+  return free_list_.size();
+}
+
+// --------------------------------------------------------------------- random
+
+RandomPageAllocator::RandomPageAllocator(std::size_t total_frames,
+                                         support::Rng rng)
+    : rng_(rng) {
+  support::check(total_frames > 0, "RandomPageAllocator",
+                 "frame pool must not be empty");
+  pool_.resize(total_frames);
+  for (std::size_t i = 0; i < total_frames; ++i) pool_[i] = i;
+}
+
+std::vector<Pfn> RandomPageAllocator::allocate(std::size_t n) {
+  support::check(n <= pool_.size(), "RandomPageAllocator::allocate",
+                 "out of physical frames");
+  std::vector<Pfn> out;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t j = rng_.index(pool_.size());
+    out.push_back(pool_[j]);
+    pool_[j] = pool_.back();
+    pool_.pop_back();
+  }
+  return out;
+}
+
+void RandomPageAllocator::free(const std::vector<Pfn>& frames) {
+  for (Pfn f : frames) pool_.push_back(f);
+}
+
+std::size_t RandomPageAllocator::available() const { return pool_.size(); }
+
+}  // namespace mb::os

@@ -1,0 +1,94 @@
+// Physical page allocation models.
+//
+// Section V-A.1 of the paper traces surprising irreproducibility on the ARM
+// boards to the OS's choice of *physical* pages: around the L1 size,
+// non-consecutive physical pages create extra conflict misses in the
+// physically-indexed caches, and because the kernel tends to hand back the
+// same pages within one run (malloc/free reuse), variability appears
+// *between* runs but not within one. Three allocator models capture this:
+//
+//  * ConsecutivePageAllocator — ideal contiguous placement (x86-like large
+//    zones; the behaviour HPC developers implicitly assume).
+//  * ReuseBiasedPageAllocator — random placement, but freed pages go back
+//    on top of a LIFO free list, so repeated malloc/free within a run gets
+//    the same frames (the paper's observed ARM behaviour).
+//  * RandomPageAllocator — fully randomized placement on every allocation
+//    (the methodological fix: what a randomized benchmark must emulate).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace mb::os {
+
+/// Physical frame number.
+using Pfn = std::uint64_t;
+
+/// Allocation policy interface.
+class PageAllocator {
+ public:
+  virtual ~PageAllocator() = default;
+
+  /// Allocates `n` frames. Throws when the pool is exhausted.
+  virtual std::vector<Pfn> allocate(std::size_t n) = 0;
+
+  /// Returns frames to the pool.
+  virtual void free(const std::vector<Pfn>& frames) = 0;
+
+  /// Frames currently available.
+  virtual std::size_t available() const = 0;
+};
+
+/// Always hands out the lowest-numbered free frames in order, yielding
+/// physically contiguous allocations whenever possible.
+class ConsecutivePageAllocator final : public PageAllocator {
+ public:
+  explicit ConsecutivePageAllocator(std::size_t total_frames);
+
+  std::vector<Pfn> allocate(std::size_t n) override;
+  void free(const std::vector<Pfn>& frames) override;
+  std::size_t available() const override;
+
+ private:
+  std::vector<bool> used_;
+  std::size_t free_count_;
+  std::size_t search_hint_ = 0;
+};
+
+/// Random placement with LIFO reuse of freed frames: the first allocation in
+/// a "boot" draws random frames; malloc/free cycles then recycle the same
+/// frames, so behaviour is stable within a run but differs across runs
+/// (reseed to model a new boot/run).
+class ReuseBiasedPageAllocator final : public PageAllocator {
+ public:
+  ReuseBiasedPageAllocator(std::size_t total_frames, support::Rng rng);
+
+  std::vector<Pfn> allocate(std::size_t n) override;
+  void free(const std::vector<Pfn>& frames) override;
+  std::size_t available() const override;
+
+ private:
+  std::vector<Pfn> free_list_;  // back = most recently freed (LIFO)
+  support::Rng rng_;
+  bool shuffled_ = false;
+};
+
+/// Fully random placement on every allocation (no reuse bias): freed frames
+/// re-enter the pool at random positions.
+class RandomPageAllocator final : public PageAllocator {
+ public:
+  RandomPageAllocator(std::size_t total_frames, support::Rng rng);
+
+  std::vector<Pfn> allocate(std::size_t n) override;
+  void free(const std::vector<Pfn>& frames) override;
+  std::size_t available() const override;
+
+ private:
+  std::vector<Pfn> pool_;
+  support::Rng rng_;
+};
+
+}  // namespace mb::os

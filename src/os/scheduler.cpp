@@ -1,0 +1,38 @@
+#include "os/scheduler.h"
+
+#include <algorithm>
+
+namespace mb::os {
+
+FairScheduler::FairScheduler(support::Rng rng, double jitter_cv)
+    : rng_(rng), initial_rng_(rng), jitter_cv_(jitter_cv) {}
+
+double FairScheduler::next_slowdown() {
+  // Slowdowns cannot make a run faster than nominal; fold jitter upward.
+  return 1.0 + std::abs(rng_.normal(0.0, jitter_cv_));
+}
+
+void FairScheduler::reset() { rng_ = initial_rng_; }
+
+RealTimeAnomalous::RealTimeAnomalous(support::Rng rng)
+    : RealTimeAnomalous(rng, Params{}) {}
+
+RealTimeAnomalous::RealTimeAnomalous(support::Rng rng, Params params)
+    : rng_(rng), initial_rng_(rng), params_(params) {}
+
+double RealTimeAnomalous::next_slowdown() {
+  if (degraded_) {
+    if (rng_.bernoulli(params_.exit_degraded)) degraded_ = false;
+  } else {
+    if (rng_.bernoulli(params_.enter_degraded)) degraded_ = true;
+  }
+  const double base = degraded_ ? params_.degraded_slowdown : 1.0;
+  return base * (1.0 + std::abs(rng_.normal(0.0, params_.jitter_cv)));
+}
+
+void RealTimeAnomalous::reset() {
+  rng_ = initial_rng_;
+  degraded_ = false;
+}
+
+}  // namespace mb::os

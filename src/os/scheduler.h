@@ -1,0 +1,77 @@
+// OS scheduler disturbance models.
+//
+// Section V-A.2 of the paper: running the memory benchmark under real-time
+// (SCHED_FIFO) priority on the ARM board — a standard trick to *reduce*
+// noise on x86 — instead produced a second, degraded execution mode with
+// ~5x lower bandwidth, and the degraded measurements were consecutive in
+// time (Fig. 5b), pointing at a latent scheduler state. We model a
+// disturbance process that multiplies each measurement's runtime:
+//
+//  * FairScheduler        — small i.i.d. jitter around 1.0 (default CFS-ish
+//                           behaviour on an otherwise idle machine).
+//  * RealTimeAnomalous    — two-state Markov chain {Normal, Degraded}. In
+//                           Degraded the slowdown is ~5x and the state is
+//                           sticky, producing consecutive degraded samples.
+#pragma once
+
+#include <memory>
+
+#include "support/rng.h"
+
+namespace mb::os {
+
+/// Per-measurement disturbance: returns the factor by which a measurement's
+/// nominal runtime is multiplied (>= 1.0 means slower).
+class SchedulerModel {
+ public:
+  virtual ~SchedulerModel() = default;
+
+  /// Advances the process and returns the slowdown for the next sample.
+  virtual double next_slowdown() = 0;
+
+  /// Resets internal state (new run / new boot).
+  virtual void reset() = 0;
+};
+
+/// CFS-like behaviour on an idle machine: multiplicative jitter with a small
+/// coefficient of variation and no memory.
+class FairScheduler final : public SchedulerModel {
+ public:
+  /// `jitter_cv` is the relative standard deviation of the slowdown.
+  explicit FairScheduler(support::Rng rng, double jitter_cv = 0.01);
+
+  double next_slowdown() override;
+  void reset() override;
+
+ private:
+  support::Rng rng_;
+  support::Rng initial_rng_;
+  double jitter_cv_;
+};
+
+/// The ARM real-time anomaly: a sticky two-state Markov chain.
+class RealTimeAnomalous final : public SchedulerModel {
+ public:
+  struct Params {
+    double enter_degraded = 0.04;  ///< P(Normal -> Degraded) per sample
+    double exit_degraded = 0.12;   ///< P(Degraded -> Normal) per sample
+    double degraded_slowdown = 5.0;
+    double jitter_cv = 0.015;
+  };
+
+  explicit RealTimeAnomalous(support::Rng rng);
+  RealTimeAnomalous(support::Rng rng, Params params);
+
+  double next_slowdown() override;
+  void reset() override;
+
+  bool degraded() const { return degraded_; }
+
+ private:
+  support::Rng rng_;
+  support::Rng initial_rng_;
+  Params params_;
+  bool degraded_ = false;
+};
+
+}  // namespace mb::os

@@ -1,0 +1,38 @@
+#include "power/cluster_energy.h"
+
+namespace mb::power {
+
+ClusterPower arm_cluster_power(std::uint32_t nodes) {
+  ClusterPower p;
+  p.nodes = nodes;
+  p.node_w = 3.5;  // 2.5 W board + ~1 W NIC/PHY
+  p.switches = (nodes + 47) / 48 + (nodes > 48 ? 1 : 0);  // leaves + root
+  p.switch_w = 60.0;
+  return p;
+}
+
+ClusterPower arm_cluster_power_eee(std::uint32_t nodes) {
+  ClusterPower p = arm_cluster_power(nodes);
+  p.switch_w = 25.0;  // Energy-Efficient Ethernet class switching
+  return p;
+}
+
+double cluster_watts(const ClusterPower& p) {
+  return p.nodes * p.node_w + p.switches * p.switch_w;
+}
+
+double cluster_energy_j(const ClusterPower& p, double makespan_s) {
+  support::check(makespan_s >= 0.0, "cluster_energy_j",
+                 "makespan must be non-negative");
+  return cluster_watts(p) * makespan_s;
+}
+
+double cluster_energy_ratio(const ClusterPower& a, double makespan_a,
+                            const ClusterPower& b, double makespan_b) {
+  const double eb = cluster_energy_j(b, makespan_b);
+  support::check(eb > 0.0, "cluster_energy_ratio",
+                 "reference energy must be positive");
+  return cluster_energy_j(a, makespan_a) / eb;
+}
+
+}  // namespace mb::power

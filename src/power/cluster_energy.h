@@ -1,0 +1,43 @@
+// Cluster-level energy accounting (paper Sec. IV, closing remark).
+//
+// "No power measurement was done so far at large scale ... with current
+// hardware, the node power efficiency is likely to be counterbalanced by
+// the network inefficiency." This module makes that arithmetic explicit:
+// energy-to-solution = (nodes x node power + switches x switch power) x
+// makespan, where the makespan already contains the network-induced
+// stretch. A node-level win (Table II) can disappear at cluster level once
+// parallel efficiency drops and the switches' own draw is charged.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.h"
+
+namespace mb::power {
+
+struct ClusterPower {
+  std::uint32_t nodes = 0;
+  double node_w = 0.0;        ///< board power incl. NIC
+  std::uint32_t switches = 0;
+  double switch_w = 0.0;
+};
+
+/// The Tibidabo-class power envelope for `nodes` boards: Snowball-class
+/// boards (2.5 W) plus ~1 W NIC each, 48-port GbE switches at ~60 W.
+ClusterPower arm_cluster_power(std::uint32_t nodes);
+
+/// Energy-saving Ethernet variant the final prototype selects (Sec. IV):
+/// the same boards behind lower-power switches.
+ClusterPower arm_cluster_power_eee(std::uint32_t nodes);
+
+/// Total draw in watts.
+double cluster_watts(const ClusterPower& p);
+
+/// Energy to run for `makespan_s`.
+double cluster_energy_j(const ClusterPower& p, double makespan_s);
+
+/// Energy ratio of cluster A vs cluster B for the same work.
+double cluster_energy_ratio(const ClusterPower& a, double makespan_a,
+                            const ClusterPower& b, double makespan_b);
+
+}  // namespace mb::power

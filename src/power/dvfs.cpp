@@ -1,0 +1,80 @@
+#include "power/dvfs.h"
+
+#include <cmath>
+
+namespace mb::power {
+
+void DvfsModel::validate() const {
+  support::check(f_min_hz > 0.0 && f_min_hz <= f_nominal_hz &&
+                     f_nominal_hz <= f_max_hz,
+                 "DvfsModel", "need 0 < f_min <= f_nominal <= f_max");
+  support::check(dynamic_w_nominal > 0.0 && static_w >= 0.0, "DvfsModel",
+                 "power terms must be non-negative");
+  support::check(alpha >= 1.0 && alpha <= 4.0, "DvfsModel",
+                 "alpha outside the physically plausible range");
+}
+
+DvfsModel snowball_dvfs() {
+  DvfsModel m;
+  m.f_nominal_hz = 1.0e9;
+  m.f_min_hz = 0.2e9;
+  m.f_max_hz = 1.2e9;
+  m.dynamic_w_nominal = 1.5;
+  m.static_w = 1.0;  // totals the paper's 2.5 W at nominal
+  m.alpha = 3.0;
+  return m;
+}
+
+double dvfs_seconds(const DvfsModel& model, const DvfsWorkload& w,
+                    double f_hz) {
+  model.validate();
+  support::check(f_hz >= model.f_min_hz && f_hz <= model.f_max_hz,
+                 "dvfs_seconds", "frequency outside the envelope");
+  support::check(w.seconds_at_nominal >= 0.0 && w.compute_fraction >= 0.0 &&
+                     w.compute_fraction <= 1.0,
+                 "dvfs_seconds", "bad workload");
+  const double scale = model.f_nominal_hz / f_hz;
+  return w.seconds_at_nominal *
+         (w.compute_fraction * scale + (1.0 - w.compute_fraction));
+}
+
+double dvfs_watts(const DvfsModel& model, double f_hz) {
+  model.validate();
+  const double rel = f_hz / model.f_nominal_hz;
+  return model.static_w + model.dynamic_w_nominal * std::pow(rel, model.alpha);
+}
+
+double dvfs_energy_j(const DvfsModel& model, const DvfsWorkload& w,
+                     double f_hz) {
+  return dvfs_watts(model, f_hz) * dvfs_seconds(model, w, f_hz);
+}
+
+double dvfs_optimal_frequency(const DvfsModel& model,
+                              const DvfsWorkload& w) {
+  model.validate();
+  // Golden-section search on the unimodal energy curve.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = model.f_min_hz, hi = model.f_max_hz;
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double e1 = dvfs_energy_j(model, w, x1);
+  double e2 = dvfs_energy_j(model, w, x2);
+  for (int it = 0; it < 80; ++it) {
+    if (e1 < e2) {
+      hi = x2;
+      x2 = x1;
+      e2 = e1;
+      x1 = hi - phi * (hi - lo);
+      e1 = dvfs_energy_j(model, w, x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      e1 = e2;
+      x2 = lo + phi * (hi - lo);
+      e2 = dvfs_energy_j(model, w, x2);
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace mb::power

@@ -1,0 +1,67 @@
+// Dynamic voltage and frequency scaling model.
+//
+// The embedded platforms the paper studies live and die by DVFS; the
+// Mont-Blanc question "what frequency minimizes energy to solution?" has a
+// workload-dependent answer the model makes quantitative:
+//
+//  * dynamic power scales ~ f * V^2 and V scales roughly linearly with f
+//    across the usable range, so P_dyn ~ f^3;
+//  * static (leakage + board) power is constant while the job runs;
+//  * compute-bound time scales 1/f, but the memory-bound fraction does
+//    not — DRAM does not get faster when the core clocks up.
+//
+// Race-to-idle wins when static power dominates; slow-and-steady wins when
+// dynamic power dominates and the workload is memory-bound. Both regimes
+// appear in the sweep bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.h"
+
+namespace mb::power {
+
+struct DvfsModel {
+  double f_nominal_hz = 1.0e9;
+  double f_min_hz = 0.2e9;
+  double f_max_hz = 1.2e9;
+  /// Dynamic power at the nominal frequency (whole chip, busy).
+  double dynamic_w_nominal = 1.5;
+  /// Frequency-independent draw while the job runs (leakage, DRAM
+  /// refresh, board).
+  double static_w = 1.0;
+  /// Voltage scaling exponent: P_dyn ~ (f/f_nom)^alpha; ~3 when voltage
+  /// tracks frequency, 1 with fixed voltage.
+  double alpha = 3.0;
+
+  void validate() const;
+};
+
+/// The Snowball-class operating envelope (2.5 W total at nominal).
+DvfsModel snowball_dvfs();
+
+/// A workload characterized at the nominal frequency.
+struct DvfsWorkload {
+  double seconds_at_nominal = 0.0;
+  /// Fraction of that time which is core-bound (scales with 1/f); the
+  /// rest is memory-bound and frequency independent.
+  double compute_fraction = 1.0;
+};
+
+/// Runtime at frequency f.
+double dvfs_seconds(const DvfsModel& model, const DvfsWorkload& w,
+                    double f_hz);
+
+/// Power while running at f.
+double dvfs_watts(const DvfsModel& model, double f_hz);
+
+/// Energy to solution at f.
+double dvfs_energy_j(const DvfsModel& model, const DvfsWorkload& w,
+                     double f_hz);
+
+/// The frequency in [f_min, f_max] minimizing energy to solution
+/// (golden-section search; the function is unimodal in f).
+double dvfs_optimal_frequency(const DvfsModel& model, const DvfsWorkload& w);
+
+}  // namespace mb::power

@@ -1,0 +1,36 @@
+#include "power/energy.h"
+
+#include "support/check.h"
+
+namespace mb::power {
+
+double energy_j(const arch::Platform& platform, double seconds) {
+  support::check(seconds >= 0.0, "energy_j", "time must be non-negative");
+  return platform.power_w * seconds;
+}
+
+double energy_ratio(const arch::Platform& a, double t_a,
+                    const arch::Platform& b, double t_b) {
+  const double eb = energy_j(b, t_b);
+  support::check(eb > 0.0, "energy_ratio", "reference energy must be > 0");
+  return energy_j(a, t_a) / eb;
+}
+
+double gflops_per_watt(const arch::Platform& platform, double gflops) {
+  support::check(gflops >= 0.0, "gflops_per_watt",
+                 "gflops must be non-negative");
+  return gflops / platform.power_w;
+}
+
+double peak_efficiency(const arch::Platform& platform) {
+  return platform.peak_dp_gflops() / platform.power_w;
+}
+
+double projected_efficiency_with_gpu(const arch::Platform& platform) {
+  double peak = platform.peak_sp_gflops();
+  if (platform.gpu && platform.gpu->general_purpose)
+    peak += platform.gpu->peak_sp_gflops;
+  return peak / platform.power_w;
+}
+
+}  // namespace mb::power

@@ -1,0 +1,37 @@
+// Energy accounting (paper Table II and Sec. VI-A).
+//
+// The paper deliberately uses a conservative model: the Snowball board is
+// charged its full USB power budget (2.5 W) while the Xeon is charged only
+// its TDP (95 W) — "highly unfavorable for the ARM platform". Energy is
+// power x time; the energy ratio of a benchmark is
+//
+//   E_arm / E_x86 = (t_arm * P_arm) / (t_x86 * P_x86)
+//                 = perf_ratio * P_arm / P_x86.
+//
+// With P_x86 / P_arm = 38, every Table II row with a performance ratio
+// below 38x favours the ARM platform.
+#pragma once
+
+#include "arch/platform.h"
+
+namespace mb::power {
+
+/// Joules to run for `seconds` on `platform` (nameplate model).
+double energy_j(const arch::Platform& platform, double seconds);
+
+/// E_a / E_b for the same work taking t_a on a and t_b on b.
+double energy_ratio(const arch::Platform& a, double t_a,
+                    const arch::Platform& b, double t_b);
+
+/// GFLOPS per watt at a given achieved GFLOPS.
+double gflops_per_watt(const arch::Platform& platform, double gflops);
+
+/// Peak-DP GFLOPS/W of a platform (the Green500-style headline number).
+double peak_efficiency(const arch::Platform& platform);
+
+/// The paper's Exynos5 projection: CPU+GPU peak over the 5 W budget
+/// ("even an efficiency of 5 or 7 GFLOPS per Watt would be an
+/// accomplishment").
+double projected_efficiency_with_gpu(const arch::Platform& platform);
+
+}  // namespace mb::power

@@ -1,0 +1,46 @@
+#include "power/top500.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace mb::power {
+
+std::vector<Top500Point> top500_series(const Top500Model& model,
+                                       double from_year, double to_year) {
+  support::check(from_year <= to_year, "top500_series",
+                 "from_year must be <= to_year");
+  std::vector<Top500Point> out;
+  for (double year = from_year; year <= to_year + 1e-9; year += 1.0) {
+    const double dt = year - model.base_year;
+    Top500Point p;
+    p.year = year;
+    p.top_gflops = model.top0 * std::pow(model.top_growth, dt);
+    p.last_gflops = model.last0 * std::pow(model.last_growth, dt);
+    p.sum_gflops = model.sum0 * std::pow(model.sum_growth, dt);
+    out.push_back(p);
+  }
+  return out;
+}
+
+double projected_year_for(const Top500Model& model, double gflops) {
+  const auto series = top500_series(model, model.base_year,
+                                    model.base_year + 19);
+  std::vector<double> xs, ys;
+  for (const auto& p : series) {
+    xs.push_back(p.year - model.base_year);
+    ys.push_back(p.top_gflops);
+  }
+  const auto fit = stats::fit_exponential(xs, ys);
+  return model.base_year + fit.solve_for_x(gflops);
+}
+
+double ExascaleRequirement::improvement_over(
+    double current_gflops_per_w) const {
+  support::check(current_gflops_per_w > 0.0,
+                 "ExascaleRequirement::improvement_over",
+                 "current efficiency must be positive");
+  return required_efficiency() / current_gflops_per_w;
+}
+
+}  // namespace mb::power

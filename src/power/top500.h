@@ -1,0 +1,55 @@
+// TOP500 growth model (paper Fig. 1 and Introduction).
+//
+// Figure 1 plots the exponential growth of recorded supercomputing
+// performance (sum of the list, #1 and #500) and motivates the paper: an
+// exaflop machine by ~2018 under a 20 MW budget needs ~50 GFLOPS/W, a
+// ~25x efficiency jump. This module generates the historical series from
+// the well-known growth rates, fits them, and computes the projections the
+// introduction quotes.
+#pragma once
+
+#include <vector>
+
+#include "stats/regression.h"
+
+namespace mb::power {
+
+struct Top500Point {
+  double year = 0.0;
+  double sum_gflops = 0.0;
+  double top_gflops = 0.0;
+  double last_gflops = 0.0;  ///< rank #500
+};
+
+struct Top500Model {
+  double base_year = 1993.0;
+  /// June 1993 anchors (GFLOPS): #1 ~60 (CM-5), #500 ~0.4, sum ~1120.
+  double top0 = 59.7;
+  double last0 = 0.42;
+  double sum0 = 1120.0;
+  /// Annual growth factors (the list historically doubles in ~13 months).
+  double top_growth = 1.87;
+  double last_growth = 1.90;
+  double sum_growth = 1.86;
+};
+
+/// The series from `from_year` to `to_year` inclusive (one point/year).
+std::vector<Top500Point> top500_series(const Top500Model& model,
+                                       double from_year, double to_year);
+
+/// Fits an exponential to the #1 series and returns the projected year the
+/// given performance is reached (e.g. 1e9 GFLOPS = 1 exaflop).
+double projected_year_for(const Top500Model& model, double gflops);
+
+struct ExascaleRequirement {
+  double power_budget_w = 20e6;
+  double exaflop_gflops = 1e9;
+  /// GFLOPS/W required to fit the budget.
+  double required_efficiency() const {
+    return exaflop_gflops / power_budget_w;
+  }
+  /// Improvement factor over a given current efficiency.
+  double improvement_over(double current_gflops_per_w) const;
+};
+
+}  // namespace mb::power

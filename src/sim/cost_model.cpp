@@ -1,0 +1,175 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace mb::sim {
+
+using arch::OpClass;
+
+namespace {
+
+double rt(const arch::CoreConfig& core, OpClass c) {
+  return arch::recip_throughput(core, c);
+}
+
+bool supported(const arch::CoreConfig& core, OpClass c) {
+  return rt(core, c) > 0.0;
+}
+
+}  // namespace
+
+CostModel::CostModel(const arch::Platform& platform) : platform_(platform) {
+  platform_.validate();
+}
+
+InstrMix CostModel::decompose(const InstrMix& mix) const {
+  const auto& core = platform_.core;
+
+  InstrMix fresh;
+  fresh.flops = mix.flops;
+  fresh.serialized_loads = mix.serialized_loads;
+  fresh.serialized_fp = mix.serialized_fp;
+  fresh.dependent_miss_fraction = mix.dependent_miss_fraction;
+  fresh.mispredicted_branches = mix.mispredicted_branches;
+
+  for (std::size_t i = 0; i < arch::kOpClassCount; ++i) {
+    const auto c = static_cast<OpClass>(i);
+    const std::uint64_t n = mix.count(c);
+    if (n == 0) continue;
+    if (supported(core, c)) {
+      fresh.add(c, n);
+      continue;
+    }
+    switch (c) {
+      case OpClass::kVecDp:
+        // Packed DP on a SP-only vector unit: scalar DP, 2 lanes, split
+        // evenly between the add and mul pipes.
+        fresh.add(OpClass::kFpAddDp, n);
+        fresh.add(OpClass::kFpMulDp, n);
+        break;
+      case OpClass::kVecSp:
+        // No vector unit at all (Tegra2): 4 scalar SP lanes.
+        fresh.add(OpClass::kFpAddSp, 2 * n);
+        fresh.add(OpClass::kFpMulSp, 2 * n);
+        break;
+      case OpClass::kLoad128:
+        fresh.add(OpClass::kLoad64, 2 * n);
+        break;
+      case OpClass::kStore128:
+        fresh.add(OpClass::kStore64, 2 * n);
+        break;
+      case OpClass::kLoad64:
+        fresh.add(OpClass::kLoad32, 2 * n);
+        break;
+      case OpClass::kStore64:
+        fresh.add(OpClass::kStore32, 2 * n);
+        break;
+      case OpClass::kInt64:
+        fresh.add(OpClass::kIntAlu, 3 * n);
+        break;
+      default:
+        support::fail("CostModel::decompose",
+                      "op class unsupported by platform and not decomposable");
+    }
+  }
+  return fresh;
+}
+
+CostBreakdown CostModel::cycles(const InstrMix& raw_mix,
+                                const MemoryBehaviour& mem,
+                                std::uint32_t bandwidth_sharers) const {
+  support::check(bandwidth_sharers >= 1, "CostModel::cycles",
+                 "bandwidth_sharers must be >= 1");
+  const auto& core = platform_.core;
+  const InstrMix mix = decompose(raw_mix);
+
+  CostBreakdown out;
+
+  // ---- throughput bounds ----
+  const double issue_bound =
+      static_cast<double>(mix.total_ops()) / core.issue_width;
+
+  auto unit_cycles = [&](OpClass c) {
+    return static_cast<double>(mix.count(c)) * rt(core, c);
+  };
+
+  const double int_bound = unit_cycles(OpClass::kIntAlu) +
+                           unit_cycles(OpClass::kIntMul) +
+                           unit_cycles(OpClass::kInt64);
+  // Vector ops split across the FP add and mul pipes (MAC-balanced codes).
+  const double vec_half = 0.5 * (unit_cycles(OpClass::kVecSp) +
+                                 unit_cycles(OpClass::kVecDp));
+  const double fpadd_bound = unit_cycles(OpClass::kFpAddSp) +
+                             unit_cycles(OpClass::kFpAddDp) + vec_half;
+  const double fpmul_bound = unit_cycles(OpClass::kFpMulSp) +
+                             unit_cycles(OpClass::kFpMulDp) + vec_half;
+  const double load_cycles = unit_cycles(OpClass::kLoad32) +
+                             unit_cycles(OpClass::kLoad64) +
+                             unit_cycles(OpClass::kLoad128);
+  const double store_cycles = unit_cycles(OpClass::kStore32) +
+                              unit_cycles(OpClass::kStore64) +
+                              unit_cycles(OpClass::kStore128);
+  const double lsu_bound = core.split_lsu
+                               ? std::max(load_cycles, store_cycles)
+                               : load_cycles + store_cycles;
+  const double branch_bound = unit_cycles(OpClass::kBranch);
+
+  out.compute_cycles = std::max({issue_bound, int_bound, fpadd_bound,
+                                 fpmul_bound, lsu_bound, branch_bound});
+
+  // ---- exposed dependency latency ----
+  const double l1_latency = platform_.caches.front().latency_cycles;
+  out.dependency_cycles =
+      static_cast<double>(mix.serialized_loads) *
+          std::max(0.0, l1_latency - 1.0) +
+      static_cast<double>(mix.serialized_fp) *
+          std::max(0.0, core.fp_dep_latency_cycles - 1.0);
+
+  // ---- memory stalls ----
+  support::check(mem.level.size() <= platform_.caches.size(),
+                 "CostModel::cycles",
+                 "memory behaviour has more levels than the platform");
+  // Dependent misses (pointer chases) pay the full latency: no OoO
+  // overlap, no MSHR pipelining. Independent misses expose only the
+  // un-hidden fraction and pipeline over the MSHRs at the DRAM level.
+  const double dep = std::clamp(mix.dependent_miss_fraction, 0.0, 1.0);
+  const double exposed = 1.0 - core.miss_overlap;
+  double latency_term = 0.0;
+  for (std::size_t lvl = 1; lvl < mem.level.size(); ++lvl) {
+    // Hits at level `lvl` are accesses that missed all shallower levels.
+    const double hits = static_cast<double>(mem.level[lvl].hits);
+    const double lat = platform_.caches[lvl].latency_cycles;
+    latency_term += hits * lat * (dep + (1.0 - dep) * exposed);
+  }
+  const double dram_cycles =
+      platform_.mem.latency_ns * 1e-9 * core.freq_hz;
+  const double dram_accesses = static_cast<double>(mem.memory_accesses);
+  latency_term += dram_accesses * dram_cycles *
+                  (dep + (1.0 - dep) * exposed / std::max(1.0, core.mshr));
+
+  const double share =
+      platform_.mem.bandwidth_bytes_per_s / bandwidth_sharers;
+  const double bandwidth_term =
+      static_cast<double>(mem.memory_bytes) / share * core.freq_hz;
+  out.memory_cycles = std::max(latency_term, bandwidth_term);
+
+  // ---- TLB ----
+  out.tlb_cycles =
+      static_cast<double>(mem.tlb_misses) * core.tlb_walk_cycles;
+
+  // ---- branches ----
+  const double mispredicts =
+      mix.mispredicted_branches
+          ? static_cast<double>(*mix.mispredicted_branches)
+          : static_cast<double>(mix.count(OpClass::kBranch)) *
+                core.branch_mispredict_rate;
+  out.branch_cycles = mispredicts * core.branch_mispredict_penalty;
+
+  out.total = out.compute_cycles + out.dependency_cycles + out.memory_cycles +
+              out.tlb_cycles + out.branch_cycles;
+  return out;
+}
+
+}  // namespace mb::sim

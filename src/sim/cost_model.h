@@ -1,0 +1,68 @@
+// Analytic core cost model.
+//
+// Produces a cycle count for an instruction mix executed on a platform,
+// bounded the way real superscalar cores are bounded:
+//
+//   cycles = max( issue-width bound,
+//                 per-functional-unit throughput bounds )
+//          + exposed dependency latency (serialized loads / FP chains)
+//          + memory stalls (per-level hit latency and DRAM, less the
+//            fraction an out-of-order window hides; or the bandwidth
+//            bound when traffic saturates the memory bus)
+//          + TLB walk and branch misprediction penalties.
+//
+// Operation classes a platform cannot execute natively (e.g. packed DP on
+// NEON, any vector op on Tegra2) are decomposed into supported ones first —
+// this is what makes LINPACK's Xeon/ARM ratio much larger than CoreMark's,
+// the central asymmetry of the paper's Table II.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/platform.h"
+#include "cache/cache.h"
+#include "sim/instr_mix.h"
+
+namespace mb::sim {
+
+/// Memory-system behaviour observed while the kernel ran (a delta of
+/// cache::HierarchyStats plus TLB misses).
+struct MemoryBehaviour {
+  std::vector<cache::CacheStats> level;  ///< per cache level
+  std::uint64_t memory_accesses = 0;     ///< DRAM line fills
+  std::uint64_t memory_bytes = 0;        ///< DRAM traffic incl. writebacks
+  std::uint64_t tlb_misses = 0;
+};
+
+/// Cycle count with its contributing terms (for reports and tests).
+struct CostBreakdown {
+  double compute_cycles = 0.0;     ///< max of issue/unit bounds
+  double dependency_cycles = 0.0;  ///< exposed load / FP chain latency
+  double memory_cycles = 0.0;      ///< cache-miss and DRAM stalls
+  double tlb_cycles = 0.0;
+  double branch_cycles = 0.0;
+  double total = 0.0;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const arch::Platform& platform);
+
+  /// Cycles to execute `mix` with the observed memory behaviour.
+  /// `bandwidth_sharers` = number of cores concurrently driving DRAM
+  /// (affects the per-core bandwidth bound).
+  CostBreakdown cycles(const InstrMix& mix, const MemoryBehaviour& mem,
+                       std::uint32_t bandwidth_sharers = 1) const;
+
+  /// Rewrites unsupported op classes into supported equivalents
+  /// (exposed for tests).
+  InstrMix decompose(const InstrMix& mix) const;
+
+  const arch::Platform& platform() const { return platform_; }
+
+ private:
+  arch::Platform platform_;
+};
+
+}  // namespace mb::sim

@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include "support/check.h"
+
+namespace mb::sim {
+
+void EventQueue::schedule_at(double time_s, Callback cb) {
+  support::check(time_s >= now_, "EventQueue::schedule_at",
+                 "cannot schedule in the past");
+  support::check(static_cast<bool>(cb), "EventQueue::schedule_at",
+                 "callback must not be empty");
+  heap_.push(Event{time_s, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_in(double delay_s, Callback cb) {
+  support::check(delay_s >= 0.0, "EventQueue::schedule_in",
+                 "delay must be non-negative");
+  schedule_at(now_ + delay_s, std::move(cb));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // only through a copy. Events carry std::function, so pop into a local.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+double EventQueue::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+double EventQueue::run_until(double until_s) {
+  while (!heap_.empty() && heap_.top().time <= until_s) step();
+  if (now_ < until_s) now_ = until_s;
+  return now_;
+}
+
+}  // namespace mb::sim

@@ -1,0 +1,58 @@
+// Discrete-event simulation engine.
+//
+// Drives the cluster-level experiments (network, MPI runtime, applications).
+// Events are callbacks ordered by (time, insertion sequence); ties resolve
+// in insertion order so simulations are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mb::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute simulated time `time_s` (>= now()).
+  void schedule_at(double time_s, Callback cb);
+
+  /// Schedules `cb` `delay_s` seconds from now (delay >= 0).
+  void schedule_in(double delay_s, Callback cb);
+
+  /// Runs until no events remain. Returns the final simulated time.
+  double run();
+
+  /// Runs until the queue is empty or `until_s` is reached.
+  double run_until(double until_s);
+
+  /// Executes the single earliest event; false when the queue is empty.
+  bool step();
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace mb::sim

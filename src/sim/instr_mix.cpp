@@ -1,0 +1,48 @@
+#include "sim/instr_mix.h"
+
+#include <algorithm>
+
+namespace mb::sim {
+
+using arch::OpClass;
+
+std::uint64_t InstrMix::total_ops() const {
+  std::uint64_t acc = 0;
+  for (auto n : ops_) acc += n;
+  return acc;
+}
+
+std::uint64_t InstrMix::total_loads() const {
+  return count(OpClass::kLoad32) + count(OpClass::kLoad64) +
+         count(OpClass::kLoad128);
+}
+
+std::uint64_t InstrMix::total_stores() const {
+  return count(OpClass::kStore32) + count(OpClass::kStore64) +
+         count(OpClass::kStore128);
+}
+
+std::uint64_t InstrMix::total_fp_scalar() const {
+  return count(OpClass::kFpAddSp) + count(OpClass::kFpMulSp) +
+         count(OpClass::kFpAddDp) + count(OpClass::kFpMulDp);
+}
+
+std::uint64_t InstrMix::total_vec() const {
+  return count(OpClass::kVecSp) + count(OpClass::kVecDp);
+}
+
+InstrMix& InstrMix::operator+=(const InstrMix& other) {
+  for (std::size_t i = 0; i < ops_.size(); ++i) ops_[i] += other.ops_[i];
+  flops += other.flops;
+  serialized_loads += other.serialized_loads;
+  serialized_fp += other.serialized_fp;
+  dependent_miss_fraction =
+      std::max(dependent_miss_fraction, other.dependent_miss_fraction);
+  if (other.mispredicted_branches) {
+    mispredicted_branches = mispredicted_branches.value_or(0) +
+                            *other.mispredicted_branches;
+  }
+  return *this;
+}
+
+}  // namespace mb::sim

@@ -1,0 +1,59 @@
+// Instruction mix: the platform-independent description of the dynamic
+// instruction stream a kernel executes. Kernels produce an InstrMix (plus an
+// address trace through the Machine); the CostModel turns the pair into
+// cycles on a concrete platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "arch/platform.h"
+
+namespace mb::sim {
+
+class InstrMix {
+ public:
+  std::uint64_t count(arch::OpClass c) const {
+    return ops_[static_cast<std::size_t>(c)];
+  }
+  void add(arch::OpClass c, std::uint64_t n) {
+    ops_[static_cast<std::size_t>(c)] += n;
+  }
+
+  std::uint64_t total_ops() const;
+  std::uint64_t total_loads() const;
+  std::uint64_t total_stores() const;
+  std::uint64_t total_fp_scalar() const;
+  std::uint64_t total_vec() const;
+
+  /// Floating-point operations represented by the mix (for PAPI_FP_OPS and
+  /// MFLOPS rates). Kernels set this explicitly because one vector op
+  /// represents several flops.
+  std::uint64_t flops = 0;
+
+  /// Loads on the critical dependency chain. For a reduction loop with U
+  /// independent accumulators this is total_loads / U: each such load's
+  /// result must arrive before its chain can proceed, so L1 latency is
+  /// exposed rather than pipelined away (drives the unrolling experiments).
+  std::uint64_t serialized_loads = 0;
+
+  /// Dependent FP operations in accumulation chains (expose FP latency).
+  std::uint64_t serialized_fp = 0;
+
+  /// Fraction of cache/DRAM *misses* that sit on a dependency chain
+  /// (pointer chase = 1.0): these pay their full latency — no OoO
+  /// overlap, no MSHR pipelining. 0 for streaming kernels.
+  double dependent_miss_fraction = 0.0;
+
+  /// Measured mispredicted branches; when absent the cost model applies the
+  /// platform's default rate to the branch count.
+  std::optional<std::uint64_t> mispredicted_branches;
+
+  InstrMix& operator+=(const InstrMix& other);
+
+ private:
+  std::array<std::uint64_t, arch::kOpClassCount> ops_{};
+};
+
+}  // namespace mb::sim

@@ -1,0 +1,95 @@
+// Machine: one simulated core's execution environment.
+//
+// Binds a Platform descriptor to live state: a virtual address space backed
+// by one of the OS page-allocation models, a private cache hierarchy, and a
+// data TLB. Kernels drive their memory accesses through touch() and then
+// convert their instruction mix into cycles/time/counters with run().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "arch/platform.h"
+#include "cache/hierarchy.h"
+#include "cache/tlb.h"
+#include "counters/counters.h"
+#include "os/address_space.h"
+#include "sim/cost_model.h"
+#include "sim/instr_mix.h"
+#include "support/rng.h"
+
+namespace mb::sim {
+
+/// Which physical-page placement the OS model uses (paper Sec. V-A.1).
+enum class PagePolicy {
+  kConsecutive,  ///< contiguous frames (the x86-like assumption)
+  kReuseBiased,  ///< random but stable within a run (observed ARM behaviour)
+  kRandom,       ///< fully randomized every allocation
+};
+
+std::string_view page_policy_name(PagePolicy p);
+
+/// Result of executing an instruction mix on the machine.
+struct SimResult {
+  CostBreakdown breakdown;
+  double seconds = 0.0;
+  counters::CounterSet counters;
+  /// DRAM traffic of the measurement interval (fills + writebacks) —
+  /// the denominator of roofline arithmetic intensity.
+  std::uint64_t dram_bytes = 0;
+};
+
+class Machine {
+ public:
+  /// Creates a machine with ~4x the LLC size of physical frames available
+  /// (enough for every workload in this project, small enough to keep the
+  /// allocator models fast).
+  Machine(arch::Platform platform, PagePolicy policy, support::Rng rng);
+
+  const arch::Platform& platform() const { return platform_; }
+
+  /// Maps / unmaps a buffer (whole pages).
+  os::Region mmap(std::uint64_t bytes) { return space_.mmap(bytes); }
+  void munmap(const os::Region& r) { space_.munmap(r); }
+
+  /// Performs one data access of `bytes` at virtual `vaddr`: TLB lookup,
+  /// translation, cache hierarchy walk. Splits at page boundaries.
+  void touch(std::uint64_t vaddr, std::uint32_t bytes, bool write);
+
+  /// Starts a measurement interval: zeroes hierarchy/TLB statistics.
+  void begin_measurement();
+
+  /// Ends the interval: combines `mix` with the memory behaviour observed
+  /// since begin_measurement() into cycles, seconds and PAPI-style counters.
+  SimResult end_measurement(const InstrMix& mix,
+                            std::uint32_t bandwidth_sharers = 1) const;
+
+  /// Flushes caches and TLB (cold-start conditions).
+  void flush_caches();
+
+  /// Installs a hardware stream prefetcher (see cache::PrefetcherConfig;
+  /// off by default — platform models bake average benefit into their
+  /// latency-hiding parameters, this is for mechanistic ablations).
+  void set_prefetcher(const cache::PrefetcherConfig& config) {
+    hierarchy_.set_prefetcher(config);
+  }
+
+  const cache::Hierarchy& hierarchy() const { return hierarchy_; }
+  const os::AddressSpace& address_space() const { return space_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  arch::Platform platform_;
+  CostModel cost_model_;
+  os::AddressSpace space_;
+  cache::Hierarchy hierarchy_;
+  cache::Tlb tlb_;
+};
+
+/// Builds the page-allocator model named by `policy` over `frames` frames.
+std::unique_ptr<os::PageAllocator> make_allocator(PagePolicy policy,
+                                                  std::size_t frames,
+                                                  support::Rng rng);
+
+}  // namespace mb::sim

@@ -1,0 +1,54 @@
+#include "sim/roofline.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace mb::sim {
+
+double Roofline::attainable(double ai) const {
+  support::check(ai > 0.0, "Roofline::attainable",
+                 "arithmetic intensity must be positive");
+  return std::min(peak_gflops, ai * bandwidth_gbs);
+}
+
+Roofline dp_roofline(const arch::Platform& platform) {
+  Roofline r;
+  r.peak_gflops = platform.peak_dp_gflops();
+  r.bandwidth_gbs = platform.mem.bandwidth_bytes_per_s / 1e9;
+  return r;
+}
+
+Roofline sp_roofline(const arch::Platform& platform) {
+  Roofline r;
+  r.peak_gflops = platform.peak_sp_gflops();
+  r.bandwidth_gbs = platform.mem.bandwidth_bytes_per_s / 1e9;
+  return r;
+}
+
+RooflinePoint place_on_roofline(const Roofline& roof, std::string name,
+                                const SimResult& run,
+                                std::uint32_t cores) {
+  support::check(cores >= 1, "place_on_roofline", "cores must be >= 1");
+  const auto flops =
+      static_cast<double>(run.counters.get(counters::Counter::kFpOps));
+  support::check(flops > 0.0, "place_on_roofline",
+                 "run performed no floating-point work");
+  support::check(run.seconds > 0.0, "place_on_roofline",
+                 "run has no duration");
+
+  RooflinePoint p;
+  p.name = std::move(name);
+  // Cache-resident runs have (almost) no DRAM traffic: clamp the
+  // intensity at a large value; such points sit on the compute roof.
+  const double bytes = std::max<double>(1.0,
+                                        static_cast<double>(run.dram_bytes));
+  p.intensity = flops / bytes;
+  p.achieved_gflops = flops / run.seconds / 1e9 * cores;
+  p.attainable_gflops = roof.attainable(p.intensity);
+  p.roofline_fraction = p.achieved_gflops / p.attainable_gflops;
+  p.memory_bound = p.intensity < roof.ridge_intensity();
+  return p;
+}
+
+}  // namespace mb::sim

@@ -1,0 +1,49 @@
+// Roofline analysis.
+//
+// The classic way to see at a glance *why* each Table-II workload lands
+// where it does: attainable GFLOPS = min(peak compute, arithmetic
+// intensity x memory bandwidth). The module builds a platform's roofline
+// from its descriptor and places measured kernel runs (flops and DRAM
+// bytes from the simulated counters) on it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/platform.h"
+#include "sim/machine.h"
+
+namespace mb::sim {
+
+struct Roofline {
+  double peak_gflops = 0.0;      ///< compute roof (chip)
+  double bandwidth_gbs = 0.0;    ///< memory roof (chip)
+  /// Arithmetic intensity (flops/byte) where the roofs intersect.
+  double ridge_intensity() const { return peak_gflops / bandwidth_gbs; }
+  /// Attainable GFLOPS at intensity `ai`.
+  double attainable(double ai) const;
+};
+
+/// The platform's double- or single-precision roofline.
+Roofline dp_roofline(const arch::Platform& platform);
+Roofline sp_roofline(const arch::Platform& platform);
+
+/// One kernel run placed on the roofline.
+struct RooflinePoint {
+  std::string name;
+  double intensity = 0.0;        ///< flops per DRAM byte
+  double achieved_gflops = 0.0;  ///< from the simulated run (chip-scaled)
+  double attainable_gflops = 0.0;
+  /// achieved / attainable: < 1 means other bottlenecks (issue width,
+  /// dependencies, TLB...) dominate.
+  double roofline_fraction = 0.0;
+  bool memory_bound = false;  ///< intensity below the ridge
+};
+
+/// Places a simulated single-core run on the roofline. `cores` scales the
+/// achieved rate to the whole chip (the roofline is chip-level).
+RooflinePoint place_on_roofline(const Roofline& roof, std::string name,
+                                const SimResult& run,
+                                std::uint32_t cores);
+
+}  // namespace mb::sim

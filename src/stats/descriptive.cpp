@@ -1,0 +1,90 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace mb::stats {
+namespace {
+
+double interpolated_percentile(std::vector<double>& sorted, double p) {
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  support::check(!xs.empty(), "stats::mean", "empty sample set");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  support::check(!xs.empty(), "stats::variance", "empty sample set");
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  support::check(!xs.empty(), "stats::percentile", "empty sample set");
+  support::check(p >= 0.0 && p <= 100.0, "stats::percentile",
+                 "p must be in [0, 100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return interpolated_percentile(sorted, p);
+}
+
+double ci_halfwidth(std::span<const double> xs, double z) {
+  support::check(!xs.empty(), "stats::ci_halfwidth", "empty sample set");
+  if (xs.size() < 2) return 0.0;
+  return z * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double cv(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / std::fabs(m);
+}
+
+double geomean(std::span<const double> xs) {
+  support::check(!xs.empty(), "stats::geomean", "empty sample set");
+  double acc = 0.0;
+  for (double x : xs) {
+    support::check(x > 0.0, "stats::geomean", "samples must be positive");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+Summary summarize(std::span<const double> xs) {
+  support::check(!xs.empty(), "stats::summarize", "empty sample set");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  Summary s;
+  s.n = xs.size();
+  s.mean = mean(xs);
+  s.variance = variance(xs);
+  s.stddev = std::sqrt(s.variance);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = interpolated_percentile(sorted, 50.0);
+  s.q1 = interpolated_percentile(sorted, 25.0);
+  s.q3 = interpolated_percentile(sorted, 75.0);
+  return s;
+}
+
+}  // namespace mb::stats

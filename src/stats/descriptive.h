@@ -1,0 +1,49 @@
+// Descriptive statistics over benchmark sample sets.
+//
+// The paper's methodological contribution (Section V) is that performance on
+// low-power platforms must be characterized statistically — single numbers
+// hide bimodality, allocation bias and scheduler anomalies. These helpers are
+// the numeric backbone of mb::core's result sets.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mb::stats {
+
+/// Summary of a sample set.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased (n-1) sample variance
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q1 = 0.0;  ///< 25th percentile
+  double q3 = 0.0;  ///< 75th percentile
+};
+
+/// Computes the full summary. Requires at least one sample.
+Summary summarize(std::span<const double> xs);
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  ///< unbiased; 0 for n < 2
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Half-width of the normal-approximation confidence interval on the mean.
+/// `z` defaults to 1.96 (95%). Returns 0 for n < 2.
+double ci_halfwidth(std::span<const double> xs, double z = 1.96);
+
+/// Coefficient of variation (stddev / mean); 0 when mean == 0.
+double cv(std::span<const double> xs);
+
+/// Geometric mean; requires strictly positive samples.
+double geomean(std::span<const double> xs);
+
+}  // namespace mb::stats

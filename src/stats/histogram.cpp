@@ -1,0 +1,55 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/table.h"
+
+namespace mb::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  support::check(lo < hi, "Histogram", "lo must be < hi");
+  support::check(bins > 0, "Histogram", "bins must be positive");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto raw = static_cast<long long>(std::floor((x - lo_) / width));
+  const long long max_bin = static_cast<long long>(counts_.size()) - 1;
+  raw = std::clamp(raw, 0LL, max_bin);
+  ++counts_[static_cast<std::size_t>(raw)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  support::check(bin < counts_.size(), "Histogram::count", "bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  support::check(bin < counts_.size(), "Histogram::bin_center",
+                 "bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / std::max<std::size_t>(peak, 1);
+    out << support::fmt_fixed(bin_center(b), 3) << " | "
+        << std::string(bar, '#') << " " << counts_[b] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mb::stats

@@ -1,0 +1,37 @@
+// Fixed-bin histogram for distribution reporting in benches and the tuning
+// harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mb::stats {
+
+class Histogram {
+ public:
+  /// Builds `bins` equal-width bins over [lo, hi). Requires lo < hi, bins > 0.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds a sample; values outside [lo, hi) are clamped into the edge bins.
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+
+  /// Center of a bin.
+  double bin_center(std::size_t bin) const;
+
+  /// ASCII rendering, one line per bin, bar scaled to `width` chars.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mb::stats

@@ -1,0 +1,113 @@
+#include "stats/modes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.h"
+#include "support/check.h"
+
+namespace mb::stats {
+
+ModeSplit split_modes(std::span<const double> xs, double min_separation,
+                      double min_fraction, double min_ratio) {
+  support::check(xs.size() >= 2, "stats::split_modes",
+                 "need at least two samples");
+  ModeSplit out;
+
+  double lo = *std::min_element(xs.begin(), xs.end());
+  double hi = *std::max_element(xs.begin(), xs.end());
+  if (lo == hi) {
+    out.low_center = out.high_center = lo;
+    out.high_indices.resize(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) out.high_indices[i] = i;
+    return out;
+  }
+
+  // 1-D 2-means, initialized at the extremes; converges in a few sweeps.
+  double c0 = lo, c1 = hi;
+  std::vector<bool> in_high(xs.size());
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum0 = 0, sum1 = 0;
+    std::size_t n0 = 0, n1 = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      bool high = std::fabs(xs[i] - c1) < std::fabs(xs[i] - c0);
+      in_high[i] = high;
+      if (high) {
+        sum1 += xs[i];
+        ++n1;
+      } else {
+        sum0 += xs[i];
+        ++n0;
+      }
+    }
+    if (n0 == 0 || n1 == 0) break;
+    double nc0 = sum0 / static_cast<double>(n0);
+    double nc1 = sum1 / static_cast<double>(n1);
+    if (nc0 == c0 && nc1 == c1) break;
+    c0 = nc0;
+    c1 = nc1;
+  }
+
+  std::vector<double> low_vals, high_vals;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (in_high[i]) {
+      out.high_indices.push_back(i);
+      high_vals.push_back(xs[i]);
+    } else {
+      out.low_indices.push_back(i);
+      low_vals.push_back(xs[i]);
+    }
+  }
+  if (low_vals.empty() || high_vals.empty()) {
+    out.low_center = out.high_center = mean(xs);
+    return out;
+  }
+
+  out.low_center = mean(low_vals);
+  out.high_center = mean(high_vals);
+
+  const double var_low = low_vals.size() > 1 ? variance(low_vals) : 0.0;
+  const double var_high = high_vals.size() > 1 ? variance(high_vals) : 0.0;
+  const double pooled = std::sqrt(
+      (var_low * static_cast<double>(low_vals.size() - 1) +
+       var_high * static_cast<double>(high_vals.size() - 1)) /
+      std::max<double>(1.0, static_cast<double>(xs.size() - 2)));
+  const double gap = out.high_center - out.low_center;
+  // Guard against a degenerate zero-spread pool: any finite gap with zero
+  // within-cluster spread is infinitely separated.
+  out.separation = pooled > 0.0 ? gap / pooled
+                                : std::numeric_limits<double>::infinity();
+
+  const double frac_low =
+      static_cast<double>(low_vals.size()) / static_cast<double>(xs.size());
+  const double frac_high =
+      static_cast<double>(high_vals.size()) / static_cast<double>(xs.size());
+  const bool ratio_ok =
+      out.low_center <= 0.0 ||
+      out.high_center / out.low_center >= min_ratio;
+  out.bimodal = out.separation >= min_separation &&
+                frac_low >= min_fraction && frac_high >= min_fraction &&
+                ratio_ok;
+  return out;
+}
+
+std::size_t count_runs(std::span<const std::size_t> sorted_indices) {
+  if (sorted_indices.empty()) return 0;
+  std::size_t runs = 1;
+  for (std::size_t i = 1; i < sorted_indices.size(); ++i)
+    if (sorted_indices[i] != sorted_indices[i - 1] + 1) ++runs;
+  return runs;
+}
+
+bool is_temporally_clustered(std::span<const std::size_t> sorted_indices,
+                             std::size_t total, double cluster_factor) {
+  if (sorted_indices.size() < 2 || total == 0) return false;
+  const double k = static_cast<double>(sorted_indices.size());
+  const double n = static_cast<double>(total);
+  const double expected = k * (1.0 - k / n) + 1.0;
+  const double runs = static_cast<double>(count_runs(sorted_indices));
+  return runs <= std::max(1.0, cluster_factor * expected);
+}
+
+}  // namespace mb::stats

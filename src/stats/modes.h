@@ -1,0 +1,47 @@
+// Execution-mode detection.
+//
+// Figure 5 of the paper shows that real-time scheduling on the ARM Snowball
+// produces two clearly separated "modes" of effective bandwidth, and that
+// degraded samples occur consecutively. This module detects such structure:
+// a 1-D 2-means split with a separation criterion, plus a run-length test for
+// temporal clustering.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mb::stats {
+
+/// Result of a two-mode split of a 1-D sample set.
+struct ModeSplit {
+  bool bimodal = false;     ///< true when the separation criterion is met
+  double low_center = 0.0;  ///< mean of the lower cluster
+  double high_center = 0.0; ///< mean of the upper cluster
+  double separation = 0.0;  ///< gap / pooled within-cluster spread
+  std::vector<std::size_t> low_indices;   ///< sample indices in lower mode
+  std::vector<std::size_t> high_indices;  ///< sample indices in upper mode
+};
+
+/// Splits samples into two clusters with 1-D k-means (k=2, exact
+/// initialization at min/max) and decides bimodality: the gap between the
+/// cluster centers must exceed `min_separation` times the pooled
+/// within-cluster standard deviation, each cluster must hold at least
+/// `min_fraction` of the samples, and — for positive-valued metrics — the
+/// centers must differ by at least `min_ratio` (statistically separated
+/// clusters 1% apart are noise structure, not execution modes).
+ModeSplit split_modes(std::span<const double> xs, double min_separation = 3.0,
+                      double min_fraction = 0.05, double min_ratio = 1.25);
+
+/// Measures temporal clustering of a subset of sample indices: the number of
+/// maximal consecutive runs that cover the subset. A subset of size k spread
+/// uniformly at random over n slots has ~k(1 - k/n) expected runs; degraded
+/// samples that occur "consecutively" (paper Fig. 5b) form very few runs.
+std::size_t count_runs(std::span<const std::size_t> sorted_indices);
+
+/// True when the subset is significantly more temporally clustered than a
+/// uniform scattering would be: runs <= max(1, cluster_factor * expected).
+bool is_temporally_clustered(std::span<const std::size_t> sorted_indices,
+                             std::size_t total, double cluster_factor = 0.33);
+
+}  // namespace mb::stats

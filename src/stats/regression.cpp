@@ -1,0 +1,78 @@
+#include "stats/regression.h"
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.h"
+
+namespace mb::stats {
+namespace {
+
+double sum(std::span<const double> v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
+}  // namespace
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  support::check(xs.size() == ys.size(), "stats::fit_linear",
+                 "xs and ys must have equal size");
+  support::check(xs.size() >= 2, "stats::fit_linear",
+                 "need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  const double sx = sum(xs), sy = sum(ys);
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  support::check(denom != 0.0, "stats::fit_linear",
+                 "x values must not all be equal");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double ymean = sy / n;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.slope * xs[i] + fit.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - ymean) * (ys[i] - ymean);
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double ExponentialFit::operator()(double x) const {
+  return a * std::exp(b * x);
+}
+
+double ExponentialFit::solve_for_x(double target) const {
+  support::check(b != 0.0, "ExponentialFit::solve_for_x", "b must be nonzero");
+  support::check(a > 0.0 && target > 0.0, "ExponentialFit::solve_for_x",
+                 "a and target must be positive");
+  return std::log(target / a) / b;
+}
+
+ExponentialFit fit_exponential(std::span<const double> xs,
+                               std::span<const double> ys) {
+  support::check(xs.size() == ys.size(), "stats::fit_exponential",
+                 "xs and ys must have equal size");
+  std::vector<double> logy(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    support::check(ys[i] > 0.0, "stats::fit_exponential",
+                   "ys must be strictly positive");
+    logy[i] = std::log(ys[i]);
+  }
+  const LinearFit lin = fit_linear(xs, logy);
+  ExponentialFit fit;
+  fit.a = std::exp(lin.intercept);
+  fit.b = lin.slope;
+  fit.r2 = lin.r2;
+  return fit;
+}
+
+}  // namespace mb::stats

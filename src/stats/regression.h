@@ -1,0 +1,36 @@
+// Least-squares fits used for scaling curves (Fig. 3) and the TOP500
+// exponential-growth projection (Fig. 1).
+#pragma once
+
+#include <span>
+
+namespace mb::stats {
+
+/// y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares. Requires xs.size() == ys.size() >= 2 and at least
+/// two distinct x values.
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// y = a * exp(b * x), fitted as a log-linear regression. Requires strictly
+/// positive ys.
+struct ExponentialFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r2 = 0.0;
+
+  double operator()(double x) const;
+
+  /// Solves y(x) = target for x (requires b != 0, target/a > 0).
+  double solve_for_x(double target) const;
+};
+
+ExponentialFit fit_exponential(std::span<const double> xs,
+                               std::span<const double> ys);
+
+}  // namespace mb::stats

@@ -1,0 +1,49 @@
+#include "stats/scaling.h"
+
+#include <vector>
+
+#include "stats/regression.h"
+#include "support/check.h"
+
+namespace mb::stats {
+
+std::vector<ScalingPoint> strong_scaling(std::span<const int> cores,
+                                         std::span<const double> times) {
+  support::check(cores.size() == times.size(), "stats::strong_scaling",
+                 "cores and times must have equal size");
+  support::check(!cores.empty(), "stats::strong_scaling", "empty series");
+  support::check(cores[0] > 0 && times[0] > 0.0, "stats::strong_scaling",
+                 "baseline must have positive cores and time");
+
+  std::vector<ScalingPoint> out(cores.size());
+  const double base_work = times[0] * static_cast<double>(cores[0]);
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    support::check(times[i] > 0.0, "stats::strong_scaling",
+                   "times must be positive");
+    out[i].cores = cores[i];
+    out[i].time_s = times[i];
+    out[i].speedup = base_work / times[i];
+    out[i].efficiency = out[i].speedup / static_cast<double>(cores[i]);
+  }
+  return out;
+}
+
+double final_efficiency(std::span<const ScalingPoint> series) {
+  support::check(!series.empty(), "stats::final_efficiency", "empty series");
+  return series.back().efficiency;
+}
+
+bool tail_is_linear(std::span<const ScalingPoint> series, int from_cores,
+                    double min_r2) {
+  std::vector<double> xs, ys;
+  for (const auto& p : series) {
+    if (p.cores >= from_cores) {
+      xs.push_back(static_cast<double>(p.cores));
+      ys.push_back(p.speedup);
+    }
+  }
+  if (xs.size() < 3) return false;
+  return fit_linear(xs, ys).r2 >= min_r2;
+}
+
+}  // namespace mb::stats

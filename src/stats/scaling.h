@@ -1,0 +1,36 @@
+// Strong-scaling bookkeeping: speedup and parallel-efficiency series as
+// plotted in Figure 3 of the paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mb::stats {
+
+/// One point of a strong-scaling study.
+struct ScalingPoint {
+  int cores = 0;
+  double time_s = 0.0;
+  double speedup = 0.0;     ///< relative to the baseline point, scaled so the
+                            ///< baseline's speedup equals its core count
+  double efficiency = 0.0;  ///< speedup / cores
+};
+
+/// Builds speedup/efficiency from (cores, time) pairs. The first entry is the
+/// baseline; its speedup is defined as its own core count (the paper's
+/// SPECFEM3D curve is "versus a 4 core run" — speedup 4 at 4 cores), so ideal
+/// scaling is the y = x diagonal for any baseline.
+std::vector<ScalingPoint> strong_scaling(std::span<const int> cores,
+                                         std::span<const double> times);
+
+/// Parallel efficiency at the largest core count of a series.
+double final_efficiency(std::span<const ScalingPoint> series);
+
+/// True when the tail of the speedup curve is linear in core count:
+/// fits speedup vs cores over points with cores >= from_cores and checks
+/// r^2 >= min_r2. (The paper notes LINPACK's curve "is linear after 32
+/// nodes", indicating scaling would continue.)
+bool tail_is_linear(std::span<const ScalingPoint> series, int from_cores,
+                    double min_r2 = 0.98);
+
+}  // namespace mb::stats

@@ -1,0 +1,18 @@
+#include "support/check.h"
+
+namespace mb::support {
+
+void check(bool cond, std::string_view where, std::string_view message) {
+  if (!cond) fail(where, message);
+}
+
+void fail(std::string_view where, std::string_view message) {
+  std::string what;
+  what.reserve(where.size() + message.size() + 2);
+  what.append(where);
+  what.append(": ");
+  what.append(message);
+  throw Error(what);
+}
+
+}  // namespace mb::support

@@ -1,0 +1,105 @@
+#include "support/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/check.h"
+
+namespace mb::support {
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  check(lo <= hi, "Rng::uniform_u64", "lo must be <= hi");
+  const std::uint64_t span = hi - lo;
+  if (span == ~std::uint64_t{0}) return (*this)();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t n = span + 1;
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % n;
+  std::uint64_t x;
+  do {
+    x = (*this)();
+  } while (x >= limit);
+  return lo + x % n;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  check(n > 0, "Rng::index", "n must be positive");
+  return static_cast<std::size_t>(uniform_u64(0, n - 1));
+}
+
+double Rng::uniform() {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() {
+  // Box-Muller; draw u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double sd) { return mean + sd * normal(); }
+
+double Rng::exponential(double rate) {
+  check(rate > 0.0, "Rng::exponential", "rate must be positive");
+  double u = 1.0 - uniform();
+  return -std::log(u) / rate;
+}
+
+Rng Rng::split() {
+  // Derive a decorrelated seed from two draws mixed through SplitMix64.
+  std::uint64_t mix = (*this)() ^ 0xA5A5A5A5DEADBEEFULL;
+  std::uint64_t seed = splitmix64(mix) ^ (*this)();
+  return Rng(seed);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  shuffle(p);
+  return p;
+}
+
+}  // namespace mb::support

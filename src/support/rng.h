@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (page allocators, scheduler
+// disturbance models, randomized benchmarking harness, network jitter) draws
+// from an explicitly seeded Rng so that experiments are reproducible bit for
+// bit. The generator is xoshiro256** seeded via SplitMix64, which is both
+// fast and statistically strong for simulation purposes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mb::support {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from a single seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Standard normal variate (Box-Muller, no caching: stateless per call).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double sd);
+
+  /// Exponential variate with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  /// Creates a child generator with a decorrelated stream. Used to hand
+  /// independent streams to sub-components without sharing state.
+  Rng split();
+
+  /// Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mb::support

@@ -1,0 +1,51 @@
+// Minimal fixed-width table formatter.
+//
+// All bench binaries reproduce paper tables/figures as text; this gives them
+// a uniform, aligned output format without any external dependency.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mb::support {
+
+/// Column-aligned text table. Add a header and rows of cells; render() pads
+/// every column to its widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows are rejected.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows (excluding the header).
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header separator and two-space column gaps.
+  std::string render() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas, quotes
+  /// or newlines; doubles embedded quotes) for plotting pipelines.
+  std::string to_csv() const;
+
+  /// Convenience: renders to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string fmt_fixed(double v, int precision);
+
+/// Formats a double in engineering style: chooses a sensible precision.
+std::string fmt_eng(double v);
+
+/// Formats an integer with thousands separators ("1,234,567").
+std::string fmt_group(std::uint64_t v);
+
+}  // namespace mb::support

@@ -1,0 +1,30 @@
+// Unit helpers used across platform descriptions and experiment configs.
+#pragma once
+
+#include <cstdint>
+
+namespace mb::support {
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+/// Decimal byte rates (network links are decimal: 1 GbE = 1e9 bit/s).
+inline constexpr double Kbit = 1e3;
+inline constexpr double Mbit = 1e6;
+inline constexpr double Gbit = 1e9;
+
+/// Converts a bit rate to bytes/second.
+constexpr double bits_to_bytes_per_s(double bits_per_s) {
+  return bits_per_s / 8.0;
+}
+
+constexpr double us(double v) { return v * 1e-6; }
+constexpr double ms(double v) { return v * 1e-3; }
+constexpr double ns(double v) { return v * 1e-9; }
+
+}  // namespace mb::support

@@ -1,0 +1,108 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "stats/descriptive.h"
+#include "support/check.h"
+
+namespace mb::trace {
+
+std::string_view event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kCompute: return "compute";
+    case EventKind::kSend: return "send";
+    case EventKind::kRecv: return "recv";
+    case EventKind::kCollective: return "collective";
+    case EventKind::kWait: return "wait";
+  }
+  return "?";
+}
+
+void Trace::add(Record r) {
+  support::check(r.t1 >= r.t0, "Trace::add", "event ends before it starts");
+  records_.push_back(std::move(r));
+}
+
+std::vector<Record> Trace::filter(EventKind kind,
+                                  std::string_view label) const {
+  std::vector<Record> out;
+  for (const auto& r : records_)
+    if (r.kind == kind && (label.empty() || r.label == label))
+      out.push_back(r);
+  return out;
+}
+
+std::uint32_t Trace::ranks() const {
+  std::uint32_t top = 0;
+  for (const auto& r : records_) top = std::max(top, r.rank + 1);
+  return top;
+}
+
+double Trace::end_time() const {
+  double end = 0.0;
+  for (const auto& r : records_) end = std::max(end, r.t1);
+  return end;
+}
+
+void Trace::write_paraver(std::ostream& os) const {
+  os << "#Paraver-like state records (rank:kind:label:t0_us:t1_us:bytes)\n";
+  for (const auto& r : records_) {
+    os << r.rank << ':' << event_kind_name(r.kind) << ':' << r.label << ':'
+       << static_cast<std::uint64_t>(r.t0 * 1e6) << ':'
+       << static_cast<std::uint64_t>(r.t1 * 1e6) << ':' << r.bytes << '\n';
+  }
+}
+
+CollectiveReport analyze_collectives(const Trace& trace,
+                                     std::string_view label,
+                                     double delay_factor) {
+  support::check(delay_factor > 1.0, "analyze_collectives",
+                 "delay_factor must exceed 1");
+  // Group the i-th collective occurrence of each rank into instance i.
+  std::map<std::uint32_t, std::vector<Record>> per_rank;
+  for (const auto& r : trace.filter(EventKind::kCollective, label))
+    per_rank[r.rank].push_back(r);
+
+  CollectiveReport report;
+  if (per_rank.empty()) return report;
+
+  std::size_t instances = 0;
+  for (const auto& [rank, recs] : per_rank)
+    instances = std::max(instances, recs.size());
+
+  std::vector<double> durations;
+  for (std::size_t i = 0; i < instances; ++i) {
+    CollectiveInstance inst;
+    inst.index = i;
+    inst.start = 1e300;
+    for (const auto& [rank, recs] : per_rank) {
+      if (i >= recs.size()) continue;
+      inst.start = std::min(inst.start, recs[i].t0);
+      inst.duration = std::max(inst.duration, recs[i].duration());
+    }
+    durations.push_back(inst.duration);
+    report.instances.push_back(inst);
+  }
+
+  report.median_duration = stats::median(durations);
+  const double threshold = delay_factor * report.median_duration;
+  for (auto& inst : report.instances) {
+    inst.delayed = inst.duration > threshold;
+    if (!inst.delayed) continue;
+    ++report.delayed_count;
+    // Count ranks whose own interval exceeded the threshold in this
+    // instance (partial delays: only some ranks suffer).
+    for (const auto& [rank, recs] : per_rank) {
+      if (inst.index < recs.size() &&
+          recs[inst.index].duration() > threshold)
+        ++inst.slow_ranks;
+    }
+    if (inst.slow_ranks > 0 && inst.slow_ranks < per_rank.size())
+      report.has_partial_delays = true;
+  }
+  return report;
+}
+
+}  // namespace mb::trace

@@ -1,0 +1,90 @@
+// Execution tracing and analysis (paper Sec. IV, Fig. 4).
+//
+// The paper instruments BigDFT with an automatic tracing library and
+// inspects the run in Paraver, finding that all_to_all_v collectives are
+// "sometimes delayed" on Tibidabo. This module records the same kind of
+// per-rank interval events from the MPI runtime, exports a Paraver-like
+// text format, and classifies collective instances as normal vs delayed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mb::trace {
+
+enum class EventKind : std::uint8_t {
+  kCompute,
+  kSend,
+  kRecv,
+  kCollective,
+  kWait,
+};
+
+std::string_view event_kind_name(EventKind k);
+
+struct Record {
+  std::uint32_t rank = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  EventKind kind = EventKind::kCompute;
+  std::string label;        ///< e.g. "alltoallv", "compute", "halo"
+  std::uint64_t bytes = 0;  ///< payload for communication events
+
+  double duration() const { return t1 - t0; }
+};
+
+class Trace {
+ public:
+  void add(Record r);
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// All records with the given kind and label (label empty = any).
+  std::vector<Record> filter(EventKind kind,
+                             std::string_view label = {}) const;
+
+  /// Highest rank id seen + 1.
+  std::uint32_t ranks() const;
+
+  /// End of the last event (the run's makespan).
+  double end_time() const;
+
+  /// Writes a Paraver-like state record list:
+  ///   <rank>:<kind>:<label>:<t0_us>:<t1_us>:<bytes>
+  void write_paraver(std::ostream& os) const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// Per-instance analysis of one collective operation across ranks:
+/// an *instance* is the i-th occurrence of the collective on each rank;
+/// its duration is the slowest rank's interval (collectives complete
+/// together).
+struct CollectiveInstance {
+  std::size_t index = 0;
+  double start = 0.0;
+  double duration = 0.0;  ///< max over ranks
+  bool delayed = false;
+  std::uint32_t slow_ranks = 0;  ///< ranks whose own interval was delayed
+};
+
+struct CollectiveReport {
+  std::vector<CollectiveInstance> instances;
+  double median_duration = 0.0;
+  std::size_t delayed_count = 0;
+  /// True when some delayed instances slow only part of the ranks — the
+  /// paper observes both whole-run delays and partial ones.
+  bool has_partial_delays = false;
+};
+
+/// Groups collective records by occurrence order per rank and flags
+/// instances whose duration exceeds `delay_factor` x median.
+CollectiveReport analyze_collectives(const Trace& trace,
+                                     std::string_view label,
+                                     double delay_factor = 2.0);
+
+}  // namespace mb::trace

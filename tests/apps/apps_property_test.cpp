@@ -1,0 +1,79 @@
+// Property sweeps over the application models: for every rank count the
+// programs must execute deadlock-free with physically sane timing.
+#include <gtest/gtest.h>
+
+#include "apps/bigdft.h"
+#include "apps/hpl.h"
+#include "apps/specfem.h"
+
+namespace mb::apps {
+namespace {
+
+class RankSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RankSweep, BigDftRunsAndScalesSanely) {
+  const std::uint32_t ranks = GetParam();
+  BigDftParams p;
+  p.ranks = ranks;
+  p.iterations = 2;
+  p.compute_s_per_iter = 1.0;
+  p.transpose_bytes = 8ull << 20;
+  const auto r = run_bigdft(tibidabo_cluster(std::max(1u, ranks / 2)), p);
+  // Makespan at least the per-rank compute, at most the sequential time
+  // plus a generous communication allowance.
+  EXPECT_GE(r.makespan_s, p.iterations * p.compute_s_per_iter / ranks);
+  EXPECT_LT(r.makespan_s, p.iterations * p.compute_s_per_iter + 10.0);
+}
+
+TEST_P(RankSweep, BigDftMoreIterationsTakeLonger) {
+  const std::uint32_t ranks = GetParam();
+  BigDftParams p;
+  p.ranks = ranks;
+  p.compute_s_per_iter = 1.0;
+  p.transpose_bytes = 8ull << 20;
+  p.iterations = 2;
+  const double two =
+      run_bigdft(tibidabo_cluster(std::max(1u, ranks / 2)), p).makespan_s;
+  p.iterations = 4;
+  const double four =
+      run_bigdft(tibidabo_cluster(std::max(1u, ranks / 2)), p).makespan_s;
+  EXPECT_GT(four, 1.5 * two);
+}
+
+TEST_P(RankSweep, SpecfemHaloTraffic) {
+  const std::uint32_t ranks = GetParam();
+  if (ranks < 4) return;  // memory constraint: >= 2 nodes
+  SpecfemParams p;
+  p.ranks = ranks;
+  p.steps = 3;
+  p.compute_s_per_step = 2.0;
+  const auto r = run_specfem(tibidabo_cluster(ranks / 2), p);
+  EXPECT_GT(r.makespan_s, p.steps * p.compute_s_per_step / ranks);
+  // P2P halos never overflow the switch buffers.
+  EXPECT_EQ(r.network_drops, 0u);
+}
+
+TEST_P(RankSweep, HplEfficiencyBounded) {
+  const std::uint32_t ranks = GetParam();
+  HplParams p;
+  p.ranks = ranks;
+  p.n = 8192;
+  p.block = 256;
+  auto cluster = tibidabo_cluster(std::max(1u, ranks / 2));
+  cluster.mtu_bytes = 1u << 20;
+  const auto r = run_hpl(cluster, p);
+  const double ideal = p.total_flops() * p.seconds_per_flop / ranks;
+  EXPECT_GE(r.makespan_s, ideal * 0.99);
+  const double efficiency = ideal / r.makespan_s;
+  EXPECT_GT(efficiency, 0.2);
+  EXPECT_LE(efficiency, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RankSweep,
+                         ::testing::Values(2u, 4u, 6u, 8u, 16u, 36u),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mb::apps

@@ -1,0 +1,78 @@
+// End-to-end determinism: the whole stack (kernels, machine, DES network,
+// MPI runtime, applications) is seeded and must be bit-reproducible —
+// the property the paper's methodology chapter is ultimately about being
+// able to *rely* on.
+#include <gtest/gtest.h>
+
+#include "apps/bigdft.h"
+#include "apps/hpl.h"
+#include "apps/specfem.h"
+#include "arch/platforms.h"
+#include "kernels/chessbench.h"
+#include "kernels/linpack.h"
+#include "kernels/membench.h"
+
+namespace mb::apps {
+namespace {
+
+TEST(Determinism, BigDftRunsAreBitIdentical) {
+  BigDftParams p;
+  p.ranks = 16;
+  p.iterations = 3;
+  const double a = run_bigdft(tibidabo_cluster(8), p).makespan_s;
+  const double b = run_bigdft(tibidabo_cluster(8), p).makespan_s;
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, SeedChangesBigDftSchedule) {
+  BigDftParams p;
+  p.ranks = 16;
+  p.iterations = 3;
+  const double a = run_bigdft(tibidabo_cluster(8), p).makespan_s;
+  p.seed = 99;
+  const double b = run_bigdft(tibidabo_cluster(8), p).makespan_s;
+  EXPECT_NE(a, b);  // imbalance skew differs
+}
+
+TEST(Determinism, SpecfemAndHplIdentical) {
+  SpecfemParams sp;
+  sp.ranks = 8;
+  sp.steps = 3;
+  EXPECT_EQ(run_specfem(tibidabo_cluster(4), sp).makespan_s,
+            run_specfem(tibidabo_cluster(4), sp).makespan_s);
+  HplParams hp;
+  hp.ranks = 8;
+  hp.n = 4096;
+  hp.block = 256;
+  auto cluster = tibidabo_cluster(4);
+  cluster.mtu_bytes = 1u << 20;
+  EXPECT_EQ(run_hpl(cluster, hp).makespan_s,
+            run_hpl(cluster, hp).makespan_s);
+}
+
+TEST(Determinism, MachineRunsAreBitIdentical) {
+  auto run_once = [] {
+    sim::Machine m(arch::snowball(), sim::PagePolicy::kRandom,
+                   support::Rng(77));
+    kernels::MembenchParams p;
+    p.array_bytes = 40 * 1024;
+    return kernels::membench_run(m, p).sim.seconds;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Determinism, KernelCountsAreStable) {
+  kernels::ChessbenchParams cp;
+  cp.depth = 3;
+  cp.positions = 2;
+  EXPECT_EQ(kernels::chessbench_native(cp).nodes,
+            kernels::chessbench_native(cp).nodes);
+  kernels::LinpackParams lp;
+  lp.n = 48;
+  lp.block = 16;
+  EXPECT_EQ(kernels::linpack_native(lp).flops,
+            kernels::linpack_native(lp).flops);
+}
+
+}  // namespace
+}  // namespace mb::apps

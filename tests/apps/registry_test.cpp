@@ -1,0 +1,41 @@
+#include "apps/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/check.h"
+
+namespace mb::apps {
+namespace {
+
+TEST(Registry, ElevenApplicationsAsInTable1) {
+  EXPECT_EQ(montblanc_applications().size(), 11u);
+}
+
+TEST(Registry, CodesAreUnique) {
+  std::set<std::string> codes;
+  for (const auto& app : montblanc_applications()) codes.insert(app.code);
+  EXPECT_EQ(codes.size(), 11u);
+}
+
+TEST(Registry, PaperStudiedAppsPresent) {
+  EXPECT_EQ(find_application("BigDFT").domain, "Electronic Structure");
+  EXPECT_EQ(find_application("BigDFT").institution, "CEA");
+  EXPECT_EQ(find_application("SPECFEM3D").domain, "Wave Propagation");
+  EXPECT_EQ(find_application("SPECFEM3D").institution, "CNRS");
+}
+
+TEST(Registry, DomainsMatchTable1) {
+  EXPECT_EQ(find_application("YALES2").domain, "Combustion");
+  EXPECT_EQ(find_application("COSMO").domain, "Weather Forecast");
+  EXPECT_EQ(find_application("BQCD").domain, "Particle Physics");
+  EXPECT_EQ(find_application("SMMP").domain, "Protein Folding");
+}
+
+TEST(Registry, UnknownCodeThrows) {
+  EXPECT_THROW(find_application("HPL"), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::apps

@@ -1,0 +1,104 @@
+#include "arch/platform_io.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "support/check.h"
+
+namespace mb::arch {
+namespace {
+
+bool platforms_equal(const Platform& a, const Platform& b) {
+  if (a.name != b.name || a.cores != b.cores || a.power_w != b.power_w)
+    return false;
+  if (a.core.name != b.core.name || a.core.freq_hz != b.core.freq_hz ||
+      a.core.issue_width != b.core.issue_width ||
+      a.core.vector_bits != b.core.vector_bits ||
+      a.core.vector_dp != b.core.vector_dp ||
+      a.core.split_lsu != b.core.split_lsu ||
+      a.core.miss_overlap != b.core.miss_overlap ||
+      a.core.mshr != b.core.mshr ||
+      a.core.dp_scalar_registers != b.core.dp_scalar_registers)
+    return false;
+  if (a.core.recip_throughput != b.core.recip_throughput) return false;
+  if (a.caches.size() != b.caches.size()) return false;
+  for (std::size_t i = 0; i < a.caches.size(); ++i) {
+    const auto& x = a.caches[i];
+    const auto& y = b.caches[i];
+    if (x.name != y.name || x.size_bytes != y.size_bytes ||
+        x.line_bytes != y.line_bytes ||
+        x.associativity != y.associativity ||
+        x.latency_cycles != y.latency_cycles || x.shared != y.shared)
+      return false;
+  }
+  return a.mem.kind == b.mem.kind && a.mem.latency_ns == b.mem.latency_ns &&
+         a.mem.bandwidth_bytes_per_s == b.mem.bandwidth_bytes_per_s &&
+         a.mem.total_bytes == b.mem.total_bytes &&
+         a.mem.page_bytes == b.mem.page_bytes;
+}
+
+class BuiltinRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuiltinRoundTrip, SerializeParseIsIdentity) {
+  const auto platforms = all_builtin_platforms();
+  const Platform& original =
+      platforms[static_cast<std::size_t>(GetParam())];
+  const std::string text = serialize_platform(original);
+  const Platform parsed = parse_platform(text);
+  EXPECT_TRUE(platforms_equal(original, parsed)) << original.name;
+  // Second round trip is byte-stable.
+  EXPECT_EQ(text, serialize_platform(parsed));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuiltins, BuiltinRoundTrip,
+                         ::testing::Range(0, 4));
+
+TEST(PlatformIo, CommentsAndBlanksIgnored) {
+  std::string text = serialize_platform(snowball());
+  text = "# leading comment\n\n; another comment\n" + text;
+  EXPECT_NO_THROW(parse_platform(text));
+}
+
+TEST(PlatformIo, MissingSectionRejected) {
+  const std::string text = "name = x\ncores = 1\npower_w = 1\n";
+  EXPECT_THROW(parse_platform(text), support::Error);
+}
+
+TEST(PlatformIo, UnknownSectionRejected) {
+  std::string text = serialize_platform(snowball());
+  text += "[gpu]\nname = nope\n";
+  EXPECT_THROW(parse_platform(text), support::Error);
+}
+
+TEST(PlatformIo, DuplicateKeyRejected) {
+  std::string text = serialize_platform(snowball());
+  text += "name = again\n";  // duplicate in the trailing [mem] section?
+  // The appended key lands in [mem], where "name" is unknown but not a
+  // duplicate — craft a real duplicate instead:
+  std::string dup = "name = a\nname = b\ncores = 1\npower_w = 1\n";
+  EXPECT_THROW(parse_platform(dup), support::Error);
+}
+
+TEST(PlatformIo, BadNumberRejected) {
+  std::string text = serialize_platform(snowball());
+  const auto pos = text.find("freq_hz = ");
+  text.replace(pos, text.find('\n', pos) - pos, "freq_hz = fast");
+  EXPECT_THROW(parse_platform(text), support::Error);
+}
+
+TEST(PlatformIo, ValidationRunsOnParse) {
+  std::string text = serialize_platform(snowball());
+  const auto pos = text.find("cores = ");
+  text.replace(pos, text.find('\n', pos) - pos, "cores = 0");
+  EXPECT_THROW(parse_platform(text), support::Error);
+}
+
+TEST(PlatformIo, ParsedPlatformIsUsable) {
+  // A hand-written minimal board (single-issue in-order microcontroller).
+  const Platform p = parse_platform(serialize_platform(tegra2_node()));
+  EXPECT_NEAR(p.peak_dp_gflops(), tegra2_node().peak_dp_gflops(), 1e-9);
+  EXPECT_EQ(p.llc_index(), tegra2_node().llc_index());
+}
+
+}  // namespace
+}  // namespace mb::arch

@@ -1,0 +1,96 @@
+#include "arch/platforms.h"
+
+#include <gtest/gtest.h>
+
+namespace mb::arch {
+namespace {
+
+TEST(Platforms, AllBuiltinsValidate) {
+  for (const auto& p : all_builtin_platforms()) {
+    EXPECT_NO_THROW(p.validate()) << p.name;
+  }
+}
+
+TEST(Platforms, XeonPeakDpMatchesDatasheet) {
+  // 4 cores x 2.66 GHz x 4 DP flops/cycle (SSE add + mul) = 42.6 GFLOPS.
+  const auto p = xeon_x5550();
+  EXPECT_NEAR(p.peak_dp_gflops(), 42.6, 0.5);
+}
+
+TEST(Platforms, SnowballPeakDpIsScalarVfp) {
+  // NEON has no DP: peak comes from the scalar VFP pipes,
+  // 2 cores x 1 GHz x 1 DP flop/cycle = 2 GFLOPS.
+  const auto p = snowball();
+  EXPECT_FALSE(p.core.vector_dp);
+  EXPECT_NEAR(p.peak_dp_gflops(), 1.0, 1.1);
+  EXPECT_LT(p.peak_dp_gflops(), 3.0);
+}
+
+TEST(Platforms, XeonToSnowballPeakRatioIsLarge) {
+  // The raw capability gap that Table II's LINPACK row reflects.
+  const double ratio =
+      xeon_x5550().peak_dp_gflops() / snowball().peak_dp_gflops();
+  EXPECT_GT(ratio, 15.0);
+  EXPECT_LT(ratio, 60.0);
+}
+
+TEST(Platforms, PowerGapIs38x) {
+  // 95 W TDP vs 2.5 W full board: the paper's conservative accounting.
+  EXPECT_NEAR(xeon_x5550().power_w / snowball().power_w, 38.0, 0.5);
+}
+
+TEST(Platforms, Tegra2HasNoVectorUnit) {
+  const auto p = tegra2_node();
+  EXPECT_EQ(p.core.vector_bits, 0u);
+  EXPECT_EQ(recip_throughput(p.core, OpClass::kVecSp), 0.0);
+}
+
+TEST(Platforms, SnowballNeonIsSinglePrecisionOnly) {
+  const auto p = snowball();
+  EXPECT_GT(p.core.vector_bits, 0u);
+  EXPECT_FALSE(p.core.vector_dp);
+  EXPECT_EQ(recip_throughput(p.core, OpClass::kVecDp), 0.0);
+  EXPECT_GT(recip_throughput(p.core, OpClass::kVecSp), 0.0);
+}
+
+TEST(Platforms, SnowballHierarchyMatchesFigure2) {
+  const auto p = snowball();
+  ASSERT_EQ(p.caches.size(), 2u);
+  EXPECT_EQ(p.caches[0].size_bytes, 32u * 1024);
+  EXPECT_FALSE(p.caches[0].shared);
+  EXPECT_EQ(p.caches[1].size_bytes, 512u * 1024);
+  EXPECT_TRUE(p.caches[1].shared);
+  EXPECT_EQ(p.cores, 2u);
+}
+
+TEST(Platforms, XeonHierarchyMatchesFigure2) {
+  const auto p = xeon_x5550();
+  ASSERT_EQ(p.caches.size(), 3u);
+  EXPECT_EQ(p.caches[0].size_bytes, 32u * 1024);
+  EXPECT_EQ(p.caches[1].size_bytes, 256u * 1024);
+  EXPECT_EQ(p.caches[2].size_bytes, 8u * 1024 * 1024);
+  EXPECT_TRUE(p.caches[2].shared);
+  EXPECT_EQ(p.cores, 4u);
+}
+
+TEST(Platforms, Exynos5ProjectionHasGpgpuCapableGpu) {
+  const auto p = exynos5();
+  ASSERT_TRUE(p.gpu.has_value());
+  EXPECT_TRUE(p.gpu->general_purpose);
+  EXPECT_NEAR(p.power_w, 5.0, 0.01);
+}
+
+TEST(Platforms, SnowballGpuIsNotGpgpuCapable) {
+  const auto p = snowball();
+  ASSERT_TRUE(p.gpu.has_value());
+  EXPECT_FALSE(p.gpu->general_purpose);
+}
+
+TEST(Platforms, MemoryBandwidthOrdering) {
+  // Server DDR3 >> embedded LP-DDR2 / DDR2.
+  EXPECT_GT(xeon_x5550().mem.bandwidth_bytes_per_s,
+            10 * snowball().mem.bandwidth_bytes_per_s);
+}
+
+}  // namespace
+}  // namespace mb::arch

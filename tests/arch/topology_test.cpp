@@ -1,0 +1,43 @@
+#include "arch/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+
+namespace mb::arch {
+namespace {
+
+TEST(Topology, XeonShowsSharedL3AndFourCores) {
+  const std::string t = render_topology(xeon_x5550());
+  EXPECT_NE(t.find("Machine (12GB)"), std::string::npos);
+  EXPECT_NE(t.find("L3 (8MB)"), std::string::npos);
+  EXPECT_NE(t.find("Core P#0"), std::string::npos);
+  EXPECT_NE(t.find("Core P#3"), std::string::npos);
+  EXPECT_EQ(t.find("Core P#4"), std::string::npos);
+  EXPECT_NE(t.find("L2 (256KB)"), std::string::npos);
+  EXPECT_NE(t.find("L1d (32KB)"), std::string::npos);
+}
+
+TEST(Topology, SnowballShowsSharedL2AndTwoCores) {
+  const std::string t = render_topology(snowball());
+  EXPECT_NE(t.find("Machine (796MB)"), std::string::npos);
+  EXPECT_NE(t.find("L2 (512KB)"), std::string::npos);
+  EXPECT_NE(t.find("Core P#1"), std::string::npos);
+  EXPECT_EQ(t.find("Core P#2"), std::string::npos);
+}
+
+TEST(Topology, SharedLevelAppearsOncePrivatePerCore) {
+  const std::string t = render_topology(xeon_x5550());
+  std::size_t l3_count = 0, l1_count = 0;
+  for (std::size_t pos = t.find("L3 ("); pos != std::string::npos;
+       pos = t.find("L3 (", pos + 1))
+    ++l3_count;
+  for (std::size_t pos = t.find("L1d ("); pos != std::string::npos;
+       pos = t.find("L1d (", pos + 1))
+    ++l1_count;
+  EXPECT_EQ(l3_count, 1u);
+  EXPECT_EQ(l1_count, 4u);
+}
+
+}  // namespace
+}  // namespace mb::arch

@@ -1,0 +1,103 @@
+// Property sweeps over cache geometries: invariants that must hold for
+// every (size, line, associativity) combination.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cache/cache.h"
+#include "support/rng.h"
+
+namespace mb::cache {
+namespace {
+
+using Geometry = std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>;
+
+class CacheGeometry : public ::testing::TestWithParam<Geometry> {
+ protected:
+  arch::CacheConfig config() const {
+    const auto [size, line, ways] = GetParam();
+    arch::CacheConfig c;
+    c.name = "L1";
+    c.size_bytes = size;
+    c.line_bytes = line;
+    c.associativity = ways;
+    c.latency_cycles = 4;
+    return c;
+  }
+};
+
+TEST_P(CacheGeometry, StreamingMissesOncePerLine) {
+  Cache cache(config());
+  const auto cfg = config();
+  const std::uint64_t span = 4 * cfg.size_bytes;  // larger than the cache
+  for (std::uint64_t a = 0; a < span; a += cfg.line_bytes)
+    cache.access_line(a, false);
+  EXPECT_EQ(cache.stats().misses, span / cfg.line_bytes);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST_P(CacheGeometry, ResidentWorkingSetHitsOnSecondPass) {
+  Cache cache(config());
+  const auto cfg = config();
+  // Touch exactly the cache's capacity; with LRU and a contiguous range
+  // every line fits.
+  for (std::uint64_t a = 0; a < cfg.size_bytes; a += cfg.line_bytes)
+    cache.access_line(a, false);
+  cache.reset_stats();
+  for (std::uint64_t a = 0; a < cfg.size_bytes; a += cfg.line_bytes)
+    cache.access_line(a, false);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST_P(CacheGeometry, StatsIdentities) {
+  Cache cache(config());
+  support::Rng rng(7);
+  const auto cfg = config();
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t addr = rng.uniform_u64(0, 8 * cfg.size_bytes);
+    cache.access_line(addr, rng.bernoulli(0.3));
+  }
+  const CacheStats& s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, s.accesses);
+  EXPECT_LE(s.evictions, s.misses);
+  EXPECT_LE(s.writebacks, s.evictions);
+  EXPECT_GE(s.miss_ratio(), 0.0);
+  EXPECT_LE(s.miss_ratio(), 1.0);
+}
+
+TEST_P(CacheGeometry, ConflictSetThrashesExactlyBeyondWays) {
+  Cache cache(config());
+  const auto cfg = config();
+  const std::uint64_t set_stride = cfg.sets() * cfg.line_bytes;
+  const std::uint32_t ways = cfg.associativity;
+  // ways lines in one set: steady-state all hits.
+  for (int round = 0; round < 3; ++round)
+    for (std::uint32_t w = 0; w < ways; ++w)
+      cache.access_line(w * set_stride, false);
+  cache.reset_stats();
+  for (std::uint32_t w = 0; w < ways; ++w)
+    cache.access_line(w * set_stride, false);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  // ways+1 lines cycling: every access misses under LRU.
+  cache.reset_stats();
+  for (int round = 0; round < 3; ++round)
+    for (std::uint32_t w = 0; w < ways + 1; ++w)
+      cache.access_line(w * set_stride, false);
+  EXPECT_GE(cache.stats().misses, 2u * (ways + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(Geometry{1024, 32, 1}, Geometry{1024, 32, 2},
+                      Geometry{4096, 32, 4}, Geometry{4096, 64, 4},
+                      Geometry{32 * 1024, 32, 4}, Geometry{32 * 1024, 64, 8},
+                      Geometry{256 * 1024, 64, 8},
+                      Geometry{1024, 64, 16}),  // fully associative
+    [](const auto& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "_l" +
+             std::to_string(std::get<1>(info.param)) + "_w" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace mb::cache

@@ -1,0 +1,72 @@
+// Conservation laws of the cache hierarchy, checked across every built-in
+// platform under randomized traffic: what misses level i must be exactly
+// what level i+1 sees, and DRAM serves exactly the last level's misses.
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "cache/hierarchy.h"
+#include "support/rng.h"
+
+namespace mb::cache {
+namespace {
+
+class HierarchyLaws : public ::testing::TestWithParam<int> {
+ protected:
+  arch::Platform platform() const {
+    return arch::all_builtin_platforms()[static_cast<std::size_t>(
+        GetParam())];
+  }
+};
+
+TEST_P(HierarchyLaws, DemandFlowConserved) {
+  const auto p = platform();
+  Hierarchy h(p);
+  support::Rng rng(17);
+  for (int i = 0; i < 30000; ++i) {
+    // Mixture of streaming and random traffic.
+    const std::uint64_t addr =
+        rng.bernoulli(0.5)
+            ? static_cast<std::uint64_t>(i) * 16
+            : rng.uniform_u64(0, 16 * 1024 * 1024);
+    h.access(addr & ~3ull, 4, rng.bernoulli(0.25));
+  }
+  const auto s = h.stats();
+  for (std::size_t lvl = 0; lvl + 1 < s.level.size(); ++lvl) {
+    EXPECT_EQ(s.level[lvl].misses, s.level[lvl + 1].accesses)
+        << "level " << lvl;
+  }
+  EXPECT_EQ(s.level.back().misses, s.memory_accesses);
+  // All traffic is at least one LLC line per DRAM access.
+  EXPECT_GE(s.memory_bytes,
+            s.memory_accesses * p.caches.back().line_bytes);
+}
+
+TEST_P(HierarchyLaws, HitsNeverExceedAccesses) {
+  const auto p = platform();
+  Hierarchy h(p);
+  support::Rng rng(23);
+  for (int i = 0; i < 10000; ++i)
+    h.access(rng.uniform_u64(0, 4 * 1024 * 1024) & ~3ull, 4, false);
+  for (const auto& lvl : h.stats().level) {
+    EXPECT_EQ(lvl.hits + lvl.misses, lvl.accesses);
+    EXPECT_LE(lvl.writebacks, lvl.evictions);
+  }
+}
+
+TEST_P(HierarchyLaws, RepeatAccessEventuallyAllHits) {
+  const auto p = platform();
+  Hierarchy h(p);
+  // A working set well inside L1.
+  const std::uint64_t ws = p.caches[0].size_bytes / 4;
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t a = 0; a < ws; a += 8) h.access(a, 8, false);
+  h.reset_stats();
+  for (std::uint64_t a = 0; a < ws; a += 8) h.access(a, 8, false);
+  EXPECT_EQ(h.stats().level[0].misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, HierarchyLaws,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace mb::cache

@@ -1,0 +1,115 @@
+#include "cache/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+
+namespace mb::cache {
+namespace {
+
+std::vector<arch::CacheConfig> two_levels() {
+  arch::CacheConfig l1;
+  l1.name = "L1";
+  l1.size_bytes = 1024;
+  l1.line_bytes = 32;
+  l1.associativity = 2;
+  l1.latency_cycles = 4;
+  arch::CacheConfig l2 = l1;
+  l2.name = "L2";
+  l2.size_bytes = 8192;
+  l2.associativity = 4;
+  l2.latency_cycles = 12;
+  return {l1, l2};
+}
+
+TEST(Hierarchy, ColdMissGoesToMemory) {
+  Hierarchy h(two_levels());
+  const auto r = h.access(0, 32, false);
+  EXPECT_EQ(r.hit_level, 2u);  // miss everywhere
+  EXPECT_EQ(h.stats().memory_accesses, 1u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1) {
+  Hierarchy h(two_levels());
+  h.access(0, 4, false);
+  const auto r = h.access(0, 4, false);
+  EXPECT_EQ(r.hit_level, 0u);
+  EXPECT_EQ(h.stats().level[0].hits, 1u);
+}
+
+TEST(Hierarchy, L1EvictionStillHitsL2) {
+  Hierarchy h(two_levels());
+  // L1: 16 sets x 2 ways. Fill 3 lines in L1 set 0 -> evicts the first,
+  // which must still hit in the larger L2.
+  const std::uint64_t l1_set_stride = 16 * 32;
+  h.access(0 * l1_set_stride, 4, false);
+  h.access(1 * l1_set_stride, 4, false);
+  h.access(2 * l1_set_stride, 4, false);
+  const auto r = h.access(0, 4, false);  // L1 miss, L2 hit
+  EXPECT_EQ(r.hit_level, 1u);
+  EXPECT_EQ(h.stats().memory_accesses, 3u);
+}
+
+TEST(Hierarchy, MemoryBytesIncludeWritebacks) {
+  Hierarchy h(two_levels());
+  h.access(0, 4, true);  // dirty in both levels
+  const auto before = h.stats().memory_bytes;
+  // Evict through both levels by filling the L2 set with clean lines.
+  // L2: 64 sets x 4 ways; same-set stride = 64*32.
+  const std::uint64_t l2_set_stride = 64 * 32;
+  for (std::uint64_t i = 1; i <= 4; ++i)
+    h.access(i * l2_set_stride, 4, false);
+  EXPECT_GT(h.stats().memory_bytes, before);
+  EXPECT_EQ(h.stats().level[1].writebacks, 1u);
+}
+
+TEST(Hierarchy, StatsResetKeepsContents) {
+  Hierarchy h(two_levels());
+  h.access(0, 4, false);
+  h.reset_stats();
+  EXPECT_EQ(h.stats().level[0].accesses, 0u);
+  const auto r = h.access(0, 4, false);
+  EXPECT_EQ(r.hit_level, 0u);  // still cached
+}
+
+TEST(Hierarchy, FlushColdRestart) {
+  Hierarchy h(two_levels());
+  h.access(0, 4, false);
+  h.flush();
+  const auto r = h.access(0, 4, false);
+  EXPECT_EQ(r.hit_level, 2u);
+}
+
+TEST(Hierarchy, VirtualIndexingUsesVaddr) {
+  auto cfgs = two_levels();
+  cfgs[0].physically_indexed = false;
+  Hierarchy h(cfgs);
+  // Same vaddr, different paddr: virtually-indexed L1 should hit.
+  h.access(/*vaddr=*/64, /*paddr=*/4096, 4, false);
+  const auto r = h.access(/*vaddr=*/64, /*paddr=*/8192, 4, false);
+  EXPECT_EQ(r.hit_level, 0u);
+}
+
+TEST(Hierarchy, PhysicalIndexingUsesPaddr) {
+  Hierarchy h(two_levels());
+  h.access(/*vaddr=*/64, /*paddr=*/4096, 4, false);
+  const auto r = h.access(/*vaddr=*/64, /*paddr=*/8192, 4, false);
+  EXPECT_EQ(r.hit_level, 2u);  // different physical line: full miss
+}
+
+TEST(Hierarchy, BuildsFromPlatform) {
+  Hierarchy h(arch::xeon_x5550());
+  EXPECT_EQ(h.levels(), 3u);
+  EXPECT_EQ(h.level(2).config().name, "L3");
+}
+
+TEST(Hierarchy, StreamingMissRateMatchesLineSize) {
+  Hierarchy h(two_levels());
+  // Stream 4KB in 4-byte accesses: one miss per 32B line.
+  for (std::uint64_t a = 0; a < 4096; a += 4) h.access(a, 4, false);
+  EXPECT_EQ(h.stats().level[0].misses, 128u);
+  EXPECT_EQ(h.stats().level[0].accesses, 1024u);
+}
+
+}  // namespace
+}  // namespace mb::cache

@@ -1,0 +1,76 @@
+#include "cache/tlb.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mb::cache {
+namespace {
+
+TlbConfig small_tlb() {
+  TlbConfig t;
+  t.entries = 4;
+  t.associativity = 4;  // fully associative
+  t.page_bytes = 4096;
+  return t;
+}
+
+TEST(Tlb, SamePageHitsAfterFirstAccess) {
+  Tlb t(small_tlb());
+  EXPECT_FALSE(t.access(0x1000));
+  EXPECT_TRUE(t.access(0x1FFF));  // same page
+  EXPECT_EQ(t.stats().misses, 1u);
+}
+
+TEST(Tlb, CapacityEviction) {
+  Tlb t(small_tlb());
+  for (std::uint64_t p = 0; p < 5; ++p) t.access(p * 4096);
+  // Page 0 is LRU and was evicted by page 4.
+  EXPECT_FALSE(t.access(0));
+  EXPECT_EQ(t.stats().evictions, 2u);  // page 0 evicted, then page 1
+}
+
+TEST(Tlb, LruKeepsHotPage) {
+  Tlb t(small_tlb());
+  for (std::uint64_t p = 0; p < 4; ++p) t.access(p * 4096);
+  t.access(0);            // refresh page 0
+  t.access(7 * 4096);     // evicts page 1, not page 0
+  EXPECT_TRUE(t.access(0));
+  EXPECT_FALSE(t.access(1 * 4096));
+}
+
+TEST(Tlb, SetAssociativeMapping) {
+  TlbConfig cfg;
+  cfg.entries = 4;
+  cfg.associativity = 2;  // 2 sets
+  cfg.page_bytes = 4096;
+  Tlb t(cfg);
+  // Pages 0, 2, 4 all map to set 0; 2-way -> page 0 evicted by page 4.
+  t.access(0 * 4096);
+  t.access(2 * 4096);
+  t.access(4 * 4096);
+  EXPECT_FALSE(t.access(0 * 4096));
+  // Set 1 untouched: page 1 still misses cold, but page 3 after it hits.
+  t.access(1 * 4096);
+  EXPECT_TRUE(t.access(1 * 4096));
+}
+
+TEST(Tlb, FlushClearsEntries) {
+  Tlb t(small_tlb());
+  t.access(0);
+  t.flush();
+  EXPECT_FALSE(t.access(0));
+}
+
+TEST(Tlb, ConfigValidation) {
+  TlbConfig bad;
+  bad.entries = 6;
+  bad.associativity = 4;  // does not divide
+  EXPECT_THROW(Tlb{bad}, support::Error);
+  TlbConfig bad_page = small_tlb();
+  bad_page.page_bytes = 3000;
+  EXPECT_THROW(Tlb{bad_page}, support::Error);
+}
+
+}  // namespace
+}  // namespace mb::cache

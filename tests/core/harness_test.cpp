@@ -1,0 +1,153 @@
+#include "core/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "kernels/membench.h"
+#include "support/check.h"
+
+namespace mb::core {
+namespace {
+
+MachineFactory snowball_factory(sim::PagePolicy policy) {
+  return [policy](std::uint64_t seed) {
+    return sim::Machine(arch::snowball(), policy, support::Rng(seed));
+  };
+}
+
+/// Constant-cost workload whose value identifies the variant.
+Workload variant_id_workload() {
+  return [](const Point& p, sim::Machine&) {
+    return static_cast<double>(p.get("v"));
+  };
+}
+
+TEST(Harness, MeasuresEveryVariantRepetitionPair) {
+  MeasurementPlan plan;
+  plan.repetitions = 5;
+  Harness h(snowball_factory(sim::PagePolicy::kConsecutive), nullptr, plan);
+  ParamSpace space;
+  space.add("v", {1, 2, 3});
+  const ResultSet r = h.run(space, variant_id_workload());
+  EXPECT_EQ(r.total_samples(), 15u);
+  for (std::size_t v = 0; v < 3; ++v)
+    EXPECT_EQ(r.samples(v).size(), 5u);
+}
+
+TEST(Harness, NoSchedulerMeansCleanValues) {
+  MeasurementPlan plan;
+  plan.repetitions = 4;
+  Harness h(snowball_factory(sim::PagePolicy::kConsecutive), nullptr, plan);
+  ParamSpace space;
+  space.add("v", {7});
+  const ResultSet r = h.run(space, variant_id_workload());
+  for (double x : r.samples(0)) EXPECT_DOUBLE_EQ(x, 7.0);
+}
+
+TEST(Harness, SchedulerSlowdownApplied) {
+  MeasurementPlan plan;
+  plan.repetitions = 4;
+  auto sched = std::make_unique<os::FairScheduler>(support::Rng(1), 0.05);
+  Harness h(snowball_factory(sim::PagePolicy::kConsecutive),
+            std::move(sched), plan);
+  ParamSpace space;
+  space.add("v", {10});
+  const ResultSet r = h.run(space, variant_id_workload());
+  for (double x : r.samples(0)) EXPECT_GT(x, 10.0);
+}
+
+TEST(Harness, RandomizedOrderInterleavesVariants) {
+  MeasurementPlan plan;
+  plan.repetitions = 8;
+  plan.randomize_order = true;
+  plan.seed = 9;
+  Harness h(snowball_factory(sim::PagePolicy::kConsecutive), nullptr, plan);
+  ParamSpace space;
+  space.add("v", {0, 1});
+  const ResultSet r = h.run(space, variant_id_workload());
+  // Variant 0 must not occupy the first 8 global slots (that would be
+  // sequential, not randomized). Overwhelmingly unlikely under shuffle.
+  const auto& ords = r.orders(0);
+  bool interleaved = false;
+  for (const std::size_t o : ords)
+    if (o >= 8) interleaved = true;
+  EXPECT_TRUE(interleaved);
+}
+
+TEST(Harness, SequentialOrderWhenDisabled) {
+  MeasurementPlan plan;
+  plan.repetitions = 3;
+  plan.randomize_order = false;
+  Harness h(snowball_factory(sim::PagePolicy::kConsecutive), nullptr, plan);
+  ParamSpace space;
+  space.add("v", {0, 1});
+  const ResultSet r = h.run(space, variant_id_workload());
+  // Schedule is rep-major: orders of v0 are 0,2,4 and v1 are 1,3,5.
+  EXPECT_EQ(r.orders(0), (std::vector<std::size_t>{0, 2, 4}));
+}
+
+TEST(Harness, DeterministicForSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    MeasurementPlan plan;
+    plan.repetitions = 6;
+    plan.seed = seed;
+    auto sched =
+        std::make_unique<os::RealTimeAnomalous>(support::Rng(seed));
+    Harness h(snowball_factory(sim::PagePolicy::kRandom), std::move(sched),
+              plan);
+    ParamSpace space;
+    space.add("v", {1, 2});
+    const ResultSet r = h.run(space, variant_id_workload());
+    return r.samples(0);
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+TEST(Harness, FreshMachinePerRepChangesPagePlacement) {
+  // With randomized pages and a fresh machine per repetition, a cache-
+  // sensitive workload (membench near the L1 size) shows between-rep
+  // variability; with one shared machine and reuse-biased pages it is
+  // stable — the paper's Sec. V-A.1 reproducibility observation.
+  kernels::MembenchParams mp;
+  mp.array_bytes = 40 * 1024;  // just above the 32 KB L1
+  mp.passes = 4;
+  Workload membench = [mp](const Point&, sim::Machine& m) {
+    return kernels::membench_run(m, mp).sim.seconds;
+  };
+  ParamSpace space;
+  space.add("v", {0});
+
+  MeasurementPlan fresh_plan;
+  fresh_plan.repetitions = 10;
+  fresh_plan.fresh_machine_per_rep = true;
+  fresh_plan.seed = 3;
+  Harness fresh(snowball_factory(sim::PagePolicy::kRandom), nullptr,
+                fresh_plan);
+  const auto fresh_samples = fresh.run(space, membench).samples(0);
+
+  MeasurementPlan shared_plan = fresh_plan;
+  shared_plan.fresh_machine_per_rep = false;
+  Harness shared(snowball_factory(sim::PagePolicy::kReuseBiased), nullptr,
+                 shared_plan);
+  const auto shared_samples = shared.run(space, membench).samples(0);
+
+  EXPECT_GT(stats::cv(fresh_samples), 4.0 * stats::cv(shared_samples));
+}
+
+TEST(Harness, Preconditions) {
+  MeasurementPlan plan;
+  plan.repetitions = 0;
+  EXPECT_THROW(
+      Harness(snowball_factory(sim::PagePolicy::kRandom), nullptr, plan),
+      support::Error);
+  EXPECT_THROW(Harness(nullptr, nullptr, MeasurementPlan{}), support::Error);
+
+  Harness ok(snowball_factory(sim::PagePolicy::kRandom), nullptr,
+             MeasurementPlan{});
+  ParamSpace empty;
+  EXPECT_THROW(ok.run(empty, variant_id_workload()), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::core

@@ -1,0 +1,78 @@
+#include "core/param_space.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mb::core {
+namespace {
+
+TEST(ParamSpace, SizeIsProduct) {
+  ParamSpace s;
+  s.add("a", {1, 2, 3}).add("b", {10, 20});
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.dims(), 2u);
+}
+
+TEST(ParamSpace, AddRangeInclusive) {
+  ParamSpace s;
+  s.add_range("unroll", 1, 12);
+  EXPECT_EQ(s.size(), 12u);
+  EXPECT_EQ(s.values(0).front(), 1);
+  EXPECT_EQ(s.values(0).back(), 12);
+}
+
+TEST(ParamSpace, AddRangeWithStep) {
+  ParamSpace s;
+  s.add_range("bits", 32, 128, 32);
+  EXPECT_EQ(s.size(), 4u);  // 32, 64, 96, 128
+}
+
+TEST(ParamSpace, RowMajorEnumeration) {
+  ParamSpace s;
+  s.add("a", {1, 2}).add("b", {10, 20, 30});
+  EXPECT_EQ(s.at(0).get("a"), 1);
+  EXPECT_EQ(s.at(0).get("b"), 10);
+  EXPECT_EQ(s.at(1).get("b"), 20);  // last dimension fastest
+  EXPECT_EQ(s.at(3).get("a"), 2);
+  EXPECT_EQ(s.at(5).get("b"), 30);
+}
+
+TEST(ParamSpace, CoordsRoundTrip) {
+  ParamSpace s;
+  s.add("a", {1, 2, 3}).add("b", {4, 5}).add("c", {6, 7, 8, 9});
+  for (std::size_t i = 0; i < s.size(); ++i)
+    EXPECT_EQ(s.index_of(s.coords(i)), i);
+}
+
+TEST(ParamSpace, DuplicateDimensionRejected) {
+  ParamSpace s;
+  s.add("x", {1});
+  EXPECT_THROW(s.add("x", {2}), support::Error);
+}
+
+TEST(ParamSpace, EmptyValuesRejected) {
+  ParamSpace s;
+  EXPECT_THROW(s.add("x", {}), support::Error);
+}
+
+TEST(ParamSpace, OutOfRangeIndexRejected) {
+  ParamSpace s;
+  s.add("x", {1, 2});
+  EXPECT_THROW(s.at(2), support::Error);
+}
+
+TEST(Point, ToStringIsReadable) {
+  ParamSpace s;
+  s.add("unroll", {4}).add("elem_bits", {64});
+  EXPECT_EQ(s.at(0).to_string(), "unroll=4 elem_bits=64");
+}
+
+TEST(Point, UnknownNameThrows) {
+  ParamSpace s;
+  s.add("x", {1});
+  EXPECT_THROW(s.at(0).get("y"), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::core

@@ -1,0 +1,97 @@
+#include "core/resultset.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace mb::core {
+namespace {
+
+TEST(ResultSet, StoresSamplesPerVariant) {
+  ResultSet r(3);
+  r.add(0, 1.0, 0);
+  r.add(1, 2.0, 1);
+  r.add(0, 1.5, 2);
+  EXPECT_EQ(r.samples(0).size(), 2u);
+  EXPECT_EQ(r.samples(1).size(), 1u);
+  EXPECT_EQ(r.total_samples(), 3u);
+  EXPECT_DOUBLE_EQ(r.mean(0), 1.25);
+}
+
+TEST(ResultSet, BestMinimize) {
+  ResultSet r(3);
+  r.add(0, 5.0, 0);
+  r.add(1, 2.0, 1);
+  r.add(2, 9.0, 2);
+  EXPECT_EQ(r.best(Direction::kMinimize), 1u);
+  EXPECT_EQ(r.best(Direction::kMaximize), 2u);
+}
+
+TEST(ResultSet, BestSkipsEmptyVariants) {
+  ResultSet r(3);
+  r.add(2, 1.0, 0);
+  EXPECT_EQ(r.best(Direction::kMinimize), 2u);
+}
+
+TEST(ResultSet, BestWithNoSamplesThrows) {
+  ResultSet r(2);
+  EXPECT_THROW(r.best(Direction::kMinimize), support::Error);
+}
+
+TEST(ResultSet, SummaryMatchesStats) {
+  ResultSet r(1);
+  for (int i = 1; i <= 5; ++i) r.add(0, i, static_cast<std::size_t>(i));
+  const auto s = r.summary(0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(ResultSet, DetectsBimodalVariant) {
+  support::Rng rng(1);
+  ResultSet r(1);
+  std::size_t order = 0;
+  for (int i = 0; i < 100; ++i) r.add(0, rng.normal(1.0, 0.02), order++);
+  for (int i = 0; i < 30; ++i) r.add(0, rng.normal(5.0, 0.05), order++);
+  const auto split = r.modes(0);
+  EXPECT_TRUE(split.bimodal);
+}
+
+TEST(ResultSet, TemporalDegradedModeDetected) {
+  // Degraded (slow) samples appear in one consecutive burst.
+  support::Rng rng(2);
+  ResultSet r(1);
+  std::size_t order = 0;
+  for (int i = 0; i < 60; ++i) r.add(0, rng.normal(1.0, 0.02), order++);
+  for (int i = 0; i < 25; ++i) r.add(0, rng.normal(5.0, 0.05), order++);
+  for (int i = 0; i < 60; ++i) r.add(0, rng.normal(1.0, 0.02), order++);
+  EXPECT_TRUE(r.degraded_mode_is_temporal(0));
+}
+
+TEST(ResultSet, ScatteredDegradedModeNotTemporal) {
+  support::Rng rng(3);
+  ResultSet r(1);
+  for (int i = 0; i < 145; ++i) {
+    const bool slow = i % 6 == 0;  // evenly scattered
+    r.add(0, slow ? rng.normal(5.0, 0.05) : rng.normal(1.0, 0.02),
+          static_cast<std::size_t>(i));
+  }
+  EXPECT_FALSE(r.degraded_mode_is_temporal(0));
+}
+
+TEST(ResultSet, UnimodalNotTemporal) {
+  support::Rng rng(4);
+  ResultSet r(1);
+  for (int i = 0; i < 100; ++i)
+    r.add(0, rng.normal(1.0, 0.05), static_cast<std::size_t>(i));
+  EXPECT_FALSE(r.degraded_mode_is_temporal(0));
+}
+
+TEST(ResultSet, VariantBoundsChecked) {
+  ResultSet r(2);
+  EXPECT_THROW(r.add(2, 1.0, 0), support::Error);
+  EXPECT_THROW(r.samples(5), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::core

@@ -1,0 +1,153 @@
+#include "core/search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace mb::core {
+namespace {
+
+ParamSpace unroll_space() {
+  ParamSpace s;
+  s.add_range("unroll", 1, 12);
+  return s;
+}
+
+// Convex cycle curve with minimum at unroll = 5.
+double convex(const Point& p) {
+  const double u = static_cast<double>(p.get("unroll"));
+  return 10.0 + (u - 5.0) * (u - 5.0);
+}
+
+TEST(ExhaustiveSearch, FindsGlobalMinimum) {
+  const auto s = unroll_space();
+  const auto out = exhaustive_search(s, convex, Direction::kMinimize);
+  EXPECT_EQ(s.at(out.best_index).get("unroll"), 5);
+  EXPECT_DOUBLE_EQ(out.best_value, 10.0);
+  EXPECT_EQ(out.evaluations, 12u);
+}
+
+TEST(ExhaustiveSearch, MaximizeDirection) {
+  const auto s = unroll_space();
+  const auto out = exhaustive_search(s, convex, Direction::kMaximize);
+  // Farthest from 5 is unroll=12.
+  EXPECT_EQ(s.at(out.best_index).get("unroll"), 12);
+}
+
+TEST(RandomSearch, FullBudgetEqualsExhaustive) {
+  const auto s = unroll_space();
+  const auto out = random_search(s, convex, Direction::kMinimize, 100,
+                                 support::Rng(3));
+  EXPECT_EQ(out.evaluations, 12u);
+  EXPECT_DOUBLE_EQ(out.best_value, 10.0);
+}
+
+TEST(RandomSearch, BudgetLimitsEvaluations) {
+  const auto s = unroll_space();
+  const auto out = random_search(s, convex, Direction::kMinimize, 4,
+                                 support::Rng(3));
+  EXPECT_EQ(out.evaluations, 4u);
+}
+
+TEST(RandomSearch, NoDuplicateEvaluations) {
+  const auto s = unroll_space();
+  const auto out = random_search(s, convex, Direction::kMinimize, 12,
+                                 support::Rng(5));
+  std::set<std::size_t> seen;
+  for (const auto& [idx, v] : out.visited) seen.insert(idx);
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(HillClimb, ConvergesOnConvexCurve) {
+  const auto s = unroll_space();
+  const auto out = hill_climb(s, convex, Direction::kMinimize);
+  EXPECT_EQ(s.at(out.best_index).get("unroll"), 5);
+  // Far fewer evaluations than exhaustive on a convex curve would allow.
+  EXPECT_LE(out.evaluations, 12u);
+}
+
+TEST(HillClimb, TrapsInLocalOptimum) {
+  // Bimodal curve: local minimum at 2, global at 10. Starting at index 0
+  // the climber stops at the local one — why the paper insists on
+  // systematic exploration for narrow embedded sweet spots.
+  ParamSpace s;
+  s.add_range("x", 1, 12);
+  auto bimodal = [](const Point& p) {
+    const double x = static_cast<double>(p.get("x"));
+    return std::min((x - 2) * (x - 2) + 5.0, (x - 10) * (x - 10) + 1.0);
+  };
+  const auto out = hill_climb(s, bimodal, Direction::kMinimize);
+  EXPECT_EQ(s.at(out.best_index).get("x"), 2);
+  EXPECT_GT(out.best_value, 1.0);  // missed the global optimum
+  const auto full = exhaustive_search(s, bimodal, Direction::kMinimize);
+  EXPECT_EQ(s.at(full.best_index).get("x"), 10);
+}
+
+TEST(HillClimb, MultiDimensional) {
+  ParamSpace s;
+  s.add_range("a", 0, 8).add_range("b", 0, 8);
+  auto bowl = [](const Point& p) {
+    const double a = static_cast<double>(p.get("a")) - 6;
+    const double b = static_cast<double>(p.get("b")) - 3;
+    return a * a + b * b;
+  };
+  const auto out = hill_climb(s, bowl, Direction::kMinimize);
+  EXPECT_EQ(s.at(out.best_index).get("a"), 6);
+  EXPECT_EQ(s.at(out.best_index).get("b"), 3);
+}
+
+TEST(HillClimb, BudgetRespected) {
+  ParamSpace s;
+  s.add_range("a", 0, 100);
+  auto linear = [](const Point& p) {
+    return -static_cast<double>(p.get("a"));
+  };
+  const auto out = hill_climb(s, linear, Direction::kMinimize, {}, 10);
+  EXPECT_LE(out.evaluations, 10u);
+}
+
+TEST(SweetSpot, ExtractsRangeAroundOptimum) {
+  ParamSpace s;
+  s.add_range("unroll", 1, 12);
+  // Metric: min 10 at u=5..7, within 10% up to 11 for u=4..8.
+  std::vector<double> metric;
+  for (int u = 1; u <= 12; ++u) {
+    if (u >= 5 && u <= 7)
+      metric.push_back(10.0);
+    else if (u == 4 || u == 8)
+      metric.push_back(10.8);
+    else
+      metric.push_back(14.0);
+  }
+  const auto spot = sweet_spot(s, metric, Direction::kMinimize, 0.10);
+  EXPECT_EQ(spot.lo, 4);
+  EXPECT_EQ(spot.hi, 8);
+  EXPECT_EQ(spot.width, 5u);
+}
+
+TEST(SweetSpot, MaximizeDirection) {
+  ParamSpace s;
+  s.add_range("x", 1, 5);
+  std::vector<double> metric{1.0, 9.5, 10.0, 9.0, 2.0};
+  const auto spot = sweet_spot(s, metric, Direction::kMaximize, 0.10);
+  EXPECT_EQ(spot.lo, 2);
+  EXPECT_EQ(spot.hi, 4);
+}
+
+TEST(SweetSpot, RequiresOneDimension) {
+  ParamSpace s;
+  s.add("a", {1}).add("b", {2});
+  EXPECT_THROW(sweet_spot(s, {1.0}, Direction::kMinimize), support::Error);
+}
+
+TEST(SweetSpot, MetricSizeChecked) {
+  ParamSpace s;
+  s.add_range("x", 1, 5);
+  EXPECT_THROW(sweet_spot(s, {1.0, 2.0}, Direction::kMinimize),
+               support::Error);
+}
+
+}  // namespace
+}  // namespace mb::core

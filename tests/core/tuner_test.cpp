@@ -1,0 +1,135 @@
+#include "core/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "kernels/magicfilter.h"
+#include "kernels/membench.h"
+#include "support/check.h"
+
+namespace mb::core {
+namespace {
+
+MachineFactory factory(const arch::Platform& p) {
+  return [p](std::uint64_t seed) {
+    return sim::Machine(p, sim::PagePolicy::kConsecutive,
+                        support::Rng(seed));
+  };
+}
+
+MeasurementPlan quick_plan() {
+  MeasurementPlan plan;
+  plan.repetitions = 2;
+  plan.fresh_machine_per_rep = false;
+  return plan;
+}
+
+/// Magicfilter cycles-per-output as a tunable workload over unroll.
+Workload magicfilter_workload(std::uint32_t n = 16) {
+  return [n](const Point& p, sim::Machine& m) {
+    kernels::MagicfilterParams mp;
+    mp.n = n;
+    mp.dims = 1;
+    mp.unroll = static_cast<std::uint32_t>(p.get("unroll"));
+    return kernels::magicfilter_run(m, mp).cycles_per_output;
+  };
+}
+
+TEST(Tuner, ExhaustiveFindsMagicfilterOptimumOnTegra2) {
+  Tuner tuner(Harness(factory(arch::tegra2_node()), nullptr, quick_plan()),
+              Direction::kMinimize);
+  ParamSpace space;
+  space.add_range("unroll", 1, 12);
+  const auto report = tuner.tune(space, magicfilter_workload());
+  // Fig. 7b: the Tegra2 optimum sits in the [4, 7] band.
+  EXPECT_GE(report.best.get("unroll"), 4);
+  EXPECT_LE(report.best.get("unroll"), 7);
+  EXPECT_EQ(report.evaluated.size(), 12u);
+}
+
+TEST(Tuner, StrategiesAgreeOnConvexCurve) {
+  Tuner tuner(Harness(factory(arch::tegra2_node()), nullptr, quick_plan()),
+              Direction::kMinimize);
+  ParamSpace space;
+  space.add_range("unroll", 1, 12);
+  const auto workload = magicfilter_workload();
+  const auto exhaustive =
+      tuner.tune(space, workload, Strategy::kExhaustive);
+  const auto climb = tuner.tune(space, workload, Strategy::kHillClimb);
+  // The magicfilter curve is convex: hill climbing reaches the optimum.
+  EXPECT_EQ(climb.best.get("unroll"), exhaustive.best.get("unroll"));
+}
+
+TEST(Tuner, RandomBudgetedSearchTouchesFewerPoints) {
+  Tuner tuner(Harness(factory(arch::tegra2_node()), nullptr, quick_plan()),
+              Direction::kMinimize);
+  ParamSpace space;
+  space.add_range("unroll", 1, 12);
+  const auto report =
+      tuner.tune(space, magicfilter_workload(), Strategy::kRandom, 5);
+  EXPECT_EQ(report.evaluated.size(), 5u);
+}
+
+TEST(Tuner, StaticTuningDiffersAcrossPlatforms) {
+  // The same space tuned on both platforms: the Xeon tolerates deeper
+  // unrolling than the embedded core — "platform specific tuning".
+  ParamSpace space;
+  space.add_range("unroll", 1, 12);
+  const auto workload = magicfilter_workload();
+
+  Tuner tegra(Harness(factory(arch::tegra2_node()), nullptr, quick_plan()),
+              Direction::kMinimize);
+  Tuner xeon(Harness(factory(arch::xeon_x5550()), nullptr, quick_plan()),
+             Direction::kMinimize);
+  const auto rt = tegra.tune(space, workload);
+  const auto rx = xeon.tune(space, workload);
+
+  // Compare the widths of the 10%-sweet-spots.
+  auto width = [&space](const TuneReport& r, Direction dir) {
+    std::vector<double> metric(space.size());
+    for (const auto& [idx, v] : r.evaluated) metric[idx] = v;
+    return sweet_spot(space, metric, dir).width;
+  };
+  EXPECT_LT(width(rt, Direction::kMinimize),
+            width(rx, Direction::kMinimize));
+}
+
+TEST(Tuner, InstanceSpecificTuning) {
+  // Membench: the best element width depends on whether the array fits
+  // L1 — an instance-specific parameter, the paper's Sec. VI-B point.
+  Workload bench = [](const Point& p, sim::Machine& m) {
+    kernels::MembenchParams mp;
+    mp.array_bytes = static_cast<std::uint64_t>(p.get("array_kb")) * 1024;
+    mp.elem_bits = static_cast<std::uint32_t>(p.get("elem_bits"));
+    mp.unroll = 8;
+    mp.passes = 4;
+    return kernels::membench_run(m, mp).sim.seconds /
+           static_cast<double>(mp.bytes_accessed());
+  };
+
+  std::map<std::string, ParamSpace> instances;
+  for (const std::int64_t kb : {16, 256}) {
+    ParamSpace s;
+    s.add("array_kb", {kb});
+    s.add("elem_bits", {32, 64, 128});
+    instances.emplace("size_" + std::to_string(kb) + "KB", s);
+  }
+
+  Tuner tuner(Harness(factory(arch::snowball()), nullptr, quick_plan()),
+              Direction::kMinimize);
+  const auto reports = tuner.tune_per_instance(instances, bench);
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& [key, report] : reports) {
+    EXPECT_GT(report.evaluations, 0u) << key;
+    EXPECT_EQ(report.best.get("elem_bits"), 64) << key;  // NEON D-loads win
+  }
+}
+
+TEST(Tuner, StrategyNames) {
+  EXPECT_EQ(strategy_name(Strategy::kExhaustive), "exhaustive");
+  EXPECT_EQ(strategy_name(Strategy::kRandom), "random");
+  EXPECT_EQ(strategy_name(Strategy::kHillClimb), "hill-climb");
+}
+
+}  // namespace
+}  // namespace mb::core

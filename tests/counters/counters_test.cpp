@@ -1,0 +1,63 @@
+#include "counters/counters.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mb::counters {
+namespace {
+
+TEST(Counters, NamesAreUniqueAndPapiStyle) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto name = counter_name(static_cast<Counter>(i));
+    EXPECT_EQ(name.substr(0, 5), "PAPI_");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), kCounterCount);
+}
+
+TEST(Counters, GetSetAdd) {
+  CounterSet c;
+  EXPECT_EQ(c.get(Counter::kTotCyc), 0u);
+  c.set(Counter::kTotCyc, 100);
+  c.add(Counter::kTotCyc, 20);
+  EXPECT_EQ(c.get(Counter::kTotCyc), 120u);
+}
+
+TEST(Counters, AdditionMergesAllCounters) {
+  CounterSet a, b;
+  a.set(Counter::kL1Dca, 10);
+  b.set(Counter::kL1Dca, 5);
+  b.set(Counter::kL1Dcm, 2);
+  const CounterSet c = a + b;
+  EXPECT_EQ(c.get(Counter::kL1Dca), 15u);
+  EXPECT_EQ(c.get(Counter::kL1Dcm), 2u);
+}
+
+TEST(Counters, IpcComputation) {
+  CounterSet c;
+  c.set(Counter::kTotCyc, 100);
+  c.set(Counter::kTotIns, 250);
+  EXPECT_DOUBLE_EQ(c.ipc(), 2.5);
+  CounterSet zero;
+  EXPECT_DOUBLE_EQ(zero.ipc(), 0.0);
+}
+
+TEST(Counters, L1MissRatio) {
+  CounterSet c;
+  c.set(Counter::kL1Dca, 200);
+  c.set(Counter::kL1Dcm, 50);
+  EXPECT_DOUBLE_EQ(c.l1_miss_ratio(), 0.25);
+}
+
+TEST(Counters, ToStringListsAll) {
+  CounterSet c;
+  c.set(Counter::kFpOps, 42);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("PAPI_FP_OPS"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mb::counters

@@ -1,0 +1,92 @@
+#include "gpu/gpu_model.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mb::gpu {
+namespace {
+
+GpuKernel sp_kernel(std::uint64_t elements, std::uint64_t buffer) {
+  GpuKernel k;
+  k.flops_per_element = 64.0;  // compute-dense (SPECFEM3D-like element work)
+  k.bytes_per_element = 8.0;
+  k.elements = elements;
+  k.buffer_elements = buffer;
+  return k;
+}
+
+TEST(GpuModel, DevicesHaveSaneParameters) {
+  for (const auto& d : {mali_t604(), tegra3_gpu()}) {
+    EXPECT_TRUE(d.general_purpose) << d.name;
+    EXPECT_GT(d.peak_sp_gflops, 0.0);
+    EXPECT_GT(d.mem_bandwidth_bytes_per_s, 0.0);
+    EXPECT_GT(d.power_w, 0.0);
+  }
+  EXPECT_FALSE(mali_400().general_purpose);
+}
+
+TEST(GpuModel, NonGpgpuDeviceRejected) {
+  EXPECT_THROW(gpu_kernel_seconds(mali_400(), sp_kernel(1 << 16, 1024)),
+               support::Error);
+}
+
+TEST(GpuModel, TimePositiveAndAboveComputeLowerBound) {
+  const auto d = mali_t604();
+  const auto k = sp_kernel(1 << 20, 4096);
+  const double t = gpu_kernel_seconds(d, k);
+  const double lower = static_cast<double>(k.elements) *
+                       k.flops_per_element /
+                       (d.peak_sp_gflops * 1e9);
+  EXPECT_GT(t, lower);
+}
+
+TEST(GpuModel, TinyBuffersAreLaunchOverheadBound) {
+  const auto d = mali_t604();
+  const double small = gpu_kernel_seconds(d, sp_kernel(1 << 18, 64));
+  const double right = gpu_kernel_seconds(d, sp_kernel(1 << 18, 4096));
+  EXPECT_GT(small, 5.0 * right);
+}
+
+TEST(GpuModel, OversizedBuffersSpillLocalMemory) {
+  const auto d = mali_t604();
+  // 4-byte elements: local memory holds 8192 of them.
+  const double fits = gpu_kernel_seconds(d, sp_kernel(1 << 20, 8192));
+  const double spills = gpu_kernel_seconds(d, sp_kernel(1 << 20, 1 << 18));
+  EXPECT_GT(spills, 1.5 * fits);
+}
+
+TEST(GpuModel, BufferOptimumIsInterior) {
+  // The convex curve of Sec. VI-B: the best buffer is neither the
+  // smallest nor the largest.
+  const auto d = mali_t604();
+  double best = 1e300;
+  std::uint64_t best_b = 0;
+  for (const std::uint64_t b : {64ull, 512ull, 2048ull, 8192ull,
+                                65536ull, 1ull << 18}) {
+    const double t = gpu_kernel_seconds(d, sp_kernel(1 << 20, b));
+    if (t < best) {
+      best = t;
+      best_b = b;
+    }
+  }
+  EXPECT_GT(best_b, 64u);
+  EXPECT_LT(best_b, 1u << 18);
+}
+
+TEST(GpuModel, EnergyIsPowerTimesTime) {
+  const auto d = mali_t604();
+  const auto k = sp_kernel(1 << 16, 4096);
+  EXPECT_DOUBLE_EQ(gpu_kernel_joules(d, k),
+                   d.power_w * gpu_kernel_seconds(d, k));
+}
+
+TEST(GpuModel, KernelValidation) {
+  GpuKernel k = sp_kernel(1024, 0);
+  EXPECT_THROW(k.validate(), support::Error);
+  k = sp_kernel(0, 64);
+  EXPECT_THROW(k.validate(), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::gpu

@@ -1,0 +1,69 @@
+#include "gpu/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "power/energy.h"
+#include "support/check.h"
+
+namespace mb::gpu {
+namespace {
+
+TEST(Hybrid, ThroughputIsSumOfEngines) {
+  const auto t = hybrid_sp_throughput(exynos5_node());
+  EXPECT_NEAR(t.total_gflops, t.cpu_gflops + t.gpu_gflops, 1e-9);
+  EXPECT_GT(t.gpu_fraction, 0.5);  // the GPU carries most SP work
+  EXPECT_LT(t.gpu_fraction, 1.0);
+}
+
+TEST(Hybrid, PrototypeReachesThePapersEfficiencyGoal) {
+  // Sec. VI-A: "even an efficiency of 5 or 7 GFLOPS per Watt would be an
+  // accomplishment" for the Exynos5 + Mali-T604 node.
+  const auto t = hybrid_sp_throughput(exynos5_node());
+  EXPECT_GT(t.gflops_per_watt, 5.0);
+  EXPECT_LT(t.gflops_per_watt, 20.0);
+}
+
+TEST(Hybrid, HybridBeatsCpuOnlyPerWatt) {
+  const auto node = exynos5_node();
+  const auto hybrid = hybrid_sp_throughput(node);
+  const double cpu_only =
+      node.cpu.peak_sp_gflops() * 0.5 / node.cpu.power_w;
+  EXPECT_GT(hybrid.gflops_per_watt, cpu_only);
+}
+
+TEST(Hybrid, Tegra3ExtensionIsGpgpuCapable) {
+  const auto node = tegra3_node();
+  EXPECT_TRUE(node.gpu.general_purpose);
+  EXPECT_NO_THROW(hybrid_sp_throughput(node));
+}
+
+TEST(Hybrid, SecondsInverselyProportionalToThroughput) {
+  const auto node = exynos5_node();
+  const double t1 = hybrid_seconds(node, 1e12);
+  const double t2 = hybrid_seconds(node, 2e12);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(Hybrid, SnowballGpuCannotFormAHybrid) {
+  HybridNode node{arch::snowball(), mali_400()};
+  EXPECT_THROW(hybrid_sp_throughput(node), support::Error);
+}
+
+TEST(Hybrid, EfficiencyBoundsChecked) {
+  EXPECT_THROW(hybrid_sp_throughput(exynos5_node(), 0.0), support::Error);
+  EXPECT_THROW(hybrid_sp_throughput(exynos5_node(), 1.5), support::Error);
+}
+
+TEST(Hybrid, HybridNodeBeatsXeonPerWatt) {
+  // The whole Mont-Blanc bet in one assertion: the embedded hybrid node's
+  // SP GFLOPS/W beats the server chip's.
+  const auto hybrid = hybrid_sp_throughput(exynos5_node());
+  const auto xeon = arch::xeon_x5550();
+  const double xeon_per_watt =
+      xeon.peak_sp_gflops() * 0.5 / xeon.power_w;
+  EXPECT_GT(hybrid.gflops_per_watt, 5.0 * xeon_per_watt);
+}
+
+}  // namespace
+}  // namespace mb::gpu

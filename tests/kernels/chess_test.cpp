@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "kernels/chess/position.h"
+#include "kernels/chess/search.h"
+
+namespace mb::kernels::chess {
+namespace {
+
+TEST(Bitboard, BasicGeometry) {
+  EXPECT_EQ(file_of(0), 0);
+  EXPECT_EQ(rank_of(0), 0);
+  EXPECT_EQ(make_square(7, 7), 63);
+  EXPECT_EQ(popcount(kRank1), 8);
+  EXPECT_EQ(lsb(0b1000), 3);
+}
+
+TEST(Bitboard, PopLsbConsumes) {
+  Bitboard b = 0b1010;
+  EXPECT_EQ(pop_lsb(b), 1);
+  EXPECT_EQ(pop_lsb(b), 3);
+  EXPECT_EQ(b, 0u);
+}
+
+TEST(Bitboard, KnightAttacksFromCorner) {
+  // a1 knight attacks b3 and c2 only.
+  const Bitboard a = knight_attacks(0);
+  EXPECT_EQ(popcount(a), 2);
+  EXPECT_TRUE(a & bb(make_square(1, 2)));
+  EXPECT_TRUE(a & bb(make_square(2, 1)));
+}
+
+TEST(Bitboard, KnightAttacksFromCenter) {
+  EXPECT_EQ(popcount(knight_attacks(make_square(4, 4))), 8);
+}
+
+TEST(Bitboard, KingAttacksCounts) {
+  EXPECT_EQ(popcount(king_attacks(0)), 3);
+  EXPECT_EQ(popcount(king_attacks(make_square(4, 4))), 8);
+}
+
+TEST(Bitboard, PawnAttacksDirection) {
+  const Square e4 = make_square(4, 3);
+  const Bitboard w = pawn_attacks(kWhite, e4);
+  EXPECT_TRUE(w & bb(make_square(3, 4)));
+  EXPECT_TRUE(w & bb(make_square(5, 4)));
+  const Bitboard b = pawn_attacks(kBlack, e4);
+  EXPECT_TRUE(b & bb(make_square(3, 2)));
+}
+
+TEST(Bitboard, RookAttacksBlockedByOccupancy) {
+  // Rook on a1, blocker on a4: attacks a2,a3,a4 up the file.
+  const Bitboard occ = bb(make_square(0, 3));
+  const Bitboard a = rook_attacks(0, occ);
+  EXPECT_TRUE(a & bb(make_square(0, 1)));
+  EXPECT_TRUE(a & bb(make_square(0, 3)));   // blocker included
+  EXPECT_FALSE(a & bb(make_square(0, 4)));  // beyond blocker
+  EXPECT_TRUE(a & bb(make_square(7, 0)));   // open rank
+}
+
+TEST(Bitboard, BishopAttacksOpenBoard) {
+  EXPECT_EQ(popcount(bishop_attacks(make_square(3, 3), 0)), 13);
+}
+
+TEST(Position, InitialPositionSetup) {
+  const Position p = Position::initial();
+  EXPECT_EQ(p.side_to_move(), kWhite);
+  EXPECT_EQ(p.count(kWhite, kPawn), 8);
+  EXPECT_EQ(p.count(kBlack, kQueen), 1);
+  EXPECT_EQ(popcount(p.occupied()), 32);
+  EXPECT_EQ(p.castling(), 0b1111);
+  EXPECT_FALSE(p.in_check());
+}
+
+TEST(Position, InitialHas20Moves) {
+  EXPECT_EQ(Position::initial().legal_moves().size(), 20u);
+}
+
+TEST(Perft, StartposDepths1To4) {
+  // Canonical values: 20, 400, 8 902, 197 281.
+  const Position p = Position::initial();
+  EXPECT_EQ(perft(p, 1), 20u);
+  EXPECT_EQ(perft(p, 2), 400u);
+  EXPECT_EQ(perft(p, 3), 8902u);
+  EXPECT_EQ(perft(p, 4), 197281u);
+}
+
+TEST(Perft, KiwipeteDepths1To3) {
+  // Position 2 from the CPW perft suite: 48, 2 039, 97 862.
+  // Exercises castling, en passant, promotions and pins.
+  const Position p = Position::from_fen(
+      "r3k2r/p1ppqpb1/bn2pnp1/3PN3/1p2P3/2N2Q1p/PPPBBPPP/R3K2R w KQkq -");
+  EXPECT_EQ(perft(p, 1), 48u);
+  EXPECT_EQ(perft(p, 2), 2039u);
+  EXPECT_EQ(perft(p, 3), 97862u);
+}
+
+TEST(Perft, EnPassantPosition3) {
+  // Position 3 from the CPW suite: 14, 191, 2 812, 43 238.
+  const Position p = Position::from_fen("8/2p5/3p4/KP5r/1R3p1k/8/4P1P1/8 w - -");
+  EXPECT_EQ(perft(p, 1), 14u);
+  EXPECT_EQ(perft(p, 2), 191u);
+  EXPECT_EQ(perft(p, 3), 2812u);
+  EXPECT_EQ(perft(p, 4), 43238u);
+}
+
+TEST(Perft, PromotionPosition4) {
+  // Position 4 from the CPW suite: 6, 264, 9 467.
+  const Position p = Position::from_fen(
+      "r3k2r/Pppp1ppp/1b3nbN/nP6/BBP1P3/q4N2/Pp1P2PP/R2Q1RK1 w kq -");
+  EXPECT_EQ(perft(p, 1), 6u);
+  EXPECT_EQ(perft(p, 2), 264u);
+  EXPECT_EQ(perft(p, 3), 9467u);
+}
+
+TEST(Move, StringRoundTrip) {
+  const Move m(make_square(4, 1), make_square(4, 3), Move::kDoublePush);
+  EXPECT_EQ(m.to_string(), "e2e4");
+  const Move promo(make_square(0, 6), make_square(0, 7), Move::kQuiet,
+                   kQueen);
+  EXPECT_EQ(promo.to_string(), "a7a8q");
+  EXPECT_TRUE(promo.is_promotion());
+}
+
+TEST(Evaluate, InitialPositionIsBalanced) {
+  EXPECT_EQ(evaluate(Position::initial()), 0);
+}
+
+TEST(Evaluate, MaterialUpIsPositive) {
+  // White has an extra queen.
+  const Position p = Position::from_fen(
+      "rnb1kbnr/pppppppp/8/8/8/8/PPPPPPPP/RNBQKBNR w KQkq -");
+  EXPECT_GT(evaluate(p), 700);
+}
+
+TEST(Evaluate, SideToMovePerspective) {
+  const Position p = Position::from_fen(
+      "rnb1kbnr/pppppppp/8/8/8/8/PPPPPPPP/RNBQKBNR b KQkq -");
+  EXPECT_LT(evaluate(p), -700);  // black to move, black is down a queen
+}
+
+TEST(Search, FindsHangingQueenCapture) {
+  // Black queen hangs on d5; the e4 pawn should take it.
+  const Position p = Position::from_fen("7k/8/8/3q4/4P3/8/8/4K3 w - -");
+  const SearchResult r = search(p, 3);
+  EXPECT_EQ(r.best.to_string(), "e4d5");
+  // The eval is absolute (white was down a queen and ends up a pawn up),
+  // so the score lands near +100, not +900.
+  EXPECT_GT(r.score, 50);
+}
+
+TEST(Search, DeeperSearchVisitsMoreNodes) {
+  const Position p = Position::initial();
+  const auto d2 = search(p, 2);
+  const auto d4 = search(p, 4);
+  EXPECT_GT(d4.stats.nodes, 10 * d2.stats.nodes);
+}
+
+TEST(Search, AlphaBetaProducesCutoffs) {
+  const auto r = search(Position::initial(), 4);
+  EXPECT_GT(r.stats.cutoffs, 0u);
+  EXPECT_GT(r.stats.nodes, 1000u);
+}
+
+TEST(Search, MateInOneFound) {
+  // Fool's mate pattern: black to move mates with Qh4#.
+  const Position p = Position::from_fen(
+      "rnbqkbnr/pppp1ppp/8/4p3/6P1/5P2/PPPPP2P/RNBQKBNR b KQkq -");
+  const SearchResult r = search(p, 2);
+  EXPECT_EQ(r.best.to_string(), "d8h4");
+  EXPECT_GT(r.score, 20'000);
+}
+
+}  // namespace
+}  // namespace mb::kernels::chess

@@ -1,0 +1,121 @@
+#include "kernels/chessbench.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "support/check.h"
+
+namespace mb::kernels {
+namespace {
+
+TEST(ChessbenchNative, DeterministicCounts) {
+  ChessbenchParams p;
+  p.depth = 3;
+  p.positions = 2;
+  const auto a = chessbench_native(p);
+  const auto b = chessbench_native(p);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.evals, b.evals);
+  EXPECT_EQ(a.bitboard_ops, b.bitboard_ops);
+  EXPECT_GT(a.nodes, 100u);
+}
+
+TEST(ChessbenchNative, MorePositionsMoreNodes) {
+  ChessbenchParams a, b;
+  a.depth = b.depth = 3;
+  a.positions = 1;
+  b.positions = 3;
+  EXPECT_GT(chessbench_native(b).nodes, chessbench_native(a).nodes);
+}
+
+TEST(ChessbenchParams, Validation) {
+  ChessbenchParams p;
+  p.depth = 0;
+  EXPECT_THROW(p.validate(), support::Error);
+  p = ChessbenchParams{};
+  p.positions = 100;
+  EXPECT_THROW(p.validate(), support::Error);
+}
+
+TEST(ChessbenchSuite, AllFensParse) {
+  for (const auto& fen : chessbench_suite())
+    EXPECT_NO_THROW(chess::Position::from_fen(fen)) << fen;
+}
+
+TEST(ChessbenchSim, NodesPerSecondPositive) {
+  sim::Machine m(arch::snowball(), sim::PagePolicy::kConsecutive,
+                 support::Rng(1));
+  ChessbenchParams p;
+  p.depth = 3;
+  p.positions = 2;
+  const auto r = chessbench_run(m, p);
+  EXPECT_GT(r.nodes_per_s, 0.0);
+  EXPECT_EQ(r.stats.nodes, chessbench_native(p).nodes);
+}
+
+TEST(ChessbenchSim, XeonToArmRatioNearPaper) {
+  // Table II StockFish ratio: 20.2x machine-to-machine. The 64-bit
+  // bitboard work decomposes on the 32-bit A9, so the per-core gap is much
+  // larger than CoreMark's.
+  ChessbenchParams p;
+  p.depth = 3;
+  p.positions = 2;
+  sim::Machine mx(arch::xeon_x5550(), sim::PagePolicy::kConsecutive,
+                  support::Rng(1));
+  sim::Machine ma(arch::snowball(), sim::PagePolicy::kConsecutive,
+                  support::Rng(1));
+  const double xeon = chessbench_run(mx, p).nodes_per_s;
+  const double arm = chessbench_run(ma, p).nodes_per_s;
+  const double machine_ratio = (xeon * 4.0) / (arm * 2.0);
+  EXPECT_GT(machine_ratio, 12.0);
+  EXPECT_LT(machine_ratio, 30.0);
+}
+
+TEST(ChessbenchSim, ArmPerCoreGapLargerThanCoremarkStyle) {
+  ChessbenchParams p;
+  p.depth = 3;
+  p.positions = 1;
+  sim::Machine mx(arch::xeon_x5550(), sim::PagePolicy::kConsecutive,
+                  support::Rng(1));
+  sim::Machine ma(arch::snowball(), sim::PagePolicy::kConsecutive,
+                  support::Rng(1));
+  const double gap = chessbench_run(ma, p).sim.seconds /
+                     chessbench_run(mx, p).sim.seconds;
+  EXPECT_GT(gap, 5.0);  // int64-heavy: worse than plain integer code
+}
+
+
+TEST(ChessbenchTt, TtReducesNodesAndTracksHits) {
+  ChessbenchParams plain;
+  plain.depth = 4;
+  plain.positions = 2;
+  ChessbenchParams with_tt = plain;
+  with_tt.tt_bytes = 1 << 20;
+  const auto a = chessbench_native(plain);
+  const auto b = chessbench_native(with_tt);
+  EXPECT_LT(b.nodes, a.nodes);
+  EXPECT_GT(b.tt_probes, 0u);
+  EXPECT_GT(b.tt_hits, 0u);
+  EXPECT_EQ(a.tt_probes, 0u);
+}
+
+TEST(ChessbenchTt, OversizeTtRejected) {
+  ChessbenchParams p;
+  p.tt_bytes = 1ull << 30;
+  EXPECT_THROW(p.validate(), support::Error);
+}
+
+TEST(ChessbenchTt, SimulatedRunWithTtCompletes) {
+  sim::Machine m(arch::snowball(), sim::PagePolicy::kConsecutive,
+                 support::Rng(1));
+  ChessbenchParams p;
+  p.depth = 3;
+  p.positions = 1;
+  p.tt_bytes = 512 << 10;
+  const auto r = chessbench_run(m, p);
+  EXPECT_GT(r.nodes_per_s, 0.0);
+  EXPECT_GT(r.stats.tt_probes, 0u);
+}
+
+}  // namespace
+}  // namespace mb::kernels

@@ -1,0 +1,107 @@
+#include "kernels/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "support/check.h"
+
+namespace mb::kernels {
+namespace {
+
+sim::Machine make(const arch::Platform& p) {
+  return sim::Machine(p, sim::PagePolicy::kConsecutive, support::Rng(1));
+}
+
+TEST(LatencyNative, PermutationIsASingleCycle) {
+  LatencyParams p;
+  p.buffer_bytes = 64 * 64;  // 64 slots
+  p.hops = 64;
+  // A single-cycle permutation visits every slot exactly once per lap.
+  EXPECT_EQ(latency_native(p), 64u);
+  p.hops = 32;
+  EXPECT_EQ(latency_native(p), 32u);
+  p.hops = 200;  // wraps: still only 64 distinct slots
+  EXPECT_EQ(latency_native(p), 64u);
+}
+
+TEST(LatencyParams, Validation) {
+  LatencyParams p;
+  p.stride_bytes = 4;
+  EXPECT_THROW(p.validate(), support::Error);
+  p = LatencyParams{};
+  p.buffer_bytes = 64;
+  p.stride_bytes = 64;
+  EXPECT_THROW(p.validate(), support::Error);
+  p = LatencyParams{};
+  p.hops = 0;
+  EXPECT_THROW(p.validate(), support::Error);
+}
+
+TEST(LatencySim, RecoversL1LatencyWhenResident) {
+  // The self-validation property: an L1-resident chase measures the
+  // configured L1 load-to-use latency (plus ~1 issue cycle).
+  for (const auto& platform : {arch::snowball(), arch::xeon_x5550()}) {
+    auto m = make(platform);
+    LatencyParams p;
+    p.buffer_bytes = 8 * 1024;  // comfortably inside 32 KB L1
+    p.stride_bytes = 64;
+    p.hops = 2048;
+    const auto r = latency_run(m, p);
+    const double l1 = platform.caches[0].latency_cycles;
+    EXPECT_GT(r.cycles_per_hop, l1 - 1.0) << platform.name;
+    EXPECT_LT(r.cycles_per_hop, l1 + 3.0) << platform.name;
+  }
+}
+
+TEST(LatencySim, PlateausGrowWithBufferSize) {
+  // L1 -> L2 -> DRAM: each capacity cliff raises the per-hop latency.
+  const auto platform = arch::snowball();
+  auto m = make(platform);
+  double prev = 0.0;
+  for (const std::uint64_t kb : {8ull, 128ull, 4096ull}) {
+    LatencyParams p;
+    p.buffer_bytes = kb * 1024;
+    p.stride_bytes = 64;
+    p.hops = 4096;
+    const auto r = latency_run(m, p);
+    EXPECT_GT(r.cycles_per_hop, prev) << kb << " KB";
+    prev = r.cycles_per_hop;
+  }
+  // The deepest point approaches the DRAM latency in cycles.
+  const double dram_cycles =
+      platform.mem.latency_ns * 1e-9 * platform.core.freq_hz;
+  EXPECT_GT(prev, 0.6 * dram_cycles);
+}
+
+TEST(LatencySim, L2PlateauNearConfiguredLatency) {
+  const auto platform = arch::xeon_x5550();
+  auto m = make(platform);
+  LatencyParams p;
+  p.buffer_bytes = 128 * 1024;  // beyond 32 KB L1, inside 256 KB L2... but
+  p.stride_bytes = 64;          // beyond L1 only: mostly L2 hits
+  p.hops = 4096;
+  const auto r = latency_run(m, p);
+  const double l2 = platform.caches[1].latency_cycles;
+  EXPECT_GT(r.cycles_per_hop, 0.7 * l2);
+  EXPECT_LT(r.cycles_per_hop, 2.5 * l2);
+}
+
+TEST(LatencySim, DramLatencyGapArmVsXeon) {
+  // In nanoseconds, the embedded LP-DDR2 chase is slower than the DDR3
+  // server chase — but only by the latency ratio, not the bandwidth ratio.
+  LatencyParams p;
+  p.buffer_bytes = 16 * 1024 * 1024;  // beyond even the Xeon L3
+  p.stride_bytes = 64;
+  p.hops = 4096;
+  auto ma = make(arch::snowball());
+  auto mx = make(arch::xeon_x5550());
+  const double arm_ns = latency_run(ma, p).ns_per_hop;
+  const double xeon_ns = latency_run(mx, p).ns_per_hop;
+  EXPECT_GT(arm_ns, xeon_ns);
+  // The latency gap (DRAM timing + TLB walks) stays well below the 20x
+  // bandwidth gap of the two memory systems.
+  EXPECT_LT(arm_ns / xeon_ns, 8.0);
+}
+
+}  // namespace
+}  // namespace mb::kernels

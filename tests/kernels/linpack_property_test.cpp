@@ -1,0 +1,84 @@
+// Property sweeps over the LU factorization: residual, pivot sanity and
+// solve accuracy must hold for every (n, block) combination, including
+// non-dividing blocks and the unblocked extreme.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "kernels/linpack.h"
+#include "support/rng.h"
+
+namespace mb::kernels {
+namespace {
+
+using Case = std::tuple<std::uint32_t, std::uint32_t>;  // n, block
+
+class LuFactorization : public ::testing::TestWithParam<Case> {};
+
+TEST_P(LuFactorization, ResidualStaysSmall) {
+  const auto [n, block] = GetParam();
+  LinpackParams p;
+  p.n = n;
+  p.block = std::min(block, n);
+  const auto r = linpack_native(p, /*seed=*/n + block);
+  EXPECT_LT(r.residual, 80.0);  // units of n * ||A|| * eps
+}
+
+TEST_P(LuFactorization, PivotsAreValidRowIndices) {
+  const auto [n, block] = GetParam();
+  LinpackParams p;
+  p.n = n;
+  p.block = std::min(block, n);
+  const auto r = linpack_native(p);
+  ASSERT_EQ(r.pivots.size(), n);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    EXPECT_GE(r.pivots[j], j);  // partial pivoting looks downward only
+    EXPECT_LT(r.pivots[j], n);
+  }
+}
+
+TEST_P(LuFactorization, SolveRecoversKnownSolution) {
+  const auto [n, block] = GetParam();
+  Matrix a(n, n);
+  a.fill_random(3);
+  const Matrix original = a;
+  support::Rng rng(5);
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> b(n, 0.0);
+  for (std::uint32_t r = 0; r < n; ++r)
+    for (std::uint32_t c = 0; c < n; ++c)
+      b[r] += original.at(r, c) * x_true[c];
+
+  LinpackParams p;
+  p.n = n;
+  p.block = std::min(block, n);
+  const auto pivots = lu_factor_inplace(a, p);
+  const auto x = lu_solve(a, pivots, b);
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+TEST_P(LuFactorization, FlopCountScalesWithTheory) {
+  const auto [n, block] = GetParam();
+  LinpackParams p;
+  p.n = n;
+  p.block = std::min(block, n);
+  const auto r = linpack_native(p);
+  const double theory = static_cast<double>(lu_flops(n));
+  // Lower-order terms matter at small n; stay within a factor.
+  EXPECT_GT(static_cast<double>(r.flops), 0.7 * theory);
+  EXPECT_LT(static_cast<double>(r.flops), 1.8 * theory);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocks, LuFactorization,
+    ::testing::Combine(::testing::Values(8u, 16u, 24u, 33u, 48u, 64u),
+                       ::testing::Values(1u, 4u, 8u, 32u)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_b" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mb::kernels

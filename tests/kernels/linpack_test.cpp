@@ -1,0 +1,162 @@
+#include "kernels/linpack.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/platforms.h"
+#include "support/check.h"
+
+namespace mb::kernels {
+namespace {
+
+TEST(Matrix, IndexIsColumnMajor) {
+  Matrix m(4, 3);
+  EXPECT_EQ(m.index(0, 0), 0u);
+  EXPECT_EQ(m.index(1, 0), 1u);
+  EXPECT_EQ(m.index(0, 1), 4u);
+}
+
+TEST(Matrix, FillRandomIsDeterministic) {
+  Matrix a(8, 8), b(8, 8);
+  a.fill_random(5);
+  b.fill_random(5);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(LinpackNative, ResidualIsSmall) {
+  for (std::uint32_t n : {16u, 33u, 64u}) {
+    LinpackParams p;
+    p.n = n;
+    p.block = 8;
+    const auto r = linpack_native(p);
+    EXPECT_LT(r.residual, 50.0) << "n=" << n;  // in units of n*||A||*eps
+  }
+}
+
+TEST(LinpackNative, BlockSizeDoesNotChangeFactorization) {
+  LinpackParams a, b;
+  a.n = b.n = 48;
+  a.block = 4;
+  b.block = 48;  // unblocked
+  const auto ra = linpack_native(a);
+  const auto rb = linpack_native(b);
+  EXPECT_EQ(ra.pivots, rb.pivots);
+  EXPECT_LT(ra.residual, 50.0);
+  EXPECT_LT(rb.residual, 50.0);
+}
+
+TEST(LinpackNative, FlopCountNearTheory) {
+  LinpackParams p;
+  p.n = 64;
+  p.block = 16;
+  const auto r = linpack_native(p);
+  const double theory = static_cast<double>(lu_flops(p.n));
+  EXPECT_NEAR(static_cast<double>(r.flops) / theory, 1.0, 0.25);
+}
+
+TEST(LinpackSolve, RecoverKnownSolution) {
+  const std::uint32_t n = 32;
+  Matrix a(n, n);
+  a.fill_random(11);
+  const Matrix original = a;
+  // b = A * ones.
+  std::vector<double> b(n, 0.0);
+  for (std::uint32_t r = 0; r < n; ++r)
+    for (std::uint32_t c = 0; c < n; ++c) b[r] += original.at(r, c);
+
+  LinpackParams params;
+  params.n = n;
+  params.block = 8;
+  const auto pivots = lu_factor_inplace(a, params);
+  const auto x = lu_solve(a, pivots, b);
+  for (double xi : x) EXPECT_NEAR(xi, 1.0, 1e-9);
+}
+
+TEST(LinpackSolve, RandomRhs) {
+  const std::uint32_t n = 24;
+  Matrix a(n, n);
+  a.fill_random(13);
+  const Matrix original = a;
+  support::Rng rng(17);
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-2.0, 2.0);
+  std::vector<double> b(n, 0.0);
+  for (std::uint32_t r = 0; r < n; ++r)
+    for (std::uint32_t c = 0; c < n; ++c)
+      b[r] += original.at(r, c) * x_true[c];
+
+  LinpackParams params;
+  params.n = n;
+  params.block = 6;
+  const auto pivots = lu_factor_inplace(a, params);
+  const auto x = lu_solve(a, pivots, b);
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(LinpackParams, Validation) {
+  LinpackParams p;
+  p.n = 2;
+  EXPECT_THROW(p.validate(), support::Error);
+  p = LinpackParams{};
+  p.block = 0;
+  EXPECT_THROW(p.validate(), support::Error);
+  p = LinpackParams{};
+  p.block = p.n + 1;
+  EXPECT_THROW(p.validate(), support::Error);
+}
+
+TEST(LinpackSim, SimulatedRunStillFactorsCorrectly) {
+  sim::Machine m(arch::snowball(), sim::PagePolicy::kConsecutive,
+                 support::Rng(1));
+  LinpackParams p;
+  p.n = 48;
+  p.block = 16;
+  const auto r = linpack_run(m, p);
+  EXPECT_LT(r.residual, 50.0);
+  EXPECT_GT(r.mflops, 0.0);
+}
+
+TEST(LinpackSim, XeonMflopsInPaperBand) {
+  // Table II: 24000 MFLOPS on the 4-core Xeon -> 6000/core. Our simulated
+  // rate is per-core; accept a generous band around it.
+  sim::Machine m(arch::xeon_x5550(), sim::PagePolicy::kConsecutive,
+                 support::Rng(1));
+  LinpackParams p;
+  p.n = 96;
+  p.block = 32;
+  const auto r = linpack_run(m, p);
+  EXPECT_GT(r.mflops, 3000.0);
+  EXPECT_LT(r.mflops, 11000.0);
+}
+
+TEST(LinpackSim, SnowballMflopsInPaperBand) {
+  // Table II: 620 MFLOPS on 2 cores -> 310/core.
+  sim::Machine m(arch::snowball(), sim::PagePolicy::kConsecutive,
+                 support::Rng(1));
+  LinpackParams p;
+  p.n = 96;
+  p.block = 32;
+  const auto r = linpack_run(m, p);
+  EXPECT_GT(r.mflops, 150.0);
+  EXPECT_LT(r.mflops, 600.0);
+}
+
+TEST(LinpackSim, XeonToArmRatioNearPaper) {
+  // Table II LINPACK ratio: 38.7x for the full machines (4 cores vs 2).
+  LinpackParams p;
+  p.n = 96;
+  p.block = 32;
+  sim::Machine mx(arch::xeon_x5550(), sim::PagePolicy::kConsecutive,
+                  support::Rng(1));
+  sim::Machine ma(arch::snowball(), sim::PagePolicy::kConsecutive,
+                  support::Rng(1));
+  const double per_core_ratio =
+      linpack_run(mx, p).mflops / linpack_run(ma, p).mflops;
+  const double machine_ratio = per_core_ratio * 4.0 / 2.0;
+  EXPECT_GT(machine_ratio, 20.0);
+  EXPECT_LT(machine_ratio, 60.0);
+}
+
+}  // namespace
+}  // namespace mb::kernels

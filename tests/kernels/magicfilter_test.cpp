@@ -1,0 +1,197 @@
+#include "kernels/magicfilter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "arch/platforms.h"
+#include "support/check.h"
+
+namespace mb::kernels {
+namespace {
+
+sim::Machine make_machine(const arch::Platform& p) {
+  return sim::Machine(p, sim::PagePolicy::kConsecutive, support::Rng(1));
+}
+
+TEST(MagicfilterCoefficients, InterpolatingFilterSumsToOne) {
+  const auto& f = magicfilter_coefficients();
+  const double sum = std::accumulate(f.begin(), f.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MagicfilterCoefficients, DominantCentralTap) {
+  const auto& f = magicfilter_coefficients();
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (i != 8) {
+      EXPECT_LT(std::fabs(f[i]), std::fabs(f[8]));
+    }
+  }
+}
+
+TEST(MagicfilterAxis, ConstantFieldIsPreserved) {
+  // Sum of coefficients is 1, so a constant field maps to itself.
+  const std::uint32_t n = 16;
+  std::vector<double> in(n * n * n, 3.25), out(in.size());
+  magicfilter_axis(in, out, n, 0);
+  for (double x : out) EXPECT_NEAR(x, 3.25, 1e-9);
+}
+
+TEST(MagicfilterAxis, MatchesDirectReferenceSum) {
+  const std::uint32_t n = 16;
+  std::vector<double> in(n * n * n), out(in.size());
+  support::Rng rng(3);
+  for (auto& x : in) x = rng.uniform(-1.0, 1.0);
+  magicfilter_axis(in, out, n, 0);
+  // Direct sum at a handful of probe points.
+  const auto& f = magicfilter_coefficients();
+  for (const std::uint32_t i : {0u, 5u, 15u}) {
+    const std::uint32_t j = 7, k = 11;
+    double expect = 0.0;
+    for (std::uint32_t l = 0; l < 16; ++l) {
+      const std::uint32_t src = (i + n + l - 8) % n;
+      expect += f[l] * in[src + n * (j + n * k)];
+    }
+    EXPECT_NEAR(out[i + n * (j + n * k)], expect, 1e-12);
+  }
+}
+
+TEST(MagicfilterAxis, AxesAreIndependent) {
+  const std::uint32_t n = 16;
+  std::vector<double> in(n * n * n, 0.0);
+  in[0] = 1.0;  // delta at origin
+  std::vector<double> out_x(in.size()), out_y(in.size());
+  magicfilter_axis(in, out_x, n, 0);
+  magicfilter_axis(in, out_y, n, 1);
+  // The response spreads along different axes.
+  EXPECT_NE(out_x[1], 0.0);
+  EXPECT_NEAR(out_y[1], 0.0, 1e-15);
+  EXPECT_NE(out_y[n], 0.0);
+}
+
+TEST(MagicfilterNative, UnrollInvariantChecksum) {
+  MagicfilterParams a, b;
+  a.n = b.n = 16;
+  a.unroll = 1;
+  b.unroll = 12;
+  EXPECT_DOUBLE_EQ(magicfilter_native(a), magicfilter_native(b));
+}
+
+TEST(MagicfilterNative, NormIsFiniteAndPositive) {
+  MagicfilterParams p;
+  p.n = 16;
+  const double norm = magicfilter_native(p);
+  EXPECT_GT(norm, 0.0);
+  EXPECT_TRUE(std::isfinite(norm));
+}
+
+TEST(MagicfilterParams, Validation) {
+  MagicfilterParams p;
+  p.n = 8;
+  EXPECT_THROW(p.validate(), support::Error);
+  p = MagicfilterParams{};
+  p.unroll = 0;
+  EXPECT_THROW(p.validate(), support::Error);
+  p = MagicfilterParams{};
+  p.dims = 4;
+  EXPECT_THROW(p.validate(), support::Error);
+}
+
+TEST(MagicfilterSim, CacheAccessesConvexInUnroll) {
+  // Fig. 7: accesses fall with moderate unroll (coefficient amortization)
+  // then rise once registers spill.
+  auto m = make_machine(arch::tegra2_node());
+  MagicfilterParams p;
+  p.n = 16;
+  p.dims = 1;
+  p.unroll = 1;
+  const double a1 = magicfilter_run(m, p).cache_accesses_per_output;
+  p.unroll = 3;
+  const double a3 = magicfilter_run(m, p).cache_accesses_per_output;
+  p.unroll = 12;
+  const double a12 = magicfilter_run(m, p).cache_accesses_per_output;
+  EXPECT_LT(a3, a1);
+  EXPECT_GT(a12, a3);
+}
+
+TEST(MagicfilterSim, SpillsStartEarlierOnTegra2ThanNehalem) {
+  // Fig. 7 staircase: cache accesses jump at unroll ~5 on Tegra2 but only
+  // at ~9 on Nehalem.
+  auto mt = make_machine(arch::tegra2_node());
+  auto mx = make_machine(arch::xeon_x5550());
+  MagicfilterParams p;
+  p.n = 16;
+  p.dims = 1;
+
+  auto first_spill = [&](sim::Machine& m) {
+    for (std::uint32_t u = 1; u <= 12; ++u) {
+      p.unroll = u;
+      if (magicfilter_run(m, p).spill_values > 0.0) return u;
+    }
+    return 99u;
+  };
+  const std::uint32_t tegra = first_spill(mt);
+  const std::uint32_t xeon = first_spill(mx);
+  EXPECT_LT(tegra, xeon);
+  EXPECT_LE(tegra, 5u);
+  EXPECT_GE(xeon, 6u);
+}
+
+TEST(MagicfilterSim, Tegra2SweetSpotNarrowerThanNehalem) {
+  // The paper's conclusion: [4,7] on Tegra2 vs [4,12] on Nehalem.
+  MagicfilterParams p;
+  p.n = 16;
+  p.dims = 1;
+
+  auto sweet_spot_width = [&p](const arch::Platform& platform) {
+    auto m = make_machine(platform);
+    double best = 1e300;
+    std::array<double, 13> cyc{};
+    for (std::uint32_t u = 1; u <= 12; ++u) {
+      p.unroll = u;
+      cyc[u] = magicfilter_run(m, p).cycles_per_output;
+      best = std::min(best, cyc[u]);
+    }
+    int width = 0;
+    for (std::uint32_t u = 1; u <= 12; ++u)
+      if (cyc[u] <= 1.10 * best) ++width;
+    return width;
+  };
+  EXPECT_LT(sweet_spot_width(arch::tegra2_node()),
+            sweet_spot_width(arch::xeon_x5550()));
+}
+
+TEST(MagicfilterSim, CyclesGrowWhenUnrollingTooMuchOnTegra2) {
+  // Fig. 7b: "the total number of cycles significantly grows when
+  // unrolling too much (unroll=12)".
+  auto m = make_machine(arch::tegra2_node());
+  MagicfilterParams p;
+  p.n = 16;
+  p.dims = 1;
+  p.unroll = 4;
+  const double at4 = magicfilter_run(m, p).cycles_per_output;
+  p.unroll = 12;
+  const double at12 = magicfilter_run(m, p).cycles_per_output;
+  EXPECT_GT(at12, 1.15 * at4);
+}
+
+TEST(MagicfilterSim, NehalemFasterPerOutputThanTegra2) {
+  MagicfilterParams p;
+  p.n = 16;
+  p.dims = 1;
+  p.unroll = 4;
+  auto mx = make_machine(arch::xeon_x5550());
+  auto mt = make_machine(arch::tegra2_node());
+  const double xeon_s = magicfilter_run(mx, p).sim.seconds;
+  const double tegra_s = magicfilter_run(mt, p).sim.seconds;
+  EXPECT_GT(tegra_s / xeon_s, 5.0);
+}
+
+TEST(MagicfilterSim, LiveValuesFormula) {
+  EXPECT_DOUBLE_EQ(magicfilter_live_values(1), 8.0);
+  EXPECT_DOUBLE_EQ(magicfilter_live_values(12), 19.0);
+}
+
+}  // namespace
+}  // namespace mb::kernels

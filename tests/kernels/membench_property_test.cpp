@@ -1,0 +1,104 @@
+// Property sweeps over the membench parameter space: physical sanity
+// bounds that every (platform, size, stride, width, unroll) combination
+// must satisfy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "arch/platforms.h"
+#include "kernels/membench.h"
+
+namespace mb::kernels {
+namespace {
+
+// (platform id, array KB, stride, elem bits, unroll)
+using Case = std::tuple<int, std::uint64_t, std::uint32_t, std::uint32_t,
+                        std::uint32_t>;
+
+arch::Platform platform_for(int id) {
+  switch (id) {
+    case 0: return arch::snowball();
+    case 1: return arch::xeon_x5550();
+    default: return arch::tegra2_node();
+  }
+}
+
+class MembenchSpace : public ::testing::TestWithParam<Case> {
+ protected:
+  MembenchParams params() const {
+    const auto [pid, kb, stride, bits, unroll] = GetParam();
+    MembenchParams p;
+    p.array_bytes = kb * 1024;
+    p.stride_elems = stride;
+    p.elem_bits = bits;
+    p.unroll = unroll;
+    p.passes = 4;
+    return p;
+  }
+  arch::Platform platform() const {
+    return platform_for(std::get<0>(GetParam()));
+  }
+};
+
+TEST_P(MembenchSpace, BandwidthPositiveAndBelowIssuePeak) {
+  const auto plat = platform();
+  sim::Machine m(plat, sim::PagePolicy::kConsecutive, support::Rng(1));
+  const auto r = membench_run(m, params());
+  EXPECT_GT(r.bandwidth_bytes_per_s, 0.0);
+  // Hard physical ceiling: one max-width load per cycle.
+  const double peak = plat.core.freq_hz * 16.0;
+  EXPECT_LE(r.bandwidth_bytes_per_s, peak);
+}
+
+TEST_P(MembenchSpace, NativeChecksumFiniteAndStable) {
+  const auto p = params();
+  const double a = membench_native(p, 11);
+  const double b = membench_native(p, 11);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::isfinite(a));
+}
+
+TEST_P(MembenchSpace, TimeScalesWithPasses) {
+  const auto plat = platform();
+  sim::Machine m(plat, sim::PagePolicy::kConsecutive, support::Rng(1));
+  auto p = params();
+  const auto r1 = membench_run(m, p);
+  p.passes *= 3;
+  const auto r3 = membench_run(m, p);
+  // Warm caches make later passes cheaper, never more expensive.
+  EXPECT_GT(r3.sim.seconds, r1.sim.seconds);
+  EXPECT_LT(r3.sim.seconds, 3.5 * r1.sim.seconds);
+}
+
+TEST_P(MembenchSpace, CountersConsistent) {
+  const auto plat = platform();
+  sim::Machine m(plat, sim::PagePolicy::kConsecutive, support::Rng(1));
+  const auto r = membench_run(m, params());
+  using counters::Counter;
+  const auto& c = r.sim.counters;
+  EXPECT_GE(c.get(Counter::kL1Dca), c.get(Counter::kL1Dcm));
+  EXPECT_GE(c.get(Counter::kTotCyc), 1u);
+  EXPECT_GT(c.get(Counter::kTotIns), 0u);
+  EXPECT_EQ(c.get(Counter::kFpOps),
+            params().accessed_per_pass() * params().passes *
+                (params().elem_bits / 32));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MembenchSpace,
+    ::testing::Combine(::testing::Values(0, 1, 2),       // platform
+                       ::testing::Values(8u, 48u),       // KB
+                       ::testing::Values(1u, 4u),        // stride
+                       ::testing::Values(32u, 64u, 128u),// elem bits
+                       ::testing::Values(1u, 8u)),       // unroll
+    [](const auto& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_kb" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param)) + "_e" +
+             std::to_string(std::get<3>(info.param)) + "_u" +
+             std::to_string(std::get<4>(info.param));
+    });
+
+}  // namespace
+}  // namespace mb::kernels

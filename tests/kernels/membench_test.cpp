@@ -1,0 +1,199 @@
+#include "kernels/membench.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "support/check.h"
+
+namespace mb::kernels {
+namespace {
+
+sim::Machine make_machine(const arch::Platform& p,
+                          sim::PagePolicy policy = sim::PagePolicy::kConsecutive,
+                          std::uint64_t seed = 1) {
+  return sim::Machine(p, policy, support::Rng(seed));
+}
+
+TEST(MembenchNative, DeterministicChecksum) {
+  MembenchParams params;
+  params.array_bytes = 8 * 1024;
+  EXPECT_DOUBLE_EQ(membench_native(params, 7), membench_native(params, 7));
+  EXPECT_NE(membench_native(params, 7), membench_native(params, 8));
+}
+
+TEST(MembenchNative, UnrollDoesNotChangeTheSum) {
+  MembenchParams a, b;
+  a.array_bytes = b.array_bytes = 8 * 1024;
+  a.unroll = 1;
+  b.unroll = 8;
+  EXPECT_NEAR(membench_native(a), membench_native(b), 1e-9);
+}
+
+TEST(MembenchNative, ElementWidthDoesNotChangeTheSum) {
+  MembenchParams a, b;
+  a.array_bytes = b.array_bytes = 8 * 1024;
+  a.elem_bits = 32;
+  b.elem_bits = 128;
+  EXPECT_NEAR(membench_native(a), membench_native(b), 1e-9);
+}
+
+TEST(MembenchNative, StrideSkipsElements) {
+  MembenchParams a, b;
+  a.array_bytes = b.array_bytes = 8 * 1024;
+  b.stride_elems = 2;
+  EXPECT_NE(membench_native(a), membench_native(b));
+}
+
+TEST(MembenchParams, Validation) {
+  MembenchParams p;
+  p.elem_bits = 48;
+  EXPECT_THROW(p.validate(), support::Error);
+  p = MembenchParams{};
+  p.stride_elems = 0;
+  EXPECT_THROW(p.validate(), support::Error);
+  p = MembenchParams{};
+  p.array_bytes = 10;  // not a multiple of 4
+  EXPECT_THROW(p.validate(), support::Error);
+}
+
+TEST(MembenchSim, L1ResidentFasterThanL2Resident) {
+  const auto platform = arch::snowball();
+  auto m = make_machine(platform);
+  MembenchParams small, big;
+  small.array_bytes = 16 * 1024;   // fits 32K L1
+  big.array_bytes = 256 * 1024;    // L2 resident
+  small.unroll = big.unroll = 4;
+  const auto r_small = membench_run(m, small);
+  const auto r_big = membench_run(m, big);
+  EXPECT_GT(r_small.bandwidth_bytes_per_s, r_big.bandwidth_bytes_per_s);
+}
+
+TEST(MembenchSim, BandwidthDropsPastL1Size) {
+  // The Fig. 5a cliff: bandwidth falls once the array exceeds L1.
+  const auto platform = arch::snowball();
+  auto m = make_machine(platform);
+  MembenchParams p;
+  p.unroll = 4;
+  p.array_bytes = 24 * 1024;
+  const double in_l1 = membench_run(m, p).bandwidth_bytes_per_s;
+  p.array_bytes = 48 * 1024;
+  const double out_l1 = membench_run(m, p).bandwidth_bytes_per_s;
+  EXPECT_GT(in_l1, 1.2 * out_l1);
+}
+
+TEST(MembenchSim, XeonBandwidthScalesWithElementWidth) {
+  // Fig. 6a: on Nehalem both vectorizing and unrolling keep helping.
+  const auto platform = arch::xeon_x5550();
+  auto m = make_machine(platform);
+  MembenchParams p;
+  p.array_bytes = 48 * 1024;  // the paper's 50KB-class array
+  p.unroll = 8;
+  p.elem_bits = 32;
+  const double bw32 = membench_run(m, p).bandwidth_bytes_per_s;
+  p.elem_bits = 64;
+  const double bw64 = membench_run(m, p).bandwidth_bytes_per_s;
+  p.elem_bits = 128;
+  const double bw128 = membench_run(m, p).bandwidth_bytes_per_s;
+  EXPECT_GT(bw64, 1.5 * bw32);
+  EXPECT_GT(bw128, 1.3 * bw64);
+}
+
+TEST(MembenchSim, XeonUnrollAlwaysHelps) {
+  const auto platform = arch::xeon_x5550();
+  auto m = make_machine(platform);
+  for (std::uint32_t bits : {32u, 64u, 128u}) {
+    MembenchParams p;
+    p.array_bytes = 48 * 1024;
+    p.elem_bits = bits;
+    p.unroll = 1;
+    const double no_unroll = membench_run(m, p).bandwidth_bytes_per_s;
+    p.unroll = 8;
+    const double unroll = membench_run(m, p).bandwidth_bytes_per_s;
+    EXPECT_GT(unroll, no_unroll) << bits << " bits";
+  }
+}
+
+TEST(MembenchSim, ArmBestConfigIs64BitUnrolled) {
+  // Fig. 6b: the ARM sweet spot is 64-bit elements with unrolling.
+  const auto platform = arch::snowball();
+  auto m = make_machine(platform);
+  double best = 0.0;
+  std::uint32_t best_bits = 0;
+  std::uint32_t best_unroll = 0;
+  for (std::uint32_t bits : {32u, 64u, 128u}) {
+    for (std::uint32_t unroll : {1u, 8u}) {
+      MembenchParams p;
+      p.array_bytes = 48 * 1024;
+      p.elem_bits = bits;
+      p.unroll = unroll;
+      const double bw = membench_run(m, p).bandwidth_bytes_per_s;
+      if (bw > best) {
+        best = bw;
+        best_bits = bits;
+        best_unroll = unroll;
+      }
+    }
+  }
+  EXPECT_EQ(best_bits, 64u);
+  EXPECT_EQ(best_unroll, 8u);
+}
+
+TEST(MembenchSim, ArmUnrollDetrimentalAt128Bits) {
+  // Fig. 6b: 128-bit vectorized + unrolled spills NEON registers and loses
+  // to the non-unrolled variant.
+  const auto platform = arch::snowball();
+  auto m = make_machine(platform);
+  MembenchParams p;
+  p.array_bytes = 48 * 1024;
+  p.elem_bits = 128;
+  p.unroll = 1;
+  const auto no_unroll = membench_run(m, p);
+  p.unroll = 8;
+  const auto unroll = membench_run(m, p);
+  EXPECT_GT(unroll.spill_accesses_per_elem, 0.0);
+  EXPECT_DOUBLE_EQ(no_unroll.spill_accesses_per_elem, 0.0);
+  EXPECT_LT(unroll.bandwidth_bytes_per_s,
+            no_unroll.bandwidth_bytes_per_s);
+}
+
+TEST(MembenchSim, Arm128BitNoBetterThan32Bit) {
+  // Fig. 6b: "vectorizing with 128 is similar to using 32 bit elements".
+  const auto platform = arch::snowball();
+  auto m = make_machine(platform);
+  MembenchParams p;
+  p.array_bytes = 48 * 1024;
+  p.unroll = 1;
+  p.elem_bits = 32;
+  const double bw32 = membench_run(m, p).bandwidth_bytes_per_s;
+  p.elem_bits = 128;
+  const double bw128 = membench_run(m, p).bandwidth_bytes_per_s;
+  EXPECT_LT(bw128, 1.5 * bw32);
+  EXPECT_GT(bw128, 0.5 * bw32);
+}
+
+TEST(MembenchSim, XeonOutpacesArmAbsolute) {
+  MembenchParams p;
+  p.array_bytes = 48 * 1024;
+  p.elem_bits = 64;
+  p.unroll = 8;
+  auto mx = make_machine(arch::xeon_x5550());
+  auto ma = make_machine(arch::snowball());
+  const double xeon = membench_run(mx, p).bandwidth_bytes_per_s;
+  const double armv = membench_run(ma, p).bandwidth_bytes_per_s;
+  EXPECT_GT(xeon, 3.0 * armv);
+}
+
+TEST(MembenchSim, RegisterPressureFormula) {
+  MembenchParams p;
+  p.elem_bits = 128;
+  p.unroll = 8;
+  EXPECT_DOUBLE_EQ(membench_register_pressure(p), 16.0);
+  p.elem_bits = 64;
+  EXPECT_DOUBLE_EQ(membench_register_pressure(p), 8.0);
+  p.elem_bits = 32;
+  p.unroll = 4;
+  EXPECT_DOUBLE_EQ(membench_register_pressure(p), 2.0);
+}
+
+}  // namespace
+}  // namespace mb::kernels

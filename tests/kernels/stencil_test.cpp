@@ -1,0 +1,122 @@
+#include "kernels/stencil.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "support/check.h"
+
+namespace mb::kernels {
+namespace {
+
+TEST(StencilStep, ConstantFieldIsFixedPoint) {
+  const std::uint32_t n = 8;
+  std::vector<float> prev(n * n * n, 2.5f), cur(prev), next(prev.size());
+  stencil_step(prev, cur, next, n, 0.4);
+  for (float x : next) EXPECT_FLOAT_EQ(x, 2.5f);
+}
+
+TEST(StencilStep, LinearityInInitialData) {
+  const std::uint32_t n = 8;
+  const std::uint64_t total = n * n * n;
+  std::vector<float> prev(total), cur(total), a(total), b(total), sum(total);
+  support::Rng rng(3);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    prev[i] = static_cast<float>(rng.uniform(-1, 1));
+    cur[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  stencil_step(prev, cur, a, n, 0.4);
+  // Doubling inputs doubles outputs.
+  std::vector<float> prev2(total), cur2(total);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    prev2[i] = 2 * prev[i];
+    cur2[i] = 2 * cur[i];
+  }
+  stencil_step(prev2, cur2, b, n, 0.4);
+  for (std::uint64_t i = 0; i < total; ++i)
+    EXPECT_NEAR(b[i], 2 * a[i], 1e-4);
+  (void)sum;
+}
+
+TEST(StencilDispersion, ExactDiscreteModeIsPreserved) {
+  StencilParams p;
+  p.n = 16;
+  p.steps = 8;
+  p.cfl = 0.4;
+  EXPECT_LT(stencil_dispersion_error(p), 1e-4);  // SP rounding only
+}
+
+TEST(StencilDispersion, LongerRunsStayAccurate) {
+  StencilParams p;
+  p.n = 12;
+  p.steps = 50;
+  p.cfl = 0.3;
+  EXPECT_LT(stencil_dispersion_error(p), 1e-3);
+}
+
+TEST(StencilNative, DeterministicChecksum) {
+  StencilParams p;
+  p.n = 12;
+  p.steps = 3;
+  EXPECT_DOUBLE_EQ(stencil_native(p, 5), stencil_native(p, 5));
+  EXPECT_NE(stencil_native(p, 5), stencil_native(p, 6));
+}
+
+TEST(StencilParams, Validation) {
+  StencilParams p;
+  p.n = 2;
+  EXPECT_THROW(p.validate(), support::Error);
+  p = StencilParams{};
+  p.cfl = 0.6;  // above 3-D stability limit
+  EXPECT_THROW(p.validate(), support::Error);
+  p = StencilParams{};
+  p.steps = 0;
+  EXPECT_THROW(p.validate(), support::Error);
+}
+
+TEST(StencilSim, RatesArePositive) {
+  sim::Machine m(arch::snowball(), sim::PagePolicy::kConsecutive,
+                 support::Rng(1));
+  StencilParams p;
+  p.n = 12;
+  p.steps = 2;
+  const auto r = stencil_run(m, p);
+  EXPECT_GT(r.points_per_s, 0.0);
+  EXPECT_GT(r.seconds_per_step, 0.0);
+}
+
+TEST(StencilSim, XeonToArmRatioNearPaper) {
+  // Table II SPECFEM3D ratio is 7.9x machine-to-machine: single precision
+  // NEON keeps the ARM competitive. Spectral-element codes are
+  // element-local, so the representative working set fits L1 (n=12:
+  // 3 x 6.8 KB buffers).
+  StencilParams p;
+  p.n = 12;
+  p.steps = 20;  // amortize the cold-start fills, as a real run does
+  sim::Machine mx(arch::xeon_x5550(), sim::PagePolicy::kConsecutive,
+                  support::Rng(1));
+  sim::Machine ma(arch::snowball(), sim::PagePolicy::kConsecutive,
+                  support::Rng(1));
+  const double xeon = stencil_run(mx, p).points_per_s;
+  const double arm = stencil_run(ma, p).points_per_s;
+  const double machine_ratio = (xeon * 4.0) / (arm * 2.0);
+  EXPECT_GT(machine_ratio, 4.0);
+  EXPECT_LT(machine_ratio, 14.0);
+}
+
+TEST(StencilSim, SpGapSmallerThanDpGap) {
+  // SP stencil (NEON-capable) vs DP magicfilter-style work: the SP gap per
+  // core must be smaller — the paper's SPECFEM3D vs BigDFT asymmetry.
+  StencilParams p;
+  p.n = 12;
+  p.steps = 20;
+  sim::Machine mx(arch::xeon_x5550(), sim::PagePolicy::kConsecutive,
+                  support::Rng(1));
+  sim::Machine ma(arch::snowball(), sim::PagePolicy::kConsecutive,
+                  support::Rng(1));
+  const double sp_gap =
+      stencil_run(ma, p).sim.seconds / stencil_run(mx, p).sim.seconds;
+  EXPECT_LT(sp_gap, 12.0);
+}
+
+}  // namespace
+}  // namespace mb::kernels

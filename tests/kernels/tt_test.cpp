@@ -1,0 +1,157 @@
+#include "kernels/chess/tt.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/chess/search.h"
+#include "kernels/chess/zobrist.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace mb::kernels::chess {
+namespace {
+
+TEST(Zobrist, KeysAreStableAndDistinct) {
+  EXPECT_EQ(zobrist_piece(kWhite, kPawn, 0),
+            zobrist_piece(kWhite, kPawn, 0));
+  EXPECT_NE(zobrist_piece(kWhite, kPawn, 0),
+            zobrist_piece(kBlack, kPawn, 0));
+  EXPECT_NE(zobrist_piece(kWhite, kPawn, 0),
+            zobrist_piece(kWhite, kKnight, 0));
+  EXPECT_NE(zobrist_castling(0), zobrist_castling(15));
+}
+
+TEST(Zobrist, IncrementalHashMatchesRecompute) {
+  // Walk random legal move sequences; the incrementally maintained hash
+  // must always equal the from-scratch recomputation.
+  support::Rng rng(3);
+  for (int game = 0; game < 10; ++game) {
+    Position pos = Position::initial();
+    EXPECT_EQ(pos.hash(), pos.compute_hash());
+    for (int ply = 0; ply < 30; ++ply) {
+      const auto moves = pos.legal_moves();
+      if (moves.empty()) break;
+      pos.make(moves[rng.index(moves.size())]);
+      ASSERT_EQ(pos.hash(), pos.compute_hash())
+          << "game " << game << " ply " << ply;
+    }
+  }
+}
+
+TEST(Zobrist, TranspositionsCollide) {
+  // 1. Nf3 Nf6 2. Ng1 Ng8 returns to the start position (minus nothing:
+  // no castling/ep changes) -> same hash.
+  Position a = Position::initial();
+  for (const char* mv : {"g1f3", "g8f6", "f3g1", "f6g8"}) {
+    const auto moves = a.legal_moves();
+    bool made = false;
+    for (const Move m : moves) {
+      if (m.to_string() == mv) {
+        a.make(m);
+        made = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(made) << mv;
+  }
+  EXPECT_EQ(a.hash(), Position::initial().hash());
+}
+
+TEST(Zobrist, DifferentSideToMoveDiffers) {
+  const Position w = Position::from_fen("4k3/8/8/8/8/8/8/4K3 w - -");
+  const Position b = Position::from_fen("4k3/8/8/8/8/8/8/4K3 b - -");
+  EXPECT_NE(w.hash(), b.hash());
+}
+
+TEST(Tt, StoreAndProbe) {
+  TranspositionTable tt(1 << 16);
+  EXPECT_EQ(tt.probe(42), nullptr);
+  tt.store(42, 123, 3, Bound::kExact, Move());
+  const TtEntry* e = tt.probe(42);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->score, 123);
+  EXPECT_EQ(e->depth, 3);
+}
+
+TEST(Tt, SizeRoundsToPowerOfTwo) {
+  TranspositionTable tt(1000 * sizeof(TtEntry));
+  EXPECT_EQ(tt.entries(), 512u);  // bit_floor(1000)
+}
+
+TEST(Tt, DepthPreferredReplacement) {
+  TranspositionTable tt(sizeof(TtEntry));  // one entry
+  ASSERT_EQ(tt.entries(), 1u);
+  tt.store(1, 10, 5, Bound::kExact, Move());
+  tt.store(2, 20, 2, Bound::kExact, Move());  // shallower: rejected
+  const TtEntry* e = tt.probe(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->score, 10);
+  tt.store(2, 20, 7, Bound::kExact, Move());  // deeper: replaces
+  EXPECT_EQ(tt.probe(1), nullptr);
+  EXPECT_NE(tt.probe(2), nullptr);
+}
+
+TEST(Tt, SameKeyAlwaysUpdates) {
+  TranspositionTable tt(sizeof(TtEntry));
+  tt.store(1, 10, 5, Bound::kExact, Move());
+  tt.store(1, 11, 3, Bound::kLower, Move());  // same key, shallower: ok
+  const TtEntry* e = tt.probe(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->score, 11);
+}
+
+TEST(Tt, ClearResetsEverything) {
+  TranspositionTable tt(1 << 12);
+  tt.store(1, 10, 5, Bound::kExact, Move());
+  tt.probe(1);
+  tt.clear();
+  EXPECT_EQ(tt.probe(1), nullptr);
+  EXPECT_EQ(tt.hits(), 0u);
+}
+
+TEST(SearchTt, RootScoreMatchesPlainSearch) {
+  for (const char* fen :
+       {"rnbqkbnr/pppppppp/8/8/8/8/PPPPPPPP/RNBQKBNR w KQkq -",
+        "r3k2r/p1ppqpb1/bn2pnp1/3PN3/1p2P3/2N2Q1p/PPPBBPPP/R3K2R w KQkq -",
+        "8/2p5/3p4/KP5r/1R3p1k/8/4P1P1/8 w - -"}) {
+    const Position pos = Position::from_fen(fen);
+    const auto plain = search(pos, 3);
+    TranspositionTable tt(1 << 20);
+    const auto with_tt = search_tt(pos, 3, tt);
+    EXPECT_EQ(plain.score, with_tt.score) << fen;
+  }
+}
+
+TEST(SearchTt, VisitsFewerNodesAtDepth) {
+  const Position pos = Position::initial();
+  const auto plain = search(pos, 4);
+  TranspositionTable tt(1 << 22);
+  const auto with_tt = search_tt(pos, 4, tt);
+  EXPECT_LT(with_tt.stats.nodes, plain.stats.nodes);
+  EXPECT_GT(tt.hits(), 0u);
+}
+
+TEST(SearchTt, WarmTableAcceleratesResearch) {
+  const Position pos = Position::initial();
+  TranspositionTable tt(1 << 22);
+  search_tt(pos, 4, tt);
+  SearchStats cold;
+  // Re-search the same position: the root entry answers immediately.
+  const auto again = search_tt(pos, 4, tt);
+  EXPECT_LE(again.stats.nodes, 2u);
+}
+
+TEST(SearchTt, MateScoreStillFound) {
+  const Position p = Position::from_fen(
+      "rnbqkbnr/pppp1ppp/8/4p3/6P1/5P2/PPPPP2P/RNBQKBNR b KQkq -");
+  TranspositionTable tt(1 << 16);
+  const auto r = search_tt(p, 2, tt);
+  EXPECT_EQ(r.best.to_string(), "d8h4");
+  EXPECT_GT(r.score, 20'000);
+}
+
+TEST(Tt, TinyTableRejected) {
+  EXPECT_THROW(TranspositionTable{1}, support::Error);
+}
+
+}  // namespace
+}  // namespace mb::kernels::chess

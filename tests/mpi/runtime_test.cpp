@@ -1,0 +1,164 @@
+#include "mpi/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "support/check.h"
+#include "support/units.h"
+
+namespace mb::mpi {
+namespace {
+
+struct Harness {
+  sim::EventQueue queue;
+  net::Network network{queue};
+  net::ClusterTopology topo;
+  trace::Trace trace;
+
+  explicit Harness(std::uint32_t nodes) {
+    net::TreeParams params = net::tibidabo_tree(nodes);
+    topo = net::build_tree(network, params);
+  }
+
+  double run(const Program& program, std::uint32_t ranks_per_node = 1) {
+    std::vector<net::NodeId> rank_to_host;
+    for (std::uint32_t r = 0; r < program.ranks(); ++r)
+      rank_to_host.push_back(topo.hosts[r / ranks_per_node]);
+    Runtime rt(queue, network, rank_to_host, RuntimeConfig{}, &trace);
+    return rt.run(program);
+  }
+};
+
+TEST(Runtime, ComputeOnlyMakespanIsMaxOverRanks) {
+  Harness h(2);
+  Program p(2);
+  p.rank(0).push_back(Op::compute(1.0));
+  p.rank(1).push_back(Op::compute(2.5));
+  EXPECT_NEAR(h.run(p), 2.5, 1e-12);
+}
+
+TEST(Runtime, SendRecvTransfersAcrossNetwork) {
+  Harness h(2);
+  Program p(2);
+  p.rank(0).push_back(Op::send(1, 1 << 20, 7));
+  p.rank(1).push_back(Op::recv(0, 7));
+  const double makespan = h.run(p);
+  // 1 MB at 0.7 Gb/s host links (~87.5 MB/s): ~12 ms with frames
+  // pipelining across the two hops.
+  EXPECT_GT(makespan, 0.01);
+  EXPECT_LT(makespan, 0.1);
+}
+
+TEST(Runtime, RecvBeforeSendStillCompletes) {
+  Harness h(2);
+  Program p(2);
+  p.rank(1).push_back(Op::recv(0, 3));
+  p.rank(0).push_back(Op::compute(0.1));
+  p.rank(0).push_back(Op::send(1, 100, 3));
+  EXPECT_GT(h.run(p), 0.1);
+}
+
+TEST(Runtime, IntraNodeMessagesBypassNetwork) {
+  Harness h(1);
+  Program p(2);
+  p.rank(0).push_back(Op::send(1, 1 << 20, 1));
+  p.rank(1).push_back(Op::recv(0, 1));
+  const double makespan = h.run(p, /*ranks_per_node=*/2);
+  // Memory-speed transfer: well under a millisecond for 1 MB.
+  EXPECT_LT(makespan, 2e-3);
+}
+
+TEST(Runtime, MessageOrderingFifoPerKey) {
+  Harness h(2);
+  Program p(2);
+  p.rank(0).push_back(Op::send(1, 100, 5));
+  p.rank(0).push_back(Op::send(1, 100, 5));
+  p.rank(1).push_back(Op::recv(0, 5));
+  p.rank(1).push_back(Op::recv(0, 5));
+  EXPECT_NO_THROW(h.run(p));
+}
+
+TEST(Runtime, TagMismatchDeadlocks) {
+  Harness h(2);
+  Program p(2);
+  p.rank(0).push_back(Op::send(1, 100, 1));
+  p.rank(1).push_back(Op::recv(0, 2));  // wrong tag
+  EXPECT_THROW(h.run(p), support::Error);
+}
+
+TEST(Runtime, BarrierSynchronizesRanks) {
+  Harness h(4);
+  Program p(4);
+  for (std::uint32_t r = 0; r < 4; ++r)
+    p.rank(r).push_back(Op::compute(0.1 * (r + 1)));
+  p.append_all(Op::barrier());
+  p.append_all(Op::compute(0.05));
+  const double makespan = h.run(p);
+  // Slowest pre-barrier rank: 0.4; then barrier + 0.05.
+  EXPECT_GT(makespan, 0.45);
+  EXPECT_LT(makespan, 0.6);
+}
+
+TEST(Runtime, BcastDeliversToAllRanks) {
+  Harness h(8);
+  Program p(8);
+  p.append_all(Op::bcast(2, 64 * 1024));
+  EXPECT_NO_THROW(h.run(p));
+  // Every rank but the root recorded the collective.
+  const auto recs = h.trace.filter(trace::EventKind::kCollective, "bcast");
+  EXPECT_EQ(recs.size(), 8u);
+}
+
+TEST(Runtime, AllreduceCompletes) {
+  Harness h(6);
+  Program p(6);
+  p.append_all(Op::allreduce(1 << 16));
+  EXPECT_NO_THROW(h.run(p));
+}
+
+TEST(Runtime, AlltoallvCompletesAndTraces) {
+  Harness h(6);
+  Program p(6);
+  p.append_all(Op::alltoallv(std::vector<std::uint64_t>(6, 32 * 1024)));
+  EXPECT_NO_THROW(h.run(p));
+  EXPECT_EQ(h.trace.filter(trace::EventKind::kCollective, "alltoallv").size(),
+            6u);
+}
+
+TEST(Runtime, CollectiveOrderingRequirementHolds) {
+  // Two consecutive collectives must not cross-match tags.
+  Harness h(4);
+  Program p(4);
+  p.append_all(Op::allreduce(1024));
+  p.append_all(Op::allreduce(1024));
+  p.append_all(Op::bcast(0, 2048));
+  EXPECT_NO_THROW(h.run(p));
+}
+
+TEST(Runtime, ComputeIsTraced) {
+  Harness h(2);
+  Program p(2);
+  p.append_all(Op::compute(0.5, "work"));
+  h.run(p);
+  const auto recs = h.trace.filter(trace::EventKind::kCompute, "work");
+  EXPECT_EQ(recs.size(), 2u);
+  EXPECT_NEAR(recs[0].duration(), 0.5, 1e-12);
+}
+
+TEST(Runtime, RanksMismatchRejected) {
+  Harness h(2);
+  Program p(3);
+  std::vector<net::NodeId> hosts{h.topo.hosts[0], h.topo.hosts[1]};
+  Runtime rt(h.queue, h.network, hosts, RuntimeConfig{}, nullptr);
+  EXPECT_THROW(rt.run(p), support::Error);
+}
+
+TEST(Runtime, RankOnSwitchRejected) {
+  Harness h(2);
+  std::vector<net::NodeId> hosts{h.topo.root_switch};
+  EXPECT_THROW(Runtime(h.queue, h.network, hosts, RuntimeConfig{}, nullptr),
+               support::Error);
+}
+
+}  // namespace
+}  // namespace mb::mpi

@@ -1,0 +1,84 @@
+// Fault injection: degraded links and their effect on point-to-point and
+// collective communication (the straggler pathology of real clusters).
+#include <gtest/gtest.h>
+
+#include "mpi/runtime.h"
+#include "net/topology.h"
+#include "support/check.h"
+
+namespace mb::net {
+namespace {
+
+struct Cluster {
+  sim::EventQueue queue;
+  Network net{queue};
+  ClusterTopology topo;
+
+  explicit Cluster(std::uint32_t nodes) {
+    topo = build_tree(net, tibidabo_tree(nodes));
+  }
+};
+
+TEST(FaultInjection, DegradedLinkSlowsItsFlows) {
+  auto healthy_time = [] {
+    Cluster c(4);
+    double t = -1;
+    c.net.send(c.topo.hosts[0], c.topo.hosts[1], 1 << 20,
+               [&] { t = c.queue.now(); });
+    c.queue.run();
+    return t;
+  }();
+
+  Cluster c(4);
+  c.net.degrade_link(c.topo.hosts[0], c.topo.leaf_switches[0], 0.1, 1e-3);
+  double t = -1;
+  c.net.send(c.topo.hosts[0], c.topo.hosts[1], 1 << 20,
+             [&] { t = c.queue.now(); });
+  c.queue.run();
+  EXPECT_GT(t, 5.0 * healthy_time);
+}
+
+TEST(FaultInjection, OtherFlowsUnaffected) {
+  Cluster c(4);
+  c.net.degrade_link(c.topo.hosts[0], c.topo.leaf_switches[0], 0.1, 1e-3);
+  double t = -1;
+  c.net.send(c.topo.hosts[2], c.topo.hosts[3], 1 << 20,
+             [&] { t = c.queue.now(); });
+  c.queue.run();
+  EXPECT_LT(t, 0.1);  // the healthy pair still runs at full speed
+}
+
+TEST(FaultInjection, StragglerStallsTheWholeCollective) {
+  auto makespan_with = [](bool degrade) {
+    Cluster c(8);
+    if (degrade)
+      c.net.degrade_link(c.topo.hosts[5], c.topo.leaf_switches[0], 0.05,
+                         2e-3);
+    std::vector<NodeId> hosts;
+    for (std::uint32_t r = 0; r < 16; ++r)
+      hosts.push_back(c.topo.hosts[r / 2]);
+    mpi::Runtime rt(c.queue, c.net, hosts, mpi::RuntimeConfig{}, nullptr);
+    mpi::Program prog(16);
+    prog.append_all(mpi::Op::allreduce(1 << 20));
+    return rt.run(prog);
+  };
+  // One bad NIC out of eight stalls the allreduce for everyone: the
+  // collective is only as fast as its slowest participant.
+  EXPECT_GT(makespan_with(true), 3.0 * makespan_with(false));
+}
+
+TEST(FaultInjection, Preconditions) {
+  Cluster c(2);
+  EXPECT_THROW(
+      c.net.degrade_link(c.topo.hosts[0], c.topo.leaf_switches[0], 0.0, 0),
+      support::Error);
+  EXPECT_THROW(
+      c.net.degrade_link(c.topo.hosts[0], c.topo.leaf_switches[0], 1.5, 0),
+      support::Error);
+  EXPECT_THROW(
+      c.net.degrade_link(c.topo.hosts[0], c.topo.hosts[1], 1.0, 0),
+      support::Error);  // not directly connected
+}
+
+}  // namespace
+}  // namespace mb::net

@@ -1,0 +1,179 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+#include "support/units.h"
+
+namespace mb::net {
+namespace {
+
+LinkSpec gig() {
+  LinkSpec l;
+  l.bandwidth_bytes_per_s = support::bits_to_bytes_per_s(1e9);
+  l.latency_s = 10e-6;
+  return l;
+}
+
+struct Fixture {
+  sim::EventQueue queue;
+  Network net{queue};
+};
+
+TEST(Network, SingleLinkLatencyAndBandwidth) {
+  Fixture f;
+  const NodeId a = f.net.add_node("a", false);
+  const NodeId b = f.net.add_node("b", false);
+  f.net.add_link(a, b, gig());
+  f.net.finalize_routes();
+
+  double delivered = -1;
+  f.net.send(a, b, 1000, [&] { delivered = f.queue.now(); });
+  f.queue.run();
+  // One frame: (1000+38 overhead bytes) / 125e6 B/s + 10us latency.
+  EXPECT_NEAR(delivered, 1038.0 / 125e6 + 10e-6, 1e-9);
+}
+
+TEST(Network, MultiFrameMessagePipelines) {
+  Fixture f;
+  const NodeId a = f.net.add_node("a", false);
+  const NodeId b = f.net.add_node("b", false);
+  f.net.add_link(a, b, gig());
+  f.net.finalize_routes();
+
+  double delivered = -1;
+  const std::uint64_t bytes = 10 * Network::kMtuBytes;
+  f.net.send(a, b, bytes, [&] { delivered = f.queue.now(); });
+  f.queue.run();
+  // Frames serialize on the link: ~10 frame times + one latency.
+  const double frame_t = (1500.0 + 38) / 125e6;
+  EXPECT_NEAR(delivered, 10 * frame_t + 10e-6, frame_t * 0.2);
+}
+
+TEST(Network, TwoHopStoreAndForward) {
+  Fixture f;
+  const NodeId a = f.net.add_node("a", false);
+  const NodeId sw = f.net.add_node("sw", true);
+  const NodeId b = f.net.add_node("b", false);
+  f.net.add_link(a, sw, gig());
+  f.net.add_link(sw, b, gig());
+  f.net.finalize_routes();
+  EXPECT_EQ(f.net.route_hops(a, b), 2u);
+
+  double delivered = -1;
+  f.net.send(a, b, 100, [&] { delivered = f.queue.now(); });
+  f.queue.run();
+  const double frame_t = 138.0 / 125e6;
+  EXPECT_NEAR(delivered, 2 * frame_t + 2 * 10e-6, 1e-9);
+}
+
+TEST(Network, OutputPortContentionSerializes) {
+  // Two senders to one receiver: the receiver's link serializes.
+  Fixture f;
+  const NodeId s1 = f.net.add_node("s1", false);
+  const NodeId s2 = f.net.add_node("s2", false);
+  const NodeId sw = f.net.add_node("sw", true);
+  const NodeId d = f.net.add_node("d", false);
+  for (NodeId n : {s1, s2}) f.net.add_link(n, sw, gig());
+  f.net.add_link(sw, d, gig());
+  f.net.finalize_routes();
+
+  const std::uint64_t bytes = 100 * Network::kMtuBytes;
+  double t1 = -1, t2 = -1;
+  f.net.send(s1, d, bytes, [&] { t1 = f.queue.now(); });
+  f.net.send(s2, d, bytes, [&] { t2 = f.queue.now(); });
+  f.queue.run();
+
+  // Compare with a single flow of the same size.
+  Fixture g;
+  const NodeId a = g.net.add_node("a", false);
+  const NodeId gsw = g.net.add_node("sw", true);
+  const NodeId b = g.net.add_node("b", false);
+  g.net.add_link(a, gsw, gig());
+  g.net.add_link(gsw, b, gig());
+  g.net.finalize_routes();
+  double solo = -1;
+  g.net.send(a, b, bytes, [&] { solo = g.queue.now(); });
+  g.queue.run();
+
+  EXPECT_GT(std::max(t1, t2), 1.8 * solo);
+  const auto& stats = f.net.link_stats(sw, d);
+  EXPECT_GT(stats.queued_s, 0.0);
+}
+
+TEST(Network, BufferOverflowDropsAndRetransmits) {
+  Fixture f;
+  const NodeId s1 = f.net.add_node("s1", false);
+  const NodeId s2 = f.net.add_node("s2", false);
+  const NodeId sw = f.net.add_node("sw", true);
+  const NodeId d = f.net.add_node("d", false);
+  LinkSpec host = gig();
+  for (NodeId n : {s1, s2}) f.net.add_link(n, sw, host);
+  LinkSpec tiny = gig();
+  tiny.buffer_bytes = 8 * 1024;  // overflows quickly
+  tiny.retransmit_timeout_s = 0.01;
+  f.net.add_link(sw, d, tiny);
+  f.net.finalize_routes();
+
+  const std::uint64_t bytes = 200 * Network::kMtuBytes;
+  int done = 0;
+  f.net.send(s1, d, bytes, [&] { ++done; });
+  f.net.send(s2, d, bytes, [&] { ++done; });
+  const double end = f.queue.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_GT(f.net.link_stats(sw, d).drops, 0u);
+  EXPECT_GT(end, 0.01);  // at least one retransmit timeout elapsed
+}
+
+TEST(Network, NoDropsWithDeepBuffers) {
+  Fixture f;
+  const NodeId s1 = f.net.add_node("s1", false);
+  const NodeId sw = f.net.add_node("sw", true);
+  const NodeId d = f.net.add_node("d", false);
+  f.net.add_link(s1, sw, gig());
+  f.net.add_link(sw, d, gig());
+  f.net.finalize_routes();
+  int done = 0;
+  f.net.send(s1, d, 1000 * Network::kMtuBytes, [&] { ++done; });
+  f.queue.run();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(f.net.link_stats(sw, d).drops, 0u);
+}
+
+TEST(Network, LoopbackDeliversImmediately) {
+  Fixture f;
+  const NodeId a = f.net.add_node("a", false);
+  const NodeId b = f.net.add_node("b", false);
+  f.net.add_link(a, b, gig());
+  f.net.finalize_routes();
+  double t = -1;
+  f.net.send(a, a, 1 << 20, [&] { t = f.queue.now(); });
+  f.queue.run();
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(Network, ZeroByteMessageStillOneFrame) {
+  Fixture f;
+  const NodeId a = f.net.add_node("a", false);
+  const NodeId b = f.net.add_node("b", false);
+  f.net.add_link(a, b, gig());
+  f.net.finalize_routes();
+  double t = -1;
+  f.net.send(a, b, 0, [&] { t = f.queue.now(); });
+  f.queue.run();
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(Network, Preconditions) {
+  Fixture f;
+  const NodeId a = f.net.add_node("a", false);
+  EXPECT_THROW(f.net.add_link(a, a, gig()), support::Error);
+  EXPECT_THROW(f.net.send(a, a, 1, [] {}), support::Error);  // not routed
+  const NodeId b = f.net.add_node("b", false);
+  f.net.add_link(a, b, gig());
+  f.net.finalize_routes();
+  EXPECT_THROW(f.net.add_node("late", false), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::net

@@ -1,0 +1,186 @@
+#include "omp/taskgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mb::omp {
+namespace {
+
+TEST(TaskGraph, TotalWorkAndCriticalPath) {
+  TaskGraph g;
+  const auto a = g.add(2.0);
+  const auto b = g.add(3.0, {a});
+  g.add(1.0, {a});
+  g.add(0.5, {b});
+  EXPECT_DOUBLE_EQ(g.total_work(), 6.5);
+  EXPECT_DOUBLE_EQ(g.critical_path(), 5.5);  // a -> b -> 0.5
+}
+
+TEST(TaskGraph, ForwardDependenciesRejected) {
+  TaskGraph g;
+  EXPECT_THROW(g.add(1.0, {0}), support::Error);  // self/forward reference
+}
+
+TEST(TaskGraph, NegativeDurationRejected) {
+  TaskGraph g;
+  EXPECT_THROW(g.add(-1.0), support::Error);
+}
+
+TEST(Schedule, SingleCoreEqualsTotalWork) {
+  const auto g = amdahl_graph(10.0, 0.2, 8);
+  const auto s = schedule(g, 1);
+  EXPECT_NEAR(s.makespan, 10.0, 1e-12);
+  EXPECT_NEAR(s.efficiency, 1.0, 1e-12);
+}
+
+TEST(Schedule, InfiniteCoresReachCriticalPath) {
+  const auto g = amdahl_graph(10.0, 0.2, 8);
+  const auto s = schedule(g, 64);
+  EXPECT_NEAR(s.makespan, g.critical_path(), 1e-12);
+}
+
+TEST(Schedule, MakespanBounds) {
+  // Graham: cp <= makespan <= work/cores + cp for any list schedule.
+  const auto g = lu_wavefront_graph(0.3, 0.1, 12);
+  for (const std::uint32_t cores : {1u, 2u, 3u, 4u, 8u}) {
+    const auto s = schedule(g, cores);
+    EXPECT_GE(s.makespan + 1e-12, g.critical_path());
+    EXPECT_GE(s.makespan + 1e-12, g.total_work() / cores);
+    EXPECT_LE(s.makespan,
+              g.total_work() / cores + g.critical_path() + 1e-12);
+  }
+}
+
+TEST(Schedule, MakespanMonotoneInCores) {
+  const auto g = lu_wavefront_graph(0.2, 0.05, 16);
+  double prev = 1e300;
+  for (const std::uint32_t cores : {1u, 2u, 4u, 8u}) {
+    const auto s = schedule(g, cores);
+    EXPECT_LE(s.makespan, prev + 1e-12);
+    prev = s.makespan;
+  }
+}
+
+TEST(Schedule, DependenciesRespected) {
+  TaskGraph g;
+  const auto a = g.add(1.0);
+  const auto b = g.add(1.0, {a});
+  const auto c = g.add(1.0, {b});
+  const auto s = schedule(g, 4);
+  EXPECT_GE(s.start[b] + 1e-12, 1.0);
+  EXPECT_GE(s.start[c] + 1e-12, 2.0);
+}
+
+TEST(Schedule, BusyTimeConservesWork) {
+  const auto g = amdahl_graph(12.0, 0.1, 13);
+  const auto s = schedule(g, 3);
+  double busy = 0.0;
+  for (const double b : s.busy) busy += b;
+  EXPECT_NEAR(busy, g.total_work(), 1e-9);
+}
+
+TEST(Schedule, AmdahlEfficiencyMatchesTheLaw) {
+  // With plentiful chunks the schedule should track Amdahl's law.
+  const double f = 0.1;
+  const auto g = amdahl_graph(100.0, f, 64);
+  const auto s2 = schedule(g, 2);
+  const double amdahl2 = 1.0 / (f + (1.0 - f) / 2.0) / 2.0;
+  EXPECT_NEAR(s2.efficiency, amdahl2, 0.05);
+}
+
+TEST(Schedule, WavefrontLimitsParallelism) {
+  // The LU wavefront's serial panels cap speedup well below core count.
+  const auto g = lu_wavefront_graph(1.0, 0.2, 10);
+  const auto s = schedule(g, 16);
+  EXPECT_LT(s.efficiency, 0.5);
+  EXPECT_GE(s.makespan, 10.0);  // at least the chain of panels
+}
+
+TEST(Schedule, EmptyGraph) {
+  TaskGraph g;
+  const auto s = schedule(g, 4);
+  EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(s.efficiency, 1.0);
+}
+
+TEST(Schedule, ZeroCoresRejected) {
+  TaskGraph g;
+  g.add(1.0);
+  EXPECT_THROW(schedule(g, 0), support::Error);
+}
+
+
+TEST(IrregularGraph, PreservesTotalWork) {
+  const auto g = irregular_graph(10.0, 0.1, 16, 0.5, 7);
+  EXPECT_NEAR(g.total_work(), 10.0, 1e-9);
+  EXPECT_EQ(g.size(), 17u);  // serial + 16 chunks
+}
+
+TEST(IrregularGraph, ZeroImbalanceMatchesAmdahl) {
+  const auto a = amdahl_graph(8.0, 0.2, 8);
+  const auto b = irregular_graph(8.0, 0.2, 8, 0.0, 1);
+  for (TaskId t = 0; t < a.size(); ++t)
+    EXPECT_NEAR(a.task(t).seconds, b.task(t).seconds, 1e-12);
+}
+
+TEST(IrregularGraph, FewChunksBalanceWorseThanMany) {
+  // With irregular tasks and no overhead, more chunks always balance
+  // at least as well.
+  const auto coarse = irregular_graph(10.0, 0.0, 4, 0.6, 3);
+  const auto fine = irregular_graph(10.0, 0.0, 64, 0.6, 3);
+  EXPECT_GE(schedule(coarse, 4).makespan,
+            schedule(fine, 4).makespan - 1e-9);
+}
+
+TEST(Schedule, OverheadPenalizesFineGrain) {
+  const auto fine = irregular_graph(1.0, 0.0, 1024, 0.3, 5);
+  const auto coarse = irregular_graph(1.0, 0.0, 16, 0.3, 5);
+  const double oh = 1e-3;
+  EXPECT_GT(schedule(fine, 4, oh).makespan,
+            schedule(coarse, 4, oh).makespan);
+}
+
+TEST(Schedule, GrainOptimumIsInterior) {
+  // Irregular work + dispatch overhead: the best chunk count is neither
+  // the minimum nor the maximum of the sweep.
+  double best = 1e300;
+  std::uint32_t best_chunks = 0;
+  for (const std::uint32_t chunks : {2u, 8u, 32u, 128u, 512u, 4096u}) {
+    const auto g = irregular_graph(0.1, 0.05, chunks, 0.6, 42);
+    const double m = schedule(g, 2, 25e-6).makespan;
+    if (m < best) {
+      best = m;
+      best_chunks = chunks;
+    }
+  }
+  EXPECT_GT(best_chunks, 2u);
+  EXPECT_LT(best_chunks, 4096u);
+}
+
+class AmdahlSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint32_t>> {};
+
+TEST_P(AmdahlSweep, EfficiencyNeverExceedsAmdahlBound) {
+  const double f = std::get<0>(GetParam());
+  const std::uint32_t cores = std::get<1>(GetParam());
+  const auto g = amdahl_graph(50.0, f, 128);
+  const auto s = schedule(g, cores);
+  const double bound = 1.0 / (f + (1.0 - f) / cores) / cores;
+  EXPECT_LE(s.efficiency, bound + 0.03);
+  EXPECT_GT(s.efficiency, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AmdahlSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.2, 0.5),
+                       ::testing::Values(1u, 2u, 4u, 16u)),
+    [](const auto& info) {
+      return "f" +
+             std::to_string(
+                 static_cast<int>(std::get<0>(info.param) * 100)) +
+             "_c" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mb::omp

@@ -1,0 +1,87 @@
+#include "os/address_space.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mb::os {
+namespace {
+
+AddressSpace make_space() {
+  return AddressSpace(std::make_unique<ConsecutivePageAllocator>(256), 4096);
+}
+
+TEST(AddressSpace, MmapRoundsUpToPages) {
+  auto as = make_space();
+  const Region r = as.mmap(5000);
+  EXPECT_EQ(r.bytes, 8192u);
+}
+
+TEST(AddressSpace, TranslatePreservesPageOffset) {
+  auto as = make_space();
+  const Region r = as.mmap(8192);
+  const auto pa = as.translate(r.vaddr + 4096 + 123);
+  EXPECT_EQ(pa & 4095u, 123u);
+}
+
+TEST(AddressSpace, ConsecutiveBackingIsContiguous) {
+  auto as = make_space();
+  const Region r = as.mmap(4 * 4096);
+  const auto frames = as.frames_of(r);
+  for (std::size_t i = 1; i < frames.size(); ++i)
+    EXPECT_EQ(frames[i], frames[i - 1] + 1);
+}
+
+TEST(AddressSpace, RandomBackingIsScattered) {
+  AddressSpace as(std::make_unique<RandomPageAllocator>(1024,
+                                                        support::Rng(3)),
+                  4096);
+  const Region r = as.mmap(16 * 4096);
+  const auto frames = as.frames_of(r);
+  bool scattered = false;
+  for (std::size_t i = 1; i < frames.size(); ++i)
+    if (frames[i] != frames[i - 1] + 1) scattered = true;
+  EXPECT_TRUE(scattered);
+}
+
+TEST(AddressSpace, UnmappedAddressThrows) {
+  auto as = make_space();
+  EXPECT_THROW(as.translate(0xDEAD0000), support::Error);
+}
+
+TEST(AddressSpace, MunmapInvalidatesTranslation) {
+  auto as = make_space();
+  const Region r = as.mmap(4096);
+  EXPECT_NO_THROW(as.translate(r.vaddr));
+  as.munmap(r);
+  EXPECT_THROW(as.translate(r.vaddr), support::Error);
+}
+
+TEST(AddressSpace, RegionsDoNotOverlap) {
+  auto as = make_space();
+  const Region a = as.mmap(4096);
+  const Region b = as.mmap(4096);
+  EXPECT_GE(b.vaddr, a.vaddr + a.bytes);
+}
+
+TEST(AddressSpace, GuardGapBetweenRegions) {
+  auto as = make_space();
+  const Region a = as.mmap(4096);
+  const Region b = as.mmap(4096);
+  EXPECT_GT(b.vaddr, a.vaddr + a.bytes);  // strictly greater: guard page
+}
+
+TEST(AddressSpace, DoubleUnmapThrows) {
+  auto as = make_space();
+  const Region r = as.mmap(4096);
+  as.munmap(r);
+  EXPECT_THROW(as.munmap(r), support::Error);
+}
+
+TEST(AddressSpace, ZeroByteMmapRejected) {
+  auto as = make_space();
+  EXPECT_THROW(as.mmap(0), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::os

@@ -1,0 +1,72 @@
+#include "os/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/modes.h"
+
+namespace mb::os {
+namespace {
+
+TEST(FairScheduler, SlowdownNearOneWithLowVariance) {
+  FairScheduler s(support::Rng(1), 0.01);
+  for (int i = 0; i < 1000; ++i) {
+    const double f = s.next_slowdown();
+    EXPECT_GE(f, 1.0);
+    EXPECT_LT(f, 1.2);
+  }
+}
+
+TEST(FairScheduler, ResetReproducesSequence) {
+  FairScheduler s(support::Rng(2));
+  std::vector<double> first;
+  for (int i = 0; i < 10; ++i) first.push_back(s.next_slowdown());
+  s.reset();
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(s.next_slowdown(), first[i]);
+}
+
+TEST(RealTimeAnomalous, ProducesTwoModes) {
+  RealTimeAnomalous s(support::Rng(3));
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(s.next_slowdown());
+  const auto split = stats::split_modes(xs);
+  ASSERT_TRUE(split.bimodal);
+  EXPECT_NEAR(split.high_center / split.low_center, 5.0, 0.6);
+}
+
+TEST(RealTimeAnomalous, DegradedSamplesAreConsecutive) {
+  RealTimeAnomalous s(support::Rng(4));
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(s.next_slowdown());
+  const auto split = stats::split_modes(xs);
+  ASSERT_TRUE(split.bimodal);
+  // The degraded (high-slowdown) samples cluster in time (paper Fig. 5b).
+  EXPECT_TRUE(stats::is_temporally_clustered(split.high_indices, xs.size()));
+}
+
+TEST(RealTimeAnomalous, DegradedFractionMatchesStationaryDistribution) {
+  RealTimeAnomalous::Params params;
+  RealTimeAnomalous s(support::Rng(5), params);
+  int degraded = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    s.next_slowdown();
+    if (s.degraded()) ++degraded;
+  }
+  const double expected = params.enter_degraded /
+                          (params.enter_degraded + params.exit_degraded);
+  EXPECT_NEAR(static_cast<double>(degraded) / n, expected, 0.03);
+}
+
+TEST(RealTimeAnomalous, ResetClearsDegradedState) {
+  RealTimeAnomalous s(support::Rng(6));
+  for (int i = 0; i < 500; ++i) s.next_slowdown();
+  s.reset();
+  EXPECT_FALSE(s.degraded());
+  const double f = s.next_slowdown();
+  EXPECT_LT(f, 1.2);  // first sample after reset starts in Normal
+}
+
+}  // namespace
+}  // namespace mb::os

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "power/energy.h"
+#include "power/top500.h"
+#include "support/check.h"
+
+namespace mb::power {
+namespace {
+
+TEST(Energy, JoulesArePowerTimesTime) {
+  const auto p = arch::snowball();
+  EXPECT_DOUBLE_EQ(energy_j(p, 10.0), 25.0);
+  EXPECT_THROW(energy_j(p, -1.0), support::Error);
+}
+
+TEST(Energy, TableIIRatioIdentity) {
+  // energy_ratio = perf_ratio * P_arm / P_xeon; LINPACK's 38.7x maps to
+  // ~1.0 under the paper's 2.5 W / 95 W accounting.
+  const auto arm = arch::snowball();
+  const auto xeon = arch::xeon_x5550();
+  const double perf_ratio = 38.7;  // Xeon that much faster
+  const double ratio = energy_ratio(arm, perf_ratio, xeon, 1.0);
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+TEST(Energy, CoremarkRowFavorsArm5x) {
+  const auto arm = arch::snowball();
+  const auto xeon = arch::xeon_x5550();
+  const double ratio = energy_ratio(arm, 7.1, xeon, 1.0);
+  EXPECT_NEAR(ratio, 0.19, 0.03);  // the paper rounds this to 0.2
+}
+
+TEST(Energy, GflopsPerWatt) {
+  const auto p = arch::snowball();
+  EXPECT_DOUBLE_EQ(gflops_per_watt(p, 0.62), 0.62 / 2.5);
+}
+
+TEST(Energy, PeakEfficiencyFavorsEmbedded) {
+  EXPECT_GT(peak_efficiency(arch::snowball()),
+            0.8 * peak_efficiency(arch::xeon_x5550()));
+  // The Exynos5 projection: "even an efficiency of 5 or 7 GFLOPS per Watt
+  // would be an accomplishment" — the CPU+GPU SP peak per watt exceeds it.
+  EXPECT_GT(projected_efficiency_with_gpu(arch::exynos5()), 5.0);
+  EXPECT_LT(projected_efficiency_with_gpu(arch::exynos5()), 30.0);
+}
+
+TEST(Energy, SnowballGpuDoesNotCountAsGpgpu) {
+  const double with = projected_efficiency_with_gpu(arch::snowball());
+  EXPECT_DOUBLE_EQ(with,
+                   arch::snowball().peak_sp_gflops() /
+                       arch::snowball().power_w);
+}
+
+TEST(Top500, SeriesGrowsExponentially) {
+  const Top500Model model;
+  const auto series = top500_series(model, 1993, 2012);
+  EXPECT_EQ(series.size(), 20u);
+  EXPECT_GT(series.back().top_gflops, 1e6);   // petaflop era by 2012
+  EXPECT_LT(series.back().top_gflops, 1e8);
+  // Monotone growth, sum > top > last everywhere.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].top_gflops, series[i - 1].top_gflops);
+    EXPECT_GT(series[i].sum_gflops, series[i].top_gflops);
+    EXPECT_GT(series[i].top_gflops, series[i].last_gflops);
+  }
+}
+
+TEST(Top500, ExascaleProjectedLateThisDecade) {
+  // Fig. 1: the #1-system fit crosses 1 EFLOPS around 2018-2020.
+  const Top500Model model;
+  const double year = projected_year_for(model, 1e9);
+  EXPECT_GT(year, 2016.0);
+  EXPECT_LT(year, 2022.0);
+}
+
+TEST(Top500, ExascaleRequires25xEfficiencyJump) {
+  // Intro: 50 GFLOPS/W needed; ~2 GFLOPS/W achieved in 2012 -> 25x.
+  ExascaleRequirement req;
+  EXPECT_DOUBLE_EQ(req.required_efficiency(), 50.0);
+  EXPECT_NEAR(req.improvement_over(2.0), 25.0, 1e-12);
+  EXPECT_THROW(req.improvement_over(0.0), support::Error);
+}
+
+TEST(Top500, SeriesBoundsChecked) {
+  const Top500Model model;
+  EXPECT_THROW(top500_series(model, 2000, 1999), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::power
+
+#include "power/cluster_energy.h"
+
+namespace mb::power {
+namespace {
+
+TEST(ClusterEnergy, WattsSumNodesAndSwitches) {
+  const auto p = arm_cluster_power(18);
+  EXPECT_EQ(p.switches, 1u);
+  EXPECT_DOUBLE_EQ(cluster_watts(p), 18 * 3.5 + 60.0);
+}
+
+TEST(ClusterEnergy, TwoLevelTreeCountsRootSwitch) {
+  const auto p = arm_cluster_power(100);
+  EXPECT_EQ(p.switches, 4u);  // 3 leaves + root
+}
+
+TEST(ClusterEnergy, EeeSwitchesDrawLess) {
+  EXPECT_LT(cluster_watts(arm_cluster_power_eee(18)),
+            cluster_watts(arm_cluster_power(18)));
+}
+
+TEST(ClusterEnergy, EnergyAndRatio) {
+  const auto a = arm_cluster_power(18);
+  const auto b = arm_cluster_power(18);
+  EXPECT_DOUBLE_EQ(cluster_energy_j(a, 2.0), 2.0 * cluster_watts(a));
+  EXPECT_DOUBLE_EQ(cluster_energy_ratio(a, 2.0, b, 1.0), 2.0);
+  EXPECT_THROW(cluster_energy_j(a, -1.0), support::Error);
+  EXPECT_THROW(cluster_energy_ratio(a, 1.0, b, 0.0), support::Error);
+}
+
+TEST(ClusterEnergy, NetworkInefficiencyErodesNodeAdvantage) {
+  // Sec. IV's closing remark in one assertion: a 2.6x parallel-efficiency
+  // loss turns a 0.6x node-level energy win into a cluster-level loss.
+  const double node_level_ratio = 0.6;           // Table II BigDFT row
+  const double efficiency_loss = 1.0 / 0.38;     // Fig. 3c at 36 cores
+  EXPECT_GT(node_level_ratio * efficiency_loss, 1.0);
+}
+
+}  // namespace
+}  // namespace mb::power
+
+#include "power/dvfs.h"
+
+namespace mb::power {
+namespace {
+
+TEST(Dvfs, TimeScalesWithComputeFractionOnly) {
+  const auto m = snowball_dvfs();
+  DvfsWorkload compute{10.0, 1.0};
+  DvfsWorkload memory{10.0, 0.0};
+  EXPECT_NEAR(dvfs_seconds(m, compute, 0.5e9), 20.0, 1e-9);
+  EXPECT_NEAR(dvfs_seconds(m, memory, 0.5e9), 10.0, 1e-9);
+  DvfsWorkload half{10.0, 0.5};
+  EXPECT_NEAR(dvfs_seconds(m, half, 0.5e9), 15.0, 1e-9);
+}
+
+TEST(Dvfs, PowerIsCubicInFrequency) {
+  const auto m = snowball_dvfs();
+  EXPECT_NEAR(dvfs_watts(m, 1.0e9), 2.5, 1e-9);  // the paper's number
+  EXPECT_NEAR(dvfs_watts(m, 0.5e9), 1.0 + 1.5 / 8.0, 1e-9);
+}
+
+TEST(Dvfs, ComputeBoundPrefersHighFrequency) {
+  // With significant static power, racing to idle wins on compute-bound
+  // work: the optimum sits near f_max.
+  const auto m = snowball_dvfs();
+  DvfsWorkload w{10.0, 1.0};
+  const double f = dvfs_optimal_frequency(m, w);
+  EXPECT_GT(f, 0.6e9);
+}
+
+TEST(Dvfs, MemoryBoundPrefersLowFrequency) {
+  // Memory-bound time does not shrink with f: every extra Hz is wasted
+  // dynamic power, so the optimum is f_min.
+  const auto m = snowball_dvfs();
+  DvfsWorkload w{10.0, 0.0};
+  const double f = dvfs_optimal_frequency(m, w);
+  EXPECT_NEAR(f, m.f_min_hz, 0.05e9);
+}
+
+TEST(Dvfs, OptimumIsActuallyOptimal) {
+  const auto m = snowball_dvfs();
+  for (const double cf : {0.0, 0.3, 0.7, 1.0}) {
+    DvfsWorkload w{5.0, cf};
+    const double f_opt = dvfs_optimal_frequency(m, w);
+    const double e_opt = dvfs_energy_j(m, w, f_opt);
+    for (const double f : {0.2e9, 0.5e9, 0.8e9, 1.2e9})
+      EXPECT_LE(e_opt, dvfs_energy_j(m, w, f) + 1e-6) << cf << " " << f;
+  }
+}
+
+TEST(Dvfs, OptimumMovesDownWithMemoryBoundness) {
+  const auto m = snowball_dvfs();
+  double prev = 2e9;
+  for (const double cf : {1.0, 0.6, 0.3, 0.0}) {
+    DvfsWorkload w{5.0, cf};
+    const double f = dvfs_optimal_frequency(m, w);
+    EXPECT_LE(f, prev + 1e6);
+    prev = f;
+  }
+}
+
+TEST(Dvfs, Validation) {
+  DvfsModel bad = snowball_dvfs();
+  bad.f_min_hz = 2e9;
+  EXPECT_THROW(bad.validate(), support::Error);
+  const auto m = snowball_dvfs();
+  DvfsWorkload w{1.0, 0.5};
+  EXPECT_THROW(dvfs_seconds(m, w, 5e9), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::power

@@ -1,0 +1,105 @@
+// Property sweeps over the cost model: monotonicity and conservation
+// invariants across every platform and operation class.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arch/platforms.h"
+#include "sim/cost_model.h"
+
+namespace mb::sim {
+namespace {
+
+using arch::OpClass;
+
+std::vector<arch::Platform> platforms() {
+  return arch::all_builtin_platforms();
+}
+
+MemoryBehaviour clean(const arch::Platform& p) {
+  MemoryBehaviour m;
+  m.level.resize(p.caches.size());
+  return m;
+}
+
+using Case = std::tuple<int, int>;  // platform index, op class index
+
+class CostModelSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CostModelSweep, CyclesMonotoneInOpCount) {
+  const auto [pi, ci] = GetParam();
+  const auto platform = platforms()[static_cast<std::size_t>(pi)];
+  const auto cls = static_cast<OpClass>(ci);
+  CostModel cm(platform);
+  double prev = 0.0;
+  for (std::uint64_t n : {100ull, 1000ull, 10000ull}) {
+    InstrMix mix;
+    mix.add(cls, n);
+    const double cyc = cm.cycles(mix, clean(platform)).total;
+    EXPECT_GE(cyc, prev);
+    EXPECT_GT(cyc, 0.0);
+    prev = cyc;
+  }
+}
+
+TEST_P(CostModelSweep, DecomposePreservesMetadata) {
+  const auto [pi, ci] = GetParam();
+  const auto platform = platforms()[static_cast<std::size_t>(pi)];
+  const auto cls = static_cast<OpClass>(ci);
+  CostModel cm(platform);
+  InstrMix mix;
+  mix.add(cls, 64);
+  mix.flops = 7;
+  mix.serialized_loads = 3;
+  mix.serialized_fp = 5;
+  const InstrMix d = cm.decompose(mix);
+  EXPECT_EQ(d.flops, 7u);
+  EXPECT_EQ(d.serialized_loads, 3u);
+  EXPECT_EQ(d.serialized_fp, 5u);
+  // Decomposition never loses work: op count is >= the original.
+  EXPECT_GE(d.total_ops(), mix.total_ops());
+}
+
+TEST_P(CostModelSweep, DecomposedMixIsFullySupported) {
+  const auto [pi, ci] = GetParam();
+  const auto platform = platforms()[static_cast<std::size_t>(pi)];
+  const auto cls = static_cast<OpClass>(ci);
+  CostModel cm(platform);
+  InstrMix mix;
+  mix.add(cls, 8);
+  const InstrMix d = cm.decompose(mix);
+  for (std::size_t i = 0; i < arch::kOpClassCount; ++i) {
+    const auto c = static_cast<OpClass>(i);
+    if (d.count(c) > 0) {
+      EXPECT_GT(arch::recip_throughput(platform.core, c), 0.0)
+          << arch::op_class_name(c);
+    }
+  }
+}
+
+TEST_P(CostModelSweep, IssueWidthIsALowerBound) {
+  const auto [pi, ci] = GetParam();
+  const auto platform = platforms()[static_cast<std::size_t>(pi)];
+  const auto cls = static_cast<OpClass>(ci);
+  CostModel cm(platform);
+  InstrMix mix;
+  mix.add(cls, 1000);
+  const InstrMix d = cm.decompose(mix);
+  const double cyc = cm.cycles(mix, clean(platform)).compute_cycles;
+  EXPECT_GE(cyc + 1e-9,
+            static_cast<double>(d.total_ops()) / platform.core.issue_width);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlatformsAndClasses, CostModelSweep,
+    ::testing::Combine(
+        ::testing::Range(0, 4),
+        ::testing::Range(0, static_cast<int>(arch::kOpClassCount))),
+    [](const auto& info) {
+      return "plat" + std::to_string(std::get<0>(info.param)) + "_" +
+             std::string(arch::op_class_name(
+                 static_cast<OpClass>(std::get<1>(info.param))));
+    });
+
+}  // namespace
+}  // namespace mb::sim

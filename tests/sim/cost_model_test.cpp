@@ -1,0 +1,260 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "support/check.h"
+
+namespace mb::sim {
+namespace {
+
+using arch::OpClass;
+
+MemoryBehaviour no_memory_traffic(const arch::Platform& p) {
+  MemoryBehaviour m;
+  m.level.resize(p.caches.size());
+  return m;
+}
+
+TEST(CostModel, IssueWidthBoundsThroughput) {
+  const auto p = arch::xeon_x5550();
+  CostModel cm(p);
+  InstrMix mix;
+  // 400 cheap int ops on a 4-wide machine: at least 100 cycles.
+  mix.add(OpClass::kIntAlu, 400);
+  const auto c = cm.cycles(mix, no_memory_traffic(p));
+  EXPECT_GE(c.compute_cycles, 100.0);
+  EXPECT_LT(c.compute_cycles, 160.0);
+}
+
+TEST(CostModel, UnitBoundDominatesWhenSaturated) {
+  const auto p = arch::xeon_x5550();
+  CostModel cm(p);
+  InstrMix mix;
+  // 100 loads saturate the single load port: >= 100 cycles even though
+  // issue width could sustain 4 ops/cycle.
+  mix.add(OpClass::kLoad64, 100);
+  const auto c = cm.cycles(mix, no_memory_traffic(p));
+  EXPECT_GE(c.compute_cycles, 100.0);
+}
+
+TEST(CostModel, DecomposeVecDpOnNeon) {
+  // Packed DP is unsupported on the Snowball's NEON; it becomes scalar DP.
+  CostModel cm(arch::snowball());
+  InstrMix mix;
+  mix.add(OpClass::kVecDp, 10);
+  const InstrMix d = cm.decompose(mix);
+  EXPECT_EQ(d.count(OpClass::kVecDp), 0u);
+  EXPECT_EQ(d.count(OpClass::kFpAddDp), 10u);
+  EXPECT_EQ(d.count(OpClass::kFpMulDp), 10u);
+}
+
+TEST(CostModel, DecomposeVecSpOnTegra2) {
+  // Tegra2 has no NEON at all: packed SP decomposes to scalar SP.
+  CostModel cm(arch::tegra2_node());
+  InstrMix mix;
+  mix.add(OpClass::kVecSp, 10);
+  const InstrMix d = cm.decompose(mix);
+  EXPECT_EQ(d.count(OpClass::kVecSp), 0u);
+  EXPECT_EQ(d.count(OpClass::kFpAddSp), 20u);
+  EXPECT_EQ(d.count(OpClass::kFpMulSp), 20u);
+}
+
+TEST(CostModel, DecomposeWideLoadsOnTegra2) {
+  CostModel cm(arch::tegra2_node());
+  InstrMix mix;
+  mix.add(OpClass::kLoad128, 8);
+  const InstrMix d = cm.decompose(mix);
+  EXPECT_EQ(d.count(OpClass::kLoad128), 0u);
+  EXPECT_EQ(d.count(OpClass::kLoad64), 16u);
+}
+
+TEST(CostModel, DecomposeKeepsSupportedClasses) {
+  CostModel cm(arch::xeon_x5550());
+  InstrMix mix;
+  mix.add(OpClass::kVecDp, 10);
+  mix.add(OpClass::kLoad128, 7);
+  const InstrMix d = cm.decompose(mix);
+  EXPECT_EQ(d.count(OpClass::kVecDp), 10u);
+  EXPECT_EQ(d.count(OpClass::kLoad128), 7u);
+}
+
+TEST(CostModel, DpVectorWorkMuchSlowerOnArm) {
+  // The Table II LINPACK asymmetry in miniature: the same packed-DP mix is
+  // dramatically more expensive per clock on the A9 than on Nehalem.
+  InstrMix mix;
+  mix.add(OpClass::kVecDp, 1000);
+  const auto pa = arch::snowball();
+  const auto px = arch::xeon_x5550();
+  const double arm =
+      CostModel(pa).cycles(mix, no_memory_traffic(pa)).total;
+  const double xeon =
+      CostModel(px).cycles(mix, no_memory_traffic(px)).total;
+  EXPECT_GT(arm / xeon, 3.0);
+}
+
+TEST(CostModel, Int64WorkModeratelySlowerOnArm) {
+  // CoreMark/StockFish-style integer work: the per-cycle gap is small.
+  InstrMix mix;
+  mix.add(OpClass::kIntAlu, 1000);
+  const auto pa = arch::snowball();
+  const auto px = arch::xeon_x5550();
+  const double arm =
+      CostModel(pa).cycles(mix, no_memory_traffic(pa)).total;
+  const double xeon =
+      CostModel(px).cycles(mix, no_memory_traffic(px)).total;
+  EXPECT_LT(arm / xeon, 2.0);
+}
+
+TEST(CostModel, MemoryLatencyTermScalesWithMisses) {
+  const auto p = arch::snowball();
+  CostModel cm(p);
+  InstrMix mix;
+  mix.add(OpClass::kLoad32, 100);
+
+  MemoryBehaviour mem = no_memory_traffic(p);
+  mem.level[0].accesses = 100;
+  mem.level[0].hits = 100;
+  const double fast = cm.cycles(mix, mem).total;
+
+  mem.level[0].hits = 50;
+  mem.level[0].misses = 50;
+  mem.level[1].accesses = 50;
+  mem.level[1].hits = 50;
+  const double slow = cm.cycles(mix, mem).total;
+  EXPECT_GT(slow, fast);
+}
+
+TEST(CostModel, DramLatencyDominatesCacheHit) {
+  const auto p = arch::snowball();
+  CostModel cm(p);
+  InstrMix mix;
+  mix.add(OpClass::kLoad32, 10);
+
+  MemoryBehaviour l2_hits = no_memory_traffic(p);
+  l2_hits.level[1].hits = 10;
+
+  MemoryBehaviour dram = no_memory_traffic(p);
+  dram.memory_accesses = 10;
+  dram.memory_bytes = 320;
+
+  EXPECT_GT(cm.cycles(mix, dram).memory_cycles,
+            cm.cycles(mix, l2_hits).memory_cycles);
+}
+
+TEST(CostModel, BandwidthBoundKicksInForStreaming) {
+  const auto p = arch::snowball();
+  CostModel cm(p);
+  InstrMix mix;
+  MemoryBehaviour mem = no_memory_traffic(p);
+  // 80 MB of traffic at 0.8 GB/s = 0.1 s = 1e8 cycles at 1 GHz; far more
+  // than the latency term for the same number of line fills.
+  mem.memory_bytes = 80u << 20;
+  mem.memory_accesses = (80u << 20) / 32;
+  const auto c = cm.cycles(mix, mem);
+  EXPECT_GT(c.memory_cycles, 0.9e8);
+}
+
+TEST(CostModel, BandwidthSharersSlowEachCore) {
+  const auto p = arch::snowball();
+  CostModel cm(p);
+  InstrMix mix;
+  MemoryBehaviour mem = no_memory_traffic(p);
+  mem.memory_bytes = 80u << 20;
+  mem.memory_accesses = (80u << 20) / 32;
+  const double solo = cm.cycles(mix, mem, 1).memory_cycles;
+  const double shared = cm.cycles(mix, mem, 2).memory_cycles;
+  EXPECT_NEAR(shared / solo, 2.0, 0.01);
+}
+
+TEST(CostModel, MissOverlapHidesLatencyOnNehalem) {
+  // The same L2-hit pattern costs relatively less on the deep-OoO Xeon.
+  InstrMix mix;
+  mix.add(OpClass::kLoad32, 100);
+  const auto pa = arch::snowball();
+  const auto px = arch::xeon_x5550();
+
+  MemoryBehaviour ma = no_memory_traffic(pa);
+  ma.level[1].hits = 100;
+  MemoryBehaviour mx = no_memory_traffic(px);
+  mx.level[1].hits = 100;
+
+  const double arm_stall = CostModel(pa).cycles(mix, ma).memory_cycles;
+  const double xeon_stall = CostModel(px).cycles(mix, mx).memory_cycles;
+  // Per-miss stall cycles: ARM exposes 20 * 0.9 = 18; Xeon 10 * 0.35 = 3.5.
+  EXPECT_GT(arm_stall / xeon_stall, 3.0);
+}
+
+TEST(CostModel, SerializedLoadsExposeL1Latency) {
+  const auto p = arch::snowball();
+  CostModel cm(p);
+  InstrMix pipelined;
+  pipelined.add(OpClass::kLoad32, 1000);
+  InstrMix serialized = pipelined;
+  serialized.serialized_loads = 1000;
+  const auto mem = no_memory_traffic(p);
+  EXPECT_GT(cm.cycles(serialized, mem).total,
+            2.0 * cm.cycles(pipelined, mem).total);
+}
+
+TEST(CostModel, SerializedFpExposesFpLatency) {
+  const auto p = arch::snowball();
+  CostModel cm(p);
+  InstrMix pipelined;
+  pipelined.add(OpClass::kFpAddSp, 1000);
+  InstrMix serialized = pipelined;
+  serialized.serialized_fp = 1000;
+  const auto mem = no_memory_traffic(p);
+  EXPECT_GT(cm.cycles(serialized, mem).total,
+            2.0 * cm.cycles(pipelined, mem).total);
+}
+
+TEST(CostModel, ExplicitMispredictsOverrideDefaultRate) {
+  const auto p = arch::xeon_x5550();
+  CostModel cm(p);
+  InstrMix mix;
+  mix.add(OpClass::kBranch, 1000);
+  const auto mem = no_memory_traffic(p);
+  const double default_rate = cm.cycles(mix, mem).branch_cycles;
+  mix.mispredicted_branches = 500;
+  const double explicit_rate = cm.cycles(mix, mem).branch_cycles;
+  EXPECT_GT(explicit_rate, default_rate);
+  EXPECT_NEAR(explicit_rate, 500 * p.core.branch_mispredict_penalty, 1.0);
+}
+
+TEST(CostModel, TlbMissesCharged) {
+  const auto p = arch::snowball();
+  CostModel cm(p);
+  InstrMix mix;
+  MemoryBehaviour mem = no_memory_traffic(p);
+  mem.tlb_misses = 10;
+  const auto c = cm.cycles(mix, mem);
+  EXPECT_DOUBLE_EQ(c.tlb_cycles, 10.0 * p.core.tlb_walk_cycles);
+}
+
+TEST(CostModel, TotalIsSumOfTerms) {
+  const auto p = arch::snowball();
+  CostModel cm(p);
+  InstrMix mix;
+  mix.add(OpClass::kLoad32, 100);
+  mix.add(OpClass::kBranch, 10);
+  mix.serialized_loads = 10;
+  MemoryBehaviour mem = no_memory_traffic(p);
+  mem.level[1].hits = 5;
+  mem.tlb_misses = 2;
+  const auto c = cm.cycles(mix, mem);
+  EXPECT_NEAR(c.total,
+              c.compute_cycles + c.dependency_cycles + c.memory_cycles +
+                  c.tlb_cycles + c.branch_cycles,
+              1e-9);
+}
+
+TEST(CostModel, RejectsZeroSharers) {
+  const auto p = arch::snowball();
+  CostModel cm(p);
+  InstrMix mix;
+  EXPECT_THROW(cm.cycles(mix, no_memory_traffic(p), 0), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::sim

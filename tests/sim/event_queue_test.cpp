@@ -1,0 +1,97 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.h"
+
+namespace mb::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesResolveInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] {
+    ++fired;
+    q.schedule_in(1.0, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double fired_at = -1;
+  q.schedule_at(5.0, [&] {
+    q.schedule_in(2.5, [&] { fired_at = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(10.0, [&] { ++fired; });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, StepExecutesOne) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, PastSchedulingRejected) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), support::Error);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), support::Error);
+}
+
+TEST(EventQueue, EmptyCallbackRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_at(1.0, EventQueue::Callback{}), support::Error);
+}
+
+TEST(EventQueue, ExecutedCountAccumulates) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule_at(i, [] {});
+  q.run();
+  EXPECT_EQ(q.executed(), 5u);
+}
+
+}  // namespace
+}  // namespace mb::sim

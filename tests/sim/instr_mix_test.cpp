@@ -1,0 +1,72 @@
+#include "sim/instr_mix.h"
+
+#include <gtest/gtest.h>
+
+namespace mb::sim {
+namespace {
+
+using arch::OpClass;
+
+TEST(InstrMix, StartsEmpty) {
+  InstrMix m;
+  EXPECT_EQ(m.total_ops(), 0u);
+  EXPECT_EQ(m.flops, 0u);
+  EXPECT_FALSE(m.mispredicted_branches.has_value());
+}
+
+TEST(InstrMix, AddAccumulates) {
+  InstrMix m;
+  m.add(OpClass::kIntAlu, 10);
+  m.add(OpClass::kIntAlu, 5);
+  EXPECT_EQ(m.count(OpClass::kIntAlu), 15u);
+  EXPECT_EQ(m.total_ops(), 15u);
+}
+
+TEST(InstrMix, LoadStoreTotals) {
+  InstrMix m;
+  m.add(OpClass::kLoad32, 1);
+  m.add(OpClass::kLoad64, 2);
+  m.add(OpClass::kLoad128, 3);
+  m.add(OpClass::kStore32, 4);
+  m.add(OpClass::kStore64, 5);
+  EXPECT_EQ(m.total_loads(), 6u);
+  EXPECT_EQ(m.total_stores(), 9u);
+}
+
+TEST(InstrMix, FpAndVecTotals) {
+  InstrMix m;
+  m.add(OpClass::kFpAddDp, 2);
+  m.add(OpClass::kFpMulSp, 3);
+  m.add(OpClass::kVecSp, 4);
+  EXPECT_EQ(m.total_fp_scalar(), 5u);
+  EXPECT_EQ(m.total_vec(), 4u);
+}
+
+TEST(InstrMix, PlusEqualsMergesEverything) {
+  InstrMix a, b;
+  a.add(OpClass::kIntAlu, 1);
+  a.flops = 10;
+  a.serialized_loads = 3;
+  b.add(OpClass::kIntAlu, 2);
+  b.add(OpClass::kBranch, 7);
+  b.flops = 20;
+  b.serialized_fp = 4;
+  b.mispredicted_branches = 2;
+  a += b;
+  EXPECT_EQ(a.count(OpClass::kIntAlu), 3u);
+  EXPECT_EQ(a.count(OpClass::kBranch), 7u);
+  EXPECT_EQ(a.flops, 30u);
+  EXPECT_EQ(a.serialized_loads, 3u);
+  EXPECT_EQ(a.serialized_fp, 4u);
+  ASSERT_TRUE(a.mispredicted_branches.has_value());
+  EXPECT_EQ(*a.mispredicted_branches, 2u);
+}
+
+TEST(InstrMix, MergeWithoutMispredictsKeepsAbsent) {
+  InstrMix a, b;
+  a += b;
+  EXPECT_FALSE(a.mispredicted_branches.has_value());
+}
+
+}  // namespace
+}  // namespace mb::sim

@@ -1,0 +1,117 @@
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "counters/counters.h"
+
+namespace mb::sim {
+namespace {
+
+using arch::OpClass;
+using counters::Counter;
+
+Machine snowball_machine(PagePolicy policy = PagePolicy::kConsecutive,
+                         std::uint64_t seed = 1) {
+  return Machine(arch::snowball(), policy, support::Rng(seed));
+}
+
+TEST(Machine, TouchPopulatesCaches) {
+  auto m = snowball_machine();
+  const auto r = m.mmap(4096);
+  m.begin_measurement();
+  m.touch(r.vaddr, 4, false);
+  m.touch(r.vaddr, 4, false);
+  const auto stats = m.hierarchy().stats();
+  EXPECT_EQ(stats.level[0].accesses, 2u);
+  EXPECT_EQ(stats.level[0].hits, 1u);
+}
+
+TEST(Machine, TouchSplitsAtPageBoundary) {
+  auto m = snowball_machine();
+  const auto r = m.mmap(2 * 4096);
+  m.begin_measurement();
+  // 8 bytes straddling the page boundary must translate both pages.
+  EXPECT_NO_THROW(m.touch(r.vaddr + 4092, 8, false));
+  const auto stats = m.hierarchy().stats();
+  EXPECT_GE(stats.level[0].accesses, 2u);
+}
+
+TEST(Machine, EndMeasurementProducesCounters) {
+  auto m = snowball_machine();
+  const auto r = m.mmap(4096);
+  m.begin_measurement();
+  for (int i = 0; i < 64; ++i)
+    m.touch(r.vaddr + static_cast<std::uint64_t>(i) * 4, 4, false);
+  InstrMix mix;
+  mix.add(OpClass::kLoad32, 64);
+  mix.add(OpClass::kIntAlu, 64);
+  mix.flops = 0;
+  const SimResult res = m.end_measurement(mix);
+  EXPECT_GT(res.breakdown.total, 0.0);
+  EXPECT_GT(res.seconds, 0.0);
+  EXPECT_EQ(res.counters.get(Counter::kL1Dca), 64u);
+  EXPECT_EQ(res.counters.get(Counter::kTotIns), 128u);
+  EXPECT_GT(res.counters.get(Counter::kL1Dcm), 0u);
+}
+
+TEST(Machine, MeasurementIntervalsAreIsolated) {
+  auto m = snowball_machine();
+  const auto r = m.mmap(4096);
+  m.begin_measurement();
+  m.touch(r.vaddr, 4, false);
+  m.begin_measurement();  // resets stats
+  const auto stats = m.hierarchy().stats();
+  EXPECT_EQ(stats.level[0].accesses, 0u);
+}
+
+TEST(Machine, FlushCachesForcesColdMisses) {
+  auto m = snowball_machine();
+  const auto r = m.mmap(4096);
+  m.touch(r.vaddr, 4, false);
+  m.flush_caches();
+  m.begin_measurement();
+  m.touch(r.vaddr, 4, false);
+  EXPECT_EQ(m.hierarchy().stats().level[0].misses, 1u);
+}
+
+TEST(Machine, ConsecutivePolicyGivesContiguousFrames) {
+  auto m = snowball_machine(PagePolicy::kConsecutive);
+  const auto r = m.mmap(8 * 4096);
+  const auto frames = m.address_space().frames_of(r);
+  for (std::size_t i = 1; i < frames.size(); ++i)
+    EXPECT_EQ(frames[i], frames[i - 1] + 1);
+}
+
+TEST(Machine, RandomPolicyScattersFrames) {
+  auto m = snowball_machine(PagePolicy::kRandom, 99);
+  const auto r = m.mmap(8 * 4096);
+  const auto frames = m.address_space().frames_of(r);
+  bool scattered = false;
+  for (std::size_t i = 1; i < frames.size(); ++i)
+    if (frames[i] != frames[i - 1] + 1) scattered = true;
+  EXPECT_TRUE(scattered);
+}
+
+TEST(Machine, PagePolicyNames) {
+  EXPECT_EQ(page_policy_name(PagePolicy::kConsecutive), "consecutive");
+  EXPECT_EQ(page_policy_name(PagePolicy::kReuseBiased), "reuse-biased");
+  EXPECT_EQ(page_policy_name(PagePolicy::kRandom), "random");
+}
+
+TEST(Machine, BandwidthSharersPropagate) {
+  auto m = snowball_machine();
+  const auto r = m.mmap(64 * 4096);
+  m.begin_measurement();
+  // Stream enough data to hit the bandwidth bound.
+  for (std::uint64_t a = 0; a < 64 * 4096; a += 32)
+    m.touch(r.vaddr + a, 4, false);
+  InstrMix mix;
+  mix.add(OpClass::kLoad32, 64 * 4096 / 32);
+  const double solo = m.end_measurement(mix, 1).breakdown.memory_cycles;
+  const double duo = m.end_measurement(mix, 2).breakdown.memory_cycles;
+  EXPECT_GT(duo, solo);
+}
+
+}  // namespace
+}  // namespace mb::sim

@@ -1,0 +1,90 @@
+#include "sim/roofline.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "kernels/linpack.h"
+#include "kernels/membench.h"
+#include "support/check.h"
+
+namespace mb::sim {
+namespace {
+
+TEST(Roofline, AttainableIsMinOfRoofs) {
+  Roofline r;
+  r.peak_gflops = 40.0;
+  r.bandwidth_gbs = 10.0;
+  EXPECT_DOUBLE_EQ(r.ridge_intensity(), 4.0);
+  EXPECT_DOUBLE_EQ(r.attainable(1.0), 10.0);   // memory roof
+  EXPECT_DOUBLE_EQ(r.attainable(100.0), 40.0); // compute roof
+  EXPECT_DOUBLE_EQ(r.attainable(4.0), 40.0);   // the ridge
+  EXPECT_THROW(r.attainable(0.0), support::Error);
+}
+
+TEST(Roofline, PlatformRoofsFromDescriptors) {
+  const auto xeon = dp_roofline(arch::xeon_x5550());
+  EXPECT_NEAR(xeon.peak_gflops, 42.6, 0.5);
+  EXPECT_NEAR(xeon.bandwidth_gbs, 16.0, 0.1);
+  const auto arm = dp_roofline(arch::snowball());
+  EXPECT_LT(arm.peak_gflops, 3.0);
+  EXPECT_NEAR(arm.bandwidth_gbs, 0.8, 0.01);
+  // SP roofs are higher than DP on both.
+  EXPECT_GT(sp_roofline(arch::xeon_x5550()).peak_gflops, xeon.peak_gflops);
+  EXPECT_GT(sp_roofline(arch::snowball()).peak_gflops, arm.peak_gflops);
+}
+
+TEST(Roofline, LinpackIsComputeBound) {
+  const auto platform = arch::snowball();
+  Machine m(platform, PagePolicy::kConsecutive, support::Rng(1));
+  kernels::LinpackParams p;
+  p.n = 96;
+  p.block = 32;
+  const auto run = kernels::linpack_run(m, p);
+  const auto point = place_on_roofline(dp_roofline(platform), "linpack",
+                                       run.sim, platform.cores);
+  EXPECT_FALSE(point.memory_bound);  // blocked LU has high intensity
+  EXPECT_GT(point.roofline_fraction, 0.05);
+  EXPECT_LE(point.roofline_fraction, 1.0 + 1e-9);
+}
+
+TEST(Roofline, StreamingMembenchIsMemoryBound) {
+  const auto platform = arch::snowball();
+  Machine m(platform, PagePolicy::kConsecutive, support::Rng(1));
+  kernels::MembenchParams p;
+  p.array_bytes = 4 * 1024 * 1024;  // DRAM resident
+  p.elem_bits = 64;
+  p.unroll = 8;
+  p.passes = 2;
+  const auto run = kernels::membench_run(m, p);
+  const auto point = place_on_roofline(dp_roofline(platform), "membench",
+                                       run.sim, platform.cores);
+  EXPECT_TRUE(point.memory_bound);
+  EXPECT_LT(point.intensity, 1.0);  // ~1 flop per 8 bytes streamed
+}
+
+TEST(Roofline, AchievedNeverExceedsAttainableGrossly) {
+  // The cost model should keep achieved rates at or below the roofline
+  // (small excursions possible because intensity uses DRAM traffic only).
+  const auto platform = arch::xeon_x5550();
+  Machine m(platform, PagePolicy::kConsecutive, support::Rng(1));
+  kernels::MembenchParams p;
+  p.array_bytes = 8 * 1024 * 1024;
+  p.elem_bits = 128;
+  p.unroll = 8;
+  p.passes = 2;
+  p.bandwidth_sharers = platform.cores;
+  const auto run = kernels::membench_run(m, p);
+  const auto point = place_on_roofline(dp_roofline(platform), "membench",
+                                       run.sim, platform.cores);
+  EXPECT_LE(point.roofline_fraction, 1.05);
+}
+
+TEST(Roofline, RequiresFlopsAndDuration) {
+  const auto platform = arch::snowball();
+  SimResult empty;
+  EXPECT_THROW(place_on_roofline(dp_roofline(platform), "x", empty, 1),
+               support::Error);
+}
+
+}  // namespace
+}  // namespace mb::sim

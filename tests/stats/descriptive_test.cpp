@@ -1,0 +1,101 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.h"
+
+namespace mb::stats {
+namespace {
+
+TEST(Descriptive, MeanOfConstants) {
+  std::vector<double> v{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 0.0);
+}
+
+TEST(Descriptive, KnownVariance) {
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  // Sum of squared deviations = 32; unbiased variance = 32/7.
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, MedianOddAndEven) {
+  std::vector<double> odd{3, 1, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  std::vector<double> even{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Descriptive, PercentileEndpoints) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+TEST(Descriptive, PercentileSingleSample) {
+  std::vector<double> v{7};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 73), 7.0);
+}
+
+TEST(Descriptive, SummaryQuartiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(i);
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.n, 101u);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.q1, 26.0);
+  EXPECT_DOUBLE_EQ(s.q3, 76.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+}
+
+TEST(Descriptive, CiShrinksWithSampleSize) {
+  std::vector<double> small{1, 2, 3, 4};
+  std::vector<double> big;
+  for (int r = 0; r < 100; ++r)
+    for (double x : small) big.push_back(x);
+  EXPECT_GT(ci_halfwidth(small), ci_halfwidth(big));
+}
+
+TEST(Descriptive, CiZeroForSingleSample) {
+  std::vector<double> v{42};
+  EXPECT_DOUBLE_EQ(ci_halfwidth(v), 0.0);
+}
+
+TEST(Descriptive, CvIsRelative) {
+  std::vector<double> a{9, 10, 11};
+  std::vector<double> b{90, 100, 110};
+  EXPECT_NEAR(cv(a), cv(b), 1e-12);
+}
+
+TEST(Descriptive, GeomeanOfPowers) {
+  std::vector<double> v{1, 4, 16};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-12);
+}
+
+TEST(Descriptive, GeomeanRejectsNonPositive) {
+  std::vector<double> v{1.0, 0.0};
+  EXPECT_THROW(geomean(v), support::Error);
+}
+
+TEST(Descriptive, EmptyInputsThrow) {
+  std::vector<double> empty;
+  EXPECT_THROW(mean(empty), support::Error);
+  EXPECT_THROW(summarize(empty), support::Error);
+  EXPECT_THROW(percentile(empty, 50), support::Error);
+}
+
+TEST(Descriptive, PercentileRangeChecked) {
+  std::vector<double> v{1, 2};
+  EXPECT_THROW(percentile(v, -1), support::Error);
+  EXPECT_THROW(percentile(v, 101), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::stats

@@ -1,0 +1,64 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.h"
+
+namespace mb::stats {
+namespace {
+
+TEST(Histogram, BinsCountsCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(5.0);   // bin 5
+  h.add(5.1);   // bin 5
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Histogram, AddAll) {
+  Histogram h(0.0, 4.0, 4);
+  std::vector<double> xs{0.1, 1.1, 2.1, 3.1};
+  h.add_all(xs);
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(h.count(b), 1u);
+}
+
+TEST(Histogram, RenderShowsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string s = h.render(10);
+  EXPECT_NE(s.find("2"), std::string::npos);
+  EXPECT_NE(s.find("#"), std::string::npos);
+}
+
+TEST(Histogram, Preconditions) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), support::Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), support::Error);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.count(2), support::Error);
+  EXPECT_THROW(h.bin_center(5), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::stats

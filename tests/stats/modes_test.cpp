@@ -1,0 +1,105 @@
+#include "stats/modes.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.h"
+
+namespace mb::stats {
+namespace {
+
+TEST(Modes, DetectsWellSeparatedModes) {
+  support::Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(rng.normal(1.0, 0.02));
+  for (int i = 0; i < 50; ++i) xs.push_back(rng.normal(5.0, 0.10));
+  const ModeSplit s = split_modes(xs);
+  EXPECT_TRUE(s.bimodal);
+  EXPECT_NEAR(s.low_center, 1.0, 0.1);
+  EXPECT_NEAR(s.high_center, 5.0, 0.2);
+  EXPECT_EQ(s.low_indices.size(), 50u);
+  EXPECT_EQ(s.high_indices.size(), 50u);
+}
+
+TEST(Modes, UnimodalIsNotBimodal) {
+  support::Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(3.0, 0.5));
+  const ModeSplit s = split_modes(xs);
+  EXPECT_FALSE(s.bimodal);
+}
+
+TEST(Modes, TinyClusterBelowFractionIsNotBimodal) {
+  support::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(1.0, 0.01));
+  xs.push_back(100.0);  // one outlier, 0.5% of samples
+  const ModeSplit s = split_modes(xs, 3.0, /*min_fraction=*/0.05);
+  EXPECT_FALSE(s.bimodal);
+}
+
+TEST(Modes, StatisticallySeparatedButCloseCentersAreNotModes) {
+  // Two extremely tight clusters 2% apart: separated in sigma terms but
+  // not execution modes (the min_ratio criterion).
+  support::Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(1.00, 0.0005));
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(1.02, 0.0005));
+  EXPECT_FALSE(split_modes(xs).bimodal);
+  // With the ratio criterion relaxed they do split.
+  EXPECT_TRUE(split_modes(xs, 3.0, 0.05, 1.01).bimodal);
+}
+
+TEST(Modes, ConstantSamplesHandled) {
+  std::vector<double> xs(10, 7.0);
+  const ModeSplit s = split_modes(xs);
+  EXPECT_FALSE(s.bimodal);
+  EXPECT_DOUBLE_EQ(s.low_center, 7.0);
+}
+
+TEST(Modes, FiveToOneRatioLikePaperFigure5) {
+  // Paper Fig. 5: degraded mode bandwidth ~5x lower than normal mode.
+  support::Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 160; ++i) xs.push_back(rng.normal(1.05, 0.03));
+  for (int i = 0; i < 40; ++i) xs.push_back(rng.normal(0.21, 0.01));
+  const ModeSplit s = split_modes(xs);
+  ASSERT_TRUE(s.bimodal);
+  EXPECT_NEAR(s.high_center / s.low_center, 5.0, 0.5);
+}
+
+TEST(CountRuns, SingleRun) {
+  std::vector<std::size_t> idx{4, 5, 6, 7};
+  EXPECT_EQ(count_runs(idx), 1u);
+}
+
+TEST(CountRuns, ScatteredIndices) {
+  std::vector<std::size_t> idx{1, 3, 5, 7};
+  EXPECT_EQ(count_runs(idx), 4u);
+}
+
+TEST(CountRuns, Empty) {
+  std::vector<std::size_t> idx;
+  EXPECT_EQ(count_runs(idx), 0u);
+}
+
+TEST(TemporalClustering, ConsecutiveBlockIsClustered) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 100; i < 140; ++i) idx.push_back(i);
+  EXPECT_TRUE(is_temporally_clustered(idx, 400));
+}
+
+TEST(TemporalClustering, UniformScatterIsNot) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < 400; i += 10) idx.push_back(i);
+  EXPECT_FALSE(is_temporally_clustered(idx, 400));
+}
+
+TEST(TemporalClustering, TooFewSamples) {
+  std::vector<std::size_t> idx{5};
+  EXPECT_FALSE(is_temporally_clustered(idx, 100));
+}
+
+}  // namespace
+}  // namespace mb::stats

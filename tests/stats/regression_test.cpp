@@ -1,0 +1,78 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.h"
+
+namespace mb::stats {
+namespace {
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> xs{0, 1, 2, 3};
+  std::vector<double> ys{1, 3, 5, 7};
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineStillHighR2) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + ((i % 2) ? 0.1 : -0.1));
+  }
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 3.0, 0.01);
+  EXPECT_GT(f.r2, 0.999);
+}
+
+TEST(LinearFit, ConstantYGivesZeroSlope) {
+  std::vector<double> xs{1, 2, 3};
+  std::vector<double> ys{4, 4, 4};
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);  // degenerate ss_tot -> defined as 1
+}
+
+TEST(LinearFit, Preconditions) {
+  std::vector<double> one{1};
+  std::vector<double> same_x{2, 2, 2};
+  std::vector<double> ys3{1, 2, 3};
+  EXPECT_THROW(fit_linear(one, one), support::Error);
+  EXPECT_THROW(fit_linear(same_x, ys3), support::Error);
+}
+
+TEST(ExponentialFit, RecoversGrowthRate) {
+  // Doubling every unit of x: y = 3 * 2^x = 3 * exp(x ln 2).
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * std::pow(2.0, i));
+  }
+  const ExponentialFit f = fit_exponential(xs, ys);
+  EXPECT_NEAR(f.a, 3.0, 1e-9);
+  EXPECT_NEAR(f.b, std::log(2.0), 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(ExponentialFit, EvaluateAndInvert) {
+  ExponentialFit f;
+  f.a = 2.0;
+  f.b = 0.5;
+  EXPECT_NEAR(f(0.0), 2.0, 1e-12);
+  const double x = f.solve_for_x(20.0);
+  EXPECT_NEAR(f(x), 20.0, 1e-9);
+}
+
+TEST(ExponentialFit, RejectsNonPositiveY) {
+  std::vector<double> xs{0, 1};
+  std::vector<double> ys{1, -1};
+  EXPECT_THROW(fit_exponential(xs, ys), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::stats

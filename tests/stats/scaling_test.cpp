@@ -1,0 +1,80 @@
+#include "stats/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.h"
+
+namespace mb::stats {
+namespace {
+
+TEST(Scaling, IdealScalingHasUnitEfficiency) {
+  std::vector<int> cores{1, 2, 4, 8};
+  std::vector<double> times{8.0, 4.0, 2.0, 1.0};
+  const auto s = strong_scaling(cores, times);
+  for (const auto& p : s) {
+    EXPECT_DOUBLE_EQ(p.efficiency, 1.0);
+    EXPECT_DOUBLE_EQ(p.speedup, static_cast<double>(p.cores));
+  }
+}
+
+TEST(Scaling, NonUnitBaselineLikeSpecfem) {
+  // Paper Fig. 3b: SPECFEM3D speedup is versus a 4-core run because the
+  // instance does not fit one node; ideal remains the y = x diagonal.
+  std::vector<int> cores{4, 8, 16};
+  std::vector<double> times{100.0, 50.0, 25.0};
+  const auto s = strong_scaling(cores, times);
+  EXPECT_DOUBLE_EQ(s[0].speedup, 4.0);
+  EXPECT_DOUBLE_EQ(s[2].speedup, 16.0);
+  EXPECT_DOUBLE_EQ(s[2].efficiency, 1.0);
+}
+
+TEST(Scaling, SaturatingCurveLosesEfficiency) {
+  std::vector<int> cores{1, 2, 4, 8};
+  std::vector<double> times{8.0, 4.4, 2.6, 1.9};
+  const auto s = strong_scaling(cores, times);
+  EXPECT_LT(final_efficiency(s), 0.6);
+  EXPECT_GT(final_efficiency(s), 0.4);
+}
+
+TEST(Scaling, TailLinearityDetectsLinearTail) {
+  std::vector<int> cores{1, 2, 4, 8, 16, 32, 64, 96};
+  std::vector<double> times;
+  for (int c : cores) {
+    // Perfectly linear speedup with slope 0.8 after a constant offset.
+    const double speedup = 0.8 * c + 0.5;
+    times.push_back(100.0 / speedup);
+  }
+  const auto s = strong_scaling(cores, times);
+  EXPECT_TRUE(tail_is_linear(s, 8));
+}
+
+TEST(Scaling, TailLinearityRejectsSaturation) {
+  std::vector<int> cores{1, 2, 4, 8, 16, 32, 64, 96};
+  std::vector<double> times;
+  for (int c : cores) {
+    const double speedup = 12.0 * c / (c + 11.0);  // Amdahl-like saturation
+    times.push_back(100.0 / speedup);
+  }
+  const auto s = strong_scaling(cores, times);
+  EXPECT_FALSE(tail_is_linear(s, 8));
+}
+
+TEST(Scaling, TooFewTailPointsIsNotLinear) {
+  std::vector<int> cores{1, 2, 64};
+  std::vector<double> times{64.0, 32.0, 1.0};
+  const auto s = strong_scaling(cores, times);
+  EXPECT_FALSE(tail_is_linear(s, 32));
+}
+
+TEST(Scaling, Preconditions) {
+  std::vector<int> cores{1, 2};
+  std::vector<double> bad_len{1.0};
+  EXPECT_THROW(strong_scaling(cores, bad_len), support::Error);
+  std::vector<double> zero_time{0.0, 1.0};
+  EXPECT_THROW(strong_scaling(cores, zero_time), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::stats

@@ -1,0 +1,36 @@
+#include "support/check.h"
+
+#include <gtest/gtest.h>
+
+namespace mb::support {
+namespace {
+
+TEST(Check, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(check(true, "here", "fine"));
+}
+
+TEST(Check, FailingConditionThrowsWithContext) {
+  try {
+    check(false, "MyModule::fn", "bad argument");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "MyModule::fn: bad argument");
+  }
+}
+
+TEST(Check, FailAlwaysThrows) {
+  EXPECT_THROW(fail("x", "y"), Error);
+}
+
+TEST(Check, ErrorIsARuntimeError) {
+  try {
+    fail("a", "b");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "a: b");
+    return;
+  }
+  FAIL() << "Error should derive from std::runtime_error";
+}
+
+}  // namespace
+}  // namespace mb::support

@@ -1,0 +1,164 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/check.h"
+
+namespace mb::support {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformRangeHitsBothEndpoints) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000 && !(saw_lo && saw_hi); ++i) {
+    const auto v = rng.uniform_u64(0, 7);
+    saw_lo |= v == 0;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRangeSingleton) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+}
+
+TEST(Rng, UniformRangePreconditions) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_u64(6, 5), Error);
+  EXPECT_THROW(rng.index(0), Error);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanNearHalf) {
+  Rng rng(13);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(29);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialRequiresPositiveRate) {
+  Rng rng(29);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // A crude correlation check: matching draws should be rare.
+  int equal_top_bits = 0;
+  for (int i = 0; i < 1000; ++i)
+    if ((parent() >> 56) == (child() >> 56)) ++equal_top_bits;
+  EXPECT_LT(equal_top_bits, 30);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(37);
+  const auto p = rng.permutation(100);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationIsShuffled) {
+  Rng rng(41);
+  const auto p = rng.permutation(100);
+  std::vector<std::size_t> identity(100);
+  for (std::size_t i = 0; i < 100; ++i) identity[i] = i;
+  EXPECT_NE(p, identity);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Splitmix, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 123, s2 = 123;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace mb::support

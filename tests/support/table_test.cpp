@@ -1,0 +1,76 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mb::support {
+namespace {
+
+TEST(Table, RendersHeaderAndRowsAligned) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, OverlongRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), Error);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(FmtFixed, Rounds) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.5, 0), "2");  // banker's-free: printf rounding
+}
+
+TEST(FmtEng, PrecisionAdaptsToMagnitude) {
+  EXPECT_EQ(fmt_eng(12345.6), "12345.6");
+  EXPECT_EQ(fmt_eng(3.14159), "3.14");
+  EXPECT_EQ(fmt_eng(0.012345), "0.0123");
+}
+
+TEST(FmtGroup, InsertsThousandsSeparators) {
+  EXPECT_EQ(fmt_group(0), "0");
+  EXPECT_EQ(fmt_group(999), "999");
+  EXPECT_EQ(fmt_group(1000), "1,000");
+  EXPECT_EQ(fmt_group(1234567), "1,234,567");
+  EXPECT_EQ(fmt_group(4521733), "4,521,733");
+}
+
+
+TEST(TableCsv, PlainCells) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableCsv, EscapesCommasAndQuotes) {
+  Table t({"name", "value"});
+  t.add_row({"x,y", "he said \"hi\""});
+  EXPECT_EQ(t.to_csv(), "name,value\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(TableCsv, PaddedShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.to_csv(), "a,b,c\n1,,\n");
+}
+
+}  // namespace
+}  // namespace mb::support

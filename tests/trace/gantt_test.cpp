@@ -1,0 +1,91 @@
+#include "trace/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mb::trace {
+namespace {
+
+Record rec(std::uint32_t rank, double t0, double t1, EventKind kind,
+           std::string label = {}) {
+  Record r;
+  r.rank = rank;
+  r.t0 = t0;
+  r.t1 = t1;
+  r.kind = kind;
+  r.label = std::move(label);
+  return r;
+}
+
+TEST(Gantt, RendersOneRowPerRank) {
+  Trace t;
+  t.add(rec(0, 0, 1, EventKind::kCompute));
+  t.add(rec(1, 0, 1, EventKind::kCompute));
+  const std::string g = render_gantt(t, GanttOptions{});
+  EXPECT_NE(g.find(" 0 |"), std::string::npos);
+  EXPECT_NE(g.find(" 1 |"), std::string::npos);
+  EXPECT_EQ(g.find(" 2 |"), std::string::npos);
+}
+
+TEST(Gantt, ComputeFillsTheRow) {
+  Trace t;
+  t.add(rec(0, 0, 1, EventKind::kCompute));
+  GanttOptions opt;
+  opt.width = 20;
+  const std::string g = render_gantt(t, opt);
+  EXPECT_NE(g.find("####################"), std::string::npos);
+}
+
+TEST(Gantt, DelayedCollectiveGetsCapitalA) {
+  Trace t;
+  // Nine fast collectives and one 10x outlier.
+  for (int i = 0; i < 9; ++i)
+    t.add(rec(0, i, i + 0.1, EventKind::kCollective, "a2a"));
+  t.add(rec(0, 9, 10.5, EventKind::kCollective, "a2a"));
+  GanttOptions opt;
+  opt.width = 40;
+  const std::string g = render_gantt(t, opt);
+  EXPECT_NE(g.find('A'), std::string::npos);
+  EXPECT_NE(g.find('a'), std::string::npos);
+}
+
+TEST(Gantt, WindowClipsEvents) {
+  Trace t;
+  t.add(rec(0, 0, 1, EventKind::kCompute));
+  t.add(rec(0, 5, 6, EventKind::kSend));
+  GanttOptions opt;
+  opt.width = 10;
+  opt.t1 = 2.0;  // the send is outside the window
+  const std::string g = render_gantt(t, opt);
+  // Skip the legend line; the rows must contain compute but no send.
+  const std::string rows = g.substr(g.find('\n') + 1);
+  EXPECT_EQ(rows.find('s'), std::string::npos);
+  EXPECT_NE(rows.find('#'), std::string::npos);
+}
+
+TEST(Gantt, MaxRanksCut) {
+  Trace t;
+  for (std::uint32_t r = 0; r < 20; ++r)
+    t.add(rec(r, 0, 1, EventKind::kCompute));
+  GanttOptions opt;
+  opt.max_ranks = 4;
+  const std::string g = render_gantt(t, opt);
+  EXPECT_NE(g.find("(+16 more ranks)"), std::string::npos);
+}
+
+TEST(Gantt, EmptyTraceHandled) {
+  Trace t;
+  EXPECT_EQ(render_gantt(t, GanttOptions{}), "(empty trace)\n");
+}
+
+TEST(Gantt, TooNarrowRejected) {
+  Trace t;
+  t.add(rec(0, 0, 1, EventKind::kCompute));
+  GanttOptions opt;
+  opt.width = 4;
+  EXPECT_THROW(render_gantt(t, opt), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::trace

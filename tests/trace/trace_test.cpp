@@ -1,0 +1,119 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace mb::trace {
+namespace {
+
+Record rec(std::uint32_t rank, double t0, double t1, EventKind kind,
+           std::string label) {
+  Record r;
+  r.rank = rank;
+  r.t0 = t0;
+  r.t1 = t1;
+  r.kind = kind;
+  r.label = std::move(label);
+  return r;
+}
+
+TEST(Trace, FilterByKindAndLabel) {
+  Trace t;
+  t.add(rec(0, 0, 1, EventKind::kCompute, "a"));
+  t.add(rec(0, 1, 2, EventKind::kCollective, "alltoallv"));
+  t.add(rec(1, 1, 3, EventKind::kCollective, "bcast"));
+  EXPECT_EQ(t.filter(EventKind::kCollective).size(), 2u);
+  EXPECT_EQ(t.filter(EventKind::kCollective, "bcast").size(), 1u);
+  EXPECT_EQ(t.filter(EventKind::kSend).size(), 0u);
+}
+
+TEST(Trace, RanksAndEndTime) {
+  Trace t;
+  t.add(rec(3, 0, 5, EventKind::kCompute, "x"));
+  t.add(rec(1, 2, 7, EventKind::kCompute, "x"));
+  EXPECT_EQ(t.ranks(), 4u);
+  EXPECT_DOUBLE_EQ(t.end_time(), 7.0);
+}
+
+TEST(Trace, RejectsNegativeDuration) {
+  Trace t;
+  EXPECT_THROW(t.add(rec(0, 2, 1, EventKind::kCompute, "x")),
+               support::Error);
+}
+
+TEST(Trace, ParaverExportFormat) {
+  Trace t;
+  t.add(rec(2, 0.5e-6, 1.5e-6, EventKind::kCollective, "alltoallv"));
+  std::ostringstream os;
+  t.write_paraver(os);
+  EXPECT_NE(os.str().find("2:collective:alltoallv:0:1:0"),
+            std::string::npos);
+}
+
+TEST(AnalyzeCollectives, AllNormalWhenUniform) {
+  Trace t;
+  for (std::uint32_t rank = 0; rank < 4; ++rank)
+    for (int i = 0; i < 10; ++i)
+      t.add(rec(rank, i, i + 0.1, EventKind::kCollective, "alltoallv"));
+  const auto report = analyze_collectives(t, "alltoallv");
+  EXPECT_EQ(report.instances.size(), 10u);
+  EXPECT_EQ(report.delayed_count, 0u);
+  EXPECT_NEAR(report.median_duration, 0.1, 1e-12);
+}
+
+TEST(AnalyzeCollectives, DetectsDelayedInstance) {
+  Trace t;
+  for (std::uint32_t rank = 0; rank < 4; ++rank) {
+    for (int i = 0; i < 10; ++i) {
+      const double dur = (i == 7) ? 1.0 : 0.1;  // instance 7 is delayed
+      t.add(rec(rank, i * 2.0, i * 2.0 + dur, EventKind::kCollective,
+                "alltoallv"));
+    }
+  }
+  const auto report = analyze_collectives(t, "alltoallv");
+  EXPECT_EQ(report.delayed_count, 1u);
+  EXPECT_TRUE(report.instances[7].delayed);
+  EXPECT_EQ(report.instances[7].slow_ranks, 4u);
+  EXPECT_FALSE(report.has_partial_delays);
+}
+
+TEST(AnalyzeCollectives, DetectsPartialDelays) {
+  // Only rank 2 is slow in instance 3: "in some cases all the nodes are
+  // delayed while in other, only part of them" (paper Sec. IV).
+  Trace t;
+  for (std::uint32_t rank = 0; rank < 4; ++rank) {
+    for (int i = 0; i < 8; ++i) {
+      const double dur = (i == 3 && rank == 2) ? 1.0 : 0.1;
+      t.add(rec(rank, i * 2.0, i * 2.0 + dur, EventKind::kCollective,
+                "alltoallv"));
+    }
+  }
+  const auto report = analyze_collectives(t, "alltoallv");
+  EXPECT_EQ(report.delayed_count, 1u);
+  EXPECT_EQ(report.instances[3].slow_ranks, 1u);
+  EXPECT_TRUE(report.has_partial_delays);
+}
+
+TEST(AnalyzeCollectives, EmptyTraceYieldsEmptyReport) {
+  Trace t;
+  const auto report = analyze_collectives(t, "alltoallv");
+  EXPECT_TRUE(report.instances.empty());
+  EXPECT_EQ(report.delayed_count, 0u);
+}
+
+TEST(AnalyzeCollectives, RejectsBadFactor) {
+  Trace t;
+  EXPECT_THROW(analyze_collectives(t, "x", 0.5), support::Error);
+}
+
+TEST(EventKindNames, AllDistinct) {
+  EXPECT_EQ(event_kind_name(EventKind::kCompute), "compute");
+  EXPECT_EQ(event_kind_name(EventKind::kCollective), "collective");
+  EXPECT_EQ(event_kind_name(EventKind::kWait), "wait");
+}
+
+}  // namespace
+}  // namespace mb::trace

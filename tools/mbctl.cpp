@@ -1,0 +1,206 @@
+// mbctl — command-line front end to the montblanc toolkit.
+//
+//   mbctl platforms                      list built-in platforms
+//   mbctl show <platform>                print its text description
+//   mbctl topology <platform>            hwloc-style diagram
+//   mbctl roofline <platform>            DP/SP roofs and ridge
+//   mbctl membench <platform> [opts]     strided-bandwidth measurement
+//       --size-kb N --stride N --bits 32|64|128 --unroll N --passes N
+//   mbctl latency <platform> [opts]      pointer-chase latency
+//       --size-kb N --hops N
+//   mbctl tune-magicfilter <platform>    unroll sweep + sweet spot
+//
+// <platform> is a built-in name (snowball, xeon, tegra2, exynos5) or
+// @path/to/file.platform in the arch::platform_io text format.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/platform_io.h"
+#include "arch/platforms.h"
+#include "arch/topology.h"
+#include "core/param_space.h"
+#include "core/search.h"
+#include "kernels/latency.h"
+#include "kernels/magicfilter.h"
+#include "kernels/membench.h"
+#include "sim/roofline.h"
+#include "support/table.h"
+
+namespace {
+
+using mb::support::fmt_fixed;
+
+[[noreturn]] void usage(const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: mbctl <command> [args]\n"
+      "  platforms\n"
+      "  show <platform>\n"
+      "  topology <platform>\n"
+      "  roofline <platform>\n"
+      "  membench <platform> [--size-kb N] [--stride N] [--bits B]\n"
+      "           [--unroll N] [--passes N]\n"
+      "  latency <platform> [--size-kb N] [--hops N]\n"
+      "  tune-magicfilter <platform>\n"
+      "platform: snowball | xeon | tegra2 | exynos5 | @file\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+mb::arch::Platform resolve_platform(const std::string& spec) {
+  if (!spec.empty() && spec[0] == '@') {
+    std::ifstream in(spec.substr(1));
+    if (!in) usage("cannot open platform file " + spec.substr(1));
+    std::ostringstream text;
+    text << in.rdbuf();
+    return mb::arch::parse_platform(text.str());
+  }
+  if (spec == "snowball") return mb::arch::snowball();
+  if (spec == "xeon" || spec == "xeon_x5550") return mb::arch::xeon_x5550();
+  if (spec == "tegra2") return mb::arch::tegra2_node();
+  if (spec == "exynos5") return mb::arch::exynos5();
+  usage("unknown platform '" + spec + "'");
+}
+
+/// Trivial --key value option scanner.
+class Options {
+ public:
+  Options(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) usage("unexpected argument " + key);
+      if (i + 1 >= argc) usage(key + " needs a value");
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return std::stoull(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_platforms() {
+  mb::support::Table table({"Name", "Cores", "Freq (GHz)", "Peak DP GF",
+                            "Peak SP GF", "Power (W)"});
+  for (const auto& p : mb::arch::all_builtin_platforms()) {
+    table.add_row({p.name, std::to_string(p.cores),
+                   fmt_fixed(p.core.freq_hz / 1e9, 2),
+                   fmt_fixed(p.peak_dp_gflops(), 1),
+                   fmt_fixed(p.peak_sp_gflops(), 1),
+                   fmt_fixed(p.power_w, 1)});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_show(const mb::arch::Platform& p) {
+  std::cout << mb::arch::serialize_platform(p);
+  return 0;
+}
+
+int cmd_topology(const mb::arch::Platform& p) {
+  std::cout << mb::arch::render_topology(p);
+  return 0;
+}
+
+int cmd_roofline(const mb::arch::Platform& p) {
+  const auto dp = mb::sim::dp_roofline(p);
+  const auto sp = mb::sim::sp_roofline(p);
+  std::cout << p.name << '\n'
+            << "  DP roof: " << fmt_fixed(dp.peak_gflops, 2)
+            << " GFLOPS, ridge " << fmt_fixed(dp.ridge_intensity(), 2)
+            << " flop/B\n"
+            << "  SP roof: " << fmt_fixed(sp.peak_gflops, 2)
+            << " GFLOPS, ridge " << fmt_fixed(sp.ridge_intensity(), 2)
+            << " flop/B\n"
+            << "  memory:  " << fmt_fixed(dp.bandwidth_gbs, 2) << " GB/s\n";
+  return 0;
+}
+
+int cmd_membench(const mb::arch::Platform& p, Options& opts) {
+  mb::sim::Machine machine(p, mb::sim::PagePolicy::kConsecutive,
+                           mb::support::Rng(1));
+  mb::kernels::MembenchParams params;
+  params.array_bytes = opts.get_u64("size-kb", 48) * 1024;
+  params.stride_elems =
+      static_cast<std::uint32_t>(opts.get_u64("stride", 1));
+  params.elem_bits = static_cast<std::uint32_t>(opts.get_u64("bits", 64));
+  params.unroll = static_cast<std::uint32_t>(opts.get_u64("unroll", 4));
+  params.passes = static_cast<std::uint32_t>(opts.get_u64("passes", 8));
+  const auto r = mb::kernels::membench_run(machine, params);
+  std::cout << "bandwidth: " << fmt_fixed(r.bandwidth_bytes_per_s / 1e9, 3)
+            << " GB/s\n"
+            << "time: " << r.sim.seconds * 1e6 << " us\n"
+            << r.sim.counters.to_string();
+  return 0;
+}
+
+int cmd_latency(const mb::arch::Platform& p, Options& opts) {
+  mb::sim::Machine machine(p, mb::sim::PagePolicy::kConsecutive,
+                           mb::support::Rng(1));
+  mb::kernels::LatencyParams params;
+  params.buffer_bytes = opts.get_u64("size-kb", 1024) * 1024;
+  params.hops = static_cast<std::uint32_t>(opts.get_u64("hops", 4096));
+  const auto r = mb::kernels::latency_run(machine, params);
+  std::cout << "latency: " << fmt_fixed(r.cycles_per_hop, 1)
+            << " cycles/hop (" << fmt_fixed(r.ns_per_hop, 1) << " ns)\n";
+  return 0;
+}
+
+int cmd_tune_magicfilter(const mb::arch::Platform& p) {
+  mb::sim::Machine machine(p, mb::sim::PagePolicy::kConsecutive,
+                           mb::support::Rng(1));
+  mb::core::ParamSpace space;
+  space.add_range("unroll", 1, 12);
+  std::vector<double> cycles;
+  mb::support::Table table({"Unroll", "Cycles/output"});
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    mb::kernels::MagicfilterParams params;
+    params.n = 20;
+    params.dims = 1;
+    params.unroll =
+        static_cast<std::uint32_t>(space.at(i).get("unroll"));
+    const auto r = mb::kernels::magicfilter_run(machine, params);
+    cycles.push_back(r.cycles_per_output);
+    table.add_row({std::to_string(params.unroll),
+                   fmt_fixed(r.cycles_per_output, 1)});
+  }
+  std::cout << table;
+  const auto spot = mb::core::sweet_spot(space, cycles,
+                                         mb::core::Direction::kMinimize);
+  std::cout << "sweet spot: unroll in [" << spot.lo << ", " << spot.hi
+            << "]\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "platforms") return cmd_platforms();
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") usage();
+    if (argc < 3) usage(cmd + " needs a platform argument");
+    const auto platform = resolve_platform(argv[2]);
+    Options opts(argc, argv, 3);
+    if (cmd == "show") return cmd_show(platform);
+    if (cmd == "topology") return cmd_topology(platform);
+    if (cmd == "roofline") return cmd_roofline(platform);
+    if (cmd == "membench") return cmd_membench(platform, opts);
+    if (cmd == "latency") return cmd_latency(platform, opts);
+    if (cmd == "tune-magicfilter") return cmd_tune_magicfilter(platform);
+    usage("unknown command '" + cmd + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "mbctl: " << e.what() << '\n';
+    return 1;
+  }
+}
