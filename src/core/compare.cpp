@@ -1,0 +1,158 @@
+#include "core/compare.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace mb::core {
+
+namespace {
+
+/// Pooled within-cluster standard deviation of a bimodal split — the
+/// paper-appropriate noise scale: the spread *inside* each execution mode,
+/// not the mode gap itself.
+double pooled_within_mode_stddev(const std::vector<double>& xs,
+                                 const stats::ModeSplit& split) {
+  auto cluster = [&](const std::vector<std::size_t>& idx) {
+    std::vector<double> vals;
+    vals.reserve(idx.size());
+    for (std::size_t i : idx) vals.push_back(xs[i]);
+    return vals;
+  };
+  const auto lo = cluster(split.low_indices);
+  const auto hi = cluster(split.high_indices);
+  const double ss = (lo.size() > 1 ? (lo.size() - 1) * stats::variance(lo)
+                                   : 0.0) +
+                    (hi.size() > 1 ? (hi.size() - 1) * stats::variance(hi)
+                                   : 0.0);
+  const std::size_t dof =
+      (lo.size() > 1 ? lo.size() - 1 : 0) + (hi.size() > 1 ? hi.size() - 1 : 0);
+  return dof > 0 ? std::sqrt(ss / static_cast<double>(dof)) : 0.0;
+}
+
+/// What the baseline allows: the centers of its known execution modes and
+/// the noise scale around them.
+struct NoiseModel {
+  double better_edge = 0.0;  ///< best acceptable center
+  double worse_edge = 0.0;   ///< worst center the baseline itself showed
+  double sigma = 0.0;
+  bool bimodal = false;
+};
+
+NoiseModel model_of(const BenchRecord& r) {
+  NoiseModel m;
+  const auto split = r.modes();
+  if (split.bimodal) {
+    m.bimodal = true;
+    m.sigma = pooled_within_mode_stddev(r.samples, split);
+    const bool minimize = r.direction == Direction::kMinimize;
+    m.worse_edge = minimize ? split.high_center : split.low_center;
+    m.better_edge = minimize ? split.low_center : split.high_center;
+  } else {
+    m.better_edge = m.worse_edge = stats::mean(r.samples);
+    m.sigma = stats::stddev(r.samples);
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string_view verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kUnchanged: return "unchanged";
+    case Verdict::kImproved: return "improved";
+    case Verdict::kRegressed: return "regressed";
+    case Verdict::kBaselineOnly: return "baseline-only";
+    case Verdict::kCandidateOnly: return "candidate-only";
+  }
+  support::fail("verdict_name", "invalid verdict");
+}
+
+CompareResult compare_reports(const BenchReport& baseline,
+                              const BenchReport& candidate,
+                              const CompareOptions& options) {
+  CompareResult result;
+  for (const auto& base : baseline.records) {
+    Comparison c;
+    c.name = base.name;
+    c.metric = base.metric;
+    c.unit = base.unit;
+    c.baseline_center = base.center();
+
+    const BenchRecord* cand = candidate.find(base.name);
+    if (cand == nullptr) {
+      c.verdict = Verdict::kBaselineOnly;
+      ++result.unmatched;
+      result.entries.push_back(std::move(c));
+      continue;
+    }
+    support::check(cand->metric == base.metric &&
+                       cand->direction == base.direction,
+                   "compare_reports",
+                   "record '" + base.name +
+                       "' changed metric or direction between reports");
+
+    const bool minimize = base.direction == Direction::kMinimize;
+    const NoiseModel noise = model_of(base);
+    c.baseline_bimodal = noise.bimodal;
+    c.candidate_center = cand->center();
+
+    const NoiseModel cand_noise = model_of(*cand);
+    const double pooled = std::sqrt(
+        (noise.sigma * noise.sigma + cand_noise.sigma * cand_noise.sigma) /
+        2.0);
+
+    // Distance past the worst / best center the baseline itself exhibited,
+    // signed so that positive means outside the acceptance band.
+    const double worse_by = minimize ? c.candidate_center - noise.worse_edge
+                                     : noise.worse_edge - c.candidate_center;
+    const double better_by = minimize
+                                 ? noise.better_edge - c.candidate_center
+                                 : c.candidate_center - noise.better_edge;
+
+    if (c.baseline_center != 0.0) {
+      const double raw =
+          (c.candidate_center - c.baseline_center) / c.baseline_center;
+      if (raw != 0.0) c.rel_delta = minimize ? raw : -raw;
+    }
+
+    // Noise below ~1e-9 of the signal is floating-point residue, not
+    // measurement variability: report such comparisons as exact (sigma 0)
+    // instead of astronomically significant.
+    const auto sigmas = [&](double delta, double edge) {
+      return pooled > 1e-9 * std::fabs(edge) ? delta / pooled : 0.0;
+    };
+    const auto significant = [&](double delta, double edge) {
+      return delta > 0.0 && delta >= options.threshold_sigma * pooled &&
+             delta >= options.min_rel_delta * std::fabs(edge);
+    };
+    if (significant(worse_by, noise.worse_edge)) {
+      c.verdict = Verdict::kRegressed;
+      c.sigma_delta = sigmas(worse_by, noise.worse_edge);
+      ++result.regressions;
+    } else if (significant(better_by, noise.better_edge)) {
+      c.verdict = Verdict::kImproved;
+      c.sigma_delta = sigmas(better_by, noise.better_edge);
+      ++result.improvements;
+    } else {
+      c.verdict = Verdict::kUnchanged;
+    }
+    result.entries.push_back(std::move(c));
+  }
+
+  for (const auto& cand : candidate.records) {
+    if (baseline.find(cand.name) != nullptr) continue;
+    Comparison c;
+    c.name = cand.name;
+    c.metric = cand.metric;
+    c.unit = cand.unit;
+    c.verdict = Verdict::kCandidateOnly;
+    c.candidate_center = cand.center();
+    ++result.unmatched;
+    result.entries.push_back(std::move(c));
+  }
+  return result;
+}
+
+}  // namespace mb::core

@@ -1,0 +1,78 @@
+// Noise-aware comparison of two benchmark reports.
+//
+// The naive gate — "candidate mean is X% above baseline mean" — is exactly
+// what the paper shows to be wrong on these platforms: Fig. 5's bimodal
+// bandwidth distributions would make any mean-based check fire constantly
+// even when nothing changed. This module compares a candidate report
+// against a baseline per record, using
+//  * the baseline's execution-mode structure (a candidate landing inside a
+//    mode the baseline already exhibited is not a regression),
+//  * pooled sample variability (a delta must exceed `threshold_sigma`
+//    pooled standard deviations AND a minimum relative size before it is
+//    believed),
+//  * the candidate's median (robust against the candidate's own outliers).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/bench_report.h"
+
+namespace mb::core {
+
+struct CompareOptions {
+  /// A delta must exceed this many pooled standard deviations.
+  double threshold_sigma = 3.0;
+  /// ... and this fraction of the baseline center (guards the
+  /// zero-variance case and statistically-significant-but-tiny deltas).
+  double min_rel_delta = 0.02;
+};
+
+enum class Verdict {
+  kUnchanged,      ///< within noise / within known baseline modes
+  kImproved,       ///< better beyond noise
+  kRegressed,      ///< worse beyond noise — the gate trips on this
+  kBaselineOnly,   ///< record disappeared from the candidate
+  kCandidateOnly,  ///< new record with no baseline
+};
+
+std::string_view verdict_name(Verdict v);
+
+/// One record's comparison outcome.
+struct Comparison {
+  std::string name;
+  std::string metric;
+  std::string unit;
+  Verdict verdict = Verdict::kUnchanged;
+  double baseline_center = 0.0;   ///< baseline median
+  double candidate_center = 0.0;  ///< candidate median
+  /// Signed relative delta vs the baseline median; positive = worse in the
+  /// record's direction.
+  double rel_delta = 0.0;
+  /// Distance past the acceptance edge in pooled standard deviations
+  /// (0 when inside the acceptance band or when noise is zero).
+  double sigma_delta = 0.0;
+  bool baseline_bimodal = false;
+};
+
+struct CompareResult {
+  std::vector<Comparison> entries;
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t unmatched = 0;  ///< baseline-only + candidate-only
+
+  bool has_regressions() const { return regressions > 0; }
+};
+
+/// Compares every record of `baseline` against `candidate` by name.
+/// Records present in only one report are included with the corresponding
+/// *Only verdict (counted in `unmatched`, never as regressions). A name
+/// that matches with a different metric or direction throws support::Error
+/// — that is a schema misuse, not a measurement.
+CompareResult compare_reports(const BenchReport& baseline,
+                              const BenchReport& candidate,
+                              const CompareOptions& options = {});
+
+}  // namespace mb::core

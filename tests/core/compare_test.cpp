@@ -1,0 +1,175 @@
+#include "core/compare.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mb::core {
+namespace {
+
+BenchRecord record(std::string name, std::vector<double> samples,
+                   Direction direction = Direction::kMinimize) {
+  BenchRecord r;
+  r.name = std::move(name);
+  r.platform = "toy";
+  r.metric = direction == Direction::kMinimize ? "seconds" : "rate";
+  r.unit = direction == Direction::kMinimize ? "s" : "ops/s";
+  r.direction = direction;
+  r.samples = std::move(samples);
+  return r;
+}
+
+BenchReport report_with(std::vector<BenchRecord> records) {
+  BenchReport report;
+  report.suite = "unit";
+  report.tool = "test";
+  for (auto& r : records) report.records.push_back(std::move(r));
+  return report;
+}
+
+const Comparison& entry(const CompareResult& result, std::string_view name) {
+  for (const auto& e : result.entries)
+    if (e.name == name) return e;
+  support::fail("compare_test", "entry not found");
+}
+
+TEST(Compare, IdenticalReportsAreUnchanged) {
+  const auto base =
+      report_with({record("a", {1.0, 1.05, 0.95}),
+                   record("b", {100.0, 103.0, 98.0}, Direction::kMaximize)});
+  const auto result = compare_reports(base, base);
+  EXPECT_EQ(result.regressions, 0u);
+  EXPECT_EQ(result.improvements, 0u);
+  EXPECT_EQ(result.unmatched, 0u);
+  for (const auto& e : result.entries)
+    EXPECT_EQ(e.verdict, Verdict::kUnchanged);
+}
+
+TEST(Compare, ClearRegressionTripsTheGate) {
+  const auto base = report_with({record("a", {1.0, 1.02, 0.98, 1.01})});
+  const auto cand = report_with({record("a", {1.5, 1.52, 1.48, 1.51})});
+  const auto result = compare_reports(base, cand);
+  EXPECT_TRUE(result.has_regressions());
+  const auto& e = entry(result, "a");
+  EXPECT_EQ(e.verdict, Verdict::kRegressed);
+  EXPECT_NEAR(e.rel_delta, 0.5, 0.05);
+  EXPECT_GT(e.sigma_delta, 3.0);
+}
+
+TEST(Compare, RegressionOfAMaximizeMetricIsADrop) {
+  const auto base = report_with(
+      {record("bw", {10.0, 10.1, 9.9}, Direction::kMaximize)});
+  const auto slower = report_with(
+      {record("bw", {7.0, 7.05, 6.95}, Direction::kMaximize)});
+  const auto faster = report_with(
+      {record("bw", {13.0, 13.1, 12.9}, Direction::kMaximize)});
+  EXPECT_TRUE(compare_reports(base, slower).has_regressions());
+  const auto improved = compare_reports(base, faster);
+  EXPECT_FALSE(improved.has_regressions());
+  EXPECT_EQ(improved.improvements, 1u);
+}
+
+TEST(Compare, WithinNoiseDeltaIsUnchanged) {
+  // ~5% sample spread; a 2% shift must not alarm.
+  const auto base =
+      report_with({record("a", {1.00, 1.05, 0.95, 1.04, 0.96, 1.02})});
+  const auto cand =
+      report_with({record("a", {1.02, 1.07, 0.97, 1.06, 0.98, 1.04})});
+  const auto result = compare_reports(base, cand);
+  EXPECT_FALSE(result.has_regressions());
+  EXPECT_EQ(entry(result, "a").verdict, Verdict::kUnchanged);
+}
+
+TEST(Compare, SmallButStatisticallySignificantDeltaIsGuarded) {
+  // Tiny variance makes a 1% shift many sigmas, but it is below the
+  // minimum relative delta and must not alarm.
+  const auto base = report_with({record("a", {1.0, 1.0001, 0.9999})});
+  const auto cand = report_with({record("a", {1.01, 1.0101, 1.0099})});
+  const auto result = compare_reports(base, cand);
+  EXPECT_FALSE(result.has_regressions());
+}
+
+TEST(Compare, ZeroVarianceRegressionStillDetected) {
+  // Fully deterministic single-sample records (e.g. simulated runs).
+  const auto base = report_with({record("a", {1.0})});
+  const auto cand = report_with({record("a", {1.5})});
+  const auto result = compare_reports(base, cand);
+  EXPECT_TRUE(result.has_regressions());
+}
+
+// The paper's Fig. 5 case: the baseline itself is bimodal (fast mode ~1.0,
+// degraded mode ~5.0). A candidate landing inside either known mode is not
+// a regression — a mean-based gate would false-alarm here.
+TEST(Compare, BimodalBaselineDoesNotFalseAlarm) {
+  std::vector<double> bimodal;
+  for (int i = 0; i < 20; ++i) bimodal.push_back(1.0 + 0.01 * (i % 5));
+  for (int i = 0; i < 4; ++i) bimodal.push_back(5.0 + 0.01 * i);
+  const auto base = report_with({record("fig5", bimodal)});
+
+  // Candidate entirely in the fast mode: unchanged (its median ~1.0 is far
+  // from the bimodal mean ~1.68 — a mean-based gate would flag it).
+  const auto fast = report_with(
+      {record("fig5", {1.0, 1.01, 1.02, 1.0, 1.03, 1.01})});
+  auto result = compare_reports(base, fast);
+  EXPECT_FALSE(result.has_regressions());
+  EXPECT_TRUE(entry(result, "fig5").baseline_bimodal);
+
+  // Candidate stuck in the degraded mode the baseline already exhibited:
+  // still not a *new* regression.
+  const auto degraded = report_with(
+      {record("fig5", {5.0, 5.01, 5.02, 4.99, 5.0, 5.01})});
+  result = compare_reports(base, degraded);
+  EXPECT_FALSE(result.has_regressions());
+
+  // Candidate clearly beyond the worst known mode: regression.
+  const auto beyond = report_with(
+      {record("fig5", {8.0, 8.05, 7.95, 8.02, 8.0, 7.98})});
+  result = compare_reports(base, beyond);
+  EXPECT_TRUE(result.has_regressions());
+}
+
+TEST(Compare, ImprovementBeyondNoiseIsReported) {
+  const auto base = report_with({record("a", {1.0, 1.02, 0.98})});
+  const auto cand = report_with({record("a", {0.5, 0.51, 0.49})});
+  const auto result = compare_reports(base, cand);
+  EXPECT_FALSE(result.has_regressions());
+  EXPECT_EQ(result.improvements, 1u);
+  EXPECT_EQ(entry(result, "a").verdict, Verdict::kImproved);
+}
+
+TEST(Compare, UnmatchedRecordsAreReportedNotGated) {
+  const auto base = report_with({record("gone", {1.0}),
+                                 record("both", {1.0})});
+  const auto cand = report_with({record("both", {1.0}),
+                                 record("new", {2.0})});
+  const auto result = compare_reports(base, cand);
+  EXPECT_FALSE(result.has_regressions());
+  EXPECT_EQ(result.unmatched, 2u);
+  EXPECT_EQ(entry(result, "gone").verdict, Verdict::kBaselineOnly);
+  EXPECT_EQ(entry(result, "new").verdict, Verdict::kCandidateOnly);
+  EXPECT_EQ(entry(result, "both").verdict, Verdict::kUnchanged);
+}
+
+TEST(Compare, MetricOrDirectionMismatchThrows) {
+  const auto base = report_with({record("a", {1.0})});
+  auto cand = report_with({record("a", {1.0})});
+  cand.records[0].direction = Direction::kMaximize;
+  cand.records[0].metric = "rate";
+  EXPECT_THROW(compare_reports(base, cand), support::Error);
+}
+
+TEST(Compare, ThresholdSigmaIsTunable) {
+  // Delta of ~4 pooled sigma: default threshold (3) fires, a stricter
+  // threshold of 6 does not.
+  const auto base =
+      report_with({record("a", {1.00, 1.02, 0.98, 1.01, 0.99})});
+  const auto cand =
+      report_with({record("a", {1.06, 1.08, 1.04, 1.07, 1.05})});
+  EXPECT_TRUE(compare_reports(base, cand).has_regressions());
+  CompareOptions strict;
+  strict.threshold_sigma = 6.0;
+  EXPECT_FALSE(compare_reports(base, cand, strict).has_regressions());
+}
+
+}  // namespace
+}  // namespace mb::core

@@ -1,0 +1,178 @@
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.h"
+
+namespace mb::support {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+  EXPECT_EQ(json_escape("unroll=4 bits=128"), "unroll=4 bits=128");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonNumber, IntegersHaveNoDecimalNoise) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-7.0), "-7");
+}
+
+TEST(JsonNumber, RoundTripsDoubles) {
+  for (double v : {3.14159265358979, 1.0 / 3.0, 1e-20, 6.02214076e23,
+                   0.1 + 0.2}) {
+    const std::string s = json_number(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w(/*pretty=*/false);
+  w.begin_object();
+  w.field("name", "bench");
+  w.field("n", std::uint64_t{3});
+  w.field("ok", true);
+  w.key("none").null();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"name\":\"bench\",\"n\":3,\"ok\":true,"
+                     "\"none\":null}");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w(/*pretty=*/false);
+  w.begin_object();
+  w.key("samples").begin_array();
+  w.value(1.5).value(2.5);
+  w.end_array();
+  w.key("meta").begin_object();
+  w.field("depth", 2);
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"samples\":[1.5,2.5],\"meta\":{\"depth\":2}}");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w(/*pretty=*/false);
+  w.begin_object();
+  w.key("a").begin_array().end_array();
+  w.key("o").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":[],\"o\":{}}");
+}
+
+TEST(JsonWriter, PrettyOutputParses) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("xs").begin_array();
+  w.value(1).value(2).value(3);
+  w.end_array();
+  w.end_object();
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("xs").as_array().size(), 3u);
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), Error);  // value where a key belongs
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), Error);  // key inside an array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), Error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), Error);  // unclosed container
+  }
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("-2.5e3").as_number(), -2500.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json("\"a\\n\\\"b\\\\c\\u0041\"").as_string(),
+            "a\n\"b\\cA");
+}
+
+TEST(JsonParse, NestedDocument) {
+  const JsonValue doc = parse_json(
+      R"({"schema": "x", "list": [1, {"k": [true, null]}], "n": 2})");
+  EXPECT_EQ(doc.at("schema").as_string(), "x");
+  const auto& list = doc.at("list").as_array();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_DOUBLE_EQ(list[0].as_number(), 1.0);
+  EXPECT_EQ(list[1].at("k").as_array().size(), 2u);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), Error);
+}
+
+TEST(JsonParse, PreservesMemberOrder) {
+  const JsonValue doc = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& members = doc.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("[1,]"), Error);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), Error);
+  EXPECT_THROW(parse_json("\"unterminated"), Error);
+  EXPECT_THROW(parse_json("tru"), Error);
+  EXPECT_THROW(parse_json("1 2"), Error);  // trailing content
+  EXPECT_THROW(parse_json("--1"), Error);
+}
+
+TEST(JsonRoundTrip, WriterOutputParsesBack) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "membench/snowball/unroll=4 \"quoted\"");
+  w.key("samples").begin_array();
+  const std::vector<double> samples{0.1234567890123, 4.2e-9, 1e15};
+  for (double s : samples) w.value(s);
+  w.end_array();
+  w.end_object();
+
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("name").as_string(),
+            "membench/snowball/unroll=4 \"quoted\"");
+  const auto& xs = doc.at("samples").as_array();
+  ASSERT_EQ(xs.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    EXPECT_EQ(xs[i].as_number(), samples[i]);
+}
+
+}  // namespace
+}  // namespace mb::support

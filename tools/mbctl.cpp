@@ -6,13 +6,24 @@
 //   mbctl roofline <platform>            DP/SP roofs and ridge
 //   mbctl membench <platform> [opts]     strided-bandwidth measurement
 //       --size-kb N --stride N --bits 32|64|128 --unroll N --passes N
+//       --reps N --seed N
 //   mbctl latency <platform> [opts]      pointer-chase latency
-//       --size-kb N --hops N
+//       --size-kb N --hops N --reps N --seed N
 //   mbctl tune-magicfilter <platform>    unroll sweep + sweet spot
+//   mbctl bench-suite [opts]             curated multi-platform smoke suite
+//       --reps N --seed N
+//   mbctl compare <baseline.json> <candidate.json> [opts]
+//       --threshold-sigma X --min-rel X
+//
+// Every measuring command accepts --json <path> and then also writes a
+// machine-readable mb-bench-report document (core/bench_report.h). compare
+// reads two such documents and exits 3 when a regression is confirmed
+// beyond the pooled measurement noise.
 //
 // <platform> is a built-in name (snowball, xeon, tegra2, exynos5) or
 // @path/to/file.platform in the arch::platform_io text format.
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -22,12 +33,20 @@
 #include "arch/platform_io.h"
 #include "arch/platforms.h"
 #include "arch/topology.h"
+#include "core/bench_report.h"
+#include "core/compare.h"
+#include "core/harness.h"
 #include "core/param_space.h"
 #include "core/search.h"
+#include "kernels/chessbench.h"
+#include "kernels/coremark.h"
 #include "kernels/latency.h"
+#include "kernels/linpack.h"
 #include "kernels/magicfilter.h"
 #include "kernels/membench.h"
+#include "kernels/stencil.h"
 #include "sim/roofline.h"
+#include "support/check.h"
 #include "support/table.h"
 
 namespace {
@@ -41,12 +60,18 @@ using mb::support::fmt_fixed;
       "  platforms\n"
       "  show <platform>\n"
       "  topology <platform>\n"
-      "  roofline <platform>\n"
+      "  roofline <platform> [--json PATH]\n"
       "  membench <platform> [--size-kb N] [--stride N] [--bits B]\n"
-      "           [--unroll N] [--passes N]\n"
-      "  latency <platform> [--size-kb N] [--hops N]\n"
-      "  tune-magicfilter <platform>\n"
-      "platform: snowball | xeon | tegra2 | exynos5 | @file\n";
+      "           [--unroll N] [--passes N] [--reps N] [--seed N]\n"
+      "           [--json PATH]\n"
+      "  latency <platform> [--size-kb N] [--hops N] [--reps N] [--seed N]\n"
+      "           [--json PATH]\n"
+      "  tune-magicfilter <platform> [--json PATH]\n"
+      "  bench-suite [--reps N] [--seed N] [--json PATH]\n"
+      "  compare <baseline.json> <candidate.json> [--threshold-sigma X]\n"
+      "           [--min-rel X]\n"
+      "platform: snowball | xeon | tegra2 | exynos5 | @file\n"
+      "compare exit codes: 0 = no regression, 3 = confirmed regression\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -77,15 +102,98 @@ class Options {
     }
   }
 
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
   std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) {
     const auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    return std::stoull(it->second);
+    try {
+      std::size_t used = 0;
+      const std::uint64_t v = std::stoull(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument(it->second);
+      return v;
+    } catch (const std::exception&) {
+      usage("--" + key + " expects an integer, got '" + it->second + "'");
+    }
+  }
+
+  double get_f64(const std::string& key, double fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument(it->second);
+      return v;
+    } catch (const std::exception&) {
+      usage("--" + key + " expects a number, got '" + it->second + "'");
+    }
+  }
+
+  std::string get_str(const std::string& key, std::string fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second;
   }
 
  private:
   std::map<std::string, std::string> values_;
 };
+
+// --------------------------------------------------------------------------
+// Structured-report helpers.
+
+mb::core::PlatformInfo platform_info(const mb::arch::Platform& p) {
+  mb::core::PlatformInfo info;
+  info.name = p.name;
+  info.cores = p.cores;
+  info.freq_hz = p.core.freq_hz;
+  info.power_w = p.power_w;
+  info.peak_dp_gflops = p.peak_dp_gflops();
+  info.peak_sp_gflops = p.peak_sp_gflops();
+  return info;
+}
+
+void write_report(const mb::core::BenchReport& report,
+                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw mb::support::Error("cannot open " + path + " for writing");
+  out << mb::core::to_json(report);
+  if (!out) throw mb::support::Error("write to " + path + " failed");
+  std::cerr << "wrote " << path << " (" << report.records.size()
+            << " benchmark records)\n";
+}
+
+void add_record(mb::core::BenchReport& report, std::string name,
+                std::string platform, std::string metric, std::string unit,
+                mb::core::Direction direction, std::vector<double> samples) {
+  mb::core::BenchRecord record;
+  record.name = std::move(name);
+  record.platform = std::move(platform);
+  record.metric = std::move(metric);
+  record.unit = std::move(unit);
+  record.direction = direction;
+  record.samples = std::move(samples);
+  report.records.push_back(std::move(record));
+}
+
+/// Runs `measure` on `reps` independently seeded machines (fresh physical
+/// page placement each time — the paper's "new run" notion).
+std::vector<double> run_reps(
+    const mb::arch::Platform& p, mb::sim::PagePolicy policy,
+    std::uint32_t reps, std::uint64_t seed,
+    const std::function<double(mb::sim::Machine&)>& measure) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (std::uint32_t i = 0; i < reps; ++i) {
+    mb::sim::Machine machine(p, policy, mb::support::Rng(seed + i));
+    samples.push_back(measure(machine));
+  }
+  return samples;
+}
+
+// --------------------------------------------------------------------------
+// Commands.
 
 int cmd_platforms() {
   mb::support::Table table({"Name", "Cores", "Freq (GHz)", "Peak DP GF",
@@ -111,7 +219,7 @@ int cmd_topology(const mb::arch::Platform& p) {
   return 0;
 }
 
-int cmd_roofline(const mb::arch::Platform& p) {
+int cmd_roofline(const mb::arch::Platform& p, Options& opts) {
   const auto dp = mb::sim::dp_roofline(p);
   const auto sp = mb::sim::sp_roofline(p);
   std::cout << p.name << '\n'
@@ -122,12 +230,25 @@ int cmd_roofline(const mb::arch::Platform& p) {
             << " GFLOPS, ridge " << fmt_fixed(sp.ridge_intensity(), 2)
             << " flop/B\n"
             << "  memory:  " << fmt_fixed(dp.bandwidth_gbs, 2) << " GB/s\n";
+  if (opts.has("json")) {
+    mb::core::BenchReport report;
+    report.suite = "roofline";
+    report.tool = "mbctl";
+    report.add_platform(platform_info(p));
+    const std::string base = "roofline/" + p.name;
+    using D = mb::core::Direction;
+    add_record(report, base + "/dp_peak", p.name, "gflops", "GFLOPS",
+               D::kMaximize, {dp.peak_gflops});
+    add_record(report, base + "/sp_peak", p.name, "gflops", "GFLOPS",
+               D::kMaximize, {sp.peak_gflops});
+    add_record(report, base + "/bandwidth", p.name, "bandwidth_gbs", "GB/s",
+               D::kMaximize, {dp.bandwidth_gbs});
+    write_report(report, opts.get_str("json", ""));
+  }
   return 0;
 }
 
 int cmd_membench(const mb::arch::Platform& p, Options& opts) {
-  mb::sim::Machine machine(p, mb::sim::PagePolicy::kConsecutive,
-                           mb::support::Rng(1));
   mb::kernels::MembenchParams params;
   params.array_bytes = opts.get_u64("size-kb", 48) * 1024;
   params.stride_elems =
@@ -135,27 +256,95 @@ int cmd_membench(const mb::arch::Platform& p, Options& opts) {
   params.elem_bits = static_cast<std::uint32_t>(opts.get_u64("bits", 64));
   params.unroll = static_cast<std::uint32_t>(opts.get_u64("unroll", 4));
   params.passes = static_cast<std::uint32_t>(opts.get_u64("passes", 8));
-  const auto r = mb::kernels::membench_run(machine, params);
-  std::cout << "bandwidth: " << fmt_fixed(r.bandwidth_bytes_per_s / 1e9, 3)
-            << " GB/s\n"
-            << "time: " << r.sim.seconds * 1e6 << " us\n"
-            << r.sim.counters.to_string();
+  const auto reps =
+      static_cast<std::uint32_t>(opts.get_u64("reps", 1));
+  const std::uint64_t seed = opts.get_u64("seed", 1);
+  if (reps == 0) usage("--reps must be at least 1");
+
+  const auto samples = run_reps(
+      p, mb::sim::PagePolicy::kConsecutive, reps, seed,
+      [&](mb::sim::Machine& m) {
+        return mb::kernels::membench_run(m, params).bandwidth_bytes_per_s /
+               1e9;
+      });
+  if (reps == 1) {
+    // Single run: keep the detailed counter dump.
+    mb::sim::Machine machine(p, mb::sim::PagePolicy::kConsecutive,
+                             mb::support::Rng(seed));
+    const auto r = mb::kernels::membench_run(machine, params);
+    std::cout << "bandwidth: " << fmt_fixed(r.bandwidth_bytes_per_s / 1e9, 3)
+              << " GB/s\n"
+              << "time: " << r.sim.seconds * 1e6 << " us\n"
+              << r.sim.counters.to_string();
+  } else {
+    const auto sum = mb::stats::summarize(samples);
+    std::cout << "bandwidth: " << fmt_fixed(sum.mean, 3) << " GB/s mean of "
+              << reps << " reps (stddev " << fmt_fixed(sum.stddev, 3)
+              << ", min " << fmt_fixed(sum.min, 3) << ", max "
+              << fmt_fixed(sum.max, 3) << ")\n";
+  }
+  if (opts.has("json")) {
+    mb::core::BenchReport report;
+    report.suite = "membench";
+    report.tool = "mbctl";
+    report.seed = seed;
+    report.plan.repetitions = reps;
+    report.plan.seed = seed;
+    report.add_platform(platform_info(p));
+    std::ostringstream name;
+    name << "membench/" << p.name << "/size_kb="
+         << params.array_bytes / 1024 << " stride=" << params.stride_elems
+         << " bits=" << params.elem_bits << " unroll=" << params.unroll;
+    add_record(report, name.str(), p.name, "bandwidth_gbs", "GB/s",
+               mb::core::Direction::kMaximize, samples);
+    write_report(report, opts.get_str("json", ""));
+  }
   return 0;
 }
 
 int cmd_latency(const mb::arch::Platform& p, Options& opts) {
-  mb::sim::Machine machine(p, mb::sim::PagePolicy::kConsecutive,
-                           mb::support::Rng(1));
   mb::kernels::LatencyParams params;
   params.buffer_bytes = opts.get_u64("size-kb", 1024) * 1024;
   params.hops = static_cast<std::uint32_t>(opts.get_u64("hops", 4096));
-  const auto r = mb::kernels::latency_run(machine, params);
-  std::cout << "latency: " << fmt_fixed(r.cycles_per_hop, 1)
-            << " cycles/hop (" << fmt_fixed(r.ns_per_hop, 1) << " ns)\n";
+  const auto reps =
+      static_cast<std::uint32_t>(opts.get_u64("reps", 1));
+  const std::uint64_t seed = opts.get_u64("seed", 1);
+  if (reps == 0) usage("--reps must be at least 1");
+
+  std::vector<double> cycles;
+  const auto samples = run_reps(
+      p, mb::sim::PagePolicy::kConsecutive, reps, seed,
+      [&](mb::sim::Machine& m) {
+        auto rep_params = params;
+        rep_params.seed = seed + cycles.size();
+        const auto r = mb::kernels::latency_run(m, rep_params);
+        cycles.push_back(r.cycles_per_hop);
+        return r.ns_per_hop;
+      });
+  std::cout << "latency: " << fmt_fixed(mb::stats::mean(cycles), 1)
+            << " cycles/hop (" << fmt_fixed(mb::stats::mean(samples), 1)
+            << " ns)";
+  if (reps > 1) std::cout << " mean of " << reps << " reps";
+  std::cout << "\n";
+  if (opts.has("json")) {
+    mb::core::BenchReport report;
+    report.suite = "latency";
+    report.tool = "mbctl";
+    report.seed = seed;
+    report.plan.repetitions = reps;
+    report.plan.seed = seed;
+    report.add_platform(platform_info(p));
+    std::ostringstream name;
+    name << "latency/" << p.name << "/size_kb="
+         << params.buffer_bytes / 1024;
+    add_record(report, name.str(), p.name, "ns_per_hop", "ns",
+               mb::core::Direction::kMinimize, samples);
+    write_report(report, opts.get_str("json", ""));
+  }
   return 0;
 }
 
-int cmd_tune_magicfilter(const mb::arch::Platform& p) {
+int cmd_tune_magicfilter(const mb::arch::Platform& p, Options& opts) {
   mb::sim::Machine machine(p, mb::sim::PagePolicy::kConsecutive,
                            mb::support::Rng(1));
   mb::core::ParamSpace space;
@@ -178,6 +367,275 @@ int cmd_tune_magicfilter(const mb::arch::Platform& p) {
                                          mb::core::Direction::kMinimize);
   std::cout << "sweet spot: unroll in [" << spot.lo << ", " << spot.hi
             << "]\n";
+  if (opts.has("json")) {
+    mb::core::BenchReport report;
+    report.suite = "tune-magicfilter";
+    report.tool = "mbctl";
+    report.add_platform(platform_info(p));
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      add_record(report,
+                 "magicfilter/" + p.name + "/" + space.at(i).to_string(),
+                 p.name, "cycles_per_output", "cycles",
+                 mb::core::Direction::kMinimize, {cycles[i]});
+    }
+    write_report(report, opts.get_str("json", ""));
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------------------
+// bench-suite: a curated deterministic smoke set covering the paper's
+// Fig. 5 (RT-scheduler bimodality), Fig. 6 (membench variants), Fig. 7
+// (magicfilter unrolling) and Table II (cross-platform kernels), emitted
+// as one consolidated report that CI gates on.
+
+int cmd_bench_suite(Options& opts) {
+  const auto reps = static_cast<std::uint32_t>(opts.get_u64("reps", 8));
+  const std::uint64_t seed = opts.get_u64("seed", 2013);
+  if (reps == 0) usage("--reps must be at least 1");
+  using D = mb::core::Direction;
+
+  const auto snowball = mb::arch::snowball();
+  const auto xeon = mb::arch::xeon_x5550();
+  const auto tegra2 = mb::arch::tegra2_node();
+
+  mb::core::BenchReport report;
+  report.suite = "bench-suite";
+  report.tool = "mbctl";
+  report.seed = seed;
+  report.plan.repetitions = reps;
+  report.plan.fresh_machine_per_rep = true;
+  report.plan.seed = seed;
+  report.add_platform(platform_info(snowball));
+  report.add_platform(platform_info(xeon));
+  report.add_platform(platform_info(tegra2));
+
+  // Fig. 5: stride-1 membench on the Snowball under the anomalous
+  // real-time scheduler, randomized placement — the suite's canary for
+  // bimodal distributions (compare must not false-alarm on these).
+  {
+    mb::core::MachineFactory factory = [&](std::uint64_t s) {
+      return mb::sim::Machine(snowball, mb::sim::PagePolicy::kReuseBiased,
+                              mb::support::Rng(s));
+    };
+    mb::core::MeasurementPlan plan;
+    plan.repetitions = reps * 3;  // mode detection needs a few extra samples
+    plan.fresh_machine_per_rep = false;
+    plan.seed = seed;
+    mb::core::ParamSpace space;
+    space.add("array_kb", {8, 32});
+    mb::core::Workload workload = [](const mb::core::Point& pt,
+                                     mb::sim::Machine& m) {
+      mb::kernels::MembenchParams mp;
+      mp.array_bytes =
+          static_cast<std::uint64_t>(pt.get("array_kb")) * 1024;
+      mp.stride_elems = 1;
+      mp.elem_bits = 32;
+      mp.passes = 4;
+      const auto r = mb::kernels::membench_run(m, mp);
+      return r.bandwidth_bytes_per_s / 1e9;
+    };
+    mb::core::Harness harness(
+        factory,
+        std::make_unique<mb::os::RealTimeAnomalous>(mb::support::Rng(seed)),
+        plan);
+    const auto results = harness.run(space, workload);
+    mb::core::append_resultset(report, space, results, "fig5-rt/snowball",
+                               snowball.name, "bandwidth_gbs", "GB/s",
+                               D::kMaximize);
+  }
+
+  // Fig. 6: vectorization/unrolling variants of membench on the Snowball
+  // under fair scheduling with randomized page placement.
+  {
+    mb::core::MachineFactory factory = [&](std::uint64_t s) {
+      return mb::sim::Machine(snowball, mb::sim::PagePolicy::kReuseBiased,
+                              mb::support::Rng(s));
+    };
+    mb::core::MeasurementPlan plan;
+    plan.repetitions = reps;
+    plan.seed = seed + 1;
+    mb::core::ParamSpace space;
+    space.add("bits", {32, 128});
+    space.add("unroll", {1, 4});
+    mb::core::Workload workload = [](const mb::core::Point& pt,
+                                     mb::sim::Machine& m) {
+      mb::kernels::MembenchParams mp;
+      mp.array_bytes = 48 * 1024;
+      mp.stride_elems = 1;
+      mp.elem_bits = static_cast<std::uint32_t>(pt.get("bits"));
+      mp.unroll = static_cast<std::uint32_t>(pt.get("unroll"));
+      mp.passes = 4;
+      const auto r = mb::kernels::membench_run(m, mp);
+      return r.bandwidth_bytes_per_s / 1e9;
+    };
+    mb::core::Harness harness(
+        factory,
+        std::make_unique<mb::os::FairScheduler>(mb::support::Rng(seed + 1)),
+        plan);
+    const auto results = harness.run(space, workload);
+    mb::core::append_resultset(report, space, results, "membench/snowball",
+                               snowball.name, "bandwidth_gbs", "GB/s",
+                               D::kMaximize);
+  }
+
+  // Short stable keys for record names (full platform metadata lives in
+  // the report's "platforms" section).
+  struct Node {
+    const mb::arch::Platform* platform;
+    const char* key;
+  };
+  const Node kSnowball{&snowball, "snowball"};
+  const Node kXeon{&xeon, "xeon"};
+  const Node kTegra2{&tegra2, "tegra2"};
+
+  // Latency curves (model self-validation points) on both Table II nodes.
+  for (const Node& node : {kSnowball, kXeon}) {
+    for (const std::uint64_t kb : {64, 512}) {
+      const auto samples = run_reps(
+          *node.platform, mb::sim::PagePolicy::kReuseBiased, reps,
+          seed + 2 + kb, [&](mb::sim::Machine& m) {
+            mb::kernels::LatencyParams lp;
+            lp.buffer_bytes = kb * 1024;
+            lp.hops = 2048;
+            lp.seed = seed + kb;
+            return mb::kernels::latency_run(m, lp).ns_per_hop;
+          });
+      add_record(report,
+                 "latency/" + std::string(node.key) +
+                     "/size_kb=" + std::to_string(kb),
+                 node.platform->name, "ns_per_hop", "ns", D::kMinimize,
+                 samples);
+    }
+  }
+
+  // Fig. 7: magicfilter unrolling staircase on Tegra2 and Xeon.
+  for (const Node& node : {kTegra2, kXeon}) {
+    for (const std::uint32_t unroll : {2u, 6u, 10u}) {
+      const auto samples = run_reps(
+          *node.platform, mb::sim::PagePolicy::kConsecutive, reps, seed + 7,
+          [&](mb::sim::Machine& m) {
+            mb::kernels::MagicfilterParams mp;
+            mp.n = 16;
+            mp.dims = 1;
+            mp.unroll = unroll;
+            return mb::kernels::magicfilter_run(m, mp).cycles_per_output;
+          });
+      add_record(report,
+                 "magicfilter/" + std::string(node.key) +
+                     "/unroll=" + std::to_string(unroll),
+                 node.platform->name, "cycles_per_output", "cycles",
+                 D::kMinimize, samples);
+    }
+  }
+
+  // Table II kernels on both nodes (small instances, per-core metrics).
+  for (const Node& node : {kSnowball, kXeon}) {
+    const mb::arch::Platform& p = *node.platform;
+    const std::string key(node.key);
+    add_record(report, "linpack/" + key, p.name, "mflops", "MFLOPS",
+               D::kMaximize,
+               run_reps(p, mb::sim::PagePolicy::kReuseBiased, reps,
+                        seed + 11, [&](mb::sim::Machine& m) {
+                          mb::kernels::LinpackParams lp;
+                          lp.n = 64;
+                          lp.block = 16;
+                          return mb::kernels::linpack_run(m, lp).mflops;
+                        }));
+    add_record(report, "coremark/" + key, p.name, "iterations_per_s",
+               "ops/s", D::kMaximize,
+               run_reps(p, mb::sim::PagePolicy::kReuseBiased, reps,
+                        seed + 12, [&](mb::sim::Machine& m) {
+                          mb::kernels::CoremarkParams cp;
+                          cp.iterations = 4;
+                          return mb::kernels::coremark_run(m, cp)
+                              .iterations_per_s;
+                        }));
+    add_record(report, "chessbench/" + key, p.name, "nodes_per_s", "nodes/s",
+               D::kMaximize,
+               run_reps(p, mb::sim::PagePolicy::kReuseBiased, reps,
+                        seed + 13, [&](mb::sim::Machine& m) {
+                          mb::kernels::ChessbenchParams cp;
+                          cp.depth = 3;
+                          cp.positions = 2;
+                          return mb::kernels::chessbench_run(m, cp)
+                              .nodes_per_s;
+                        }));
+    add_record(report, "stencil/" + key, p.name, "seconds", "s",
+               D::kMinimize,
+               run_reps(p, mb::sim::PagePolicy::kReuseBiased, reps,
+                        seed + 14, [&](mb::sim::Machine& m) {
+                          mb::kernels::StencilParams sp;
+                          sp.n = 10;
+                          sp.steps = 10;
+                          return mb::kernels::stencil_run(m, sp).sim.seconds;
+                        }));
+  }
+
+  // Human-readable digest.
+  mb::support::Table table({"Benchmark", "Metric", "Median", "CV %", "Modes"});
+  for (const auto& r : report.records) {
+    const auto sum = r.summary();
+    const double cv =
+        sum.mean != 0.0 ? 100.0 * sum.stddev / sum.mean : 0.0;
+    table.add_row({r.name, r.metric, mb::support::fmt_eng(sum.median),
+                   fmt_fixed(cv, 1), r.modes().bimodal ? "2" : "1"});
+  }
+  std::cout << "=== bench-suite (seed " << seed << ", " << reps
+            << " reps) ===\n"
+            << table;
+
+  if (opts.has("json")) write_report(report, opts.get_str("json", ""));
+  return 0;
+}
+
+mb::core::BenchReport load_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw mb::support::Error("cannot open report " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return mb::core::report_from_json(text.str());
+}
+
+int cmd_compare(const std::string& baseline_path,
+                const std::string& candidate_path, Options& opts) {
+  const auto baseline = load_report(baseline_path);
+  const auto candidate = load_report(candidate_path);
+  mb::core::CompareOptions copts;
+  copts.threshold_sigma = opts.get_f64("threshold-sigma", 3.0);
+  copts.min_rel_delta = opts.get_f64("min-rel", 0.02);
+
+  const auto result = mb::core::compare_reports(baseline, candidate, copts);
+
+  mb::support::Table table(
+      {"Benchmark", "Baseline", "Candidate", "Delta %", "Sigma", "Verdict"});
+  for (const auto& e : result.entries) {
+    const bool matched = e.verdict != mb::core::Verdict::kBaselineOnly &&
+                         e.verdict != mb::core::Verdict::kCandidateOnly;
+    table.add_row(
+        {e.name,
+         e.verdict == mb::core::Verdict::kCandidateOnly
+             ? "-"
+             : mb::support::fmt_eng(e.baseline_center),
+         e.verdict == mb::core::Verdict::kBaselineOnly
+             ? "-"
+             : mb::support::fmt_eng(e.candidate_center),
+         matched ? fmt_fixed(100.0 * e.rel_delta, 2) : "-",
+         matched ? fmt_fixed(e.sigma_delta, 1) : "-",
+         std::string(mb::core::verdict_name(e.verdict)) +
+             (e.baseline_bimodal ? " (bimodal baseline)" : "")});
+  }
+  std::cout << table;
+  std::cout << result.regressions << " regression(s), "
+            << result.improvements << " improvement(s), "
+            << result.unmatched << " unmatched, threshold "
+            << copts.threshold_sigma << " sigma / "
+            << fmt_fixed(100.0 * copts.min_rel_delta, 1) << "% min delta\n";
+  if (result.has_regressions()) {
+    std::cout << "verdict: REGRESSED\n";
+    return 3;
+  }
+  std::cout << "verdict: OK\n";
   return 0;
 }
 
@@ -189,15 +647,24 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "platforms") return cmd_platforms();
     if (cmd == "help" || cmd == "--help" || cmd == "-h") usage();
+    if (cmd == "bench-suite") {
+      Options opts(argc, argv, 2);
+      return cmd_bench_suite(opts);
+    }
+    if (cmd == "compare") {
+      if (argc < 4) usage("compare needs <baseline.json> <candidate.json>");
+      Options opts(argc, argv, 4);
+      return cmd_compare(argv[2], argv[3], opts);
+    }
     if (argc < 3) usage(cmd + " needs a platform argument");
     const auto platform = resolve_platform(argv[2]);
     Options opts(argc, argv, 3);
     if (cmd == "show") return cmd_show(platform);
     if (cmd == "topology") return cmd_topology(platform);
-    if (cmd == "roofline") return cmd_roofline(platform);
+    if (cmd == "roofline") return cmd_roofline(platform, opts);
     if (cmd == "membench") return cmd_membench(platform, opts);
     if (cmd == "latency") return cmd_latency(platform, opts);
-    if (cmd == "tune-magicfilter") return cmd_tune_magicfilter(platform);
+    if (cmd == "tune-magicfilter") return cmd_tune_magicfilter(platform, opts);
     usage("unknown command '" + cmd + "'");
   } catch (const std::exception& e) {
     std::cerr << "mbctl: " << e.what() << '\n';
