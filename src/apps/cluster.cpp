@@ -1,5 +1,6 @@
 #include "apps/cluster.h"
 
+#include "obs/rollup.h"
 #include "support/check.h"
 
 namespace mb::apps {
@@ -39,6 +40,10 @@ AppRunResult run_on_cluster(const ClusterConfig& config,
   mpi::Runtime runtime(queue, network, std::move(rank_to_host), config.mpi,
                        &result.trace);
   result.makespan_s = runtime.run(program);
+
+  // The queue dies with this scope — publish its DES statistics now so a
+  // profile snapshot taken after the run still sees them.
+  obs::publish_event_queue(obs::metrics(), queue);
 
   // Aggregate drop counts over host links (both directions) and uplinks.
   for (std::uint32_t n = 0; n < config.nodes; ++n) {

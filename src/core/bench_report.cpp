@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "support/check.h"
+#include "support/version.h"
 
 namespace mb::core {
 
@@ -61,6 +62,9 @@ std::string to_json(const BenchReport& report) {
   w.field("schema_version", report.schema_version);
   w.field("suite", report.suite);
   w.field("tool", report.tool);
+  w.field("tool_version", report.tool_version.empty()
+                              ? std::string(support::version())
+                              : report.tool_version);
   w.field("seed", report.seed);
 
   w.key("plan").begin_object();
@@ -123,6 +127,11 @@ std::string to_json(const BenchReport& report) {
   }
   w.end_array();
 
+  if (!report.metrics.empty()) {
+    w.key("metrics");
+    obs::write_metrics_json(w, report.metrics);
+  }
+
   w.end_object();
   return w.str();
 }
@@ -143,7 +152,12 @@ BenchReport report_from_json(const JsonValue& doc) {
   report.schema_version = version;
   report.suite = doc.at("suite").as_string();
   report.tool = doc.at("tool").as_string();
+  // Optional: reports from builds before the observability change.
+  if (const JsonValue* tv = doc.find("tool_version"))
+    report.tool_version = tv->as_string();
   report.seed = static_cast<std::uint64_t>(doc.at("seed").as_number());
+  if (const JsonValue* m = doc.find("metrics"))
+    report.metrics = obs::parse_metrics_json(*m);
 
   const JsonValue& plan = doc.at("plan");
   report.plan.repetitions =

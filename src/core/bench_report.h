@@ -11,7 +11,8 @@
 // Schema (version 1), informally:
 //   {
 //     "schema": "mb-bench-report", "schema_version": 1,
-//     "suite": "...", "tool": "...", "seed": N,
+//     "suite": "...", "tool": "...", "tool_version": "1.0.0", "seed": N,
+//     "metrics": [...],  // optional obs snapshot (obs/metrics.h)
 //     "plan": {"repetitions": N, "randomize_order": B,
 //              "fresh_machine_per_rep": B, "seed": N},
 //     "platforms": [{"name": "...", "cores": N, "freq_hz": X,
@@ -38,6 +39,7 @@
 #include "core/harness.h"
 #include "core/param_space.h"
 #include "core/resultset.h"
+#include "obs/metrics.h"
 #include "support/json.h"
 
 namespace mb::core {
@@ -86,10 +88,18 @@ struct BenchReport {
   int schema_version = kBenchSchemaVersion;
   std::string suite;  ///< e.g. "bench-suite", "membench"
   std::string tool;   ///< producing tool, e.g. "mbctl"
+  /// Producing build ("1.0.0"); stamped by to_json() when empty so every
+  /// emitted report is attributable.
+  std::string tool_version;
   std::uint64_t seed = 0;
   MeasurementPlan plan;
   std::vector<PlatformInfo> platforms;
   std::vector<BenchRecord> records;
+  /// Optional observability snapshot (obs::Registry::snapshot()) captured
+  /// alongside the measurements: per-phase times and subsystem counters
+  /// let `compare` attribute a regression to a phase instead of just
+  /// flagging the end-to-end number. Empty = section omitted.
+  std::vector<obs::MetricSample> metrics;
 
   /// Record lookup by name; nullptr when absent.
   const BenchRecord* find(std::string_view name) const;

@@ -155,4 +155,38 @@ CompareResult compare_reports(const BenchReport& baseline,
   return result;
 }
 
+std::vector<MetricDelta> attribute_metrics(const BenchReport& baseline,
+                                           const BenchReport& candidate,
+                                           double min_rel) {
+  std::vector<MetricDelta> deltas;
+  if (baseline.metrics.empty() || candidate.metrics.empty()) return deltas;
+
+  // MetricSample::value is the counter/gauge value or the histogram sum —
+  // either way the series' scalar magnitude.
+  for (const auto& base : baseline.metrics) {
+    const std::string key = base.key();
+    for (const auto& cand : candidate.metrics) {
+      if (cand.key() != key) continue;
+      MetricDelta d;
+      d.key = key;
+      d.baseline = base.value;
+      d.candidate = cand.value;
+      if (d.baseline != 0.0) {
+        d.rel_delta = (d.candidate - d.baseline) / std::fabs(d.baseline);
+      } else if (d.candidate != 0.0) {
+        d.rel_delta = d.candidate > 0.0 ? 1.0 : -1.0;  // appeared from zero
+      }
+      if (std::fabs(d.rel_delta) >= min_rel) deltas.push_back(std::move(d));
+      break;
+    }
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const MetricDelta& a, const MetricDelta& b) {
+              if (std::fabs(a.rel_delta) != std::fabs(b.rel_delta))
+                return std::fabs(a.rel_delta) > std::fabs(b.rel_delta);
+              return a.key < b.key;
+            });
+  return deltas;
+}
+
 }  // namespace mb::core

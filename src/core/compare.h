@@ -75,4 +75,22 @@ CompareResult compare_reports(const BenchReport& baseline,
                               const BenchReport& candidate,
                               const CompareOptions& options = {});
 
+/// One observability metric's movement between two reports.
+struct MetricDelta {
+  std::string key;  ///< series key, e.g. "mpi.time_s{kind=collective}"
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_delta = 0.0;  ///< (candidate - baseline) / |baseline|
+};
+
+/// Pairs the optional "metrics" sections of two reports by series key and
+/// returns every series whose relative movement exceeds `min_rel`, sorted
+/// by |rel_delta| descending. Purely informational — this is how a
+/// confirmed end-to-end regression gets *attributed* to a phase (the
+/// biggest mover names the suspect subsystem); it never gates. Histogram
+/// series compare by their sum. Empty when either report lacks metrics.
+std::vector<MetricDelta> attribute_metrics(const BenchReport& baseline,
+                                           const BenchReport& candidate,
+                                           double min_rel = 0.01);
+
 }  // namespace mb::core

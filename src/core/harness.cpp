@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "obs/profiler.h"
 #include "support/check.h"
 
 namespace mb::core {
@@ -22,6 +23,7 @@ ResultSet Harness::run(const ParamSpace& space, const Workload& workload) {
   support::check(space.size() > 0, "Harness::run", "empty parameter space");
   support::check(static_cast<bool>(workload), "Harness::run",
                  "workload required");
+  obs::ScopedSpan span(obs::profiler(), "harness/run");
 
   const std::size_t variants = space.size();
   ResultSet results(variants);

@@ -1,9 +1,34 @@
 #include "core/tuner.h"
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "stats/descriptive.h"
 #include "support/check.h"
 
 namespace mb::core {
+
+namespace {
+
+/// Best-so-far curve over (index, value) pairs in evaluation order.
+std::vector<std::pair<std::size_t, double>> best_trajectory(
+    const std::vector<std::pair<std::size_t, double>>& evaluated,
+    Direction direction) {
+  std::vector<std::pair<std::size_t, double>> trajectory;
+  double best = 0.0;
+  for (std::size_t i = 0; i < evaluated.size(); ++i) {
+    const double v = evaluated[i].second;
+    const bool improved =
+        trajectory.empty() ||
+        (direction == Direction::kMinimize ? v < best : v > best);
+    if (improved) {
+      best = v;
+      trajectory.emplace_back(i + 1, v);
+    }
+  }
+  return trajectory;
+}
+
+}  // namespace
 
 std::string_view strategy_name(Strategy s) {
   switch (s) {
@@ -20,27 +45,43 @@ Tuner::Tuner(Harness harness, Direction direction)
 TuneReport Tuner::tune(const ParamSpace& space, const Workload& workload,
                        Strategy strategy, std::size_t budget) {
   support::check(space.size() > 0, "Tuner::tune", "empty space");
+  obs::ScopedSpan span(obs::profiler(), "tuner/tune");
+  obs::Registry& registry = obs::metrics();
+  obs::Counter& evaluations = registry.counter(
+      "tuner.evaluations", {{"strategy", std::string(strategy_name(strategy))}});
+  obs::Gauge& best_gauge = registry.gauge("tuner.best_value");
 
   if (strategy == Strategy::kExhaustive) {
     // One interleaved measurement campaign over the full space.
+    obs::ScopedSpan measure(obs::profiler(), "tuner/measure");
     const ResultSet results = harness_.run(space, workload);
-    TuneReport report{space.at(0), 0.0, 0, {}};
+    TuneReport report{space.at(0), 0.0, 0, {}, {}};
     const std::size_t best = results.best(direction_);
     report.best = space.at(best);
     report.best_value = results.mean(best);
     report.evaluations = results.total_samples();
     for (std::size_t v = 0; v < space.size(); ++v)
       report.evaluated.emplace_back(v, results.mean(v));
+    report.trajectory = best_trajectory(report.evaluated, direction_);
+    evaluations.add(static_cast<double>(report.evaluations));
+    best_gauge.set(report.best_value);
+    for (const auto& [v, cost] : report.evaluated)
+      registry.gauge("tuner.variant_cost", {{"point", space.at(v).to_string()}})
+          .set(cost);
     return report;
   }
 
   // Sequential strategies: measure points on demand (each point still gets
   // the harness's repetitions, via a single-point space).
   Evaluator eval = [&](const Point& point) {
+    obs::ScopedSpan evaluate(obs::profiler(), "tuner/evaluate");
     ParamSpace single;
     for (std::size_t d = 0; d < point.dims(); ++d)
       single.add(std::string(space.name(d)), {point[d]});
     const ResultSet r = harness_.run(single, workload);
+    evaluations.add(static_cast<double>(harness_.plan().repetitions));
+    registry.gauge("tuner.variant_cost", {{"point", point.to_string()}})
+        .set(r.mean(0));
     return r.mean(0);
   };
 
@@ -52,10 +93,12 @@ TuneReport Tuner::tune(const ParamSpace& space, const Workload& workload,
     outcome = hill_climb(space, eval, direction_, {}, budget);
   }
 
-  TuneReport report{space.at(outcome.best_index), 0.0, 0, {}};
+  TuneReport report{space.at(outcome.best_index), 0.0, 0, {}, {}};
   report.best_value = outcome.best_value;
   report.evaluations = outcome.evaluations * harness_.plan().repetitions;
   report.evaluated = outcome.visited;
+  report.trajectory = best_trajectory(report.evaluated, direction_);
+  best_gauge.set(report.best_value);
   return report;
 }
 

@@ -26,6 +26,10 @@ struct TuneReport {
   /// Mean metric per fully-evaluated point (index -> value); complete for
   /// exhaustive searches, partial otherwise.
   std::vector<std::pair<std::size_t, double>> evaluated;
+  /// Best-so-far after each point, in evaluation order (point count ->
+  /// best value) — one entry per improvement, starting with the first
+  /// point. The search's convergence curve.
+  std::vector<std::pair<std::size_t, double>> trajectory;
 };
 
 enum class Strategy { kExhaustive, kRandom, kHillClimb };

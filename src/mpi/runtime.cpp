@@ -20,6 +20,20 @@ Runtime::Runtime(sim::EventQueue& queue, net::Network& network,
     support::check(!network_.is_switch(host), "Runtime",
                    "ranks must live on hosts, not switches");
   }
+  obs::Registry& registry = obs::metrics();
+  const auto ranks = static_cast<std::uint32_t>(rank_to_host_.size());
+  bytes_sent_.reserve(ranks);
+  bytes_received_.reserve(ranks);
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    const obs::Labels labels{{"rank", std::to_string(r)}};
+    bytes_sent_.push_back(&registry.counter("mpi.bytes_sent", labels));
+    bytes_received_.push_back(
+        &registry.counter("mpi.bytes_received", labels));
+  }
+  time_collective_ =
+      &registry.counter("mpi.time_s", {{"kind", "collective"}});
+  time_p2p_ = &registry.counter("mpi.time_s", {{"kind", "p2p"}});
+  time_wait_ = &registry.counter("mpi.time_s", {{"kind", "wait"}});
 }
 
 void Runtime::record(std::uint32_t rank, double t0, double t1,
@@ -77,12 +91,13 @@ double Runtime::run(const Program& program) {
 }
 
 void Runtime::deliver(std::uint32_t dst_rank, std::uint32_t src_rank,
-                      std::int32_t tag) {
+                      std::int32_t tag, std::uint64_t bytes) {
   RankState& s = states_[dst_rank];
   const auto key = std::make_pair(src_rank, tag);
-  s.mailbox[key].push_back(queue_.now());
+  s.mailbox[key].push_back(bytes);
   if (s.waiting && *s.waiting == key) {
     s.waiting.reset();
+    time_wait_->add(queue_.now() - s.wait_start);
     advance(dst_rank);
   }
 }
@@ -105,21 +120,26 @@ void Runtime::advance(std::uint32_t rank) {
         const std::int32_t tag = op.tag;
         const net::NodeId src_host = rank_to_host_[rank];
         const net::NodeId dst_host = rank_to_host_[dst];
+        bytes_sent_[rank]->add(static_cast<double>(op.bytes));
         if (s.group_label.empty()) {
+          time_p2p_->add(config_.send_overhead_s);
           record(rank, now, now + config_.send_overhead_s,
                  trace::EventKind::kSend, "send", op.bytes);
         }
+        const std::uint64_t bytes = op.bytes;
         if (src_host == dst_host) {
           const double t = config_.intra_latency_s +
                            static_cast<double>(op.bytes) /
                                config_.intra_bandwidth_bytes_per_s;
           queue_.schedule_in(config_.send_overhead_s + t,
-                             [this, dst, rank, tag] {
-                               deliver(dst, rank, tag);
+                             [this, dst, rank, tag, bytes] {
+                               deliver(dst, rank, tag, bytes);
                              });
         } else {
           network_.send(src_host, dst_host, op.bytes,
-                        [this, dst, rank, tag] { deliver(dst, rank, tag); });
+                        [this, dst, rank, tag, bytes] {
+                          deliver(dst, rank, tag, bytes);
+                        });
         }
         ++s.pc;
         queue_.schedule_in(config_.send_overhead_s,
@@ -131,13 +151,17 @@ void Runtime::advance(std::uint32_t rank) {
         auto it = s.mailbox.find(key);
         if (it == s.mailbox.end() || it->second.empty()) {
           s.waiting = key;
+          s.wait_start = now;
           return;
         }
+        const std::uint64_t bytes = it->second.front();
         it->second.erase(it->second.begin());
         if (it->second.empty()) s.mailbox.erase(it);
+        bytes_received_[rank]->add(static_cast<double>(bytes));
         if (s.group_label.empty()) {
+          time_p2p_->add(config_.recv_overhead_s);
           record(rank, now, now + config_.recv_overhead_s,
-                 trace::EventKind::kRecv, "recv", op.bytes);
+                 trace::EventKind::kRecv, "recv", bytes);
         }
         ++s.pc;
         queue_.schedule_in(config_.recv_overhead_s,
@@ -151,6 +175,7 @@ void Runtime::advance(std::uint32_t rank) {
         break;
       }
       case Op::Kind::kEndGroup: {
+        time_collective_->add(now - s.group_start);
         record(rank, s.group_start, now, trace::EventKind::kCollective,
                op.label, 0);
         s.group_label.clear();

@@ -15,6 +15,7 @@
 
 #include "mpi/program.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "trace/trace.h"
 
@@ -48,16 +49,20 @@ class Runtime {
     bool blocked = false;
     double finish_time = 0.0;
     double group_start = 0.0;
+    double wait_start = 0.0;  ///< when the rank last blocked on a recv
     std::string group_label;
-    // Arrived-but-unmatched messages and the receive each op waits for.
-    std::map<std::pair<std::uint32_t, std::int32_t>, std::vector<double>>
+    // Arrived-but-unmatched messages (payload sizes, FIFO per key) and
+    // the receive each op waits for. Receives take the size from the
+    // matched message — recv ops carry no byte count of their own.
+    std::map<std::pair<std::uint32_t, std::int32_t>,
+             std::vector<std::uint64_t>>
         mailbox;
     std::optional<std::pair<std::uint32_t, std::int32_t>> waiting;
   };
 
   void advance(std::uint32_t rank);
   void deliver(std::uint32_t dst_rank, std::uint32_t src_rank,
-               std::int32_t tag);
+               std::int32_t tag, std::uint64_t bytes);
   void record(std::uint32_t rank, double t0, double t1,
               trace::EventKind kind, const std::string& label,
               std::uint64_t bytes);
@@ -67,6 +72,17 @@ class Runtime {
   std::vector<net::NodeId> rank_to_host_;
   RuntimeConfig config_;
   trace::Trace* trace_;
+  // Registry instrumentation (handles resolved once in the constructor;
+  // hot-path updates are plain adds). Per-rank traffic plus the
+  // collective / p2p-overhead / blocked-receive time split the paper's
+  // Fig. 4 analysis needs. Wait time overlaps collective time when a
+  // lowered collective blocks internally — they are different lenses,
+  // not a partition.
+  std::vector<obs::Counter*> bytes_sent_;
+  std::vector<obs::Counter*> bytes_received_;
+  obs::Counter* time_collective_;
+  obs::Counter* time_p2p_;
+  obs::Counter* time_wait_;
   std::vector<RankState> states_;
   std::int32_t next_tag_base_ = 1 << 16;  // user tags stay below
   std::uint32_t finished_ = 0;

@@ -1,0 +1,143 @@
+#include "obs/chrome_trace.h"
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "support/check.h"
+#include "support/version.h"
+
+namespace mb::obs {
+
+using support::JsonWriter;
+
+namespace {
+
+constexpr int kClusterPid = 0;
+constexpr int kProfilerPid = 1;
+
+void write_thread_name(JsonWriter& w, int pid, std::uint32_t tid,
+                       const std::string& name) {
+  w.begin_object();
+  w.field("ph", "M");
+  w.field("name", "thread_name");
+  w.field("pid", pid);
+  w.field("tid", tid);
+  w.key("args").begin_object();
+  w.field("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+void write_process_name(JsonWriter& w, int pid, const std::string& name) {
+  w.begin_object();
+  w.field("ph", "M");
+  w.field("name", "process_name");
+  w.field("pid", pid);
+  w.key("args").begin_object();
+  w.field("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+/// Lays the aggregated span tree out sequentially: each span occupies
+/// [cursor, cursor + total_s] inside its parent.
+double write_span_events(JsonWriter& w, const SpanNode& node,
+                         double cursor_us) {
+  for (const auto& c : node.children) {
+    w.begin_object();
+    w.field("ph", "X");
+    w.field("name", c.name);
+    w.field("cat", "span");
+    w.field("pid", kProfilerPid);
+    w.field("tid", 0);
+    w.field("ts", cursor_us);
+    w.field("dur", c.total_s * 1e6);
+    w.key("args").begin_object();
+    w.field("calls", c.calls);
+    for (const auto& [key, delta] : c.counter_deltas) w.field(key, delta);
+    w.end_object();
+    w.end_object();
+    write_span_events(w, c, cursor_us);
+    cursor_us += c.total_s * 1e6;
+  }
+  return cursor_us;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const trace::Trace& trace,
+                        const ChromeTraceOptions& options) {
+  // Fig. 4 classification, per collective label: occurrence index i of a
+  // rank belongs to instance i, and an instance (or a single rank within
+  // it) is delayed when it exceeds delay_factor x the label's median.
+  std::map<std::string, trace::CollectiveReport> reports;
+  for (const auto& r : trace.records()) {
+    if (r.kind == trace::EventKind::kCollective && !reports.count(r.label))
+      reports.emplace(r.label, trace::analyze_collectives(
+                                   trace, r.label, options.delay_factor));
+  }
+  // Occurrence counters: (label, rank) -> next instance index.
+  std::map<std::pair<std::string, std::uint32_t>, std::size_t> occurrence;
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  write_process_name(w, kClusterPid, "cluster");
+  for (std::uint32_t r = 0; r < trace.ranks(); ++r)
+    write_thread_name(w, kClusterPid, r, "rank " + std::to_string(r));
+
+  for (const auto& rec : trace.records()) {
+    w.begin_object();
+    w.field("ph", "X");
+    w.field("name", rec.label.empty()
+                        ? std::string(trace::event_kind_name(rec.kind))
+                        : rec.label);
+    w.field("cat", trace::event_kind_name(rec.kind));
+    w.field("pid", kClusterPid);
+    w.field("tid", rec.rank);
+    w.field("ts", rec.t0 * 1e6);
+    w.field("dur", rec.duration() * 1e6);
+    w.key("args").begin_object();
+    if (rec.bytes > 0) w.field("bytes", rec.bytes);
+    if (rec.kind == trace::EventKind::kCollective) {
+      const auto& report = reports.at(rec.label);
+      const std::size_t index = occurrence[{rec.label, rec.rank}]++;
+      w.field("instance", static_cast<std::uint64_t>(index));
+      const bool delayed = index < report.instances.size() &&
+                           report.instances[index].delayed;
+      w.field("delayed", delayed);
+      if (delayed) {
+        // Was this rank itself slow, or just held back by slower peers?
+        w.field("rank_slow",
+                rec.duration() >
+                    options.delay_factor * report.median_duration);
+        // The viewer colors by cname; flagged instances stand out.
+        w.end_object();
+        w.field("cname", "terrible");
+        w.end_object();
+        continue;
+      }
+    }
+    w.end_object();
+    w.end_object();
+  }
+
+  if (options.spans != nullptr && !options.spans->children.empty()) {
+    write_process_name(w, kProfilerPid, "profiler (aggregated)");
+    write_thread_name(w, kProfilerPid, 0, "spans");
+    write_span_events(w, *options.spans, 0.0);
+  }
+
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData").begin_object();
+  w.field("tool", "montblanc");
+  w.field("tool_version", support::version());
+  w.end_object();
+  w.end_object();
+  os << w.str();
+}
+
+}  // namespace mb::obs

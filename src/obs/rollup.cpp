@@ -1,0 +1,44 @@
+#include "obs/rollup.h"
+
+#include <string>
+
+namespace mb::obs {
+
+void publish_event_queue(Registry& registry, const sim::EventQueue& queue) {
+  registry.gauge("sim.events_executed")
+      .set(static_cast<double>(queue.executed()));
+  registry.gauge("sim.events_scheduled")
+      .set(static_cast<double>(queue.scheduled()));
+  registry.gauge("sim.calendar_depth")
+      .set(static_cast<double>(queue.pending()));
+  registry.gauge("sim.calendar_max_depth")
+      .set(static_cast<double>(queue.max_pending()));
+}
+
+void publish_machine(Registry& registry, const sim::Machine& machine) {
+  const std::string platform = machine.platform().name;
+  const auto stats = machine.hierarchy().stats();
+  for (std::size_t i = 0; i < stats.level.size(); ++i) {
+    const cache::CacheStats& s = stats.level[i];
+    const Labels labels{{"level", "L" + std::to_string(i + 1)},
+                        {"platform", platform}};
+    registry.gauge("cache.accesses", labels)
+        .set(static_cast<double>(s.accesses));
+    registry.gauge("cache.hits", labels).set(static_cast<double>(s.hits));
+    registry.gauge("cache.misses", labels)
+        .set(static_cast<double>(s.misses));
+    registry.gauge("cache.evictions", labels)
+        .set(static_cast<double>(s.evictions));
+    registry.gauge("cache.writebacks", labels)
+        .set(static_cast<double>(s.writebacks));
+  }
+  const Labels labels{{"platform", platform}};
+  registry.gauge("cache.memory_accesses", labels)
+      .set(static_cast<double>(stats.memory_accesses));
+  registry.gauge("cache.memory_bytes", labels)
+      .set(static_cast<double>(stats.memory_bytes));
+  registry.gauge("cache.prefetches", labels)
+      .set(static_cast<double>(stats.prefetches));
+}
+
+}  // namespace mb::obs

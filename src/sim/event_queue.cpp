@@ -10,6 +10,7 @@ void EventQueue::schedule_at(double time_s, Callback cb) {
   support::check(static_cast<bool>(cb), "EventQueue::schedule_at",
                  "callback must not be empty");
   heap_.push(Event{time_s, next_seq_++, std::move(cb)});
+  if (heap_.size() > max_pending_) max_pending_ = heap_.size();
 }
 
 void EventQueue::schedule_in(double delay_s, Callback cb) {

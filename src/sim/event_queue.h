@@ -35,6 +35,9 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
+  std::uint64_t scheduled() const { return next_seq_; }
+  /// Calendar-queue high-water mark: the most events ever pending at once.
+  std::size_t max_pending() const { return max_pending_; }
 
  private:
   struct Event {
@@ -53,6 +56,7 @@ class EventQueue {
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t max_pending_ = 0;
 };
 
 }  // namespace mb::sim

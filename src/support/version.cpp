@@ -1,0 +1,11 @@
+#include "support/version.h"
+
+#ifndef MB_VERSION
+#define MB_VERSION "0.0.0-unknown"
+#endif
+
+namespace mb::support {
+
+std::string_view version() { return MB_VERSION; }
+
+}  // namespace mb::support

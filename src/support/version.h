@@ -1,0 +1,17 @@
+// Build identification.
+//
+// Profile and trace artifacts outlive the build that produced them; every
+// JSON document this toolkit emits carries the producing version so a
+// report found in a CI artifact store is attributable to a build.
+#pragma once
+
+#include <string_view>
+
+namespace mb::support {
+
+/// The toolkit version ("MAJOR.MINOR.PATCH"), injected by the build
+/// system from the CMake project version; "0.0.0-unknown" when built
+/// outside CMake.
+std::string_view version();
+
+}  // namespace mb::support

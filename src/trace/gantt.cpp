@@ -40,8 +40,13 @@ std::string render_gantt(const Trace& trace, const GanttOptions& options) {
   };
 
   std::vector<std::string> rows(ranks, std::string(options.width, '.'));
+  std::size_t clipped = 0;  // events of shown ranks entirely outside [t0,t1]
   for (const auto& rec : trace.records()) {
     if (rec.rank >= ranks) continue;
+    if (rec.t1 <= t0 || rec.t0 >= t1) {
+      ++clipped;
+      continue;
+    }
     char glyph = '.';
     switch (rec.kind) {
       case EventKind::kCompute: glyph = '#'; break;
@@ -69,8 +74,10 @@ std::string render_gantt(const Trace& trace, const GanttOptions& options) {
   for (std::uint32_t r = 0; r < ranks; ++r) {
     out << (r < 10 ? " " : "") << r << " |" << rows[r] << "|\n";
   }
+  // Truncation is never silent: anything the view dropped is footnoted.
   if (trace.ranks() > ranks)
-    out << "(+" << trace.ranks() - ranks << " more ranks)\n";
+    out << "… " << trace.ranks() - ranks << " ranks not shown\n";
+  if (clipped > 0) out << "… " << clipped << " events outside window\n";
   return out.str();
 }
 

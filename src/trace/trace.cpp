@@ -1,8 +1,11 @@
 #include "trace/trace.h"
 
 #include <algorithm>
+#include <cmath>
+#include <istream>
 #include <map>
 #include <ostream>
+#include <sstream>
 
 #include "stats/descriptive.h"
 #include "support/check.h"
@@ -46,13 +49,98 @@ double Trace::end_time() const {
   return end;
 }
 
+EventKind parse_event_kind(std::string_view name) {
+  if (name == "compute") return EventKind::kCompute;
+  if (name == "send") return EventKind::kSend;
+  if (name == "recv") return EventKind::kRecv;
+  if (name == "collective") return EventKind::kCollective;
+  if (name == "wait") return EventKind::kWait;
+  support::fail("parse_event_kind",
+                "unknown event kind '" + std::string(name) + "'");
+}
+
 void Trace::write_paraver(std::ostream& os) const {
   os << "#Paraver-like state records (rank:kind:label:t0_us:t1_us:bytes)\n";
+  // Rounding (not truncation) keeps the format a fixpoint: parsing a dump
+  // and re-writing it reproduces the dump byte for byte. Truncating would
+  // drift one microsecond down whenever us/1e6*1e6 lands just below an
+  // integer.
   for (const auto& r : records_) {
     os << r.rank << ':' << event_kind_name(r.kind) << ':' << r.label << ':'
-       << static_cast<std::uint64_t>(r.t0 * 1e6) << ':'
-       << static_cast<std::uint64_t>(r.t1 * 1e6) << ':' << r.bytes << '\n';
+       << static_cast<std::uint64_t>(std::llround(r.t0 * 1e6)) << ':'
+       << static_cast<std::uint64_t>(std::llround(r.t1 * 1e6)) << ':'
+       << r.bytes << '\n';
   }
+}
+
+namespace {
+
+std::uint64_t parse_u64_field(std::string_view field, std::size_t line_no) {
+  std::uint64_t value = 0;
+  support::check(!field.empty(), "parse_paraver",
+                 "line " + std::to_string(line_no) + ": empty numeric field");
+  for (const char c : field) {
+    support::check(c >= '0' && c <= '9', "parse_paraver",
+                   "line " + std::to_string(line_no) +
+                       ": non-numeric field '" + std::string(field) + "'");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+Trace parse_paraver(std::istream& is) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const std::string_view view = line;
+
+    // Anchor the split from both ends: the first two fields (rank, kind)
+    // and the last three (t0, t1, bytes) cannot contain ':', so a label
+    // containing ':' still parses.
+    const auto fail_at = [&](std::string_view why) {
+      support::fail("parse_paraver", "line " + std::to_string(line_no) +
+                                         ": " + std::string(why));
+    };
+    const std::size_t c1 = view.find(':');
+    if (c1 == std::string_view::npos) fail_at("missing ':' separators");
+    const std::size_t c2 = view.find(':', c1 + 1);
+    if (c2 == std::string_view::npos) fail_at("too few fields");
+    const std::size_t c5 = view.rfind(':');
+    const std::size_t c4 = c5 > 0 ? view.rfind(':', c5 - 1)
+                                  : std::string_view::npos;
+    const std::size_t c3 = c4 != std::string_view::npos && c4 > 0
+                               ? view.rfind(':', c4 - 1)
+                               : std::string_view::npos;
+    if (c3 == std::string_view::npos || c3 < c2) fail_at("too few fields");
+
+    Record r;
+    r.rank = static_cast<std::uint32_t>(
+        parse_u64_field(view.substr(0, c1), line_no));
+    r.kind = parse_event_kind(view.substr(c1 + 1, c2 - c1 - 1));
+    r.label = std::string(view.substr(c2 + 1, c3 - c2 - 1));
+    r.t0 = static_cast<double>(
+               parse_u64_field(view.substr(c3 + 1, c4 - c3 - 1), line_no)) /
+           1e6;
+    r.t1 = static_cast<double>(
+               parse_u64_field(view.substr(c4 + 1, c5 - c4 - 1), line_no)) /
+           1e6;
+    r.bytes = parse_u64_field(view.substr(c5 + 1), line_no);
+    support::check(r.t1 >= r.t0, "parse_paraver",
+                   "line " + std::to_string(line_no) +
+                       ": event ends before it starts");
+    trace.add(std::move(r));
+  }
+  return trace;
+}
+
+Trace parse_paraver(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  return parse_paraver(is);
 }
 
 CollectiveReport analyze_collectives(const Trace& trace,

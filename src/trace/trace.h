@@ -24,6 +24,9 @@ enum class EventKind : std::uint8_t {
 
 std::string_view event_kind_name(EventKind k);
 
+/// Inverse of event_kind_name(); throws support::Error on unknown names.
+EventKind parse_event_kind(std::string_view name);
+
 struct Record {
   std::uint32_t rank = 0;
   double t0 = 0.0;
@@ -54,11 +57,21 @@ class Trace {
 
   /// Writes a Paraver-like state record list:
   ///   <rank>:<kind>:<label>:<t0_us>:<t1_us>:<bytes>
+  /// Times are rounded to integer microseconds — the format's resolution —
+  /// so that parse_paraver() round-trips: a re-exported parse is
+  /// byte-identical to the original dump.
   void write_paraver(std::ostream& os) const;
 
  private:
   std::vector<Record> records_;
 };
+
+/// Parses a dump produced by Trace::write_paraver(). Lines starting with
+/// '#' and blank lines are ignored. Labels may themselves contain ':'
+/// (the rank/kind prefix and the three numeric suffix fields anchor the
+/// split). Throws support::Error on malformed records.
+Trace parse_paraver(std::istream& is);
+Trace parse_paraver(std::string_view text);
 
 /// Per-instance analysis of one collective operation across ranks:
 /// an *instance* is the i-th occurrence of the collective on each rank;

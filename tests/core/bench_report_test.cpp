@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "support/check.h"
+#include "support/version.h"
 
 namespace mb::core {
 namespace {
@@ -133,6 +134,44 @@ TEST(BenchReport, RejectsEmptySampleSeries) {
   BenchReport report = small_report();
   report.records[0].samples.clear();
   EXPECT_THROW(to_json(report), support::Error);
+}
+
+TEST(BenchReport, StampsToolVersionWhenEmpty) {
+  const auto doc = support::parse_json(to_json(small_report()));
+  EXPECT_EQ(doc.at("tool_version").as_string(), support::version());
+
+  BenchReport pinned = small_report();
+  pinned.tool_version = "9.9.9";
+  const auto pinned_doc = support::parse_json(to_json(pinned));
+  EXPECT_EQ(pinned_doc.at("tool_version").as_string(), "9.9.9");
+  EXPECT_EQ(report_from_json(to_json(pinned)).tool_version, "9.9.9");
+}
+
+TEST(BenchReport, MetricsSectionIsOptionalAndRoundTrips) {
+  BenchReport report = small_report();
+  // Without metrics the section is omitted entirely (old consumers parse).
+  EXPECT_EQ(support::parse_json(to_json(report)).find("metrics"), nullptr);
+
+  obs::MetricSample m;
+  m.name = "mpi.time_s";
+  m.labels = {{"kind", "collective"}};
+  m.value = 1.25;
+  report.metrics.push_back(m);
+  const BenchReport parsed = report_from_json(to_json(report));
+  ASSERT_EQ(parsed.metrics.size(), 1u);
+  EXPECT_EQ(parsed.metrics[0].key(), "mpi.time_s{kind=collective}");
+  EXPECT_DOUBLE_EQ(parsed.metrics[0].value, 1.25);
+}
+
+TEST(BenchReport, ParsesReportsWithoutVersionOrMetrics) {
+  // A pre-observability document: no tool_version, no metrics section.
+  std::string json = to_json(small_report());
+  const auto pos = json.find("\"tool_version\"");
+  ASSERT_NE(pos, std::string::npos);
+  json.erase(pos, json.find('\n', pos) - pos + 1);
+  const BenchReport parsed = report_from_json(json);
+  EXPECT_TRUE(parsed.tool_version.empty());
+  EXPECT_TRUE(parsed.metrics.empty());
 }
 
 TEST(BenchReport, AddPlatformDeduplicatesByName) {

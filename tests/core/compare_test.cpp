@@ -158,6 +158,51 @@ TEST(Compare, MetricOrDirectionMismatchThrows) {
   EXPECT_THROW(compare_reports(base, cand), support::Error);
 }
 
+obs::MetricSample scalar(std::string name, obs::Labels labels, double value) {
+  obs::MetricSample m;
+  m.name = std::move(name);
+  m.labels = std::move(labels);
+  m.value = value;
+  return m;
+}
+
+TEST(Compare, AttributeMetricsRanksBiggestMovers) {
+  auto base = report_with({record("a", {1.0})});
+  auto cand = report_with({record("a", {1.0})});
+  base.metrics = {scalar("mpi.time_s", {{"kind", "collective"}}, 10.0),
+                  scalar("mpi.time_s", {{"kind", "p2p"}}, 5.0),
+                  scalar("tuner.evaluations", {}, 100.0)};
+  cand.metrics = {scalar("mpi.time_s", {{"kind", "collective"}}, 25.0),
+                  scalar("mpi.time_s", {{"kind", "p2p"}}, 5.001),
+                  scalar("tuner.evaluations", {}, 110.0)};
+
+  const auto movers = attribute_metrics(base, cand);
+  // p2p moved 0.02% — below the default 1% floor; the collective phase
+  // (+150%) outranks the evaluation count (+10%).
+  ASSERT_EQ(movers.size(), 2u);
+  EXPECT_EQ(movers[0].key, "mpi.time_s{kind=collective}");
+  EXPECT_DOUBLE_EQ(movers[0].rel_delta, 1.5);
+  EXPECT_EQ(movers[1].key, "tuner.evaluations");
+}
+
+TEST(Compare, AttributeMetricsEmptyWithoutBothSnapshots) {
+  auto base = report_with({record("a", {1.0})});
+  auto cand = report_with({record("a", {1.0})});
+  base.metrics = {scalar("x", {}, 1.0)};
+  EXPECT_TRUE(attribute_metrics(base, cand).empty());
+  EXPECT_TRUE(attribute_metrics(cand, base).empty());
+}
+
+TEST(Compare, AttributeMetricsHandlesAppearFromZero) {
+  auto base = report_with({record("a", {1.0})});
+  auto cand = report_with({record("a", {1.0})});
+  base.metrics = {scalar("drops", {}, 0.0)};
+  cand.metrics = {scalar("drops", {}, 42.0)};
+  const auto movers = attribute_metrics(base, cand);
+  ASSERT_EQ(movers.size(), 1u);
+  EXPECT_DOUBLE_EQ(movers[0].rel_delta, 1.0);  // "appeared", sign only
+}
+
 TEST(Compare, ThresholdSigmaIsTunable) {
   // Delta of ~4 pooled sigma: default threshold (3) fires, a stricter
   // threshold of 6 does not.

@@ -5,6 +5,7 @@
 #include "arch/platforms.h"
 #include "kernels/magicfilter.h"
 #include "kernels/membench.h"
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace mb::core {
@@ -123,6 +124,43 @@ TEST(Tuner, InstanceSpecificTuning) {
     EXPECT_GT(report.evaluations, 0u) << key;
     EXPECT_EQ(report.best.get("elem_bits"), 64) << key;  // NEON D-loads win
   }
+}
+
+TEST(Tuner, TrajectoryIsMonotoneBestSoFar) {
+  Tuner tuner(Harness(factory(arch::tegra2_node()), nullptr, quick_plan()),
+              Direction::kMinimize);
+  ParamSpace space;
+  space.add_range("unroll", 1, 12);
+  for (const Strategy s : {Strategy::kExhaustive, Strategy::kRandom}) {
+    const auto report = tuner.tune(space, magicfilter_workload(), s, 8);
+    ASSERT_FALSE(report.trajectory.empty());
+    // Strictly improving values at strictly increasing evaluation counts,
+    // ending at the reported best.
+    for (std::size_t i = 1; i < report.trajectory.size(); ++i) {
+      EXPECT_GT(report.trajectory[i].first, report.trajectory[i - 1].first);
+      EXPECT_LT(report.trajectory[i].second, report.trajectory[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(report.trajectory.back().second, report.best_value);
+  }
+}
+
+TEST(Tuner, PublishesEvaluationMetrics) {
+  obs::Registry& registry = obs::metrics();
+  const double evals0 =
+      registry.counter("tuner.evaluations", {{"strategy", "exhaustive"}})
+          .value();
+  Tuner tuner(Harness(factory(arch::tegra2_node()), nullptr, quick_plan()),
+              Direction::kMinimize);
+  ParamSpace space;
+  space.add_range("unroll", 1, 4);
+  const auto report = tuner.tune(space, magicfilter_workload());
+  EXPECT_DOUBLE_EQ(
+      registry.counter("tuner.evaluations", {{"strategy", "exhaustive"}})
+              .value() -
+          evals0,
+      static_cast<double>(report.evaluations));
+  EXPECT_DOUBLE_EQ(registry.gauge("tuner.best_value").value(),
+                   report.best_value);
 }
 
 TEST(Tuner, StrategyNames) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/topology.h"
+#include "obs/metrics.h"
 #include "support/check.h"
 #include "support/units.h"
 
@@ -143,6 +144,54 @@ TEST(Runtime, ComputeIsTraced) {
   const auto recs = h.trace.filter(trace::EventKind::kCompute, "work");
   EXPECT_EQ(recs.size(), 2u);
   EXPECT_NEAR(recs[0].duration(), 0.5, 1e-12);
+}
+
+TEST(Runtime, PublishesTrafficAndTimeMetrics) {
+  // The runtime feeds the global registry; measure by before/after deltas
+  // so other tests' runs in this process don't interfere.
+  obs::Registry& registry = obs::metrics();
+  const double sent0 = registry.counter("mpi.bytes_sent", {{"rank", "0"}}).value();
+  const double recv1 =
+      registry.counter("mpi.bytes_received", {{"rank", "1"}}).value();
+  const double p2p0 = registry.counter("mpi.time_s", {{"kind", "p2p"}}).value();
+  const double wait0 =
+      registry.counter("mpi.time_s", {{"kind", "wait"}}).value();
+  const double coll0 =
+      registry.counter("mpi.time_s", {{"kind", "collective"}}).value();
+
+  Harness h(2);
+  Program p(2);
+  p.rank(0).push_back(Op::compute(0.1));
+  p.rank(0).push_back(Op::send(1, 1 << 16, 7));
+  p.rank(1).push_back(Op::recv(0, 7));  // posted early: rank 1 waits
+  h.run(p);
+
+  EXPECT_DOUBLE_EQ(
+      registry.counter("mpi.bytes_sent", {{"rank", "0"}}).value() - sent0,
+      static_cast<double>(1 << 16));
+  EXPECT_DOUBLE_EQ(
+      registry.counter("mpi.bytes_received", {{"rank", "1"}}).value() - recv1,
+      static_cast<double>(1 << 16));
+  EXPECT_GT(registry.counter("mpi.time_s", {{"kind", "p2p"}}).value(), p2p0);
+  // Rank 1 blocked from t=0 until the message landed after rank 0's
+  // 0.1 s compute: at least that much wait time was accounted.
+  EXPECT_GT(registry.counter("mpi.time_s", {{"kind", "wait"}}).value() - wait0,
+            0.1);
+  EXPECT_DOUBLE_EQ(
+      registry.counter("mpi.time_s", {{"kind", "collective"}}).value(), coll0);
+}
+
+TEST(Runtime, CollectiveTimeAccountedToCollectiveCounter) {
+  obs::Registry& registry = obs::metrics();
+  const double coll0 =
+      registry.counter("mpi.time_s", {{"kind", "collective"}}).value();
+  Harness h(2);
+  Program p(2);
+  for (std::uint32_t r = 0; r < 2; ++r)
+    p.rank(r).push_back(Op::alltoallv({1 << 16, 1 << 16}));
+  h.run(p);
+  EXPECT_GT(
+      registry.counter("mpi.time_s", {{"kind", "collective"}}).value(), coll0);
 }
 
 TEST(Runtime, RanksMismatchRejected) {

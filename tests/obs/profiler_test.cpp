@@ -1,0 +1,173 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "support/check.h"
+#include "support/json.h"
+
+namespace mb::obs {
+namespace {
+
+/// Profiler on a manually advanced clock for exact wall-time assertions.
+struct Fixture {
+  Registry registry;
+  Profiler profiler{&registry};
+  double t = 0.0;
+
+  Fixture() {
+    profiler.set_clock([this] { return t; });
+    profiler.set_enabled(true);
+  }
+};
+
+TEST(Profiler, DisabledByDefaultRecordsNothing) {
+  Profiler p;
+  {
+    ScopedSpan span(p, "work");
+  }
+  EXPECT_FALSE(p.enabled());
+  EXPECT_TRUE(p.root().children.empty());
+}
+
+TEST(Profiler, NestedSpansFormHierarchyWithSelfTime) {
+  Fixture f;
+  f.profiler.enter("outer");
+  f.t = 1.0;
+  f.profiler.enter("inner");
+  f.t = 3.0;
+  f.profiler.exit();
+  f.t = 4.0;
+  f.profiler.exit();
+
+  ASSERT_EQ(f.profiler.root().children.size(), 1u);
+  const SpanNode& outer = f.profiler.root().children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.calls, 1u);
+  EXPECT_DOUBLE_EQ(outer.total_s, 4.0);
+  EXPECT_DOUBLE_EQ(outer.self_s(), 2.0);
+  const SpanNode* inner = outer.child("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_DOUBLE_EQ(inner->total_s, 2.0);
+}
+
+TEST(Profiler, ReenteringASpanAggregatesIntoOneNode) {
+  Fixture f;
+  for (int i = 0; i < 3; ++i) {
+    f.profiler.enter("loop");
+    f.t += 0.5;
+    f.profiler.exit();
+  }
+  ASSERT_EQ(f.profiler.root().children.size(), 1u);
+  EXPECT_EQ(f.profiler.root().children[0].calls, 3u);
+  EXPECT_DOUBLE_EQ(f.profiler.root().children[0].total_s, 1.5);
+}
+
+TEST(Profiler, ScopedSpanUnwindsOnException) {
+  Fixture f;
+  try {
+    ScopedSpan outer(f.profiler, "outer");
+    ScopedSpan inner(f.profiler, "inner");
+    throw std::runtime_error("workload failed");
+  } catch (const std::runtime_error&) {
+  }
+  // Unwinding closed both spans; the hierarchy is consistent.
+  EXPECT_EQ(f.profiler.open_depth(), 0u);
+  ASSERT_EQ(f.profiler.root().children.size(), 1u);
+  const SpanNode& outer = f.profiler.root().children[0];
+  EXPECT_EQ(outer.calls, 1u);
+  ASSERT_NE(outer.child("inner"), nullptr);
+  EXPECT_EQ(outer.child("inner")->calls, 1u);
+}
+
+TEST(Profiler, CounterDeltasAttachToTheSpanThatMovedThem) {
+  Fixture f;
+  Counter& bytes = f.registry.counter("bytes", {{"rank", "0"}});
+  Counter& idle = f.registry.counter("idle");
+  bytes.add(100.0);  // movement before the span must not be attributed
+
+  f.profiler.enter("work");
+  bytes.add(42.0);
+  f.profiler.exit();
+
+  const SpanNode& work = f.profiler.root().children[0];
+  ASSERT_EQ(work.counter_deltas.size(), 1u);  // zero-delta 'idle' omitted
+  EXPECT_EQ(work.counter_deltas[0].first, "bytes{rank=0}");
+  EXPECT_DOUBLE_EQ(work.counter_deltas[0].second, 42.0);
+  EXPECT_DOUBLE_EQ(idle.value(), 0.0);
+}
+
+TEST(Profiler, CountersRegisteredMidSpanStillAttribute) {
+  Fixture f;
+  f.profiler.enter("work");
+  f.registry.counter("born_inside").add(7.0);
+  f.profiler.exit();
+  const SpanNode& work = f.profiler.root().children[0];
+  ASSERT_EQ(work.counter_deltas.size(), 1u);
+  EXPECT_EQ(work.counter_deltas[0].first, "born_inside");
+  EXPECT_DOUBLE_EQ(work.counter_deltas[0].second, 7.0);
+}
+
+TEST(Profiler, ToggleWhileOpenThrows) {
+  Fixture f;
+  f.profiler.enter("open");
+  EXPECT_THROW(f.profiler.set_enabled(false), support::Error);
+  EXPECT_THROW(f.profiler.reset(), support::Error);
+  f.profiler.exit();
+  EXPECT_NO_THROW(f.profiler.set_enabled(false));
+}
+
+TEST(Profiler, EnablingResetsPriorSpans) {
+  Fixture f;
+  f.profiler.enter("old");
+  f.profiler.exit();
+  f.profiler.set_enabled(true);
+  EXPECT_TRUE(f.profiler.root().children.empty());
+}
+
+TEST(Profiler, SpansJsonRoundTrip) {
+  Fixture f;
+  f.profiler.enter("a");
+  f.registry.counter("c").add(3.0);
+  f.t = 1.0;
+  f.profiler.enter("b");
+  f.t = 1.5;
+  f.profiler.exit();
+  f.profiler.exit();
+
+  support::JsonWriter w;
+  write_spans_json(w, f.profiler.root());
+  const SpanNode parsed = parse_spans_json(support::parse_json(w.str()));
+
+  ASSERT_EQ(parsed.children.size(), 1u);
+  const SpanNode& a = parsed.children[0];
+  EXPECT_EQ(a.name, "a");
+  EXPECT_EQ(a.calls, 1u);
+  EXPECT_DOUBLE_EQ(a.total_s, 1.5);
+  ASSERT_EQ(a.counter_deltas.size(), 1u);
+  EXPECT_EQ(a.counter_deltas[0].first, "c");
+  EXPECT_DOUBLE_EQ(a.counter_deltas[0].second, 3.0);
+  ASSERT_EQ(a.children.size(), 1u);
+  EXPECT_EQ(a.children[0].name, "b");
+}
+
+TEST(Profiler, RenderSummaryShowsSpansAndDeltas) {
+  Fixture f;
+  f.profiler.enter("phase");
+  f.registry.counter("ops").add(12.0);
+  f.t = 2.0;
+  f.profiler.exit();
+  const std::string text = render_span_summary(f.profiler.root());
+  EXPECT_NE(text.find("phase"), std::string::npos);
+  EXPECT_NE(text.find("+ ops = 12"), std::string::npos);
+}
+
+TEST(Profiler, ExitWithoutEnterThrows) {
+  Fixture f;
+  EXPECT_THROW(f.profiler.exit(), support::Error);
+}
+
+}  // namespace
+}  // namespace mb::obs

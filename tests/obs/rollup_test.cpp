@@ -1,0 +1,56 @@
+#include "obs/rollup.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platforms.h"
+#include "support/rng.h"
+
+namespace mb::obs {
+namespace {
+
+TEST(Rollup, EventQueueGaugesTrackTheCalendar) {
+  sim::EventQueue queue;
+  // Three simultaneous pending events drive the high-water mark to 3.
+  queue.schedule_in(1.0, [] {});
+  queue.schedule_in(2.0, [] {});
+  queue.schedule_in(3.0, [] {});
+  queue.run();
+
+  Registry r;
+  publish_event_queue(r, queue);
+  EXPECT_DOUBLE_EQ(r.gauge("sim.events_executed").value(), 3.0);
+  EXPECT_DOUBLE_EQ(r.gauge("sim.events_scheduled").value(), 3.0);
+  EXPECT_DOUBLE_EQ(r.gauge("sim.calendar_depth").value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.gauge("sim.calendar_max_depth").value(), 3.0);
+}
+
+TEST(Rollup, MachineGaugesCoverEveryCacheLevel) {
+  sim::Machine machine(arch::snowball(), sim::PagePolicy::kConsecutive,
+                       support::Rng(1));
+  const auto region = machine.mmap(64 * 1024);
+  for (std::uint64_t off = 0; off < 64 * 1024; off += 64)
+    machine.touch(region.vaddr + off, 8, /*write=*/false);
+
+  Registry r;
+  publish_machine(r, machine);
+
+  const std::string platform = machine.platform().name;
+  const std::size_t levels = machine.hierarchy().stats().level.size();
+  ASSERT_GT(levels, 0u);
+  double total_accesses = 0.0;
+  for (std::size_t i = 0; i < levels; ++i) {
+    const Labels labels{{"level", "L" + std::to_string(i + 1)},
+                        {"platform", platform}};
+    total_accesses += r.gauge("cache.accesses", labels).value();
+    // hits + misses partition accesses at every level.
+    EXPECT_DOUBLE_EQ(r.gauge("cache.hits", labels).value() +
+                         r.gauge("cache.misses", labels).value(),
+                     r.gauge("cache.accesses", labels).value());
+  }
+  EXPECT_GT(total_accesses, 0.0);
+  EXPECT_GE(r.gauge("cache.memory_bytes", {{"platform", platform}}).value(),
+            0.0);
+}
+
+}  // namespace
+}  // namespace mb::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "support/check.h"
 
 namespace mb::trace {
@@ -58,10 +60,18 @@ TEST(Gantt, WindowClipsEvents) {
   opt.width = 10;
   opt.t1 = 2.0;  // the send is outside the window
   const std::string g = render_gantt(t, opt);
-  // Skip the legend line; the rows must contain compute but no send.
-  const std::string rows = g.substr(g.find('\n') + 1);
-  EXPECT_EQ(rows.find('s'), std::string::npos);
-  EXPECT_NE(rows.find('#'), std::string::npos);
+  // The rank rows (lines with a '|') must show compute but not the send;
+  // the clip must be announced in the footer instead of silent.
+  std::istringstream lines(g);
+  std::string line;
+  bool saw_compute = false;
+  while (std::getline(lines, line)) {
+    if (line.find('|') == std::string::npos) continue;  // legend / footer
+    EXPECT_EQ(line.find('s'), std::string::npos) << line;
+    if (line.find('#') != std::string::npos) saw_compute = true;
+  }
+  EXPECT_TRUE(saw_compute);
+  EXPECT_NE(g.find("1 events outside window"), std::string::npos);
 }
 
 TEST(Gantt, MaxRanksCut) {
@@ -71,7 +81,16 @@ TEST(Gantt, MaxRanksCut) {
   GanttOptions opt;
   opt.max_ranks = 4;
   const std::string g = render_gantt(t, opt);
-  EXPECT_NE(g.find("(+16 more ranks)"), std::string::npos);
+  EXPECT_NE(g.find("16 ranks not shown"), std::string::npos);
+}
+
+TEST(Gantt, NoFooterWhenNothingTruncated) {
+  Trace t;
+  t.add(rec(0, 0, 1, EventKind::kCompute));
+  t.add(rec(1, 0, 1, EventKind::kSend));
+  const std::string g = render_gantt(t, GanttOptions{});
+  EXPECT_EQ(g.find("not shown"), std::string::npos);
+  EXPECT_EQ(g.find("outside window"), std::string::npos);
 }
 
 TEST(Gantt, EmptyTraceHandled) {

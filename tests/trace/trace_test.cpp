@@ -49,8 +49,64 @@ TEST(Trace, ParaverExportFormat) {
   t.add(rec(2, 0.5e-6, 1.5e-6, EventKind::kCollective, "alltoallv"));
   std::ostringstream os;
   t.write_paraver(os);
-  EXPECT_NE(os.str().find("2:collective:alltoallv:0:1:0"),
+  // Microsecond timestamps are rounded, not truncated: 0.5 us -> 1 us,
+  // 1.5 us -> 2 us (so a parsed dump re-exports byte-identically).
+  EXPECT_NE(os.str().find("2:collective:alltoallv:1:2:0"),
             std::string::npos);
+}
+
+TEST(Trace, ParaverRoundTripIsFixpoint) {
+  Trace t;
+  t.add(rec(0, 0.0, 1.25e-3, EventKind::kCompute, "compute"));
+  t.add(rec(1, 0.4999e-6, 2.5001e-6, EventKind::kCollective, "alltoallv"));
+  t.add(rec(2, 3.0, 4.0, EventKind::kSend, "halo"));
+  std::ostringstream first;
+  t.write_paraver(first);
+
+  const Trace parsed = parse_paraver(first.str());
+  ASSERT_EQ(parsed.size(), t.size());
+  std::ostringstream second;
+  parsed.write_paraver(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Trace, ParseParaverReadsFieldsBack) {
+  const Trace t = parse_paraver(
+      "# comment line\n"
+      "\n"
+      "3:send:halo:10:25:4096\n");
+  ASSERT_EQ(t.size(), 1u);
+  const Record& r = t.records()[0];
+  EXPECT_EQ(r.rank, 3u);
+  EXPECT_EQ(r.kind, EventKind::kSend);
+  EXPECT_EQ(r.label, "halo");
+  EXPECT_DOUBLE_EQ(r.t0, 10e-6);
+  EXPECT_DOUBLE_EQ(r.t1, 25e-6);
+  EXPECT_EQ(r.bytes, 4096u);
+}
+
+TEST(Trace, ParseParaverAllowsColonInLabel) {
+  const Trace t = parse_paraver("0:compute:phase:outer:loop:0:7:0\n");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.records()[0].label, "phase:outer:loop");
+  EXPECT_EQ(t.records()[0].kind, EventKind::kCompute);
+}
+
+TEST(Trace, ParseParaverRejectsMalformedLines) {
+  EXPECT_THROW(parse_paraver("not a record\n"), support::Error);
+  EXPECT_THROW(parse_paraver("0:compute:x:1\n"), support::Error);       // too few
+  EXPECT_THROW(parse_paraver("0:warp:x:0:1:0\n"), support::Error);      // bad kind
+  EXPECT_THROW(parse_paraver("0:compute:x:5:1:0\n"), support::Error);   // t1 < t0
+  EXPECT_THROW(parse_paraver("0:compute:x:a:1:0\n"), support::Error);   // non-digit
+  EXPECT_THROW(parse_paraver("-1:compute:x:0:1:0\n"), support::Error);  // sign
+}
+
+TEST(Trace, ParseEventKindInvertsNames) {
+  for (const EventKind k :
+       {EventKind::kCompute, EventKind::kSend, EventKind::kRecv,
+        EventKind::kCollective, EventKind::kWait})
+    EXPECT_EQ(parse_event_kind(event_kind_name(k)), k);
+  EXPECT_THROW(parse_event_kind("warp"), support::Error);
 }
 
 TEST(AnalyzeCollectives, AllNormalWhenUniform) {

@@ -1,6 +1,7 @@
 // mbctl — command-line front end to the montblanc toolkit.
 //
 //   mbctl platforms                      list built-in platforms
+//   mbctl version                        print the tool version
 //   mbctl show <platform>                print its text description
 //   mbctl topology <platform>            hwloc-style diagram
 //   mbctl roofline <platform>            DP/SP roofs and ridge
@@ -12,6 +13,13 @@
 //   mbctl tune-magicfilter <platform>    unroll sweep + sweet spot
 //   mbctl bench-suite [opts]             curated multi-platform smoke suite
 //       --reps N --seed N
+//   mbctl fig4 [opts]                    BigDFT-on-Tibidabo trace study
+//       --ranks N --iterations N --compute-s X --transpose-mb N --seed N
+//       --trace-out PATH --json PATH
+//   mbctl trace-export [opts]            cluster timeline -> trace file
+//       --input t.prv --format paraver|chrome --out PATH
+//       (no --input: runs the default fig4 scenario first)
+//   mbctl obs-report <profile.json>      render a profile document
 //   mbctl compare <baseline.json> <candidate.json> [opts]
 //       --threshold-sigma X --min-rel X
 //
@@ -19,6 +27,12 @@
 // machine-readable mb-bench-report document (core/bench_report.h). compare
 // reads two such documents and exits 3 when a regression is confirmed
 // beyond the pooled measurement noise.
+//
+// The global flag `--profile <out.json>` (any command, any position)
+// enables the scoped-span profiler for the run and writes an mb-profile
+// document (obs/profile.h) next to the command's normal output; reports
+// written while profiling additionally embed the metrics snapshot so
+// `compare` can attribute a regression to a phase.
 //
 // <platform> is a built-in name (snowball, xeon, tegra2, exynos5) or
 // @path/to/file.platform in the arch::platform_io text format.
@@ -30,6 +44,8 @@
 #include <string>
 #include <vector>
 
+#include "apps/bigdft.h"
+#include "apps/cluster.h"
 #include "arch/platform_io.h"
 #include "arch/platforms.h"
 #include "arch/topology.h"
@@ -45,9 +61,16 @@
 #include "kernels/magicfilter.h"
 #include "kernels/membench.h"
 #include "kernels/stencil.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/profiler.h"
 #include "sim/roofline.h"
 #include "support/check.h"
 #include "support/table.h"
+#include "support/version.h"
+#include "trace/gantt.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -56,8 +79,9 @@ using mb::support::fmt_fixed;
 [[noreturn]] void usage(const std::string& error = {}) {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
-      "usage: mbctl <command> [args]\n"
+      "usage: mbctl [--profile PATH] <command> [args]\n"
       "  platforms\n"
+      "  version\n"
       "  show <platform>\n"
       "  topology <platform>\n"
       "  roofline <platform> [--json PATH]\n"
@@ -68,9 +92,17 @@ using mb::support::fmt_fixed;
       "           [--json PATH]\n"
       "  tune-magicfilter <platform> [--json PATH]\n"
       "  bench-suite [--reps N] [--seed N] [--json PATH]\n"
+      "  fig4 [--ranks N] [--iterations N] [--compute-s X]\n"
+      "           [--transpose-mb N] [--seed N] [--trace-out PATH]\n"
+      "           [--json PATH]\n"
+      "  trace-export [--input trace.prv] [--format paraver|chrome]\n"
+      "           [--out PATH] [--delay-factor X] [fig4 options]\n"
+      "  obs-report <profile.json>\n"
       "  compare <baseline.json> <candidate.json> [--threshold-sigma X]\n"
       "           [--min-rel X]\n"
       "platform: snowball | xeon | tegra2 | exynos5 | @file\n"
+      "--profile enables the scoped-span profiler and writes an mb-profile\n"
+      "document (read it back with obs-report)\n"
       "compare exit codes: 0 = no regression, 3 = confirmed regression\n";
   std::exit(error.empty() ? 0 : 2);
 }
@@ -93,12 +125,12 @@ mb::arch::Platform resolve_platform(const std::string& spec) {
 /// Trivial --key value option scanner.
 class Options {
  public:
-  Options(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
+  Options(const std::vector<std::string>& args, std::size_t first) {
+    for (std::size_t i = first; i < args.size(); ++i) {
+      const std::string& key = args[i];
       if (key.rfind("--", 0) != 0) usage("unexpected argument " + key);
-      if (i + 1 >= argc) usage(key + " needs a value");
-      values_[key.substr(2)] = argv[++i];
+      if (i + 1 >= args.size()) usage(key + " needs a value");
+      values_[key.substr(2)] = args[++i];
     }
   }
 
@@ -154,8 +186,11 @@ mb::core::PlatformInfo platform_info(const mb::arch::Platform& p) {
   return info;
 }
 
-void write_report(const mb::core::BenchReport& report,
-                  const std::string& path) {
+void write_report(mb::core::BenchReport& report, const std::string& path) {
+  // Profiled runs carry the registry snapshot so that `compare` can later
+  // attribute an end-to-end regression to the phase whose counters moved.
+  if (mb::obs::profiler().enabled() && report.metrics.empty())
+    report.metrics = mb::obs::metrics().snapshot();
   std::ofstream out(path);
   if (!out) throw mb::support::Error("cannot open " + path + " for writing");
   out << mb::core::to_json(report);
@@ -589,6 +624,146 @@ int cmd_bench_suite(Options& opts) {
   return 0;
 }
 
+// --------------------------------------------------------------------------
+// fig4 / trace-export / obs-report: the paper's Sec. IV tracing workflow.
+
+/// Runs the Fig. 4 BigDFT-on-Tibidabo scenario with CLI overrides. The
+/// defaults match bench/fig4_trace.cpp: 36 ranks on 18 dual-core boards,
+/// 12 SCF iterations, the borderline-incast 12 MiB transpose.
+mb::apps::AppRunResult run_fig4_scenario(Options& opts) {
+  mb::apps::BigDftParams params;
+  params.ranks = static_cast<std::uint32_t>(opts.get_u64("ranks", 36));
+  params.iterations =
+      static_cast<std::uint32_t>(opts.get_u64("iterations", 12));
+  params.compute_s_per_iter = opts.get_f64("compute-s", 2.0);
+  params.transpose_bytes = opts.get_u64("transpose-mb", 12) << 20;
+  params.seed = opts.get_u64("seed", 1);
+  if (params.ranks == 0 || params.ranks % 2 != 0)
+    usage("--ranks must be positive and even (dual-core Tibidabo boards)");
+  mb::obs::ScopedSpan span(mb::obs::profiler(), "fig4/simulate");
+  return mb::apps::run_bigdft(mb::apps::tibidabo_cluster(params.ranks / 2),
+                              params);
+}
+
+int cmd_fig4(Options& opts) {
+  const auto result = run_fig4_scenario(opts);
+
+  mb::trace::CollectiveReport collectives;
+  {
+    mb::obs::ScopedSpan span(mb::obs::profiler(), "fig4/analyze");
+    collectives = mb::trace::analyze_collectives(result.trace, "alltoallv");
+  }
+
+  mb::obs::ScopedSpan span(mb::obs::profiler(), "fig4/report");
+  std::cout << "=== fig4: BigDFT trace study ===\n"
+            << "ranks:               " << result.trace.ranks() << '\n'
+            << "makespan:            " << fmt_fixed(result.makespan_s, 3)
+            << " s\n"
+            << "alltoallv instances: " << collectives.instances.size() << '\n'
+            << "median duration:     "
+            << fmt_fixed(collectives.median_duration * 1e3, 2) << " ms\n"
+            << "delayed (>2x med.):  " << collectives.delayed_count << '\n'
+            << "partial delays seen: "
+            << (collectives.has_partial_delays ? "yes" : "no") << '\n'
+            << "network drops:       " << result.network_drops << "\n\n";
+
+  mb::support::Table table({"Instance", "Start (s)", "Duration (ms)",
+                            "Classification", "Slow ranks"});
+  for (const auto& inst : collectives.instances) {
+    table.add_row({std::to_string(inst.index), fmt_fixed(inst.start, 3),
+                   fmt_fixed(inst.duration * 1e3, 2),
+                   inst.delayed ? "DELAYED" : "normal",
+                   inst.delayed ? std::to_string(inst.slow_ranks) : "-"});
+  }
+  std::cout << table << '\n';
+
+  mb::trace::GanttOptions gopt;
+  gopt.width = 100;
+  gopt.max_ranks = 12;
+  gopt.t1 = 1.0;
+  std::cout << "--- timeline (first second) ---\n"
+            << mb::trace::render_gantt(result.trace, gopt) << '\n';
+
+  if (opts.has("trace-out")) {
+    const std::string path = opts.get_str("trace-out", "");
+    std::ofstream out(path);
+    if (!out)
+      throw mb::support::Error("cannot open " + path + " for writing");
+    result.trace.write_paraver(out);
+    if (!out) throw mb::support::Error("write to " + path + " failed");
+    std::cerr << "wrote " << path << " (" << result.trace.size()
+              << " trace records)\n";
+  }
+
+  if (opts.has("json")) {
+    mb::core::BenchReport report;
+    report.suite = "fig4";
+    report.tool = "mbctl";
+    report.seed = opts.get_u64("seed", 1);
+    using D = mb::core::Direction;
+    add_record(report, "fig4/makespan", "tibidabo", "seconds", "s",
+               D::kMinimize, {result.makespan_s});
+    add_record(report, "fig4/delayed_collectives", "tibidabo", "count",
+               "instances", D::kMinimize,
+               {static_cast<double>(collectives.delayed_count)});
+    add_record(report, "fig4/network_drops", "tibidabo", "count", "frames",
+               D::kMinimize, {static_cast<double>(result.network_drops)});
+    write_report(report, opts.get_str("json", ""));
+  }
+  return 0;
+}
+
+int cmd_trace_export(Options& opts) {
+  const std::string format = opts.get_str("format", "chrome");
+  if (format != "chrome" && format != "paraver")
+    usage("--format must be 'paraver' or 'chrome', got '" + format + "'");
+
+  mb::trace::Trace trace;
+  if (opts.has("input")) {
+    const std::string path = opts.get_str("input", "");
+    std::ifstream in(path);
+    if (!in) throw mb::support::Error("cannot open trace " + path);
+    mb::obs::ScopedSpan span(mb::obs::profiler(), "trace-export/parse");
+    trace = mb::trace::parse_paraver(in);
+  } else {
+    trace = run_fig4_scenario(opts).trace;
+  }
+
+  mb::obs::ScopedSpan span(mb::obs::profiler(), "trace-export/write");
+  std::ofstream file;
+  std::ostream* os = &std::cout;
+  if (opts.has("out")) {
+    const std::string path = opts.get_str("out", "");
+    file.open(path);
+    if (!file)
+      throw mb::support::Error("cannot open " + path + " for writing");
+    os = &file;
+  }
+  if (format == "chrome") {
+    mb::obs::ChromeTraceOptions copt;
+    copt.delay_factor = opts.get_f64("delay-factor", 2.0);
+    mb::obs::write_chrome_trace(*os, trace, copt);
+  } else {
+    trace.write_paraver(*os);
+  }
+  if (!*os) throw mb::support::Error("trace-export write failed");
+  if (opts.has("out"))
+    std::cerr << "wrote " << opts.get_str("out", "") << " (" << format
+              << ", " << trace.size() << " records, " << trace.ranks()
+              << " ranks)\n";
+  return 0;
+}
+
+int cmd_obs_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw mb::support::Error("cannot open profile " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::cout << mb::obs::render_profile(
+      mb::obs::profile_from_json(text.str()));
+  return 0;
+}
+
 mb::core::BenchReport load_report(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw mb::support::Error("cannot open report " + path);
@@ -631,6 +806,27 @@ int cmd_compare(const std::string& baseline_path,
             << result.unmatched << " unmatched, threshold "
             << copts.threshold_sigma << " sigma / "
             << fmt_fixed(100.0 * copts.min_rel_delta, 1) << "% min delta\n";
+
+  // When both reports embed an observability snapshot (profiled runs),
+  // name the phases whose counters moved most — attribution, not gating.
+  const auto movers = mb::core::attribute_metrics(baseline, candidate);
+  if (!movers.empty()) {
+    constexpr std::size_t kMaxMovers = 10;
+    std::cout << "\nphase attribution (informational, top metric movers):\n";
+    mb::support::Table attribution(
+        {"Metric", "Baseline", "Candidate", "Delta %"});
+    for (std::size_t i = 0; i < movers.size() && i < kMaxMovers; ++i) {
+      const auto& m = movers[i];
+      attribution.add_row({m.key, mb::support::fmt_eng(m.baseline),
+                           mb::support::fmt_eng(m.candidate),
+                           fmt_fixed(100.0 * m.rel_delta, 2)});
+    }
+    std::cout << attribution;
+    if (movers.size() > kMaxMovers)
+      std::cout << "… " << movers.size() - kMaxMovers
+                << " more metric(s) moved\n";
+  }
+
   if (result.has_regressions()) {
     std::cout << "verdict: REGRESSED\n";
     return 3;
@@ -639,33 +835,98 @@ int cmd_compare(const std::string& baseline_path,
   return 0;
 }
 
+int cmd_version() {
+  std::cout << "mbctl " << mb::support::version() << '\n';
+  return 0;
+}
+
+int dispatch(const std::vector<std::string>& args) {
+  const std::string& cmd = args[0];
+  if (cmd == "platforms") return cmd_platforms();
+  if (cmd == "version" || cmd == "--version" || cmd == "-V")
+    return cmd_version();
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") usage();
+  if (cmd == "bench-suite") {
+    Options opts(args, 1);
+    return cmd_bench_suite(opts);
+  }
+  if (cmd == "fig4") {
+    Options opts(args, 1);
+    return cmd_fig4(opts);
+  }
+  if (cmd == "trace-export") {
+    Options opts(args, 1);
+    return cmd_trace_export(opts);
+  }
+  if (cmd == "obs-report") {
+    if (args.size() < 2) usage("obs-report needs <profile.json>");
+    return cmd_obs_report(args[1]);
+  }
+  if (cmd == "compare") {
+    if (args.size() < 3) usage("compare needs <baseline.json> <candidate.json>");
+    Options opts(args, 3);
+    return cmd_compare(args[1], args[2], opts);
+  }
+  if (args.size() < 2) usage(cmd + " needs a platform argument");
+  const auto platform = resolve_platform(args[1]);
+  Options opts(args, 2);
+  if (cmd == "show") return cmd_show(platform);
+  if (cmd == "topology") return cmd_topology(platform);
+  if (cmd == "roofline") return cmd_roofline(platform, opts);
+  if (cmd == "membench") return cmd_membench(platform, opts);
+  if (cmd == "latency") return cmd_latency(platform, opts);
+  if (cmd == "tune-magicfilter") return cmd_tune_magicfilter(platform, opts);
+  usage("unknown command '" + cmd + "'");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage();
-  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  // The global --profile flag may appear anywhere; strip it before command
+  // parsing so every command accepts it uniformly.
+  std::string profile_path;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--profile") {
+      if (std::next(it) == args.end()) usage("--profile needs a value");
+      profile_path = *std::next(it);
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  if (args.empty()) usage();
+
   try {
-    if (cmd == "platforms") return cmd_platforms();
-    if (cmd == "help" || cmd == "--help" || cmd == "-h") usage();
-    if (cmd == "bench-suite") {
-      Options opts(argc, argv, 2);
-      return cmd_bench_suite(opts);
+    if (!profile_path.empty()) mb::obs::profiler().set_enabled(true);
+
+    int rc = 0;
+    {
+      // The root span wraps the whole command so obs-report's phase
+      // coverage is measured against the command's true wall time.
+      mb::obs::ScopedSpan span(mb::obs::profiler(), "mbctl/" + args[0]);
+      rc = dispatch(args);
     }
-    if (cmd == "compare") {
-      if (argc < 4) usage("compare needs <baseline.json> <candidate.json>");
-      Options opts(argc, argv, 4);
-      return cmd_compare(argv[2], argv[3], opts);
+
+    if (!profile_path.empty()) {
+      std::string command;
+      for (const auto& a : args) {
+        if (!command.empty()) command += ' ';
+        command += a;
+      }
+      const auto profile = mb::obs::capture_profile(
+          mb::obs::profiler(), mb::obs::metrics(), "mbctl", command);
+      std::ofstream out(profile_path);
+      if (!out)
+        throw mb::support::Error("cannot open " + profile_path +
+                                 " for writing");
+      out << mb::obs::to_json(profile);
+      if (!out)
+        throw mb::support::Error("write to " + profile_path + " failed");
+      std::cerr << "wrote profile " << profile_path << '\n';
     }
-    if (argc < 3) usage(cmd + " needs a platform argument");
-    const auto platform = resolve_platform(argv[2]);
-    Options opts(argc, argv, 3);
-    if (cmd == "show") return cmd_show(platform);
-    if (cmd == "topology") return cmd_topology(platform);
-    if (cmd == "roofline") return cmd_roofline(platform, opts);
-    if (cmd == "membench") return cmd_membench(platform, opts);
-    if (cmd == "latency") return cmd_latency(platform, opts);
-    if (cmd == "tune-magicfilter") return cmd_tune_magicfilter(platform, opts);
-    usage("unknown command '" + cmd + "'");
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "mbctl: " << e.what() << '\n';
     return 1;
