@@ -20,7 +20,7 @@ Harness::Harness(MachineFactory factory,
 }
 
 ResultSet Harness::run(const ParamSpace& space, const Workload& workload) {
-  support::check(space.size() > 0, "Harness::run", "empty parameter space");
+  support::check(!space.empty(), "Harness::run", "empty parameter space");
   support::check(static_cast<bool>(workload), "Harness::run",
                  "workload required");
   obs::ScopedSpan span(obs::profiler(), "harness/run");

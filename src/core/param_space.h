@@ -52,6 +52,9 @@ class ParamSpace {
 
   /// Total number of points (product of dimension sizes).
   std::size_t size() const;
+  /// True when the space has no dimensions (readability-container-size-
+  /// empty pairs this with size() so `!empty()` reads over `size() > 0`).
+  bool empty() const { return dims_.empty(); }
 
   /// The i-th point in row-major order (last dimension fastest).
   Point at(std::size_t index) const;

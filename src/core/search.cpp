@@ -17,7 +17,7 @@ bool better(double candidate, double incumbent, Direction dir) {
 
 SearchOutcome exhaustive_search(const ParamSpace& space,
                                 const Evaluator& eval, Direction dir) {
-  support::check(space.size() > 0, "exhaustive_search", "empty space");
+  support::check(!space.empty(), "exhaustive_search", "empty space");
   SearchOutcome out;
   bool first = true;
   for (std::size_t i = 0; i < space.size(); ++i) {
@@ -36,7 +36,7 @@ SearchOutcome exhaustive_search(const ParamSpace& space,
 SearchOutcome random_search(const ParamSpace& space, const Evaluator& eval,
                             Direction dir, std::size_t budget,
                             support::Rng rng) {
-  support::check(space.size() > 0, "random_search", "empty space");
+  support::check(!space.empty(), "random_search", "empty space");
   support::check(budget >= 1, "random_search", "budget must be >= 1");
   // Sample without replacement via a truncated permutation.
   auto perm = rng.permutation(space.size());
@@ -62,7 +62,7 @@ SearchOutcome hill_climb(const ParamSpace& space, const Evaluator& eval,
                          Direction dir,
                          std::optional<std::vector<std::size_t>> start,
                          std::size_t budget) {
-  support::check(space.size() > 0, "hill_climb", "empty space");
+  support::check(!space.empty(), "hill_climb", "empty space");
   std::vector<std::size_t> cur =
       start.value_or(std::vector<std::size_t>(space.dims(), 0));
   support::check(cur.size() == space.dims(), "hill_climb",

@@ -44,7 +44,7 @@ Tuner::Tuner(Harness harness, Direction direction)
 
 TuneReport Tuner::tune(const ParamSpace& space, const Workload& workload,
                        Strategy strategy, std::size_t budget) {
-  support::check(space.size() > 0, "Tuner::tune", "empty space");
+  support::check(!space.empty(), "Tuner::tune", "empty space");
   obs::ScopedSpan span(obs::profiler(), "tuner/tune");
   obs::Registry& registry = obs::metrics();
   obs::Counter& evaluations = registry.counter(

@@ -1,5 +1,7 @@
 #include "mpi/program.h"
 
+#include <string>
+
 #include "support/check.h"
 
 namespace mb::mpi {
@@ -118,7 +120,31 @@ Program::Program(std::uint32_t ranks) : per_rank_(ranks) {
   support::check(ranks >= 1, "Program", "need at least one rank");
 }
 
+namespace {
+
+/// Construction-time validation shared by Program::append/append_all:
+/// catches the alltoallv counts-length bug when the op is written, not
+/// when lowering throws halfway through a simulation.
+void check_op(const Op& op, std::uint32_t ranks) {
+  if (op.kind == Op::Kind::kAlltoallv) {
+    support::check(op.counts.size() == ranks, "Program::append",
+                   "alltoallv counts vector has " +
+                       std::to_string(op.counts.size()) +
+                       " entries but the program has " +
+                       std::to_string(ranks) +
+                       " ranks (need one byte count per destination)");
+  }
+}
+
+}  // namespace
+
+void Program::append(std::uint32_t r, const Op& op) {
+  check_op(op, ranks());
+  per_rank_.at(r).push_back(op);
+}
+
 void Program::append_all(const Op& op) {
+  check_op(op, ranks());
   for (auto& ops : per_rank_) ops.push_back(op);
 }
 
@@ -179,7 +205,10 @@ void lower_allreduce(const Op& op, std::uint32_t rank, std::uint32_t ranks,
 void lower_alltoallv(const Op& op, std::uint32_t rank, std::uint32_t ranks,
                      std::int32_t tag, std::vector<Op>& out) {
   support::check(op.counts.size() == ranks, "lower_collective",
-                 "alltoallv needs one count per destination");
+                 "alltoallv counts vector has " +
+                     std::to_string(op.counts.size()) + " entries for " +
+                     std::to_string(ranks) +
+                     " ranks (need one byte count per destination)");
   for (std::uint32_t step = 1; step < ranks; ++step) {
     const std::uint32_t dst = (rank + step) % ranks;
     const auto t = static_cast<std::int32_t>(tag + step);

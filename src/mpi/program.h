@@ -75,7 +75,15 @@ class Program {
     return per_rank_.at(r);
   }
 
-  /// Appends `op` to every rank (the common SPMD case).
+  /// Appends `op` to rank `r`, validating what is checkable at
+  /// construction time (alltoallv counts length vs rank count — the bug
+  /// that otherwise only surfaces when lowering throws mid-simulation).
+  /// rank(r).push_back remains the unchecked escape hatch the verifier
+  /// tests use to build deliberately broken programs.
+  void append(std::uint32_t r, const Op& op);
+
+  /// Appends `op` to every rank (the common SPMD case), with the same
+  /// construction-time validation as append().
   void append_all(const Op& op);
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.h"
+#include "verify/mpi_verify.h"
 
 namespace mb::mpi {
 
@@ -54,6 +55,14 @@ double Runtime::run(const Program& program) {
   const auto ranks = static_cast<std::uint32_t>(rank_to_host_.size());
   support::check(program.ranks() == ranks, "Runtime::run",
                  "program rank count must match the runtime");
+
+  if (config_.verify) {
+    const verify::Report report = verify::verify_program(program);
+    if (report.has_errors()) {
+      support::fail("Runtime::run", "program failed static verification:\n" +
+                                        verify::render_diagnostics(report));
+    }
+  }
 
   // Lower collectives. Tag bases are assigned per collective *occurrence*,
   // so the op sequences must contain collectives in the same order on

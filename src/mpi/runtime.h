@@ -27,6 +27,12 @@ struct RuntimeConfig {
   /// Intra-node transfers (ranks on the same host) bypass the network:
   double intra_latency_s = 3e-6;
   double intra_bandwidth_bytes_per_s = 1.2e9;
+  /// Statically verify the program before executing it (verify::
+  /// verify_program). Error findings abort the run with the rendered
+  /// diagnostics — naming the rank, op and wait-for cycle — instead of
+  /// the event loop draining into an opaque "deadlock" failure. Opt out
+  /// for programs known-clean when re-running in a hot loop.
+  bool verify = true;
 };
 
 class Runtime {

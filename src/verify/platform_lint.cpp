@@ -1,0 +1,201 @@
+#include "verify/platform_lint.h"
+
+#include <cmath>
+#include <string>
+
+#include "verify/rules.h"
+
+namespace mb::verify {
+namespace {
+
+// Plausibility window for modelled machines: the paper's platforms span
+// 1 GHz Cortex-A9 boards to a 2.66 GHz Nehalem; anything far outside is
+// almost certainly a units mistake (MHz vs Hz, W vs mW).
+constexpr double kMinPlausibleHz = 100e6;
+constexpr double kMaxPlausibleHz = 6e9;
+constexpr double kMaxPlausibleWatts = 400.0;
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::string fmt(double v) {
+  std::string s = std::to_string(v);
+  return s;
+}
+
+void lint_link(Report& report, const net::LinkSpec& link,
+               const std::string& key) {
+  if (!(link.bandwidth_bytes_per_s > 0.0)) {
+    report.add(kRuleLinkBandwidth,
+               Location::config(key + ".bandwidth_bytes_per_s"),
+               "link bandwidth " + fmt(link.bandwidth_bytes_per_s) +
+                   " B/s is not positive",
+               "a GbE link is 125e6 B/s");
+  }
+  if (link.latency_s < 0.0 || std::isnan(link.latency_s)) {
+    report.add(kRuleLinkLatency, Location::config(key + ".latency_s"),
+               "link latency " + fmt(link.latency_s) + " s is negative",
+               "store-and-forward GbE switches add tens of microseconds");
+  }
+  if (!(link.buffer_bytes > 0.0)) {
+    report.add(kRuleSwitchBuffer, Location::config(key + ".buffer_bytes"),
+               "output-port buffer " + fmt(link.buffer_bytes) +
+                   " B is not positive",
+               "cheap GbE switches buffer ~100 KiB per port; use a large "
+               "value to disable drops");
+  }
+  if (!(link.retransmit_timeout_s > 0.0)) {
+    report.add(kRuleSwitchBuffer,
+               Location::config(key + ".retransmit_timeout_s"),
+               "retransmit timeout " + fmt(link.retransmit_timeout_s) +
+                   " s is not positive",
+               "Linux TCP's minimum RTO is 0.2 s");
+  }
+}
+
+}  // namespace
+
+Report lint_platform(const arch::Platform& platform) {
+  Report report;
+  const std::string p = platform.name.empty() ? "platform" : platform.name;
+
+  if (platform.cores == 0) {
+    report.add(kRuleFreqBounds, Severity::kError,
+               Location::config(p + ".cores"),
+               "platform has zero cores", "every modelled chip needs at "
+               "least one core");
+  }
+  const double hz = platform.core.freq_hz;
+  if (!(hz > 0.0)) {
+    report.add(kRuleFreqBounds, Severity::kError,
+               Location::config(p + ".core.freq_hz"),
+               "core frequency " + fmt(hz) + " Hz is not positive",
+               "set the clock in Hz (1 GHz = 1e9)");
+  } else if (hz < kMinPlausibleHz || hz > kMaxPlausibleHz) {
+    report.add(kRuleFreqBounds, Location::config(p + ".core.freq_hz"),
+               "core frequency " + fmt(hz) +
+                   " Hz is outside the plausible range [100 MHz, 6 GHz]",
+               "check for a MHz-vs-Hz units mistake");
+  }
+
+  if (!(platform.power_w > 0.0)) {
+    report.add(kRulePowerBounds, Severity::kError,
+               Location::config(p + ".power_w"),
+               "platform power " + fmt(platform.power_w) +
+                   " W is not positive",
+               "the paper uses nameplate power (2.5 W Snowball, 95 W "
+               "Xeon TDP)");
+  } else if (platform.power_w > kMaxPlausibleWatts) {
+    report.add(kRulePowerBounds, Location::config(p + ".power_w"),
+               "platform power " + fmt(platform.power_w) +
+                   " W exceeds the plausible single-node range (400 W)",
+               "check for a mW-vs-W units mistake");
+  }
+
+  for (std::size_t i = 0; i < platform.caches.size(); ++i) {
+    const arch::CacheConfig& cache = platform.caches[i];
+    const std::string key = p + ".caches[" + std::to_string(i) + "]";
+    if (!is_pow2(cache.line_bytes)) {
+      report.add(kRuleCacheLinePow2, Location::config(key + ".line_bytes"),
+                 cache.name + " line size " +
+                     std::to_string(cache.line_bytes) +
+                     " B is not a power of two",
+                 "real caches use power-of-two lines (32/64/128 B)");
+    }
+    if (cache.associativity == 0 || cache.size_bytes == 0) {
+      report.add(kRuleCacheGeometry, Location::config(key),
+                 cache.name + " has zero size or zero ways",
+                 "size, line and associativity must all be positive");
+    } else if (is_pow2(cache.line_bytes)) {
+      const std::uint64_t way_bytes =
+          static_cast<std::uint64_t>(cache.line_bytes) * cache.associativity;
+      if (cache.size_bytes % way_bytes != 0 || !is_pow2(cache.sets())) {
+        report.add(kRuleCacheGeometry, Location::config(key),
+                   cache.name + " geometry " +
+                       std::to_string(cache.size_bytes) + " B / (" +
+                       std::to_string(cache.line_bytes) + " B x " +
+                       std::to_string(cache.associativity) +
+                       " ways) does not give a power-of-two set count",
+                   "size must equal sets * line * ways with sets a power "
+                   "of two");
+      }
+    }
+    if (i > 0 && cache.size_bytes < platform.caches[i - 1].size_bytes) {
+      report.add(kRuleCacheInversion, Location::config(key + ".size_bytes"),
+                 cache.name + " (" + std::to_string(cache.size_bytes) +
+                     " B) is smaller than " + platform.caches[i - 1].name +
+                     " (" + std::to_string(platform.caches[i - 1].size_bytes) +
+                     " B) below it",
+                 "cache levels are expected to grow towards memory");
+    }
+  }
+
+  if (!(platform.mem.bandwidth_bytes_per_s > 0.0)) {
+    report.add(kRuleMemConfig,
+               Location::config(p + ".mem.bandwidth_bytes_per_s"),
+               "memory bandwidth " + fmt(platform.mem.bandwidth_bytes_per_s) +
+                   " B/s is not positive",
+               "set the sustainable chip bandwidth in B/s");
+  }
+  if (platform.mem.latency_ns < 0.0 || std::isnan(platform.mem.latency_ns)) {
+    report.add(kRuleMemConfig, Location::config(p + ".mem.latency_ns"),
+               "memory latency " + fmt(platform.mem.latency_ns) +
+                   " ns is negative",
+               "loaded DRAM latency is typically 50-200 ns");
+  }
+  if (platform.mem.total_bytes == 0) {
+    report.add(kRuleMemConfig, Location::config(p + ".mem.total_bytes"),
+               "installed memory capacity is zero",
+               "set the installed DRAM capacity in bytes");
+  }
+  if (!is_pow2(platform.mem.page_bytes)) {
+    report.add(kRuleMemConfig, Location::config(p + ".mem.page_bytes"),
+               "page size " + std::to_string(platform.mem.page_bytes) +
+                   " B is not a power of two",
+               "OS pages are powers of two (4096 B typical)");
+  }
+
+  publish_diagnostics(report, "lint");
+  return report;
+}
+
+Report lint_tree(const net::TreeParams& params, std::string_view name) {
+  Report report;
+  const std::string p(name.empty() ? "tree" : name);
+  if (params.nodes == 0) {
+    report.add(kRuleTreeShape, Location::config(p + ".nodes"),
+               "tree topology has zero nodes",
+               "a cluster needs at least one host");
+  }
+  if (params.switch_ports == 0) {
+    report.add(kRuleTreeShape, Location::config(p + ".switch_ports"),
+               "switches have zero host ports",
+               "Tibidabo uses 48-port GbE switches");
+  }
+  lint_link(report, params.host_link, p + ".host_link");
+  lint_link(report, params.uplink, p + ".uplink");
+  publish_diagnostics(report, "lint");
+  return report;
+}
+
+Report lint_rank_count(std::uint64_t ranks, std::uint32_t cores_per_node,
+                       std::string_view context) {
+  Report report;
+  const std::string key(context.empty() ? "ranks" : context);
+  if (ranks == 0) {
+    report.add(kRuleRankCount, Location::config(key),
+               "rank count must be positive",
+               "one rank per core: use a multiple of " +
+                   std::to_string(cores_per_node));
+  } else if (cores_per_node != 0 && ranks % cores_per_node != 0) {
+    report.add(kRuleRankCount, Location::config(key),
+               "rank count " + std::to_string(ranks) +
+                   " is not a multiple of " + std::to_string(cores_per_node) +
+                   " cores per node",
+               "whole boards must be occupied (dual-core Tibidabo nodes "
+               "need an even rank count)");
+  }
+  publish_diagnostics(report, "lint");
+  return report;
+}
+
+}  // namespace mb::verify

@@ -1,0 +1,39 @@
+// Pass 2: platform / model linter.
+//
+// Rule-registry-driven checks over the declarative machine and network
+// models: arch::Platform (cache geometry, memory system, frequency/power
+// plausibility) and net::TreeParams (link bandwidth/latency, switch
+// buffering, tree shape), plus the rank-count configuration rule that
+// mbctl's scenario commands share (CFG001). Unlike Platform::validate(),
+// which throws on the first violation, the linter collects every finding
+// into a Report so one run surfaces the full state of a model.
+//
+// Locations are config keys ("snowball.caches[0].line_bytes") rather than
+// (rank, op) pairs. Each lint_* call publishes its severity tallies to
+// obs::metrics() under pass="lint"; merging reports afterwards does not
+// double-count.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "arch/platform.h"
+#include "net/topology.h"
+#include "verify/diagnostics.h"
+
+namespace mb::verify {
+
+/// Lints a machine model; findings carry PLT001..PLT006.
+Report lint_platform(const arch::Platform& platform);
+
+/// Lints a tree-interconnect parameter set; findings carry NET001..NET004.
+/// `name` prefixes the config keys ("tibidabo", "upgraded", ...).
+Report lint_tree(const net::TreeParams& params, std::string_view name);
+
+/// Checks a requested rank count against a node's core count (CFG001):
+/// ranks must be positive and a multiple of cores_per_node so whole
+/// boards are occupied. `context` names the setting ("--ranks", ...).
+Report lint_rank_count(std::uint64_t ranks, std::uint32_t cores_per_node,
+                       std::string_view context);
+
+}  // namespace mb::verify

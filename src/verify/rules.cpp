@@ -1,0 +1,59 @@
+#include "verify/rules.h"
+
+namespace mb::verify {
+
+const std::vector<RuleInfo>& all_rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {kRuleUnmatchedSend, "mpi", Severity::kError,
+       "send posted but no rank ever receives the message"},
+      {kRuleOrphanedRecv, "mpi", Severity::kError,
+       "receive blocks on a (peer, tag) no remaining send will satisfy"},
+      {kRuleDeadlockCycle, "mpi", Severity::kError,
+       "wait-for-graph cycle: ranks block on each other forever"},
+      {kRuleCollectiveMismatch, "mpi", Severity::kError,
+       "collective sequence differs across ranks (kind/root/bytes/count)"},
+      {kRuleSelfSend, "mpi", Severity::kWarn,
+       "rank sends a point-to-point message to itself"},
+      {kRulePeerOutOfRange, "mpi", Severity::kError,
+       "send/recv peer is not a valid rank"},
+      {kRuleRootOutOfRange, "mpi", Severity::kError,
+       "collective root is not a valid rank"},
+      {kRuleAlltoallvCounts, "mpi", Severity::kError,
+       "alltoallv counts vector length differs from the rank count"},
+      {kRuleBadComputeSeconds, "mpi", Severity::kError,
+       "compute op has negative or non-finite seconds"},
+      {kRuleTagOutOfRange, "mpi", Severity::kError,
+       "user tag collides with the reserved collective tag space"},
+      {kRuleCacheLinePow2, "lint", Severity::kError,
+       "cache line size is zero or not a power of two"},
+      {kRuleCacheInversion, "lint", Severity::kWarn,
+       "cache level is larger than the level above it (capacity inversion)"},
+      {kRuleCacheGeometry, "lint", Severity::kError,
+       "cache size/ways do not divide into a power-of-two set count"},
+      {kRuleFreqBounds, "lint", Severity::kWarn,
+       "core frequency outside the plausible range for modelled machines"},
+      {kRulePowerBounds, "lint", Severity::kWarn,
+       "platform power outside the plausible range (nameplate accounting)"},
+      {kRuleMemConfig, "lint", Severity::kError,
+       "memory system has non-positive bandwidth/latency or bad page size"},
+      {kRuleLinkBandwidth, "lint", Severity::kError,
+       "network link bandwidth is zero or negative"},
+      {kRuleLinkLatency, "lint", Severity::kError,
+       "network link latency is negative"},
+      {kRuleSwitchBuffer, "lint", Severity::kError,
+       "switch buffer or retransmit timeout is not positive"},
+      {kRuleTreeShape, "lint", Severity::kError,
+       "tree topology has zero nodes or zero switch ports"},
+      {kRuleRankCount, "lint", Severity::kError,
+       "rank count is zero or not a multiple of cores per node"},
+  };
+  return kRules;
+}
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& rule : all_rules())
+    if (rule.id == id) return &rule;
+  return nullptr;
+}
+
+}  // namespace mb::verify

@@ -1,5 +1,7 @@
 #include "mpi/runtime.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "net/topology.h"
@@ -85,6 +87,44 @@ TEST(Runtime, TagMismatchDeadlocks) {
   p.rank(0).push_back(Op::send(1, 100, 1));
   p.rank(1).push_back(Op::recv(0, 2));  // wrong tag
   EXPECT_THROW(h.run(p), support::Error);
+}
+
+TEST(Runtime, VerifierNamesTheFailureBeforeExecution) {
+  // With verification on (the default), the pre-run pass replaces the
+  // opaque end-of-simulation deadlock failure with a diagnostic naming
+  // the rule and the blocked (rank, op).
+  Harness h(2);
+  Program p(2);
+  p.rank(0).push_back(Op::send(1, 100, 1));
+  p.rank(1).push_back(Op::recv(0, 2));  // wrong tag
+  try {
+    h.run(p);
+    FAIL() << "expected support::Error";
+  } catch (const support::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("MPI002"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1 op 0"), std::string::npos) << what;
+  }
+}
+
+TEST(Runtime, VerifyOptOutFallsBackToRuntimeDeadlockCheck) {
+  Harness h(2);
+  Program p(2);
+  p.rank(0).push_back(Op::send(1, 100, 1));
+  p.rank(1).push_back(Op::recv(0, 2));  // wrong tag
+  std::vector<net::NodeId> hosts{h.topo.hosts[0], h.topo.hosts[1]};
+  RuntimeConfig config;
+  config.verify = false;
+  Runtime rt(h.queue, h.network, hosts, config, nullptr);
+  try {
+    rt.run(p);
+    FAIL() << "expected support::Error";
+  } catch (const support::Error& e) {
+    // The event loop drains and only then reports — no rule id available.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+    EXPECT_EQ(what.find("MPI002"), std::string::npos) << what;
+  }
 }
 
 TEST(Runtime, BarrierSynchronizesRanks) {

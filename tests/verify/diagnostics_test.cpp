@@ -1,0 +1,134 @@
+#include "verify/diagnostics.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "support/check.h"
+#include "support/json.h"
+#include "verify/rules.h"
+
+namespace mb::verify {
+namespace {
+
+TEST(Rules, RegistryCoversAllPublishedIds) {
+  const auto& rules = all_rules();
+  ASSERT_GE(rules.size(), 12u);  // the issue's floor; we ship 21
+  std::set<std::string_view> ids;
+  for (const RuleInfo& rule : rules) {
+    EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate id " << rule.id;
+    EXPECT_EQ(rule.id.size(), 6u) << rule.id;
+    EXPECT_TRUE(rule.pass == "mpi" || rule.pass == "lint") << rule.id;
+    EXPECT_FALSE(rule.summary.empty()) << rule.id;
+  }
+}
+
+TEST(Rules, FindRule) {
+  ASSERT_NE(find_rule(kRuleDeadlockCycle), nullptr);
+  EXPECT_EQ(find_rule(kRuleDeadlockCycle)->severity, Severity::kError);
+  ASSERT_NE(find_rule(kRuleSelfSend), nullptr);
+  EXPECT_EQ(find_rule(kRuleSelfSend)->severity, Severity::kWarn);
+  EXPECT_EQ(find_rule("XXX999"), nullptr);
+}
+
+TEST(Diagnostics, LocationFlavours) {
+  const Location p = Location::program(3, 7);
+  EXPECT_TRUE(p.in_program);
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.to_string(), "rank 3 op 7");
+  const Location c = Location::config("snowball.power_w");
+  EXPECT_FALSE(c.in_program);
+  EXPECT_EQ(c.to_string(), "snowball.power_w");
+  EXPECT_TRUE(Location::none().empty());
+}
+
+TEST(Diagnostics, AddUsesRegistryDefaultSeverity) {
+  Report report;
+  report.add(kRuleSelfSend, Location::program(0, 0), "self send");
+  report.add(kRuleDeadlockCycle, Location::program(1, 2), "cycle");
+  EXPECT_EQ(report.warnings(), 1u);
+  EXPECT_EQ(report.errors(), 1u);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_rule(kRuleSelfSend));
+  EXPECT_FALSE(report.has_rule(kRuleOrphanedRecv));
+}
+
+TEST(Diagnostics, ExplicitSeverityOverride) {
+  Report report;
+  report.add(kRuleDeadlockCycle, Severity::kNote, Location::program(2, 0),
+             "participant");
+  EXPECT_EQ(report.errors(), 0u);
+  EXPECT_EQ(report.notes(), 1u);
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(Diagnostics, UnknownRuleIdThrows) {
+  Report report;
+  EXPECT_THROW(report.add("NOPE42", Location::none(), "bad"),
+               support::Error);
+}
+
+TEST(Diagnostics, MergeConcatenates) {
+  Report a;
+  a.add(kRuleCacheLinePow2, Location::config("x.line"), "bad line");
+  Report b;
+  b.add(kRuleSelfSend, Location::program(0, 1), "self");
+  a.merge(b);
+  EXPECT_EQ(a.findings().size(), 2u);
+  EXPECT_EQ(a.errors(), 1u);
+  EXPECT_EQ(a.warnings(), 1u);
+}
+
+TEST(Diagnostics, RenderEmptyAndNonEmpty) {
+  Report report;
+  EXPECT_EQ(render_diagnostics(report), "no findings\n");
+  report.add(kRuleMemConfig, Location::config("p.mem"), "zero capacity",
+             "set total_bytes");
+  const std::string text = render_diagnostics(report);
+  EXPECT_NE(text.find("PLT006"), std::string::npos);
+  EXPECT_NE(text.find("p.mem"), std::string::npos);
+  EXPECT_NE(text.find("[hint: set total_bytes]"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s), 0 warning(s), 0 note(s)"),
+            std::string::npos);
+}
+
+TEST(Diagnostics, JsonDocumentRoundTrips) {
+  Report report;
+  report.add(kRuleOrphanedRecv, Location::program(5, 9), "stuck recv",
+             "check the tag");
+  report.add(kRulePowerBounds, Location::config("big.power_w"), "too hot");
+  const auto doc = support::parse_json(diagnostics_to_json(report, "unit"));
+  EXPECT_EQ(doc.at("schema").as_string(), "mb-diagnostics");
+  EXPECT_EQ(doc.at("schema_version").as_number(), 1.0);
+  EXPECT_EQ(doc.at("tool").as_string(), "mb_verify");
+  EXPECT_EQ(doc.at("source").as_string(), "unit");
+  EXPECT_EQ(doc.at("counts").at("error").as_number(), 1.0);
+  EXPECT_EQ(doc.at("counts").at("warn").as_number(), 1.0);
+  const auto& findings = doc.at("findings").as_array();
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].at("rule").as_string(), "MPI002");
+  EXPECT_EQ(findings[0].at("rank").as_number(), 5.0);
+  EXPECT_EQ(findings[0].at("op_index").as_number(), 9.0);
+  EXPECT_EQ(findings[0].at("hint").as_string(), "check the tag");
+  EXPECT_EQ(findings[1].at("config_key").as_string(), "big.power_w");
+  EXPECT_EQ(findings[1].find("rank"), nullptr);
+}
+
+TEST(Diagnostics, PublishFeedsMetricsRegistry) {
+  obs::Registry& registry = obs::metrics();
+  auto& runs = registry.counter("verify.runs", {{"pass", "unit-test"}});
+  auto& errors =
+      registry.counter("verify.findings", {{"severity", "error"}});
+  const double runs_before = runs.value();
+  const double errors_before = errors.value();
+  Report report;
+  report.add(kRuleLinkBandwidth, Location::config("t.link"), "dead link");
+  publish_diagnostics(report, "unit-test");
+  EXPECT_EQ(runs.value(), runs_before + 1.0);
+  EXPECT_EQ(errors.value(), errors_before + 1.0);
+}
+
+}  // namespace
+}  // namespace mb::verify

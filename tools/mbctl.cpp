@@ -22,6 +22,16 @@
 //   mbctl obs-report <profile.json>      render a profile document
 //   mbctl compare <baseline.json> <candidate.json> [opts]
 //       --threshold-sigma X --min-rel X
+//   mbctl lint <platform|tree>           platform/model linter (pass 2)
+//       targets: any <platform>, tibidabo-tree, upgraded-tree [--nodes N]
+//       --json PATH
+//   mbctl verify-mpi <app> [opts]        static MPI program verifier (pass 1)
+//       apps: fig4 | bigdft | hpl | specfem | demo-deadlock
+//       --ranks N --json PATH
+//
+// lint and verify-mpi exit 0 when no error-severity findings exist and 3
+// otherwise (same convention as compare); --json writes the versioned
+// mb-diagnostics document for CI.
 //
 // Every measuring command accepts --json <path> and then also writes a
 // machine-readable mb-bench-report document (core/bench_report.h). compare
@@ -46,6 +56,8 @@
 
 #include "apps/bigdft.h"
 #include "apps/cluster.h"
+#include "apps/hpl.h"
+#include "apps/specfem.h"
 #include "arch/platform_io.h"
 #include "arch/platforms.h"
 #include "arch/topology.h"
@@ -61,6 +73,7 @@
 #include "kernels/magicfilter.h"
 #include "kernels/membench.h"
 #include "kernels/stencil.h"
+#include "net/topology.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -71,6 +84,8 @@
 #include "support/version.h"
 #include "trace/gantt.h"
 #include "trace/trace.h"
+#include "verify/mpi_verify.h"
+#include "verify/platform_lint.h"
 
 namespace {
 
@@ -100,10 +115,15 @@ using mb::support::fmt_fixed;
       "  obs-report <profile.json>\n"
       "  compare <baseline.json> <candidate.json> [--threshold-sigma X]\n"
       "           [--min-rel X]\n"
+      "  lint <platform|tibidabo-tree|upgraded-tree> [--nodes N]\n"
+      "           [--json PATH]\n"
+      "  verify-mpi <fig4|bigdft|hpl|specfem|demo-deadlock> [--ranks N]\n"
+      "           [--json PATH]\n"
       "platform: snowball | xeon | tegra2 | exynos5 | @file\n"
       "--profile enables the scoped-span profiler and writes an mb-profile\n"
       "document (read it back with obs-report)\n"
-      "compare exit codes: 0 = no regression, 3 = confirmed regression\n";
+      "compare exit codes: 0 = no regression, 3 = confirmed regression\n"
+      "lint/verify-mpi exit codes: 0 = clean, 3 = error findings\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -171,6 +191,10 @@ class Options {
  private:
   std::map<std::string, std::string> values_;
 };
+
+// Defined with the lint/verify-mpi commands below; used by every scenario
+// command that validates configuration through lint rules.
+void enforce_clean(const mb::verify::Report& report);
 
 // --------------------------------------------------------------------------
 // Structured-report helpers.
@@ -638,8 +662,7 @@ mb::apps::AppRunResult run_fig4_scenario(Options& opts) {
   params.compute_s_per_iter = opts.get_f64("compute-s", 2.0);
   params.transpose_bytes = opts.get_u64("transpose-mb", 12) << 20;
   params.seed = opts.get_u64("seed", 1);
-  if (params.ranks == 0 || params.ranks % 2 != 0)
-    usage("--ranks must be positive and even (dual-core Tibidabo boards)");
+  enforce_clean(mb::verify::lint_rank_count(params.ranks, 2, "--ranks"));
   mb::obs::ScopedSpan span(mb::obs::profiler(), "fig4/simulate");
   return mb::apps::run_bigdft(mb::apps::tibidabo_cluster(params.ranks / 2),
                               params);
@@ -840,6 +863,99 @@ int cmd_version() {
   return 0;
 }
 
+// --------------------------------------------------------------------------
+// lint / verify-mpi: the static verification layer (src/verify).
+
+void write_diagnostics_json(const mb::verify::Report& report,
+                            const std::string& source,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw mb::support::Error("cannot open " + path + " for writing");
+  out << mb::verify::diagnostics_to_json(report, source);
+  if (!out) throw mb::support::Error("write to " + path + " failed");
+  std::cerr << "wrote " << path << " (" << report.findings().size()
+            << " finding(s))\n";
+}
+
+int cmd_lint(const std::string& target, Options& opts) {
+  mb::verify::Report report;
+  std::string source;
+  if (target == "tibidabo-tree" || target == "upgraded-tree") {
+    const auto nodes =
+        static_cast<std::uint32_t>(opts.get_u64("nodes", 32));
+    const auto params = target == "tibidabo-tree"
+                            ? mb::net::tibidabo_tree(nodes)
+                            : mb::net::upgraded_tree(nodes);
+    report = mb::verify::lint_tree(params, target);
+    source = "tree:" + target;
+  } else {
+    const auto platform = resolve_platform(target);
+    report = mb::verify::lint_platform(platform);
+    source = "platform:" + platform.name;
+  }
+  std::cout << "lint " << source << ":\n"
+            << mb::verify::render_diagnostics(report);
+  if (opts.has("json"))
+    write_diagnostics_json(report, source, opts.get_str("json", ""));
+  return report.has_errors() ? 3 : 0;
+}
+
+/// Prints `report` and exits 3 when it carries error findings — the shared
+/// gate for configuration rules (CFG001 replaces the ad-hoc "--ranks must
+/// be positive and even" checks scattered through the scenario commands).
+void enforce_clean(const mb::verify::Report& report) {
+  if (!report.has_errors()) return;
+  std::cerr << mb::verify::render_diagnostics(report);
+  std::exit(3);
+}
+
+/// The seeded defect fixture behind `verify-mpi demo-deadlock`: a classic
+/// recv/send tag mismatch. Both ranks post their receive first, each with
+/// a tag the other never sends — a two-rank wait-for cycle the verifier
+/// must name end to end (rule, ranks, op indices, cycle chain).
+mb::mpi::Program demo_deadlock_program() {
+  mb::mpi::Program program(2);
+  program.append(0, mb::mpi::Op::recv(1, 2));
+  program.append(0, mb::mpi::Op::send(1, 1024, 1));
+  program.append(1, mb::mpi::Op::recv(0, 1));
+  program.append(1, mb::mpi::Op::send(0, 1024, 3));
+  return program;
+}
+
+int cmd_verify_mpi(const std::string& app, Options& opts) {
+  mb::mpi::Program program(1);
+  if (app == "fig4" || app == "bigdft") {
+    mb::apps::BigDftParams params;
+    params.ranks = static_cast<std::uint32_t>(
+        opts.get_u64("ranks", app == "fig4" ? 36 : 8));
+    enforce_clean(mb::verify::lint_rank_count(params.ranks, 2, "--ranks"));
+    program = mb::apps::bigdft_program(params);
+  } else if (app == "hpl") {
+    mb::apps::HplParams params;
+    params.ranks = static_cast<std::uint32_t>(opts.get_u64("ranks", 16));
+    enforce_clean(mb::verify::lint_rank_count(params.ranks, 2, "--ranks"));
+    program = mb::apps::hpl_program(params);
+  } else if (app == "specfem") {
+    mb::apps::SpecfemParams params;
+    params.ranks = static_cast<std::uint32_t>(opts.get_u64("ranks", 8));
+    enforce_clean(mb::verify::lint_rank_count(params.ranks, 2, "--ranks"));
+    program = mb::apps::specfem_program(params);
+  } else if (app == "demo-deadlock") {
+    program = demo_deadlock_program();
+  } else {
+    usage("unknown verify-mpi app '" + app +
+          "' (fig4|bigdft|hpl|specfem|demo-deadlock)");
+  }
+
+  const auto report = mb::verify::verify_program(program);
+  std::cout << "verify-mpi " << app << " (" << program.ranks()
+            << " ranks):\n"
+            << mb::verify::render_diagnostics(report);
+  if (opts.has("json"))
+    write_diagnostics_json(report, app, opts.get_str("json", ""));
+  return report.has_errors() ? 3 : 0;
+}
+
 int dispatch(const std::vector<std::string>& args) {
   const std::string& cmd = args[0];
   if (cmd == "platforms") return cmd_platforms();
@@ -866,6 +982,17 @@ int dispatch(const std::vector<std::string>& args) {
     if (args.size() < 3) usage("compare needs <baseline.json> <candidate.json>");
     Options opts(args, 3);
     return cmd_compare(args[1], args[2], opts);
+  }
+  if (cmd == "lint") {
+    if (args.size() < 2) usage("lint needs a platform or tree target");
+    Options opts(args, 2);
+    return cmd_lint(args[1], opts);
+  }
+  if (cmd == "verify-mpi") {
+    if (args.size() < 2)
+      usage("verify-mpi needs an app (fig4|bigdft|hpl|specfem|demo-deadlock)");
+    Options opts(args, 2);
+    return cmd_verify_mpi(args[1], opts);
   }
   if (args.size() < 2) usage(cmd + " needs a platform argument");
   const auto platform = resolve_platform(args[1]);
