@@ -1,5 +1,7 @@
 #include "apps/cluster.h"
 
+#include <utility>
+
 #include "obs/rollup.h"
 #include "support/check.h"
 
@@ -21,8 +23,23 @@ ClusterConfig upgraded_cluster(std::uint32_t nodes) {
   return c;
 }
 
+namespace {
+
+void aggregate_link(AppRunResult& result, const net::Network& network,
+                    net::NodeId a, net::NodeId b) {
+  for (const auto& [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
+    const net::LinkStats& stats = network.link_stats(src, dst);
+    result.network_drops += stats.drops;
+    result.network_retransmits += stats.retransmits;
+    result.injected_losses += stats.injected_losses;
+  }
+}
+
+}  // namespace
+
 AppRunResult run_on_cluster(const ClusterConfig& config,
-                            const mpi::Program& program) {
+                            const mpi::Program& program,
+                            const RunHooks& hooks) {
   support::check(program.ranks() == config.nodes * config.cores_per_node,
                  "run_on_cluster",
                  "program ranks must equal nodes * cores_per_node");
@@ -39,28 +56,40 @@ AppRunResult run_on_cluster(const ClusterConfig& config,
   AppRunResult result;
   mpi::Runtime runtime(queue, network, std::move(rank_to_host), config.mpi,
                        &result.trace);
-  result.makespan_s = runtime.run(program);
+  if (hooks.on_ready)
+    hooks.on_ready(queue, network, topo, runtime, result.trace);
+  const mpi::RunOutcome outcome = runtime.run_outcome(program);
+  result.completed = outcome.completed;
+  result.makespan_s = outcome.makespan_s;
+  result.failed_at_s = outcome.drained_s;
+  result.failure = outcome.failure;
 
   // The queue dies with this scope — publish its DES statistics now so a
   // profile snapshot taken after the run still sees them.
   obs::publish_event_queue(obs::metrics(), queue);
 
-  // Aggregate drop counts over host links (both directions) and uplinks.
+  // Aggregate link counters over host links (both directions) and uplinks.
   for (std::uint32_t n = 0; n < config.nodes; ++n) {
     const net::NodeId host = topo.hosts[n];
     const net::NodeId sw =
         topo.leaf_switches.size() == 1
             ? topo.leaf_switches[0]
             : topo.leaf_switches[n / config.tree.switch_ports];
-    result.network_drops += network.link_stats(host, sw).drops;
-    result.network_drops += network.link_stats(sw, host).drops;
+    aggregate_link(result, network, host, sw);
   }
   if (topo.leaf_switches.size() > 1) {
-    for (const net::NodeId sw : topo.leaf_switches) {
-      result.network_drops += network.link_stats(sw, topo.root_switch).drops;
-      result.network_drops += network.link_stats(topo.root_switch, sw).drops;
-    }
+    for (const net::NodeId sw : topo.leaf_switches)
+      aggregate_link(result, network, sw, topo.root_switch);
   }
+  return result;
+}
+
+AppRunResult run_on_cluster(const ClusterConfig& config,
+                            const mpi::Program& program) {
+  AppRunResult result = run_on_cluster(config, program, RunHooks{});
+  support::check(result.completed, "run_on_cluster",
+                 "deadlock: some ranks never completed their program\n" +
+                     result.failure.to_string());
   return result;
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "mpi/program.h"
 #include "mpi/runtime.h"
@@ -31,12 +32,38 @@ struct AppRunResult {
   double makespan_s = 0.0;
   trace::Trace trace;
   std::uint64_t network_drops = 0;  ///< buffer-overflow retransmissions
+  // Failure-aware extensions (fault injection, see src/fault):
+  bool completed = true;
+  double failed_at_s = 0.0;  ///< event-loop drain time of a failed run
+  mpi::FailureReport failure;
+  std::uint64_t network_retransmits = 0;
+  std::uint64_t injected_losses = 0;
+};
+
+/// Hook point for fault injectors: called after the cluster is wired but
+/// before the program runs, with every moving part exposed. Injectors
+/// schedule their events on the queue (crash_rank, set_link_state, ...)
+/// so they fire at simulated times inside the run.
+struct RunHooks {
+  std::function<void(sim::EventQueue&, net::Network&,
+                     const net::ClusterTopology&, mpi::Runtime&,
+                     trace::Trace&)>
+      on_ready;
 };
 
 /// Runs `program` on a freshly built cluster. The program's rank count
 /// must equal nodes * cores_per_node; ranks are packed node-major
 /// (ranks 2k and 2k+1 share node k on the dual-core Tibidabo boards).
+/// Throws on deadlock/failure (use the hooks overload to observe
+/// failures structurally).
 AppRunResult run_on_cluster(const ClusterConfig& config,
                             const mpi::Program& program);
+
+/// Like above, but invokes `hooks.on_ready` before the run and never
+/// throws on a failed run: `completed` is false and `failure` names the
+/// dead ranks and blocked ops instead.
+AppRunResult run_on_cluster(const ClusterConfig& config,
+                            const mpi::Program& program,
+                            const RunHooks& hooks);
 
 }  // namespace mb::apps

@@ -1,0 +1,217 @@
+#include "fault/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "support/check.h"
+#include "verify/fault_lint.h"
+
+namespace mb::fault {
+namespace {
+
+net::NodeId leaf_of(const net::ClusterTopology& topo,
+                    const apps::ClusterConfig& config, std::uint32_t node) {
+  return topo.leaf_switches.size() == 1
+             ? topo.leaf_switches[0]
+             : topo.leaf_switches[node / config.tree.switch_ports];
+}
+
+/// Instant fault marker on the first rank of the affected node (viewers
+/// render kFault records as global instants, the rank only picks a track).
+void mark(trace::Trace& tr, std::uint32_t rank, double t,
+          std::string label) {
+  trace::Record r;
+  r.rank = rank;
+  r.t0 = t;
+  r.t1 = t;
+  r.kind = trace::EventKind::kFault;
+  r.label = std::move(label);
+  tr.add(r);
+}
+
+/// Arms every remaining fault on the freshly wired cluster. Injection
+/// events are ordinary queue events, so they fire at their simulated
+/// times inside the run, interleaved with the application.
+apps::RunHooks make_injector(const apps::ClusterConfig& config,
+                             const FaultPlan& plan) {
+  // The scheduled lambdas below fire inside queue.run(), long after
+  // on_ready has returned: they may only capture by value, or reference
+  // the hook parameters (whose referents live through the run).
+  apps::RunHooks hooks;
+  hooks.on_ready = [&config, plan](sim::EventQueue& queue,
+                                   net::Network& network,
+                                   const net::ClusterTopology& topo,
+                                   mpi::Runtime& runtime,
+                                   trace::Trace& tr) {
+    const std::uint32_t cpn = config.cores_per_node;
+
+    for (const NodeCrash& c : plan.crashes) {
+      const net::NodeId host = topo.hosts[c.node];
+      const net::NodeId leaf = leaf_of(topo, config, c.node);
+      const std::uint32_t node = c.node;
+      queue.schedule_in(c.at_s, [&queue, &network, &runtime, &tr, host,
+                                 leaf, node, cpn] {
+        for (std::uint32_t r = node * cpn; r < (node + 1) * cpn; ++r)
+          runtime.crash_rank(r);
+        network.set_link_state(host, leaf, false);
+        mark(tr, node * cpn, queue.now(),
+             "crash:node" + std::to_string(node));
+        obs::metrics().counter("fault.crashes").add(1.0);
+      });
+    }
+
+    for (const NodeSlowdown& s : plan.slowdowns) {
+      const std::uint32_t node = s.node;
+      const double factor = s.factor;
+      queue.schedule_in(s.at_s, [&queue, &runtime, &tr, node, cpn, factor] {
+        for (std::uint32_t r = node * cpn; r < (node + 1) * cpn; ++r)
+          runtime.set_rank_slowdown(r, factor);
+        mark(tr, node * cpn, queue.now(),
+             "slowdown:node" + std::to_string(node));
+        obs::metrics().counter("fault.slowdowns").add(1.0);
+      });
+      queue.schedule_in(s.until_s, [&queue, &runtime, &tr, node, cpn] {
+        for (std::uint32_t r = node * cpn; r < (node + 1) * cpn; ++r)
+          runtime.set_rank_slowdown(r, 1.0);
+        mark(tr, node * cpn, queue.now(),
+             "slowdown_end:node" + std::to_string(node));
+      });
+    }
+
+    for (const LinkDownWindow& d : plan.link_downs) {
+      const net::NodeId host = topo.hosts[d.node];
+      const net::NodeId leaf = leaf_of(topo, config, d.node);
+      const std::uint32_t node = d.node;
+      queue.schedule_in(d.at_s, [&queue, &network, &tr, host, leaf, node,
+                                 cpn] {
+        network.set_link_state(host, leaf, false);
+        mark(tr, node * cpn, queue.now(),
+             "link_down:node" + std::to_string(node));
+        obs::metrics().counter("fault.link_downs").add(1.0);
+      });
+      queue.schedule_in(d.until_s, [&queue, &network, &tr, host, leaf,
+                                    node, cpn] {
+        network.set_link_state(host, leaf, true);
+        mark(tr, node * cpn, queue.now(),
+             "link_up:node" + std::to_string(node));
+      });
+    }
+
+    for (const FrameLoss& l : plan.losses) {
+      // Loss applies from t=0; each link derives its own RNG stream from
+      // the plan seed so scenarios replay bit-identically.
+      network.set_link_loss(
+          topo.hosts[l.node], leaf_of(topo, config, l.node), l.probability,
+          plan.seed ^ (0x9E3779B97F4A7C15ULL * (l.node + 1)));
+      obs::metrics().counter("fault.loss_links").add(1.0);
+    }
+  };
+  return hooks;
+}
+
+}  // namespace
+
+ChaosResult run_chaos(const ChaosScenario& scenario,
+                      const mpi::Program& program) {
+  // Defensive lint: callers should have gated on this already, but an
+  // unchecked plan (crash of a nonexistent node) must not become an
+  // out-of-bounds topo access.
+  const verify::Report lint =
+      verify::lint_fault_plan(scenario.plan, scenario.cluster.nodes);
+  support::check(!lint.has_errors(), "run_chaos",
+                 "fault plan failed lint:\n" + render_diagnostics(lint));
+
+  const CheckpointConfig& cp = scenario.plan.checkpoint;
+  const double write_s =
+      cp.enabled ? cp.state_bytes_per_rank / cp.write_bandwidth_bytes_per_s
+                 : 0.0;
+  const double read_s =
+      cp.enabled ? cp.state_bytes_per_rank / cp.read_bandwidth_bytes_per_s
+                 : 0.0;
+
+  FaultPlan remaining = scenario.plan;
+  ChaosResult result;
+  // Fault marks of failed attempts, carried into the final trace so a
+  // recovered run still shows what it recovered from.
+  std::vector<trace::Record> past_faults;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    result.attempts = attempt;
+    apps::AppRunResult run = apps::run_on_cluster(
+        scenario.cluster, program, make_injector(scenario.cluster, remaining));
+    result.network_drops += run.network_drops;
+    result.retransmits += run.network_retransmits;
+    result.injected_losses += run.injected_losses;
+    result.trace = std::move(run.trace);
+    for (const trace::Record& r : past_faults) result.trace.add(r);
+
+    if (run.completed) {
+      result.completed = true;
+      result.recovered = attempt > 1;
+      result.app_makespan_s = run.makespan_s;
+      // The successful attempt still pays for its periodic checkpoints.
+      if (cp.enabled) {
+        result.recovery.checkpoint_write_s +=
+            std::floor(run.makespan_s / cp.interval_s) * write_s;
+      }
+      break;
+    }
+
+    result.failure = run.failure;
+    const bool recoverable = cp.enabled && !run.failure.dead_ranks.empty() &&
+                             !remaining.crashes.empty() &&
+                             attempt <= scenario.max_restarts;
+    if (!recoverable) break;
+
+    // The earliest remaining crash is what brought the attempt down. The
+    // job is declared dead when the failure detector last fired; without
+    // detection (recv_timeout_s == 0) that only happens at event-loop
+    // drain — after every retransmit timer has run its course.
+    double t_crash = remaining.crashes.front().at_s;
+    for (const NodeCrash& c : remaining.crashes)
+      t_crash = std::min(t_crash, c.at_s);
+    const double detect = run.failure.detected_s > 0.0
+                              ? run.failure.detected_s
+                              : run.failed_at_s;
+    const double t_detect = std::max(detect, t_crash);
+    const double completed_cps = std::floor(t_crash / cp.interval_s);
+    const double last_cp = completed_cps * cp.interval_s;
+
+    result.recovery.lost_work_s += t_crash - last_cp;
+    result.recovery.detection_s += t_detect - t_crash;
+    result.recovery.restart_s += cp.restart_overhead_s + read_s;
+    result.recovery.checkpoint_write_s += completed_cps * write_s;
+
+    // Rebuild from the current trace (it already holds the carried
+    // marks) rather than appending — avoids duplicates across attempts.
+    past_faults.clear();
+    for (const trace::Record& r : result.trace.records())
+      if (r.kind == trace::EventKind::kFault) past_faults.push_back(r);
+
+    // Crashes that already fired stay dead history — the restarted run
+    // faces only the faults still ahead of it. Slowdowns, link windows
+    // and loss persist (the hardware did not heal).
+    remaining.crashes.erase(
+        std::remove_if(remaining.crashes.begin(), remaining.crashes.end(),
+                       [t_detect](const NodeCrash& c) {
+                         return c.at_s <= t_detect;
+                       }),
+        remaining.crashes.end());
+  }
+
+  result.time_to_solution_s = result.app_makespan_s + result.recovery.total();
+
+  obs::Registry& registry = obs::metrics();
+  registry.counter("recovery.restarts")
+      .add(static_cast<double>(result.attempts - 1));
+  registry.counter("recovery.lost_work_s").add(result.recovery.lost_work_s);
+  registry.counter("recovery.checkpoint_write_s")
+      .add(result.recovery.checkpoint_write_s);
+  registry.counter("recovery.restart_s").add(result.recovery.restart_s);
+  registry.counter("recovery.detection_s").add(result.recovery.detection_s);
+  return result;
+}
+
+}  // namespace mb::fault

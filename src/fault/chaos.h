@@ -1,0 +1,72 @@
+// Chaos scenario executor: runs an application program on a cluster while
+// a FaultPlan injects failures, and models coordinated checkpoint/restart
+// recovery on top.
+//
+// Execution model: each *attempt* simulates the application with the
+// remaining faults armed (node crashes fail-stop every rank on the node
+// and take its host link down; slowdown windows drive the Fig. 5 degraded
+// mode through Runtime::set_rank_slowdown; link windows and frame loss go
+// straight to the network). A failed attempt ends when the runtime's
+// failure detector (or the drained event loop) reports the dead ranks.
+// With checkpointing enabled the run restarts from the last checkpoint:
+// the cost model charges the lost work since that checkpoint, the
+// detection latency, the checkpoint writes performed so far and the
+// restart itself; crashes already fired are removed from the plan and the
+// next attempt begins. Time-to-solution is the application makespan plus
+// every charged overhead — the quantity a resilience study compares
+// against checkpoint interval and state size.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/cluster.h"
+#include "fault/plan.h"
+#include "mpi/program.h"
+#include "mpi/runtime.h"
+#include "trace/trace.h"
+
+namespace mb::fault {
+
+struct ChaosScenario {
+  apps::ClusterConfig cluster;
+  FaultPlan plan;
+  /// Give up after this many restarts (guards unrecoverable plans, e.g. a
+  /// crash scheduled later than any checkpoint can outrun).
+  std::uint32_t max_restarts = 8;
+};
+
+/// Overheads charged by the checkpoint/restart model, in seconds.
+struct RecoveryCost {
+  double checkpoint_write_s = 0.0;  ///< all checkpoint writes, all attempts
+  double lost_work_s = 0.0;         ///< progress rolled back by crashes
+  double detection_s = 0.0;         ///< crash-to-detection latency
+  double restart_s = 0.0;           ///< relaunch + state re-read
+
+  double total() const {
+    return checkpoint_write_s + lost_work_s + detection_s + restart_s;
+  }
+};
+
+struct ChaosResult {
+  bool completed = false;  ///< the application finally finished
+  bool recovered = false;  ///< ... after at least one restart
+  std::uint32_t attempts = 0;
+  double app_makespan_s = 0.0;      ///< makespan of the successful attempt
+  double time_to_solution_s = 0.0;  ///< makespan + recovery overheads
+  RecoveryCost recovery;
+  mpi::FailureReport failure;  ///< of the last attempt, when !completed
+  std::uint64_t network_drops = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t injected_losses = 0;
+  trace::Trace trace;  ///< of the last attempt, fault marks included
+};
+
+/// Runs `program` under `scenario`. The plan must lint clean against the
+/// cluster (FLT00x errors throw support::Error — gate with
+/// verify::lint_fault_plan first for structured diagnostics). Publishes
+/// fault.* and recovery.* metrics. Deterministic: identical scenario,
+/// program and seed yield identical results.
+ChaosResult run_chaos(const ChaosScenario& scenario,
+                      const mpi::Program& program);
+
+}  // namespace mb::fault

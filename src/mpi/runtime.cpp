@@ -1,11 +1,31 @@
 #include "mpi/runtime.h"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
 #include "support/check.h"
 #include "verify/mpi_verify.h"
 
 namespace mb::mpi {
+
+std::string FailureReport::to_string() const {
+  std::ostringstream os;
+  os << "failure report:\n";
+  os << "  dead ranks:";
+  if (dead_ranks.empty()) {
+    os << " none";
+  } else {
+    for (const std::uint32_t r : dead_ranks) os << ' ' << r;
+  }
+  os << '\n';
+  for (const BlockedOp& b : blocked) {
+    os << "  rank " << b.rank << " blocked on recv(peer=" << b.peer
+       << ", tag=" << b.tag << ") since t=" << b.since_s << "s [op "
+       << b.op_index << (b.timed_out ? ", timed out]" : "]") << '\n';
+  }
+  return os.str();
+}
 
 Runtime::Runtime(sim::EventQueue& queue, net::Network& network,
                  std::vector<net::NodeId> rank_to_host, RuntimeConfig config,
@@ -35,6 +55,8 @@ Runtime::Runtime(sim::EventQueue& queue, net::Network& network,
       &registry.counter("mpi.time_s", {{"kind", "collective"}});
   time_p2p_ = &registry.counter("mpi.time_s", {{"kind", "p2p"}});
   time_wait_ = &registry.counter("mpi.time_s", {{"kind", "wait"}});
+  retries_ = &registry.counter("mpi.retries");
+  recv_timeouts_ = &registry.counter("mpi.recv_timeouts");
 }
 
 void Runtime::record(std::uint32_t rank, double t0, double t1,
@@ -52,6 +74,16 @@ void Runtime::record(std::uint32_t rank, double t0, double t1,
 }
 
 double Runtime::run(const Program& program) {
+  const RunOutcome outcome = run_outcome(program);
+  if (!outcome.completed) {
+    support::fail("Runtime::run",
+                  "deadlock: some ranks never completed their program\n" +
+                      outcome.failure.to_string());
+  }
+  return outcome.makespan_s;
+}
+
+RunOutcome Runtime::run_outcome(const Program& program) {
   const auto ranks = static_cast<std::uint32_t>(rank_to_host_.size());
   support::check(program.ranks() == ranks, "Runtime::run",
                  "program rank count must match the runtime");
@@ -68,6 +100,7 @@ double Runtime::run(const Program& program) {
   // so the op sequences must contain collectives in the same order on
   // every rank (the usual MPI requirement).
   states_.assign(ranks, RankState{});
+  failure_ = FailureReport{};
   finished_ = 0;
   for (std::uint32_t r = 0; r < ranks; ++r) {
     std::int32_t tag_base = next_tag_base_;
@@ -92,16 +125,53 @@ double Runtime::run(const Program& program) {
   for (std::uint32_t r = 0; r < ranks; ++r) advance(r);
   queue_.run();
 
-  support::check(finished_ == ranks, "Runtime::run",
-                 "deadlock: some ranks never completed their program");
+  RunOutcome outcome;
+  outcome.completed = finished_ == ranks;
+  outcome.drained_s = queue_.now();
   double makespan = 0.0;
   for (const auto& s : states_) makespan = std::max(makespan, s.finish_time);
-  return makespan;
+  outcome.makespan_s = makespan;
+  if (!outcome.completed) {
+    // Ranks still blocked at drain time (and not already reported by the
+    // failure detector) round out the report.
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      const RankState& s = states_[r];
+      if (s.crashed || s.timed_out || !s.waiting) continue;
+      BlockedOp b;
+      b.rank = r;
+      b.peer = s.waiting->first;
+      b.tag = s.waiting->second;
+      b.op_index = s.wait_op;
+      b.since_s = s.wait_start;
+      failure_.blocked.push_back(b);
+    }
+    outcome.failure = failure_;
+  }
+  return outcome;
+}
+
+void Runtime::crash_rank(std::uint32_t rank) {
+  support::check(rank < states_.size(), "Runtime::crash_rank",
+                 "unknown rank (inject crashes during a run)");
+  RankState& s = states_[rank];
+  if (s.crashed) return;
+  s.crashed = true;
+  s.waiting.reset();
+  failure_.dead_ranks.push_back(rank);
+}
+
+void Runtime::set_rank_slowdown(std::uint32_t rank, double factor) {
+  support::check(rank < states_.size(), "Runtime::set_rank_slowdown",
+                 "unknown rank (inject slowdowns during a run)");
+  support::check(factor >= 1.0 && std::isfinite(factor),
+                 "Runtime::set_rank_slowdown", "factor must be >= 1");
+  states_[rank].slow_factor = factor;
 }
 
 void Runtime::deliver(std::uint32_t dst_rank, std::uint32_t src_rank,
                       std::int32_t tag, std::uint64_t bytes) {
   RankState& s = states_[dst_rank];
+  if (s.crashed || s.timed_out) return;  // dead ranks receive nothing
   const auto key = std::make_pair(src_rank, tag);
   s.mailbox[key].push_back(bytes);
   if (s.waiting && *s.waiting == key) {
@@ -111,17 +181,65 @@ void Runtime::deliver(std::uint32_t dst_rank, std::uint32_t src_rank,
   }
 }
 
+void Runtime::post_send(std::uint32_t src_rank, std::uint32_t dst_rank,
+                        std::int32_t tag, std::uint64_t bytes,
+                        std::uint32_t attempt) {
+  net::Network::Callback on_failed;
+  if (attempt < config_.max_send_retries) {
+    on_failed = [this, src_rank, dst_rank, tag, bytes, attempt] {
+      if (states_[src_rank].crashed) return;
+      retries_->add(1.0);
+      const double delay =
+          config_.send_retry_base_s *
+          std::pow(config_.send_retry_backoff, static_cast<double>(attempt));
+      queue_.schedule_in(delay,
+                         [this, src_rank, dst_rank, tag, bytes, attempt] {
+                           post_send(src_rank, dst_rank, tag, bytes,
+                                     attempt + 1);
+                         });
+    };
+  }
+  network_.send(rank_to_host_[src_rank], rank_to_host_[dst_rank], bytes,
+                [this, dst_rank, src_rank, tag, bytes] {
+                  deliver(dst_rank, src_rank, tag, bytes);
+                },
+                std::move(on_failed));
+}
+
+void Runtime::on_recv_timeout(std::uint32_t rank, std::uint64_t epoch) {
+  RankState& s = states_[rank];
+  if (s.crashed || s.timed_out) return;
+  if (!s.waiting || s.wait_epoch != epoch) return;  // stale timer
+  s.timed_out = true;
+  failure_.detected_s = std::max(failure_.detected_s, queue_.now());
+  recv_timeouts_->add(1.0);
+  time_wait_->add(queue_.now() - s.wait_start);
+  record(rank, s.wait_start, queue_.now(), trace::EventKind::kWait,
+         "recv_timeout", 0);
+  BlockedOp b;
+  b.rank = rank;
+  b.peer = s.waiting->first;
+  b.tag = s.waiting->second;
+  b.op_index = s.wait_op;
+  b.since_s = s.wait_start;
+  b.timed_out = true;
+  failure_.blocked.push_back(b);
+  s.waiting.reset();
+}
+
 void Runtime::advance(std::uint32_t rank) {
   RankState& s = states_[rank];
+  if (s.crashed || s.timed_out) return;  // fail-stop: no further progress
   while (s.pc < s.ops.size()) {
     const Op& op = s.ops[s.pc];
     const double now = queue_.now();
     switch (op.kind) {
       case Op::Kind::kCompute: {
-        record(rank, now, now + op.seconds, trace::EventKind::kCompute,
+        const double seconds = op.seconds * s.slow_factor;
+        record(rank, now, now + seconds, trace::EventKind::kCompute,
                op.label, 0);
         ++s.pc;
-        queue_.schedule_in(op.seconds, [this, rank] { advance(rank); });
+        queue_.schedule_in(seconds, [this, rank] { advance(rank); });
         return;
       }
       case Op::Kind::kSend: {
@@ -145,10 +263,7 @@ void Runtime::advance(std::uint32_t rank) {
                                deliver(dst, rank, tag, bytes);
                              });
         } else {
-          network_.send(src_host, dst_host, op.bytes,
-                        [this, dst, rank, tag, bytes] {
-                          deliver(dst, rank, tag, bytes);
-                        });
+          post_send(rank, dst, tag, bytes, 0);
         }
         ++s.pc;
         queue_.schedule_in(config_.send_overhead_s,
@@ -161,6 +276,13 @@ void Runtime::advance(std::uint32_t rank) {
         if (it == s.mailbox.end() || it->second.empty()) {
           s.waiting = key;
           s.wait_start = now;
+          s.wait_op = s.pc;
+          if (config_.recv_timeout_s > 0.0) {
+            const std::uint64_t epoch = ++s.wait_epoch;
+            queue_.schedule_in(config_.recv_timeout_s, [this, rank, epoch] {
+              on_recv_timeout(rank, epoch);
+            });
+          }
           return;
         }
         const std::uint64_t bytes = it->second.front();

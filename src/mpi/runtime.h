@@ -6,11 +6,18 @@
 // receives block until the matching (source, tag) message arrives.
 // Collectives are lowered to point-to-point schedules on the fly
 // (see mpi/program.h) and traced as single intervals.
+//
+// Failure semantics (fault-injection support): ranks can be crashed
+// mid-run (fail-stop) or slowed down; a configurable receive timeout
+// turns a lost peer into a structured FailureReport — naming the dead
+// rank and every blocked op — instead of a hung event loop, and sends
+// can opt into retry-with-backoff when the network abandons a message.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mpi/program.h"
@@ -33,6 +40,52 @@ struct RuntimeConfig {
   /// the event loop draining into an opaque "deadlock" failure. Opt out
   /// for programs known-clean when re-running in a hot loop.
   bool verify = true;
+  /// Failure detector: a receive blocked longer than this is declared
+  /// dead (the rank stops, the blocked op lands in the FailureReport).
+  /// 0 disables detection — a lost peer then only surfaces when the
+  /// event loop drains. Set it above the longest legitimate wait.
+  double recv_timeout_s = 0.0;
+  /// Opt-in send retry: when the network abandons a message (link down
+  /// past the retransmit budget), re-post it up to this many times with
+  /// exponential backoff. 0 = a failed send is simply lost.
+  std::uint32_t max_send_retries = 0;
+  double send_retry_base_s = 0.05;
+  double send_retry_backoff = 2.0;
+};
+
+/// One receive that never completed in a failed run.
+struct BlockedOp {
+  std::uint32_t rank = 0;
+  std::uint32_t peer = 0;   ///< the (dead or silent) rank waited on
+  std::int32_t tag = 0;
+  std::size_t op_index = 0; ///< index into the rank's lowered op list
+  double since_s = 0.0;     ///< when the rank blocked
+  bool timed_out = false;   ///< detected by the failure detector
+};
+
+/// Structured account of why a run did not complete: which ranks were
+/// crashed (fail-stop injection) and which receives were left blocked —
+/// on the dead ranks directly or transitively (peer-death propagation).
+struct FailureReport {
+  std::vector<std::uint32_t> dead_ranks;
+  std::vector<BlockedOp> blocked;
+  /// Simulation time the failure detector last fired (0 when detection
+  /// was disabled and the failure only surfaced at event-loop drain).
+  double detected_s = 0.0;
+
+  bool failed() const { return !dead_ranks.empty() || !blocked.empty(); }
+  std::string to_string() const;
+};
+
+/// Non-throwing run result: completion flag, makespan and — when ranks
+/// were lost — the failure report. `drained_s` is the simulation time at
+/// which the event loop ran dry (failure-detection latency included);
+/// checkpoint/restart models use it as the moment recovery can begin.
+struct RunOutcome {
+  bool completed = false;
+  double makespan_s = 0.0;
+  double drained_s = 0.0;
+  FailureReport failure;
 };
 
 class Runtime {
@@ -48,14 +101,35 @@ class Runtime {
   /// start to the last rank finishing). Throws on deadlock.
   double run(const Program& program);
 
+  /// Like run(), but a non-completing program yields a structured
+  /// RunOutcome instead of throwing (static verification errors still
+  /// throw — a malformed program is a bug, not a simulated failure).
+  RunOutcome run_outcome(const Program& program);
+
+  /// Fault injection: fail-stop `rank` at the current simulation time.
+  /// The rank executes nothing further; messages to it are dropped.
+  /// Only valid while a run is in flight (schedule it on the queue).
+  void crash_rank(std::uint32_t rank);
+
+  /// Fault injection: multiplies the duration of `rank`'s subsequent
+  /// compute ops by `factor` (>= 1 slows, 1 restores). Models the Fig. 5
+  /// two-state degraded mode at cluster scope. Only valid while a run is
+  /// in flight.
+  void set_rank_slowdown(std::uint32_t rank, double factor);
+
  private:
   struct RankState {
     std::vector<Op> ops;  ///< fully lowered op list
     std::size_t pc = 0;
     bool blocked = false;
+    bool crashed = false;
+    bool timed_out = false;
+    double slow_factor = 1.0;
     double finish_time = 0.0;
     double group_start = 0.0;
     double wait_start = 0.0;  ///< when the rank last blocked on a recv
+    std::size_t wait_op = 0;  ///< op index of the blocking receive
+    std::uint64_t wait_epoch = 0;  ///< guards stale timeout events
     std::string group_label;
     // Arrived-but-unmatched messages (payload sizes, FIFO per key) and
     // the receive each op waits for. Receives take the size from the
@@ -69,6 +143,10 @@ class Runtime {
   void advance(std::uint32_t rank);
   void deliver(std::uint32_t dst_rank, std::uint32_t src_rank,
                std::int32_t tag, std::uint64_t bytes);
+  void post_send(std::uint32_t src_rank, std::uint32_t dst_rank,
+                 std::int32_t tag, std::uint64_t bytes,
+                 std::uint32_t attempt);
+  void on_recv_timeout(std::uint32_t rank, std::uint64_t epoch);
   void record(std::uint32_t rank, double t0, double t1,
               trace::EventKind kind, const std::string& label,
               std::uint64_t bytes);
@@ -89,7 +167,10 @@ class Runtime {
   obs::Counter* time_collective_;
   obs::Counter* time_p2p_;
   obs::Counter* time_wait_;
+  obs::Counter* retries_;
+  obs::Counter* recv_timeouts_;
   std::vector<RankState> states_;
+  FailureReport failure_;
   std::int32_t next_tag_base_ = 1 << 16;  // user tags stay below
   std::uint32_t finished_ = 0;
 };

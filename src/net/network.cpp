@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <memory>
 
@@ -10,7 +11,14 @@ namespace mb::net {
 
 namespace {
 constexpr std::uint32_t kNoHop = ~std::uint32_t{0};
+
+double backoff_delay(const LinkSpec& spec, std::uint32_t attempt) {
+  const double raw = spec.retransmit_timeout_s *
+                     std::pow(spec.retransmit_backoff,
+                              static_cast<double>(attempt));
+  return std::min(raw, spec.retransmit_timeout_max_s);
 }
+}  // namespace
 
 Network::Network(sim::EventQueue& queue, std::uint32_t mtu_bytes)
     : queue_(queue), mtu_(mtu_bytes) {
@@ -95,6 +103,31 @@ void Network::degrade_link(NodeId a, NodeId b, double bandwidth_factor,
   }
 }
 
+void Network::set_link_state(NodeId a, NodeId b, bool up) {
+  for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}})
+    links_[link_index(from, to)].up = up;
+}
+
+bool Network::link_up(NodeId a, NodeId b) const {
+  return links_[link_index(a, b)].up;
+}
+
+void Network::set_link_loss(NodeId a, NodeId b, double probability,
+                            std::uint64_t seed) {
+  support::check(probability >= 0.0 && probability < 1.0,
+                 "Network::set_link_loss",
+                 "loss probability must be in [0, 1)");
+  for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    const std::size_t li = link_index(from, to);
+    DirectedLink& link = links_[li];
+    link.loss_probability = probability;
+    // Decorrelate the two directions (and distinct cables sharing a seed)
+    // by folding the directed link index into the stream seed.
+    std::uint64_t state = seed + 0x9E3779B97F4A7C15ULL * (li + 1);
+    link.loss_rng = support::Rng(support::splitmix64(state));
+  }
+}
+
 std::size_t Network::route_hops(NodeId src, NodeId dst) const {
   support::check(routed_, "Network::route_hops", "call finalize_routes first");
   std::size_t hops = 0;
@@ -109,7 +142,7 @@ std::size_t Network::route_hops(NodeId src, NodeId dst) const {
 }
 
 void Network::send(NodeId src, NodeId dst, std::uint64_t bytes,
-                   Callback on_delivered) {
+                   Callback on_delivered, Callback on_failed) {
   support::check(routed_, "Network::send", "call finalize_routes first");
   support::check(src < names_.size() && dst < names_.size(), "Network::send",
                  "unknown node");
@@ -135,8 +168,10 @@ void Network::send(NodeId src, NodeId dst, std::uint64_t bytes,
 
   const std::uint64_t frames =
       std::max<std::uint64_t>(1, (bytes + mtu_ - 1) / mtu_);
-  auto remaining = std::make_shared<std::uint64_t>(frames);
-  auto cb = std::make_shared<Callback>(std::move(on_delivered));
+  auto msg = std::make_shared<Message>();
+  msg->remaining = frames;
+  msg->on_delivered = std::move(on_delivered);
+  msg->on_failed = std::move(on_failed);
 
   std::uint64_t left = std::max<std::uint64_t>(bytes, 1);
   for (std::uint64_t f = 0; f < frames; ++f) {
@@ -144,22 +179,31 @@ void Network::send(NodeId src, NodeId dst, std::uint64_t bytes,
         std::min<std::uint64_t>(left, mtu_));
     left -= frame_bytes;
     // Inject into the first link now; each frame flows independently.
-    forward(frame_bytes, path, 0, remaining, cb);
+    forward(frame_bytes, path, 0, 0, msg);
   }
 }
 
 void Network::forward(std::uint32_t frame_bytes, Path path, std::size_t hop,
-                      std::shared_ptr<std::uint64_t> remaining,
-                      std::shared_ptr<Callback> on_delivered) {
+                      std::uint32_t attempt, std::shared_ptr<Message> msg) {
+  if (msg->failed) return;  // a sibling frame already doomed the message
   DirectedLink& link = links_[(*path)[hop]];
   const double now = queue_.now();
+
+  // A downed link transmits nothing: the frame sits with the sender and is
+  // retried with backoff until the link returns or the budget runs out.
+  if (!link.up) {
+    link.stats.down_drops += 1;
+    retransmit(frame_bytes, std::move(path), hop, attempt, std::move(msg));
+    return;
+  }
+
   const double start = std::max(now, link.busy_until);
   const double wait = start - now;
 
   // Output-port buffer overflow: the frame is dropped and retransmitted
-  // after the transport timeout (see LinkSpec). Only switch ports drop
-  // (hop > 0): the first hop's queue is the sender's own memory, where
-  // frames wait for the NIC at no cost beyond time.
+  // with backoff (see LinkSpec). Only switch ports drop (hop > 0): the
+  // first hop's queue is the sender's own memory, where frames wait for
+  // the NIC at no cost beyond time.
   // In coarse-MTU mode frames are aggregated bursts; the drop threshold
   // scales with the frame size so coarsening trades drop fidelity for
   // speed instead of fabricating overflows.
@@ -168,14 +212,7 @@ void Network::forward(std::uint32_t frame_bytes, Path path, std::size_t hop,
   const double queued_bytes = wait * link.spec.bandwidth_bytes_per_s;
   if (hop > 0 && queued_bytes > buffer_limit) {
     link.stats.drops += 1;
-    queue_.schedule_in(
-        link.spec.retransmit_timeout_s,
-        [this, frame_bytes, path = std::move(path), hop,
-         remaining = std::move(remaining),
-         on_delivered = std::move(on_delivered)]() mutable {
-          forward(frame_bytes, std::move(path), hop, std::move(remaining),
-                  std::move(on_delivered));
-        });
+    retransmit(frame_bytes, std::move(path), hop, attempt, std::move(msg));
     return;
   }
 
@@ -189,17 +226,49 @@ void Network::forward(std::uint32_t frame_bytes, Path path, std::size_t hop,
   link.stats.queued_s += wait;
   link.stats.max_queue_s = std::max(link.stats.max_queue_s, wait);
 
+  // Injected Bernoulli loss: the frame burned wire time but never arrives
+  // (corruption on a marginal cable); the sender's timeout retransmits it.
+  if (link.loss_probability > 0.0 &&
+      link.loss_rng.bernoulli(link.loss_probability)) {
+    link.stats.injected_losses += 1;
+    retransmit(frame_bytes, std::move(path), hop, attempt, std::move(msg));
+    return;
+  }
+
   const double arrival = start + tx + link.spec.latency_s;
   auto cont = [this, path = std::move(path), hop, frame_bytes,
-               remaining = std::move(remaining),
-               on_delivered = std::move(on_delivered)] {
+               msg = std::move(msg)] {
     if (hop + 1 < path->size()) {
-      forward(frame_bytes, path, hop + 1, remaining, on_delivered);
+      // The frame advanced a hop: its retransmit budget starts fresh.
+      forward(frame_bytes, path, hop + 1, 0, msg);
     } else {
-      if (--*remaining == 0) (*on_delivered)();
+      if (--msg->remaining == 0 && !msg->failed) (msg->on_delivered)();
     }
   };
   queue_.schedule_at(arrival, std::move(cont));
+}
+
+void Network::retransmit(std::uint32_t frame_bytes, Path path,
+                         std::size_t hop, std::uint32_t attempt,
+                         std::shared_ptr<Message> msg) {
+  DirectedLink& link = links_[(*path)[hop]];
+  if (attempt >= link.spec.max_retransmits) {
+    link.stats.gave_up += 1;
+    if (!msg->failed) {
+      msg->failed = true;
+      if (msg->on_failed)
+        queue_.schedule_in(0.0, [msg] { (msg->on_failed)(); });
+    }
+    return;
+  }
+  link.stats.retransmits += 1;
+  queue_.schedule_in(
+      backoff_delay(link.spec, attempt),
+      [this, frame_bytes, path = std::move(path), hop, attempt,
+       msg = std::move(msg)]() mutable {
+        forward(frame_bytes, std::move(path), hop, attempt + 1,
+                std::move(msg));
+      });
 }
 
 }  // namespace mb::net

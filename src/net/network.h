@@ -15,20 +15,28 @@
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "support/rng.h"
 
 namespace mb::net {
 
 /// One direction of a cable: bandwidth, propagation+processing latency,
 /// and the output-port buffering of the upstream device. When the queue in
 /// front of the link exceeds `buffer_bytes`, newly arriving frames are
-/// dropped and retransmitted after `retransmit_timeout_s` — the TCP-over-
-/// cheap-GbE behaviour behind the paper's "sometimes delayed" collectives
-/// (incast on all_to_all_v overflows the switch buffers).
+/// dropped and retransmitted — the TCP-over-cheap-GbE behaviour behind the
+/// paper's "sometimes delayed" collectives (incast on all_to_all_v
+/// overflows the switch buffers). Retransmission uses capped exponential
+/// backoff: attempt k waits retransmit_timeout_s * retransmit_backoff^k,
+/// clamped to retransmit_timeout_max_s; after max_retransmits consecutive
+/// failed attempts at one hop the frame is abandoned and the whole
+/// message fails (see Network::send's on_failed).
 struct LinkSpec {
   double bandwidth_bytes_per_s = 0.0;
   double latency_s = 0.0;
   double buffer_bytes = 1e18;          ///< effectively infinite by default
-  double retransmit_timeout_s = 0.2;   ///< Linux TCP minimum RTO
+  double retransmit_timeout_s = 0.2;   ///< base RTO (Linux TCP minimum)
+  double retransmit_backoff = 2.0;     ///< per-attempt delay multiplier
+  double retransmit_timeout_max_s = 5.0;  ///< backoff cap
+  std::uint32_t max_retransmits = 16;  ///< give-up threshold per hop
 };
 
 /// Vertex id in the network graph (hosts and switches share the space).
@@ -39,6 +47,10 @@ struct LinkStats {
   std::uint64_t frames = 0;
   std::uint64_t bytes = 0;
   std::uint64_t drops = 0;    ///< buffer-overflow drops (retransmitted)
+  std::uint64_t retransmits = 0;     ///< frames rescheduled with backoff
+  std::uint64_t injected_losses = 0; ///< Bernoulli losses (fault injection)
+  std::uint64_t down_drops = 0;      ///< frames hitting a downed link
+  std::uint64_t gave_up = 0;         ///< frames abandoned after max retries
   double busy_s = 0.0;        ///< cumulated transmission time
   double queued_s = 0.0;      ///< cumulated waiting-for-link time
   double max_queue_s = 0.0;   ///< worst single-frame queueing delay
@@ -71,8 +83,12 @@ class Network {
 
   /// Sends `bytes` from `src` to `dst`; invokes `on_delivered` when the
   /// last frame arrives. Zero-byte messages are sent as one header frame.
+  /// When any frame exhausts its per-hop retransmit budget the message is
+  /// abandoned: `on_failed` (if given) fires once and `on_delivered`
+  /// never does. Without `on_failed` an abandoned message is simply lost —
+  /// the caller's own timeout must notice.
   void send(NodeId src, NodeId dst, std::uint64_t bytes,
-            Callback on_delivered);
+            Callback on_delivered, Callback on_failed = nullptr);
 
   /// Fault injection: degrades both directions of the a-b cable —
   /// bandwidth is multiplied by `bandwidth_factor` (in (0, 1]) and
@@ -81,6 +97,23 @@ class Network {
   /// of real clusters. May be called after finalize_routes().
   void degrade_link(NodeId a, NodeId b, double bandwidth_factor,
                     double extra_latency_s);
+
+  /// Fault injection: takes both directions of the a-b cable down (or back
+  /// up). A downed link transmits nothing; frames queued on it retry with
+  /// backoff and either survive the outage or exhaust their retransmit
+  /// budget. May be called after finalize_routes().
+  void set_link_state(NodeId a, NodeId b, bool up);
+
+  /// True when the directed link a->b is up. Throws if absent.
+  bool link_up(NodeId a, NodeId b) const;
+
+  /// Fault injection: every frame crossing either direction of the a-b
+  /// cable is independently lost with `probability` (in [0, 1)). Lost
+  /// frames consumed wire time and are retransmitted with backoff. The
+  /// per-direction RNG streams derive from `seed`, so identical seeds
+  /// reproduce identical loss patterns.
+  void set_link_loss(NodeId a, NodeId b, double probability,
+                     std::uint64_t seed);
 
   std::size_t nodes() const { return names_.size(); }
   const std::string& name(NodeId n) const { return names_[n]; }
@@ -97,15 +130,28 @@ class Network {
     NodeId from, to;
     LinkSpec spec;
     double busy_until = 0.0;
+    bool up = true;
+    double loss_probability = 0.0;
+    support::Rng loss_rng;
     LinkStats stats;
+  };
+
+  /// Shared fate of one message's frames: delivery fires when the last
+  /// frame lands; a single abandoned frame fails the whole message.
+  struct Message {
+    std::uint64_t remaining = 0;
+    Callback on_delivered;
+    Callback on_failed;  ///< may be null
+    bool failed = false;
   };
 
   using Path = std::shared_ptr<const std::vector<std::uint32_t>>;
 
   std::size_t link_index(NodeId a, NodeId b) const;
   void forward(std::uint32_t frame_bytes, Path path, std::size_t hop,
-               std::shared_ptr<std::uint64_t> remaining,
-               std::shared_ptr<Callback> on_delivered);
+               std::uint32_t attempt, std::shared_ptr<Message> msg);
+  void retransmit(std::uint32_t frame_bytes, Path path, std::size_t hop,
+                  std::uint32_t attempt, std::shared_ptr<Message> msg);
 
   sim::EventQueue& queue_;
   std::uint32_t mtu_;

@@ -89,6 +89,21 @@ void write_chrome_trace(std::ostream& os, const trace::Trace& trace,
     write_thread_name(w, kClusterPid, r, "rank " + std::to_string(r));
 
   for (const auto& rec : trace.records()) {
+    if (rec.kind == trace::EventKind::kFault) {
+      // Injected faults are global instant markers, not rank work: the
+      // viewer draws them as vertical lines across every track.
+      w.begin_object();
+      w.field("ph", "i");
+      w.field("name", rec.label);
+      w.field("cat", "fault");
+      w.field("pid", kClusterPid);
+      w.field("tid", rec.rank);
+      w.field("ts", rec.t0 * 1e6);
+      w.field("s", "g");
+      w.field("cname", "terrible");
+      w.end_object();
+      continue;
+    }
     w.begin_object();
     w.field("ph", "X");
     w.field("name", rec.label.empty()

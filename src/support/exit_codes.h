@@ -1,0 +1,18 @@
+// Process exit codes shared by the CLI tools.
+//
+// One convention for every command instead of scattered literals:
+//   0  success (clean lint, no regression, recovered chaos run, ...)
+//   1  internal error (unexpected exception; set by the top-level handler)
+//   2  usage error (unknown command, malformed flag value)
+//   3  findings (lint/verify errors, confirmed perf regression,
+//      unrecovered chaos failure) — "the run worked, the answer is bad"
+#pragma once
+
+namespace mb::support {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitInternalError = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitFindings = 3;
+
+}  // namespace mb::support

@@ -30,6 +30,7 @@ std::string render_gantt(const Trace& trace, const GanttOptions& options) {
   // Priority of glyphs when several events share a bucket.
   auto priority = [](char c) {
     switch (c) {
+      case 'F': return 6;
       case 'A': return 5;
       case 'a': return 4;
       case 's': return 3;
@@ -53,6 +54,7 @@ std::string render_gantt(const Trace& trace, const GanttOptions& options) {
       case EventKind::kSend: glyph = 's'; break;
       case EventKind::kRecv: glyph = 'r'; break;
       case EventKind::kWait: glyph = '.'; break;
+      case EventKind::kFault: glyph = 'F'; break;
       case EventKind::kCollective:
         glyph = (median_coll > 0.0 && rec.duration() > 2.0 * median_coll)
                     ? 'A'
@@ -70,7 +72,7 @@ std::string render_gantt(const Trace& trace, const GanttOptions& options) {
 
   std::ostringstream out;
   out << "time " << t0 << "s .. " << t1 << "s  ('#' compute, 'a' "
-      << "collective, 'A' delayed collective, 's'/'r' p2p)\n";
+      << "collective, 'A' delayed collective, 's'/'r' p2p, 'F' fault)\n";
   for (std::uint32_t r = 0; r < ranks; ++r) {
     out << (r < 10 ? " " : "") << r << " |" << rows[r] << "|\n";
   }

@@ -19,6 +19,7 @@ std::string_view event_kind_name(EventKind k) {
     case EventKind::kRecv: return "recv";
     case EventKind::kCollective: return "collective";
     case EventKind::kWait: return "wait";
+    case EventKind::kFault: return "fault";
   }
   return "?";
 }
@@ -55,6 +56,7 @@ EventKind parse_event_kind(std::string_view name) {
   if (name == "recv") return EventKind::kRecv;
   if (name == "collective") return EventKind::kCollective;
   if (name == "wait") return EventKind::kWait;
+  if (name == "fault") return EventKind::kFault;
   support::fail("parse_event_kind",
                 "unknown event kind '" + std::string(name) + "'");
 }

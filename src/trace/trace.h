@@ -20,6 +20,7 @@ enum class EventKind : std::uint8_t {
   kRecv,
   kCollective,
   kWait,
+  kFault,  ///< injected fault marker (crash, slowdown, link event)
 };
 
 std::string_view event_kind_name(EventKind k);

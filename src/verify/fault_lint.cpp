@@ -1,0 +1,150 @@
+#include "verify/fault_lint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "verify/rules.h"
+
+namespace mb::verify {
+namespace {
+
+constexpr double kHighLossThreshold = 0.5;
+
+std::string fmt(double v) { return std::to_string(v); }
+
+std::string key_at(const char* array, std::size_t i, const char* field) {
+  return std::string(array) + "[" + std::to_string(i) + "]." + field;
+}
+
+void check_node(Report& report, std::uint32_t node, std::uint32_t nodes,
+                const std::string& key) {
+  if (node >= nodes) {
+    report.add(kRuleFaultUnknownNode, Location::config(key),
+               "node " + std::to_string(node) +
+                   " does not exist (cluster has " + std::to_string(nodes) +
+                   " nodes)",
+               "nodes are numbered 0.." + std::to_string(nodes - 1));
+  }
+}
+
+void check_window(Report& report, double at_s, double until_s,
+                  const std::string& key) {
+  if (at_s < 0.0 || !std::isfinite(at_s)) {
+    report.add(kRuleFaultBadValue, Location::config(key + ".at_s"),
+               "window start " + fmt(at_s) + " s is negative or non-finite",
+               "fault times are seconds from run start");
+  }
+  if (!(until_s > at_s) || !std::isfinite(until_s)) {
+    report.add(kRuleFaultBadValue, Location::config(key + ".until_s"),
+               "window [" + fmt(at_s) + ", " + fmt(until_s) + ") is empty",
+               "until_s must exceed at_s");
+  }
+}
+
+}  // namespace
+
+Report lint_fault_plan(const fault::FaultPlan& plan, std::uint32_t nodes) {
+  Report report;
+
+  for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+    const fault::NodeCrash& c = plan.crashes[i];
+    check_node(report, c.node, nodes, key_at("crashes", i, "node"));
+    if (c.at_s < 0.0 || !std::isfinite(c.at_s)) {
+      report.add(kRuleFaultBadValue,
+                 Location::config(key_at("crashes", i, "at_s")),
+                 "crash time " + fmt(c.at_s) + " s is negative or "
+                 "non-finite",
+                 "fault times are seconds from run start");
+    }
+  }
+
+  for (std::size_t i = 0; i < plan.slowdowns.size(); ++i) {
+    const fault::NodeSlowdown& s = plan.slowdowns[i];
+    const std::string key =
+        "slowdowns[" + std::to_string(i) + "]";
+    check_node(report, s.node, nodes, key + ".node");
+    check_window(report, s.at_s, s.until_s, key);
+    if (!(s.factor >= 1.0) || !std::isfinite(s.factor)) {
+      report.add(kRuleFaultBadValue, Location::config(key + ".factor"),
+                 "slowdown factor " + fmt(s.factor) + " must be >= 1",
+                 "the Fig. 5 degraded mode runs ~5x slower");
+    }
+  }
+
+  std::map<std::uint32_t, std::vector<std::pair<double, std::size_t>>>
+      windows_by_node;
+  for (std::size_t i = 0; i < plan.link_downs.size(); ++i) {
+    const fault::LinkDownWindow& d = plan.link_downs[i];
+    const std::string key = "link_down[" + std::to_string(i) + "]";
+    check_node(report, d.node, nodes, key + ".node");
+    check_window(report, d.at_s, d.until_s, key);
+    windows_by_node[d.node].push_back({d.at_s, i});
+  }
+  // Overlap detection per node: sort by start, a window that begins before
+  // the previous one ends would have its up-edge fire while the earlier
+  // window still holds the link down.
+  for (auto& [node, starts] : windows_by_node) {
+    std::sort(starts.begin(), starts.end());
+    for (std::size_t i = 1; i < starts.size(); ++i) {
+      const std::size_t prev = starts[i - 1].second;
+      const std::size_t cur = starts[i].second;
+      if (plan.link_downs[cur].at_s < plan.link_downs[prev].until_s) {
+        report.add(
+            kRuleFaultOverlappingWindows,
+            Location::config("link_down[" + std::to_string(cur) + "]"),
+            "window [" + fmt(plan.link_downs[cur].at_s) + ", " +
+                fmt(plan.link_downs[cur].until_s) +
+                ") overlaps window link_down[" + std::to_string(prev) +
+                "] on node " + std::to_string(node),
+            "merge overlapping windows into one");
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < plan.losses.size(); ++i) {
+    const fault::FrameLoss& l = plan.losses[i];
+    const std::string key = "frame_loss[" + std::to_string(i) + "]";
+    check_node(report, l.node, nodes, key + ".node");
+    if (!(l.probability >= 0.0) || l.probability >= 1.0 ||
+        !std::isfinite(l.probability)) {
+      report.add(kRuleFaultBadValue, Location::config(key + ".probability"),
+                 "loss probability " + fmt(l.probability) +
+                     " is outside [0, 1)",
+                 "probability 1 would never deliver a frame");
+    } else if (l.probability > kHighLossThreshold) {
+      report.add(kRuleFaultHighLoss, Location::config(key + ".probability"),
+                 "loss probability " + fmt(l.probability) +
+                     " exceeds " + fmt(kHighLossThreshold),
+                 "most frames will need several retransmits; expect "
+                 "give-ups");
+    }
+  }
+
+  if (plan.checkpoint.enabled) {
+    const fault::CheckpointConfig& c = plan.checkpoint;
+    const auto bad = [&](const char* field, double value) {
+      report.add(kRuleFaultCheckpointConfig,
+                 Location::config(std::string("checkpoint.") + field),
+                 std::string(field) + " " + fmt(value) + " must be positive",
+                 "disable checkpointing or configure the cost model fully");
+    };
+    if (!(c.interval_s > 0.0) || !std::isfinite(c.interval_s))
+      bad("interval_s", c.interval_s);
+    if (!(c.state_bytes_per_rank > 0.0))
+      bad("state_bytes_per_rank", c.state_bytes_per_rank);
+    if (!(c.write_bandwidth_bytes_per_s > 0.0))
+      bad("write_bandwidth_bytes_per_s", c.write_bandwidth_bytes_per_s);
+    if (!(c.read_bandwidth_bytes_per_s > 0.0))
+      bad("read_bandwidth_bytes_per_s", c.read_bandwidth_bytes_per_s);
+    if (c.restart_overhead_s < 0.0 || !std::isfinite(c.restart_overhead_s))
+      bad("restart_overhead_s", c.restart_overhead_s);
+  }
+
+  publish_diagnostics(report, "lint");
+  return report;
+}
+
+}  // namespace mb::verify

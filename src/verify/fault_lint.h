@@ -1,0 +1,24 @@
+// Pass 2 extension: fault-plan linter.
+//
+// Checks a fault::FaultPlan against the cluster it will run on before any
+// chaos scenario executes: every targeted node must exist (FLT001),
+// link-down windows for one node must not overlap (FLT002 — overlapping
+// windows make the later up-edge silently re-enable a link the earlier
+// window still holds down), an enabled checkpoint model needs positive
+// interval/state/bandwidths (FLT003), and every event needs sane values
+// (FLT004); near-total frame loss gets a warning (FLT005). Locations are
+// config keys into the plan document ("crashes[0].node", ...).
+#pragma once
+
+#include <cstdint>
+
+#include "fault/plan.h"
+#include "verify/diagnostics.h"
+
+namespace mb::verify {
+
+/// Lints `plan` for a cluster of `nodes` nodes; findings carry
+/// FLT001..FLT005. Publishes severity tallies under pass="lint".
+Report lint_fault_plan(const fault::FaultPlan& plan, std::uint32_t nodes);
+
+}  // namespace mb::verify

@@ -46,6 +46,18 @@ const std::vector<RuleInfo>& all_rules() {
        "tree topology has zero nodes or zero switch ports"},
       {kRuleRankCount, "lint", Severity::kError,
        "rank count is zero or not a multiple of cores per node"},
+      {kRuleFaultUnknownNode, "lint", Severity::kError,
+       "fault plan targets a node the cluster does not have"},
+      {kRuleFaultOverlappingWindows, "lint", Severity::kError,
+       "link-down windows for the same node overlap"},
+      {kRuleFaultCheckpointConfig, "lint", Severity::kError,
+       "checkpoint interval, state size, bandwidth or overhead is not "
+       "positive"},
+      {kRuleFaultBadValue, "lint", Severity::kError,
+       "fault event has a bad value (negative time, empty window, factor "
+       "< 1, probability outside [0,1))"},
+      {kRuleFaultHighLoss, "lint", Severity::kWarn,
+       "frame-loss probability above 0.5 — the link barely functions"},
   };
   return kRules;
 }

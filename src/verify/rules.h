@@ -51,5 +51,10 @@ inline constexpr std::string_view kRuleLinkLatency = "NET002";
 inline constexpr std::string_view kRuleSwitchBuffer = "NET003";
 inline constexpr std::string_view kRuleTreeShape = "NET004";
 inline constexpr std::string_view kRuleRankCount = "CFG001";
+inline constexpr std::string_view kRuleFaultUnknownNode = "FLT001";
+inline constexpr std::string_view kRuleFaultOverlappingWindows = "FLT002";
+inline constexpr std::string_view kRuleFaultCheckpointConfig = "FLT003";
+inline constexpr std::string_view kRuleFaultBadValue = "FLT004";
+inline constexpr std::string_view kRuleFaultHighLoss = "FLT005";
 
 }  // namespace mb::verify

@@ -1,0 +1,83 @@
+// FaultPlan JSON round-trips: parse -> serialize is byte-identical, the
+// schema marker is enforced, and defaults survive partial documents.
+#include "fault/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mb::fault {
+namespace {
+
+FaultPlan sample_plan() {
+  FaultPlan p;
+  p.seed = 2013;
+  p.crashes.push_back({2, 0.6});
+  p.slowdowns.push_back({1, 0.1, 0.4, 5.0});
+  p.link_downs.push_back({3, 0.3, 0.45});
+  p.losses.push_back({0, 0.01});
+  p.checkpoint.enabled = true;
+  p.checkpoint.interval_s = 0.25;
+  p.checkpoint.state_bytes_per_rank = 8.0 * 1024 * 1024;
+  return p;
+}
+
+TEST(FaultPlanJson, RoundTripIsByteIdentical) {
+  const std::string once = to_json(sample_plan());
+  const std::string twice = to_json(plan_from_json(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(FaultPlanJson, RoundTripPreservesEveryField) {
+  const FaultPlan p = plan_from_json(to_json(sample_plan()));
+  EXPECT_EQ(p.seed, 2013u);
+  ASSERT_EQ(p.crashes.size(), 1u);
+  EXPECT_EQ(p.crashes[0].node, 2u);
+  EXPECT_DOUBLE_EQ(p.crashes[0].at_s, 0.6);
+  ASSERT_EQ(p.slowdowns.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.slowdowns[0].factor, 5.0);
+  ASSERT_EQ(p.link_downs.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.link_downs[0].until_s, 0.45);
+  ASSERT_EQ(p.losses.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.losses[0].probability, 0.01);
+  EXPECT_TRUE(p.checkpoint.enabled);
+  EXPECT_DOUBLE_EQ(p.checkpoint.interval_s, 0.25);
+}
+
+TEST(FaultPlanJson, MinimalDocumentYieldsEmptyPlan) {
+  const FaultPlan p = plan_from_json(
+      R"({"schema": "mb-fault-plan", "schema_version": 1})");
+  EXPECT_TRUE(p.empty());
+  EXPECT_FALSE(p.checkpoint.enabled);
+  EXPECT_EQ(p.seed, 1u);  // default
+}
+
+TEST(FaultPlanJson, RejectsWrongSchema) {
+  EXPECT_THROW(
+      plan_from_json(R"({"schema": "mb-bench-report", "schema_version": 1})"),
+      support::Error);
+  EXPECT_THROW(plan_from_json(R"({"schema_version": 1})"), support::Error);
+}
+
+TEST(FaultPlanJson, RejectsUnsupportedVersion) {
+  EXPECT_THROW(
+      plan_from_json(R"({"schema": "mb-fault-plan", "schema_version": 99})"),
+      support::Error);
+}
+
+TEST(FaultPlanJson, RejectsMalformedText) {
+  EXPECT_THROW(plan_from_json("not json at all"), support::Error);
+  EXPECT_THROW(plan_from_json(""), support::Error);
+}
+
+TEST(FaultPlanJson, CheckpointRequiresEnabledFlag) {
+  // A checkpoint object without "enabled" is a malformed document, not a
+  // silently-disabled one.
+  EXPECT_THROW(plan_from_json(R"({"schema": "mb-fault-plan",
+                                  "schema_version": 1,
+                                  "checkpoint": {"interval_s": 10}})"),
+               support::Error);
+}
+
+}  // namespace
+}  // namespace mb::fault

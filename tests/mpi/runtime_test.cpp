@@ -234,6 +234,80 @@ TEST(Runtime, CollectiveTimeAccountedToCollectiveCounter) {
       registry.counter("mpi.time_s", {{"kind", "collective"}}).value(), coll0);
 }
 
+TEST(Runtime, CrashedPeerYieldsStructuredFailureReport) {
+  Harness h(2);
+  std::vector<net::NodeId> hosts{h.topo.hosts[0], h.topo.hosts[1]};
+  RuntimeConfig config;
+  config.recv_timeout_s = 0.5;
+  Runtime rt(h.queue, h.network, hosts, config, nullptr);
+  Program p(2);
+  p.rank(0).push_back(Op::recv(1, 5));
+  p.rank(1).push_back(Op::compute(0.2));
+  p.rank(1).push_back(Op::send(0, 1000, 5));
+  h.queue.schedule_in(0.1, [&] { rt.crash_rank(1); });
+
+  const RunOutcome outcome = rt.run_outcome(p);
+  EXPECT_FALSE(outcome.completed);
+  ASSERT_EQ(outcome.failure.dead_ranks.size(), 1u);
+  EXPECT_EQ(outcome.failure.dead_ranks[0], 1u);
+  // Rank 0 blocked at t=0 on recv(peer=1, tag=5); the detector declares
+  // it dead at wait_start + recv_timeout.
+  ASSERT_EQ(outcome.failure.blocked.size(), 1u);
+  EXPECT_EQ(outcome.failure.blocked[0].rank, 0u);
+  EXPECT_EQ(outcome.failure.blocked[0].peer, 1u);
+  EXPECT_EQ(outcome.failure.blocked[0].tag, 5);
+  EXPECT_TRUE(outcome.failure.blocked[0].timed_out);
+  EXPECT_NEAR(outcome.failure.detected_s, 0.5, 1e-9);
+  // The throwing entry point renders the same report.
+  const std::string rendered = outcome.failure.to_string();
+  EXPECT_NE(rendered.find("dead ranks: 1"), std::string::npos);
+  EXPECT_NE(rendered.find("rank 0 blocked on recv(peer=1"),
+            std::string::npos);
+}
+
+TEST(Runtime, SendRetryRecoversFromTransientOutage) {
+  Harness h(2);
+  std::vector<net::NodeId> hosts{h.topo.hosts[0], h.topo.hosts[1]};
+  RuntimeConfig config;
+  config.max_send_retries = 3;
+  config.send_retry_base_s = 5.0;
+  Runtime rt(h.queue, h.network, hosts, config, nullptr);
+  const double retries0 = obs::metrics().counter("mpi.retries").value();
+
+  // The host link is down long enough for the network to exhaust its
+  // per-frame retransmit budget and abandon the message; the runtime's
+  // send retry re-posts it once the link is back.
+  h.network.set_link_state(h.topo.hosts[0], h.topo.leaf_switches[0], false);
+  h.queue.schedule_in(60.0, [&] {
+    h.network.set_link_state(h.topo.hosts[0], h.topo.leaf_switches[0],
+                             true);
+  });
+  Program p(2);
+  p.rank(0).push_back(Op::send(1, 1000, 9));
+  p.rank(1).push_back(Op::recv(0, 9));
+
+  const RunOutcome outcome = rt.run_outcome(p);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_GT(outcome.makespan_s, 60.0);  // waited out the outage
+  EXPECT_GE(obs::metrics().counter("mpi.retries").value(), retries0 + 1.0);
+}
+
+TEST(Runtime, SlowdownStretchesSubsequentCompute) {
+  Harness h(2);
+  std::vector<net::NodeId> hosts{h.topo.hosts[0], h.topo.hosts[1]};
+  Runtime rt(h.queue, h.network, hosts, RuntimeConfig{}, nullptr);
+  Program p(2);
+  p.rank(0).push_back(Op::compute(0.1));
+  p.rank(0).push_back(Op::compute(1.0));
+  // Fires between the two ops: only the second is stretched (Fig. 5
+  // degraded mode, ~5x slower).
+  h.queue.schedule_in(0.05, [&] { rt.set_rank_slowdown(0, 5.0); });
+
+  EXPECT_NEAR(rt.run(p), 0.1 + 5.0, 1e-9);
+  EXPECT_THROW(rt.set_rank_slowdown(0, 0.5), support::Error);  // < 1
+  EXPECT_THROW(rt.set_rank_slowdown(99, 2.0), support::Error);
+}
+
 TEST(Runtime, RanksMismatchRejected) {
   Harness h(2);
   Program p(3);

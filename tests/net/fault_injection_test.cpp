@@ -67,6 +67,89 @@ TEST(FaultInjection, StragglerStallsTheWholeCollective) {
   EXPECT_GT(makespan_with(true), 3.0 * makespan_with(false));
 }
 
+TEST(FaultInjection, DownedLinkBlocksUntilRestored) {
+  Cluster c(4);
+  const NodeId host = c.topo.hosts[0];
+  const NodeId leaf = c.topo.leaf_switches[0];
+  c.net.set_link_state(host, leaf, false);
+  c.queue.schedule_in(1.0,
+                      [&] { c.net.set_link_state(host, leaf, true); });
+  double t = -1;
+  c.net.send(host, c.topo.hosts[1], 100, [&] { t = c.queue.now(); });
+  c.queue.run();
+  // The frame sat out the outage on retransmit timers; it cannot have
+  // arrived before the link came back.
+  EXPECT_GT(t, 1.0);
+  EXPECT_LT(t, 5.0);  // ... but the capped backoff retries promptly
+  EXPECT_GT(c.net.link_stats(host, leaf).down_drops, 0u);
+  EXPECT_GT(c.net.link_stats(host, leaf).retransmits, 0u);
+}
+
+TEST(FaultInjection, RetransmitBackoffIsExponential) {
+  // Outage of 0.5 s: the Tibidabo links retry on a 25 ms base RTO with
+  // backoff 2, so the retries land at 0.025 * (1+2+4+8+16) cumulative —
+  // 0.025, 0.075, 0.175, 0.375 (all still down) and 0.775 (up). Delivery
+  // happens right after 0.775, on the fifth retransmit.
+  Cluster c(2);
+  const NodeId host = c.topo.hosts[0];
+  const NodeId leaf = c.topo.leaf_switches[0];
+  c.net.set_link_state(host, leaf, false);
+  c.queue.schedule_in(0.5,
+                      [&] { c.net.set_link_state(host, leaf, true); });
+  double t = -1;
+  c.net.send(host, c.topo.hosts[1], 100, [&] { t = c.queue.now(); });
+  c.queue.run();
+  EXPECT_GT(t, 0.775);
+  EXPECT_LT(t, 0.85);
+  EXPECT_EQ(c.net.link_stats(host, leaf).retransmits, 5u);
+}
+
+TEST(FaultInjection, PermanentOutageGivesUpAndReportsFailure) {
+  Cluster c(2);
+  const NodeId host = c.topo.hosts[0];
+  const NodeId leaf = c.topo.leaf_switches[0];
+  c.net.set_link_state(host, leaf, false);
+  bool delivered = false;
+  int failures = 0;
+  c.net.send(host, c.topo.hosts[1], 100, [&] { delivered = true; },
+             [&] { ++failures; });
+  c.queue.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(failures, 1);  // on_failed fires exactly once
+  EXPECT_GT(c.net.link_stats(host, leaf).gave_up, 0u);
+}
+
+TEST(FaultInjection, InjectedLossStillDeliversEverything) {
+  Cluster c(2);
+  const NodeId host = c.topo.hosts[0];
+  const NodeId leaf = c.topo.leaf_switches[0];
+  c.net.set_link_loss(host, leaf, 0.3, 42);
+  int delivered = 0;
+  const int messages = 50;
+  for (int m = 0; m < messages; ++m)
+    c.net.send(host, c.topo.hosts[1], 4000, [&] { ++delivered; });
+  c.queue.run();
+  EXPECT_EQ(delivered, messages);  // retransmission hides the loss
+  const auto& stats = c.net.link_stats(host, leaf);
+  EXPECT_GT(stats.injected_losses, 0u);
+  EXPECT_GE(stats.retransmits, stats.injected_losses);
+}
+
+TEST(FaultInjection, LinkStateQueryAndValidation) {
+  Cluster c(2);
+  const NodeId host = c.topo.hosts[0];
+  const NodeId leaf = c.topo.leaf_switches[0];
+  EXPECT_TRUE(c.net.link_up(host, leaf));
+  c.net.set_link_state(host, leaf, false);
+  EXPECT_FALSE(c.net.link_up(host, leaf));
+  EXPECT_FALSE(c.net.link_up(leaf, host));  // both directions go down
+  c.net.set_link_state(host, leaf, true);
+  EXPECT_TRUE(c.net.link_up(host, leaf));
+  // Loss probability 1 would retransmit forever.
+  EXPECT_THROW(c.net.set_link_loss(host, leaf, 1.0, 1), support::Error);
+  EXPECT_THROW(c.net.set_link_loss(host, leaf, -0.1, 1), support::Error);
+}
+
 TEST(FaultInjection, Preconditions) {
   Cluster c(2);
   EXPECT_THROW(

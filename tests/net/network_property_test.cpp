@@ -81,6 +81,56 @@ TEST_P(TopologySweep, LinkStatsConserveBytes) {
   EXPECT_EQ(s.drops, 0u);
 }
 
+TEST_P(TopologySweep, ByteConservationUnderLoss) {
+  const std::uint32_t nodes = GetParam();
+  if (nodes < 2) return;
+  sim::EventQueue queue;
+  Network net(queue);
+  const auto topo = build_tree(net, tibidabo_tree(nodes));
+
+  // Every host link is lossy; retransmission must still deliver every
+  // message exactly once, with every payload byte intact.
+  const net::TreeParams params = tibidabo_tree(nodes);
+  auto leaf_of = [&](std::uint32_t n) {
+    return topo.leaf_switches[n / params.switch_ports];
+  };
+  support::Rng rng(nodes * 13 + 1);
+  for (std::uint32_t n = 0; n < nodes; ++n)
+    net.set_link_loss(topo.hosts[n], leaf_of(n), 0.1, 1000 + n);
+
+  const int messages = 100;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+  int delivered = 0;
+  for (int m = 0; m < messages; ++m) {
+    const NodeId src = topo.hosts[rng.index(nodes)];
+    const NodeId dst = topo.hosts[rng.index(nodes)];
+    const std::uint64_t bytes = rng.uniform_u64(1, 16 * 1024);
+    bytes_sent += bytes;
+    net.send(src, dst, bytes, [&delivered, &bytes_delivered, bytes] {
+      ++delivered;
+      bytes_delivered += bytes;
+    });
+  }
+  queue.run();
+  EXPECT_EQ(delivered, messages);
+  EXPECT_EQ(bytes_delivered, bytes_sent);
+
+  // The loss actually bit: at 10% per frame, some injected losses (and a
+  // matching or larger number of retransmits) must have occurred.
+  std::uint64_t losses = 0;
+  std::uint64_t retransmits = 0;
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const NodeId leaf = leaf_of(n);
+    losses += net.link_stats(topo.hosts[n], leaf).injected_losses;
+    losses += net.link_stats(leaf, topo.hosts[n]).injected_losses;
+    retransmits += net.link_stats(topo.hosts[n], leaf).retransmits;
+    retransmits += net.link_stats(leaf, topo.hosts[n]).retransmits;
+  }
+  EXPECT_GT(losses, 0u);
+  EXPECT_GE(retransmits, losses);
+}
+
 INSTANTIATE_TEST_SUITE_P(Sizes, TopologySweep,
                          ::testing::Values(1u, 2u, 3u, 8u, 48u, 49u, 100u),
                          [](const auto& info) {

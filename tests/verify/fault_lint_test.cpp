@@ -1,0 +1,117 @@
+// Seeded defect corpus for the fault-plan linter: one broken plan per
+// FLT rule, the shipped example plans lint clean, and the rules are
+// registered in the shared registry.
+#include "verify/fault_lint.h"
+
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "verify/rules.h"
+
+namespace mb::verify {
+namespace {
+
+constexpr std::uint32_t kNodes = 8;
+
+fault::FaultPlan clean_plan() {
+  fault::FaultPlan p;
+  p.crashes.push_back({2, 0.6});
+  p.slowdowns.push_back({1, 0.1, 0.4, 5.0});
+  p.link_downs.push_back({3, 0.3, 0.45});
+  p.link_downs.push_back({3, 0.9, 1.0});
+  p.losses.push_back({0, 0.01});
+  p.checkpoint.enabled = true;
+  p.checkpoint.interval_s = 0.25;
+  return p;
+}
+
+TEST(FaultLint, CleanPlanPasses) {
+  const Report report = lint_fault_plan(clean_plan(), kNodes);
+  EXPECT_TRUE(report.empty()) << render_diagnostics(report);
+}
+
+TEST(FaultLint, EmptyPlanPasses) {
+  EXPECT_TRUE(lint_fault_plan(fault::FaultPlan{}, kNodes).empty());
+}
+
+TEST(FaultLint, Flt001UnknownNode) {
+  auto p = clean_plan();
+  p.crashes.push_back({kNodes, 0.1});  // first invalid id
+  const Report report = lint_fault_plan(p, kNodes);
+  EXPECT_TRUE(report.has_rule(kRuleFaultUnknownNode));
+  EXPECT_TRUE(report.has_errors());
+  // Every section is node-checked, not just crashes.
+  auto q = clean_plan();
+  q.losses.push_back({99, 0.01});
+  EXPECT_TRUE(lint_fault_plan(q, kNodes).has_rule(kRuleFaultUnknownNode));
+}
+
+TEST(FaultLint, Flt002OverlappingLinkWindows) {
+  auto p = clean_plan();
+  p.link_downs.push_back({3, 0.4, 0.6});  // starts inside [0.3, 0.45)
+  const Report report = lint_fault_plan(p, kNodes);
+  EXPECT_TRUE(report.has_rule(kRuleFaultOverlappingWindows));
+  EXPECT_TRUE(report.has_errors());
+  // Same windows on a *different* node are fine.
+  auto q = clean_plan();
+  q.link_downs.push_back({5, 0.4, 0.6});
+  EXPECT_FALSE(
+      lint_fault_plan(q, kNodes).has_rule(kRuleFaultOverlappingWindows));
+}
+
+TEST(FaultLint, Flt003BrokenCheckpointConfig) {
+  auto p = clean_plan();
+  p.checkpoint.interval_s = 0.0;
+  EXPECT_TRUE(
+      lint_fault_plan(p, kNodes).has_rule(kRuleFaultCheckpointConfig));
+  auto q = clean_plan();
+  q.checkpoint.write_bandwidth_bytes_per_s = -1.0;
+  EXPECT_TRUE(
+      lint_fault_plan(q, kNodes).has_rule(kRuleFaultCheckpointConfig));
+  // A disabled checkpoint section is never inspected.
+  auto r = clean_plan();
+  r.checkpoint.enabled = false;
+  r.checkpoint.interval_s = 0.0;
+  EXPECT_FALSE(
+      lint_fault_plan(r, kNodes).has_rule(kRuleFaultCheckpointConfig));
+}
+
+TEST(FaultLint, Flt004BadValues) {
+  auto p = clean_plan();
+  p.crashes.push_back({1, -0.5});
+  EXPECT_TRUE(lint_fault_plan(p, kNodes).has_rule(kRuleFaultBadValue));
+  auto q = clean_plan();
+  q.link_downs.push_back({6, 0.5, 0.5});  // empty window
+  EXPECT_TRUE(lint_fault_plan(q, kNodes).has_rule(kRuleFaultBadValue));
+  auto r = clean_plan();
+  r.slowdowns.push_back({1, 0.6, 0.8, 0.5});  // factor < 1 speeds up
+  EXPECT_TRUE(lint_fault_plan(r, kNodes).has_rule(kRuleFaultBadValue));
+  auto s = clean_plan();
+  s.losses.push_back({1, 1.0});  // probability 1 never delivers
+  EXPECT_TRUE(lint_fault_plan(s, kNodes).has_rule(kRuleFaultBadValue));
+}
+
+TEST(FaultLint, Flt005HighLossOnlyWarns) {
+  auto p = clean_plan();
+  p.losses.push_back({1, 0.75});
+  const Report report = lint_fault_plan(p, kNodes);
+  EXPECT_TRUE(report.has_rule(kRuleFaultHighLoss));
+  EXPECT_FALSE(report.has_errors());  // plausibility, not structure
+}
+
+TEST(FaultLint, RulesAreRegisteredUnderTheLintPass) {
+  for (const std::string_view id :
+       {kRuleFaultUnknownNode, kRuleFaultOverlappingWindows,
+        kRuleFaultCheckpointConfig, kRuleFaultBadValue,
+        kRuleFaultHighLoss}) {
+    const RuleInfo* info = find_rule(id);
+    ASSERT_NE(info, nullptr) << id;
+    EXPECT_EQ(info->pass, "lint") << id;
+  }
+  EXPECT_EQ(find_rule(kRuleFaultHighLoss)->severity, Severity::kWarn);
+  EXPECT_EQ(find_rule(kRuleFaultUnknownNode)->severity, Severity::kError);
+}
+
+}  // namespace
+}  // namespace mb::verify

@@ -46,6 +46,7 @@
 //
 // <platform> is a built-in name (snowball, xeon, tegra2, exynos5) or
 // @path/to/file.platform in the arch::platform_io text format.
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -66,6 +67,8 @@
 #include "core/harness.h"
 #include "core/param_space.h"
 #include "core/search.h"
+#include "fault/chaos.h"
+#include "fault/plan.h"
 #include "kernels/chessbench.h"
 #include "kernels/coremark.h"
 #include "kernels/latency.h"
@@ -80,16 +83,21 @@
 #include "obs/profiler.h"
 #include "sim/roofline.h"
 #include "support/check.h"
+#include "support/exit_codes.h"
 #include "support/table.h"
 #include "support/version.h"
 #include "trace/gantt.h"
 #include "trace/trace.h"
+#include "verify/fault_lint.h"
 #include "verify/mpi_verify.h"
 #include "verify/platform_lint.h"
 
 namespace {
 
 using mb::support::fmt_fixed;
+using mb::support::kExitFindings;
+using mb::support::kExitOk;
+using mb::support::kExitUsage;
 
 [[noreturn]] void usage(const std::string& error = {}) {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
@@ -119,12 +127,19 @@ using mb::support::fmt_fixed;
       "           [--json PATH]\n"
       "  verify-mpi <fig4|bigdft|hpl|specfem|demo-deadlock> [--ranks N]\n"
       "           [--json PATH]\n"
+      "  chaos <bigdft|hpl|specfem> --faults plan.json [--ranks N]\n"
+      "           [--checkpoint on|off] [--checkpoint-interval X]\n"
+      "           [--checkpoint-mb N] [--recv-timeout X] [--send-retries N]\n"
+      "           [--max-restarts N] [--seed N] [--trace-out PATH]\n"
+      "           [--json PATH]\n"
       "platform: snowball | xeon | tegra2 | exynos5 | @file\n"
       "--profile enables the scoped-span profiler and writes an mb-profile\n"
       "document (read it back with obs-report)\n"
-      "compare exit codes: 0 = no regression, 3 = confirmed regression\n"
-      "lint/verify-mpi exit codes: 0 = clean, 3 = error findings\n";
-  std::exit(error.empty() ? 0 : 2);
+      "--seed defaults to the MB_SEED environment variable when set\n"
+      "exit codes (all commands): 0 = success, 2 = usage error, 3 = the\n"
+      "run worked but the answer is bad (error findings, confirmed\n"
+      "regression, or an unrecovered chaos scenario)\n";
+  std::exit(error.empty() ? kExitOk : kExitUsage);
 }
 
 mb::arch::Platform resolve_platform(const std::string& spec) {
@@ -191,6 +206,25 @@ class Options {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Seed resolution shared by every seeded command: --seed wins, then the
+/// MB_SEED environment variable (CI sets it once for a whole pipeline so
+/// each step need not thread it through), then the command's default.
+std::uint64_t effective_seed(Options& opts, std::uint64_t fallback) {
+  if (opts.has("seed")) return opts.get_u64("seed", fallback);
+  if (const char* env = std::getenv("MB_SEED")) {
+    const std::string text(env);
+    try {
+      std::size_t used = 0;
+      const std::uint64_t v = std::stoull(text, &used);
+      if (used != text.size()) throw std::invalid_argument(text);
+      return v;
+    } catch (const std::exception&) {
+      usage("MB_SEED expects an integer, got '" + text + "'");
+    }
+  }
+  return fallback;
+}
 
 // Defined with the lint/verify-mpi commands below; used by every scenario
 // command that validates configuration through lint rules.
@@ -293,6 +327,7 @@ int cmd_roofline(const mb::arch::Platform& p, Options& opts) {
     mb::core::BenchReport report;
     report.suite = "roofline";
     report.tool = "mbctl";
+    report.seed = effective_seed(opts, 0);  // analytic, but CI keys on it
     report.add_platform(platform_info(p));
     const std::string base = "roofline/" + p.name;
     using D = mb::core::Direction;
@@ -317,7 +352,7 @@ int cmd_membench(const mb::arch::Platform& p, Options& opts) {
   params.passes = static_cast<std::uint32_t>(opts.get_u64("passes", 8));
   const auto reps =
       static_cast<std::uint32_t>(opts.get_u64("reps", 1));
-  const std::uint64_t seed = opts.get_u64("seed", 1);
+  const std::uint64_t seed = effective_seed(opts, 1);
   if (reps == 0) usage("--reps must be at least 1");
 
   const auto samples = run_reps(
@@ -367,7 +402,7 @@ int cmd_latency(const mb::arch::Platform& p, Options& opts) {
   params.hops = static_cast<std::uint32_t>(opts.get_u64("hops", 4096));
   const auto reps =
       static_cast<std::uint32_t>(opts.get_u64("reps", 1));
-  const std::uint64_t seed = opts.get_u64("seed", 1);
+  const std::uint64_t seed = effective_seed(opts, 1);
   if (reps == 0) usage("--reps must be at least 1");
 
   std::vector<double> cycles;
@@ -404,8 +439,9 @@ int cmd_latency(const mb::arch::Platform& p, Options& opts) {
 }
 
 int cmd_tune_magicfilter(const mb::arch::Platform& p, Options& opts) {
+  const std::uint64_t seed = effective_seed(opts, 1);
   mb::sim::Machine machine(p, mb::sim::PagePolicy::kConsecutive,
-                           mb::support::Rng(1));
+                           mb::support::Rng(seed));
   mb::core::ParamSpace space;
   space.add_range("unroll", 1, 12);
   std::vector<double> cycles;
@@ -430,6 +466,7 @@ int cmd_tune_magicfilter(const mb::arch::Platform& p, Options& opts) {
     mb::core::BenchReport report;
     report.suite = "tune-magicfilter";
     report.tool = "mbctl";
+    report.seed = seed;
     report.add_platform(platform_info(p));
     for (std::size_t i = 0; i < space.size(); ++i) {
       add_record(report,
@@ -450,7 +487,7 @@ int cmd_tune_magicfilter(const mb::arch::Platform& p, Options& opts) {
 
 int cmd_bench_suite(Options& opts) {
   const auto reps = static_cast<std::uint32_t>(opts.get_u64("reps", 8));
-  const std::uint64_t seed = opts.get_u64("seed", 2013);
+  const std::uint64_t seed = effective_seed(opts, 2013);
   if (reps == 0) usage("--reps must be at least 1");
   using D = mb::core::Direction;
 
@@ -661,7 +698,7 @@ mb::apps::AppRunResult run_fig4_scenario(Options& opts) {
       static_cast<std::uint32_t>(opts.get_u64("iterations", 12));
   params.compute_s_per_iter = opts.get_f64("compute-s", 2.0);
   params.transpose_bytes = opts.get_u64("transpose-mb", 12) << 20;
-  params.seed = opts.get_u64("seed", 1);
+  params.seed = effective_seed(opts, 1);
   enforce_clean(mb::verify::lint_rank_count(params.ranks, 2, "--ranks"));
   mb::obs::ScopedSpan span(mb::obs::profiler(), "fig4/simulate");
   return mb::apps::run_bigdft(mb::apps::tibidabo_cluster(params.ranks / 2),
@@ -722,7 +759,7 @@ int cmd_fig4(Options& opts) {
     mb::core::BenchReport report;
     report.suite = "fig4";
     report.tool = "mbctl";
-    report.seed = opts.get_u64("seed", 1);
+    report.seed = effective_seed(opts, 1);
     using D = mb::core::Direction;
     add_record(report, "fig4/makespan", "tibidabo", "seconds", "s",
                D::kMinimize, {result.makespan_s});
@@ -852,10 +889,10 @@ int cmd_compare(const std::string& baseline_path,
 
   if (result.has_regressions()) {
     std::cout << "verdict: REGRESSED\n";
-    return 3;
+    return kExitFindings;
   }
   std::cout << "verdict: OK\n";
-  return 0;
+  return kExitOk;
 }
 
 int cmd_version() {
@@ -897,7 +934,7 @@ int cmd_lint(const std::string& target, Options& opts) {
             << mb::verify::render_diagnostics(report);
   if (opts.has("json"))
     write_diagnostics_json(report, source, opts.get_str("json", ""));
-  return report.has_errors() ? 3 : 0;
+  return report.has_errors() ? kExitFindings : kExitOk;
 }
 
 /// Prints `report` and exits 3 when it carries error findings — the shared
@@ -906,7 +943,7 @@ int cmd_lint(const std::string& target, Options& opts) {
 void enforce_clean(const mb::verify::Report& report) {
   if (!report.has_errors()) return;
   std::cerr << mb::verify::render_diagnostics(report);
-  std::exit(3);
+  std::exit(kExitFindings);
 }
 
 /// The seeded defect fixture behind `verify-mpi demo-deadlock`: a classic
@@ -953,7 +990,152 @@ int cmd_verify_mpi(const std::string& app, Options& opts) {
             << mb::verify::render_diagnostics(report);
   if (opts.has("json"))
     write_diagnostics_json(report, app, opts.get_str("json", ""));
-  return report.has_errors() ? 3 : 0;
+  return report.has_errors() ? kExitFindings : kExitOk;
+}
+
+// --------------------------------------------------------------------------
+// chaos: fault-injection scenarios (src/fault) — run an application under
+// a declarative FaultPlan with failure detection and checkpoint/restart.
+
+int cmd_chaos(const std::string& app, Options& opts) {
+  if (!opts.has("faults")) usage("chaos needs --faults plan.json");
+  const std::string plan_path = opts.get_str("faults", "");
+  std::ifstream in(plan_path);
+  if (!in) usage("cannot open fault plan " + plan_path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  mb::fault::FaultPlan plan = mb::fault::plan_from_json(text.str());
+  plan.seed = effective_seed(opts, plan.seed);
+
+  // Checkpoint-model overrides; setting an interval or size implies `on`.
+  if (opts.has("checkpoint")) {
+    const std::string v = opts.get_str("checkpoint", "on");
+    if (v != "on" && v != "off") usage("--checkpoint expects on|off");
+    plan.checkpoint.enabled = v == "on";
+  }
+  if (opts.has("checkpoint-interval")) {
+    plan.checkpoint.enabled = true;
+    plan.checkpoint.interval_s = opts.get_f64("checkpoint-interval", 0.0);
+  }
+  if (opts.has("checkpoint-mb")) {
+    plan.checkpoint.enabled = true;
+    plan.checkpoint.state_bytes_per_rank =
+        static_cast<double>(opts.get_u64("checkpoint-mb", 64) << 20);
+  }
+
+  mb::mpi::Program program(1);
+  std::uint32_t ranks = 0;
+  if (app == "bigdft") {
+    mb::apps::BigDftParams params;
+    params.ranks = static_cast<std::uint32_t>(opts.get_u64("ranks", 8));
+    params.iterations =
+        static_cast<std::uint32_t>(opts.get_u64("iterations", 6));
+    params.compute_s_per_iter = opts.get_f64("compute-s", 1.0);
+    params.transpose_bytes = opts.get_u64("transpose-mb", 8) << 20;
+    params.seed = plan.seed;
+    ranks = params.ranks;
+    enforce_clean(mb::verify::lint_rank_count(ranks, 2, "--ranks"));
+    program = mb::apps::bigdft_program(params);
+  } else if (app == "hpl") {
+    mb::apps::HplParams params;
+    params.ranks = static_cast<std::uint32_t>(opts.get_u64("ranks", 16));
+    params.n = static_cast<std::uint32_t>(opts.get_u64("n", 4096));
+    params.block = static_cast<std::uint32_t>(opts.get_u64("block", 64));
+    ranks = params.ranks;
+    enforce_clean(mb::verify::lint_rank_count(ranks, 2, "--ranks"));
+    program = mb::apps::hpl_program(params);
+  } else if (app == "specfem") {
+    mb::apps::SpecfemParams params;
+    params.ranks = static_cast<std::uint32_t>(opts.get_u64("ranks", 8));
+    params.steps = static_cast<std::uint32_t>(opts.get_u64("steps", 20));
+    params.compute_s_per_step = opts.get_f64("compute-s", 6.0);
+    ranks = params.ranks;
+    enforce_clean(mb::verify::lint_rank_count(ranks, 2, "--ranks"));
+    program = mb::apps::specfem_program(params);
+  } else {
+    usage("unknown chaos app '" + app + "' (bigdft|hpl|specfem)");
+  }
+
+  mb::fault::ChaosScenario scenario;
+  scenario.cluster = mb::apps::tibidabo_cluster(ranks / 2);
+  scenario.cluster.mpi.recv_timeout_s = opts.get_f64("recv-timeout", 2.0);
+  scenario.cluster.mpi.max_send_retries =
+      static_cast<std::uint32_t>(opts.get_u64("send-retries", 3));
+  scenario.max_restarts =
+      static_cast<std::uint32_t>(opts.get_u64("max-restarts", 8));
+  enforce_clean(mb::verify::lint_fault_plan(plan, scenario.cluster.nodes));
+  scenario.plan = plan;
+
+  mb::fault::ChaosResult result;
+  {
+    mb::obs::ScopedSpan span(mb::obs::profiler(), "chaos/run");
+    result = mb::fault::run_chaos(scenario, program);
+  }
+
+  const auto& rec = result.recovery;
+  std::cout << "=== chaos: " << app << " under " << plan_path << " ===\n"
+            << "ranks:            " << ranks << " on "
+            << scenario.cluster.nodes << " nodes\n"
+            << "outcome:          "
+            << (result.completed
+                    ? (result.recovered ? "RECOVERED" : "COMPLETED")
+                    : "UNRECOVERED")
+            << " after " << result.attempts << " attempt(s)\n"
+            << "app makespan:     " << fmt_fixed(result.app_makespan_s, 3)
+            << " s\n"
+            << "time-to-solution: "
+            << fmt_fixed(result.time_to_solution_s, 3) << " s\n"
+            << "recovery cost:    " << fmt_fixed(rec.total(), 3)
+            << " s (checkpoints " << fmt_fixed(rec.checkpoint_write_s, 3)
+            << ", lost work " << fmt_fixed(rec.lost_work_s, 3)
+            << ", detection " << fmt_fixed(rec.detection_s, 3)
+            << ", restart " << fmt_fixed(rec.restart_s, 3) << ")\n"
+            << "network:          " << result.network_drops << " drops, "
+            << result.retransmits << " retransmits, "
+            << result.injected_losses << " injected losses\n";
+
+  if (opts.has("trace-out")) {
+    const std::string path = opts.get_str("trace-out", "");
+    std::ofstream out(path);
+    if (!out)
+      throw mb::support::Error("cannot open " + path + " for writing");
+    result.trace.write_paraver(out);
+    if (!out) throw mb::support::Error("write to " + path + " failed");
+    std::cerr << "wrote " << path << " (" << result.trace.size()
+              << " trace records, fault marks included)\n";
+  }
+
+  if (opts.has("json")) {
+    mb::core::BenchReport report;
+    report.suite = "chaos";
+    report.tool = "mbctl";
+    report.seed = plan.seed;
+    using D = mb::core::Direction;
+    const std::string base = "chaos/" + app;
+    add_record(report, base + "/time_to_solution", "tibidabo", "seconds",
+               "s", D::kMinimize, {result.time_to_solution_s});
+    add_record(report, base + "/app_makespan", "tibidabo", "seconds", "s",
+               D::kMinimize, {result.app_makespan_s});
+    add_record(report, base + "/restarts", "tibidabo", "count", "restarts",
+               D::kMinimize, {static_cast<double>(result.attempts - 1)});
+    add_record(report, base + "/recovery_overhead", "tibidabo", "seconds",
+               "s", D::kMinimize, {rec.total()});
+    add_record(report, base + "/network_drops", "tibidabo", "count",
+               "frames", D::kMinimize,
+               {static_cast<double>(result.network_drops)});
+    add_record(report, base + "/retransmits", "tibidabo", "count", "frames",
+               D::kMinimize, {static_cast<double>(result.retransmits)});
+    add_record(report, base + "/injected_losses", "tibidabo", "count",
+               "frames", D::kMinimize,
+               {static_cast<double>(result.injected_losses)});
+    write_report(report, opts.get_str("json", ""));
+  }
+
+  if (!result.completed) {
+    std::cerr << result.failure.to_string();
+    return kExitFindings;
+  }
+  return kExitOk;
 }
 
 int dispatch(const std::vector<std::string>& args) {
@@ -993,6 +1175,11 @@ int dispatch(const std::vector<std::string>& args) {
       usage("verify-mpi needs an app (fig4|bigdft|hpl|specfem|demo-deadlock)");
     Options opts(args, 2);
     return cmd_verify_mpi(args[1], opts);
+  }
+  if (cmd == "chaos") {
+    if (args.size() < 2) usage("chaos needs an app (bigdft|hpl|specfem)");
+    Options opts(args, 2);
+    return cmd_chaos(args[1], opts);
   }
   if (args.size() < 2) usage(cmd + " needs a platform argument");
   const auto platform = resolve_platform(args[1]);
