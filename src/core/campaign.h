@@ -1,0 +1,102 @@
+// Parallel campaign executor with deterministic output.
+//
+// The paper's experiments are sweeps — unroll degrees, element-size ×
+// unrolling grids, rank counts — each repeated and randomized per §V.A.1,
+// so a reproduction campaign is hundreds of independent simulations. This
+// module shards them across a work-stealing thread pool while keeping the
+// rendered output byte-identical to the serial run:
+//  * every task's RNG seed is a pure function of the campaign seed and the
+//    task's configuration (support::derive_seed), never of scheduling;
+//  * results land in a position-indexed buffer and are consumed in task
+//    order after the pool drains, so downstream rendering sees the serial
+//    order regardless of completion order;
+//  * the only nondeterministic observable (steal count) is reported out of
+//    band, on stderr, never in reports.
+//
+// run_campaign() layers the content-addressed ResultCache underneath:
+// hits are resolved on the calling thread before the pool starts, misses
+// are executed and then persisted. Campaign totals are published to the
+// global obs registry (campaign.tasks/steals, cache.hits/cache.misses)
+// from the calling thread only — task bodies must not touch
+// obs::metrics()/profiler(), which are single-threaded by design.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/result_cache.h"
+
+namespace mb::core {
+
+/// Knobs surfaced as mbctl --jobs / --no-cache / --cache-dir.
+struct CampaignOptions {
+  std::uint32_t jobs = 1;
+  bool cache = true;
+  std::string cache_dir = ".mb-cache";
+};
+
+/// Aggregate counters for one run_campaign() call (also published to the
+/// obs registry). `steals` depends on thread timing and is only ever
+/// reported on stderr.
+struct CampaignStats {
+  std::uint64_t tasks = 0;        ///< total tasks submitted
+  std::uint64_t executed = 0;     ///< tasks actually simulated (misses)
+  std::uint64_t steals = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+/// Work-stealing index pool. Tasks are sharded round-robin across
+/// per-worker deques; an idle worker pops from its own front and steals
+/// from a victim's back. With jobs <= 1 (or a single task) everything runs
+/// inline on the calling thread.
+class Executor {
+ public:
+  explicit Executor(std::uint32_t jobs);
+
+  std::uint32_t jobs() const { return jobs_; }
+
+  /// Invokes fn(i) exactly once for every i in [0, n), in unspecified
+  /// order across up to jobs() threads (the calling thread participates).
+  /// fn must not touch the obs registry or profiler. The first exception
+  /// thrown by any task is rethrown here after all workers stop.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::uint64_t tasks_run() const { return tasks_run_; }
+  std::uint64_t steals() const { return steals_; }
+
+ private:
+  std::uint32_t jobs_;
+  std::uint64_t tasks_run_ = 0;
+  std::uint64_t steals_ = 0;
+};
+
+/// One cacheable unit of work: the key states every input that determines
+/// the samples; run() recomputes them from scratch.
+struct CampaignTask {
+  CacheKey key;
+  std::function<std::vector<double>()> run;
+};
+
+/// Samples per task, in submission order (index-aligned with the input).
+struct CampaignResult {
+  std::vector<std::vector<double>> samples;
+  CampaignStats stats;
+};
+
+/// Resolves cache hits, executes the misses on an Executor, stores their
+/// results back, and publishes campaign.* / cache.* counters. Sample
+/// vectors come back in task order — byte-identical whether a task was
+/// simulated or replayed from cache, serial or parallel.
+CampaignResult run_campaign(const std::vector<CampaignTask>& tasks,
+                            const CampaignOptions& options);
+
+/// One-line human summary for stderr, e.g.
+/// "campaign: 12 task(s), 8 cache hit(s), 4 miss(es), jobs 4, 3 steal(s)".
+std::string campaign_summary(const CampaignStats& stats,
+                             const CampaignOptions& options);
+
+}  // namespace mb::core

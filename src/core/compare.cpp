@@ -73,6 +73,8 @@ CompareResult compare_reports(const BenchReport& baseline,
                               const BenchReport& candidate,
                               const CompareOptions& options) {
   CompareResult result;
+  result.baseline_seed = baseline.seed;
+  result.candidate_seed = candidate.seed;
   for (const auto& base : baseline.records) {
     Comparison c;
     c.name = base.name;

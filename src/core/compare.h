@@ -62,8 +62,15 @@ struct CompareResult {
   std::size_t regressions = 0;
   std::size_t improvements = 0;
   std::size_t unmatched = 0;  ///< baseline-only + candidate-only
+  /// Seeds the two reports were generated with. When verdicts differ and
+  /// the seeds differ too, the delta may be placement/scheduler noise
+  /// rather than a code change — the CLI surfaces both seeds so this is
+  /// diagnosable from the log alone.
+  std::uint64_t baseline_seed = 0;
+  std::uint64_t candidate_seed = 0;
 
   bool has_regressions() const { return regressions > 0; }
+  bool seeds_differ() const { return baseline_seed != candidate_seed; }
 };
 
 /// Compares every record of `baseline` against `candidate` by name.

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "core/campaign.h"
 #include "obs/profiler.h"
 #include "support/check.h"
 
@@ -20,13 +21,18 @@ Harness::Harness(MachineFactory factory,
 }
 
 ResultSet Harness::run(const ParamSpace& space, const Workload& workload) {
+  Executor inline_executor(1);
+  return run(space, workload, inline_executor);
+}
+
+ResultSet Harness::run(const ParamSpace& space, const Workload& workload,
+                       Executor& executor) {
   support::check(!space.empty(), "Harness::run", "empty parameter space");
   support::check(static_cast<bool>(workload), "Harness::run",
                  "workload required");
   obs::ScopedSpan span(obs::profiler(), "harness/run");
 
   const std::size_t variants = space.size();
-  ResultSet results(variants);
   support::Rng rng(plan_.seed);
 
   // The measurement schedule: every (variant, repetition) pair once.
@@ -40,21 +46,47 @@ ResultSet Harness::run(const ParamSpace& space, const Workload& workload) {
     for (std::size_t v = 0; v < variants; ++v) schedule.push_back({v, rep});
   if (plan_.randomize_order) rng.shuffle(schedule);
 
-  // Per-repetition machines (fresh placement per rep) or one shared.
-  std::vector<std::optional<sim::Machine>> machines(
-      plan_.fresh_machine_per_rep ? plan_.repetitions : 1);
+  // Everything stochastic is fixed up front, in schedule order, so the
+  // result cannot depend on worker count or completion order:
+  //  * the scheduler disturbance stream is drawn here (it is a process of
+  //    its own, independent of the measured values);
+  //  * machine seeds are a pure function of plan seed + slot, exactly as
+  //    in the serial interleaved walk.
+  std::vector<double> slowdowns;
+  if (scheduler_ != nullptr) {
+    slowdowns.resize(schedule.size());
+    for (double& s : slowdowns) s = scheduler_->next_slowdown();
+  }
 
-  std::size_t order = 0;
-  for (const Cell& cell : schedule) {
-    const std::size_t slot = plan_.fresh_machine_per_rep ? cell.rep : 0;
-    if (!machines[slot]) {
-      std::uint64_t mix = plan_.seed + slot;
-      machines[slot].emplace(factory_(support::splitmix64(mix)));
+  // Shard by machine slot: cells sharing a machine must run in schedule
+  // order on one thread (machine state evolves across measurements), but
+  // distinct slots are independent.
+  const std::size_t slots = plan_.fresh_machine_per_rep ? plan_.repetitions : 1;
+  std::vector<std::vector<std::size_t>> cells_by_slot(slots);
+  for (std::size_t pos = 0; pos < schedule.size(); ++pos) {
+    const Cell& cell = schedule[pos];
+    cells_by_slot[plan_.fresh_machine_per_rep ? cell.rep : 0].push_back(pos);
+  }
+
+  std::vector<double> values(schedule.size());
+  executor.run(slots, [&](std::size_t slot) {
+    std::uint64_t mix = plan_.seed + slot;
+    sim::Machine machine = factory_(support::splitmix64(mix));
+    for (std::size_t pos : cells_by_slot[slot]) {
+      const Cell& cell = schedule[pos];
+      const Point point = space.at(cell.variant);
+      double value = workload(point, machine);
+      if (scheduler_ != nullptr) value *= slowdowns[pos];
+      values[pos] = value;
     }
-    const Point point = space.at(cell.variant);
-    double value = workload(point, *machines[slot]);
-    if (scheduler_ != nullptr) value *= scheduler_->next_slowdown();
-    results.add(cell.variant, value, order++);
+  });
+
+  // Commit in schedule order — the ResultSet is indistinguishable from
+  // the serial walk's.
+  ResultSet results(variants);
+  std::size_t order = 0;
+  for (std::size_t pos = 0; pos < schedule.size(); ++pos) {
+    results.add(schedule[pos].variant, values[pos], order++);
   }
   return results;
 }

@@ -23,6 +23,8 @@
 
 namespace mb::core {
 
+class Executor;
+
 /// A tunable workload: runs one variant on a machine, returns the metric
 /// in *time-like* units (lower is better; bandwidths are inverted by the
 /// caller or compared with Direction::kMaximize on 1/t).
@@ -50,6 +52,17 @@ class Harness {
 
   /// Measures every point of `space` according to the plan.
   ResultSet run(const ParamSpace& space, const Workload& workload);
+
+  /// Same measurement, sharded across `executor` by machine slot (one
+  /// task per repetition when fresh_machine_per_rep, else effectively
+  /// serial). The returned ResultSet is byte-identical to the serial
+  /// overload for any worker count: the shuffled schedule, per-slot
+  /// machine seeds and scheduler disturbance draws are all fixed up front
+  /// in schedule order, and results are committed in schedule order after
+  /// the pool drains. `workload` must be safe to call concurrently on
+  /// distinct machines and must not touch obs::metrics()/profiler().
+  ResultSet run(const ParamSpace& space, const Workload& workload,
+                Executor& executor);
 
   const MeasurementPlan& plan() const { return plan_; }
 

@@ -1,0 +1,124 @@
+#include "core/result_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/hash.h"
+#include "support/json.h"
+
+namespace mb::core {
+
+namespace fs = std::filesystem;
+
+std::uint64_t CacheKey::hash() const {
+  support::Hasher h;
+  h.str(kCacheEntrySchemaName)
+      .u64(static_cast<std::uint64_t>(kCacheEntrySchemaVersion))
+      .str(tool_version)
+      .str(suite)
+      .str(platform)
+      .str(point)
+      .u64(seed)
+      .u64(fault_plan_hash);
+  return h.digest();
+}
+
+std::string CacheKey::digest() const { return support::hex64(hash()); }
+
+ResultCache::ResultCache() = default;
+
+ResultCache::ResultCache(std::string dir, bool enabled)
+    : dir_(std::move(dir)), enabled_(enabled && !dir_.empty()) {}
+
+std::string ResultCache::entry_path(const CacheKey& key) const {
+  // Two-hex-digit fan-out keeps directories small on big campaigns.
+  const std::string digest = key.digest();
+  return dir_ + "/" + digest.substr(0, 2) + "/" + digest + ".json";
+}
+
+std::optional<std::vector<double>> ResultCache::lookup(
+    const CacheKey& key) const {
+  if (!enabled_) return std::nullopt;
+  try {
+    std::ifstream in(entry_path(key));
+    if (!in) return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const support::JsonValue doc = support::parse_json(text.str());
+    if (doc.at("schema").as_string() != kCacheEntrySchemaName) {
+      return std::nullopt;
+    }
+    if (static_cast<int>(doc.at("schema_version").as_number()) !=
+        kCacheEntrySchemaVersion) {
+      return std::nullopt;
+    }
+    // The entry echoes its full key; require an exact match so a digest
+    // collision (or a hand-edited file) reads as a miss, never as a wrong
+    // result. Seeds/hashes are stored as strings to keep 64-bit values
+    // exact through the double-based JSON number path.
+    const support::JsonValue& k = doc.at("key");
+    if (k.at("tool_version").as_string() != key.tool_version ||
+        k.at("suite").as_string() != key.suite ||
+        k.at("platform").as_string() != key.platform ||
+        k.at("point").as_string() != key.point ||
+        k.at("seed").as_string() != std::to_string(key.seed) ||
+        k.at("fault_plan_hash").as_string() !=
+            support::hex64(key.fault_plan_hash)) {
+      return std::nullopt;
+    }
+    std::vector<double> samples;
+    for (const support::JsonValue& s : doc.at("samples").as_array()) {
+      samples.push_back(s.as_number());
+    }
+    return samples;
+  } catch (const std::exception&) {
+    return std::nullopt;  // unparsable / truncated / wrong shape -> miss
+  }
+}
+
+bool ResultCache::store(const CacheKey& key,
+                        const std::vector<double>& samples) const {
+  if (!enabled_) return false;
+  try {
+    const fs::path path = entry_path(key);
+    fs::create_directories(path.parent_path());
+
+    support::JsonWriter w;
+    w.begin_object();
+    w.field("schema", kCacheEntrySchemaName);
+    w.field("schema_version", kCacheEntrySchemaVersion);
+    w.key("key").begin_object();
+    w.field("tool_version", key.tool_version);
+    w.field("suite", key.suite);
+    w.field("platform", key.platform);
+    w.field("point", key.point);
+    w.field("seed", std::to_string(key.seed));
+    w.field("fault_plan_hash", support::hex64(key.fault_plan_hash));
+    w.end_object();
+    w.key("samples").begin_array();
+    for (double s : samples) w.value(s);
+    w.end_array();
+    w.end_object();
+
+    // Atomic publish: concurrent campaigns see either no entry or a
+    // complete one. The pid suffix keeps two processes' temp files apart.
+    const fs::path tmp =
+        path.string() + ".tmp." + std::to_string(::getpid());
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) return false;
+      out << w.str() << "\n";
+      if (!out) return false;
+    }
+    fs::rename(tmp, path);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace mb::core

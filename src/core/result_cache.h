@@ -1,0 +1,75 @@
+// Content-addressed cache for simulation outcomes.
+//
+// A campaign re-run after touching one parameter point should only
+// re-simulate that point. Every measurement task is addressed by a
+// CacheKey — the full set of inputs that determine its samples: tool
+// version, suite, platform, canonical parameter-point string, seed and
+// fault-plan hash. The stable FNV-1a digest of that key (support/hash.h)
+// names a JSON fragment under the cache directory
+// (`<dir>/<2 hex>/<16 hex>.json`, mb-cache-entry v1); a hit replays the
+// stored samples verbatim, so cached and fresh campaigns render
+// byte-identical reports.
+//
+// Invalidation is purely key-driven: bumping the project version (or any
+// other key field) changes the digest and the old entry is simply never
+// looked up again. After changing simulator models *without* a version
+// bump, clear the cache directory (or pass --no-cache).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mb::core {
+
+inline constexpr std::string_view kCacheEntrySchemaName = "mb-cache-entry";
+inline constexpr int kCacheEntrySchemaVersion = 1;
+
+/// Everything that determines a task's samples. Two tasks with equal keys
+/// are interchangeable; any field difference yields a different digest.
+struct CacheKey {
+  std::string tool_version;  ///< support::version(); bump to invalidate.
+  std::string suite;         ///< e.g. "membench", "tune-magicfilter".
+  std::string platform;      ///< platform registry key.
+  std::string point;         ///< canonical parameter-point string.
+  std::uint64_t seed = 0;
+  std::uint64_t fault_plan_hash = 0;  ///< 0 when no faults are injected.
+
+  /// Stable across processes, builds and platforms (support::Hasher).
+  std::uint64_t hash() const;
+  /// hash() as 16 lowercase hex digits — the entry's on-disk name.
+  std::string digest() const;
+};
+
+/// Filesystem-backed sample store. All I/O failures degrade to a miss
+/// (lookup) or a dropped write (store) — a broken cache can slow a
+/// campaign down but never change or fail it.
+class ResultCache {
+ public:
+  /// Disabled cache: lookup always misses, store drops.
+  ResultCache();
+  ResultCache(std::string dir, bool enabled);
+
+  bool enabled() const { return enabled_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Returns the stored samples iff an entry with this digest exists,
+  /// parses cleanly, and echoes exactly this key (digest collisions and
+  /// corrupt entries read as misses).
+  std::optional<std::vector<double>> lookup(const CacheKey& key) const;
+
+  /// Persists samples for `key` (atomic tmp + rename; concurrent writers
+  /// of the same key are harmless — last rename wins with equal content).
+  /// Returns false if disabled or the write failed.
+  bool store(const CacheKey& key, const std::vector<double>& samples) const;
+
+ private:
+  std::string entry_path(const CacheKey& key) const;
+
+  std::string dir_;
+  bool enabled_ = false;
+};
+
+}  // namespace mb::core

@@ -43,7 +43,8 @@ Tuner::Tuner(Harness harness, Direction direction)
     : harness_(std::move(harness)), direction_(direction) {}
 
 TuneReport Tuner::tune(const ParamSpace& space, const Workload& workload,
-                       Strategy strategy, std::size_t budget) {
+                       Strategy strategy, std::size_t budget,
+                       Executor* executor) {
   support::check(!space.empty(), "Tuner::tune", "empty space");
   obs::ScopedSpan span(obs::profiler(), "tuner/tune");
   obs::Registry& registry = obs::metrics();
@@ -54,7 +55,9 @@ TuneReport Tuner::tune(const ParamSpace& space, const Workload& workload,
   if (strategy == Strategy::kExhaustive) {
     // One interleaved measurement campaign over the full space.
     obs::ScopedSpan measure(obs::profiler(), "tuner/measure");
-    const ResultSet results = harness_.run(space, workload);
+    const ResultSet results = executor != nullptr
+                                  ? harness_.run(space, workload, *executor)
+                                  : harness_.run(space, workload);
     TuneReport report{space.at(0), 0.0, 0, {}, {}};
     const std::size_t best = results.best(direction_);
     report.best = space.at(best);
@@ -104,10 +107,10 @@ TuneReport Tuner::tune(const ParamSpace& space, const Workload& workload,
 
 std::map<std::string, TuneReport> Tuner::tune_per_instance(
     const std::map<std::string, ParamSpace>& instances,
-    const Workload& workload, Strategy strategy) {
+    const Workload& workload, Strategy strategy, Executor* executor) {
   std::map<std::string, TuneReport> out;
   for (const auto& [key, space] : instances)
-    out.emplace(key, tune(space, workload, strategy));
+    out.emplace(key, tune(space, workload, strategy, 10'000, executor));
   return out;
 }
 

@@ -45,15 +45,20 @@ class Tuner {
   /// measure point by point as they walk.
   Tuner(Harness harness, Direction direction);
 
+  /// `executor` (optional) shards the exhaustive measurement campaign
+  /// across worker threads via Harness::run(…, Executor&); the report is
+  /// byte-identical to the serial run. Sequential strategies ignore it —
+  /// each step depends on the previous point's result.
   TuneReport tune(const ParamSpace& space, const Workload& workload,
                   Strategy strategy = Strategy::kExhaustive,
-                  std::size_t budget = 10'000);
+                  std::size_t budget = 10'000, Executor* executor = nullptr);
 
   /// Instance-specific tuning: one report per (key, space) pair — e.g.
   /// problem sizes mapping to possibly different best variants.
   std::map<std::string, TuneReport> tune_per_instance(
       const std::map<std::string, ParamSpace>& instances,
-      const Workload& workload, Strategy strategy = Strategy::kExhaustive);
+      const Workload& workload, Strategy strategy = Strategy::kExhaustive,
+      Executor* executor = nullptr);
 
  private:
   Harness harness_;

@@ -5,7 +5,10 @@
 namespace mb::kernels::chess {
 namespace {
 
-std::uint64_t g_bitboard_ops = 0;
+// thread_local: a campaign worker's search must count only its own ops —
+// reset_bitboard_ops/bitboard_ops bracket a search that runs entirely on
+// one thread.
+thread_local std::uint64_t g_bitboard_ops = 0;
 
 std::array<Bitboard, 64> build_knight_table() {
   std::array<Bitboard, 64> t{};

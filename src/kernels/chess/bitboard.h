@@ -65,7 +65,8 @@ Bitboard queen_attacks(Square s, Bitboard occupied);
 
 /// Dynamic 64-bit-operation counter for the benchmark's instruction mix:
 /// incremented by the attack generators (one unit per mask/shift cluster).
-/// Reset before a search, read after.
+/// Reset before a search, read after. Thread-local, so concurrent campaign
+/// tasks each count their own search.
 std::uint64_t bitboard_ops();
 void reset_bitboard_ops();
 

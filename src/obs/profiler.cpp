@@ -28,6 +28,7 @@ void Profiler::set_enabled(bool on) {
   check(stack_.empty(), "Profiler::set_enabled",
         "cannot toggle while spans are open");
   enabled_ = on;
+  owner_ = std::this_thread::get_id();
   if (on) reset();
 }
 
@@ -48,7 +49,7 @@ double Profiler::now() const {
 }
 
 void Profiler::enter(std::string_view name) {
-  if (!enabled_) return;
+  if (!enabled_ || std::this_thread::get_id() != owner_) return;
   SpanNode* parent = stack_.empty() ? &root_ : stack_.back().node;
   SpanNode* node = nullptr;
   for (auto& c : parent->children)
@@ -70,7 +71,7 @@ void Profiler::enter(std::string_view name) {
 }
 
 void Profiler::exit() {
-  if (!enabled_) return;
+  if (!enabled_ || std::this_thread::get_id() != owner_) return;
   check(!stack_.empty(), "Profiler::exit", "no span is open");
   const Frame& frame = stack_.back();
   SpanNode* node = frame.node;

@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -43,8 +44,15 @@ class Profiler {
   /// deltas). The global profiler() uses the global metrics() registry.
   explicit Profiler(Registry* registry = nullptr) : registry_(registry) {}
 
-  /// Enabling resets previously collected spans. Must not be toggled
-  /// while spans are open.
+  /// Enabling resets previously collected spans and adopts the calling
+  /// thread as the profiler's owner. Must not be toggled while spans are
+  /// open.
+  ///
+  /// Like the metrics registry, the profiler is single-threaded by
+  /// design; enter/exit from any other thread (e.g. a campaign worker
+  /// running an instrumented Harness) are silently ignored rather than
+  /// racing on the span stack — the campaign publishes aggregate
+  /// campaign.* counters from the owner thread instead.
   void set_enabled(bool on);
   bool enabled() const { return enabled_; }
 
@@ -76,6 +84,7 @@ class Profiler {
 
   Registry* registry_;
   bool enabled_ = false;
+  std::thread::id owner_ = std::this_thread::get_id();
   std::function<double()> clock_;
   SpanNode root_{"(root)", 0, 0.0, {}, {}};
   std::vector<Frame> stack_;

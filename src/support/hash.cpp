@@ -1,0 +1,61 @@
+#include "support/hash.h"
+
+#include <cstring>
+
+#include "support/rng.h"
+
+namespace mb::support {
+
+Hasher& Hasher::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state_ ^= static_cast<std::uint64_t>(p[i]);
+    state_ *= kFnv64Prime;
+  }
+  return *this;
+}
+
+Hasher& Hasher::str(std::string_view s) {
+  u64(static_cast<std::uint64_t>(s.size()));
+  return bytes(s.data(), s.size());
+}
+
+Hasher& Hasher::u64(std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xffU);
+  }
+  return bytes(buf, sizeof(buf));
+}
+
+Hasher& Hasher::f64(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return u64(bits);
+}
+
+std::uint64_t fnv1a64(std::string_view s) {
+  Hasher h;
+  h.bytes(s.data(), s.size());
+  return h.digest();
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xfU];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t config_hash) {
+  // Sum with a SplitMix64 mix on top: two tasks whose (base, hash) pairs
+  // differ in any bit land in unrelated SplitMix64 streams.
+  std::uint64_t state = base_seed + 0x9e3779b97f4a7c15ULL * config_hash;
+  return splitmix64(state);
+}
+
+}  // namespace mb::support

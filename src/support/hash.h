@@ -1,0 +1,54 @@
+// Stable content hashing.
+//
+// The result cache (core/result_cache.h) addresses simulation outcomes by
+// a hash of their full configuration, and the campaign runner derives
+// per-task RNG seeds from the same hash — so both need a hash function
+// that is identical across processes, builds and platforms. std::hash
+// guarantees none of that; this is FNV-1a 64-bit over an explicitly
+// serialized byte stream (strings length-prefixed, integers fixed-width
+// little-endian, doubles by IEEE-754 bit pattern), which does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mb::support {
+
+inline constexpr std::uint64_t kFnv64Offset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv64Prime = 0x100000001b3ULL;
+
+/// Incremental FNV-1a 64-bit hasher. Each feed method serializes its
+/// value unambiguously before mixing, so `str("ab").str("c")` and
+/// `str("a").str("bc")` produce different digests.
+class Hasher {
+ public:
+  Hasher& bytes(const void* data, std::size_t n);
+  /// Length-prefixed string (no concatenation ambiguity).
+  Hasher& str(std::string_view s);
+  /// Fixed-width little-endian integer.
+  Hasher& u64(std::uint64_t v);
+  /// IEEE-754 bit pattern (note: +0.0 and -0.0 hash differently).
+  Hasher& f64(double v);
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kFnv64Offset;
+};
+
+/// One-shot FNV-1a over the raw bytes of `s` (no length prefix — matches
+/// the published FNV test vectors).
+std::uint64_t fnv1a64(std::string_view s);
+
+/// 16 lowercase hex digits, zero-padded ("00000000000000ff").
+std::string hex64(std::uint64_t v);
+
+/// Deterministic per-task seed: mixes a campaign base seed (MB_SEED or
+/// --seed) with a task's configuration hash through SplitMix64, so every
+/// parameter point gets an independent, reproducible RNG stream that does
+/// not depend on execution order or worker count.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t config_hash);
+
+}  // namespace mb::support

@@ -1,0 +1,194 @@
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/platforms.h"
+#include "core/harness.h"
+#include "kernels/membench.h"
+#include "support/rng.h"
+
+namespace mb::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Executor, RunsEveryIndexExactlyOnce) {
+  for (const std::uint32_t jobs : {1u, 2u, 8u}) {
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                                std::size_t{100}}) {
+      Executor ex(jobs);
+      std::vector<std::atomic<int>> hits(n);
+      ex.run(n, [&](std::size_t i) { ++hits[i]; });
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " n=" << n
+                                     << " i=" << i;
+      EXPECT_EQ(ex.tasks_run(), n);
+    }
+  }
+}
+
+TEST(Executor, ZeroJobsClampsToOne) {
+  Executor ex(0);
+  EXPECT_EQ(ex.jobs(), 1u);
+  int count = 0;
+  ex.run(3, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Executor, PropagatesTaskException) {
+  Executor ex(4);
+  EXPECT_THROW(ex.run(50,
+                      [](std::size_t i) {
+                        if (i == 17) throw std::runtime_error("boom");
+                      }),
+               std::runtime_error);
+}
+
+TEST(Executor, SerialExecutorNeverSteals) {
+  Executor ex(1);
+  ex.run(10, [](std::size_t) {});
+  EXPECT_EQ(ex.steals(), 0u);
+}
+
+// The tentpole guarantee: a parallel Harness run produces the exact same
+// ResultSet (samples and interleaving orders) as the serial run, for any
+// worker count, including with page randomization and a scheduler model.
+TEST(Executor, HarnessRunIsByteIdenticalAcrossJobCounts) {
+  auto factory = [](std::uint64_t seed) {
+    return sim::Machine(arch::snowball(), sim::PagePolicy::kRandom,
+                        support::Rng(seed));
+  };
+  kernels::MembenchParams mp;
+  mp.array_bytes = 40 * 1024;
+  mp.passes = 2;
+  Workload membench = [mp](const Point&, sim::Machine& m) {
+    return kernels::membench_run(m, mp).sim.seconds;
+  };
+  ParamSpace space;
+  space.add("v", {0, 1, 2});
+
+  auto run_with = [&](std::uint32_t jobs) {
+    MeasurementPlan plan;
+    plan.repetitions = 8;
+    plan.seed = 2013;
+    auto sched = std::make_unique<os::RealTimeAnomalous>(support::Rng(2013));
+    Harness h(factory, std::move(sched), plan);
+    Executor ex(jobs);
+    return h.run(space, membench, ex);
+  };
+
+  const ResultSet serial = run_with(1);
+  for (const std::uint32_t jobs : {2u, 8u}) {
+    const ResultSet parallel = run_with(jobs);
+    for (std::size_t v = 0; v < space.size(); ++v) {
+      EXPECT_EQ(serial.samples(v), parallel.samples(v)) << "jobs=" << jobs;
+      EXPECT_EQ(serial.orders(v), parallel.orders(v)) << "jobs=" << jobs;
+    }
+  }
+}
+
+/// Tasks whose value is a pure function of the index; counts executions.
+std::vector<CampaignTask> counting_tasks(std::size_t n,
+                                         std::atomic<int>& executed) {
+  std::vector<CampaignTask> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    CampaignTask t;
+    t.key = {"1.0.0", "test-suite", "snowball", "i=" + std::to_string(i),
+             100 + i, 0};
+    t.run = [i, &executed] {
+      ++executed;
+      return std::vector<double>{static_cast<double>(i), i * 0.5};
+    };
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+class RunCampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            (std::string("mb-campaign-test-") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(RunCampaignTest, ColdRunMissesWarmRunHits) {
+  std::atomic<int> executed{0};
+  const auto tasks = counting_tasks(6, executed);
+  CampaignOptions opts;
+  opts.jobs = 3;
+  opts.cache_dir = dir_;
+
+  const CampaignResult cold = run_campaign(tasks, opts);
+  EXPECT_EQ(cold.stats.tasks, 6u);
+  EXPECT_EQ(cold.stats.cache_hits, 0u);
+  EXPECT_EQ(cold.stats.cache_misses, 6u);
+  EXPECT_EQ(cold.stats.executed, 6u);
+  EXPECT_EQ(executed.load(), 6);
+
+  const CampaignResult warm = run_campaign(tasks, opts);
+  EXPECT_EQ(warm.stats.cache_hits, 6u);
+  EXPECT_EQ(warm.stats.cache_misses, 0u);
+  EXPECT_EQ(warm.stats.executed, 0u);
+  EXPECT_EQ(executed.load(), 6) << "warm run must not re-execute";
+  EXPECT_EQ(warm.samples, cold.samples);
+}
+
+TEST_F(RunCampaignTest, SamplesComeBackInTaskOrderForAnyJobCount) {
+  std::atomic<int> executed{0};
+  const auto tasks = counting_tasks(20, executed);
+  CampaignOptions serial_opts;
+  serial_opts.jobs = 1;
+  serial_opts.cache = false;
+  const CampaignResult serial = run_campaign(tasks, serial_opts);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    ASSERT_EQ(serial.samples[i].size(), 2u);
+    EXPECT_DOUBLE_EQ(serial.samples[i][0], static_cast<double>(i));
+  }
+  CampaignOptions parallel_opts = serial_opts;
+  parallel_opts.jobs = 8;
+  EXPECT_EQ(run_campaign(tasks, parallel_opts).samples, serial.samples);
+}
+
+TEST_F(RunCampaignTest, DisabledCacheAlwaysExecutes) {
+  std::atomic<int> executed{0};
+  const auto tasks = counting_tasks(4, executed);
+  CampaignOptions opts;
+  opts.cache = false;
+  opts.cache_dir = dir_;
+  run_campaign(tasks, opts);
+  run_campaign(tasks, opts);
+  EXPECT_EQ(executed.load(), 8);
+  EXPECT_FALSE(fs::exists(dir_));
+}
+
+TEST_F(RunCampaignTest, SummaryMentionsEverything) {
+  CampaignStats stats;
+  stats.tasks = 12;
+  stats.cache_hits = 8;
+  stats.cache_misses = 4;
+  stats.steals = 3;
+  CampaignOptions opts;
+  opts.jobs = 4;
+  EXPECT_EQ(campaign_summary(stats, opts),
+            "campaign: 12 task(s), 8 cache hit(s), 4 miss(es), jobs 4, "
+            "3 steal(s)");
+  opts.cache = false;
+  EXPECT_EQ(campaign_summary(stats, opts),
+            "campaign: 12 task(s), 8 cache hit(s), 4 miss(es), jobs 4, "
+            "3 steal(s) [cache disabled]");
+}
+
+}  // namespace
+}  // namespace mb::core

@@ -150,6 +150,22 @@ TEST(Compare, UnmatchedRecordsAreReportedNotGated) {
   EXPECT_EQ(entry(result, "both").verdict, Verdict::kUnchanged);
 }
 
+TEST(Compare, SeedsAreStampedAndDifferenceDetected) {
+  auto base = report_with({record("a", {1.0})});
+  auto cand = report_with({record("a", {1.5})});
+  base.seed = 2013;
+  cand.seed = 2013;
+  auto result = compare_reports(base, cand);
+  EXPECT_EQ(result.baseline_seed, 2013u);
+  EXPECT_EQ(result.candidate_seed, 2013u);
+  EXPECT_FALSE(result.seeds_differ());
+
+  cand.seed = 99;
+  result = compare_reports(base, cand);
+  EXPECT_EQ(result.candidate_seed, 99u);
+  EXPECT_TRUE(result.seeds_differ());
+}
+
 TEST(Compare, MetricOrDirectionMismatchThrows) {
   const auto base = report_with({record("a", {1.0})});
   auto cand = report_with({record("a", {1.0})});

@@ -1,0 +1,145 @@
+#include "core/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace mb::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+CacheKey sample_key() {
+  CacheKey key;
+  key.tool_version = "1.2.3";
+  key.suite = "membench";
+  key.platform = "snowball";
+  key.point = "size_kb=48";
+  key.seed = 42;
+  key.fault_plan_hash = 7;
+  return key;
+}
+
+/// Creates a fresh cache directory and removes it on teardown.
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            (std::string("mb-cache-test-") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ResultCacheTest, KeyDigestIsStableAcrossProcesses) {
+  // Golden value: computed independently from the FNV-1a spec. If this
+  // changes, on-disk caches from older builds silently stop matching —
+  // that must only ever happen through a deliberate schema/version bump.
+  EXPECT_EQ(sample_key().hash(), 0xc158bec60c0e3ca0ULL);
+  EXPECT_EQ(sample_key().digest(), "c158bec60c0e3ca0");
+}
+
+TEST_F(ResultCacheTest, EveryKeyFieldAffectsTheDigest) {
+  const CacheKey base = sample_key();
+  CacheKey k = base;
+  k.tool_version = "1.2.4";
+  EXPECT_NE(k.hash(), base.hash());
+  k = base;
+  k.suite = "latency";
+  EXPECT_NE(k.hash(), base.hash());
+  k = base;
+  k.platform = "tegra2";
+  EXPECT_NE(k.hash(), base.hash());
+  k = base;
+  k.point = "size_kb=64";
+  EXPECT_NE(k.hash(), base.hash());
+  k = base;
+  k.seed = 43;
+  EXPECT_NE(k.hash(), base.hash());
+  k = base;
+  k.fault_plan_hash = 8;
+  EXPECT_NE(k.hash(), base.hash());
+}
+
+TEST_F(ResultCacheTest, DisabledCacheMissesAndDropsWrites) {
+  const ResultCache cache;  // default = disabled
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_FALSE(cache.store(sample_key(), {1.0, 2.0}));
+  EXPECT_FALSE(cache.lookup(sample_key()).has_value());
+
+  const ResultCache off(dir_, false);
+  EXPECT_FALSE(off.store(sample_key(), {1.0}));
+  EXPECT_FALSE(fs::exists(dir_));
+}
+
+TEST_F(ResultCacheTest, RoundTripsSamplesExactly) {
+  const ResultCache cache(dir_, true);
+  const std::vector<double> samples = {1.5, -0.25, 3.0e9, 0.0,
+                                       1.0000000000000002};
+  ASSERT_TRUE(cache.store(sample_key(), samples));
+  const auto hit = cache.lookup(sample_key());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, samples);  // bit-exact, not approximate
+}
+
+TEST_F(ResultCacheTest, SecondProcessSeesTheEntry) {
+  // A second ResultCache instance over the same directory models a fresh
+  // process: nothing is shared in memory.
+  {
+    const ResultCache writer(dir_, true);
+    ASSERT_TRUE(writer.store(sample_key(), {4.0, 5.0}));
+  }
+  const ResultCache reader(dir_, true);
+  const auto hit = reader.lookup(sample_key());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (std::vector<double>{4.0, 5.0}));
+}
+
+TEST_F(ResultCacheTest, ToolVersionBumpInvalidates) {
+  const ResultCache cache(dir_, true);
+  ASSERT_TRUE(cache.store(sample_key(), {1.0}));
+  CacheKey bumped = sample_key();
+  bumped.tool_version = "9.9.9";
+  EXPECT_FALSE(cache.lookup(bumped).has_value());
+  // The old entry is untouched — only never looked up again.
+  EXPECT_TRUE(cache.lookup(sample_key()).has_value());
+}
+
+TEST_F(ResultCacheTest, CorruptEntryReadsAsMiss) {
+  const ResultCache cache(dir_, true);
+  ASSERT_TRUE(cache.store(sample_key(), {1.0}));
+  const fs::path path = fs::path(dir_) / sample_key().digest().substr(0, 2) /
+                        (sample_key().digest() + ".json");
+  ASSERT_TRUE(fs::exists(path));
+  std::ofstream(path) << "{ not json";
+  EXPECT_FALSE(cache.lookup(sample_key()).has_value());
+}
+
+TEST_F(ResultCacheTest, KeyEchoMismatchReadsAsMiss) {
+  // Simulate a digest collision: an entry whose file name matches but
+  // whose embedded key does not. The key echo must guard against it.
+  const ResultCache cache(dir_, true);
+  CacheKey other = sample_key();
+  other.seed = 1000;
+  ASSERT_TRUE(cache.store(other, {1.0}));
+  const fs::path stored = fs::path(dir_) / other.digest().substr(0, 2) /
+                          (other.digest() + ".json");
+  const fs::path target = fs::path(dir_) / sample_key().digest().substr(0, 2) /
+                          (sample_key().digest() + ".json");
+  fs::create_directories(target.parent_path());
+  fs::rename(stored, target);
+  EXPECT_FALSE(cache.lookup(sample_key()).has_value());
+}
+
+TEST_F(ResultCacheTest, MissWhenDirectoryAbsent) {
+  const ResultCache cache(dir_, true);
+  EXPECT_FALSE(cache.lookup(sample_key()).has_value());
+}
+
+}  // namespace
+}  // namespace mb::core

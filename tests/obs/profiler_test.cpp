@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "support/check.h"
@@ -167,6 +168,27 @@ TEST(Profiler, RenderSummaryShowsSpansAndDeltas) {
 TEST(Profiler, ExitWithoutEnterThrows) {
   Fixture f;
   EXPECT_THROW(f.profiler.exit(), support::Error);
+}
+
+TEST(Profiler, SpansFromOtherThreadsAreIgnored) {
+  // The profiler is single-threaded by design; campaign workers calling
+  // enter/exit (e.g. through a workload that was instrumented for serial
+  // use) must be no-ops, not data races or hierarchy corruption.
+  Fixture f;
+  f.profiler.enter("owner");
+  std::thread worker([&] {
+    f.profiler.enter("ignored");
+    f.profiler.exit();  // would throw on the owner thread if unmatched
+  });
+  worker.join();
+  f.t = 1.0;
+  f.profiler.exit();
+
+  EXPECT_EQ(f.profiler.open_depth(), 0u);
+  ASSERT_EQ(f.profiler.root().children.size(), 1u);
+  const SpanNode& owner = f.profiler.root().children[0];
+  EXPECT_EQ(owner.name, "owner");
+  EXPECT_EQ(owner.child("ignored"), nullptr);
 }
 
 }  // namespace

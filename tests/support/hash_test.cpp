@@ -1,0 +1,53 @@
+#include "support/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace mb::support {
+namespace {
+
+TEST(Fnv1a64, MatchesPublishedVectors) {
+  // Standard FNV-1a 64-bit test vectors — any change here means cache
+  // digests change and every persisted cache entry silently invalidates.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hasher, StrIsLengthPrefixed) {
+  const auto h1 = Hasher().str("ab").str("c").digest();
+  const auto h2 = Hasher().str("a").str("bc").digest();
+  const auto h3 = Hasher().str("abc").digest();
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h1, h3);
+  EXPECT_NE(h2, h3);
+}
+
+TEST(Hasher, FeedOrderMatters) {
+  EXPECT_NE(Hasher().u64(1).u64(2).digest(), Hasher().u64(2).u64(1).digest());
+}
+
+TEST(Hasher, F64UsesBitPattern) {
+  EXPECT_EQ(Hasher().f64(1.5).digest(), Hasher().f64(1.5).digest());
+  EXPECT_NE(Hasher().f64(1.5).digest(), Hasher().f64(-1.5).digest());
+  // Documented quirk: +0.0 and -0.0 have different bit patterns.
+  EXPECT_NE(Hasher().f64(0.0).digest(), Hasher().f64(-0.0).digest());
+}
+
+TEST(Hasher, EmptyStrStillMixesLength) {
+  EXPECT_NE(Hasher().str("").digest(), Hasher().digest());
+}
+
+TEST(Hex64, ZeroPadsTo16Digits) {
+  EXPECT_EQ(hex64(0), "0000000000000000");
+  EXPECT_EQ(hex64(0xffULL), "00000000000000ff");
+  EXPECT_EQ(hex64(0xcbf29ce484222325ULL), "cbf29ce484222325");
+}
+
+TEST(DeriveSeed, DeterministicAndSensitiveToBothInputs) {
+  EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+  EXPECT_NE(derive_seed(1, 2), derive_seed(1, 3));
+  EXPECT_NE(derive_seed(1, 2), derive_seed(2, 2));
+}
+
+}  // namespace
+}  // namespace mb::support

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Docs consistency checker (no third-party dependencies).
+
+Run from the repository root (CI and the `docs_check` ctest both do):
+
+  python3 tools/check_docs.py
+
+Checks
+  1. The command set in mbctl's usage() text (tools/mbctl.cpp) matches the
+     set of `## \`command\`` sections in docs/cli.md — a new subcommand
+     cannot ship undocumented, and the doc cannot advertise a command that
+     no longer exists.
+  2. docs/cli.md documents every exit code declared in
+     src/support/exit_codes.h.
+  3. Every relative markdown link in the curated docs resolves to an
+     existing file (anchors are stripped; external URLs are ignored).
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Files whose relative links must resolve. Generated/provenance files
+# (PAPERS.md retrieval dumps, SNIPPETS.md exemplars, ISSUE.md) are excluded:
+# they quote external repos and are not part of the documentation site.
+LINKED_DOCS = [
+    "README.md",
+    "ROADMAP.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "CONTRIBUTING.md",
+    "docs/schemas.md",
+    "docs/cli.md",
+]
+
+
+def fail(errors):
+    for e in errors:
+        print(f"check_docs: {e}", file=sys.stderr)
+    sys.exit(1)
+
+
+def read(path):
+    with open(os.path.join(REPO, path), encoding="utf-8") as f:
+        return f.read()
+
+
+def usage_commands(mbctl_source):
+    """Command names from the usage() string literals in mbctl.cpp.
+
+    Command lines render as two spaces + name; continuation lines are
+    indented further and option/footer lines do not start with two spaces.
+    """
+    in_usage = False
+    commands = []
+    for line in mbctl_source.splitlines():
+        stripped = line.strip()
+        if '"usage: mbctl' in stripped:
+            in_usage = True
+            continue
+        if not in_usage:
+            continue
+        m = re.match(r'^"  ([a-z][a-z0-9-]*)[ \\]', stripped)
+        if m:
+            commands.append(m.group(1))
+        elif stripped.startswith('"platform:'):
+            break
+    return commands
+
+
+def documented_commands(cli_md):
+    return re.findall(r"^## `([a-z][a-z0-9-]*)`", cli_md, re.MULTILINE)
+
+
+def declared_exit_codes(header):
+    return re.findall(r"inline constexpr int kExit\w+ = (\d+);", header)
+
+
+def check_commands(errors):
+    usage = usage_commands(read("tools/mbctl.cpp"))
+    documented = documented_commands(read("docs/cli.md"))
+    if not usage:
+        errors.append("could not parse any commands from mbctl usage()")
+        return
+    for missing in sorted(set(usage) - set(documented)):
+        errors.append(f"docs/cli.md: command `{missing}` is in mbctl "
+                      f"usage() but has no '## `{missing}`' section")
+    for stale in sorted(set(documented) - set(usage)):
+        errors.append(f"docs/cli.md: documents `{stale}`, which mbctl "
+                      "usage() no longer lists")
+    if usage == documented:
+        return
+    if set(usage) == set(documented):
+        errors.append("docs/cli.md: command sections are ordered "
+                      f"differently from usage(): {documented} vs {usage}")
+
+
+def check_exit_codes(errors):
+    cli_md = read("docs/cli.md")
+    for code in declared_exit_codes(read("src/support/exit_codes.h")):
+        if not re.search(rf"^\|\s*`?{code}`?\s*\|", cli_md, re.MULTILINE):
+            errors.append(f"docs/cli.md: exit code {code} from "
+                          "src/support/exit_codes.h is not documented")
+
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_links(errors):
+    for doc in LINKED_DOCS:
+        if not os.path.exists(os.path.join(REPO, doc)):
+            errors.append(f"{doc}: listed in check_docs.py but missing")
+            continue
+        base = os.path.dirname(os.path.join(REPO, doc))
+        for target in LINK_RE.findall(read(doc)):
+            if re.match(r"^[a-z]+:", target) or target.startswith("#"):
+                continue  # external URL or in-page anchor
+            path = target.split("#", 1)[0]
+            if not os.path.exists(os.path.normpath(os.path.join(base, path))):
+                errors.append(f"{doc}: broken relative link -> {target}")
+
+
+def main():
+    errors = []
+    check_commands(errors)
+    check_exit_codes(errors)
+    check_links(errors)
+    if errors:
+        fail(errors)
+    print("check_docs: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,12 +7,22 @@
 //   mbctl roofline <platform>            DP/SP roofs and ridge
 //   mbctl membench <platform> [opts]     strided-bandwidth measurement
 //       --size-kb N --stride N --bits 32|64|128 --unroll N --passes N
-//       --reps N --seed N
+//       --reps N --seed N [campaign opts]
 //   mbctl latency <platform> [opts]      pointer-chase latency
-//       --size-kb N --hops N --reps N --seed N
+//       --size-kb N --hops N --reps N --seed N [campaign opts]
 //   mbctl tune-magicfilter <platform>    unroll sweep + sweet spot
+//       [campaign opts]
 //   mbctl bench-suite [opts]             curated multi-platform smoke suite
-//       --reps N --seed N
+//       --reps N --seed N [campaign opts]
+//
+// Campaign opts (measurement sweeps): --jobs N shards independent
+// simulations across a work-stealing worker pool; output stays
+// byte-identical to the serial run (per-task seeds are pure functions of
+// the campaign seed + config, results commit in deterministic order).
+// --cache-dir PATH / --no-cache control the content-addressed result
+// cache (default .mb-cache): outcomes are keyed by (tool version, suite,
+// platform, point, seed, fault plan), so re-running a sweep replays
+// cached points and only simulates what changed.
 //   mbctl fig4 [opts]                    BigDFT-on-Tibidabo trace study
 //       --ranks N --iterations N --compute-s X --transpose-mb N --seed N
 //       --trace-out PATH --json PATH
@@ -46,6 +56,7 @@
 //
 // <platform> is a built-in name (snowball, xeon, tegra2, exynos5) or
 // @path/to/file.platform in the arch::platform_io text format.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -63,9 +74,11 @@
 #include "arch/platforms.h"
 #include "arch/topology.h"
 #include "core/bench_report.h"
+#include "core/campaign.h"
 #include "core/compare.h"
 #include "core/harness.h"
 #include "core/param_space.h"
+#include "core/result_cache.h"
 #include "core/search.h"
 #include "fault/chaos.h"
 #include "fault/plan.h"
@@ -84,6 +97,7 @@
 #include "sim/roofline.h"
 #include "support/check.h"
 #include "support/exit_codes.h"
+#include "support/hash.h"
 #include "support/table.h"
 #include "support/version.h"
 #include "trace/gantt.h"
@@ -110,11 +124,11 @@ using mb::support::kExitUsage;
       "  roofline <platform> [--json PATH]\n"
       "  membench <platform> [--size-kb N] [--stride N] [--bits B]\n"
       "           [--unroll N] [--passes N] [--reps N] [--seed N]\n"
-      "           [--json PATH]\n"
+      "           [--json PATH] [campaign opts]\n"
       "  latency <platform> [--size-kb N] [--hops N] [--reps N] [--seed N]\n"
-      "           [--json PATH]\n"
-      "  tune-magicfilter <platform> [--json PATH]\n"
-      "  bench-suite [--reps N] [--seed N] [--json PATH]\n"
+      "           [--json PATH] [campaign opts]\n"
+      "  tune-magicfilter <platform> [--json PATH] [campaign opts]\n"
+      "  bench-suite [--reps N] [--seed N] [--json PATH] [campaign opts]\n"
       "  fig4 [--ranks N] [--iterations N] [--compute-s X]\n"
       "           [--transpose-mb N] [--seed N] [--trace-out PATH]\n"
       "           [--json PATH]\n"
@@ -133,6 +147,10 @@ using mb::support::kExitUsage;
       "           [--max-restarts N] [--seed N] [--trace-out PATH]\n"
       "           [--json PATH]\n"
       "platform: snowball | xeon | tegra2 | exynos5 | @file\n"
+      "campaign opts: [--jobs N] [--no-cache] [--cache-dir PATH] — run the\n"
+      "sweep on N worker threads (byte-identical output to --jobs 1) and\n"
+      "cache simulation outcomes content-addressed under PATH (default\n"
+      ".mb-cache); campaign/cache totals are reported on stderr\n"
       "--profile enables the scoped-span profiler and writes an mb-profile\n"
       "document (read it back with obs-report)\n"
       "--seed defaults to the MB_SEED environment variable when set\n"
@@ -157,15 +175,23 @@ mb::arch::Platform resolve_platform(const std::string& spec) {
   usage("unknown platform '" + spec + "'");
 }
 
-/// Trivial --key value option scanner.
+/// Trivial --key value option scanner. A few flags take no value
+/// (kValueless); everything else consumes the next argument.
 class Options {
  public:
   Options(const std::vector<std::string>& args, std::size_t first) {
+    static const std::vector<std::string> kValueless = {"no-cache"};
     for (std::size_t i = first; i < args.size(); ++i) {
       const std::string& key = args[i];
       if (key.rfind("--", 0) != 0) usage("unexpected argument " + key);
+      const std::string name = key.substr(2);
+      if (std::find(kValueless.begin(), kValueless.end(), name) !=
+          kValueless.end()) {
+        values_[name] = "1";
+        continue;
+      }
       if (i + 1 >= args.size()) usage(key + " needs a value");
-      values_[key.substr(2)] = args[++i];
+      values_[name] = args[++i];
     }
   }
 
@@ -229,6 +255,27 @@ std::uint64_t effective_seed(Options& opts, std::uint64_t fallback) {
 // Defined with the lint/verify-mpi commands below; used by every scenario
 // command that validates configuration through lint rules.
 void enforce_clean(const mb::verify::Report& report);
+
+/// Campaign knobs shared by every sweeping command: --jobs, --no-cache,
+/// --cache-dir (see the campaign-opts note in usage()).
+mb::core::CampaignOptions campaign_options(Options& opts) {
+  mb::core::CampaignOptions co;
+  co.jobs = static_cast<std::uint32_t>(opts.get_u64("jobs", 1));
+  if (co.jobs == 0) usage("--jobs must be at least 1");
+  co.cache = !opts.has("no-cache");
+  co.cache_dir = opts.get_str("cache-dir", ".mb-cache");
+  return co;
+}
+
+/// Runs a campaign and reports its totals on stderr — never on stdout,
+/// where steal counts (timing-dependent) would break byte-identity.
+mb::core::CampaignResult run_campaign_reported(
+    const std::vector<mb::core::CampaignTask>& tasks,
+    const mb::core::CampaignOptions& co) {
+  auto result = mb::core::run_campaign(tasks, co);
+  std::cerr << mb::core::campaign_summary(result.stats, co) << "\n";
+  return result;
+}
 
 // --------------------------------------------------------------------------
 // Structured-report helpers.
@@ -354,13 +401,33 @@ int cmd_membench(const mb::arch::Platform& p, Options& opts) {
       static_cast<std::uint32_t>(opts.get_u64("reps", 1));
   const std::uint64_t seed = effective_seed(opts, 1);
   if (reps == 0) usage("--reps must be at least 1");
+  const auto co = campaign_options(opts);
 
-  const auto samples = run_reps(
-      p, mb::sim::PagePolicy::kConsecutive, reps, seed,
-      [&](mb::sim::Machine& m) {
-        return mb::kernels::membench_run(m, params).bandwidth_bytes_per_s /
-               1e9;
-      });
+  // One campaign task per repetition: each rep is an independently seeded
+  // machine (fresh page placement), so reps shard cleanly across --jobs
+  // and cache per (config, rep-seed).
+  std::ostringstream point;
+  point << "size_kb=" << params.array_bytes / 1024
+        << " stride=" << params.stride_elems << " bits=" << params.elem_bits
+        << " unroll=" << params.unroll << " passes=" << params.passes;
+  std::vector<mb::core::CampaignTask> tasks;
+  for (std::uint32_t i = 0; i < reps; ++i) {
+    mb::core::CampaignTask task;
+    task.key = {std::string(mb::support::version()), "membench", p.name,
+                point.str(), seed + i, 0};
+    task.run = [&p, params, s = seed + i]() {
+      mb::sim::Machine machine(p, mb::sim::PagePolicy::kConsecutive,
+                               mb::support::Rng(s));
+      return std::vector<double>{
+          mb::kernels::membench_run(machine, params).bandwidth_bytes_per_s /
+          1e9};
+    };
+    tasks.push_back(std::move(task));
+  }
+  const auto campaign = run_campaign_reported(tasks, co);
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (const auto& s : campaign.samples) samples.push_back(s.at(0));
   if (reps == 1) {
     // Single run: keep the detailed counter dump.
     mb::sim::Machine machine(p, mb::sim::PagePolicy::kConsecutive,
@@ -405,16 +472,35 @@ int cmd_latency(const mb::arch::Platform& p, Options& opts) {
   const std::uint64_t seed = effective_seed(opts, 1);
   if (reps == 0) usage("--reps must be at least 1");
 
+  const auto co = campaign_options(opts);
+
+  // Per-rep tasks returning [ns_per_hop, cycles_per_hop] so both series
+  // come back from one simulation (and one cache entry).
+  std::ostringstream point;
+  point << "size_kb=" << params.buffer_bytes / 1024
+        << " hops=" << params.hops;
+  std::vector<mb::core::CampaignTask> tasks;
+  for (std::uint32_t i = 0; i < reps; ++i) {
+    mb::core::CampaignTask task;
+    task.key = {std::string(mb::support::version()), "latency", p.name,
+                point.str(), seed + i, 0};
+    task.run = [&p, params, s = seed + i]() {
+      mb::sim::Machine machine(p, mb::sim::PagePolicy::kConsecutive,
+                               mb::support::Rng(s));
+      auto rep_params = params;
+      rep_params.seed = s;
+      const auto r = mb::kernels::latency_run(machine, rep_params);
+      return std::vector<double>{r.ns_per_hop, r.cycles_per_hop};
+    };
+    tasks.push_back(std::move(task));
+  }
+  const auto campaign = run_campaign_reported(tasks, co);
+  std::vector<double> samples;
   std::vector<double> cycles;
-  const auto samples = run_reps(
-      p, mb::sim::PagePolicy::kConsecutive, reps, seed,
-      [&](mb::sim::Machine& m) {
-        auto rep_params = params;
-        rep_params.seed = seed + cycles.size();
-        const auto r = mb::kernels::latency_run(m, rep_params);
-        cycles.push_back(r.cycles_per_hop);
-        return r.ns_per_hop;
-      });
+  for (const auto& s : campaign.samples) {
+    samples.push_back(s.at(0));
+    cycles.push_back(s.at(1));
+  }
   std::cout << "latency: " << fmt_fixed(mb::stats::mean(cycles), 1)
             << " cycles/hop (" << fmt_fixed(mb::stats::mean(samples), 1)
             << " ns)";
@@ -440,22 +526,43 @@ int cmd_latency(const mb::arch::Platform& p, Options& opts) {
 
 int cmd_tune_magicfilter(const mb::arch::Platform& p, Options& opts) {
   const std::uint64_t seed = effective_seed(opts, 1);
-  mb::sim::Machine machine(p, mb::sim::PagePolicy::kConsecutive,
-                           mb::support::Rng(seed));
+  const auto co = campaign_options(opts);
   mb::core::ParamSpace space;
   space.add_range("unroll", 1, 12);
+
+  // One task per unroll degree, each on its own machine whose RNG seed is
+  // derived from the campaign seed + the point's config hash — points are
+  // independent, so the sweep shards across --jobs and caches per point
+  // while staying byte-identical to the serial walk.
+  std::vector<mb::core::CampaignTask> tasks;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    mb::core::CampaignTask task;
+    task.key = {std::string(mb::support::version()), "tune-magicfilter",
+                p.name, space.at(i).to_string() + " n=20 dims=1", seed, 0};
+    const auto unroll =
+        static_cast<std::uint32_t>(space.at(i).get("unroll"));
+    task.run = [&p, unroll, key = task.key]() {
+      mb::sim::Machine machine(
+          p, mb::sim::PagePolicy::kConsecutive,
+          mb::support::Rng(mb::support::derive_seed(key.seed, key.hash())));
+      mb::kernels::MagicfilterParams params;
+      params.n = 20;
+      params.dims = 1;
+      params.unroll = unroll;
+      return std::vector<double>{
+          mb::kernels::magicfilter_run(machine, params).cycles_per_output};
+    };
+    tasks.push_back(std::move(task));
+  }
+  const auto campaign = run_campaign_reported(tasks, co);
+
   std::vector<double> cycles;
   mb::support::Table table({"Unroll", "Cycles/output"});
   for (std::size_t i = 0; i < space.size(); ++i) {
-    mb::kernels::MagicfilterParams params;
-    params.n = 20;
-    params.dims = 1;
-    params.unroll =
-        static_cast<std::uint32_t>(space.at(i).get("unroll"));
-    const auto r = mb::kernels::magicfilter_run(machine, params);
-    cycles.push_back(r.cycles_per_output);
-    table.add_row({std::to_string(params.unroll),
-                   fmt_fixed(r.cycles_per_output, 1)});
+    cycles.push_back(campaign.samples[i].at(0));
+    table.add_row(
+        {std::to_string(static_cast<std::uint32_t>(space.at(i).get("unroll"))),
+         fmt_fixed(cycles.back(), 1)});
   }
   std::cout << table;
   const auto spot = mb::core::sweet_spot(space, cycles,
@@ -489,6 +596,10 @@ int cmd_bench_suite(Options& opts) {
   const auto reps = static_cast<std::uint32_t>(opts.get_u64("reps", 8));
   const std::uint64_t seed = effective_seed(opts, 2013);
   if (reps == 0) usage("--reps must be at least 1");
+  const auto co = campaign_options(opts);
+  // Shards the two Harness sweeps below by machine slot; Harness
+  // guarantees byte-identical results for any worker count.
+  mb::core::Executor harness_exec(co.jobs);
   using D = mb::core::Direction;
 
   const auto snowball = mb::arch::snowball();
@@ -535,7 +646,7 @@ int cmd_bench_suite(Options& opts) {
         factory,
         std::make_unique<mb::os::RealTimeAnomalous>(mb::support::Rng(seed)),
         plan);
-    const auto results = harness.run(space, workload);
+    const auto results = harness.run(space, workload, harness_exec);
     mb::core::append_resultset(report, space, results, "fig5-rt/snowball",
                                snowball.name, "bandwidth_gbs", "GB/s",
                                D::kMaximize);
@@ -569,7 +680,7 @@ int cmd_bench_suite(Options& opts) {
         factory,
         std::make_unique<mb::os::FairScheduler>(mb::support::Rng(seed + 1)),
         plan);
-    const auto results = harness.run(space, workload);
+    const auto results = harness.run(space, workload, harness_exec);
     mb::core::append_resultset(report, space, results, "membench/snowball",
                                snowball.name, "bandwidth_gbs", "GB/s",
                                D::kMaximize);
@@ -585,43 +696,69 @@ int cmd_bench_suite(Options& opts) {
   const Node kXeon{&xeon, "xeon"};
   const Node kTegra2{&tegra2, "tegra2"};
 
+  // The remaining records are independent rep-loops — ideal campaign
+  // tasks. Each task reruns its serial run_reps body verbatim (same
+  // policy, seeds and order within the task), so samples are
+  // byte-identical to the pre-campaign suite; tasks shard across --jobs
+  // and cache individually. Records are appended strictly in task order
+  // after the campaign drains, keeping the report layout deterministic.
+  struct PendingRecord {
+    std::string name;
+    std::string platform;
+    std::string metric;
+    std::string unit;
+    D direction;
+  };
+  std::vector<PendingRecord> pending;
+  std::vector<mb::core::CampaignTask> tasks;
+  const auto add_task =
+      [&](std::string name, const mb::arch::Platform& plat,
+          std::string metric, std::string unit, D direction,
+          mb::sim::PagePolicy policy, std::uint64_t task_seed,
+          std::function<double(mb::sim::Machine&)> measure) {
+        pending.push_back({name, plat.name, metric, unit, direction});
+        mb::core::CampaignTask task;
+        task.key = {std::string(mb::support::version()), "bench-suite",
+                    plat.name, name + " reps=" + std::to_string(reps),
+                    task_seed, 0};
+        task.run = [&plat, policy, reps, task_seed,
+                    measure = std::move(measure)]() {
+          return run_reps(plat, policy, reps, task_seed, measure);
+        };
+        tasks.push_back(std::move(task));
+      };
+
   // Latency curves (model self-validation points) on both Table II nodes.
   for (const Node& node : {kSnowball, kXeon}) {
     for (const std::uint64_t kb : {64, 512}) {
-      const auto samples = run_reps(
-          *node.platform, mb::sim::PagePolicy::kReuseBiased, reps,
-          seed + 2 + kb, [&](mb::sim::Machine& m) {
-            mb::kernels::LatencyParams lp;
-            lp.buffer_bytes = kb * 1024;
-            lp.hops = 2048;
-            lp.seed = seed + kb;
-            return mb::kernels::latency_run(m, lp).ns_per_hop;
-          });
-      add_record(report,
-                 "latency/" + std::string(node.key) +
-                     "/size_kb=" + std::to_string(kb),
-                 node.platform->name, "ns_per_hop", "ns", D::kMinimize,
-                 samples);
+      add_task("latency/" + std::string(node.key) +
+                   "/size_kb=" + std::to_string(kb),
+               *node.platform, "ns_per_hop", "ns", D::kMinimize,
+               mb::sim::PagePolicy::kReuseBiased, seed + 2 + kb,
+               [seed, kb](mb::sim::Machine& m) {
+                 mb::kernels::LatencyParams lp;
+                 lp.buffer_bytes = kb * 1024;
+                 lp.hops = 2048;
+                 lp.seed = seed + kb;
+                 return mb::kernels::latency_run(m, lp).ns_per_hop;
+               });
     }
   }
 
   // Fig. 7: magicfilter unrolling staircase on Tegra2 and Xeon.
   for (const Node& node : {kTegra2, kXeon}) {
     for (const std::uint32_t unroll : {2u, 6u, 10u}) {
-      const auto samples = run_reps(
-          *node.platform, mb::sim::PagePolicy::kConsecutive, reps, seed + 7,
-          [&](mb::sim::Machine& m) {
-            mb::kernels::MagicfilterParams mp;
-            mp.n = 16;
-            mp.dims = 1;
-            mp.unroll = unroll;
-            return mb::kernels::magicfilter_run(m, mp).cycles_per_output;
-          });
-      add_record(report,
-                 "magicfilter/" + std::string(node.key) +
-                     "/unroll=" + std::to_string(unroll),
-                 node.platform->name, "cycles_per_output", "cycles",
-                 D::kMinimize, samples);
+      add_task("magicfilter/" + std::string(node.key) +
+                   "/unroll=" + std::to_string(unroll),
+               *node.platform, "cycles_per_output", "cycles", D::kMinimize,
+               mb::sim::PagePolicy::kConsecutive, seed + 7,
+               [unroll](mb::sim::Machine& m) {
+                 mb::kernels::MagicfilterParams mp;
+                 mp.n = 16;
+                 mp.dims = 1;
+                 mp.unroll = unroll;
+                 return mb::kernels::magicfilter_run(m, mp).cycles_per_output;
+               });
     }
   }
 
@@ -629,43 +766,44 @@ int cmd_bench_suite(Options& opts) {
   for (const Node& node : {kSnowball, kXeon}) {
     const mb::arch::Platform& p = *node.platform;
     const std::string key(node.key);
-    add_record(report, "linpack/" + key, p.name, "mflops", "MFLOPS",
-               D::kMaximize,
-               run_reps(p, mb::sim::PagePolicy::kReuseBiased, reps,
-                        seed + 11, [&](mb::sim::Machine& m) {
-                          mb::kernels::LinpackParams lp;
-                          lp.n = 64;
-                          lp.block = 16;
-                          return mb::kernels::linpack_run(m, lp).mflops;
-                        }));
-    add_record(report, "coremark/" + key, p.name, "iterations_per_s",
-               "ops/s", D::kMaximize,
-               run_reps(p, mb::sim::PagePolicy::kReuseBiased, reps,
-                        seed + 12, [&](mb::sim::Machine& m) {
-                          mb::kernels::CoremarkParams cp;
-                          cp.iterations = 4;
-                          return mb::kernels::coremark_run(m, cp)
-                              .iterations_per_s;
-                        }));
-    add_record(report, "chessbench/" + key, p.name, "nodes_per_s", "nodes/s",
-               D::kMaximize,
-               run_reps(p, mb::sim::PagePolicy::kReuseBiased, reps,
-                        seed + 13, [&](mb::sim::Machine& m) {
-                          mb::kernels::ChessbenchParams cp;
-                          cp.depth = 3;
-                          cp.positions = 2;
-                          return mb::kernels::chessbench_run(m, cp)
-                              .nodes_per_s;
-                        }));
-    add_record(report, "stencil/" + key, p.name, "seconds", "s",
-               D::kMinimize,
-               run_reps(p, mb::sim::PagePolicy::kReuseBiased, reps,
-                        seed + 14, [&](mb::sim::Machine& m) {
-                          mb::kernels::StencilParams sp;
-                          sp.n = 10;
-                          sp.steps = 10;
-                          return mb::kernels::stencil_run(m, sp).sim.seconds;
-                        }));
+    add_task("linpack/" + key, p, "mflops", "MFLOPS", D::kMaximize,
+             mb::sim::PagePolicy::kReuseBiased, seed + 11,
+             [](mb::sim::Machine& m) {
+               mb::kernels::LinpackParams lp;
+               lp.n = 64;
+               lp.block = 16;
+               return mb::kernels::linpack_run(m, lp).mflops;
+             });
+    add_task("coremark/" + key, p, "iterations_per_s", "ops/s", D::kMaximize,
+             mb::sim::PagePolicy::kReuseBiased, seed + 12,
+             [](mb::sim::Machine& m) {
+               mb::kernels::CoremarkParams cp;
+               cp.iterations = 4;
+               return mb::kernels::coremark_run(m, cp).iterations_per_s;
+             });
+    add_task("chessbench/" + key, p, "nodes_per_s", "nodes/s", D::kMaximize,
+             mb::sim::PagePolicy::kReuseBiased, seed + 13,
+             [](mb::sim::Machine& m) {
+               mb::kernels::ChessbenchParams cp;
+               cp.depth = 3;
+               cp.positions = 2;
+               return mb::kernels::chessbench_run(m, cp).nodes_per_s;
+             });
+    add_task("stencil/" + key, p, "seconds", "s", D::kMinimize,
+             mb::sim::PagePolicy::kReuseBiased, seed + 14,
+             [](mb::sim::Machine& m) {
+               mb::kernels::StencilParams sp;
+               sp.n = 10;
+               sp.steps = 10;
+               return mb::kernels::stencil_run(m, sp).sim.seconds;
+             });
+  }
+
+  const auto campaign = run_campaign_reported(tasks, co);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    add_record(report, pending[i].name, pending[i].platform,
+               pending[i].metric, pending[i].unit, pending[i].direction,
+               campaign.samples[i]);
   }
 
   // Human-readable digest.
@@ -866,6 +1004,19 @@ int cmd_compare(const std::string& baseline_path,
             << result.unmatched << " unmatched, threshold "
             << copts.threshold_sigma << " sigma / "
             << fmt_fixed(100.0 * copts.min_rel_delta, 1) << "% min delta\n";
+
+  // When verdicts differ, name both seeds: a regression between reports
+  // measured under different seeds may be placement/scheduler noise, and
+  // that must be diagnosable from this log alone.
+  if (result.regressions + result.improvements > 0) {
+    std::cout << "seeds: baseline " << result.baseline_seed << ", candidate "
+              << result.candidate_seed;
+    if (result.seeds_differ())
+      std::cout << " — seeds differ; deltas may reflect placement/scheduler "
+                   "noise, rerun the candidate with MB_SEED="
+                << result.baseline_seed << " before trusting the verdict";
+    std::cout << "\n";
+  }
 
   // When both reports embed an observability snapshot (profiled runs),
   // name the phases whose counters moved most — attribution, not gating.
