@@ -4,7 +4,16 @@
 //   3b SPECFEM3D — ~90% efficiency (vs the 4-core baseline: the instance
 //                  does not fit one node)
 //   3c BigDFT    — efficiency collapses by 36 cores (Ethernet alltoallv)
+//
+// A second set of tables extrapolates the ladders to 1k/4k/16k simulated
+// ranks — beyond the physical Tibidabo — exercising the sharded
+// conservative-lookahead engine (sim_jobs > 0, byte-identical to serial)
+// at the scales the CI scaling-gate budgets. Pass --at-scale to run them
+// (minutes of wall clock); the default run keeps the paper's figure fast.
+#include <algorithm>
+#include <cstring>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "apps/bigdft.h"
@@ -65,9 +74,77 @@ double bigdft_time(std::uint32_t cores) {
   return mb::apps::run_bigdft(cluster, p).makespan_s;
 }
 
+// ---------------------------------------------------------------------------
+// "Fig. 3 at scale": the same applications at 1k-16k simulated ranks on
+// the sharded engine. Communication-dense parameters (the scaling-suite
+// scenarios from `mbctl bench-suite --suite scaling`) keep DES event
+// throughput, not the compute model, as the measured quantity.
+
+std::uint32_t scale_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min(8u, hw == 0 ? 1u : hw);
+}
+
+mb::apps::ClusterConfig scale_cluster(std::uint32_t ranks,
+                                      std::uint32_t mtu) {
+  auto cluster = mb::apps::tibidabo_cluster(std::max(1u, ranks / 2));
+  cluster.mpi.verify = false;
+  cluster.sim_jobs = scale_jobs();
+  if (mtu != 0) cluster.mtu_bytes = mtu;
+  return cluster;
+}
+
+double hpl_time_at_scale(std::uint32_t cores) {
+  mb::apps::HplParams p;
+  p.ranks = cores;
+  p.n = 4096;
+  p.block = 128;
+  return mb::apps::run_hpl(scale_cluster(cores, 1u << 20), p).makespan_s;
+}
+
+double specfem_time_at_scale(std::uint32_t cores) {
+  mb::apps::SpecfemParams p;
+  p.ranks = cores;
+  p.steps = 8;
+  p.compute_s_per_step = 200.0;
+  p.halo_bytes = 64 * 1024;
+  p.seed = 2013;
+  return mb::apps::run_specfem(scale_cluster(cores, 0), p).makespan_s;
+}
+
+double bigdft_time_at_scale(std::uint32_t cores) {
+  mb::apps::BigDftParams p;
+  p.ranks = cores;
+  p.iterations = 1;
+  p.transposes = 1;
+  p.allreduces = 0;
+  p.compute_s_per_iter = 100.0;
+  p.transpose_bytes = 64ull << 20;
+  p.seed = 2013;
+  return mb::apps::run_bigdft(scale_cluster(cores, 0), p).makespan_s;
+}
+
+void run_at_scale() {
+  std::cout << "=== Fig. 3 at scale: 1k-16k simulated ranks, sharded "
+               "engine (sim-jobs "
+            << scale_jobs() << ") ===\n\n";
+  print_series("--- HPL at scale ---",
+               sweep({1024, 4096, 16384}, hpl_time_at_scale));
+  print_series("--- SPECFEM3D at scale ---",
+               sweep({1024, 4096, 16384}, specfem_time_at_scale));
+  // BigDFT's alltoallv is O(ranks^2) messages; 1024 is already the
+  // congestion-collapse regime the paper's Fig. 3c extrapolates to.
+  print_series("--- BigDFT at scale ---",
+               sweep({256, 1024}, bigdft_time_at_scale));
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool at_scale = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--at-scale") == 0) at_scale = true;
+
   std::cout << "=== Figure 3: strong scaling on Tibidabo "
                "(Tegra2 nodes, 1GbE tree) ===\n\n";
 
@@ -92,5 +169,10 @@ int main() {
   std::cout << "Final efficiency: "
             << fmt_fixed(mb::stats::final_efficiency(big), 2)
             << " (paper: drops rapidly; well below the others)\n";
+
+  if (at_scale) {
+    std::cout << '\n';
+    run_at_scale();
+  }
   return 0;
 }

@@ -1,8 +1,11 @@
 #include "apps/cluster.h"
 
+#include <limits>
+#include <memory>
 #include <utility>
 
 #include "obs/rollup.h"
+#include "sim/sharded.h"
 #include "support/check.h"
 
 namespace mb::apps {
@@ -35,6 +38,33 @@ void aggregate_link(AppRunResult& result, const net::Network& network,
   }
 }
 
+/// Partitions the tree topology for the sharded engine: each leaf-switch
+/// subtree (the switch plus its hosts) is one shard, the root switch is
+/// its own shard. Single-switch clusters collapse to one shard (the
+/// engine then runs a single unbounded window).
+void configure_sharding(sim::ShardedEngine& engine, const net::Network& net,
+                        const net::ClusterTopology& topo,
+                        const ClusterConfig& config) {
+  std::vector<std::uint32_t> node_to_shard(net.nodes(), 0);
+  std::uint32_t nshards = 1;
+  if (topo.leaf_switches.size() > 1) {
+    nshards = static_cast<std::uint32_t>(topo.leaf_switches.size()) + 1;
+    for (std::size_t i = 0; i < topo.leaf_switches.size(); ++i)
+      node_to_shard[topo.leaf_switches[i]] = static_cast<std::uint32_t>(i);
+    node_to_shard[topo.root_switch] = nshards - 1;
+    for (std::uint32_t n = 0; n < config.nodes; ++n)
+      node_to_shard[topo.hosts[n]] = n / config.tree.switch_ports;
+  }
+  // Conservative lookahead: no shard can affect another sooner than the
+  // fastest cross-shard link delivers (+infinity with a single shard).
+  double lookahead = std::numeric_limits<double>::infinity();
+  for (std::size_t li = 0; li < net.link_count(); ++li) {
+    if (node_to_shard[net.link_from(li)] != node_to_shard[net.link_to(li)])
+      lookahead = std::min(lookahead, net.link_latency_s(li));
+  }
+  engine.configure(std::move(node_to_shard), nshards, lookahead);
+}
+
 }  // namespace
 
 AppRunResult run_on_cluster(const ClusterConfig& config,
@@ -44,9 +74,23 @@ AppRunResult run_on_cluster(const ClusterConfig& config,
                  "run_on_cluster",
                  "program ranks must equal nodes * cores_per_node");
 
-  sim::EventQueue queue;
-  net::Network network(queue, config.mtu_bytes);
-  const net::ClusterTopology topo = net::build_tree(network, config.tree);
+  // Fault injection (hooks, failure detector) needs the serial queue:
+  // injectors mutate cross-shard state at arbitrary times.
+  const bool sharded = config.sim_jobs > 0 && !hooks.on_ready &&
+                       config.mpi.recv_timeout_s == 0.0;
+
+  std::unique_ptr<sim::EventQueue> queue;
+  std::unique_ptr<sim::ShardedEngine> engine;
+  std::unique_ptr<net::Network> network;
+  if (sharded) {
+    engine = std::make_unique<sim::ShardedEngine>(config.sim_jobs);
+    network = std::make_unique<net::Network>(*engine, config.mtu_bytes);
+  } else {
+    queue = std::make_unique<sim::EventQueue>();
+    network = std::make_unique<net::Network>(*queue, config.mtu_bytes);
+  }
+  const net::ClusterTopology topo = net::build_tree(*network, config.tree);
+  if (sharded) configure_sharding(*engine, *network, topo, config);
 
   std::vector<net::NodeId> rank_to_host;
   rank_to_host.reserve(program.ranks());
@@ -54,19 +98,31 @@ AppRunResult run_on_cluster(const ClusterConfig& config,
     rank_to_host.push_back(topo.hosts[r / config.cores_per_node]);
 
   AppRunResult result;
-  mpi::Runtime runtime(queue, network, std::move(rank_to_host), config.mpi,
-                       &result.trace);
+  std::unique_ptr<mpi::Runtime> runtime;
+  if (sharded) {
+    runtime = std::make_unique<mpi::Runtime>(*engine, *network,
+                                             std::move(rank_to_host),
+                                             config.mpi, &result.trace);
+  } else {
+    runtime = std::make_unique<mpi::Runtime>(*queue, *network,
+                                             std::move(rank_to_host),
+                                             config.mpi, &result.trace);
+  }
   if (hooks.on_ready)
-    hooks.on_ready(queue, network, topo, runtime, result.trace);
-  const mpi::RunOutcome outcome = runtime.run_outcome(program);
+    hooks.on_ready(*queue, *network, topo, *runtime, result.trace);
+  const mpi::RunOutcome outcome = runtime->run_outcome(program);
   result.completed = outcome.completed;
   result.makespan_s = outcome.makespan_s;
   result.failed_at_s = outcome.drained_s;
   result.failure = outcome.failure;
 
-  // The queue dies with this scope — publish its DES statistics now so a
+  // The engine dies with this scope — publish its DES statistics now so a
   // profile snapshot taken after the run still sees them.
-  obs::publish_event_queue(obs::metrics(), queue);
+  if (sharded) {
+    obs::publish_scheduler(obs::metrics(), *engine);
+  } else {
+    obs::publish_event_queue(obs::metrics(), *queue);
+  }
 
   // Aggregate link counters over host links (both directions) and uplinks.
   for (std::uint32_t n = 0; n < config.nodes; ++n) {
@@ -75,11 +131,11 @@ AppRunResult run_on_cluster(const ClusterConfig& config,
         topo.leaf_switches.size() == 1
             ? topo.leaf_switches[0]
             : topo.leaf_switches[n / config.tree.switch_ports];
-    aggregate_link(result, network, host, sw);
+    aggregate_link(result, *network, host, sw);
   }
   if (topo.leaf_switches.size() > 1) {
     for (const net::NodeId sw : topo.leaf_switches)
-      aggregate_link(result, network, sw, topo.root_switch);
+      aggregate_link(result, *network, sw, topo.root_switch);
   }
   return result;
 }

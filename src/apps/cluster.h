@@ -20,6 +20,13 @@ struct ClusterConfig {
   /// Frame granularity (see net::Network): raise for long-running apps
   /// (HPL at realistic N) where per-Ethernet-frame simulation is overkill.
   std::uint32_t mtu_bytes = net::Network::kMtuBytes;
+  /// 0 = classic serial engine. >0 = sharded conservative-lookahead
+  /// engine (sim::ShardedEngine) with this many worker threads; shards
+  /// follow the leaf-switch subtrees and results are byte-identical for
+  /// any worker count (sim_jobs=1 is the reference). Ignored — classic
+  /// engine — when RunHooks::on_ready is set or recv_timeout_s > 0,
+  /// since fault injection needs the serial queue.
+  std::uint32_t sim_jobs = 0;
 };
 
 /// The Tibidabo cluster as studied in the paper (Sec. II-B / IV).
@@ -43,7 +50,8 @@ struct AppRunResult {
 /// Hook point for fault injectors: called after the cluster is wired but
 /// before the program runs, with every moving part exposed. Injectors
 /// schedule their events on the queue (crash_rank, set_link_state, ...)
-/// so they fire at simulated times inside the run.
+/// so they fire at simulated times inside the run. Setting on_ready
+/// forces the classic serial engine regardless of sim_jobs.
 struct RunHooks {
   std::function<void(sim::EventQueue&, net::Network&,
                      const net::ClusterTopology&, mpi::Runtime&,

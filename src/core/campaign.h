@@ -28,8 +28,13 @@
 #include <vector>
 
 #include "core/result_cache.h"
+#include "support/executor.h"
 
 namespace mb::core {
+
+/// Work-stealing index pool; lives in support/ so the sharded DES engine
+/// can reuse it (see support/executor.h for the two execution modes).
+using Executor = support::Executor;
 
 /// Knobs surfaced as mbctl --jobs / --no-cache / --cache-dir.
 struct CampaignOptions {
@@ -47,31 +52,6 @@ struct CampaignStats {
   std::uint64_t steals = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
-};
-
-/// Work-stealing index pool. Tasks are sharded round-robin across
-/// per-worker deques; an idle worker pops from its own front and steals
-/// from a victim's back. With jobs <= 1 (or a single task) everything runs
-/// inline on the calling thread.
-class Executor {
- public:
-  explicit Executor(std::uint32_t jobs);
-
-  std::uint32_t jobs() const { return jobs_; }
-
-  /// Invokes fn(i) exactly once for every i in [0, n), in unspecified
-  /// order across up to jobs() threads (the calling thread participates).
-  /// fn must not touch the obs registry or profiler. The first exception
-  /// thrown by any task is rethrown here after all workers stop.
-  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
-
-  std::uint64_t tasks_run() const { return tasks_run_; }
-  std::uint64_t steals() const { return steals_; }
-
- private:
-  std::uint32_t jobs_;
-  std::uint64_t tasks_run_ = 0;
-  std::uint64_t steals_ = 0;
 };
 
 /// One cacheable unit of work: the key states every input that determines

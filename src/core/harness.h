@@ -19,11 +19,12 @@
 #include "core/resultset.h"
 #include "os/scheduler.h"
 #include "sim/machine.h"
+#include "support/executor.h"
 #include "support/rng.h"
 
 namespace mb::core {
 
-class Executor;
+using Executor = support::Executor;
 
 /// A tunable workload: runs one variant on a machine, returns the metric
 /// in *time-like* units (lower is better; bandwidths are inverted by the

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "support/check.h"
+#include "support/rng.h"
 #include "verify/mpi_verify.h"
 
 namespace mb::mpi {
@@ -27,14 +29,78 @@ std::string FailureReport::to_string() const {
   return os.str();
 }
 
-Runtime::Runtime(sim::EventQueue& queue, net::Network& network,
+void Runtime::Mailbox::push(std::uint64_t k, std::uint64_t bytes) {
+  if (keys_.empty() || (count_ + 1) * 2 > keys_.size()) grow();
+  const std::size_t i = locate(k);
+  if (keys_[i] == kEmpty) {
+    keys_[i] = k;
+    ++count_;
+  }
+  slots_[i].fifo.push_back(bytes);
+}
+
+bool Runtime::Mailbox::pop(std::uint64_t k, std::uint64_t& bytes) {
+  if (keys_.empty()) return false;
+  const std::size_t i = locate(k);
+  if (keys_[i] == kEmpty) return false;
+  Slot& slot = slots_[i];
+  if (slot.head == slot.fifo.size()) return false;
+  bytes = slot.fifo[slot.head++];
+  if (slot.head == slot.fifo.size()) {
+    slot.fifo.clear();  // keeps capacity for the next burst
+    slot.head = 0;
+  }
+  return true;
+}
+
+std::size_t Runtime::Mailbox::locate(std::uint64_t k) const {
+  const std::size_t mask = keys_.size() - 1;
+  std::uint64_t h = k;  // splitmix64 steps its argument; keep k intact
+  std::size_t i = support::splitmix64(h) & mask;
+  while (keys_[i] != kEmpty && keys_[i] != k) i = (i + 1) & mask;
+  return i;
+}
+
+void Runtime::Mailbox::grow() {
+  std::vector<std::uint64_t> old_keys = std::move(keys_);
+  std::vector<Slot> old_slots = std::move(slots_);
+  const std::size_t n = old_keys.empty() ? 8 : old_keys.size() * 2;
+  keys_.assign(n, kEmpty);
+  slots_.assign(n, Slot{});
+  for (std::size_t j = 0; j < old_keys.size(); ++j) {
+    if (old_keys[j] == kEmpty) continue;
+    const std::size_t i = locate(old_keys[j]);
+    keys_[i] = old_keys[j];
+    slots_[i] = std::move(old_slots[j]);
+  }
+}
+
+Runtime::Runtime(sim::Scheduler& sched, net::Network& network,
                  std::vector<net::NodeId> rank_to_host, RuntimeConfig config,
                  trace::Trace* trace)
-    : queue_(queue),
+    : sched_(&sched),
       network_(network),
       rank_to_host_(std::move(rank_to_host)),
       config_(config),
-      trace_(trace) {
+      trace_(trace),
+      parallel_(sched.parallel()) {
+  init();
+}
+
+Runtime::Runtime(sim::EventQueue& queue, net::Network& network,
+                 std::vector<net::NodeId> rank_to_host, RuntimeConfig config,
+                 trace::Trace* trace)
+    : owned_(std::make_unique<sim::QueueScheduler>(queue)),
+      sched_(owned_.get()),
+      network_(network),
+      rank_to_host_(std::move(rank_to_host)),
+      config_(config),
+      trace_(trace),
+      parallel_(false) {
+  init();
+}
+
+void Runtime::init() {
   support::check(!rank_to_host_.empty(), "Runtime", "need at least one rank");
   for (const net::NodeId host : rank_to_host_) {
     support::check(host < network_.nodes(), "Runtime", "unknown host");
@@ -70,7 +136,17 @@ void Runtime::record(std::uint32_t rank, double t0, double t1,
   r.kind = kind;
   r.label = label;
   r.bytes = bytes;
-  trace_->add(r);
+  if (parallel_) {
+    trace_buf_[rank].push_back(std::move(r));
+  } else {
+    trace_->add(r);
+  }
+}
+
+void Runtime::schedule_for(std::uint32_t rank, double delay_s,
+                           sim::Scheduler::Callback cb) {
+  sched_->schedule(rank_to_host_[rank], sched_->now() + delay_s,
+                   std::move(cb));
 }
 
 double Runtime::run(const Program& program) {
@@ -87,6 +163,8 @@ RunOutcome Runtime::run_outcome(const Program& program) {
   const auto ranks = static_cast<std::uint32_t>(rank_to_host_.size());
   support::check(program.ranks() == ranks, "Runtime::run",
                  "program rank count must match the runtime");
+  support::check(!parallel_ || config_.recv_timeout_s == 0.0, "Runtime::run",
+                 "the failure detector requires the serial engine");
 
   if (config_.verify) {
     const verify::Report report = verify::verify_program(program);
@@ -100,8 +178,9 @@ RunOutcome Runtime::run_outcome(const Program& program) {
   // so the op sequences must contain collectives in the same order on
   // every rank (the usual MPI requirement).
   states_.assign(ranks, RankState{});
+  metrics_.assign(ranks, RankMetrics{});
+  if (parallel_ && trace_ != nullptr) trace_buf_.assign(ranks, {});
   failure_ = FailureReport{};
-  finished_ = 0;
   for (std::uint32_t r = 0; r < ranks; ++r) {
     std::int32_t tag_base = next_tag_base_;
     auto& ops = states_[r].ops;
@@ -122,14 +201,22 @@ RunOutcome Runtime::run_outcome(const Program& program) {
     if (r == ranks - 1) next_tag_base_ = tag_base;  // consumed instances
   }
 
+  // Kick-off happens on the calling thread in rank order (the scheduler
+  // routes each event to its home shard deterministically).
   for (std::uint32_t r = 0; r < ranks; ++r) advance(r);
-  queue_.run();
+  sched_->run_all();
+
+  flush_observability(ranks);
 
   RunOutcome outcome;
-  outcome.completed = finished_ == ranks;
-  outcome.drained_s = queue_.now();
+  outcome.drained_s = sched_->now();
+  std::uint32_t finished = 0;
   double makespan = 0.0;
-  for (const auto& s : states_) makespan = std::max(makespan, s.finish_time);
+  for (const auto& s : states_) {
+    if (s.done) ++finished;
+    makespan = std::max(makespan, s.finish_time);
+  }
+  outcome.completed = finished == ranks;
   outcome.makespan_s = makespan;
   if (!outcome.completed) {
     // Ranks still blocked at drain time (and not already reported by the
@@ -148,6 +235,25 @@ RunOutcome Runtime::run_outcome(const Program& program) {
     outcome.failure = failure_;
   }
   return outcome;
+}
+
+void Runtime::flush_observability(std::uint32_t ranks) {
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    const RankMetrics& m = metrics_[r];
+    if (m.bytes_sent != 0.0) bytes_sent_[r]->add(m.bytes_sent);
+    if (m.bytes_received != 0.0) bytes_received_[r]->add(m.bytes_received);
+    if (m.time_collective != 0.0) time_collective_->add(m.time_collective);
+    if (m.time_p2p != 0.0) time_p2p_->add(m.time_p2p);
+    if (m.time_wait != 0.0) time_wait_->add(m.time_wait);
+    if (m.retries != 0.0) retries_->add(m.retries);
+    if (m.recv_timeouts != 0.0) recv_timeouts_->add(m.recv_timeouts);
+  }
+  if (parallel_ && trace_ != nullptr) {
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      for (const trace::Record& rec : trace_buf_[r]) trace_->add(rec);
+    }
+    trace_buf_.clear();
+  }
 }
 
 void Runtime::crash_rank(std::uint32_t rank) {
@@ -173,10 +279,10 @@ void Runtime::deliver(std::uint32_t dst_rank, std::uint32_t src_rank,
   RankState& s = states_[dst_rank];
   if (s.crashed || s.timed_out) return;  // dead ranks receive nothing
   const auto key = std::make_pair(src_rank, tag);
-  s.mailbox[key].push_back(bytes);
+  s.mailbox.push(Mailbox::key(src_rank, tag), bytes);
   if (s.waiting && *s.waiting == key) {
     s.waiting.reset();
-    time_wait_->add(queue_.now() - s.wait_start);
+    metrics_[dst_rank].time_wait += sched_->now() - s.wait_start;
     advance(dst_rank);
   }
 }
@@ -188,15 +294,15 @@ void Runtime::post_send(std::uint32_t src_rank, std::uint32_t dst_rank,
   if (attempt < config_.max_send_retries) {
     on_failed = [this, src_rank, dst_rank, tag, bytes, attempt] {
       if (states_[src_rank].crashed) return;
-      retries_->add(1.0);
+      metrics_[src_rank].retries += 1.0;
       const double delay =
           config_.send_retry_base_s *
           std::pow(config_.send_retry_backoff, static_cast<double>(attempt));
-      queue_.schedule_in(delay,
-                         [this, src_rank, dst_rank, tag, bytes, attempt] {
-                           post_send(src_rank, dst_rank, tag, bytes,
-                                     attempt + 1);
-                         });
+      schedule_for(src_rank, delay,
+                   [this, src_rank, dst_rank, tag, bytes, attempt] {
+                     post_send(src_rank, dst_rank, tag, bytes,
+                               attempt + 1);
+                   });
     };
   }
   network_.send(rank_to_host_[src_rank], rank_to_host_[dst_rank], bytes,
@@ -211,10 +317,11 @@ void Runtime::on_recv_timeout(std::uint32_t rank, std::uint64_t epoch) {
   if (s.crashed || s.timed_out) return;
   if (!s.waiting || s.wait_epoch != epoch) return;  // stale timer
   s.timed_out = true;
-  failure_.detected_s = std::max(failure_.detected_s, queue_.now());
-  recv_timeouts_->add(1.0);
-  time_wait_->add(queue_.now() - s.wait_start);
-  record(rank, s.wait_start, queue_.now(), trace::EventKind::kWait,
+  const double now = sched_->now();
+  failure_.detected_s = std::max(failure_.detected_s, now);
+  metrics_[rank].recv_timeouts += 1.0;
+  metrics_[rank].time_wait += now - s.wait_start;
+  record(rank, s.wait_start, now, trace::EventKind::kWait,
          "recv_timeout", 0);
   BlockedOp b;
   b.rank = rank;
@@ -232,14 +339,14 @@ void Runtime::advance(std::uint32_t rank) {
   if (s.crashed || s.timed_out) return;  // fail-stop: no further progress
   while (s.pc < s.ops.size()) {
     const Op& op = s.ops[s.pc];
-    const double now = queue_.now();
+    const double now = sched_->now();
     switch (op.kind) {
       case Op::Kind::kCompute: {
         const double seconds = op.seconds * s.slow_factor;
         record(rank, now, now + seconds, trace::EventKind::kCompute,
                op.label, 0);
         ++s.pc;
-        queue_.schedule_in(seconds, [this, rank] { advance(rank); });
+        schedule_for(rank, seconds, [this, rank] { advance(rank); });
         return;
       }
       case Op::Kind::kSend: {
@@ -247,9 +354,9 @@ void Runtime::advance(std::uint32_t rank) {
         const std::int32_t tag = op.tag;
         const net::NodeId src_host = rank_to_host_[rank];
         const net::NodeId dst_host = rank_to_host_[dst];
-        bytes_sent_[rank]->add(static_cast<double>(op.bytes));
+        metrics_[rank].bytes_sent += static_cast<double>(op.bytes);
         if (s.group_label.empty()) {
-          time_p2p_->add(config_.send_overhead_s);
+          metrics_[rank].time_p2p += config_.send_overhead_s;
           record(rank, now, now + config_.send_overhead_s,
                  trace::EventKind::kSend, "send", op.bytes);
         }
@@ -258,45 +365,42 @@ void Runtime::advance(std::uint32_t rank) {
           const double t = config_.intra_latency_s +
                            static_cast<double>(op.bytes) /
                                config_.intra_bandwidth_bytes_per_s;
-          queue_.schedule_in(config_.send_overhead_s + t,
-                             [this, dst, rank, tag, bytes] {
-                               deliver(dst, rank, tag, bytes);
-                             });
+          schedule_for(rank, config_.send_overhead_s + t,
+                       [this, dst, rank, tag, bytes] {
+                         deliver(dst, rank, tag, bytes);
+                       });
         } else {
           post_send(rank, dst, tag, bytes, 0);
         }
         ++s.pc;
-        queue_.schedule_in(config_.send_overhead_s,
-                           [this, rank] { advance(rank); });
+        schedule_for(rank, config_.send_overhead_s,
+                     [this, rank] { advance(rank); });
         return;
       }
       case Op::Kind::kRecv: {
-        const auto key = std::make_pair(op.peer, op.tag);
-        auto it = s.mailbox.find(key);
-        if (it == s.mailbox.end() || it->second.empty()) {
-          s.waiting = key;
+        std::uint64_t bytes = 0;
+        if (!s.mailbox.pop(Mailbox::key(op.peer, op.tag), bytes)) {
+          s.waiting = std::make_pair(op.peer, op.tag);
           s.wait_start = now;
           s.wait_op = s.pc;
           if (config_.recv_timeout_s > 0.0) {
             const std::uint64_t epoch = ++s.wait_epoch;
-            queue_.schedule_in(config_.recv_timeout_s, [this, rank, epoch] {
-              on_recv_timeout(rank, epoch);
-            });
+            schedule_for(rank, config_.recv_timeout_s,
+                         [this, rank, epoch] {
+                           on_recv_timeout(rank, epoch);
+                         });
           }
           return;
         }
-        const std::uint64_t bytes = it->second.front();
-        it->second.erase(it->second.begin());
-        if (it->second.empty()) s.mailbox.erase(it);
-        bytes_received_[rank]->add(static_cast<double>(bytes));
+        metrics_[rank].bytes_received += static_cast<double>(bytes);
         if (s.group_label.empty()) {
-          time_p2p_->add(config_.recv_overhead_s);
+          metrics_[rank].time_p2p += config_.recv_overhead_s;
           record(rank, now, now + config_.recv_overhead_s,
                  trace::EventKind::kRecv, "recv", bytes);
         }
         ++s.pc;
-        queue_.schedule_in(config_.recv_overhead_s,
-                           [this, rank] { advance(rank); });
+        schedule_for(rank, config_.recv_overhead_s,
+                     [this, rank] { advance(rank); });
         return;
       }
       case Op::Kind::kBeginGroup: {
@@ -306,7 +410,7 @@ void Runtime::advance(std::uint32_t rank) {
         break;
       }
       case Op::Kind::kEndGroup: {
-        time_collective_->add(now - s.group_start);
+        metrics_[rank].time_collective += now - s.group_start;
         record(rank, s.group_start, now, trace::EventKind::kCollective,
                op.label, 0);
         s.group_label.clear();
@@ -318,8 +422,8 @@ void Runtime::advance(std::uint32_t rank) {
                       "unlowered collective reached execution");
     }
   }
-  s.finish_time = queue_.now();
-  ++finished_;
+  s.finish_time = sched_->now();
+  s.done = true;
 }
 
 }  // namespace mb::mpi

@@ -12,10 +12,22 @@
 // turns a lost peer into a structured FailureReport — naming the dead
 // rank and every blocked op — instead of a hung event loop, and sends
 // can opt into retry-with-backoff when the network abandons a message.
+// Fault injection requires the serial engine (see below).
+//
+// Engine notes: the runtime schedules through sim::Scheduler, homing
+// every event on the host of the rank whose state it touches, so it runs
+// unchanged on the classic serial queue and on the sharded
+// conservative-lookahead engine. Under a parallel scheduler, per-rank
+// state is only ever touched by the owning shard's worker; cross-rank
+// effects travel through Network::send. Metric updates accumulate in
+// per-rank buckets flushed to the obs registry rank-major after the run
+// (the registry is single-threaded by design), and trace records are
+// buffered per rank and flushed in rank order — deterministic for any
+// worker count.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,7 +35,7 @@
 #include "mpi/program.h"
 #include "net/network.h"
 #include "obs/metrics.h"
-#include "sim/event_queue.h"
+#include "sim/scheduler.h"
 #include "trace/trace.h"
 
 namespace mb::mpi {
@@ -44,6 +56,7 @@ struct RuntimeConfig {
   /// dead (the rank stops, the blocked op lands in the FailureReport).
   /// 0 disables detection — a lost peer then only surfaces when the
   /// event loop drains. Set it above the longest legitimate wait.
+  /// Must be 0 under a parallel scheduler (serial engine only).
   double recv_timeout_s = 0.0;
   /// Opt-in send retry: when the network abandons a message (link down
   /// past the retransmit budget), re-post it up to this many times with
@@ -93,6 +106,12 @@ class Runtime {
   /// `rank_to_host[r]` is the network vertex hosting rank r (several
   /// ranks may share one host — the dual-core Tibidabo nodes).
   /// `trace` may be null.
+  Runtime(sim::Scheduler& sched, net::Network& network,
+          std::vector<net::NodeId> rank_to_host, RuntimeConfig config,
+          trace::Trace* trace);
+
+  /// Convenience overload for the classic serial engine: wraps `queue`
+  /// in an internally owned QueueScheduler.
   Runtime(sim::EventQueue& queue, net::Network& network,
           std::vector<net::NodeId> rank_to_host, RuntimeConfig config,
           trace::Trace* trace);
@@ -118,12 +137,56 @@ class Runtime {
   void set_rank_slowdown(std::uint32_t rank, double factor);
 
  private:
+  /// Open-addressed (source, tag) -> FIFO-of-sizes map, replacing the
+  /// std::map mailbox that dominated the deliver/recv path at scale.
+  /// Keys are never erased: a drained FIFO marks absence, so matching is
+  /// a probe plus a head-index bump and the per-key vectors recycle
+  /// their capacity across the many messages of one (src, tag) stream.
+  /// Keys live in their own dense array so a probe touches 8-byte
+  /// entries, not the fat payload slots — the table stays cache-resident
+  /// even at thousands of keys per rank.
+  class Mailbox {
+   public:
+    static std::uint64_t key(std::uint32_t src, std::int32_t tag) {
+      return (static_cast<std::uint64_t>(src) << 32) |
+             static_cast<std::uint32_t>(tag);
+    }
+    void push(std::uint64_t k, std::uint64_t bytes);
+    /// False when no message matches; otherwise pops FIFO-first.
+    bool pop(std::uint64_t k, std::uint64_t& bytes);
+
+   private:
+    /// (src=~0, tag=-1) is not a reachable key: ranks are dense indices.
+    static constexpr std::uint64_t kEmpty = ~0ull;
+    struct Slot {
+      std::uint32_t head = 0;
+      std::vector<std::uint64_t> fifo;
+    };
+    std::size_t locate(std::uint64_t k) const;
+    void grow();
+    std::vector<std::uint64_t> keys_;  ///< probe array, kEmpty = free
+    std::vector<Slot> slots_;          ///< payload, parallel to keys_
+    std::size_t count_ = 0;  ///< used slots (never shrinks)
+  };
+
+  /// Metric deltas accumulated on the owning shard, flushed rank-major
+  /// to the single-threaded obs registry after the run.
+  struct RankMetrics {
+    double bytes_sent = 0.0;
+    double bytes_received = 0.0;
+    double time_collective = 0.0;
+    double time_p2p = 0.0;
+    double time_wait = 0.0;
+    double retries = 0.0;
+    double recv_timeouts = 0.0;
+  };
+
   struct RankState {
     std::vector<Op> ops;  ///< fully lowered op list
     std::size_t pc = 0;
-    bool blocked = false;
     bool crashed = false;
     bool timed_out = false;
+    bool done = false;
     double slow_factor = 1.0;
     double finish_time = 0.0;
     double group_start = 0.0;
@@ -134,9 +197,7 @@ class Runtime {
     // Arrived-but-unmatched messages (payload sizes, FIFO per key) and
     // the receive each op waits for. Receives take the size from the
     // matched message — recv ops carry no byte count of their own.
-    std::map<std::pair<std::uint32_t, std::int32_t>,
-             std::vector<std::uint64_t>>
-        mailbox;
+    Mailbox mailbox;
     std::optional<std::pair<std::uint32_t, std::int32_t>> waiting;
   };
 
@@ -150,14 +211,20 @@ class Runtime {
   void record(std::uint32_t rank, double t0, double t1,
               trace::EventKind kind, const std::string& label,
               std::uint64_t bytes);
+  void schedule_for(std::uint32_t rank, double delay_s,
+                    sim::Scheduler::Callback cb);
+  void flush_observability(std::uint32_t ranks);
+  void init();
 
-  sim::EventQueue& queue_;
+  std::unique_ptr<sim::QueueScheduler> owned_;  ///< compat-ctor engine
+  sim::Scheduler* sched_;
   net::Network& network_;
   std::vector<net::NodeId> rank_to_host_;
   RuntimeConfig config_;
   trace::Trace* trace_;
+  bool parallel_;  ///< sched_->parallel(): buffer traces per rank
   // Registry instrumentation (handles resolved once in the constructor;
-  // hot-path updates are plain adds). Per-rank traffic plus the
+  // updates deferred to the post-run flush). Per-rank traffic plus the
   // collective / p2p-overhead / blocked-receive time split the paper's
   // Fig. 4 analysis needs. Wait time overlaps collective time when a
   // lowered collective blocks internally — they are different lenses,
@@ -170,9 +237,10 @@ class Runtime {
   obs::Counter* retries_;
   obs::Counter* recv_timeouts_;
   std::vector<RankState> states_;
+  std::vector<RankMetrics> metrics_;
+  std::vector<std::vector<trace::Record>> trace_buf_;  ///< parallel mode
   FailureReport failure_;
   std::int32_t next_tag_base_ = 1 << 16;  // user tags stay below
-  std::uint32_t finished_ = 0;
 };
 
 }  // namespace mb::mpi

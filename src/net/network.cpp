@@ -3,15 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
-#include <memory>
+#include <utility>
 
 #include "support/check.h"
 
 namespace mb::net {
 
 namespace {
-constexpr std::uint32_t kNoHop = ~std::uint32_t{0};
-
 double backoff_delay(const LinkSpec& spec, std::uint32_t attempt) {
   const double raw = spec.retransmit_timeout_s *
                      std::pow(spec.retransmit_backoff,
@@ -20,8 +18,15 @@ double backoff_delay(const LinkSpec& spec, std::uint32_t attempt) {
 }
 }  // namespace
 
+Network::Network(sim::Scheduler& sched, std::uint32_t mtu_bytes)
+    : sched_(&sched), mtu_(mtu_bytes) {
+  support::check(mtu_bytes >= 64, "Network", "MTU must be at least 64 bytes");
+}
+
 Network::Network(sim::EventQueue& queue, std::uint32_t mtu_bytes)
-    : queue_(queue), mtu_(mtu_bytes) {
+    : owned_(std::make_unique<sim::QueueScheduler>(queue)),
+      sched_(owned_.get()),
+      mtu_(mtu_bytes) {
   support::check(mtu_bytes >= 64, "Network", "MTU must be at least 64 bytes");
 }
 
@@ -43,50 +48,86 @@ void Network::add_link(NodeId a, NodeId b, LinkSpec spec) {
   support::check(spec.bandwidth_bytes_per_s > 0.0, "Network::add_link",
                  "bandwidth must be positive");
   for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
-    DirectedLink l;
-    l.from = from;
-    l.to = to;
-    l.spec = spec;
-    adjacency_[from].push_back(static_cast<std::uint32_t>(links_.size()));
-    links_.push_back(l);
+    adjacency_[from].push_back(static_cast<std::uint32_t>(from_.size()));
+    from_.push_back(from);
+    to_.push_back(to);
+    busy_until_.push_back(0.0);
+    bandwidth_.push_back(spec.bandwidth_bytes_per_s);
+    latency_.push_back(spec.latency_s);
+    buffer_limit_.push_back(
+        std::max<double>(spec.buffer_bytes, 4.0 * mtu_));
+    loss_prob_.push_back(0.0);
+    up_.push_back(1);
+    spec_.push_back(spec);
+    loss_rng_.emplace_back();
+    stats_.emplace_back();
   }
 }
 
 void Network::finalize_routes() {
   support::check(!routed_, "Network::finalize_routes", "already routed");
   const std::size_t n = names_.size();
-  next_hop_.assign(n, std::vector<std::uint32_t>(n, kNoHop));
-  // BFS from every destination, walking reverse links (all links are
-  // symmetric here), recording the first hop toward the destination.
-  for (NodeId dst = 0; dst < n; ++dst) {
-    std::deque<NodeId> frontier{dst};
-    std::vector<bool> seen(n, false);
-    seen[dst] = true;
+  // Routing rows only where there is a choice: one BFS per degree>1 node,
+  // recording the first link out of it on the shortest path to every
+  // destination (the BFS-root-child trick). O(rows * n) space instead of
+  // the old O(n^2) next-hop matrix — the difference between megabytes and
+  // gigabytes at 16k simulated ranks.
+  row_of_.assign(n, kNoHop);
+  rows_.clear();
+  std::vector<std::uint32_t> via(n, kNoHop);
+  std::vector<bool> seen(n, false);
+  for (NodeId u = 0; u < n; ++u) {
+    if (adjacency_[u].size() <= 1) continue;
+    row_of_[u] = static_cast<std::uint32_t>(rows_.size());
+    via.assign(n, kNoHop);
+    seen.assign(n, false);
+    seen[u] = true;
+    std::deque<NodeId> frontier{u};
     while (!frontier.empty()) {
       const NodeId cur = frontier.front();
       frontier.pop_front();
       for (const std::uint32_t li : adjacency_[cur]) {
-        // links_[li] goes cur -> neighbour; the reverse direction
-        // (neighbour -> cur) is the hop the neighbour should take.
-        const NodeId nb = links_[li].to;
+        const NodeId nb = to_[li];
         if (seen[nb]) continue;
         seen[nb] = true;
-        next_hop_[nb][dst] = static_cast<std::uint32_t>(link_index(nb, cur));
+        via[nb] = cur == u ? li : via[cur];
         frontier.push_back(nb);
       }
     }
+    rows_.push_back(via);
   }
   routed_ = true;
 }
 
 std::size_t Network::link_index(NodeId a, NodeId b) const {
   for (const std::uint32_t li : adjacency_[a])
-    if (links_[li].to == b) return li;
+    if (to_[li] == b) return li;
   support::fail("Network::link_index", "no such link");
 }
 
+std::uint32_t Network::hop_link(NodeId cur, NodeId dst) const {
+  if (row_of_[cur] != kNoHop) return rows_[row_of_[cur]][dst];
+  const auto& adj = adjacency_[cur];
+  return adj.size() == 1 ? adj[0] : kNoHop;
+}
+
+std::uint32_t Network::route_first_link(NodeId src, NodeId dst,
+                                        const char* where) const {
+  const std::uint32_t first = hop_link(src, dst);
+  std::uint32_t li = first;
+  std::size_t hops = 0;
+  NodeId cur = src;
+  while (cur != dst) {
+    support::check(li != kNoHop && hops < names_.size(), where, "no route");
+    cur = to_[li];
+    ++hops;
+    if (cur != dst) li = hop_link(cur, dst);
+  }
+  return first;
+}
+
 const LinkStats& Network::link_stats(NodeId a, NodeId b) const {
-  return links_[link_index(a, b)].stats;
+  return stats_[link_index(a, b)];
 }
 
 void Network::degrade_link(NodeId a, NodeId b, double bandwidth_factor,
@@ -97,19 +138,21 @@ void Network::degrade_link(NodeId a, NodeId b, double bandwidth_factor,
   support::check(extra_latency_s >= 0.0, "Network::degrade_link",
                  "extra latency must be non-negative");
   for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
-    DirectedLink& link = links_[link_index(from, to)];
-    link.spec.bandwidth_bytes_per_s *= bandwidth_factor;
-    link.spec.latency_s += extra_latency_s;
+    const std::size_t li = link_index(from, to);
+    spec_[li].bandwidth_bytes_per_s *= bandwidth_factor;
+    spec_[li].latency_s += extra_latency_s;
+    bandwidth_[li] = spec_[li].bandwidth_bytes_per_s;
+    latency_[li] = spec_[li].latency_s;
   }
 }
 
 void Network::set_link_state(NodeId a, NodeId b, bool up) {
   for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}})
-    links_[link_index(from, to)].up = up;
+    up_[link_index(from, to)] = up ? 1 : 0;
 }
 
 bool Network::link_up(NodeId a, NodeId b) const {
-  return links_[link_index(a, b)].up;
+  return up_[link_index(a, b)] != 0;
 }
 
 void Network::set_link_loss(NodeId a, NodeId b, double probability,
@@ -119,12 +162,11 @@ void Network::set_link_loss(NodeId a, NodeId b, double probability,
                  "loss probability must be in [0, 1)");
   for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
     const std::size_t li = link_index(from, to);
-    DirectedLink& link = links_[li];
-    link.loss_probability = probability;
+    loss_prob_[li] = probability;
     // Decorrelate the two directions (and distinct cables sharing a seed)
     // by folding the directed link index into the stream seed.
     std::uint64_t state = seed + 0x9E3779B97F4A7C15ULL * (li + 1);
-    link.loss_rng = support::Rng(support::splitmix64(state));
+    loss_rng_[li] = support::Rng(support::splitmix64(state));
   }
 }
 
@@ -133,9 +175,10 @@ std::size_t Network::route_hops(NodeId src, NodeId dst) const {
   std::size_t hops = 0;
   NodeId cur = src;
   while (cur != dst) {
-    const std::uint32_t li = next_hop_[cur][dst];
-    support::check(li != kNoHop, "Network::route_hops", "no route");
-    cur = links_[li].to;
+    const std::uint32_t li = hop_link(cur, dst);
+    support::check(li != kNoHop && hops < names_.size(), "Network::route_hops",
+                   "no route");
+    cur = to_[li];
     ++hops;
   }
   return hops;
@@ -151,25 +194,18 @@ void Network::send(NodeId src, NodeId dst, std::uint64_t bytes,
 
   if (src == dst) {
     // Loopback: deliver immediately (caller models any memcpy cost).
-    queue_.schedule_in(0.0, std::move(on_delivered));
+    sched_->schedule(dst, sched_->now(), std::move(on_delivered));
     return;
   }
 
-  // Build the hop path once.
-  auto hops = std::make_shared<std::vector<std::uint32_t>>();
-  NodeId cur = src;
-  while (cur != dst) {
-    const std::uint32_t li = next_hop_[cur][dst];
-    support::check(li != kNoHop, "Network::send", "no route");
-    hops->push_back(li);
-    cur = links_[li].to;
-  }
-  const Path path = hops;
+  const std::uint32_t first = route_first_link(src, dst, "Network::send");
 
   const std::uint64_t frames =
       std::max<std::uint64_t>(1, (bytes + mtu_ - 1) / mtu_);
-  auto msg = std::make_shared<Message>();
+  Message* msg = msg_pool_.allocate();
   msg->remaining = frames;
+  msg->refs = static_cast<std::uint32_t>(frames);
+  msg->failed = false;
   msg->on_delivered = std::move(on_delivered);
   msg->on_failed = std::move(on_failed);
 
@@ -179,95 +215,120 @@ void Network::send(NodeId src, NodeId dst, std::uint64_t bytes,
         std::min<std::uint64_t>(left, mtu_));
     left -= frame_bytes;
     // Inject into the first link now; each frame flows independently.
-    forward(frame_bytes, path, 0, 0, msg);
+    forward(first, frame_bytes, dst, 0, true, msg);
   }
 }
 
-void Network::forward(std::uint32_t frame_bytes, Path path, std::size_t hop,
-                      std::uint32_t attempt, std::shared_ptr<Message> msg) {
-  if (msg->failed) return;  // a sibling frame already doomed the message
-  DirectedLink& link = links_[(*path)[hop]];
-  const double now = queue_.now();
+void Network::release_ref(Message* msg) {
+  if (--msg->refs == 0) msg_pool_.release(msg);
+}
+
+void Network::forward(std::uint32_t li, std::uint32_t frame_bytes, NodeId dst,
+                      std::uint32_t attempt, bool first_hop, Message* msg) {
+  if (msg->failed) {  // a sibling frame already doomed the message
+    release_ref(msg);
+    return;
+  }
+  const double now = sched_->now();
 
   // A downed link transmits nothing: the frame sits with the sender and is
   // retried with backoff until the link returns or the budget runs out.
-  if (!link.up) {
-    link.stats.down_drops += 1;
-    retransmit(frame_bytes, std::move(path), hop, attempt, std::move(msg));
+  if (up_[li] == 0) {
+    stats_[li].down_drops += 1;
+    retransmit(li, frame_bytes, dst, attempt, first_hop, msg);
     return;
   }
 
-  const double start = std::max(now, link.busy_until);
+  const double start = std::max(now, busy_until_[li]);
   const double wait = start - now;
 
   // Output-port buffer overflow: the frame is dropped and retransmitted
-  // with backoff (see LinkSpec). Only switch ports drop (hop > 0): the
-  // first hop's queue is the sender's own memory, where frames wait for
-  // the NIC at no cost beyond time.
+  // with backoff (see LinkSpec). Only switch ports drop (not the first
+  // hop): the first hop's queue is the sender's own memory, where frames
+  // wait for the NIC at no cost beyond time.
   // In coarse-MTU mode frames are aggregated bursts; the drop threshold
   // scales with the frame size so coarsening trades drop fidelity for
   // speed instead of fabricating overflows.
-  const double buffer_limit =
-      std::max<double>(link.spec.buffer_bytes, 4.0 * mtu_);
-  const double queued_bytes = wait * link.spec.bandwidth_bytes_per_s;
-  if (hop > 0 && queued_bytes > buffer_limit) {
-    link.stats.drops += 1;
-    retransmit(frame_bytes, std::move(path), hop, attempt, std::move(msg));
+  const double queued_bytes = wait * bandwidth_[li];
+  if (!first_hop && queued_bytes > buffer_limit_[li]) {
+    stats_[li].drops += 1;
+    retransmit(li, frame_bytes, dst, attempt, first_hop, msg);
     return;
   }
 
   const double tx =
       static_cast<double>(frame_bytes + 38) /  // preamble + IFG + headers
-      link.spec.bandwidth_bytes_per_s;
-  link.busy_until = start + tx;
-  link.stats.frames += 1;
-  link.stats.bytes += frame_bytes;
-  link.stats.busy_s += tx;
-  link.stats.queued_s += wait;
-  link.stats.max_queue_s = std::max(link.stats.max_queue_s, wait);
+      bandwidth_[li];
+  busy_until_[li] = start + tx;
+  LinkStats& st = stats_[li];
+  st.frames += 1;
+  st.bytes += frame_bytes;
+  st.busy_s += tx;
+  st.queued_s += wait;
+  st.max_queue_s = std::max(st.max_queue_s, wait);
 
   // Injected Bernoulli loss: the frame burned wire time but never arrives
   // (corruption on a marginal cable); the sender's timeout retransmits it.
-  if (link.loss_probability > 0.0 &&
-      link.loss_rng.bernoulli(link.loss_probability)) {
-    link.stats.injected_losses += 1;
-    retransmit(frame_bytes, std::move(path), hop, attempt, std::move(msg));
+  if (loss_prob_[li] > 0.0 && loss_rng_[li].bernoulli(loss_prob_[li])) {
+    st.injected_losses += 1;
+    retransmit(li, frame_bytes, dst, attempt, first_hop, msg);
     return;
   }
 
-  const double arrival = start + tx + link.spec.latency_s;
-  auto cont = [this, path = std::move(path), hop, frame_bytes,
-               msg = std::move(msg)] {
-    if (hop + 1 < path->size()) {
+  const double arrival = start + tx + latency_[li];
+  const NodeId next = to_[li];
+  // The continuation is homed on the receiving endpoint: cross-shard
+  // frames carry at least the link latency of delay, which is what makes
+  // the sharded engine's lookahead window sound.
+  sched_->schedule(next, arrival, [this, frame_bytes, dst, next, msg] {
+    if (next != dst) {
       // The frame advanced a hop: its retransmit budget starts fresh.
-      forward(frame_bytes, path, hop + 1, 0, msg);
-    } else {
-      if (--msg->remaining == 0 && !msg->failed) (msg->on_delivered)();
+      forward(hop_link(next, dst), frame_bytes, dst, 0, false, msg);
+      return;
     }
-  };
-  queue_.schedule_at(arrival, std::move(cont));
+    --msg->remaining;
+    if (msg->remaining == 0 && !msg->failed) {
+      Callback cb = std::move(msg->on_delivered);
+      release_ref(msg);
+      cb();
+    } else {
+      release_ref(msg);
+    }
+  });
 }
 
-void Network::retransmit(std::uint32_t frame_bytes, Path path,
-                         std::size_t hop, std::uint32_t attempt,
-                         std::shared_ptr<Message> msg) {
-  DirectedLink& link = links_[(*path)[hop]];
-  if (attempt >= link.spec.max_retransmits) {
-    link.stats.gave_up += 1;
+void Network::retransmit(std::uint32_t li, std::uint32_t frame_bytes,
+                         NodeId dst, std::uint32_t attempt, bool first_hop,
+                         Message* msg) {
+  const LinkSpec& spec = spec_[li];
+  if (attempt >= spec.max_retransmits) {
+    stats_[li].gave_up += 1;
+    if (sched_->parallel()) {
+      // Message abandonment mutates shared message state from a switch
+      // shard; fault-injection scenarios must run the serial engine.
+      support::fail("Network::retransmit",
+                    "message abandoned under the parallel engine; fault "
+                    "injection requires the serial engine");
+    }
     if (!msg->failed) {
       msg->failed = true;
-      if (msg->on_failed)
-        queue_.schedule_in(0.0, [msg] { (msg->on_failed)(); });
+      if (msg->on_failed) {
+        ++msg->refs;
+        sched_->schedule(from_[li], sched_->now(), [this, msg] {
+          Callback cb = std::move(msg->on_failed);
+          release_ref(msg);
+          cb();
+        });
+      }
     }
+    release_ref(msg);
     return;
   }
-  link.stats.retransmits += 1;
-  queue_.schedule_in(
-      backoff_delay(link.spec, attempt),
-      [this, frame_bytes, path = std::move(path), hop, attempt,
-       msg = std::move(msg)]() mutable {
-        forward(frame_bytes, std::move(path), hop, attempt + 1,
-                std::move(msg));
+  stats_[li].retransmits += 1;
+  sched_->schedule(
+      from_[li], sched_->now() + backoff_delay(spec, attempt),
+      [this, li, frame_bytes, dst, attempt, first_hop, msg] {
+        forward(li, frame_bytes, dst, attempt + 1, first_hop, msg);
       });
 }
 

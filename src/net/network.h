@@ -6,15 +6,24 @@
 // (busy-until bookkeeping on the event queue), so output-port contention —
 // the cause of the delayed all_to_all_v collectives in Fig. 4 — emerges
 // naturally from concurrent flows sharing an uplink.
+//
+// Layout notes (DESIGN.md §10): per-link state lives in parallel arrays
+// keyed by directed-link index — the hot fields a frame touches
+// (busy_until, bandwidth, latency, buffer limit) are separate from cold
+// spec/stats/fault state, so the forward() inner loop stays in cache at
+// 10k+ simulated ranks. Frames carry no path: each hop looks up the next
+// link from compact routing rows (only nodes with degree > 1 get a row;
+// leaf hosts take their only link), and in-flight messages are pooled
+// (support::Pool) instead of heap-allocated per send.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "sim/event_queue.h"
+#include "sim/scheduler.h"
+#include "support/arena.h"
 #include "support/rng.h"
 
 namespace mb::net {
@@ -64,6 +73,10 @@ class Network {
   /// congestion fidelity; large values coarsen messages into few frames —
   /// used to make month-long HPL runs simulable while keeping link
   /// serialization and queueing behaviour.
+  explicit Network(sim::Scheduler& sched, std::uint32_t mtu_bytes = kMtuBytes);
+
+  /// Convenience overload for the classic serial engine: wraps `queue`
+  /// in an internally owned QueueScheduler.
   explicit Network(sim::EventQueue& queue,
                    std::uint32_t mtu_bytes = kMtuBytes);
 
@@ -79,14 +92,15 @@ class Network {
   /// Must be called after the graph is final and before send().
   void finalize_routes();
 
-  using Callback = std::function<void()>;
+  using Callback = sim::EventQueue::Callback;
 
   /// Sends `bytes` from `src` to `dst`; invokes `on_delivered` when the
   /// last frame arrives. Zero-byte messages are sent as one header frame.
   /// When any frame exhausts its per-hop retransmit budget the message is
   /// abandoned: `on_failed` (if given) fires once and `on_delivered`
   /// never does. Without `on_failed` an abandoned message is simply lost —
-  /// the caller's own timeout must notice.
+  /// the caller's own timeout must notice. Abandonment is a hard error
+  /// under a parallel scheduler (fault injection needs the serial engine).
   void send(NodeId src, NodeId dst, std::uint64_t bytes,
             Callback on_delivered, Callback on_failed = nullptr);
 
@@ -125,43 +139,69 @@ class Network {
   /// Number of hops of the current route (for tests).
   std::size_t route_hops(NodeId src, NodeId dst) const;
 
- private:
-  struct DirectedLink {
-    NodeId from, to;
-    LinkSpec spec;
-    double busy_until = 0.0;
-    bool up = true;
-    double loss_probability = 0.0;
-    support::Rng loss_rng;
-    LinkStats stats;
-  };
+  /// Directed-link enumeration, used by the sharded engine to derive its
+  /// conservative lookahead (min latency over cross-shard links).
+  std::size_t link_count() const { return from_.size(); }
+  NodeId link_from(std::size_t li) const { return from_[li]; }
+  NodeId link_to(std::size_t li) const { return to_[li]; }
+  double link_latency_s(std::size_t li) const { return latency_[li]; }
 
+ private:
   /// Shared fate of one message's frames: delivery fires when the last
   /// frame lands; a single abandoned frame fails the whole message.
+  /// Pool-allocated; `refs` counts in-flight frame chains (plus a pending
+  /// on_failed dispatch) and frees the record when it reaches zero. All
+  /// touches of one message happen on the destination's shard (or, for
+  /// failures, on the serial engine), so the counters stay plain.
   struct Message {
     std::uint64_t remaining = 0;
+    std::uint32_t refs = 0;
+    bool failed = false;
     Callback on_delivered;
     Callback on_failed;  ///< may be null
-    bool failed = false;
   };
 
-  using Path = std::shared_ptr<const std::vector<std::uint32_t>>;
+  static constexpr std::uint32_t kNoHop = ~std::uint32_t{0};
 
   std::size_t link_index(NodeId a, NodeId b) const;
-  void forward(std::uint32_t frame_bytes, Path path, std::size_t hop,
-               std::uint32_t attempt, std::shared_ptr<Message> msg);
-  void retransmit(std::uint32_t frame_bytes, Path path, std::size_t hop,
-                  std::uint32_t attempt, std::shared_ptr<Message> msg);
+  /// Next directed link from `cur` toward `dst`; kNoHop when unroutable.
+  std::uint32_t hop_link(NodeId cur, NodeId dst) const;
+  /// Validates reachability and returns the first link of the route.
+  std::uint32_t route_first_link(NodeId src, NodeId dst, const char* where) const;
+  void forward(std::uint32_t li, std::uint32_t frame_bytes, NodeId dst,
+               std::uint32_t attempt, bool first_hop, Message* msg);
+  void retransmit(std::uint32_t li, std::uint32_t frame_bytes, NodeId dst,
+                  std::uint32_t attempt, bool first_hop, Message* msg);
+  void release_ref(Message* msg);
 
-  sim::EventQueue& queue_;
+  std::unique_ptr<sim::QueueScheduler> owned_;  ///< compat-ctor engine
+  sim::Scheduler* sched_;
   std::uint32_t mtu_;
   std::vector<std::string> names_;
   std::vector<bool> is_switch_;
-  std::vector<DirectedLink> links_;
   std::vector<std::vector<std::uint32_t>> adjacency_;  // node -> link idxs
-  // next_hop_[src][dst] = link index to take; computed by finalize_routes.
-  std::vector<std::vector<std::uint32_t>> next_hop_;
+
+  // Directed links, struct-of-arrays. Hot (read per frame per hop):
+  std::vector<NodeId> from_;
+  std::vector<NodeId> to_;
+  std::vector<double> busy_until_;
+  std::vector<double> bandwidth_;      ///< bytes/s, tracks degrade_link
+  std::vector<double> latency_;        ///< seconds, tracks degrade_link
+  std::vector<double> buffer_limit_;   ///< max(spec.buffer_bytes, 4*mtu)
+  std::vector<double> loss_prob_;
+  std::vector<std::uint8_t> up_;
+  // Cold (faults, reporting):
+  std::vector<LinkSpec> spec_;
+  std::vector<support::Rng> loss_rng_;
+  std::vector<LinkStats> stats_;
+
+  // Routing: row_of_[n] indexes rows_ for nodes with degree > 1
+  // (kNoHop otherwise — degree-1 nodes take their only link).
+  std::vector<std::uint32_t> row_of_;
+  std::vector<std::vector<std::uint32_t>> rows_;  // row -> dst -> link
   bool routed_ = false;
+
+  support::Pool<Message, true> msg_pool_;
 };
 
 }  // namespace mb::net

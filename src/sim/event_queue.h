@@ -3,18 +3,45 @@
 // Drives the cluster-level experiments (network, MPI runtime, applications).
 // Events are callbacks ordered by (time, insertion sequence); ties resolve
 // in insertion order so simulations are fully deterministic.
+//
+// The queue is a ladder queue rather than a binary heap over the full
+// event set (see DESIGN.md §10 for the before/after profile):
+//
+//   current heap  |  rung stack (bucketed windows)  |  overflow (far future)
+//   ordered       |  unordered per bucket           |  unordered
+//
+// Events land in a bucket of the deepest rung that covers their timestamp
+// by linear time-hash; only the bucket currently being drained is kept
+// heap-ordered. When a drained bucket is oversized (a dense cluster, e.g.
+// microsecond message traffic between hundred-millisecond computes) it is
+// re-bucketed into a finer rung spanning just that cluster instead of
+// being heapified — the ladder descent that keeps the heap small under
+// heavily skewed timestamp distributions. When every rung is exhausted
+// the overflow is re-bucketed around the new minimum — unless the whole
+// pool fits a cache-resident heap, in which case the queue degrades
+// gracefully to the classic single-heap engine (and spills back into
+// the ladder if the heap grows large again).
+//
+// Tie-breaking is exact: bucket membership is a monotone function of the
+// timestamp, equal timestamps always take identical paths through the
+// structure, and within a bucket the (time, seq) heap order decides, so
+// dequeue order is identical to the old priority_queue engine (asserted
+// by tests/sim/event_queue_property_test.cpp).
+//
+// Callbacks are support::SmallFn: captures live inline in the event record
+// (no per-event heap allocation on the hot path).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "support/small_fn.h"
 
 namespace mb::sim {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = support::SmallFn<48>;
 
   /// Schedules `cb` at absolute simulated time `time_s` (>= now()).
   void schedule_at(double time_s, Callback cb);
@@ -28,15 +55,25 @@ class EventQueue {
   /// Runs until the queue is empty or `until_s` is reached.
   double run_until(double until_s);
 
+  /// Executes every event strictly before `horizon_s`, leaving now() at
+  /// the last executed event (events at exactly `horizon_s` stay queued).
+  /// The sharded engine's window drain: the strict bound keeps horizon
+  /// events in the next window, after cross-shard merges.
+  void run_before(double horizon_s);
+
   /// Executes the single earliest event; false when the queue is empty.
   bool step();
 
+  /// Timestamp of the earliest pending event; +infinity when empty.
+  /// (May reorganize internal storage, hence non-const.)
+  double next_time();
+
   double now() const { return now_; }
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t pending() const { return size_; }
   std::uint64_t executed() const { return executed_; }
   std::uint64_t scheduled() const { return next_seq_; }
-  /// Calendar-queue high-water mark: the most events ever pending at once.
+  /// Ladder-queue high-water mark: the most events ever pending at once.
   std::size_t max_pending() const { return max_pending_; }
 
  private:
@@ -51,9 +88,34 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  /// One bucketed window. Buckets at or before `cur` have been drained
+  /// (or expanded into a deeper rung); events hashing there go to cur_.
+  struct Rung {
+    double base = 0.0;
+    double inv_width = 0.0;
+    std::int64_t cur = -1;
+    std::int64_t nb = 0;
+    std::size_t count = 0;  ///< events in buckets after `cur`
+    std::vector<std::vector<Event>> buckets;
+  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  void push(Event ev);
+  /// Moves events forward until cur_ holds the global minimum.
+  /// False when the queue is empty.
+  bool ensure_current();
+  /// Builds the coarsest rung from the overflow pool (ladder base).
+  void build_base_rung();
+  /// Re-buckets an oversized drained bucket into a finer rung; false when
+  /// the cluster is too tight to split (ties, denormal widths).
+  bool split_into_rung(std::vector<Event>& bucket);
+  Event pop_min();
+
+  std::vector<Event> cur_;     ///< bottom heap, (time, seq) ordered
+  std::vector<Rung> rungs_;    ///< [0] coarsest .. back() deepest
+  std::vector<Event> overflow_;
+
   double now_ = 0.0;
+  std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t max_pending_ = 0;

@@ -1,0 +1,80 @@
+// Scheduling abstraction over the DES engine.
+//
+// The network and MPI runtime schedule continuations through this
+// interface instead of touching an EventQueue directly, so the same
+// model code runs on either engine:
+//
+//  * QueueScheduler — one EventQueue, the classic serial engine;
+//  * ShardedEngine (sim/sharded.h) — one EventQueue per topology shard,
+//    driven in conservative-lookahead windows across worker threads.
+//
+// Every schedule() names a *home* node: the topology node whose shard
+// must execute the callback. The serial engine ignores it; the sharded
+// engine uses it to route cross-shard events through outboxes. Model
+// code computes the home as "the node whose state the callback touches"
+// (a link's receiving endpoint, a rank's host).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace mb::sim {
+
+struct SchedulerStats {
+  std::uint64_t executed = 0;
+  std::uint64_t scheduled = 0;
+  std::size_t pending = 0;
+  std::size_t max_pending = 0;
+};
+
+class Scheduler {
+ public:
+  using Callback = EventQueue::Callback;
+
+  virtual ~Scheduler() = default;
+
+  /// Current simulated time as seen by the calling context. Outside any
+  /// event callback this is the global committed time; inside one it is
+  /// the executing shard's local clock.
+  virtual double now() const = 0;
+
+  /// Schedules `cb` at absolute time `time_s` on `home`'s shard.
+  /// `time_s` must be >= now(); cross-shard schedules must additionally
+  /// respect the engine's lookahead (enforced by the sharded engine).
+  virtual void schedule(std::uint32_t home, double time_s, Callback cb) = 0;
+
+  /// Runs the simulation to completion; returns the final simulated time
+  /// (the max over shards for the sharded engine).
+  virtual double run_all() = 0;
+
+  /// True when callbacks may run concurrently on worker threads. Model
+  /// code uses this to pick thread-safe pools and deferred metric sinks.
+  virtual bool parallel() const { return false; }
+
+  /// Aggregate event counters (summed over shards when sharded).
+  virtual SchedulerStats stats() const = 0;
+};
+
+/// The classic serial engine: one queue, `home` ignored.
+class QueueScheduler final : public Scheduler {
+ public:
+  explicit QueueScheduler(EventQueue& queue) : queue_(queue) {}
+
+  double now() const override { return queue_.now(); }
+  void schedule(std::uint32_t /*home*/, double time_s, Callback cb) override {
+    queue_.schedule_at(time_s, std::move(cb));
+  }
+  double run_all() override { return queue_.run(); }
+  SchedulerStats stats() const override {
+    return SchedulerStats{queue_.executed(), queue_.scheduled(),
+                          queue_.pending(), queue_.max_pending()};
+  }
+
+  EventQueue& queue() { return queue_; }
+
+ private:
+  EventQueue& queue_;
+};
+
+}  // namespace mb::sim

@@ -1,0 +1,54 @@
+#include "support/arena.h"
+
+#include <cstdlib>
+
+#include "support/check.h"
+
+namespace mb::support {
+
+Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+  check(chunk_bytes >= 256, "Arena", "chunk size must be at least 256 bytes");
+}
+
+Arena::~Arena() {
+  for (unsigned char* chunk : chunks_) ::operator delete[](chunk);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  check(align != 0 && (align & (align - 1)) == 0, "Arena::allocate",
+        "alignment must be a power of two");
+  check(align <= alignof(std::max_align_t), "Arena::allocate",
+        "over-aligned types are not supported");
+  auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+  const std::uintptr_t aligned = (addr + align - 1) & ~(align - 1);
+  const std::size_t needed = (aligned - addr) + bytes;
+  if (cursor_ == nullptr || static_cast<std::size_t>(end_ - cursor_) < needed) {
+    const std::size_t size = bytes > chunk_bytes_ ? bytes + align
+                                                  : chunk_bytes_;
+    auto* chunk = static_cast<unsigned char*>(::operator new[](size));
+    chunks_.push_back(chunk);
+    cursor_ = chunk;
+    end_ = chunk + size;
+    return allocate(bytes, align);
+  }
+  cursor_ = reinterpret_cast<unsigned char*>(aligned + bytes);
+  bytes_allocated_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::reset() {
+  // Keep the first chunk: steady-state runs reuse it without churn.
+  while (chunks_.size() > 1) {
+    ::operator delete[](chunks_.back());
+    chunks_.pop_back();
+  }
+  if (!chunks_.empty()) {
+    cursor_ = chunks_.front();
+    end_ = cursor_ + chunk_bytes_;
+  } else {
+    cursor_ = end_ = nullptr;
+  }
+  bytes_allocated_ = 0;
+}
+
+}  // namespace mb::support

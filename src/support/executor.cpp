@@ -1,0 +1,121 @@
+#include "support/executor.h"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/check.h"
+
+namespace mb::support {
+
+Executor::Executor(std::uint32_t jobs) : jobs_(jobs == 0 ? 1 : jobs) {}
+
+void Executor::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  tasks_run_ += n;
+
+  const std::size_t workers = std::min<std::size_t>(jobs_, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Per-worker deques, sharded round-robin. Owners pop from the front,
+  // thieves from the back; a plain mutex per deque is plenty at this task
+  // granularity (each task is a full simulation).
+  struct Queue {
+    std::mutex m;
+    std::deque<std::size_t> q;
+  };
+  std::vector<Queue> queues(workers);
+  for (std::size_t i = 0; i < n; ++i) queues[i % workers].q.push_back(i);
+
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<bool> abort{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  auto worker = [&](std::size_t self) {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      std::size_t task = 0;
+      bool found = false;
+      bool stolen = false;
+      {
+        std::lock_guard<std::mutex> lock(queues[self].m);
+        if (!queues[self].q.empty()) {
+          task = queues[self].q.front();
+          queues[self].q.pop_front();
+          found = true;
+        }
+      }
+      for (std::size_t k = 1; !found && k < workers; ++k) {
+        Queue& victim = queues[(self + k) % workers];
+        std::lock_guard<std::mutex> lock(victim.m);
+        if (!victim.q.empty()) {
+          task = victim.q.back();
+          victim.q.pop_back();
+          found = true;
+          stolen = true;
+        }
+      }
+      // Tasks are only ever removed, so one full empty scan means done.
+      if (!found) return;
+      if (stolen) steals.fetch_add(1, std::memory_order_relaxed);
+      try {
+        fn(task);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(worker, w);
+  worker(0);  // the calling thread pulls its weight too
+  for (std::thread& t : threads) t.join();
+
+  steals_ += steals.load();
+  if (error) std::rethrow_exception(error);
+}
+
+void Executor::run_pinned(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  check(n <= jobs_, "Executor::run_pinned",
+        "pinned task count must not exceed jobs()");
+  tasks_run_ += n;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  auto body = [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n - 1);
+  for (std::size_t i = 1; i < n; ++i) threads.emplace_back(body, i);
+  body(0);
+  for (std::thread& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mb::support

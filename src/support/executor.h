@@ -1,0 +1,48 @@
+// Work-stealing index pool (moved here from core/campaign so the DES
+// engine can share it without a core -> sim dependency cycle).
+//
+// Two execution modes:
+//  * run(): tasks are sharded round-robin across per-worker deques; an
+//    idle worker pops from its own front and steals from a victim's back.
+//    Tasks may run in any order and a single thread may run several —
+//    right for independent campaign simulations.
+//  * run_pinned(): task i runs on its own dedicated thread, all tasks
+//    concurrently. Required when tasks synchronize with each other (the
+//    sharded DES engine's window barriers): under stealing, one thread
+//    could pick up two barrier participants and deadlock against itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mb::support {
+
+class Executor {
+ public:
+  explicit Executor(std::uint32_t jobs);
+
+  std::uint32_t jobs() const { return jobs_; }
+
+  /// Invokes fn(i) exactly once for every i in [0, n), in unspecified
+  /// order across up to jobs() threads (the calling thread participates).
+  /// fn must not touch the obs registry or profiler. The first exception
+  /// thrown by any task is rethrown here after all workers stop.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Invokes fn(i) for every i in [0, n) with every invocation on its own
+  /// thread, all concurrent (the calling thread runs task 0). No stealing:
+  /// safe for tasks that barrier against each other. The first exception
+  /// is rethrown after all threads join; n must be <= jobs().
+  void run_pinned(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::uint64_t tasks_run() const { return tasks_run_; }
+  std::uint64_t steals() const { return steals_; }
+
+ private:
+  std::uint32_t jobs_;
+  std::uint64_t tasks_run_ = 0;
+  std::uint64_t steals_ = 0;
+};
+
+}  // namespace mb::support

@@ -1,0 +1,86 @@
+// Executor::run_pinned: every task on its own thread, all concurrent —
+// the property the sharded DES engine's window barriers depend on.
+// (Executor::run is covered by tests/core/campaign_test.cpp.)
+#include "support/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/check.h"
+
+namespace mb::support {
+namespace {
+
+TEST(ExecutorPinned, RunsEveryIndexExactlyOnce) {
+  Executor executor(4);
+  std::vector<std::atomic<int>> hits(4);
+  executor.run_pinned(4, [&hits](std::size_t i) { ++hits[i]; });
+  for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(executor.tasks_run(), 4u);
+}
+
+TEST(ExecutorPinned, AllTasksRunConcurrently) {
+  // Each task waits for every other task to arrive before returning.
+  // Under any scheme where one thread runs two tasks sequentially, this
+  // rendezvous never completes — so mere completion proves that all
+  // tasks were live at the same time (the barrier-safety contract).
+  constexpr std::size_t kTasks = 4;
+  Executor executor(kTasks);
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t arrived = 0;
+  executor.run_pinned(kTasks, [&](std::size_t) {
+    std::unique_lock<std::mutex> lock(mutex);
+    ++arrived;
+    cv.notify_all();
+    cv.wait(lock, [&] { return arrived == kTasks; });
+  });
+  EXPECT_EQ(arrived, kTasks);
+}
+
+TEST(ExecutorPinned, TasksGetDistinctThreads) {
+  constexpr std::size_t kTasks = 3;
+  Executor executor(kTasks);
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t arrived = 0;
+  std::set<std::thread::id> thread_ids;
+  executor.run_pinned(kTasks, [&](std::size_t) {
+    std::unique_lock<std::mutex> lock(mutex);
+    thread_ids.insert(std::this_thread::get_id());
+    ++arrived;
+    cv.notify_all();
+    cv.wait(lock, [&] { return arrived == kTasks; });
+  });
+  EXPECT_EQ(thread_ids.size(), kTasks);
+}
+
+TEST(ExecutorPinned, PropagatesTaskException) {
+  Executor executor(2);
+  EXPECT_THROW(executor.run_pinned(2,
+                                   [](std::size_t i) {
+                                     if (i == 1) throw Error("task failed");
+                                   }),
+               Error);
+}
+
+TEST(ExecutorPinned, RejectsMoreTasksThanJobs) {
+  Executor executor(2);
+  EXPECT_THROW(executor.run_pinned(3, [](std::size_t) {}), Error);
+}
+
+TEST(ExecutorPinned, ZeroTasksIsANoOp) {
+  Executor executor(2);
+  executor.run_pinned(0, [](std::size_t) { FAIL() << "must not be called"; });
+  EXPECT_EQ(executor.tasks_run(), 0u);
+}
+
+}  // namespace
+}  // namespace mb::support

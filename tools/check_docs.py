@@ -12,7 +12,10 @@ Checks
      no longer exists.
   2. docs/cli.md documents every exit code declared in
      src/support/exit_codes.h.
-  3. Every relative markdown link in the curated docs resolves to an
+  3. Every command whose usage() line advertises --sim-jobs documents the
+     flag in its docs/cli.md section (the parallel-DES knob must not ship
+     undocumented on any command that grows it).
+  4. Every relative markdown link in the curated docs resolves to an
      existing file (anchors are stripped; external URLs are ignored).
 """
 
@@ -97,6 +100,46 @@ def check_commands(errors):
                       f"differently from usage(): {documented} vs {usage}")
 
 
+def usage_flag_commands(mbctl_source, flag):
+    """Commands whose usage() lines (incl. continuations) mention flag."""
+    in_usage = False
+    current = None
+    hits = set()
+    for line in mbctl_source.splitlines():
+        stripped = line.strip()
+        if '"usage: mbctl' in stripped:
+            in_usage = True
+            continue
+        if not in_usage:
+            continue
+        if stripped.startswith('"platform:'):
+            break
+        m = re.match(r'^"  ([a-z][a-z0-9-]*)[ \\]', stripped)
+        if m:
+            current = m.group(1)
+        if current and flag in stripped:
+            hits.add(current)
+    return hits
+
+
+def section_bodies(cli_md):
+    """Map of command name -> the body text of its `## ` section."""
+    parts = re.split(r"^## `([a-z][a-z0-9-]*)`", cli_md, flags=re.MULTILINE)
+    return {parts[i]: parts[i + 1] for i in range(1, len(parts), 2)}
+
+
+def check_sim_jobs(errors):
+    sections = section_bodies(read("docs/cli.md"))
+    commands = usage_flag_commands(read("tools/mbctl.cpp"), "--sim-jobs")
+    if not commands:
+        errors.append("mbctl usage() no longer advertises --sim-jobs on any "
+                      "command; update or drop this check")
+    for cmd in sorted(commands):
+        if "--sim-jobs" not in sections.get(cmd, ""):
+            errors.append(f"docs/cli.md: `{cmd}` takes --sim-jobs but its "
+                          "section does not document the flag")
+
+
 def check_exit_codes(errors):
     cli_md = read("docs/cli.md")
     for code in declared_exit_codes(read("src/support/exit_codes.h")):
@@ -126,6 +169,7 @@ def main():
     errors = []
     check_commands(errors)
     check_exit_codes(errors)
+    check_sim_jobs(errors)
     check_links(errors)
     if errors:
         fail(errors)

@@ -12,8 +12,10 @@
 //       --size-kb N --hops N --reps N --seed N [campaign opts]
 //   mbctl tune-magicfilter <platform>    unroll sweep + sweet spot
 //       [campaign opts]
-//   mbctl bench-suite [opts]             curated multi-platform smoke suite
-//       --reps N --seed N [campaign opts]
+//   mbctl bench-suite [opts]             curated deterministic suites
+//       --suite smoke|scaling --reps N --seed N [campaign opts]
+//       (scaling: cluster strong-scaling scenarios, --ranks R1,R2,...
+//       --sim-jobs N; the CI scaling-gate's wall-clock probe)
 //
 // Campaign opts (measurement sweeps): --jobs N shards independent
 // simulations across a work-stealing worker pool; output stays
@@ -25,13 +27,15 @@
 // cached points and only simulates what changed.
 //   mbctl fig4 [opts]                    BigDFT-on-Tibidabo trace study
 //       --ranks N --iterations N --compute-s X --transpose-mb N --seed N
-//       --trace-out PATH --json PATH
+//       --sim-jobs N --trace-out PATH --json PATH
 //   mbctl trace-export [opts]            cluster timeline -> trace file
 //       --input t.prv --format paraver|chrome --out PATH
 //       (no --input: runs the default fig4 scenario first)
 //   mbctl obs-report <profile.json>      render a profile document
 //   mbctl compare <baseline.json> <candidate.json> [opts]
 //       --threshold-sigma X --min-rel X
+//       --budget-s X --wall-clock-s T   (wall-clock budget gate: exit 3
+//       when the externally measured candidate wall time T exceeds X)
 //   mbctl lint <platform|tree>           platform/model linter (pass 2)
 //       targets: any <platform>, tibidabo-tree, upgraded-tree [--nodes N]
 //       --json PATH
@@ -57,6 +61,7 @@
 // <platform> is a built-in name (snowball, xeon, tegra2, exynos5) or
 // @path/to/file.platform in the arch::platform_io text format.
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -128,15 +133,17 @@ using mb::support::kExitUsage;
       "  latency <platform> [--size-kb N] [--hops N] [--reps N] [--seed N]\n"
       "           [--json PATH] [campaign opts]\n"
       "  tune-magicfilter <platform> [--json PATH] [campaign opts]\n"
-      "  bench-suite [--reps N] [--seed N] [--json PATH] [campaign opts]\n"
+      "  bench-suite [--suite smoke|scaling] [--reps N] [--seed N]\n"
+      "           [--ranks R1,R2,...] [--sim-jobs N] [--json PATH]\n"
+      "           [campaign opts]\n"
       "  fig4 [--ranks N] [--iterations N] [--compute-s X]\n"
-      "           [--transpose-mb N] [--seed N] [--trace-out PATH]\n"
-      "           [--json PATH]\n"
+      "           [--transpose-mb N] [--seed N] [--sim-jobs N]\n"
+      "           [--trace-out PATH] [--json PATH]\n"
       "  trace-export [--input trace.prv] [--format paraver|chrome]\n"
       "           [--out PATH] [--delay-factor X] [fig4 options]\n"
       "  obs-report <profile.json>\n"
       "  compare <baseline.json> <candidate.json> [--threshold-sigma X]\n"
-      "           [--min-rel X]\n"
+      "           [--min-rel X] [--budget-s X --wall-clock-s T]\n"
       "  lint <platform|tibidabo-tree|upgraded-tree> [--nodes N]\n"
       "           [--json PATH]\n"
       "  verify-mpi <fig4|bigdft|hpl|specfem|demo-deadlock> [--ranks N]\n"
@@ -151,6 +158,9 @@ using mb::support::kExitUsage;
       "sweep on N worker threads (byte-identical output to --jobs 1) and\n"
       "cache simulation outcomes content-addressed under PATH (default\n"
       ".mb-cache); campaign/cache totals are reported on stderr\n"
+      "--sim-jobs N shards the cluster discrete-event simulation across N\n"
+      "workers under conservative lookahead; results are byte-identical to\n"
+      "the serial engine (0 = classic serial queue)\n"
       "--profile enables the scoped-span profiler and writes an mb-profile\n"
       "document (read it back with obs-report)\n"
       "--seed defaults to the MB_SEED environment variable when set\n"
@@ -587,12 +597,145 @@ int cmd_tune_magicfilter(const mb::arch::Platform& p, Options& opts) {
 }
 
 // --------------------------------------------------------------------------
-// bench-suite: a curated deterministic smoke set covering the paper's
+// bench-suite: two curated deterministic suites emitted as consolidated
+// reports that CI gates on. `--suite smoke` (default) covers the paper's
 // Fig. 5 (RT-scheduler bimodality), Fig. 6 (membench variants), Fig. 7
-// (magicfilter unrolling) and Table II (cross-platform kernels), emitted
-// as one consolidated report that CI gates on.
+// (magicfilter unrolling) and Table II (cross-platform kernels).
+// `--suite scaling` runs the strong-scaling cluster scenarios (BigDFT /
+// HPL / SPECFEM at --ranks counts) whose wall-clock the scaling-gate CI
+// job budgets; its records are simulated quantities only (makespans and
+// drop counts), so the JSON is byte-identical for any --sim-jobs value —
+// the gate diffs serial against sharded output directly.
+
+/// Parses the `--ranks 1024,4096` comma list for the scaling suite.
+std::vector<std::uint32_t> parse_rank_list(const std::string& text) {
+  std::vector<std::uint32_t> ranks;
+  std::stringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    try {
+      std::size_t used = 0;
+      const unsigned long v = std::stoul(item, &used);
+      if (used != item.size() || v == 0) throw std::invalid_argument(item);
+      ranks.push_back(static_cast<std::uint32_t>(v));
+    } catch (const std::exception&) {
+      usage("--ranks expects a comma list of rank counts, got '" + text +
+            "'");
+    }
+  }
+  if (ranks.empty()) usage("--ranks expects at least one rank count");
+  return ranks;
+}
+
+int cmd_bench_scaling(Options& opts) {
+  const std::uint64_t seed = effective_seed(opts, 2013);
+  const auto sim_jobs =
+      static_cast<std::uint32_t>(opts.get_u64("sim-jobs", 0));
+  const auto rank_list = parse_rank_list(opts.get_str("ranks", "1024,4096"));
+  for (const std::uint32_t ranks : rank_list)
+    enforce_clean(mb::verify::lint_rank_count(ranks, 2, "--ranks"));
+
+  mb::core::BenchReport report;
+  report.suite = "bench-scaling";
+  report.tool = "mbctl";
+  report.seed = seed;
+  report.plan.repetitions = 1;
+  report.plan.seed = seed;
+  using D = mb::core::Direction;
+
+  // The scenarios deliberately exaggerate communication density (tiny
+  // compute between large transfers) so DES event throughput — not model
+  // arithmetic — dominates, making them honest wall-clock probes of the
+  // engine. Each rank count reuses the Tibidabo tree at matching size.
+  const auto cluster = [&](std::uint32_t ranks, std::uint32_t mtu) {
+    mb::apps::ClusterConfig c = mb::apps::tibidabo_cluster(ranks / 2);
+    // Generator-produced programs; statically verified once by
+    // tests/apps — skip re-verification in the timed loop.
+    c.mpi.verify = false;
+    c.sim_jobs = sim_jobs;
+    if (mtu != 0) c.mtu_bytes = mtu;
+    return c;
+  };
+
+  mb::support::Table table({"Scenario", "Makespan (s)", "Drops"});
+  // Wall-clock is reported on stderr only: the JSON report and stdout
+  // digest must stay byte-identical across --sim-jobs values and machine
+  // speeds (the CI identity check literally `cmp`s two reports).
+  double total_wall = 0.0;
+  const auto run_one =
+      [&](const std::string& app, std::uint32_t ranks,
+          const std::function<mb::apps::AppRunResult()>& run) {
+        const std::string base =
+            "scaling/" + app + "/ranks=" + std::to_string(ranks);
+        const auto t0 = std::chrono::steady_clock::now();
+        mb::apps::AppRunResult result;
+        {
+          mb::obs::ScopedSpan span(mb::obs::profiler(), base);
+          result = run();
+        }
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        total_wall += wall;
+        add_record(report, base + "/makespan", "tibidabo", "seconds", "s",
+                   D::kMinimize, {result.makespan_s});
+        add_record(report, base + "/drops", "tibidabo", "count", "frames",
+                   D::kMinimize,
+                   {static_cast<double>(result.network_drops)});
+        table.add_row({base, mb::support::fmt_eng(result.makespan_s),
+                       std::to_string(result.network_drops)});
+        std::cerr << base << ": wall " << fmt_fixed(wall, 2) << " s\n";
+      };
+
+  for (const std::uint32_t ranks : rank_list) {
+    run_one("specfem", ranks, [&] {
+      mb::apps::SpecfemParams p;
+      p.ranks = ranks;
+      p.steps = 8;
+      p.compute_s_per_step = 200.0;
+      p.halo_bytes = 64 * 1024;
+      p.seed = seed;
+      return mb::apps::run_specfem(cluster(ranks, 0), p);
+    });
+    run_one("hpl", ranks, [&] {
+      mb::apps::HplParams p;
+      p.ranks = ranks;
+      p.n = 4096;
+      p.block = 128;
+      return mb::apps::run_hpl(cluster(ranks, 1u << 20), p);
+    });
+    // BigDFT's all-to-all transpose is O(ranks^2) messages; past 1024
+    // ranks it stops probing the engine and just burns CI minutes.
+    if (ranks <= 1024) {
+      run_one("bigdft", ranks, [&] {
+        mb::apps::BigDftParams p;
+        p.ranks = ranks;
+        p.iterations = 1;
+        p.transposes = 1;
+        p.allreduces = 0;
+        p.compute_s_per_iter = 100.0;
+        p.transpose_bytes = 64ull << 20;
+        p.seed = seed;
+        return mb::apps::run_bigdft(cluster(ranks, 0), p);
+      });
+    }
+  }
+
+  std::cout << "=== bench-suite scaling (seed " << seed << ", sim-jobs "
+            << sim_jobs << ") ===\n"
+            << table;
+  std::cerr << "scaling suite wall-clock: " << fmt_fixed(total_wall, 2)
+            << " s (sim-jobs " << sim_jobs << ")\n";
+
+  if (opts.has("json")) write_report(report, opts.get_str("json", ""));
+  return 0;
+}
 
 int cmd_bench_suite(Options& opts) {
+  const std::string suite = opts.get_str("suite", "smoke");
+  if (suite == "scaling") return cmd_bench_scaling(opts);
+  if (suite != "smoke") usage("--suite expects smoke|scaling");
   const auto reps = static_cast<std::uint32_t>(opts.get_u64("reps", 8));
   const std::uint64_t seed = effective_seed(opts, 2013);
   if (reps == 0) usage("--reps must be at least 1");
@@ -838,9 +981,12 @@ mb::apps::AppRunResult run_fig4_scenario(Options& opts) {
   params.transpose_bytes = opts.get_u64("transpose-mb", 12) << 20;
   params.seed = effective_seed(opts, 1);
   enforce_clean(mb::verify::lint_rank_count(params.ranks, 2, "--ranks"));
+  mb::apps::ClusterConfig cluster =
+      mb::apps::tibidabo_cluster(params.ranks / 2);
+  cluster.sim_jobs =
+      static_cast<std::uint32_t>(opts.get_u64("sim-jobs", 0));
   mb::obs::ScopedSpan span(mb::obs::profiler(), "fig4/simulate");
-  return mb::apps::run_bigdft(mb::apps::tibidabo_cluster(params.ranks / 2),
-                              params);
+  return mb::apps::run_bigdft(cluster, params);
 }
 
 int cmd_fig4(Options& opts) {
@@ -977,6 +1123,14 @@ int cmd_compare(const std::string& baseline_path,
   mb::core::CompareOptions copts;
   copts.threshold_sigma = opts.get_f64("threshold-sigma", 3.0);
   copts.min_rel_delta = opts.get_f64("min-rel", 0.02);
+  // Wall-clock budget gate (the scaling-gate CI job): the caller times
+  // the candidate run externally and passes the measurement in, so the
+  // deterministic report itself never carries machine-speed numbers.
+  const double budget_s = opts.get_f64("budget-s", 0.0);
+  const double wall_clock_s = opts.get_f64("wall-clock-s", -1.0);
+  if (budget_s > 0.0 && wall_clock_s < 0.0)
+    usage("--budget-s needs --wall-clock-s (the measured candidate wall "
+          "time in seconds)");
 
   const auto result = mb::core::compare_reports(baseline, candidate, copts);
 
@@ -1038,8 +1192,28 @@ int cmd_compare(const std::string& baseline_path,
                 << " more metric(s) moved\n";
   }
 
-  if (result.has_regressions()) {
-    std::cout << "verdict: REGRESSED\n";
+  // Name the suite on every exit-3 path: the gate log must say *which*
+  // suite regressed or blew its budget without the reader re-deriving it
+  // from file paths.
+  const std::string suite =
+      candidate.suite.empty() ? "(unnamed)" : candidate.suite;
+  bool budget_exceeded = false;
+  if (budget_s > 0.0) {
+    budget_exceeded = wall_clock_s > budget_s;
+    std::cout << "wall-clock: " << fmt_fixed(wall_clock_s, 2)
+              << " s against a " << fmt_fixed(budget_s, 2)
+              << " s budget for suite '" << suite << "' — "
+              << (budget_exceeded ? "EXCEEDED" : "within budget") << "\n";
+  }
+
+  if (result.has_regressions() || budget_exceeded) {
+    std::cout << "verdict: REGRESSED (suite '" << suite << "'";
+    if (result.has_regressions())
+      std::cout << ", " << result.regressions << " metric regression(s)";
+    if (budget_exceeded)
+      std::cout << ", wall-clock budget exceeded by "
+                << fmt_fixed(wall_clock_s - budget_s, 2) << " s";
+    std::cout << ")\n";
     return kExitFindings;
   }
   std::cout << "verdict: OK\n";
