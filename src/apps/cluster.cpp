@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "obs/rollup.h"
+#include "obs/timeseries.h"
 #include "sim/sharded.h"
 #include "support/check.h"
+#include "trace/sink.h"
 
 namespace mb::apps {
 
@@ -65,6 +67,53 @@ void configure_sharding(sim::ShardedEngine& engine, const net::Network& net,
   engine.configure(std::move(node_to_shard), nshards, lookahead);
 }
 
+/// Registers the time-series probes: global gauges always, per-link
+/// counters when the topology is small enough that the series tables
+/// stay bounded (a 10k-rank tree has thousands of host links; sampling
+/// them all would defeat the memory budget — uplinks alone carry the
+/// congestion signal there).
+void register_probes(obs::TimeSampler& sampler, sim::EventQueue& queue,
+                     const net::Network& network,
+                     const net::ClusterTopology& topo,
+                     const ClusterConfig& config) {
+  sampler.add_probe("sim.pending_events",
+                    [&queue] { return static_cast<double>(queue.pending()); });
+  sampler.add_probe("net.in_flight_messages", [&network] {
+    return static_cast<double>(network.in_flight_messages());
+  });
+
+  std::vector<std::pair<net::NodeId, net::NodeId>> links;
+  if (topo.leaf_switches.size() > 1) {
+    for (const net::NodeId sw : topo.leaf_switches) {
+      links.emplace_back(sw, topo.root_switch);
+      links.emplace_back(topo.root_switch, sw);
+    }
+  }
+  constexpr std::size_t kMaxLinkProbePairs = 2048;
+  if (links.size() + 2 * config.nodes <= kMaxLinkProbePairs) {
+    for (std::uint32_t n = 0; n < config.nodes; ++n) {
+      const net::NodeId host = topo.hosts[n];
+      const net::NodeId sw =
+          topo.leaf_switches.size() == 1
+              ? topo.leaf_switches[0]
+              : topo.leaf_switches[n / config.tree.switch_ports];
+      links.emplace_back(host, sw);
+      links.emplace_back(sw, host);
+    }
+  }
+  for (const auto& [src, dst] : links) {
+    const net::LinkStats& stats = network.link_stats(src, dst);
+    const obs::Labels labels{
+        {"link", std::to_string(src) + "->" + std::to_string(dst)}};
+    sampler.add_probe("net.link.retransmits", labels, [&stats] {
+      return static_cast<double>(stats.retransmits);
+    });
+    sampler.add_probe("net.link.drops", labels, [&stats] {
+      return static_cast<double>(stats.drops);
+    });
+  }
+}
+
 }  // namespace
 
 AppRunResult run_on_cluster(const ClusterConfig& config,
@@ -74,10 +123,11 @@ AppRunResult run_on_cluster(const ClusterConfig& config,
                  "run_on_cluster",
                  "program ranks must equal nodes * cores_per_node");
 
-  // Fault injection (hooks, failure detector) needs the serial queue:
-  // injectors mutate cross-shard state at arbitrary times.
+  // Fault injection (hooks, failure detector) and the time sampler need
+  // the serial queue: they touch cross-shard state at arbitrary times.
   const bool sharded = config.sim_jobs > 0 && !hooks.on_ready &&
-                       config.mpi.recv_timeout_s == 0.0;
+                       config.mpi.recv_timeout_s == 0.0 &&
+                       !config.timeseries.enabled;
 
   std::unique_ptr<sim::EventQueue> queue;
   std::unique_ptr<sim::ShardedEngine> engine;
@@ -108,6 +158,19 @@ AppRunResult run_on_cluster(const ClusterConfig& config,
                                              std::move(rank_to_host),
                                              config.mpi, &result.trace);
   }
+  std::unique_ptr<trace::StreamingSink> stream;
+  if (config.streaming_trace) {
+    stream = std::make_unique<trace::StreamingSink>(program.ranks(),
+                                                    config.trace_sink);
+    runtime->set_trace_sink(stream.get());
+  }
+  obs::TimeSampler sampler;
+  if (config.timeseries.enabled) {
+    register_probes(sampler, *queue, *network, topo, config);
+    sampler.arm(*queue, config.timeseries.interval_s,
+                config.timeseries.max_samples);
+  }
+
   if (hooks.on_ready)
     hooks.on_ready(*queue, *network, topo, *runtime, result.trace);
   const mpi::RunOutcome outcome = runtime->run_outcome(program);
@@ -115,6 +178,18 @@ AppRunResult run_on_cluster(const ClusterConfig& config,
   result.makespan_s = outcome.makespan_s;
   result.failed_at_s = outcome.drained_s;
   result.failure = outcome.failure;
+
+  if (stream) {
+    stream->close();
+    if (config.trace_sink.spill_path.empty()) stream->drain(result.trace);
+    result.trace_sampled_ranks = stream->sampled_ranks();
+    result.trace_dropped = stream->total_dropped();
+  }
+  if (config.timeseries.enabled) {
+    result.timeseries = sampler.take();
+    obs::prune_series(result.timeseries, "net.link.",
+                      config.timeseries.max_link_series);
+  }
 
   // The engine dies with this scope — publish its DES statistics now so a
   // profile snapshot taken after the run still sees them.

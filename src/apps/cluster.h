@@ -8,9 +8,24 @@
 #include "mpi/program.h"
 #include "mpi/runtime.h"
 #include "net/topology.h"
+#include "obs/timeseries.h"
+#include "trace/sink.h"
 #include "trace/trace.h"
 
 namespace mb::apps {
+
+/// Metrics time-series sampling during the run (obs::TimeSampler).
+/// Enabling it forces the classic serial engine: the probes read global
+/// state (queue depth, link counters) that has no single owner under the
+/// sharded engine.
+struct TimeSeriesConfig {
+  bool enabled = false;
+  double interval_s = 0.1;  ///< simulated seconds between samples
+  std::size_t max_samples = 4096;
+  /// Per-link series kept per metric after the run (prune_series);
+  /// all-zero link series are always dropped.
+  std::size_t max_link_series = 16;
+};
 
 struct ClusterConfig {
   std::uint32_t nodes = 16;
@@ -27,6 +42,15 @@ struct ClusterConfig {
   /// engine — when RunHooks::on_ready is set or recv_timeout_s > 0,
   /// since fault injection needs the serial queue.
   std::uint32_t sim_jobs = 0;
+  /// Streaming trace capture: when true the runtime's records flow
+  /// through a trace::StreamingSink configured by `trace_sink` (bounded
+  /// per-rank rings, deterministic rank sampling, event-kind filters,
+  /// optional mb-trace spill) instead of the unbounded collector. See
+  /// the AppRunResult trace fields for where the records end up.
+  bool streaming_trace = false;
+  trace::SinkConfig trace_sink;
+  /// Metrics time series; forces the serial engine when enabled.
+  TimeSeriesConfig timeseries;
 };
 
 /// The Tibidabo cluster as studied in the paper (Sec. II-B / IV).
@@ -45,6 +69,14 @@ struct AppRunResult {
   mpi::FailureReport failure;
   std::uint64_t network_retransmits = 0;
   std::uint64_t injected_losses = 0;
+  // Streaming-capture bookkeeping (streaming_trace runs only). When the
+  // sink spilled to an mb-trace file, `trace` stays empty — read the
+  // file (trace::read_mb_trace) instead.
+  std::vector<std::uint32_t> trace_sampled_ranks;
+  std::uint64_t trace_dropped = 0;  ///< records lost to ring overflow
+  /// Sampled gauges; empty unless config.timeseries.enabled. The caller
+  /// stamps tool_version/seed (the harness does not know the run seed).
+  obs::TimeSeries timeseries;
 };
 
 /// Hook point for fault injectors: called after the cluster is wired but

@@ -145,6 +145,9 @@ ChaosResult run_chaos(const ChaosScenario& scenario,
     result.retransmits += run.network_retransmits;
     result.injected_losses += run.injected_losses;
     result.trace = std::move(run.trace);
+    result.trace_sampled_ranks = std::move(run.trace_sampled_ranks);
+    result.trace_dropped = run.trace_dropped;
+    result.timeseries = std::move(run.timeseries);
     for (const trace::Record& r : past_faults) result.trace.add(r);
 
     if (run.completed) {

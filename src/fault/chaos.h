@@ -59,6 +59,11 @@ struct ChaosResult {
   std::uint64_t retransmits = 0;
   std::uint64_t injected_losses = 0;
   trace::Trace trace;  ///< of the last attempt, fault marks included
+  // Observability extensions, all of the last attempt (see ClusterConfig:
+  // streaming_trace / timeseries are inherited from scenario.cluster).
+  std::vector<std::uint32_t> trace_sampled_ranks;
+  std::uint64_t trace_dropped = 0;
+  obs::TimeSeries timeseries;
 };
 
 /// Runs `program` under `scenario`. The plan must lint clean against the

@@ -82,8 +82,13 @@ Runtime::Runtime(sim::Scheduler& sched, net::Network& network,
       network_(network),
       rank_to_host_(std::move(rank_to_host)),
       config_(config),
-      trace_(trace),
+      sink_(nullptr),
       parallel_(sched.parallel()) {
+  if (trace != nullptr) {
+    owned_sink_ = std::make_unique<trace::CollectorSink>(
+        *trace, static_cast<std::uint32_t>(rank_to_host_.size()), parallel_);
+    sink_ = owned_sink_.get();
+  }
   init();
 }
 
@@ -95,8 +100,14 @@ Runtime::Runtime(sim::EventQueue& queue, net::Network& network,
       network_(network),
       rank_to_host_(std::move(rank_to_host)),
       config_(config),
-      trace_(trace),
+      sink_(nullptr),
       parallel_(false) {
+  if (trace != nullptr) {
+    owned_sink_ = std::make_unique<trace::CollectorSink>(
+        *trace, static_cast<std::uint32_t>(rank_to_host_.size()),
+        /*parallel=*/false);
+    sink_ = owned_sink_.get();
+  }
   init();
 }
 
@@ -128,7 +139,9 @@ void Runtime::init() {
 void Runtime::record(std::uint32_t rank, double t0, double t1,
                      trace::EventKind kind, const std::string& label,
                      std::uint64_t bytes) {
-  if (trace_ == nullptr) return;
+  // wants() is the cheap pre-filter: an unsampled rank or filtered kind
+  // skips the label copy entirely.
+  if (sink_ == nullptr || !sink_->wants(rank, kind)) return;
   trace::Record r;
   r.rank = rank;
   r.t0 = t0;
@@ -136,12 +149,10 @@ void Runtime::record(std::uint32_t rank, double t0, double t1,
   r.kind = kind;
   r.label = label;
   r.bytes = bytes;
-  if (parallel_) {
-    trace_buf_[rank].push_back(std::move(r));
-  } else {
-    trace_->add(r);
-  }
+  sink_->emit(std::move(r));
 }
+
+void Runtime::set_trace_sink(trace::Sink* sink) { sink_ = sink; }
 
 void Runtime::schedule_for(std::uint32_t rank, double delay_s,
                            sim::Scheduler::Callback cb) {
@@ -179,7 +190,6 @@ RunOutcome Runtime::run_outcome(const Program& program) {
   // every rank (the usual MPI requirement).
   states_.assign(ranks, RankState{});
   metrics_.assign(ranks, RankMetrics{});
-  if (parallel_ && trace_ != nullptr) trace_buf_.assign(ranks, {});
   failure_ = FailureReport{};
   for (std::uint32_t r = 0; r < ranks; ++r) {
     std::int32_t tag_base = next_tag_base_;
@@ -248,12 +258,9 @@ void Runtime::flush_observability(std::uint32_t ranks) {
     if (m.retries != 0.0) retries_->add(m.retries);
     if (m.recv_timeouts != 0.0) recv_timeouts_->add(m.recv_timeouts);
   }
-  if (parallel_ && trace_ != nullptr) {
-    for (std::uint32_t r = 0; r < ranks; ++r) {
-      for (const trace::Record& rec : trace_buf_[r]) trace_->add(rec);
-    }
-    trace_buf_.clear();
-  }
+  // The default CollectorSink drains its per-rank buffers rank-major
+  // here; external sinks get their post-run flush at the same boundary.
+  if (sink_ != nullptr) sink_->flush();
 }
 
 void Runtime::crash_rank(std::uint32_t rank) {

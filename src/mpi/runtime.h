@@ -21,9 +21,12 @@
 // state is only ever touched by the owning shard's worker; cross-rank
 // effects travel through Network::send. Metric updates accumulate in
 // per-rank buckets flushed to the obs registry rank-major after the run
-// (the registry is single-threaded by design), and trace records are
-// buffered per rank and flushed in rank order — deterministic for any
-// worker count.
+// (the registry is single-threaded by design), and trace records go
+// through a trace::Sink whose contract matches shard ownership: emits
+// may race across ranks but never within one, and the default
+// CollectorSink buffers per rank and flushes rank-major — deterministic
+// for any worker count. set_trace_sink() swaps in a bounded
+// StreamingSink for runs too large to trace in full.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +39,7 @@
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "sim/scheduler.h"
+#include "trace/sink.h"
 #include "trace/trace.h"
 
 namespace mb::mpi {
@@ -136,6 +140,12 @@ class Runtime {
   /// in flight.
   void set_rank_slowdown(std::uint32_t rank, double factor);
 
+  /// Replaces the record destination (default: a CollectorSink feeding
+  /// the constructor's Trace). The sink must outlive the runtime and
+  /// honour the Sink concurrency contract. Call before run(); the
+  /// caller finalizes/drains the sink itself afterwards.
+  void set_trace_sink(trace::Sink* sink);
+
  private:
   /// Open-addressed (source, tag) -> FIFO-of-sizes map, replacing the
   /// std::map mailbox that dominated the deliver/recv path at scale.
@@ -221,8 +231,9 @@ class Runtime {
   net::Network& network_;
   std::vector<net::NodeId> rank_to_host_;
   RuntimeConfig config_;
-  trace::Trace* trace_;
-  bool parallel_;  ///< sched_->parallel(): buffer traces per rank
+  std::unique_ptr<trace::CollectorSink> owned_sink_;  ///< default sink
+  trace::Sink* sink_;  ///< where record() delivers; null = no tracing
+  bool parallel_;  ///< sched_->parallel(): sink emits may race per rank
   // Registry instrumentation (handles resolved once in the constructor;
   // updates deferred to the post-run flush). Per-rank traffic plus the
   // collective / p2p-overhead / blocked-receive time split the paper's
@@ -238,7 +249,6 @@ class Runtime {
   obs::Counter* recv_timeouts_;
   std::vector<RankState> states_;
   std::vector<RankMetrics> metrics_;
-  std::vector<std::vector<trace::Record>> trace_buf_;  ///< parallel mode
   FailureReport failure_;
   std::int32_t next_tag_base_ = 1 << 16;  // user tags stay below
 };

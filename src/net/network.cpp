@@ -203,6 +203,7 @@ void Network::send(NodeId src, NodeId dst, std::uint64_t bytes,
   const std::uint64_t frames =
       std::max<std::uint64_t>(1, (bytes + mtu_ - 1) / mtu_);
   Message* msg = msg_pool_.allocate();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
   msg->remaining = frames;
   msg->refs = static_cast<std::uint32_t>(frames);
   msg->failed = false;
@@ -220,7 +221,10 @@ void Network::send(NodeId src, NodeId dst, std::uint64_t bytes,
 }
 
 void Network::release_ref(Message* msg) {
-  if (--msg->refs == 0) msg_pool_.release(msg);
+  if (--msg->refs == 0) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    msg_pool_.release(msg);
+  }
 }
 
 void Network::forward(std::uint32_t li, std::uint32_t frame_bytes, NodeId dst,

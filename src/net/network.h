@@ -17,6 +17,7 @@
 // (support::Pool) instead of heap-allocated per send.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -133,6 +134,14 @@ class Network {
   const std::string& name(NodeId n) const { return names_[n]; }
   bool is_switch(NodeId n) const { return is_switch_[n]; }
 
+  /// Messages accepted by send() whose frames are still somewhere on the
+  /// wire (delivery or abandonment pending). A live congestion gauge for
+  /// the metrics time-series sampler; atomic because messages complete
+  /// on their destination's shard.
+  std::uint64_t in_flight_messages() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
   /// Stats of the directed link a->b. Throws if absent.
   const LinkStats& link_stats(NodeId a, NodeId b) const;
 
@@ -202,6 +211,7 @@ class Network {
   bool routed_ = false;
 
   support::Pool<Message, true> msg_pool_;
+  std::atomic<std::uint64_t> in_flight_{0};
 };
 
 }  // namespace mb::net

@@ -149,7 +149,13 @@ void write_chrome_trace(std::ostream& os, const trace::Trace& trace,
   w.field("displayTimeUnit", "ms");
   w.key("otherData").begin_object();
   w.field("tool", "montblanc");
-  w.field("tool_version", support::version());
+  // A trace carrying provenance knows which binary and seed produced it
+  // (possibly a different build than the one exporting); fall back to
+  // this binary's version otherwise.
+  w.field("tool_version", trace.has_provenance()
+                              ? trace.tool_version()
+                              : std::string(support::version()));
+  if (trace.has_provenance()) w.field("seed", trace.seed());
   w.end_object();
   w.end_object();
   os << w.str();

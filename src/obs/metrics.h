@@ -13,6 +13,17 @@
 //  * single-threaded semantics — like the simulator itself, the registry
 //    is deliberately not thread-safe; determinism matters more here than
 //    concurrency.
+//
+// Thread-safety contract (explicit, because the sharded engine runs
+// worker threads): every Registry method, and every update through a
+// Counter/Gauge/Histogram handle, must happen on one thread at a time —
+// there is no internal locking. Under sim::ShardedEngine the runtime
+// therefore updates rank-labeled instruments only from the shard that
+// owns the rank, and everything global (registration, snapshot(),
+// reset(), clear(), rollups, the time sampler) happens outside the run
+// or on the serial engine. The process-wide metrics() registry inherits
+// this contract; tests that need a pristine registry call
+// reset_for_test() instead of relying on process isolation.
 #pragma once
 
 #include <cstdint>
@@ -126,6 +137,12 @@ class Registry {
   void reset();
   /// Drops every series (handles become dangling — setup-time only).
   void clear();
+  /// Test fixtures only: returns the registry to its pristine state so a
+  /// test can assert absolute values instead of before/after deltas.
+  /// Equivalent to clear() — call it *before* constructing the objects
+  /// under test; handles resolved earlier (by other tests in the same
+  /// process) must not be used afterwards.
+  void reset_for_test() { clear(); }
 
  private:
   struct Series {

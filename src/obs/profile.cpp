@@ -68,11 +68,12 @@ Profile profile_from_json(const JsonValue& doc) {
   return profile;
 }
 
-std::string render_profile(const Profile& profile) {
+std::string render_profile(const Profile& profile,
+                           const SpanRenderOptions& options) {
   std::ostringstream os;
   os << "=== " << profile.tool << " profile (" << profile.command << ", v"
      << profile.tool_version << ") ===\n\n"
-     << render_span_summary(profile.spans);
+     << render_span_summary(profile.spans, options);
 
   // Phase coverage: how much of each top-level span its children explain.
   // A well-instrumented command has phases summing to ~its whole wall time.

@@ -47,6 +47,8 @@ Profile profile_from_json(const support::JsonValue& doc);
 
 /// Human-readable report: span summary, phase coverage (how much of the
 /// total wall time the top level's children explain) and a metrics table.
-std::string render_profile(const Profile& profile);
+/// `options` controls the span section (hotspot sort, --top cap).
+std::string render_profile(const Profile& profile,
+                           const SpanRenderOptions& options = {});
 
 }  // namespace mb::obs

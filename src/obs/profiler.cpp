@@ -1,8 +1,10 @@
 #include "obs/profiler.h"
 
+#include <algorithm>
 #include <chrono>
 #include <iomanip>
 #include <sstream>
+#include <vector>
 
 #include "support/check.h"
 
@@ -105,8 +107,29 @@ Profiler& profiler() {
 
 namespace {
 
+/// Children in render order: by exclusive time descending when sorting,
+/// capped at options.top (0 = all). Returns how many rows were elided.
+std::size_t render_order(const SpanNode& node,
+                         const SpanRenderOptions& options,
+                         std::vector<const SpanNode*>& out) {
+  out.clear();
+  for (const auto& c : node.children) out.push_back(&c);
+  if (options.sort_by_self) {
+    std::stable_sort(out.begin(), out.end(),
+                     [](const SpanNode* a, const SpanNode* b) {
+                       return a->self_s() > b->self_s();
+                     });
+  }
+  const std::size_t elided =
+      options.top > 0 && out.size() > options.top ? out.size() - options.top
+                                                  : 0;
+  out.resize(out.size() - elided);
+  return elided;
+}
+
 void render_node(std::ostringstream& os, const SpanNode& node,
-                 double parent_total, int depth) {
+                 double parent_total, int depth,
+                 const SpanRenderOptions& options) {
   const double pct =
       parent_total > 0.0 ? 100.0 * node.total_s / parent_total : 100.0;
   std::string label(static_cast<std::size_t>(depth) * 2, ' ');
@@ -119,12 +142,20 @@ void render_node(std::ostringstream& os, const SpanNode& node,
     os << std::string(static_cast<std::size_t>(depth) * 2 + 2, ' ') << "+ "
        << key << " = " << std::setprecision(0) << delta << "\n";
   }
-  for (const auto& c : node.children) render_node(os, c, node.total_s, depth + 1);
+  std::vector<const SpanNode*> order;
+  const std::size_t elided = render_order(node, options, order);
+  for (const SpanNode* c : order)
+    render_node(os, *c, node.total_s, depth + 1, options);
+  if (elided > 0) {
+    os << std::string(static_cast<std::size_t>(depth) * 2 + 2, ' ') << "… "
+       << elided << " more span(s)\n";
+  }
 }
 
 }  // namespace
 
-std::string render_span_summary(const SpanNode& root) {
+std::string render_span_summary(const SpanNode& root,
+                                const SpanRenderOptions& options) {
   std::ostringstream os;
   os << std::left << std::setw(40) << "span" << std::right << std::setw(8)
      << "calls" << std::setw(12) << "total s" << std::setw(12) << "self s"
@@ -135,7 +166,10 @@ std::string render_span_summary(const SpanNode& root) {
   }
   double total = 0.0;
   for (const auto& c : root.children) total += c.total_s;
-  for (const auto& c : root.children) render_node(os, c, total, 0);
+  std::vector<const SpanNode*> order;
+  const std::size_t elided = render_order(root, options, order);
+  for (const SpanNode* c : order) render_node(os, *c, total, 0, options);
+  if (elided > 0) os << "… " << elided << " more span(s)\n";
   return os.str();
 }
 

@@ -112,9 +112,19 @@ class ScopedSpan {
 /// The process-wide default profiler (counter deltas from metrics()).
 Profiler& profiler();
 
+struct SpanRenderOptions {
+  /// Sort siblings by exclusive (self) time, descending — the hotspots
+  /// first. false preserves first-entered order (the historical layout).
+  bool sort_by_self = true;
+  /// Keep at most this many rows per level (0 = all); a trailing line
+  /// counts what was elided.
+  std::size_t top = 0;
+};
+
 /// Flame-style text summary: one indented row per span with calls, total,
 /// self and percent-of-parent columns, plus counter-delta sublines.
-std::string render_span_summary(const SpanNode& root);
+std::string render_span_summary(const SpanNode& root,
+                                const SpanRenderOptions& options = {});
 
 /// Serializes the hierarchy (children of `root`) as a JSON array.
 void write_spans_json(support::JsonWriter& w, const SpanNode& root);

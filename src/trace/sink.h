@@ -1,0 +1,171 @@
+// Streaming trace capture.
+//
+// PR 6 scaled the DES to 10k+ simulated ranks; a fully traced BigDFT
+// run at that scale emits hundreds of millions of records, so "append
+// every Record to one vector" stops being an option. This module turns
+// the trace destination into an abstraction:
+//
+//   * Sink — where the MPI runtime delivers records.
+//   * CollectorSink — the classic behaviour (everything into a Trace),
+//     including the rank-major buffering the sharded engine needs.
+//   * StreamingSink — bounded per-rank ring buffers with deterministic
+//     rank sampling, event-kind filters, and optional spill-to-disk into
+//     the compact mb-trace v1 format. Memory is
+//     O(sampled_ranks × ring_capacity) regardless of run length, and
+//     spilled files are byte-identical for any --sim-jobs.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace mb::trace {
+
+/// Bit for one EventKind in a SinkConfig kind mask.
+constexpr std::uint32_t event_kind_bit(EventKind k) {
+  return 1u << static_cast<std::uint32_t>(k);
+}
+
+/// All six event kinds enabled.
+inline constexpr std::uint32_t kAllEventKinds =
+    event_kind_bit(EventKind::kFault) * 2 - 1;
+
+/// Parses "all" or a comma-separated list of event kind names
+/// ("collective,compute") into a mask. Throws support::Error on unknown
+/// names or an empty list.
+std::uint32_t parse_event_kind_mask(std::string_view spec);
+
+/// Deterministically samples `count` distinct ranks out of
+/// [0, total): a seeded partial Fisher-Yates shuffle, result sorted
+/// ascending. Same (total, count, seed) → same set, on every platform.
+std::vector<std::uint32_t> sample_ranks(std::uint32_t total,
+                                        std::uint32_t count,
+                                        std::uint64_t seed);
+
+/// Destination for trace records as the MPI runtime emits them.
+///
+/// Concurrency contract: emit() may be called concurrently for
+/// *different* ranks (the sharded engine's workers own disjoint rank
+/// sets) but never concurrently for the same rank. wants() must be safe
+/// to call concurrently and is a cheap pre-filter — callers may skip
+/// building the Record entirely when it returns false.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  virtual bool wants(std::uint32_t rank, EventKind kind) const = 0;
+  virtual void emit(Record r) = 0;
+
+  /// Called once after the run completes, before results are read.
+  virtual void flush() = 0;
+};
+
+/// The classic destination: every record into a Trace. Serial runs
+/// append in arrival order (the historical behaviour); under the
+/// sharded engine records buffer per rank and flush() appends them
+/// rank-major — the canonical order that makes output independent of
+/// worker count.
+class CollectorSink final : public Sink {
+ public:
+  CollectorSink(Trace& out, std::uint32_t ranks, bool parallel);
+
+  bool wants(std::uint32_t, EventKind) const override { return true; }
+  void emit(Record r) override;
+  void flush() override;
+
+ private:
+  Trace& out_;
+  bool parallel_ = false;
+  std::vector<std::vector<Record>> buffers_;
+};
+
+struct SinkConfig {
+  /// Rank selection: explicit `rank_list` wins; else `sample_count > 0`
+  /// samples that many ranks with sample_ranks(seed); else all ranks.
+  std::vector<std::uint32_t> rank_list;
+  std::uint32_t sample_count = 0;
+  std::uint64_t seed = 0;
+
+  /// Records retained per sampled rank. Without a spill path the ring
+  /// keeps the *newest* `ring_capacity` records (oldest are dropped and
+  /// counted); with one, a full ring is flushed to disk as a chunk and
+  /// nothing is lost. 0 = unbounded (the classic collector behaviour).
+  std::uint32_t ring_capacity = 65536;
+
+  /// Which event kinds to capture (see event_kind_bit / kAllEventKinds).
+  std::uint32_t kind_mask = kAllEventKinds;
+
+  /// Non-empty: stream rings into this mb-trace v1 file. close() writes
+  /// the canonical rank-major file via a `<path>.tmp` spill pass.
+  std::string spill_path;
+
+  /// Stamped into the mb-trace header and drained traces.
+  std::string tool_version;
+};
+
+/// Bounded streaming sink. Typical lifecycle:
+///
+///   StreamingSink sink(total_ranks, config);
+///   runtime.set_trace_sink(&sink);
+///   ... run ...
+///   sink.close();                  // finalizes the spill file, if any
+///   sink.drain(result.trace);      // no-spill mode: rank-major drain
+class StreamingSink final : public Sink {
+ public:
+  StreamingSink(std::uint32_t total_ranks, SinkConfig config);
+  ~StreamingSink() override;
+
+  bool wants(std::uint32_t rank, EventKind kind) const override;
+  void emit(Record r) override;
+  void flush() override {}
+
+  /// Finalizes the capture. With a spill path: flushes the remaining
+  /// rings, canonicalizes the chunked `<path>.tmp` into the final
+  /// rank-major mb-trace file and removes the temporary. Without one:
+  /// a no-op. Idempotent; not safe concurrently with emit().
+  void close();
+
+  /// Appends every retained record to `out`, ranks ascending and
+  /// oldest-first within a rank, and stamps provenance. Only meaningful
+  /// without a spill path (spilled records live in the file).
+  void drain(Trace& out) const;
+
+  const std::vector<std::uint32_t>& sampled_ranks() const {
+    return sampled_;
+  }
+  std::uint64_t total_emitted() const;
+  /// Records lost to ring overflow (always 0 when spilling).
+  std::uint64_t total_dropped() const;
+  std::uint64_t dropped(std::uint32_t rank) const;
+
+ private:
+  struct RankRing {
+    std::vector<Record> slots;
+    std::size_t head = 0;  ///< oldest slot once the ring has wrapped
+    bool wrapped = false;
+    std::uint64_t emitted = 0;
+    std::uint64_t dropped = 0;
+    std::vector<std::string> labels;  ///< spill-mode label intern table
+  };
+
+  void spill_ring(std::uint32_t rank, RankRing& ring);
+  void finalize_spill();
+
+  SinkConfig config_;
+  std::uint32_t total_ranks_ = 0;
+  std::vector<std::uint32_t> sampled_;       ///< ascending rank ids
+  std::vector<std::uint32_t> rank_to_slot_;  ///< kUnsampled when filtered
+  std::vector<RankRing> rings_;              ///< one per sampled rank
+  std::ofstream spill_tmp_;
+  std::string spill_tmp_path_;
+  std::mutex spill_mutex_;
+  bool closed_ = false;
+
+  static constexpr std::uint32_t kUnsampled = 0xFFFFFFFFu;
+};
+
+}  // namespace mb::trace

@@ -29,6 +29,12 @@ void Trace::add(Record r) {
   records_.push_back(std::move(r));
 }
 
+void Trace::set_provenance(std::string tool_version, std::uint64_t seed) {
+  has_provenance_ = true;
+  tool_version_ = std::move(tool_version);
+  seed_ = seed;
+}
+
 std::vector<Record> Trace::filter(EventKind kind,
                                   std::string_view label) const {
   std::vector<Record> out;
@@ -63,6 +69,9 @@ EventKind parse_event_kind(std::string_view name) {
 
 void Trace::write_paraver(std::ostream& os) const {
   os << "#Paraver-like state records (rank:kind:label:t0_us:t1_us:bytes)\n";
+  if (has_provenance_)
+    os << "#provenance tool_version=" << tool_version_ << " seed=" << seed_
+       << '\n';
   // Rounding (not truncation) keeps the format a fixpoint: parsing a dump
   // and re-writing it reproduces the dump byte for byte. Truncating would
   // drift one microsecond down whenever us/1e6*1e6 lands just below an
@@ -96,9 +105,24 @@ Trace parse_paraver(std::istream& is) {
   Trace trace;
   std::string line;
   std::size_t line_no = 0;
+  constexpr std::string_view kProvenancePrefix = "#provenance tool_version=";
   while (std::getline(is, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
+    if (line.empty() || line[0] == '#') {
+      // Restore provenance from the stamp write_paraver() emits, so the
+      // parse → re-export round trip stays a byte-for-byte fixpoint.
+      const std::string_view comment = line;
+      if (comment.substr(0, kProvenancePrefix.size()) == kProvenancePrefix) {
+        const std::string_view rest = comment.substr(kProvenancePrefix.size());
+        const std::size_t seed_at = rest.rfind(" seed=");
+        if (seed_at != std::string_view::npos) {
+          trace.set_provenance(
+              std::string(rest.substr(0, seed_at)),
+              parse_u64_field(rest.substr(seed_at + 6), line_no));
+        }
+      }
+      continue;
+    }
     const std::string_view view = line;
 
     // Anchor the split from both ends: the first two fields (rank, kind)

@@ -60,11 +60,24 @@ class Trace {
   ///   <rank>:<kind>:<label>:<t0_us>:<t1_us>:<bytes>
   /// Times are rounded to integer microseconds — the format's resolution —
   /// so that parse_paraver() round-trips: a re-exported parse is
-  /// byte-identical to the original dump.
+  /// byte-identical to the original dump. Provenance, when set, is
+  /// emitted as a `#provenance` comment line that parse_paraver()
+  /// restores (older dumps without the line stay fixpoints too).
   void write_paraver(std::ostream& os) const;
+
+  /// Stamps the producing tool version and effective seed; exporters
+  /// (Paraver, Chrome, mb-trace) carry it so an artifact always names
+  /// the run that produced it.
+  void set_provenance(std::string tool_version, std::uint64_t seed);
+  bool has_provenance() const { return has_provenance_; }
+  const std::string& tool_version() const { return tool_version_; }
+  std::uint64_t seed() const { return seed_; }
 
  private:
   std::vector<Record> records_;
+  bool has_provenance_ = false;
+  std::string tool_version_;
+  std::uint64_t seed_ = 0;
 };
 
 /// Parses a dump produced by Trace::write_paraver(). Lines starting with

@@ -1,0 +1,171 @@
+#include "obs/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mb::obs {
+namespace {
+
+trace::Record rec(std::uint32_t rank, double t0, double t1,
+                  trace::EventKind kind, std::string label) {
+  trace::Record r;
+  r.rank = rank;
+  r.t0 = t0;
+  r.t1 = t1;
+  r.kind = kind;
+  r.label = std::move(label);
+  return r;
+}
+
+// Fig. 5 shape: one slowed node = two sibling ranks (2 and 3), both
+// entering every alltoallv ~1 s behind ranks 0 and 1.
+trace::Trace slowed_pair_trace() {
+  trace::Trace t;
+  for (int i = 0; i < 3; ++i) {
+    const double base = i * 10.0;
+    for (std::uint32_t rank = 0; rank < 4; ++rank) {
+      const double t0 = base + (rank >= 2 ? 1.0 : 0.0);
+      t.add(rec(rank, t0, t0 + 0.1, trace::EventKind::kCollective,
+                "alltoallv"));
+    }
+  }
+  return t;
+}
+
+TEST(AnalyzeTimeline, AttributesWaitToBothSlowedSiblings) {
+  const trace::Trace t = slowed_pair_trace();
+  const Analysis a = analyze_timeline(t, nullptr);
+
+  // Per instance: arrivals {0, 0, 1, 1}, last = 1, median = 0.5,
+  // spread wait = 2.0 split evenly over the two late ranks.
+  EXPECT_NEAR(a.total_attributed_wait_s, 6.0, 1e-9);
+  ASSERT_EQ(a.stragglers.size(), 2u);
+  EXPECT_EQ(a.stragglers[0].rank, 2u);
+  EXPECT_EQ(a.stragglers[1].rank, 3u);
+  for (const Straggler& s : a.stragglers) {
+    EXPECT_EQ(s.instances_late, 3u);
+    EXPECT_NEAR(s.attributed_wait_s, 3.0, 1e-9);
+    EXPECT_NEAR(s.share, 0.5, 1e-9);
+    ASSERT_EQ(s.by_label.size(), 1u);
+    EXPECT_EQ(s.by_label[0].first, "alltoallv");
+  }
+
+  ASSERT_EQ(a.collectives.size(), 1u);
+  EXPECT_EQ(a.collectives[0].instances, 3u);
+  EXPECT_NEAR(a.collectives[0].arrival_wait_s, 6.0, 1e-9);
+
+  // Critical path: one gate per instance, chronological, naming the
+  // first of the tied last arrivals.
+  ASSERT_EQ(a.critical_path.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.critical_path[0].enter_s, 1.0);
+  EXPECT_DOUBLE_EQ(a.critical_path[2].enter_s, 21.0);
+  EXPECT_EQ(a.critical_path[0].rank, 2u);
+  EXPECT_NEAR(a.critical_path[0].lag_s, 0.5, 1e-9);
+}
+
+TEST(AnalyzeTimeline, UniformCollectiveYieldsNoStragglers) {
+  trace::Trace t;
+  for (int i = 0; i < 4; ++i)
+    for (std::uint32_t rank = 0; rank < 4; ++rank)
+      t.add(rec(rank, i * 1.0, i * 1.0 + 0.1,
+                trace::EventKind::kCollective, "bcast"));
+  const Analysis a = analyze_timeline(t, nullptr);
+  EXPECT_TRUE(a.stragglers.empty());
+  EXPECT_TRUE(a.critical_path.empty());
+  EXPECT_DOUBLE_EQ(a.total_attributed_wait_s, 0.0);
+}
+
+TEST(AnalyzeTimeline, OneBadInstanceIsNotAStraggler) {
+  // Rank 3 is late exactly once: below straggler_min_instances.
+  trace::Trace t;
+  for (int i = 0; i < 3; ++i) {
+    for (std::uint32_t rank = 0; rank < 4; ++rank) {
+      const double t0 = i * 10.0 + (i == 1 && rank == 3 ? 1.0 : 0.0);
+      t.add(rec(rank, t0, t0 + 0.1, trace::EventKind::kCollective,
+                "alltoallv"));
+    }
+  }
+  const Analysis a = analyze_timeline(t, nullptr);
+  EXPECT_TRUE(a.stragglers.empty());
+  EXPECT_GT(a.total_attributed_wait_s, 0.0);  // the wait is still real
+  EXPECT_EQ(a.critical_path.size(), 1u);
+}
+
+TEST(AnalyzeTimeline, RanksActivityAndFaultsChronological) {
+  trace::Trace t;
+  t.add(rec(0, 0.0, 2.0, trace::EventKind::kCompute, "convolution"));
+  t.add(rec(0, 2.0, 2.5, trace::EventKind::kSend, "halo"));
+  t.add(rec(1, 0.0, 3.0, trace::EventKind::kWait, "recv_wait"));
+  t.add(rec(3, 5.0, 5.0, trace::EventKind::kFault, "slowdown_end:node1"));
+  t.add(rec(2, 0.5, 0.5, trace::EventKind::kFault, "slowdown:node1"));
+  const Analysis a = analyze_timeline(t, nullptr);
+
+  ASSERT_EQ(a.rank_activity.size(), 4u);
+  EXPECT_EQ(a.rank_activity[0].rank, 1u);  // biggest waiter first
+  EXPECT_DOUBLE_EQ(a.rank_activity[0].wait_s, 3.0);
+  ASSERT_EQ(a.faults.size(), 2u);
+  EXPECT_EQ(a.faults[0].label, "slowdown:node1");
+  EXPECT_EQ(a.faults[1].rank, 3u);
+}
+
+TEST(AnalyzeTimeline, HotspotTotalsAndPeakRate) {
+  trace::Trace t;  // hotspots come from the time series alone
+  TimeSeries ts;
+  ts.times_s = {1.0, 2.0, 3.0};
+  Series busy;
+  busy.name = "net.link.retransmits";
+  busy.labels = {{"link", "0->18"}};
+  busy.values = {2.0, 2.0, 10.0};
+  ts.series.push_back(busy);
+  Series idle;  // final value 0: not a hotspot
+  idle.name = "net.link.drops";
+  idle.labels = {{"link", "3->18"}};
+  idle.values = {0.0, 0.0, 0.0};
+  ts.series.push_back(idle);
+  Series other;  // wrong prefix: ignored
+  other.name = "sim.pending_events";
+  other.values = {9.0, 9.0, 9.0};
+  ts.series.push_back(other);
+
+  const Analysis a = analyze_timeline(t, &ts);
+  ASSERT_EQ(a.hotspots.size(), 1u);
+  EXPECT_EQ(a.hotspots[0].link, "0->18");
+  EXPECT_EQ(a.hotspots[0].metric, "net.link.retransmits");
+  EXPECT_DOUBLE_EQ(a.hotspots[0].total, 10.0);
+  // Deltas per 1 s window: 2 (from zero), 0, 8 — the peak is the last.
+  EXPECT_DOUBLE_EQ(a.hotspots[0].peak_rate_per_s, 8.0);
+  EXPECT_DOUBLE_EQ(a.hotspots[0].peak_at_s, 3.0);
+}
+
+TEST(AnalyzeTimeline, ProvenanceFlowsFromTrace) {
+  trace::Trace t = slowed_pair_trace();
+  t.set_provenance("7.7.7", 123);
+  const Analysis a = analyze_timeline(t, nullptr);
+  EXPECT_EQ(a.tool_version, "7.7.7");
+  EXPECT_EQ(a.seed, 123u);
+}
+
+TEST(AnalyzeTimeline, ValidatesLateFraction) {
+  trace::Trace t;
+  AnalysisOptions bad;
+  bad.late_fraction = 0.0;
+  EXPECT_THROW(analyze_timeline(t, nullptr, bad), support::Error);
+  bad.late_fraction = 1.0;
+  EXPECT_THROW(analyze_timeline(t, nullptr, bad), support::Error);
+}
+
+TEST(AnalyzeTimeline, JsonAndReportNameTheStraggler) {
+  const trace::Trace t = slowed_pair_trace();
+  const Analysis a = analyze_timeline(t, nullptr);
+  const std::string json = to_json(a);
+  EXPECT_NE(json.find("\"mb-analysis\""), std::string::npos);
+  EXPECT_NE(json.find("\"stragglers\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
+  const std::string report = render_analysis(a);
+  EXPECT_NE(report.find("rank 2"), std::string::npos);
+  EXPECT_NE(report.find("alltoallv"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mb::obs

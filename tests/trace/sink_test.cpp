@@ -1,0 +1,173 @@
+#include "trace/sink.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "support/check.h"
+#include "trace/mb_trace.h"
+
+namespace mb::trace {
+namespace {
+
+Record rec(std::uint32_t rank, double t0, double t1, EventKind kind,
+           std::string label, std::uint64_t bytes = 0) {
+  Record r;
+  r.rank = rank;
+  r.t0 = t0;
+  r.t1 = t1;
+  r.kind = kind;
+  r.label = std::move(label);
+  r.bytes = bytes;
+  return r;
+}
+
+TEST(EventKindMask, ParsesNamesAndAll) {
+  EXPECT_EQ(parse_event_kind_mask("all"), kAllEventKinds);
+  const std::uint32_t mask = parse_event_kind_mask("compute,collective");
+  EXPECT_TRUE(mask & event_kind_bit(EventKind::kCompute));
+  EXPECT_TRUE(mask & event_kind_bit(EventKind::kCollective));
+  EXPECT_FALSE(mask & event_kind_bit(EventKind::kSend));
+  EXPECT_THROW(parse_event_kind_mask("warp"), support::Error);
+  EXPECT_THROW(parse_event_kind_mask(""), support::Error);
+}
+
+TEST(SampleRanks, DeterministicAndDistinct) {
+  const auto a = sample_ranks(1000, 16, 42);
+  const auto b = sample_ranks(1000, 16, 42);
+  EXPECT_EQ(a, b);  // same seed, same set — on every platform
+  ASSERT_EQ(a.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_EQ(std::adjacent_find(a.begin(), a.end()), a.end());
+  for (const std::uint32_t r : a) EXPECT_LT(r, 1000u);
+
+  const auto c = sample_ranks(1000, 16, 43);
+  EXPECT_NE(a, c);  // a different seed picks a different set
+  // Count >= total degenerates to "all".
+  EXPECT_EQ(sample_ranks(4, 10, 1).size(), 4u);
+}
+
+TEST(CollectorSink, SerialAppendsInArrivalOrder) {
+  Trace out;
+  CollectorSink sink(out, 2, /*parallel=*/false);
+  EXPECT_TRUE(sink.wants(1, EventKind::kWait));
+  sink.emit(rec(1, 0, 1, EventKind::kCompute, "b"));
+  sink.emit(rec(0, 1, 2, EventKind::kCompute, "a"));
+  sink.flush();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.records()[0].rank, 1u);  // arrival order, not rank-major
+}
+
+TEST(CollectorSink, ParallelFlushesRankMajor) {
+  Trace out;
+  CollectorSink sink(out, 2, /*parallel=*/true);
+  sink.emit(rec(1, 0, 1, EventKind::kCompute, "b"));
+  sink.emit(rec(0, 1, 2, EventKind::kCompute, "a"));
+  EXPECT_EQ(out.size(), 0u);  // buffered until flush
+  sink.flush();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.records()[0].rank, 0u);
+  EXPECT_EQ(out.records()[1].rank, 1u);
+}
+
+TEST(StreamingSink, FiltersByRankAndKind) {
+  SinkConfig config;
+  config.rank_list = {1, 3};
+  config.kind_mask = event_kind_bit(EventKind::kCollective);
+  StreamingSink sink(4, config);
+  EXPECT_TRUE(sink.wants(1, EventKind::kCollective));
+  EXPECT_FALSE(sink.wants(1, EventKind::kCompute));  // kind filtered
+  EXPECT_FALSE(sink.wants(0, EventKind::kCollective));  // rank filtered
+  sink.emit(rec(3, 0, 1, EventKind::kCollective, "alltoallv"));
+  sink.close();
+  Trace out;
+  sink.drain(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.records()[0].rank, 3u);
+}
+
+TEST(StreamingSink, RingOverflowDropsOldestAndCounts) {
+  SinkConfig config;
+  config.ring_capacity = 3;
+  StreamingSink sink(1, config);
+  for (int i = 0; i < 8; ++i)
+    sink.emit(rec(0, i, i + 1, EventKind::kCompute, "c" + std::to_string(i)));
+  sink.close();
+  EXPECT_EQ(sink.total_emitted(), 8u);
+  EXPECT_EQ(sink.total_dropped(), 5u);
+  EXPECT_EQ(sink.dropped(0), 5u);
+  Trace out;
+  sink.drain(out);
+  // The *newest* capacity records survive, oldest-first: the tail of a
+  // run (where stragglers and faults live) is what the ring keeps.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.records()[0].label, "c5");
+  EXPECT_EQ(out.records()[2].label, "c7");
+}
+
+TEST(StreamingSink, DrainIsRankMajorAndStampsProvenance) {
+  SinkConfig config;
+  config.tool_version = "9.9.9";
+  config.seed = 77;
+  StreamingSink sink(3, config);
+  sink.emit(rec(2, 0, 1, EventKind::kCompute, "z"));
+  sink.emit(rec(0, 1, 2, EventKind::kCompute, "a"));
+  sink.emit(rec(2, 3, 4, EventKind::kCompute, "z2"));
+  sink.close();
+  Trace out;
+  sink.drain(out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.records()[0].rank, 0u);
+  EXPECT_EQ(out.records()[1].label, "z");  // oldest-first within rank 2
+  EXPECT_EQ(out.records()[2].label, "z2");
+  ASSERT_TRUE(out.has_provenance());
+  EXPECT_EQ(out.tool_version(), "9.9.9");
+  EXPECT_EQ(out.seed(), 77u);
+}
+
+TEST(StreamingSink, RejectsOutOfRangeRankList) {
+  SinkConfig config;
+  config.rank_list = {0, 9};
+  EXPECT_THROW(StreamingSink(4, config), support::Error);
+}
+
+TEST(StreamingSink, SpillWritesCanonicalMbTrace) {
+  const std::string path = ::testing::TempDir() + "sink_spill.mbt";
+  SinkConfig config;
+  config.ring_capacity = 2;  // force mid-run chunk flushes
+  config.spill_path = path;
+  config.tool_version = "1.2.3";
+  config.seed = 5;
+  {
+    StreamingSink sink(2, config);
+    for (int i = 0; i < 5; ++i) {
+      sink.emit(rec(1, i, i + 1, EventKind::kCompute, "r1-" + std::to_string(i)));
+      sink.emit(rec(0, i, i + 1, EventKind::kSend, "r0-" + std::to_string(i), 64));
+    }
+    sink.close();
+    EXPECT_EQ(sink.total_dropped(), 0u);  // spilling never loses records
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  ASSERT_TRUE(is_mb_trace(in));
+  const MbTraceFile file = read_mb_trace(in);
+  EXPECT_EQ(file.meta.tool_version, "1.2.3");
+  EXPECT_EQ(file.meta.seed, 5u);
+  EXPECT_EQ(file.meta.total_ranks, 2u);
+  ASSERT_EQ(file.trace.size(), 10u);
+  // Canonical order: rank-major, emission order within each rank —
+  // independent of how emits interleaved across ranks.
+  EXPECT_EQ(file.trace.records()[0].rank, 0u);
+  EXPECT_EQ(file.trace.records()[0].label, "r0-0");
+  EXPECT_EQ(file.trace.records()[5].rank, 1u);
+  EXPECT_EQ(file.trace.records()[5].label, "r1-0");
+  EXPECT_EQ(file.trace.records()[9].label, "r1-4");
+  EXPECT_EQ(file.trace.records()[0].bytes, 64u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mb::trace

@@ -70,6 +70,37 @@ TEST(Trace, ParaverRoundTripIsFixpoint) {
   EXPECT_EQ(first.str(), second.str());
 }
 
+TEST(Trace, ParaverCarriesProvenanceAndStaysFixpoint) {
+  Trace t;
+  t.add(rec(0, 0.0, 1.25e-3, EventKind::kCompute, "compute"));
+  t.set_provenance("1.0.0", 2013);
+  std::ostringstream first;
+  t.write_paraver(first);
+  EXPECT_NE(first.str().find("#provenance tool_version=1.0.0 seed=2013"),
+            std::string::npos);
+
+  const Trace parsed = parse_paraver(first.str());
+  ASSERT_TRUE(parsed.has_provenance());
+  EXPECT_EQ(parsed.tool_version(), "1.0.0");
+  EXPECT_EQ(parsed.seed(), 2013u);
+  std::ostringstream second;
+  parsed.write_paraver(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Trace, ParaverWithoutProvenanceStaysFixpoint) {
+  // Dumps from before provenance stamping parse (the line is absent, not
+  // defaulted) and re-export byte-identically.
+  const std::string dump =
+      "#Paraver-like state records (rank:kind:label:t0_us:t1_us:bytes)\n"
+      "0:compute:x:0:7:0\n";
+  const Trace parsed = parse_paraver(dump);
+  EXPECT_FALSE(parsed.has_provenance());
+  std::ostringstream out;
+  parsed.write_paraver(out);
+  EXPECT_EQ(out.str(), dump);
+}
+
 TEST(Trace, ParseParaverReadsFieldsBack) {
   const Trace t = parse_paraver(
       "# comment line\n"

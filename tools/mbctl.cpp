@@ -27,11 +27,23 @@
 // cached points and only simulates what changed.
 //   mbctl fig4 [opts]                    BigDFT-on-Tibidabo trace study
 //       --ranks N --iterations N --compute-s X --transpose-mb N --seed N
-//       --sim-jobs N --trace-out PATH --json PATH
+//       --sim-jobs N --trace-out PATH --json PATH [capture opts]
 //   mbctl trace-export [opts]            cluster timeline -> trace file
-//       --input t.prv --format paraver|chrome --out PATH
-//       (no --input: runs the default fig4 scenario first)
+//       --input t.{prv,mbt} --format paraver|chrome|mb-trace --out PATH
+//       (no --input: runs the default fig4 scenario first; generating
+//       straight to mb-trace streams through the bounded spill sink)
+//   mbctl analyze [opts]                 automatic timeline analysis
+//       --trace t.{prv,mbt} --timeseries ts.json --delay-factor X
+//       --late-fraction X --top N --json PATH (no --trace: runs fig4)
+//       stragglers, wait attribution, critical path, link hotspots
 //   mbctl obs-report <profile.json>      render a profile document
+//       --top N (siblings sort by exclusive time; keep the N worst)
+//
+// Capture opts (fig4, trace-export, analyze, chaos): --trace-ranks
+// all|N|R1,R2,... --trace-buffer N --trace-kinds k1,k2,... switch the
+// run to the bounded streaming trace sink (deterministic rank sampling,
+// drop-oldest rings); --timeseries-out PATH --sample-interval X sample
+// run gauges on the simulated-time grid into an mb-timeseries document.
 //   mbctl compare <baseline.json> <candidate.json> [opts]
 //       --threshold-sigma X --min-rel X
 //       --budget-s X --wall-clock-s T   (wall-clock budget gate: exit 3
@@ -95,10 +107,12 @@
 #include "kernels/membench.h"
 #include "kernels/stencil.h"
 #include "net/topology.h"
+#include "obs/analysis.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/profiler.h"
+#include "obs/timeseries.h"
 #include "sim/roofline.h"
 #include "support/check.h"
 #include "support/exit_codes.h"
@@ -106,6 +120,8 @@
 #include "support/table.h"
 #include "support/version.h"
 #include "trace/gantt.h"
+#include "trace/mb_trace.h"
+#include "trace/sink.h"
 #include "trace/trace.h"
 #include "verify/fault_lint.h"
 #include "verify/mpi_verify.h"
@@ -138,10 +154,14 @@ using mb::support::kExitUsage;
       "           [campaign opts]\n"
       "  fig4 [--ranks N] [--iterations N] [--compute-s X]\n"
       "           [--transpose-mb N] [--seed N] [--sim-jobs N]\n"
-      "           [--trace-out PATH] [--json PATH]\n"
-      "  trace-export [--input trace.prv] [--format paraver|chrome]\n"
-      "           [--out PATH] [--delay-factor X] [fig4 options]\n"
-      "  obs-report <profile.json>\n"
+      "           [--trace-out PATH] [--json PATH] [capture opts]\n"
+      "  trace-export [--input trace.{prv,mbt}]\n"
+      "           [--format paraver|chrome|mb-trace] [--out PATH]\n"
+      "           [--delay-factor X] [fig4 options] [capture opts]\n"
+      "  analyze [--trace trace.{prv,mbt}] [--timeseries ts.json]\n"
+      "           [--delay-factor X] [--late-fraction X] [--top N]\n"
+      "           [--json PATH] [fig4 options] [capture opts]\n"
+      "  obs-report <profile.json> [--top N]\n"
       "  compare <baseline.json> <candidate.json> [--threshold-sigma X]\n"
       "           [--min-rel X] [--budget-s X --wall-clock-s T]\n"
       "  lint <platform|tibidabo-tree|upgraded-tree> [--nodes N]\n"
@@ -152,8 +172,18 @@ using mb::support::kExitUsage;
       "           [--checkpoint on|off] [--checkpoint-interval X]\n"
       "           [--checkpoint-mb N] [--recv-timeout X] [--send-retries N]\n"
       "           [--max-restarts N] [--seed N] [--trace-out PATH]\n"
-      "           [--json PATH]\n"
+      "           [--json PATH] [capture opts]\n"
       "platform: snowball | xeon | tegra2 | exynos5 | @file\n"
+      "capture opts: [--trace-ranks all|N|R1,R2,...] [--trace-buffer N]\n"
+      "[--trace-kinds all|k1,k2,...] [--timeseries-out PATH]\n"
+      "[--sample-interval X] — any --trace-* flag replaces the unbounded\n"
+      "trace collector with the bounded streaming sink: a count N samples\n"
+      "N ranks deterministically from the seed, a comma list pins exact\n"
+      "ranks, --trace-buffer caps records kept per rank (drop-oldest,\n"
+      "default 65536) and --trace-kinds filters event kinds (compute,\n"
+      "send, recv, wait, collective, fault). --timeseries-out samples\n"
+      "run gauges every X simulated seconds (--sample-interval, default\n"
+      "0.1; forces the serial engine) into an mb-timeseries document\n"
       "campaign opts: [--jobs N] [--no-cache] [--cache-dir PATH] — run the\n"
       "sweep on N worker threads (byte-identical output to --jobs 1) and\n"
       "cache simulation outcomes content-addressed under PATH (default\n"
@@ -265,6 +295,97 @@ std::uint64_t effective_seed(Options& opts, std::uint64_t fallback) {
 // Defined with the lint/verify-mpi commands below; used by every scenario
 // command that validates configuration through lint rules.
 void enforce_clean(const mb::verify::Report& report);
+
+/// Applies the shared capture opts (see usage()) to a cluster config:
+/// any --trace-* flag switches the run to the bounded streaming sink,
+/// --timeseries-out arms the metrics time sampler.
+void apply_capture_options(Options& opts, mb::apps::ClusterConfig& cluster,
+                           std::uint64_t seed) {
+  if (opts.has("trace-ranks") || opts.has("trace-buffer") ||
+      opts.has("trace-kinds")) {
+    cluster.streaming_trace = true;
+    mb::trace::SinkConfig& sink = cluster.trace_sink;
+    sink.seed = seed;
+    sink.tool_version = std::string(mb::support::version());
+    sink.ring_capacity = static_cast<std::uint32_t>(
+        opts.get_u64("trace-buffer", sink.ring_capacity));
+    const std::string spec = opts.get_str("trace-ranks", "all");
+    if (spec.find(',') != std::string::npos) {
+      std::stringstream ss(spec);
+      std::string token;
+      while (std::getline(ss, token, ',')) {
+        if (token.empty()) continue;
+        try {
+          std::size_t used = 0;
+          sink.rank_list.push_back(
+              static_cast<std::uint32_t>(std::stoul(token, &used)));
+          if (used != token.size()) throw std::invalid_argument(token);
+        } catch (const std::exception&) {
+          usage("--trace-ranks expects all, a count, or a comma list of "
+                "rank ids, got '" +
+                spec + "'");
+        }
+      }
+      if (sink.rank_list.empty())
+        usage("--trace-ranks rank list is empty: '" + spec + "'");
+    } else if (spec != "all") {
+      try {
+        std::size_t used = 0;
+        sink.sample_count =
+            static_cast<std::uint32_t>(std::stoul(spec, &used));
+        if (used != spec.size() || sink.sample_count == 0)
+          throw std::invalid_argument(spec);
+      } catch (const std::exception&) {
+        usage("--trace-ranks expects all, a count, or a comma list of "
+              "rank ids, got '" +
+              spec + "'");
+      }
+    }
+    if (opts.has("trace-kinds")) {
+      try {
+        sink.kind_mask = mb::trace::parse_event_kind_mask(
+            opts.get_str("trace-kinds", "all"));
+      } catch (const mb::support::Error& e) {
+        usage(e.what());
+      }
+    }
+  }
+  if (opts.has("timeseries-out") || opts.has("sample-interval")) {
+    cluster.timeseries.enabled = true;
+    cluster.timeseries.interval_s = opts.get_f64("sample-interval", 0.1);
+    if (cluster.timeseries.interval_s <= 0.0)
+      usage("--sample-interval must be positive");
+  }
+}
+
+/// Writes the mb-timeseries artifact when --timeseries-out was given.
+void write_timeseries_artifact(Options& opts, mb::obs::TimeSeries& ts,
+                               std::uint64_t seed) {
+  if (!opts.has("timeseries-out")) return;
+  ts.tool_version = std::string(mb::support::version());
+  ts.seed = seed;
+  const std::string path = opts.get_str("timeseries-out", "");
+  std::ofstream out(path);
+  if (!out) throw mb::support::Error("cannot open " + path + " for writing");
+  out << mb::obs::to_json(ts) << '\n';
+  if (!out) throw mb::support::Error("write to " + path + " failed");
+  std::cerr << "wrote " << path << " (" << ts.times_s.size()
+            << " samples, " << ts.series.size() << " series)\n";
+}
+
+/// Reads a trace file, sniffing the format: mb-trace v1 (binary) or the
+/// Paraver text dump. Returns the capture-time drop count (mb-trace only).
+std::uint64_t load_trace(const std::string& path, mb::trace::Trace& trace) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw mb::support::Error("cannot open trace " + path);
+  if (mb::trace::is_mb_trace(in)) {
+    mb::trace::MbTraceFile file = mb::trace::read_mb_trace(in);
+    trace = std::move(file.trace);
+    return file.meta.dropped;
+  }
+  trace = mb::trace::parse_paraver(in);
+  return 0;
+}
 
 /// Campaign knobs shared by every sweeping command: --jobs, --no-cache,
 /// --cache-dir (see the campaign-opts note in usage()).
@@ -972,7 +1093,8 @@ int cmd_bench_suite(Options& opts) {
 /// Runs the Fig. 4 BigDFT-on-Tibidabo scenario with CLI overrides. The
 /// defaults match bench/fig4_trace.cpp: 36 ranks on 18 dual-core boards,
 /// 12 SCF iterations, the borderline-incast 12 MiB transpose.
-mb::apps::AppRunResult run_fig4_scenario(Options& opts) {
+mb::apps::AppRunResult run_fig4_scenario(Options& opts,
+                                         const std::string& spill_path = {}) {
   mb::apps::BigDftParams params;
   params.ranks = static_cast<std::uint32_t>(opts.get_u64("ranks", 36));
   params.iterations =
@@ -985,12 +1107,36 @@ mb::apps::AppRunResult run_fig4_scenario(Options& opts) {
       mb::apps::tibidabo_cluster(params.ranks / 2);
   cluster.sim_jobs =
       static_cast<std::uint32_t>(opts.get_u64("sim-jobs", 0));
-  mb::obs::ScopedSpan span(mb::obs::profiler(), "fig4/simulate");
-  return mb::apps::run_bigdft(cluster, params);
+  apply_capture_options(opts, cluster, params.seed);
+  if (!spill_path.empty()) {
+    // Stream straight into the mb-trace file: memory stays bounded no
+    // matter how many records the run emits.
+    cluster.streaming_trace = true;
+    cluster.trace_sink.spill_path = spill_path;
+    cluster.trace_sink.seed = params.seed;
+    cluster.trace_sink.tool_version = std::string(mb::support::version());
+    if (cluster.trace_sink.ring_capacity == 0)
+      cluster.trace_sink.ring_capacity = 65536;
+  }
+  mb::apps::AppRunResult result;
+  {
+    mb::obs::ScopedSpan span(mb::obs::profiler(), "fig4/simulate");
+    result = mb::apps::run_bigdft(cluster, params);
+  }
+  result.trace.set_provenance(std::string(mb::support::version()),
+                              params.seed);
+  if (result.trace_dropped > 0) {
+    std::cerr << "trace: ring overflow dropped " << result.trace_dropped
+              << " record(s); raise --trace-buffer or narrow "
+                 "--trace-ranks/--trace-kinds\n";
+  }
+  return result;
 }
 
 int cmd_fig4(Options& opts) {
-  const auto result = run_fig4_scenario(opts);
+  auto result = run_fig4_scenario(opts);
+  write_timeseries_artifact(opts, result.timeseries,
+                            effective_seed(opts, 1));
 
   mb::trace::CollectiveReport collectives;
   {
@@ -1059,16 +1205,29 @@ int cmd_fig4(Options& opts) {
 
 int cmd_trace_export(Options& opts) {
   const std::string format = opts.get_str("format", "chrome");
-  if (format != "chrome" && format != "paraver")
-    usage("--format must be 'paraver' or 'chrome', got '" + format + "'");
+  if (format != "chrome" && format != "paraver" && format != "mb-trace")
+    usage("--format must be 'paraver', 'chrome' or 'mb-trace', got '" +
+          format + "'");
+  if (format == "mb-trace" && !opts.has("out"))
+    usage("--format mb-trace writes a binary file and needs --out PATH");
+
+  // Simulate-to-mb-trace streams records into the file as the run
+  // produces them (bounded memory at any rank count) — no in-memory
+  // trace ever exists.
+  if (format == "mb-trace" && !opts.has("input")) {
+    const std::string path = opts.get_str("out", "");
+    const auto result = run_fig4_scenario(opts, path);
+    std::cerr << "wrote " << path << " (mb-trace, "
+              << result.trace_sampled_ranks.size()
+              << " sampled ranks streamed)\n";
+    return 0;
+  }
 
   mb::trace::Trace trace;
+  std::uint64_t dropped = 0;
   if (opts.has("input")) {
-    const std::string path = opts.get_str("input", "");
-    std::ifstream in(path);
-    if (!in) throw mb::support::Error("cannot open trace " + path);
     mb::obs::ScopedSpan span(mb::obs::profiler(), "trace-export/parse");
-    trace = mb::trace::parse_paraver(in);
+    dropped = load_trace(opts.get_str("input", ""), trace);
   } else {
     trace = run_fig4_scenario(opts).trace;
   }
@@ -1078,7 +1237,9 @@ int cmd_trace_export(Options& opts) {
   std::ostream* os = &std::cout;
   if (opts.has("out")) {
     const std::string path = opts.get_str("out", "");
-    file.open(path);
+    file.open(path, format == "mb-trace"
+                        ? std::ios::out | std::ios::binary
+                        : std::ios::out);
     if (!file)
       throw mb::support::Error("cannot open " + path + " for writing");
     os = &file;
@@ -1087,6 +1248,16 @@ int cmd_trace_export(Options& opts) {
     mb::obs::ChromeTraceOptions copt;
     copt.delay_factor = opts.get_f64("delay-factor", 2.0);
     mb::obs::write_chrome_trace(*os, trace, copt);
+  } else if (format == "mb-trace") {
+    mb::trace::MbTraceMeta meta;
+    meta.tool_version = trace.has_provenance()
+                            ? trace.tool_version()
+                            : std::string(mb::support::version());
+    meta.seed =
+        trace.has_provenance() ? trace.seed() : effective_seed(opts, 1);
+    meta.total_ranks = trace.ranks();
+    meta.dropped = dropped;
+    mb::trace::write_mb_trace(*os, trace, meta);
   } else {
     trace.write_paraver(*os);
   }
@@ -1098,13 +1269,69 @@ int cmd_trace_export(Options& opts) {
   return 0;
 }
 
-int cmd_obs_report(const std::string& path) {
+int cmd_analyze(Options& opts) {
+  mb::obs::AnalysisOptions aopt;
+  aopt.delay_factor = opts.get_f64("delay-factor", aopt.delay_factor);
+  aopt.late_fraction = opts.get_f64("late-fraction", aopt.late_fraction);
+  if (aopt.late_fraction <= 0.0 || aopt.late_fraction >= 1.0)
+    usage("--late-fraction must be in (0, 1)");
+  aopt.top = static_cast<std::size_t>(opts.get_u64("top", aopt.top));
+
+  mb::trace::Trace trace;
+  mb::obs::TimeSeries timeseries;
+  std::uint64_t dropped = 0;
+  if (opts.has("trace")) {
+    mb::obs::ScopedSpan span(mb::obs::profiler(), "analyze/parse");
+    dropped = load_trace(opts.get_str("trace", ""), trace);
+  } else {
+    auto result = run_fig4_scenario(opts);
+    write_timeseries_artifact(opts, result.timeseries,
+                              effective_seed(opts, 1));
+    trace = std::move(result.trace);
+    timeseries = std::move(result.timeseries);
+    dropped = result.trace_dropped;
+  }
+  if (opts.has("timeseries")) {
+    const std::string path = opts.get_str("timeseries", "");
+    std::ifstream in(path);
+    if (!in) throw mb::support::Error("cannot open timeseries " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    timeseries = mb::obs::timeseries_from_json(text.str());
+  }
+
+  mb::obs::Analysis analysis;
+  {
+    mb::obs::ScopedSpan span(mb::obs::profiler(), "analyze/analyze");
+    analysis = mb::obs::analyze_timeline(
+        trace, timeseries.empty() ? nullptr : &timeseries, aopt);
+  }
+  std::cout << mb::obs::render_analysis(analysis);
+  if (dropped > 0)
+    std::cerr << "note: capture dropped " << dropped
+              << " record(s); wait totals are a lower bound\n";
+  if (opts.has("json")) {
+    const std::string path = opts.get_str("json", "");
+    std::ofstream out(path);
+    if (!out)
+      throw mb::support::Error("cannot open " + path + " for writing");
+    out << mb::obs::to_json(analysis) << '\n';
+    if (!out) throw mb::support::Error("write to " + path + " failed");
+    std::cerr << "wrote " << path << " (mb-analysis v"
+              << analysis.schema_version << ")\n";
+  }
+  return 0;
+}
+
+int cmd_obs_report(const std::string& path, Options& opts) {
   std::ifstream in(path);
   if (!in) throw mb::support::Error("cannot open profile " + path);
   std::ostringstream text;
   text << in.rdbuf();
-  std::cout << mb::obs::render_profile(
-      mb::obs::profile_from_json(text.str()));
+  mb::obs::SpanRenderOptions ropt;  // hotspot sort is the default
+  ropt.top = static_cast<std::size_t>(opts.get_u64("top", 0));
+  std::cout << mb::obs::render_profile(mb::obs::profile_from_json(text.str()),
+                                       ropt);
   return 0;
 }
 
@@ -1388,6 +1615,7 @@ int cmd_chaos(const std::string& app, Options& opts) {
       static_cast<std::uint32_t>(opts.get_u64("send-retries", 3));
   scenario.max_restarts =
       static_cast<std::uint32_t>(opts.get_u64("max-restarts", 8));
+  apply_capture_options(opts, scenario.cluster, plan.seed);
   enforce_clean(mb::verify::lint_fault_plan(plan, scenario.cluster.nodes));
   scenario.plan = plan;
 
@@ -1419,6 +1647,9 @@ int cmd_chaos(const std::string& app, Options& opts) {
             << result.retransmits << " retransmits, "
             << result.injected_losses << " injected losses\n";
 
+  result.trace.set_provenance(std::string(mb::support::version()),
+                              plan.seed);
+  write_timeseries_artifact(opts, result.timeseries, plan.seed);
   if (opts.has("trace-out")) {
     const std::string path = opts.get_str("trace-out", "");
     std::ofstream out(path);
@@ -1481,9 +1712,14 @@ int dispatch(const std::vector<std::string>& args) {
     Options opts(args, 1);
     return cmd_trace_export(opts);
   }
+  if (cmd == "analyze") {
+    Options opts(args, 1);
+    return cmd_analyze(opts);
+  }
   if (cmd == "obs-report") {
     if (args.size() < 2) usage("obs-report needs <profile.json>");
-    return cmd_obs_report(args[1]);
+    Options opts(args, 2);
+    return cmd_obs_report(args[1], opts);
   }
   if (cmd == "compare") {
     if (args.size() < 3) usage("compare needs <baseline.json> <candidate.json>");
