@@ -107,7 +107,8 @@ std::string render_diagnostics(const Report& report) {
 }
 
 std::string diagnostics_to_json(const Report& report,
-                                std::string_view source) {
+                                std::string_view source,
+                                std::uint64_t seed) {
   support::JsonWriter w;
   w.begin_object();
   w.field("schema", "mb-diagnostics");
@@ -115,6 +116,7 @@ std::string diagnostics_to_json(const Report& report,
   w.field("tool", "mb_verify");
   w.field("tool_version", support::version());
   w.field("source", source);
+  w.field("seed", seed);
   w.key("counts").begin_object();
   w.field("error", static_cast<std::uint64_t>(report.errors()));
   w.field("warn", static_cast<std::uint64_t>(report.warnings()));

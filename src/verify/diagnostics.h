@@ -76,13 +76,16 @@ class Report {
 std::string render_diagnostics(const Report& report);
 
 /// JSON rendering — the "mb-diagnostics" schema, version 1:
-///   {schema, schema_version, tool, tool_version, source,
+///   {schema, schema_version, tool, tool_version, source, seed,
 ///    counts: {error, warn, note},
 ///    findings: [{rule, severity, rank?, op_index?, config_key?,
 ///                message, hint?}]}
-/// `source` names what was analyzed ("platform:snowball", "fig4", ...).
+/// `source` names what was analyzed ("platform:snowball", "fig4", ...);
+/// `seed` is the effective seed of the analyzed scenario (0 when the
+/// target is unseeded, e.g. a platform description).
 std::string diagnostics_to_json(const Report& report,
-                                std::string_view source);
+                                std::string_view source,
+                                std::uint64_t seed = 0);
 
 /// Publishes the report's severity tallies into the global metrics
 /// registry: verify.findings{severity=...} counters plus one

@@ -74,7 +74,12 @@ std::string describe_origin(const Program& program, std::uint32_t rank,
 }
 
 /// Structural scan (stage 1). Returns true when the program is sound
-/// enough for lowering + matching (stage 2).
+/// enough for lowering + matching (stage 2). Only errors that poison the
+/// *lowering itself* — mismatched collective sequences (MPI004), roots
+/// outside the rank space (MPI007), alltoallv counts of the wrong length
+/// (MPI008) — suppress stage 2; everything else (out-of-range peers, bad
+/// tags) is reported here and matching still runs, so one broken op no
+/// longer hides an unrelated deadlock or orphaned receive.
 bool structural_scan(const Program& program, Report& report) {
   const std::uint32_t ranks = program.ranks();
   bool matchable = true;
@@ -106,7 +111,8 @@ bool structural_scan(const Program& program, Report& report) {
                            std::to_string(ranks) + " ranks",
                        "peers must be in [0, " + std::to_string(ranks - 1) +
                            "]");
-            matchable = false;
+            // Matching still runs: lower_rank drops just this op, so an
+            // unrelated deadlock elsewhere is still reported.
           } else if (is_send && op.peer == r) {
             report.add(kRuleSelfSend, here,
                        "rank " + std::to_string(r) +
@@ -121,7 +127,8 @@ bool structural_scan(const Program& program, Report& report) {
                            " is inside the reserved collective tag space "
                            "(>= 65536)",
                        "user tags must stay below 65536");
-            matchable = false;
+            // Matching proceeds literally — exactly what the runtime
+            // would do with this tag.
           } else if (op.tag < 0) {
             report.add(kRuleTagOutOfRange, Severity::kWarn, here,
                        "negative user tag " + std::to_string(op.tag),
@@ -220,6 +227,10 @@ std::vector<AOp> lower_rank(const Program& program, std::uint32_t rank) {
       }
       tag_base += kTagsPerCollective;
     } else if (op.kind == Op::Kind::kSend || op.kind == Op::Kind::kRecv) {
+      // Ops naming a nonexistent peer (MPI006, already reported) are
+      // dropped from the schedule: they can never match, and keeping
+      // them would wedge this rank and hide every later finding.
+      if (op.peer >= program.ranks()) continue;
       out.push_back(AOp{op.kind == Op::Kind::kSend, op.peer, op.tag, i});
     }
   }

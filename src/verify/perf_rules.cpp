@@ -1,0 +1,250 @@
+#include "verify/perf_rules.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "verify/rules.h"
+
+namespace mb::verify {
+namespace {
+
+using mpi::Op;
+using mpi::Program;
+
+std::string fmt2(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+std::string fmt_kib(double bytes) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.0f KiB", bytes / 1024.0);
+  return buf;
+}
+
+/// PERF001: per-rank payload imbalance.
+void check_imbalance(const CostReport& cost, const PerfThresholds& t,
+                     Report& report) {
+  if (cost.ranks < 2 || cost.mean_rank_bytes <= 0.0) return;
+  std::uint32_t worst = 0;
+  for (std::uint32_t r = 1; r < cost.ranks; ++r)
+    if (cost.per_rank[r].bytes_sent > cost.per_rank[worst].bytes_sent)
+      worst = r;
+  const double max_bytes =
+      static_cast<double>(cost.per_rank[worst].bytes_sent);
+  const double ratio = max_bytes / cost.mean_rank_bytes;
+  if (ratio <= t.imbalance_ratio) return;
+  if (max_bytes - cost.mean_rank_bytes <
+      static_cast<double>(t.imbalance_floor_bytes))
+    return;
+  report.add(kRulePerfImbalance, Location::program(worst, 0),
+             "rank " + std::to_string(worst) + " sends " +
+                 fmt_kib(max_bytes) + ", " + fmt2(ratio) +
+                 "x the per-rank mean of " + fmt_kib(cost.mean_rank_bytes),
+             "spread the payload across ranks; one overloaded sender "
+             "serializes the whole exchange on its host link");
+}
+
+/// PERF002: an all-to-all style occurrence whose burst into one switch
+/// port exceeds the buffer — the Fig. 4 incast.
+void check_incast(const CostReport& cost, const CostDescriptor& d,
+                  const PerfThresholds& t, Report& report) {
+  double host_buffer = 0.0, uplink_buffer = 0.0;
+  for (const LinkClassCost& lc : cost.link_classes) {
+    if (lc.name == "host-down") host_buffer = lc.buffer_bytes;
+    if (lc.name == "uplink-up" || lc.name == "uplink-down")
+      uplink_buffer = lc.buffer_bytes;
+  }
+  for (const CollectiveCost& cc : cost.collectives) {
+    if (cc.kind != Op::Kind::kAlltoallv && cc.kind != Op::Kind::kAllgather)
+      continue;
+    const double down = static_cast<double>(cc.worst_host_down);
+    const double up = static_cast<double>(cc.worst_uplink);
+    const bool down_hot =
+        host_buffer > 0.0 && down > t.incast_ratio * host_buffer;
+    const bool up_hot =
+        uplink_buffer > 0.0 && up > t.incast_ratio * uplink_buffer;
+    if (!down_hot && !up_hot) continue;
+    const std::string where =
+        down_hot ? "a host downlink (" + fmt_kib(down) + " burst vs " +
+                       fmt_kib(host_buffer) + " buffer)"
+                 : "an uplink (" + fmt_kib(up) + " burst vs " +
+                       fmt_kib(uplink_buffer) + " buffer)";
+    report.add(
+        kRulePerfIncast, Location::program(0, cc.op_index),
+        "'" +
+            (cc.label.empty() ? std::string("collective") : cc.label) +
+            "' bursts past " + where +
+            " on this tree: frames will drop and retransmit (mtu " +
+            std::to_string(d.mtu_bytes) + ")",
+        "use deeper-buffered switches (upgraded tree), shrink the "
+        "exchange, or stagger the senders (pairwise exchange)");
+  }
+}
+
+/// PERF003: late-sender — already under contention-free assumptions a
+/// rank spends most of its time blocked in p2p receives.
+void check_late_sender(const CostReport& cost, const PerfThresholds& t,
+                       Report& report) {
+  if (cost.makespan_lower_s <= 0.0) return;
+  std::uint32_t worst = 0;
+  for (std::uint32_t r = 1; r < cost.ranks; ++r)
+    if (cost.per_rank[r].wait_p2p_lower_s >
+        cost.per_rank[worst].wait_p2p_lower_s)
+      worst = r;
+  const RankCost& rc = cost.per_rank[worst];
+  if (rc.wait_p2p_lower_s < t.late_sender_floor_s) return;
+  const double fraction = rc.wait_p2p_lower_s / cost.makespan_lower_s;
+  if (fraction <= t.late_sender_fraction) return;
+  report.add(kRulePerfLateSender,
+             Location::program(worst, rc.worst_wait_op),
+             "rank " + std::to_string(worst) + " is blocked in receives "
+             "for " + fmt2(100.0 * fraction) +
+             "% of the lower-bound makespan (" + fmt2(rc.wait_p2p_lower_s) +
+             " s of " + fmt2(cost.makespan_lower_s) +
+             " s) even with a contention-free network",
+             "the matching senders are structurally late: rebalance the "
+             "compute preceding their sends or post the sends earlier");
+}
+
+/// PERF004: checkpoint interval vs the fault plan's crash rate (Young's
+/// first-order optimum: interval* = sqrt(2 * MTBF * checkpoint_cost)).
+void check_checkpoint(const CostReport& cost, const fault::FaultPlan* plan,
+                      const PerfThresholds& t, Report& report) {
+  if (plan == nullptr || plan->crashes.empty()) return;
+  if (!plan->checkpoint.enabled) {
+    report.add(kRulePerfCheckpointInterval,
+               Location::config("checkpoint.enabled"),
+               "the fault plan crashes " +
+                   std::to_string(plan->crashes.size()) +
+                   " node(s) but checkpointing is disabled: every crash "
+                   "loses the whole run so far",
+               "enable coordinated checkpointing or drop the crashes "
+               "from the plan");
+    return;
+  }
+  double last_crash = 0.0;
+  for (const auto& c : plan->crashes) last_crash = std::max(last_crash, c.at_s);
+  const double horizon = std::max(cost.makespan_lower_s, last_crash);
+  if (horizon <= 0.0) return;
+  const double mtbf =
+      horizon / static_cast<double>(plan->crashes.size());
+  const double cost_s = plan->checkpoint.state_bytes_per_rank /
+                        plan->checkpoint.write_bandwidth_bytes_per_s;
+  const double optimal = std::sqrt(2.0 * mtbf * cost_s);
+  const double interval = plan->checkpoint.interval_s;
+  if (interval > t.checkpoint_band * optimal) {
+    report.add(kRulePerfCheckpointInterval,
+               Location::config("checkpoint.interval_s"),
+               "checkpoint interval " + fmt2(interval) + " s is " +
+                   fmt2(interval / optimal) + "x Young's optimum " +
+                   fmt2(optimal) + " s for MTBF " + fmt2(mtbf) +
+                   " s: expected lost work per crash dwarfs the "
+                   "checkpoint cost",
+               "set the interval near sqrt(2 * MTBF * checkpoint_cost) = " +
+                   fmt2(optimal) + " s");
+  } else if (interval * t.checkpoint_band < optimal) {
+    report.add(kRulePerfCheckpointInterval,
+               Location::config("checkpoint.interval_s"),
+               "checkpoint interval " + fmt2(interval) +
+                   " s is far below Young's optimum " + fmt2(optimal) +
+                   " s for MTBF " + fmt2(mtbf) +
+                   " s: checkpoint overhead dominates between crashes",
+               "set the interval near sqrt(2 * MTBF * checkpoint_cost) = " +
+                   fmt2(optimal) + " s");
+  }
+}
+
+/// PERF005: ring/pipeline-shaped p2p traffic where a large byte fraction
+/// crosses the root switch — renumbering ranks would keep neighbours
+/// inside one leaf subtree.
+void check_mapping(const Program& program, const CostDescriptor& d,
+                   const CostReport& cost, const PerfThresholds& t,
+                   Report& report) {
+  if (cost.leaves < 2) return;
+  const std::uint32_t ranks = program.ranks();
+  const std::uint32_t per_leaf = d.cores_per_node * d.tree.switch_ports;
+  std::uint64_t total = 0, cross = 0;
+  std::uint32_t max_degree = 0;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    std::set<std::uint32_t> peers;
+    for (const Op& op : program.rank(r)) {
+      if (op.kind != Op::Kind::kSend && op.kind != Op::Kind::kRecv)
+        continue;
+      if (op.peer >= ranks) return;  // structurally broken; not our call
+      peers.insert(op.peer);
+      if (op.kind != Op::Kind::kSend) continue;
+      total += op.bytes;
+      if (r / per_leaf != op.peer / per_leaf) cross += op.bytes;
+    }
+    max_degree =
+        std::max(max_degree, static_cast<std::uint32_t>(peers.size()));
+  }
+  if (total == 0 || max_degree > t.mapping_max_degree) return;
+  const double fraction =
+      static_cast<double>(cross) / static_cast<double>(total);
+  if (fraction <= t.mapping_cross_fraction) return;
+  report.add(
+      kRulePerfCrossSwitchMapping, Location::config("rank_mapping"),
+      "the point-to-point pattern is neighbour-shaped (degree <= " +
+          std::to_string(max_degree) + ") yet " +
+          fmt2(100.0 * fraction) +
+          "% of its bytes cross the root switch on this " +
+          std::to_string(cost.leaves) + "-leaf tree",
+      "renumber ranks so communicating neighbours land in the same leaf "
+      "subtree (contiguous blocks of " + std::to_string(per_leaf) +
+          " ranks per leaf)");
+}
+
+/// PERF006: collective algorithm mismatched to the message size. The
+/// ring allreduce moves 2(p-1) rounds of bytes/p — bandwidth-optimal,
+/// but pure latency when the segment is smaller than one frame.
+void check_collective_algorithm(const CostReport& cost,
+                                const CostDescriptor& d,
+                                const PerfThresholds& t, Report& report) {
+  for (const CollectiveCost& cc : cost.collectives) {
+    if (cc.kind != Op::Kind::kAllreduce) continue;
+    if (cost.ranks < t.allreduce_min_ranks) continue;
+    // payload_bytes sums the lowered sends over every rank: p ranks each
+    // send 2(p-1) segments of bytes/p, so one segment is the total over
+    // p * 2(p-1).
+    const std::uint64_t rounds = 2ull * (cost.ranks - 1);
+    const std::uint64_t chunk =
+        cc.payload_bytes /
+        std::max<std::uint64_t>(1, rounds * cost.ranks);
+    if (chunk >= d.mtu_bytes) continue;
+    report.add(
+        kRulePerfCollectiveAlgorithm, Location::program(0, cc.op_index),
+        "'" + (cc.label.empty() ? std::string("allreduce") : cc.label) +
+            "' ring-allreduces " + std::to_string(chunk) +
+            " B segments over " + std::to_string(rounds) +
+            " rounds: at this size the collective is pure latency",
+        "a recursive-doubling/binomial allreduce needs only 2*log2(" +
+            std::to_string(cost.ranks) + ") latency-bound rounds for "
+            "sub-MTU payloads");
+  }
+}
+
+}  // namespace
+
+Report perf_pass(const mpi::Program& program,
+                 const CostDescriptor& descriptor, const CostReport& cost,
+                 const fault::FaultPlan* plan,
+                 const PerfThresholds& thresholds) {
+  Report report;
+  check_imbalance(cost, thresholds, report);
+  check_incast(cost, descriptor, thresholds, report);
+  check_late_sender(cost, thresholds, report);
+  check_checkpoint(cost, plan, thresholds, report);
+  check_mapping(program, descriptor, cost, thresholds, report);
+  check_collective_algorithm(cost, descriptor, thresholds, report);
+  publish_diagnostics(report, "perf");
+  return report;
+}
+
+}  // namespace mb::verify

@@ -1,0 +1,63 @@
+// PERF001-PERF006: performance smells derived from the static cost facts.
+//
+// Where the MPI pass proves a program *wrong* (deadlock, unmatched sends),
+// this pass flags programs that are *slow on this tree* — the paper's
+// findings turned into rules. Every rule keys on CostReport facts, so the
+// pass costs nothing beyond the analyze_cost walk that produced them:
+//
+//   PERF001  payload imbalance: one rank moves far more bytes than the
+//            mean (the load-balancing failure SPECFEM3D avoids).
+//   PERF002  incast: an all-to-all occurrence bursts more bytes into one
+//            switch port than its buffer holds — the Fig. 4 delayed
+//            collectives on the cheap 128 KB switches.
+//   PERF003  late sender: a rank's lower-bound schedule already spends a
+//            large fraction of the run blocked in p2p receives.
+//   PERF004  checkpoint interval far from Young's optimum sqrt(2*MTBF*C)
+//            for the fault plan's crash rate.
+//   PERF005  ring/pipeline neighbour traffic crossing the root switch:
+//            a contiguous rank mapping would keep it inside one leaf.
+//   PERF006  collective algorithm vs message size: the ring allreduce is
+//            bandwidth-optimal but latency-bound for tiny payloads.
+//
+// Thresholds live in PerfThresholds so fixtures and future advisor
+// integration can tighten or relax them without touching the pass.
+#pragma once
+
+#include "fault/plan.h"
+#include "verify/diagnostics.h"
+#include "verify/static_cost.h"
+
+namespace mb::verify {
+
+struct PerfThresholds {
+  /// PERF001: fire when max/mean per-rank sent bytes exceeds this and the
+  /// absolute excess also clears the floor (tiny programs stay quiet).
+  double imbalance_ratio = 4.0;
+  std::uint64_t imbalance_floor_bytes = 1u << 20;
+  /// PERF002: burst-to-buffer ratio that counts as congestion-prone.
+  double incast_ratio = 1.0;
+  /// PERF003: fraction of the lower-bound makespan a rank may spend
+  /// blocked in p2p receives, plus an absolute floor.
+  double late_sender_fraction = 0.3;
+  double late_sender_floor_s = 1e-3;
+  /// PERF004: accepted band around Young's optimal interval.
+  double checkpoint_band = 4.0;
+  /// PERF005: neighbour degree that still counts as ring/pipeline-like,
+  /// and the cross-root byte fraction that trips the rule.
+  std::uint32_t mapping_max_degree = 2;
+  double mapping_cross_fraction = 0.25;
+  /// PERF006: ring allreduce is latency-bound when the per-rank segment
+  /// is below one MTU and there are at least this many ranks.
+  std::uint32_t allreduce_min_ranks = 8;
+};
+
+/// Runs the PERF pass over a program and its cost report. `plan` is
+/// optional (PERF004 needs a fault plan to reason about; pass nullptr
+/// when the scenario has none). Tallies are published to obs::metrics()
+/// under pass="perf".
+Report perf_pass(const mpi::Program& program,
+                 const CostDescriptor& descriptor, const CostReport& cost,
+                 const fault::FaultPlan* plan = nullptr,
+                 const PerfThresholds& thresholds = {});
+
+}  // namespace mb::verify

@@ -58,6 +58,21 @@ const std::vector<RuleInfo>& all_rules() {
        "< 1, probability outside [0,1))"},
       {kRuleFaultHighLoss, "lint", Severity::kWarn,
        "frame-loss probability above 0.5 — the link barely functions"},
+      {kRulePerfImbalance, "perf", Severity::kWarn,
+       "per-rank payload imbalance: one rank moves far more bytes than "
+       "the mean"},
+      {kRulePerfIncast, "perf", Severity::kWarn,
+       "all-to-all burst exceeds a switch buffer on this tree (incast)"},
+      {kRulePerfLateSender, "perf", Severity::kWarn,
+       "late-sender pattern: a rank spends most of its time blocked in "
+       "point-to-point receives"},
+      {kRulePerfCheckpointInterval, "perf", Severity::kWarn,
+       "checkpoint interval inconsistent with the fault plan's MTBF"},
+      {kRulePerfCrossSwitchMapping, "perf", Severity::kWarn,
+       "neighbour communication crosses the root switch: a contiguous "
+       "rank mapping would keep it inside one leaf"},
+      {kRulePerfCollectiveAlgorithm, "perf", Severity::kWarn,
+       "collective algorithm mismatched to the message size"},
   };
   return kRules;
 }

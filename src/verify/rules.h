@@ -57,4 +57,12 @@ inline constexpr std::string_view kRuleFaultCheckpointConfig = "FLT003";
 inline constexpr std::string_view kRuleFaultBadValue = "FLT004";
 inline constexpr std::string_view kRuleFaultHighLoss = "FLT005";
 
+// --- Pass 3: static performance analyzer (verify/perf_rules.h) ------------
+inline constexpr std::string_view kRulePerfImbalance = "PERF001";
+inline constexpr std::string_view kRulePerfIncast = "PERF002";
+inline constexpr std::string_view kRulePerfLateSender = "PERF003";
+inline constexpr std::string_view kRulePerfCheckpointInterval = "PERF004";
+inline constexpr std::string_view kRulePerfCrossSwitchMapping = "PERF005";
+inline constexpr std::string_view kRulePerfCollectiveAlgorithm = "PERF006";
+
 }  // namespace mb::verify

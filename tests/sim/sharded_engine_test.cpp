@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <utility>
@@ -93,13 +94,17 @@ TEST(ShardedEngine, CrossShardScheduleInsideLookaheadWindowThrows) {
 TEST(ShardedEngine, StatsSumOverShards) {
   ShardedEngine engine(2);
   engine.configure({0, 1}, 2, 0.5);
-  int fired = 0;
+  // The two shards run on different workers, so the shared counter must
+  // be atomic (relaxed is enough: run_all() joins before the read).
+  std::atomic<int> fired{0};
   for (std::uint32_t node = 0; node < 2; ++node) {
-    engine.schedule(node, 0.1, [&fired] { ++fired; });
-    engine.schedule(node, 0.2, [&fired] { ++fired; });
+    engine.schedule(node, 0.1,
+                    [&fired] { fired.fetch_add(1, std::memory_order_relaxed); });
+    engine.schedule(node, 0.2,
+                    [&fired] { fired.fetch_add(1, std::memory_order_relaxed); });
   }
   engine.run_all();
-  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(fired.load(), 4);
   const SchedulerStats stats = engine.stats();
   EXPECT_EQ(stats.executed, 4u);
   EXPECT_EQ(stats.scheduled, 4u);

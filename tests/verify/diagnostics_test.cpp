@@ -15,13 +15,24 @@ namespace {
 
 TEST(Rules, RegistryCoversAllPublishedIds) {
   const auto& rules = all_rules();
-  ASSERT_GE(rules.size(), 12u);  // the issue's floor; we ship 21
+  ASSERT_GE(rules.size(), 12u);  // the issue's floor; we ship 27
   std::set<std::string_view> ids;
   for (const RuleInfo& rule : rules) {
     EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate id " << rule.id;
-    EXPECT_EQ(rule.id.size(), 6u) << rule.id;
-    EXPECT_TRUE(rule.pass == "mpi" || rule.pass == "lint") << rule.id;
+    EXPECT_TRUE(rule.id.size() == 6u || rule.id.size() == 7u) << rule.id;
+    EXPECT_TRUE(rule.pass == "mpi" || rule.pass == "lint" ||
+                rule.pass == "perf")
+        << rule.id;
     EXPECT_FALSE(rule.summary.empty()) << rule.id;
+  }
+  for (const auto id : {kRulePerfImbalance, kRulePerfIncast,
+                        kRulePerfLateSender, kRulePerfCheckpointInterval,
+                        kRulePerfCrossSwitchMapping,
+                        kRulePerfCollectiveAlgorithm}) {
+    const RuleInfo* rule = find_rule(id);
+    ASSERT_NE(rule, nullptr) << id;
+    EXPECT_EQ(rule->pass, "perf") << id;
+    EXPECT_EQ(rule->severity, Severity::kWarn) << id;
   }
 }
 
@@ -99,11 +110,14 @@ TEST(Diagnostics, JsonDocumentRoundTrips) {
   report.add(kRuleOrphanedRecv, Location::program(5, 9), "stuck recv",
              "check the tag");
   report.add(kRulePowerBounds, Location::config("big.power_w"), "too hot");
-  const auto doc = support::parse_json(diagnostics_to_json(report, "unit"));
+  const auto doc =
+      support::parse_json(diagnostics_to_json(report, "unit", 42));
   EXPECT_EQ(doc.at("schema").as_string(), "mb-diagnostics");
   EXPECT_EQ(doc.at("schema_version").as_number(), 1.0);
   EXPECT_EQ(doc.at("tool").as_string(), "mb_verify");
+  EXPECT_FALSE(doc.at("tool_version").as_string().empty());
   EXPECT_EQ(doc.at("source").as_string(), "unit");
+  EXPECT_EQ(doc.at("seed").as_number(), 42.0);
   EXPECT_EQ(doc.at("counts").at("error").as_number(), 1.0);
   EXPECT_EQ(doc.at("counts").at("warn").as_number(), 1.0);
   const auto& findings = doc.at("findings").as_array();

@@ -154,8 +154,38 @@ TEST(MpiVerify, Mpi006PeerOutOfRange) {
   const Report report = verify_program(p);
   EXPECT_TRUE(report.has_rule(kRulePeerOutOfRange));
   EXPECT_TRUE(report.has_errors());
-  // Structural errors poison matching: the skip note is present.
-  EXPECT_GE(report.notes(), 1u);
+}
+
+// MPI006 must not hide unrelated findings: matching still runs with the
+// broken op dropped, so the deadlock between ranks 1 and 2 is reported
+// alongside the out-of-range peer (the old first-error short-circuit
+// suppressed it).
+TEST(MpiVerify, Mpi006DoesNotHideAnIndependentDeadlock) {
+  Program p(3);
+  p.rank(0).push_back(Op::send(7, 64, 1));  // MPI006: peer 7 of 3
+  p.rank(1).push_back(Op::recv(2, 5));      // tag mismatch cycle
+  p.rank(1).push_back(Op::send(2, 64, 4));
+  p.rank(2).push_back(Op::recv(1, 6));
+  p.rank(2).push_back(Op::send(1, 64, 3));
+  const Report report = verify_program(p);
+  EXPECT_TRUE(report.has_rule(kRulePeerOutOfRange))
+      << render_diagnostics(report);
+  EXPECT_TRUE(report.has_rule(kRuleDeadlockCycle))
+      << render_diagnostics(report);
+}
+
+// Same for MPI010 (reserved-space tag): the warning fires and matching
+// proceeds literally, so a clean schedule stays otherwise clean.
+TEST(MpiVerify, Mpi010DoesNotSuppressMatching) {
+  Program p(2);
+  p.rank(0).push_back(Op::send(1, 64, 1 << 16));
+  p.rank(1).push_back(Op::recv(0, 1 << 16));
+  p.rank(0).push_back(Op::recv(1, 9));  // unmatched: MPI002
+  const Report report = verify_program(p);
+  EXPECT_TRUE(report.has_rule(kRuleTagOutOfRange))
+      << render_diagnostics(report);
+  EXPECT_TRUE(report.has_rule(kRuleOrphanedRecv))
+      << render_diagnostics(report);
 }
 
 TEST(MpiVerify, Mpi007RootOutOfRange) {

@@ -1,0 +1,134 @@
+// Property suite for the static cost interpreter: for seeded
+// configurations of all three paper apps the static per-rank byte
+// counts must equal what the DES-backed runtime actually moves, and the
+// static makespan bounds must bracket the simulated makespan
+// (lower <= DES <= upper). This is the soundness contract behind
+// `mbctl analyze-static` — predictions you can trust before paying for
+// a simulation.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/bigdft.h"
+#include "apps/cluster.h"
+#include "apps/hpl.h"
+#include "apps/specfem.h"
+#include "obs/metrics.h"
+#include "verify/mpi_verify.h"
+#include "verify/static_cost.h"
+
+namespace mb::verify {
+namespace {
+
+/// Slack for the float-summed DES counters vs the exact integer static
+/// counts, and for bound comparisons at the makespan scale.
+constexpr double kRelTol = 1e-9;
+
+struct BoundCheck {
+  std::string name;
+  mpi::Program program;
+  apps::ClusterConfig cluster;
+};
+
+/// Runs the DES and asserts the static facts bracket it.
+void expect_brackets(const BoundCheck& check) {
+  SCOPED_TRACE(check.name);
+  const mpi::Program& program = check.program;
+
+  // The bounds are only claimed for programs that verify clean.
+  const Report verdict = verify_program(program);
+  ASSERT_FALSE(verdict.has_errors()) << render_diagnostics(verdict);
+
+  CostDescriptor d;
+  d.tree = check.cluster.tree;
+  d.cores_per_node = check.cluster.cores_per_node;
+  d.mtu_bytes = check.cluster.mtu_bytes;
+  d.mpi = check.cluster.mpi;
+  const CostReport cost = analyze_cost(program, d);
+
+  obs::Registry& registry = obs::metrics();
+  registry.reset_for_test();
+  const auto result = apps::run_on_cluster(check.cluster, program);
+  ASSERT_TRUE(result.completed);
+  const double makespan_s = result.makespan_s;
+
+  // Exact traffic: the runtime counts payload bytes per rank.
+  for (std::uint32_t r = 0; r < program.ranks(); ++r) {
+    const double sent =
+        registry
+            .counter("mpi.bytes_sent", {{"rank", std::to_string(r)}})
+            .value();
+    const double received =
+        registry
+            .counter("mpi.bytes_received", {{"rank", std::to_string(r)}})
+            .value();
+    EXPECT_NEAR(sent, static_cast<double>(cost.per_rank[r].bytes_sent),
+                kRelTol * std::max(1.0, sent))
+        << "rank " << r;
+    EXPECT_NEAR(received,
+                static_cast<double>(cost.per_rank[r].bytes_received),
+                kRelTol * std::max(1.0, received))
+        << "rank " << r;
+  }
+
+  // Bounds bracket the DES makespan.
+  EXPECT_LE(cost.makespan_lower_s, makespan_s * (1.0 + kRelTol))
+      << "lower bound above the simulated makespan";
+  EXPECT_GE(cost.makespan_upper_s, makespan_s * (1.0 - kRelTol))
+      << "upper bound below the simulated makespan";
+  EXPECT_GT(makespan_s, 0.0);
+}
+
+BoundCheck make_bigdft(std::uint32_t ranks, std::uint64_t seed) {
+  apps::BigDftParams p;
+  p.ranks = ranks;
+  p.iterations = 2;
+  p.compute_s_per_iter = 0.4;
+  p.transpose_bytes = 8ull << 20;
+  p.seed = seed;
+  return {"bigdft-" + std::to_string(ranks) + "-s" + std::to_string(seed),
+          apps::bigdft_program(p), apps::tibidabo_cluster(ranks / 2)};
+}
+
+BoundCheck make_hpl(std::uint32_t ranks) {
+  apps::HplParams p;
+  p.ranks = ranks;
+  p.n = 2048;
+  p.block = 128;
+  return {"hpl-" + std::to_string(ranks), apps::hpl_program(p),
+          apps::tibidabo_cluster(ranks / 2)};
+}
+
+BoundCheck make_specfem(std::uint32_t ranks, std::uint64_t seed,
+                        bool upgraded = false) {
+  apps::SpecfemParams p;
+  p.ranks = ranks;
+  p.steps = 4;
+  p.compute_s_per_step = 2.0;
+  p.seed = seed;
+  return {"specfem-" + std::to_string(ranks) + "-s" + std::to_string(seed),
+          apps::specfem_program(p),
+          upgraded ? apps::upgraded_cluster(ranks / 2)
+                   : apps::tibidabo_cluster(ranks / 2)};
+}
+
+TEST(StaticBoundsProperty, BigDftTibidabo64) {
+  expect_brackets(make_bigdft(64, 1));
+  expect_brackets(make_bigdft(64, 9));
+}
+
+TEST(StaticBoundsProperty, HplTibidabo64) { expect_brackets(make_hpl(64)); }
+
+TEST(StaticBoundsProperty, SpecfemTibidabo256) {
+  expect_brackets(make_specfem(256, 1));
+  expect_brackets(make_specfem(256, 5));
+}
+
+TEST(StaticBoundsProperty, SpecfemUpgraded1024) {
+  expect_brackets(make_specfem(1024, 1, /*upgraded=*/true));
+}
+
+}  // namespace
+}  // namespace mb::verify

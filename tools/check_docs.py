@@ -17,6 +17,9 @@ Checks
      undocumented on any command that grows it).
   4. Every relative markdown link in the curated docs resolves to an
      existing file (anchors are stripped; external URLs are ignored).
+  5. Every JSON schema name a writer stamps in src/ ("schema",
+     "mb-...") has a '## `mb-...`' section in docs/schemas.md — a new
+     document format cannot ship undocumented.
 """
 
 import os
@@ -148,6 +151,33 @@ def check_exit_codes(errors):
                           "src/support/exit_codes.h is not documented")
 
 
+SCHEMA_STAMP_RE = re.compile(r'"schema",\s*"(mb-[a-z-]+)"')
+
+
+def emitted_schemas():
+    """Schema names stamped by JSON writers anywhere under src/."""
+    names = set()
+    for root, _dirs, files in os.walk(os.path.join(REPO, "src")):
+        for name in files:
+            if not name.endswith((".cpp", ".h")):
+                continue
+            rel = os.path.relpath(os.path.join(root, name), REPO)
+            names.update(SCHEMA_STAMP_RE.findall(read(rel)))
+    return names
+
+
+def check_schemas(errors):
+    documented = set(re.findall(r"^## `(mb-[a-z-]+)`", read("docs/schemas.md"),
+                                re.MULTILINE))
+    emitted = emitted_schemas()
+    if not emitted:
+        errors.append("could not find any schema stamps under src/; "
+                      "update or drop this check")
+    for missing in sorted(emitted - documented):
+        errors.append(f"docs/schemas.md: schema `{missing}` is written by "
+                      f"src/ but has no '## `{missing}`' section")
+
+
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
@@ -171,6 +201,7 @@ def main():
     check_exit_codes(errors)
     check_sim_jobs(errors)
     check_links(errors)
+    check_schemas(errors)
     if errors:
         fail(errors)
     print("check_docs: OK")

@@ -53,7 +53,15 @@
 //       --json PATH
 //   mbctl verify-mpi <app> [opts]        static MPI program verifier (pass 1)
 //       apps: fig4 | bigdft | hpl | specfem | demo-deadlock
-//       --ranks N --json PATH
+//       --ranks N --json PATH [--cost: also run the pass-3 cost
+//       interpreter and PERF rules when the program verifies clean]
+//   mbctl analyze-static <app> [opts]    abstract cost interpreter (pass 3)
+//       apps: fig4 | bigdft | hpl | specfem
+//       --ranks N --tree tibidabo|upgraded --mtu N --faults plan.json
+//       --seed N --json PATH — predicts per-rank/aggregate traffic,
+//       makespan lower/upper bounds and buffer pressure WITHOUT running
+//       the DES, then applies the PERF001-PERF006 rule pack; --json
+//       writes the versioned mb-static-analysis document
 //
 // lint and verify-mpi exit 0 when no error-severity findings exist and 3
 // otherwise (same convention as compare); --json writes the versioned
@@ -125,7 +133,9 @@
 #include "trace/trace.h"
 #include "verify/fault_lint.h"
 #include "verify/mpi_verify.h"
+#include "verify/perf_rules.h"
 #include "verify/platform_lint.h"
+#include "verify/static_cost.h"
 
 namespace {
 
@@ -167,7 +177,14 @@ using mb::support::kExitUsage;
       "  lint <platform|tibidabo-tree|upgraded-tree> [--nodes N]\n"
       "           [--json PATH]\n"
       "  verify-mpi <fig4|bigdft|hpl|specfem|demo-deadlock> [--ranks N]\n"
-      "           [--json PATH]\n"
+      "           [--cost] [--tree tibidabo|upgraded] [--mtu N] [--seed N]\n"
+      "           [--json PATH] [app opts]\n"
+      "  analyze-static <fig4|bigdft|hpl|specfem> [--ranks N]\n"
+      "           [--tree tibidabo|upgraded] [--mtu N] [--faults plan.json]\n"
+      "           [--seed N] [--json PATH] [app opts]\n"
+      "           (app opts: bigdft/fig4 --iterations N --compute-s X\n"
+      "           --transpose-mb N; hpl --n N --block N; specfem --steps N\n"
+      "           --compute-s X --halo-kb N)\n"
       "  chaos <bigdft|hpl|specfem> --faults plan.json [--ranks N]\n"
       "           [--checkpoint on|off] [--checkpoint-interval X]\n"
       "           [--checkpoint-mb N] [--recv-timeout X] [--send-retries N]\n"
@@ -197,6 +214,9 @@ using mb::support::kExitUsage;
       "exit codes (all commands): 0 = success, 2 = usage error, 3 = the\n"
       "run worked but the answer is bad (error findings, confirmed\n"
       "regression, or an unrecovered chaos scenario)\n";
+  // Usage errors abort before any worker pool is spawned, so the
+  // multi-thread exit() hazard does not apply.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   std::exit(error.empty() ? kExitOk : kExitUsage);
 }
 
@@ -220,7 +240,7 @@ mb::arch::Platform resolve_platform(const std::string& spec) {
 class Options {
  public:
   Options(const std::vector<std::string>& args, std::size_t first) {
-    static const std::vector<std::string> kValueless = {"no-cache"};
+    static const std::vector<std::string> kValueless = {"no-cache", "cost"};
     for (std::size_t i = first; i < args.size(); ++i) {
       const std::string& key = args[i];
       if (key.rfind("--", 0) != 0) usage("unexpected argument " + key);
@@ -278,6 +298,9 @@ class Options {
 /// each step need not thread it through), then the command's default.
 std::uint64_t effective_seed(Options& opts, std::uint64_t fallback) {
   if (opts.has("seed")) return opts.get_u64("seed", fallback);
+  // Read during single-threaded argument parsing, before any worker pool
+  // exists, so the mt-unsafe getenv race cannot occur.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("MB_SEED")) {
     const std::string text(env);
     try {
@@ -1457,10 +1480,10 @@ int cmd_version() {
 
 void write_diagnostics_json(const mb::verify::Report& report,
                             const std::string& source,
-                            const std::string& path) {
+                            const std::string& path, std::uint64_t seed) {
   std::ofstream out(path);
   if (!out) throw mb::support::Error("cannot open " + path + " for writing");
-  out << mb::verify::diagnostics_to_json(report, source);
+  out << mb::verify::diagnostics_to_json(report, source, seed);
   if (!out) throw mb::support::Error("write to " + path + " failed");
   std::cerr << "wrote " << path << " (" << report.findings().size()
             << " finding(s))\n";
@@ -1485,7 +1508,8 @@ int cmd_lint(const std::string& target, Options& opts) {
   std::cout << "lint " << source << ":\n"
             << mb::verify::render_diagnostics(report);
   if (opts.has("json"))
-    write_diagnostics_json(report, source, opts.get_str("json", ""));
+    write_diagnostics_json(report, source, opts.get_str("json", ""),
+                           effective_seed(opts, 0));
   return report.has_errors() ? kExitFindings : kExitOk;
 }
 
@@ -1495,6 +1519,8 @@ int cmd_lint(const std::string& target, Options& opts) {
 void enforce_clean(const mb::verify::Report& report) {
   if (!report.has_errors()) return;
   std::cerr << mb::verify::render_diagnostics(report);
+  // Configuration lint runs before the simulation spins up any threads.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   std::exit(kExitFindings);
 }
 
@@ -1511,38 +1537,174 @@ mb::mpi::Program demo_deadlock_program() {
   return program;
 }
 
-int cmd_verify_mpi(const std::string& app, Options& opts) {
-  mb::mpi::Program program(1);
+/// Builds the app program the static passes (verify-mpi, analyze-static)
+/// target. The per-app knobs mirror chaos/fig4 so a predicted scenario is
+/// the same one the DES commands run.
+mb::mpi::Program build_static_target(const std::string& app, Options& opts,
+                                     std::uint64_t seed,
+                                     const std::string& command) {
   if (app == "fig4" || app == "bigdft") {
     mb::apps::BigDftParams params;
     params.ranks = static_cast<std::uint32_t>(
         opts.get_u64("ranks", app == "fig4" ? 36 : 8));
+    params.iterations = static_cast<std::uint32_t>(
+        opts.get_u64("iterations", params.iterations));
+    params.compute_s_per_iter =
+        opts.get_f64("compute-s", params.compute_s_per_iter);
+    params.transpose_bytes =
+        opts.get_u64("transpose-mb", params.transpose_bytes >> 20) << 20;
+    params.seed = seed;
     enforce_clean(mb::verify::lint_rank_count(params.ranks, 2, "--ranks"));
-    program = mb::apps::bigdft_program(params);
-  } else if (app == "hpl") {
+    return mb::apps::bigdft_program(params);
+  }
+  if (app == "hpl") {
     mb::apps::HplParams params;
     params.ranks = static_cast<std::uint32_t>(opts.get_u64("ranks", 16));
+    params.n = static_cast<std::uint32_t>(opts.get_u64("n", params.n));
+    params.block =
+        static_cast<std::uint32_t>(opts.get_u64("block", params.block));
     enforce_clean(mb::verify::lint_rank_count(params.ranks, 2, "--ranks"));
-    program = mb::apps::hpl_program(params);
-  } else if (app == "specfem") {
+    return mb::apps::hpl_program(params);
+  }
+  if (app == "specfem") {
     mb::apps::SpecfemParams params;
     params.ranks = static_cast<std::uint32_t>(opts.get_u64("ranks", 8));
+    params.steps =
+        static_cast<std::uint32_t>(opts.get_u64("steps", params.steps));
+    params.compute_s_per_step =
+        opts.get_f64("compute-s", params.compute_s_per_step);
+    params.halo_bytes = opts.get_u64("halo-kb", params.halo_bytes >> 10)
+                        << 10;
+    params.seed = seed;
     enforce_clean(mb::verify::lint_rank_count(params.ranks, 2, "--ranks"));
-    program = mb::apps::specfem_program(params);
-  } else if (app == "demo-deadlock") {
-    program = demo_deadlock_program();
-  } else {
-    usage("unknown verify-mpi app '" + app +
-          "' (fig4|bigdft|hpl|specfem|demo-deadlock)");
+    return mb::apps::specfem_program(params);
   }
+  usage("unknown " + command + " app '" + app + "'");
+}
 
-  const auto report = mb::verify::verify_program(program);
+/// The platform half of an analyze-static / verify-mpi --cost question:
+/// --tree picks the switch generation, --mtu the frame granularity. The
+/// node count follows the program (2 ranks per node, as every cluster
+/// command packs them).
+mb::verify::CostDescriptor descriptor_for(const mb::mpi::Program& program,
+                                          Options& opts) {
+  mb::verify::CostDescriptor d;
+  const std::uint32_t nodes = program.ranks() / d.cores_per_node;
+  const std::string tree = opts.get_str("tree", "tibidabo");
+  if (tree == "tibidabo") {
+    d.tree = mb::net::tibidabo_tree(nodes);
+  } else if (tree == "upgraded") {
+    d.tree = mb::net::upgraded_tree(nodes);
+  } else {
+    usage("--tree expects tibidabo|upgraded, got '" + tree + "'");
+  }
+  d.mtu_bytes =
+      static_cast<std::uint32_t>(opts.get_u64("mtu", d.mtu_bytes));
+  if (d.mtu_bytes == 0) usage("--mtu must be positive");
+  return d;
+}
+
+/// Loads the optional --faults plan (PERF004 input). Returns false when
+/// the flag is absent.
+bool load_fault_plan(Options& opts, mb::fault::FaultPlan& plan) {
+  if (!opts.has("faults")) return false;
+  const std::string path = opts.get_str("faults", "");
+  std::ifstream in(path);
+  if (!in) usage("cannot open fault plan " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  plan = mb::fault::plan_from_json(text.str());
+  return true;
+}
+
+int cmd_verify_mpi(const std::string& app, Options& opts) {
+  const std::uint64_t seed = effective_seed(opts, 1);
+  mb::mpi::Program program =
+      app == "demo-deadlock"
+          ? demo_deadlock_program()
+          : build_static_target(app, opts, seed,
+                                "verify-mpi (fig4|bigdft|hpl|specfem|"
+                                "demo-deadlock)");
+
+  auto report = mb::verify::verify_program(program);
   std::cout << "verify-mpi " << app << " (" << program.ranks()
             << " ranks):\n"
             << mb::verify::render_diagnostics(report);
+
+  // --cost: run the pass-3 interpreter on top and fold the PERF findings
+  // into the same report/exit/JSON. Bounds of a broken schedule are
+  // meaningless, so errors skip the cost pass (and already exit 3).
+  if (opts.has("cost")) {
+    if (report.has_errors()) {
+      std::cout << "cost: skipped (fix the errors above first; bounds of "
+                   "a broken schedule are meaningless)\n";
+    } else {
+      const auto descriptor = descriptor_for(program, opts);
+      const auto cost = mb::verify::analyze_cost(program, descriptor);
+      mb::fault::FaultPlan plan;
+      const bool with_plan = load_fault_plan(opts, plan);
+      const auto perf = mb::verify::perf_pass(
+          program, descriptor, cost, with_plan ? &plan : nullptr);
+      std::cout << '\n'
+                << mb::verify::render_cost(cost)
+                << "perf rules:\n"
+                << mb::verify::render_diagnostics(perf);
+      report.merge(perf);
+    }
+  }
+
   if (opts.has("json"))
-    write_diagnostics_json(report, app, opts.get_str("json", ""));
+    write_diagnostics_json(report, app, opts.get_str("json", ""), seed);
   return report.has_errors() ? kExitFindings : kExitOk;
+}
+
+// --------------------------------------------------------------------------
+// analyze-static: the pass-3 abstract cost interpreter (src/verify).
+
+int cmd_analyze_static(const std::string& app, Options& opts) {
+  const std::uint64_t seed = effective_seed(opts, 1);
+  mb::mpi::Program program = build_static_target(
+      app, opts, seed, "analyze-static (fig4|bigdft|hpl|specfem)");
+
+  // Bounds are only defined for programs that verify clean: a deadlocked
+  // or unmatched schedule never finishes, so there is nothing to bound.
+  const auto verdict = mb::verify::verify_program(program);
+  if (verdict.has_errors()) {
+    std::cerr << mb::verify::render_diagnostics(verdict)
+              << "analyze-static: the program fails verify-mpi; run "
+                 "`mbctl verify-mpi` and fix the errors first\n";
+    return kExitFindings;
+  }
+
+  const auto descriptor = descriptor_for(program, opts);
+  mb::fault::FaultPlan plan;
+  const bool with_plan = load_fault_plan(opts, plan);
+
+  mb::verify::CostReport cost;
+  mb::verify::Report perf;
+  {
+    mb::obs::ScopedSpan span(mb::obs::profiler(), "analyze-static/run");
+    cost = mb::verify::analyze_cost(program, descriptor);
+    perf = mb::verify::perf_pass(program, descriptor, cost,
+                                 with_plan ? &plan : nullptr);
+  }
+
+  std::cout << "=== analyze-static: " << app << " on "
+            << opts.get_str("tree", "tibidabo") << " tree ===\n"
+            << mb::verify::render_cost(cost) << "perf rules:\n"
+            << mb::verify::render_diagnostics(perf);
+
+  if (opts.has("json")) {
+    const std::string path = opts.get_str("json", "");
+    std::ofstream out(path);
+    if (!out)
+      throw mb::support::Error("cannot open " + path + " for writing");
+    out << mb::verify::static_analysis_to_json(cost, app, seed, perf);
+    if (!out) throw mb::support::Error("write to " + path + " failed");
+    std::cerr << "wrote " << path << " (" << perf.findings().size()
+              << " finding(s))\n";
+  }
+  return perf.has_errors() ? kExitFindings : kExitOk;
 }
 
 // --------------------------------------------------------------------------
@@ -1736,6 +1898,12 @@ int dispatch(const std::vector<std::string>& args) {
       usage("verify-mpi needs an app (fig4|bigdft|hpl|specfem|demo-deadlock)");
     Options opts(args, 2);
     return cmd_verify_mpi(args[1], opts);
+  }
+  if (cmd == "analyze-static") {
+    if (args.size() < 2)
+      usage("analyze-static needs an app (fig4|bigdft|hpl|specfem)");
+    Options opts(args, 2);
+    return cmd_analyze_static(args[1], opts);
   }
   if (cmd == "chaos") {
     if (args.size() < 2) usage("chaos needs an app (bigdft|hpl|specfem)");
