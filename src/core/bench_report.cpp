@@ -132,6 +132,27 @@ std::string to_json(const BenchReport& report) {
     obs::write_metrics_json(w, report.metrics);
   }
 
+  if (report.failure.present) {
+    w.key("failure").begin_object();
+    w.key("dead_ranks").begin_array();
+    for (std::uint32_t r : report.failure.dead_ranks) w.value(r);
+    w.end_array();
+    w.key("blocked").begin_array();
+    for (const RunFailure::Blocked& b : report.failure.blocked) {
+      w.begin_object();
+      w.field("rank", b.rank);
+      w.field("peer", b.peer);
+      w.field("tag", static_cast<std::int64_t>(b.tag));
+      w.field("op_index", b.op_index);
+      w.field("since_s", b.since_s);
+      w.field("timed_out", b.timed_out);
+      w.end_object();
+    }
+    w.end_array();
+    w.field("detected_s", report.failure.detected_s);
+    w.end_object();
+  }
+
   w.end_object();
   return w.str();
 }
@@ -158,6 +179,24 @@ BenchReport report_from_json(const JsonValue& doc) {
   report.seed = static_cast<std::uint64_t>(doc.at("seed").as_number());
   if (const JsonValue* m = doc.find("metrics"))
     report.metrics = obs::parse_metrics_json(*m);
+  if (const JsonValue* f = doc.find("failure")) {
+    report.failure.present = true;
+    for (const JsonValue& r : f->at("dead_ranks").as_array())
+      report.failure.dead_ranks.push_back(
+          static_cast<std::uint32_t>(r.as_number()));
+    for (const JsonValue& b : f->at("blocked").as_array()) {
+      RunFailure::Blocked blocked;
+      blocked.rank = static_cast<std::uint32_t>(b.at("rank").as_number());
+      blocked.peer = static_cast<std::uint32_t>(b.at("peer").as_number());
+      blocked.tag = static_cast<std::int32_t>(b.at("tag").as_number());
+      blocked.op_index =
+          static_cast<std::uint64_t>(b.at("op_index").as_number());
+      blocked.since_s = b.at("since_s").as_number();
+      blocked.timed_out = b.at("timed_out").as_bool();
+      report.failure.blocked.push_back(blocked);
+    }
+    report.failure.detected_s = f->at("detected_s").as_number();
+  }
 
   const JsonValue& plan = doc.at("plan");
   report.plan.repetitions =

@@ -83,6 +83,26 @@ struct BenchRecord {
   double center() const { return stats::median(samples); }
 };
 
+/// Structured account of a run that did not complete, embedded in the
+/// report when a command observed one (e.g. an unrecovered `mbctl chaos`
+/// scenario). Declarative mirror of mpi::FailureReport so core does not
+/// depend on the mpi layer; `present` false omits the section entirely.
+struct RunFailure {
+  struct Blocked {
+    std::uint32_t rank = 0;
+    std::uint32_t peer = 0;  ///< the (dead or silent) rank waited on
+    std::int32_t tag = 0;
+    std::uint64_t op_index = 0;
+    double since_s = 0.0;
+    bool timed_out = false;
+  };
+
+  bool present = false;
+  std::vector<std::uint32_t> dead_ranks;
+  std::vector<Blocked> blocked;
+  double detected_s = 0.0;
+};
+
 /// A complete report: metadata plus records.
 struct BenchReport {
   int schema_version = kBenchSchemaVersion;
@@ -100,6 +120,8 @@ struct BenchReport {
   /// let `compare` attribute a regression to a phase instead of just
   /// flagging the end-to-end number. Empty = section omitted.
   std::vector<obs::MetricSample> metrics;
+  /// Structured failure of an unrecovered run; omitted when not present.
+  RunFailure failure;
 
   /// Record lookup by name; nullptr when absent.
   const BenchRecord* find(std::string_view name) const;

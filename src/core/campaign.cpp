@@ -15,7 +15,8 @@ CampaignResult run_campaign(const std::vector<CampaignTask>& tasks,
 
   // Cache I/O happens on the calling thread only: hits before the pool
   // starts, stores after it drains. Workers never touch the filesystem.
-  const ResultCache cache(options.cache_dir, options.cache);
+  const ResultCache cache(options.cache_dir, options.cache,
+                          options.cache_max_bytes);
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     if (auto hit = cache.lookup(tasks[i].key)) {
@@ -29,13 +30,30 @@ CampaignResult run_campaign(const std::vector<CampaignTask>& tasks,
   result.stats.executed = pending.size();
 
   Executor executor(options.jobs);
-  executor.run(pending.size(), [&](std::size_t j) {
-    const std::size_t i = pending[j];
-    result.samples[i] = tasks[i].run();
-  });
+  std::vector<unsigned char> done(pending.size(), 0);
+  try {
+    executor.run(pending.size(), [&](std::size_t j) {
+      const std::size_t i = pending[j];
+      result.samples[i] = tasks[i].run();
+      done[j] = 1;
+    });
+  } catch (...) {
+    // One task threw. The executor joins every worker before rethrowing,
+    // so `done` and the completed sample slots are stable here: commit
+    // them before propagating, and the re-run after the caller fixes the
+    // failing point replays the finished work from cache instead of
+    // re-simulating the whole campaign.
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      if (done[j])
+        cache.store(tasks[pending[j]].key, result.samples[pending[j]]);
+    }
+    throw;
+  }
   result.stats.steals = executor.steals();
 
   for (std::size_t i : pending) cache.store(tasks[i].key, result.samples[i]);
+  result.stats.cache_evictions = cache.evict();
+  result.stats.cache_quarantined = cache.quarantined();
 
   obs::metrics().counter("campaign.tasks").add(
       static_cast<double>(result.stats.tasks));
@@ -45,6 +63,10 @@ CampaignResult run_campaign(const std::vector<CampaignTask>& tasks,
       static_cast<double>(result.stats.cache_hits));
   obs::metrics().counter("campaign.cache.misses").add(
       static_cast<double>(result.stats.cache_misses));
+  obs::metrics().counter("campaign.cache.evictions").add(
+      static_cast<double>(result.stats.cache_evictions));
+  obs::metrics().counter("campaign.cache.quarantined").add(
+      static_cast<double>(result.stats.cache_quarantined));
 
   return result;
 }
@@ -55,6 +77,10 @@ std::string campaign_summary(const CampaignStats& stats,
   out << "campaign: " << stats.tasks << " task(s), " << stats.cache_hits
       << " cache hit(s), " << stats.cache_misses << " miss(es), jobs "
       << options.jobs << ", " << stats.steals << " steal(s)";
+  if (stats.cache_evictions > 0)
+    out << ", " << stats.cache_evictions << " evicted";
+  if (stats.cache_quarantined > 0)
+    out << ", " << stats.cache_quarantined << " quarantined";
   if (!options.cache) out << " [cache disabled]";
   return out.str();
 }

@@ -36,11 +36,15 @@ namespace mb::core {
 /// can reuse it (see support/executor.h for the two execution modes).
 using Executor = support::Executor;
 
-/// Knobs surfaced as mbctl --jobs / --no-cache / --cache-dir.
+/// Knobs surfaced as mbctl --jobs / --no-cache / --cache-dir /
+/// --cache-max-bytes.
 struct CampaignOptions {
   std::uint32_t jobs = 1;
   bool cache = true;
   std::string cache_dir = ".mb-cache";
+  /// Cache size budget; 0 = unbounded. When exceeded after the campaign's
+  /// stores, the oldest entries are evicted (ResultCache::evict()).
+  std::uint64_t cache_max_bytes = 0;
 };
 
 /// Aggregate counters for one run_campaign() call (also published to the
@@ -52,6 +56,8 @@ struct CampaignStats {
   std::uint64_t steals = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;    ///< entries removed by the budget
+  std::uint64_t cache_quarantined = 0;  ///< corrupt entries moved aside
 };
 
 /// One cacheable unit of work: the key states every input that determines

@@ -2,10 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "support/hash.h"
 #include "support/json.h"
@@ -31,8 +34,11 @@ std::string CacheKey::digest() const { return support::hex64(hash()); }
 
 ResultCache::ResultCache() = default;
 
-ResultCache::ResultCache(std::string dir, bool enabled)
-    : dir_(std::move(dir)), enabled_(enabled && !dir_.empty()) {}
+ResultCache::ResultCache(std::string dir, bool enabled,
+                         std::uint64_t max_bytes)
+    : dir_(std::move(dir)),
+      enabled_(enabled && !dir_.empty()),
+      max_bytes_(max_bytes) {}
 
 std::string ResultCache::entry_path(const CacheKey& key) const {
   // Two-hex-digit fan-out keeps directories small on big campaigns.
@@ -76,7 +82,59 @@ std::optional<std::vector<double>> ResultCache::lookup(
     }
     return samples;
   } catch (const std::exception&) {
-    return std::nullopt;  // unparsable / truncated / wrong shape -> miss
+    // Unparsable / truncated / wrong shape: quarantine rather than delete,
+    // so the broken file stays inspectable but is never re-parsed. Rename
+    // failures (e.g. the file vanished) still degrade to a plain miss.
+    try {
+      const fs::path path = entry_path(key);
+      fs::rename(path, fs::path(path.string() + ".quarantined"));
+      ++quarantined_;
+    } catch (const std::exception&) {
+    }
+    return std::nullopt;
+  }
+}
+
+std::uint64_t ResultCache::evict() const {
+  if (!enabled_ || max_bytes_ == 0) return 0;
+  struct Entry {
+    fs::file_time_type mtime;
+    std::string path;
+    std::uint64_t size = 0;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  try {
+    for (const auto& item : fs::recursive_directory_iterator(dir_)) {
+      if (!item.is_regular_file()) continue;
+      // Only live entries participate: quarantined files and in-flight
+      // `.tmp.<pid>` writes are neither budgeted nor removed.
+      if (item.path().extension() != ".json") continue;
+      Entry e;
+      e.mtime = item.last_write_time();
+      e.path = item.path().string();
+      e.size = item.file_size();
+      total += e.size;
+      entries.push_back(std::move(e));
+    }
+    if (total <= max_bytes_) return 0;
+    // Oldest first; equal mtimes (coarse clocks) tie-break on path so the
+    // eviction order is deterministic.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.mtime != b.mtime) return a.mtime < b.mtime;
+                return a.path < b.path;
+              });
+    std::uint64_t evicted = 0;
+    for (const Entry& e : entries) {
+      if (total <= max_bytes_) break;
+      fs::remove(e.path);
+      total -= e.size;
+      ++evicted;
+    }
+    return evicted;
+  } catch (const std::exception&) {
+    return 0;  // a failing scan must never fail the campaign
   }
 }
 

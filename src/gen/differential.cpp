@@ -1,0 +1,448 @@
+#include "gen/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/cluster.h"
+#include "fault/chaos.h"
+#include "obs/metrics.h"
+#include "support/check.h"
+#include "support/hash.h"
+#include "support/rng.h"
+#include "verify/diagnostics.h"
+#include "verify/mpi_verify.h"
+#include "verify/static_cost.h"
+
+namespace mb::gen {
+namespace {
+
+/// Relative slack for the double-summed runtime counters against the
+/// exact integer static counts, and for bound comparisons at makespan
+/// scale (matches the static-bounds property suite).
+constexpr double kRelTol = 1e-9;
+
+apps::ClusterConfig make_cluster(const GenParams& params,
+                                 const std::string& tree,
+                                 std::uint32_t sim_jobs) {
+  const std::uint32_t nodes = params.ranks / 2;  // dual-core node packing
+  apps::ClusterConfig cluster = (tree == "upgraded")
+                                    ? apps::upgraded_cluster(nodes)
+                                    : apps::tibidabo_cluster(nodes);
+  // The differential *is* the verification: the DES arm must execute
+  // defective programs so the harness can observe whether they block.
+  cluster.mpi.verify = false;
+  cluster.sim_jobs = sim_jobs;
+  return cluster;
+}
+
+struct ByteCounters {
+  std::vector<double> sent;
+  std::vector<double> received;
+};
+
+ByteCounters read_counters(std::uint32_t ranks) {
+  obs::Registry& registry = obs::metrics();
+  ByteCounters c;
+  c.sent.resize(ranks);
+  c.received.resize(ranks);
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    const std::string rank = std::to_string(r);
+    c.sent[r] = registry.counter("mpi.bytes_sent", {{"rank", rank}}).value();
+    c.received[r] =
+        registry.counter("mpi.bytes_received", {{"rank", rank}}).value();
+  }
+  return c;
+}
+
+void feed_failure(support::Hasher& h, const mpi::FailureReport& failure) {
+  h.u64(failure.dead_ranks.size());
+  for (std::uint32_t r : failure.dead_ranks) h.u64(r);
+  h.u64(failure.blocked.size());
+  for (const mpi::BlockedOp& b : failure.blocked) {
+    h.u64(b.rank)
+        .u64(b.peer)
+        .u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(b.tag)))
+        .u64(b.op_index)
+        .f64(b.since_s)
+        .u64(b.timed_out ? 1 : 0);
+  }
+  h.f64(failure.detected_s);
+}
+
+struct DesRun {
+  apps::AppRunResult result;
+  ByteCounters delta;  ///< per-rank payload bytes moved by this run
+  std::uint64_t digest = 0;
+};
+
+/// One DES execution with its byte-count deltas and structural digest.
+/// Counter values are snapshotted around the run so earlier runs in the
+/// same process (and open profiler spans) don't bleed into the digest.
+DesRun run_des(const GenParams& params, const mpi::Program& program,
+               const std::string& tree, std::uint32_t sim_jobs) {
+  DesRun run;
+  const ByteCounters before = read_counters(params.ranks);
+  run.result = apps::run_on_cluster(make_cluster(params, tree, sim_jobs),
+                                    program, apps::RunHooks{});
+  const ByteCounters after = read_counters(params.ranks);
+  run.delta.sent.resize(params.ranks);
+  run.delta.received.resize(params.ranks);
+  for (std::uint32_t r = 0; r < params.ranks; ++r) {
+    run.delta.sent[r] = after.sent[r] - before.sent[r];
+    run.delta.received[r] = after.received[r] - before.received[r];
+  }
+
+  support::Hasher h;
+  const apps::AppRunResult& res = run.result;
+  h.u64(res.completed ? 1 : 0)
+      .f64(res.makespan_s)
+      .f64(res.failed_at_s)
+      .u64(res.network_drops)
+      .u64(res.network_retransmits)
+      .u64(res.injected_losses);
+  for (std::uint32_t r = 0; r < params.ranks; ++r)
+    h.f64(run.delta.sent[r]).f64(run.delta.received[r]);
+  feed_failure(h, res.failure);
+  run.digest = h.digest();
+  return run;
+}
+
+/// Structural digest of a verification report: rule IDs, severities and
+/// locations only — never the human-readable messages, which may be
+/// reworded without invalidating recorded bundles.
+std::uint64_t verifier_digest(const verify::Report& report) {
+  support::Hasher h;
+  h.u64(report.findings().size());
+  for (const verify::Diagnostic& d : report.findings()) {
+    h.str(d.rule)
+        .u64(static_cast<std::uint64_t>(d.severity))
+        .u64(d.location.in_program ? 1 : 0)
+        .u64(d.location.rank)
+        .u64(d.location.op_index)
+        .str(d.location.config_key);
+  }
+  return h.digest();
+}
+
+std::uint64_t static_digest(const verify::CostReport& cost) {
+  support::Hasher h;
+  h.u64(cost.ranks)
+      .u64(cost.total_bytes)
+      .u64(cost.total_messages)
+      .u64(cost.intra_messages)
+      .u64(cost.net_messages)
+      .u64(cost.total_frames)
+      .f64(cost.makespan_lower_s)
+      .f64(cost.makespan_upper_s)
+      .f64(cost.makespan_serialized_s);
+  for (const verify::RankCost& r : cost.per_rank)
+    h.u64(r.bytes_sent)
+        .u64(r.bytes_received)
+        .u64(r.messages_sent)
+        .u64(r.messages_received);
+  return h.digest();
+}
+
+std::uint64_t chaos_digest(const fault::ChaosResult& result) {
+  support::Hasher h;
+  h.u64(result.completed ? 1 : 0)
+      .u64(result.recovered ? 1 : 0)
+      .u64(result.attempts)
+      .f64(result.app_makespan_s)
+      .f64(result.time_to_solution_s)
+      .f64(result.recovery.checkpoint_write_s)
+      .f64(result.recovery.lost_work_s)
+      .f64(result.recovery.detection_s)
+      .f64(result.recovery.restart_s)
+      .u64(result.network_drops)
+      .u64(result.retransmits)
+      .u64(result.injected_losses);
+  feed_failure(h, result.failure);
+  return h.digest();
+}
+
+/// Seeded chaos overlay for the chaos-determinism oracle: one node crash
+/// mid-run plus a checkpoint/restart model sized so recovery is possible
+/// (interval shorter than the crash time). Scaled from the measured
+/// fault-free makespan; deterministic in gen_seed.
+fault::FaultPlan derive_fault_plan(std::uint64_t gen_seed,
+                                   const GenParams& params,
+                                   double makespan_s) {
+  support::Rng rng(support::derive_seed(gen_seed, 0xC4A05F17ull));
+  const std::uint32_t nodes = params.ranks / 2;
+  fault::FaultPlan plan;
+  // Keep the seed in u32 range: the mb-fault-plan JSON carries it as a
+  // number, and doubles are only exact to 2^53.
+  plan.seed = gen_seed & 0xffffffffull;
+  fault::NodeCrash crash;
+  crash.node = static_cast<std::uint32_t>(rng.index(nodes));
+  crash.at_s = std::max(1e-4, makespan_s * rng.uniform(0.3, 0.7));
+  plan.crashes.push_back(crash);
+  plan.checkpoint.enabled = true;
+  plan.checkpoint.interval_s = std::max(1e-3, makespan_s * 0.25);
+  plan.checkpoint.state_bytes_per_rank = 1 << 20;
+  plan.checkpoint.write_bandwidth_bytes_per_s = 1e9;
+  plan.checkpoint.read_bandwidth_bytes_per_s = 1e9;
+  plan.checkpoint.restart_overhead_s = 0.005;
+  return plan;
+}
+
+}  // namespace
+
+SeedOutcome run_differential(std::uint64_t gen_seed, const GenParams& params,
+                             const DiffConfig& config) {
+  return run_differential(gen_seed, params, generate(gen_seed, params),
+                          config);
+}
+
+SeedOutcome run_differential(std::uint64_t gen_seed, const GenParams& params,
+                             const GeneratedProgram& generated,
+                             const DiffConfig& config) {
+  SeedOutcome out;
+  out.gen_seed = gen_seed;
+  out.params = params;
+  out.defect = generated.defect;
+  const mpi::Program& program = generated.program;
+
+  auto flag = [&out](const std::string& oracle, const std::string& detail) {
+    if (out.failed_oracle.empty()) out.failed_oracle = oracle;
+    out.discrepancies.push_back(oracle + ": " + detail);
+  };
+
+  // Arm 1: static verification.
+  const verify::Report verdict = verify::verify_program(program);
+  out.verifier_digest = verifier_digest(verdict);
+  out.verifier_errors = verdict.errors();
+
+  // Arm 2: serial DES execution (the reference).
+  const DesRun serial = run_des(params, program, config.tree, 0);
+  out.des_digest = serial.digest;
+  out.des_completed = serial.result.completed;
+  out.makespan_s = serial.result.completed ? serial.result.makespan_s
+                                           : serial.result.failed_at_s;
+
+  // Oracle (a): the verifier must flag exactly the programs the DES
+  // cannot complete — no false negatives, no false alarms.
+  const bool flagged = config.pretend_clean ? false : out.verifier_errors > 0;
+  if (flagged && out.des_completed) {
+    flag("verifier-vs-des",
+         "verifier reported " + std::to_string(out.verifier_errors) +
+             " error(s) but the DES completed the run");
+  } else if (!flagged && !out.des_completed) {
+    flag("verifier-vs-des",
+         "verifier passed the program but the DES did not complete "
+         "(blocked at t=" +
+             std::to_string(serial.result.failed_at_s) + " s)");
+  }
+
+  // The remaining arms are only meaningful for programs that actually
+  // verify clean and complete (analyze_cost rejects broken schedules).
+  const bool clean = out.verifier_errors == 0 && out.des_completed;
+
+  // Oracle (b): static cost bounds bracket the measured makespan and the
+  // exact byte counts match the runtime's counters.
+  if (clean && config.check_static) {
+    try {
+      verify::CostDescriptor descriptor;
+      const apps::ClusterConfig cluster = make_cluster(params, config.tree, 0);
+      descriptor.tree = cluster.tree;
+      descriptor.cores_per_node = cluster.cores_per_node;
+      descriptor.mtu_bytes = cluster.mtu_bytes;
+      descriptor.mpi = cluster.mpi;
+      const verify::CostReport cost = verify::analyze_cost(program, descriptor);
+      out.has_static = true;
+      out.static_digest = static_digest(cost);
+
+      const double slack = kRelTol * std::max(1.0, out.makespan_s);
+      if (cost.makespan_lower_s > out.makespan_s + slack)
+        flag("static-bounds",
+             "lower bound " + std::to_string(cost.makespan_lower_s) +
+                 " s exceeds the DES makespan " +
+                 std::to_string(out.makespan_s) + " s");
+      if (cost.makespan_upper_s < out.makespan_s - slack)
+        flag("static-bounds",
+             "upper bound " + std::to_string(cost.makespan_upper_s) +
+                 " s is below the DES makespan " +
+                 std::to_string(out.makespan_s) + " s");
+      for (std::uint32_t r = 0; r < params.ranks; ++r) {
+        const auto expect_sent = static_cast<double>(cost.per_rank[r].bytes_sent);
+        const auto expect_recv =
+            static_cast<double>(cost.per_rank[r].bytes_received);
+        if (std::fabs(serial.delta.sent[r] - expect_sent) >
+            kRelTol * std::max(1.0, expect_sent))
+          flag("static-bounds",
+               "rank " + std::to_string(r) + " sent " +
+                   std::to_string(serial.delta.sent[r]) +
+                   " B but the static count is " +
+                   std::to_string(cost.per_rank[r].bytes_sent) + " B");
+        if (std::fabs(serial.delta.received[r] - expect_recv) >
+            kRelTol * std::max(1.0, expect_recv))
+          flag("static-bounds",
+               "rank " + std::to_string(r) + " received " +
+                   std::to_string(serial.delta.received[r]) +
+                   " B but the static count is " +
+                   std::to_string(cost.per_rank[r].bytes_received) + " B");
+      }
+    } catch (const support::Error& e) {
+      flag("static-bounds",
+           std::string("analyze_cost rejected a verify-clean program: ") +
+               e.what());
+    }
+  }
+
+  // Oracle (c): the sharded engine must reproduce the serial engine's
+  // run byte-identically, for any worker count.
+  if (clean && config.sim_jobs > 0) {
+    const DesRun sharded = run_des(params, program, config.tree,
+                                   config.sim_jobs);
+    out.has_sharded = true;
+    out.sharded_digest = sharded.digest;
+    if (sharded.digest != serial.digest)
+      flag("sharded-identity",
+           "serial digest " + support::hex64(serial.digest) +
+               " != sharded(--sim-jobs " + std::to_string(config.sim_jobs) +
+               ") digest " + support::hex64(sharded.digest));
+  }
+
+  // Oracle (d): chaos recovery under a seeded fault plan is deterministic
+  // and satisfies the recovery invariants.
+  if (clean && config.with_chaos) {
+    fault::ChaosScenario scenario;
+    scenario.cluster = make_cluster(params, config.tree, 0);
+    // Give the failure detector a horizon: longer than any legitimate
+    // wait (bounded by the fault-free makespan) so healthy ranks are
+    // never declared dead, short enough that detection happens.
+    scenario.cluster.mpi.recv_timeout_s = 0.05 + 2.0 * out.makespan_s;
+    scenario.plan = config.fault_plan_override
+                        ? *config.fault_plan_override
+                        : derive_fault_plan(gen_seed, params, out.makespan_s);
+    out.fault_plan = scenario.plan;
+    out.has_fault_plan = true;
+
+    const fault::ChaosResult first = fault::run_chaos(scenario, program);
+    const fault::ChaosResult second = fault::run_chaos(scenario, program);
+    out.has_chaos = true;
+    out.chaos_digest = chaos_digest(first);
+    if (chaos_digest(second) != out.chaos_digest)
+      flag("chaos-determinism",
+           "two identical chaos runs disagree: " +
+               support::hex64(out.chaos_digest) + " vs " +
+               support::hex64(chaos_digest(second)));
+    if (first.attempts < 1)
+      flag("chaos-determinism", "chaos run reports zero attempts");
+    if (first.completed &&
+        first.time_to_solution_s + 1e-12 < first.app_makespan_s)
+      flag("chaos-determinism",
+           "time-to-solution " + std::to_string(first.time_to_solution_s) +
+               " s is below the app makespan " +
+               std::to_string(first.app_makespan_s) + " s");
+    if (first.recovered && first.attempts < 2)
+      flag("chaos-determinism",
+           "run claims recovery after " + std::to_string(first.attempts) +
+               " attempt(s)");
+  }
+
+  return out;
+}
+
+ReproBundle make_bundle(const SeedOutcome& outcome, const DiffConfig& config,
+                        std::uint64_t campaign_seed) {
+  ReproBundle b;
+  b.seed = campaign_seed;
+  b.gen_seed = outcome.gen_seed;
+  b.params = outcome.params;
+  b.platform.tree = config.tree;
+  b.platform.nodes = outcome.params.ranks / 2;
+  b.platform.cores_per_node = 2;
+  b.platform.sim_jobs = config.sim_jobs;
+  b.has_fault_plan = outcome.has_fault_plan;
+  b.fault_plan = outcome.fault_plan;
+  b.oracle = outcome.failed_oracle.empty() ? "none" : outcome.failed_oracle;
+  b.note = outcome.discrepancies.empty() ? std::string()
+                                         : outcome.discrepancies.front();
+
+  b.expected.verifier_digest = outcome.verifier_digest;
+  b.expected.verifier_errors = outcome.verifier_errors;
+  b.expected.des_digest = outcome.des_digest;
+  b.expected.des_completed = outcome.des_completed;
+  double makespan = outcome.makespan_s;
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof makespan);
+  std::memcpy(&bits, &makespan, sizeof bits);
+  b.expected.makespan_bits = bits;
+  b.expected.has_sharded = outcome.has_sharded;
+  b.expected.sharded_digest = outcome.sharded_digest;
+  b.expected.has_static = outcome.has_static;
+  b.expected.static_digest = outcome.static_digest;
+  b.expected.has_chaos = outcome.has_chaos;
+  b.expected.chaos_digest = outcome.chaos_digest;
+  return b;
+}
+
+ReplayOutcome replay_bundle(const ReproBundle& bundle, int sim_jobs_override) {
+  DiffConfig config;
+  config.tree = bundle.platform.tree;
+  config.sim_jobs = sim_jobs_override >= 0
+                        ? static_cast<std::uint32_t>(sim_jobs_override)
+                        : bundle.platform.sim_jobs;
+  // The arms replayed are exactly the arms recorded.
+  if (!bundle.expected.has_sharded) config.sim_jobs = 0;
+  if (bundle.expected.has_sharded && config.sim_jobs == 0) config.sim_jobs = 1;
+  config.check_static = bundle.expected.has_static;
+  config.with_chaos = bundle.expected.has_chaos;
+  config.fault_plan_override =
+      bundle.has_fault_plan ? &bundle.fault_plan : nullptr;
+
+  ReplayOutcome rep;
+  rep.observed = run_differential(bundle.gen_seed, bundle.params, config);
+  const SeedOutcome& got = rep.observed;
+  const ReproExpected& want = bundle.expected;
+
+  auto expect_digest = [&rep](const char* arm, std::uint64_t want_digest,
+                              std::uint64_t got_digest) {
+    if (want_digest != got_digest)
+      rep.mismatches.push_back(std::string(arm) + ": expected " +
+                               support::hex64(want_digest) + ", observed " +
+                               support::hex64(got_digest));
+  };
+
+  expect_digest("verifier_digest", want.verifier_digest, got.verifier_digest);
+  if (want.verifier_errors != got.verifier_errors)
+    rep.mismatches.push_back(
+        "verifier_errors: expected " + std::to_string(want.verifier_errors) +
+        ", observed " + std::to_string(got.verifier_errors));
+  expect_digest("des_digest", want.des_digest, got.des_digest);
+  if (want.des_completed != got.des_completed)
+    rep.mismatches.push_back(std::string("des_completed: expected ") +
+                             (want.des_completed ? "true" : "false") +
+                             ", observed " +
+                             (got.des_completed ? "true" : "false"));
+  double got_makespan = got.makespan_s;
+  std::uint64_t got_bits = 0;
+  std::memcpy(&got_bits, &got_makespan, sizeof got_bits);
+  expect_digest("makespan_bits", want.makespan_bits, got_bits);
+  if (want.has_sharded) {
+    if (!got.has_sharded)
+      rep.mismatches.push_back("sharded arm recorded but not replayed");
+    else
+      expect_digest("sharded_digest", want.sharded_digest, got.sharded_digest);
+  }
+  if (want.has_static) {
+    if (!got.has_static)
+      rep.mismatches.push_back("static arm recorded but not replayed");
+    else
+      expect_digest("static_digest", want.static_digest, got.static_digest);
+  }
+  if (want.has_chaos) {
+    if (!got.has_chaos)
+      rep.mismatches.push_back("chaos arm recorded but not replayed");
+    else
+      expect_digest("chaos_digest", want.chaos_digest, got.chaos_digest);
+  }
+  return rep;
+}
+
+}  // namespace mb::gen

@@ -1,0 +1,114 @@
+// Differential fuzzing harness: four independent views of one program.
+//
+// For each generated (seed, params) program the harness cross-checks:
+//
+//  (a) verifier vs DES — the static verifier must flag *exactly* the
+//      programs that fail to complete under the DES: an error on a
+//      program that runs, or a clean bill on a program that blocks, is a
+//      simulator or verifier bug (no false negatives, no false alarms);
+//  (b) static bounds — analyze_cost's [lower, upper] must bracket the
+//      measured makespan and its per-rank byte counts must equal the
+//      runtime's counters exactly;
+//  (c) engine identity — the sharded conservative-lookahead engine
+//      (--sim-jobs N) must reproduce the serial engine's results
+//      byte-identically;
+//  (d) chaos determinism — with a seeded fault-plan overlay, two chaos
+//      runs must agree digest-for-digest and satisfy the recovery
+//      invariants (time-to-solution >= makespan, recovered => restarted).
+//
+// Digest recipes hash structural facts only (rule IDs, locations, counter
+// deltas, IEEE-754 bit patterns) — never human-readable messages — so
+// wording changes don't invalidate recorded bundles.
+//
+// Threading: every oracle runs the DES, and the DES publishes to the
+// single-threaded obs::metrics() registry. run_differential must be
+// called from the thread that owns the registry (never from campaign
+// workers); byte-count deltas are snapshotted around each run so open
+// profiler spans and earlier runs don't bleed in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/plan.h"
+#include "gen/bundle.h"
+#include "gen/generator.h"
+
+namespace mb::gen {
+
+struct DiffConfig {
+  std::string tree = "tibidabo";  ///< "tibidabo" | "upgraded"
+  std::uint32_t sim_jobs = 2;     ///< sharded-arm workers; 0 = skip oracle (c)
+  bool check_static = true;       ///< oracle (b)
+  bool with_chaos = false;        ///< oracle (d)
+  /// Test fixture: report the verifier as clean regardless of findings,
+  /// guaranteeing an oracle-(a) discrepancy on every defective program.
+  /// Exists so the bundle-writing path is itself testable end to end.
+  bool pretend_clean = false;
+  /// Replay: use this recorded plan for the chaos arm instead of
+  /// re-deriving one from the seed.
+  const fault::FaultPlan* fault_plan_override = nullptr;
+};
+
+/// Everything one differential run observed. `discrepancies` empty means
+/// all oracles agree.
+struct SeedOutcome {
+  std::uint64_t gen_seed = 0;
+  GenParams params;
+  std::string defect;  ///< generator's injected defect ("" = clean)
+
+  std::uint64_t verifier_digest = 0;
+  std::uint64_t verifier_errors = 0;
+  std::uint64_t des_digest = 0;
+  bool des_completed = false;
+  double makespan_s = 0.0;  ///< serial-engine makespan (drain time if failed)
+
+  bool has_sharded = false;
+  std::uint64_t sharded_digest = 0;
+  bool has_static = false;
+  std::uint64_t static_digest = 0;
+  bool has_chaos = false;
+  std::uint64_t chaos_digest = 0;
+  bool has_fault_plan = false;
+  fault::FaultPlan fault_plan;
+
+  std::vector<std::string> discrepancies;
+  std::string failed_oracle;  ///< first failed oracle name ("" = none)
+
+  bool ok() const { return discrepancies.empty(); }
+};
+
+/// Runs the differential for one (seed, params) pair, generating the
+/// program internally. See the threading note above.
+SeedOutcome run_differential(std::uint64_t gen_seed, const GenParams& params,
+                             const DiffConfig& config);
+
+/// Same, with a pre-generated program (mbctl fuzz generates in parallel
+/// across --jobs workers, then runs the oracles serially). `generated`
+/// must be generate(gen_seed, params)'s result.
+SeedOutcome run_differential(std::uint64_t gen_seed, const GenParams& params,
+                             const GeneratedProgram& generated,
+                             const DiffConfig& config);
+
+/// Packages an outcome as an mb-repro bundle (expected digests = what
+/// this run observed).
+ReproBundle make_bundle(const SeedOutcome& outcome, const DiffConfig& config,
+                        std::uint64_t campaign_seed);
+
+struct ReplayOutcome {
+  SeedOutcome observed;
+  /// Expected-vs-observed digest differences; empty = faithful replay.
+  std::vector<std::string> mismatches;
+
+  bool match() const { return mismatches.empty(); }
+};
+
+/// Re-executes a bundle and re-checks every digest it records. The arms
+/// replayed are exactly the arms recorded. `sim_jobs_override < 0` keeps
+/// the bundle's worker count; any value >= 1 must reproduce the same
+/// digests (sharded-engine byte identity makes worker count irrelevant).
+ReplayOutcome replay_bundle(const ReproBundle& bundle,
+                            int sim_jobs_override = -1);
+
+}  // namespace mb::gen

@@ -1,0 +1,100 @@
+// Seeded MPI program generation.
+//
+// Only three hand-written apps (HPL/HYDRO/SPECFEM3D models) exercise the
+// verifier, the DES and the chaos executor — a bug outside their
+// communication patterns is invisible. This module closes that gap: a
+// deterministic generator that emits valid mpi::Programs parameterized by
+// communication pattern, rank count, message-size distribution and
+// collective mix. Every program is a pure function of a single
+// (seed, params) pair, which is what makes the differential fuzzing
+// harness (gen/differential.h) and the mb-repro record/replay bundles
+// (gen/bundle.h) possible: the artifact only needs to carry the pair, not
+// the program.
+//
+// Defect injection: with probability `defect_prob` the generator plants
+// exactly one communication defect. All three defect classes are chosen
+// to produce a *blocked receive* — a receive the verifier proves orphaned
+// or deadlocked AND that stalls the DES — because that is the property
+// the verifier-vs-DES oracle needs to be exact. (An unmatched *send*
+// alone would not do: sends are buffered/eager, so the verifier errors
+// but the simulated run still completes.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "mpi/program.h"
+#include "support/json.h"
+
+namespace mb::gen {
+
+/// Communication skeleton of a generated program.
+enum class Pattern : std::uint8_t {
+  kHalo,          ///< 1-D periodic halo exchange (ring neighbours)
+  kAllToAll,      ///< alltoallv rounds with a shared counts vector
+  kPipeline,      ///< rank-chain producer/consumer stages
+  kMasterWorker,  ///< rank 0 scatters tasks, collects results
+  kMixed,         ///< per-round pattern draw + optional collective
+};
+
+std::string_view pattern_name(Pattern p);
+/// Parses a pattern name ("halo", "alltoall", "pipeline",
+/// "master-worker", "mixed"); throws support::Error on anything else.
+Pattern parse_pattern(std::string_view name);
+
+/// The parameter half of the (seed, params) pair. Message sizes are drawn
+/// log-uniformly from [min_bytes, max_bytes]; compute intervals are
+/// compute_s skewed by +/- imbalance per rank per round.
+struct GenParams {
+  Pattern pattern = Pattern::kMixed;
+  std::uint32_t ranks = 8;   ///< even, >= 4 (dual-core node packing)
+  std::uint32_t rounds = 3;  ///< >= 1
+  std::uint64_t min_bytes = 64;
+  std::uint64_t max_bytes = 32 * 1024;
+  double compute_s = 0.002;       ///< mean per-round compute interval
+  double imbalance = 0.3;         ///< per-rank compute skew, in [0, 1)
+  double collective_prob = 0.35;  ///< mixed: trailing collective chance
+  double defect_prob = 0.0;       ///< chance of one injected defect
+};
+
+/// Stable content hash of the parameter set (bundle digests, cache keys).
+std::uint64_t params_hash(const GenParams& params);
+
+/// Writes params as a JSON object value into an open writer (the caller
+/// provides the surrounding key); the inverse of params_from_json.
+void write_params(support::JsonWriter& w, const GenParams& params);
+GenParams params_from_json(const support::JsonValue& v);
+
+struct GeneratedProgram {
+  mpi::Program program{1};
+  /// Injected defect class: "" (clean), "tag-mismatch", "missing-send"
+  /// or "recv-cycle".
+  std::string defect;
+
+  bool has_defect() const { return !defect.empty(); }
+};
+
+/// Generates the program for (seed, params). Deterministic: identical
+/// inputs yield identical programs on every platform and build. Clean
+/// programs (defect empty) verify with zero errors and complete under
+/// the DES; defective programs do neither. Throws support::Error on
+/// out-of-range params.
+GeneratedProgram generate(std::uint64_t seed, const GenParams& params);
+
+/// Stable content hash of a program (determinism tests, replay checks).
+std::uint64_t program_digest(const mpi::Program& program);
+
+/// Per-seed parameter derivation for fuzz sweeps: unpinned dimensions
+/// (pattern, ranks, rounds) are drawn from the seed so one seed range
+/// covers the whole pattern/size matrix; pinned ones keep base's value.
+struct SweepSpec {
+  GenParams base;
+  bool pin_pattern = false;
+  bool pin_ranks = false;
+  bool pin_rounds = false;
+};
+
+GenParams sweep_params(std::uint64_t seed, const SweepSpec& spec);
+
+}  // namespace mb::gen

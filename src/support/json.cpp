@@ -449,4 +449,34 @@ JsonValue parse_json(std::string_view text) {
   return p.parse_document();
 }
 
+void write_json_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      w.null();
+      break;
+    case JsonValue::Kind::kBool:
+      w.value(v.as_bool());
+      break;
+    case JsonValue::Kind::kNumber:
+      w.value(v.as_number());
+      break;
+    case JsonValue::Kind::kString:
+      w.value(v.as_string());
+      break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const auto& item : v.as_array()) write_json_value(w, item);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [name, member] : v.members()) {
+        w.key(name);
+        write_json_value(w, member);
+      }
+      w.end_object();
+      break;
+  }
+}
+
 }  // namespace mb::support

@@ -140,4 +140,11 @@ class JsonValue {
 /// input.
 JsonValue parse_json(std::string_view text);
 
+/// Re-emits a parsed value through a writer (as the next value in the
+/// writer's current context). Member order is preserved and numbers use
+/// the writer's round-trip formatting, so parse -> write -> parse is
+/// value-identical; used to embed one document inside another (e.g. a
+/// fault plan inside an mb-repro bundle).
+void write_json_value(JsonWriter& w, const JsonValue& v);
+
 }  // namespace mb::support

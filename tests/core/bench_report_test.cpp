@@ -174,6 +174,38 @@ TEST(BenchReport, ParsesReportsWithoutVersionOrMetrics) {
   EXPECT_TRUE(parsed.metrics.empty());
 }
 
+TEST(BenchReport, FailureSectionIsOptionalAndRoundTrips) {
+  // Reports without a failure omit the section entirely.
+  const std::string clean = to_json(small_report());
+  EXPECT_EQ(clean.find("\"failure\""), std::string::npos);
+  EXPECT_FALSE(report_from_json(clean).failure.present);
+
+  BenchReport report = small_report();
+  report.failure.present = true;
+  report.failure.dead_ranks = {3, 7};
+  RunFailure::Blocked b;
+  b.rank = 1;
+  b.peer = 3;
+  b.tag = -42;
+  b.op_index = 19;
+  b.since_s = 0.125;
+  b.timed_out = true;
+  report.failure.blocked.push_back(b);
+  report.failure.detected_s = 0.5;
+
+  const BenchReport parsed = report_from_json(to_json(report));
+  ASSERT_TRUE(parsed.failure.present);
+  EXPECT_EQ(parsed.failure.dead_ranks, (std::vector<std::uint32_t>{3, 7}));
+  ASSERT_EQ(parsed.failure.blocked.size(), 1u);
+  EXPECT_EQ(parsed.failure.blocked[0].rank, 1u);
+  EXPECT_EQ(parsed.failure.blocked[0].peer, 3u);
+  EXPECT_EQ(parsed.failure.blocked[0].tag, -42);
+  EXPECT_EQ(parsed.failure.blocked[0].op_index, 19u);
+  EXPECT_DOUBLE_EQ(parsed.failure.blocked[0].since_s, 0.125);
+  EXPECT_TRUE(parsed.failure.blocked[0].timed_out);
+  EXPECT_DOUBLE_EQ(parsed.failure.detected_s, 0.5);
+}
+
 TEST(BenchReport, AddPlatformDeduplicatesByName) {
   BenchReport report;
   report.add_platform({"toy", 2, 1e9, 2.5, 4.0, 8.0});

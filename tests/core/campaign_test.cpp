@@ -173,6 +173,48 @@ TEST_F(RunCampaignTest, DisabledCacheAlwaysExecutes) {
   EXPECT_FALSE(fs::exists(dir_));
 }
 
+TEST_F(RunCampaignTest, ThrowingTaskStillCommitsCompletedResults) {
+  // Serial executor, failing task last: tasks 0..2 complete before the
+  // throw, and their results must be committed to the cache so the re-run
+  // only re-simulates what actually needs it.
+  std::atomic<int> executed{0};
+  bool fixed = false;
+  auto tasks = counting_tasks(4, executed);
+  tasks[3].run = [&executed, &fixed] {
+    ++executed;
+    if (!fixed) throw std::runtime_error("flaky point");
+    return std::vector<double>{3.0, 1.5};
+  };
+  CampaignOptions opts;
+  opts.jobs = 1;
+  opts.cache_dir = dir_;
+
+  EXPECT_THROW(run_campaign(tasks, opts), std::runtime_error);
+  EXPECT_EQ(executed.load(), 4);
+
+  fixed = true;
+  const CampaignResult rerun = run_campaign(tasks, opts);
+  EXPECT_EQ(rerun.stats.cache_hits, 3u) << "completed tasks were not committed";
+  EXPECT_EQ(rerun.stats.cache_misses, 1u);
+  EXPECT_EQ(executed.load(), 5) << "only the failing task may re-execute";
+  EXPECT_EQ(rerun.samples[3], (std::vector<double>{3.0, 1.5}));
+}
+
+TEST_F(RunCampaignTest, ByteBudgetEvictsAfterTheRun) {
+  std::atomic<int> executed{0};
+  const auto tasks = counting_tasks(6, executed);
+  CampaignOptions opts;
+  opts.cache_dir = dir_;
+  opts.cache_max_bytes = 1;  // nothing fits: every stored entry is evicted
+  const CampaignResult result = run_campaign(tasks, opts);
+  EXPECT_EQ(result.stats.cache_evictions, 6u);
+  EXPECT_EQ(result.stats.cache_quarantined, 0u);
+  // The next run misses everything again — the budget won.
+  const CampaignResult rerun = run_campaign(tasks, opts);
+  EXPECT_EQ(rerun.stats.cache_hits, 0u);
+  EXPECT_EQ(rerun.stats.cache_misses, 6u);
+}
+
 TEST_F(RunCampaignTest, SummaryMentionsEverything) {
   CampaignStats stats;
   stats.tasks = 12;
@@ -188,6 +230,12 @@ TEST_F(RunCampaignTest, SummaryMentionsEverything) {
   EXPECT_EQ(campaign_summary(stats, opts),
             "campaign: 12 task(s), 8 cache hit(s), 4 miss(es), jobs 4, "
             "3 steal(s) [cache disabled]");
+  opts.cache = true;
+  stats.cache_evictions = 2;
+  stats.cache_quarantined = 1;
+  EXPECT_EQ(campaign_summary(stats, opts),
+            "campaign: 12 task(s), 8 cache hit(s), 4 miss(es), jobs 4, "
+            "3 steal(s), 2 evicted, 1 quarantined");
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 namespace mb::core {
 namespace {
@@ -139,6 +141,96 @@ TEST_F(ResultCacheTest, KeyEchoMismatchReadsAsMiss) {
 TEST_F(ResultCacheTest, MissWhenDirectoryAbsent) {
   const ResultCache cache(dir_, true);
   EXPECT_FALSE(cache.lookup(sample_key()).has_value());
+}
+
+TEST_F(ResultCacheTest, CorruptEntryIsQuarantinedNotDeleted) {
+  const ResultCache cache(dir_, true);
+  ASSERT_TRUE(cache.store(sample_key(), {1.0}));
+  const fs::path path = fs::path(dir_) / sample_key().digest().substr(0, 2) /
+                        (sample_key().digest() + ".json");
+  std::ofstream(path) << "{ truncated garbage";
+
+  EXPECT_FALSE(cache.lookup(sample_key()).has_value());
+  EXPECT_EQ(cache.quarantined(), 1u);
+  // The evidence is moved aside, not destroyed.
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(fs::path(path.string() + ".quarantined")));
+  // The next lookup is an honest miss: nothing left to re-parse or
+  // re-quarantine.
+  EXPECT_FALSE(cache.lookup(sample_key()).has_value());
+  EXPECT_EQ(cache.quarantined(), 1u);
+}
+
+TEST_F(ResultCacheTest, KeyEchoMismatchIsNotQuarantined) {
+  // A digest collision is a well-formed entry for a *different* key; it
+  // must stay a plain miss with the file left untouched.
+  const ResultCache cache(dir_, true);
+  CacheKey other = sample_key();
+  other.seed = 1000;
+  ASSERT_TRUE(cache.store(other, {1.0}));
+  const fs::path stored = fs::path(dir_) / other.digest().substr(0, 2) /
+                          (other.digest() + ".json");
+  const fs::path target = fs::path(dir_) / sample_key().digest().substr(0, 2) /
+                          (sample_key().digest() + ".json");
+  fs::create_directories(target.parent_path());
+  fs::rename(stored, target);
+  EXPECT_FALSE(cache.lookup(sample_key()).has_value());
+  EXPECT_EQ(cache.quarantined(), 0u);
+  EXPECT_TRUE(fs::exists(target));
+}
+
+TEST_F(ResultCacheTest, EvictsOldestEntriesFirstUnderByteBudget) {
+  std::vector<CacheKey> keys;
+  std::vector<fs::path> paths;
+  {
+    const ResultCache writer(dir_, true);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      CacheKey k = sample_key();
+      k.seed = i;
+      ASSERT_TRUE(writer.store(k, {static_cast<double>(i)}));
+      const fs::path p = fs::path(dir_) / k.digest().substr(0, 2) /
+                         (k.digest() + ".json");
+      // Pin distinct mtimes so "oldest" is unambiguous even on coarse
+      // filesystem clocks: key 0 oldest, key 2 newest.
+      fs::last_write_time(
+          p, fs::file_time_type::clock::now() - std::chrono::hours(3 - i));
+      keys.push_back(k);
+      paths.push_back(p);
+    }
+  }
+  // Budget fits exactly one entry: the two oldest must go.
+  const ResultCache cache(dir_, true, fs::file_size(paths[2]));
+  EXPECT_EQ(cache.evict(), 2u);
+  EXPECT_FALSE(fs::exists(paths[0]));
+  EXPECT_FALSE(fs::exists(paths[1]));
+  EXPECT_TRUE(fs::exists(paths[2]));
+  EXPECT_TRUE(cache.lookup(keys[2]).has_value());
+  // Already under budget: idempotent.
+  EXPECT_EQ(cache.evict(), 0u);
+}
+
+TEST_F(ResultCacheTest, EvictionIgnoresQuarantinedFiles) {
+  const ResultCache writer(dir_, true);
+  ASSERT_TRUE(writer.store(sample_key(), {1.0}));
+  const fs::path path = fs::path(dir_) / sample_key().digest().substr(0, 2) /
+                        (sample_key().digest() + ".json");
+  std::ofstream(path) << "broken";
+  EXPECT_FALSE(writer.lookup(sample_key()).has_value());
+  const fs::path quarantined(path.string() + ".quarantined");
+  ASSERT_TRUE(fs::exists(quarantined));
+
+  // A 1-byte budget evicts every live entry but never the quarantined one.
+  const ResultCache bounded(dir_, true, 1);
+  EXPECT_EQ(bounded.evict(), 0u);  // nothing live to count or remove
+  EXPECT_TRUE(fs::exists(quarantined));
+}
+
+TEST_F(ResultCacheTest, UnboundedCacheNeverEvicts) {
+  const ResultCache cache(dir_, true);  // max_bytes defaults to 0
+  EXPECT_EQ(cache.max_bytes(), 0u);
+  ASSERT_TRUE(cache.store(sample_key(), {1.0}));
+  EXPECT_EQ(cache.evict(), 0u);
+  EXPECT_TRUE(cache.lookup(sample_key()).has_value());
 }
 
 }  // namespace

@@ -1,0 +1,92 @@
+// The ISSUE-level differential property: across a seeded 500-program
+// sweep the verifier flags exactly the programs the DES cannot complete,
+// and for every clean program the static cost bounds bracket the measured
+// makespan with exactly matching byte counters. A smaller sweep exercises
+// the sharded-identity and chaos-determinism arms (they re-run the DES,
+// so the full 500 would dominate test wall-clock).
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gen/differential.h"
+#include "gen/generator.h"
+#include "support/hash.h"
+
+namespace mb::gen {
+namespace {
+
+TEST(Differential, FiveHundredSeedSweepAgreesOnAllOracles) {
+  SweepSpec spec;
+  spec.base.defect_prob = 0.2;  // mix defective programs into the sweep
+  DiffConfig config;
+  config.sim_jobs = 0;  // sharded arm covered by the smaller sweep below
+  config.check_static = true;
+
+  int defective = 0;
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    const std::uint64_t gen_seed = support::derive_seed(2013, seed);
+    const GenParams params = sweep_params(gen_seed, spec);
+    const SeedOutcome outcome = run_differential(gen_seed, params, config);
+    if (!outcome.defect.empty()) ++defective;
+    ASSERT_TRUE(outcome.ok())
+        << "seed " << seed << " (" << pattern_name(params.pattern)
+        << ", defect '" << outcome.defect
+        << "'): " << outcome.discrepancies.front();
+    // Clean programs must have exercised the static arm.
+    if (outcome.verifier_errors == 0) {
+      EXPECT_TRUE(outcome.has_static);
+    }
+  }
+  // The defect rate really injected defects into the sweep.
+  EXPECT_GT(defective, 50);
+  EXPECT_LT(defective, 200);
+}
+
+TEST(Differential, ShardedAndChaosArmsAgreeOnCleanPrograms) {
+  SweepSpec spec;
+  spec.base.defect_prob = 0.0;
+  DiffConfig config;
+  config.sim_jobs = 3;
+  config.with_chaos = true;
+
+  int chaos_runs = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const std::uint64_t gen_seed = support::derive_seed(7, seed);
+    const GenParams params = sweep_params(gen_seed, spec);
+    const SeedOutcome outcome = run_differential(gen_seed, params, config);
+    ASSERT_TRUE(outcome.ok()) << "seed " << seed << ": "
+                              << outcome.discrepancies.front();
+    EXPECT_TRUE(outcome.has_sharded);
+    if (outcome.has_chaos) ++chaos_runs;
+  }
+  EXPECT_EQ(chaos_runs, 20);
+}
+
+TEST(Differential, PretendCleanForcesDiscrepancyOnDefectiveSeeds) {
+  GenParams params;
+  params.defect_prob = 1.0;
+  DiffConfig config;
+  config.pretend_clean = true;
+  const SeedOutcome outcome = run_differential(11, params, config);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.failed_oracle, "verifier-vs-des");
+  // The honest differential on the same seed agrees with itself.
+  config.pretend_clean = false;
+  EXPECT_TRUE(run_differential(11, params, config).ok());
+}
+
+TEST(Differential, UpgradedTreeRunsTheSameOracles) {
+  GenParams params;
+  params.pattern = Pattern::kHalo;
+  DiffConfig config;
+  config.tree = "upgraded";
+  config.sim_jobs = 2;
+  const SeedOutcome outcome = run_differential(3, params, config);
+  ASSERT_TRUE(outcome.ok()) << outcome.discrepancies.front();
+  EXPECT_TRUE(outcome.has_sharded);
+  EXPECT_TRUE(outcome.has_static);
+}
+
+}  // namespace
+}  // namespace mb::gen

@@ -1,0 +1,126 @@
+// The generator's contract: deterministic in (seed, params), clean
+// programs verify clean and complete, defective programs are flagged
+// and block — the exactness the differential oracle builds on.
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "support/check.h"
+#include "support/json.h"
+#include "verify/mpi_verify.h"
+
+namespace mb::gen {
+namespace {
+
+TEST(Generator, DeterministicInSeedAndParams) {
+  GenParams params;
+  params.pattern = Pattern::kMixed;
+  params.collective_prob = 0.5;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const GeneratedProgram a = generate(seed, params);
+    const GeneratedProgram b = generate(seed, params);
+    EXPECT_EQ(program_digest(a.program), program_digest(b.program));
+    EXPECT_EQ(a.defect, b.defect);
+  }
+}
+
+TEST(Generator, DistinctSeedsProduceDistinctPrograms) {
+  GenParams params;
+  std::set<std::uint64_t> digests;
+  for (std::uint64_t seed = 0; seed < 32; ++seed)
+    digests.insert(program_digest(generate(seed, params).program));
+  // Collisions are theoretically possible but 32 identical draws are not.
+  EXPECT_GT(digests.size(), 24u);
+}
+
+TEST(Generator, CleanProgramsVerifyCleanForEveryPattern) {
+  for (Pattern pattern : {Pattern::kHalo, Pattern::kAllToAll,
+                          Pattern::kPipeline, Pattern::kMasterWorker,
+                          Pattern::kMixed}) {
+    GenParams params;
+    params.pattern = pattern;
+    params.defect_prob = 0.0;
+    params.collective_prob = 0.6;
+    for (std::uint64_t seed = 0; seed < 24; ++seed) {
+      const GeneratedProgram g = generate(seed, params);
+      ASSERT_FALSE(g.has_defect());
+      const verify::Report report = verify::verify_program(g.program);
+      EXPECT_FALSE(report.has_errors())
+          << pattern_name(pattern) << " seed " << seed << ": "
+          << render_diagnostics(report);
+    }
+  }
+}
+
+TEST(Generator, DefectiveProgramsAlwaysFailVerification) {
+  GenParams params;
+  params.defect_prob = 1.0;
+  std::set<std::string> classes;
+  for (std::uint64_t seed = 0; seed < 48; ++seed) {
+    const GeneratedProgram g = generate(seed, params);
+    ASSERT_TRUE(g.has_defect());
+    classes.insert(g.defect);
+    const verify::Report report = verify::verify_program(g.program);
+    EXPECT_TRUE(report.has_errors()) << g.defect << " seed " << seed;
+  }
+  // All three defect classes show up across 48 seeds.
+  EXPECT_EQ(classes.size(), 3u);
+}
+
+TEST(Generator, ParamsRoundTripThroughJson) {
+  GenParams params;
+  params.pattern = Pattern::kPipeline;
+  params.ranks = 12;
+  params.rounds = 5;
+  params.min_bytes = 128;
+  params.max_bytes = 1 << 20;
+  params.compute_s = 0.0035;
+  params.imbalance = 0.42;
+  params.collective_prob = 0.1;
+  params.defect_prob = 0.25;
+
+  support::JsonWriter w;
+  write_params(w, params);
+  const GenParams back = params_from_json(support::parse_json(w.str()));
+  EXPECT_EQ(params_hash(back), params_hash(params));
+}
+
+TEST(Generator, RejectsOutOfRangeParams) {
+  GenParams params;
+  params.ranks = 3;  // odd and below the minimum
+  EXPECT_THROW(generate(0, params), support::Error);
+  params = GenParams{};
+  params.min_bytes = 0;
+  EXPECT_THROW(generate(0, params), support::Error);
+  EXPECT_THROW(parse_pattern("ring"), support::Error);
+}
+
+TEST(Generator, SweepCoversPatternsAndRankCounts) {
+  SweepSpec spec;
+  std::set<Pattern> patterns;
+  std::set<std::uint32_t> ranks;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const GenParams p = sweep_params(seed, spec);
+    patterns.insert(p.pattern);
+    ranks.insert(p.ranks);
+    EXPECT_EQ(params_hash(p), params_hash(sweep_params(seed, spec)));
+  }
+  EXPECT_EQ(patterns.size(), 5u);
+  EXPECT_EQ(ranks.size(), 4u);
+
+  spec.pin_pattern = true;
+  spec.base.pattern = Pattern::kHalo;
+  spec.pin_ranks = true;
+  spec.base.ranks = 6;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const GenParams p = sweep_params(seed, spec);
+    EXPECT_EQ(p.pattern, Pattern::kHalo);
+    EXPECT_EQ(p.ranks, 6u);
+  }
+}
+
+}  // namespace
+}  // namespace mb::gen

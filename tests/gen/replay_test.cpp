@@ -1,0 +1,94 @@
+// mb-repro bundles: byte-identical serialization round-trips and replays
+// whose digests match the capture for any --sim-jobs worker count — the
+// single-artifact reproduction contract.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gen/bundle.h"
+#include "gen/differential.h"
+#include "gen/generator.h"
+#include "support/check.h"
+
+namespace mb::gen {
+namespace {
+
+SeedOutcome capture(std::uint64_t gen_seed, const DiffConfig& config,
+                    double defect_prob) {
+  GenParams params;
+  params.defect_prob = defect_prob;
+  return run_differential(gen_seed, params, config);
+}
+
+TEST(ReproBundle, JsonRoundTripIsByteIdentical) {
+  DiffConfig config;
+  config.with_chaos = true;  // exercises the embedded fault plan too
+  const SeedOutcome outcome = capture(5, config, 0.0);
+  ASSERT_TRUE(outcome.has_fault_plan);
+  const ReproBundle bundle = make_bundle(outcome, config, 2013);
+
+  const std::string text = to_json(bundle);
+  const ReproBundle back = bundle_from_json(text);
+  EXPECT_EQ(to_json(back), text);
+  EXPECT_EQ(back.seed, 2013u);
+  EXPECT_EQ(back.gen_seed, 5u);
+  EXPECT_TRUE(back.has_fault_plan);
+  EXPECT_EQ(back.expected.des_digest, bundle.expected.des_digest);
+  EXPECT_EQ(back.expected.chaos_digest, bundle.expected.chaos_digest);
+}
+
+TEST(ReproBundle, RejectsForeignDocuments) {
+  EXPECT_THROW(bundle_from_json("{\"schema\": \"mb-fault-plan\"}"),
+               support::Error);
+  EXPECT_THROW(bundle_from_json("not json"), support::Error);
+}
+
+TEST(Replay, DigestsMatchAcrossSimJobsWorkerCounts) {
+  DiffConfig config;
+  config.sim_jobs = 2;
+  config.with_chaos = true;
+  const SeedOutcome outcome = capture(9, config, 0.0);
+  ASSERT_TRUE(outcome.ok());
+  const ReproBundle bundle = make_bundle(outcome, config, 2013);
+
+  // The property the ISSUE names: byte-identical replay across the
+  // --sim-jobs 1/4 matrix (and the bundle's own recorded count).
+  for (int sim_jobs : {-1, 1, 4}) {
+    const ReplayOutcome rep = replay_bundle(bundle, sim_jobs);
+    EXPECT_TRUE(rep.match())
+        << "sim_jobs " << sim_jobs << ": " << rep.mismatches.front();
+  }
+}
+
+TEST(Replay, DefectiveSeedBundleReplaysFaithfully) {
+  // The deliberate-discrepancy fixture: pretend_clean makes the capture
+  // disagree, the bundle records the honest digests, and replay confirms
+  // them — the anomaly is reproducible from the artifact alone.
+  DiffConfig config;
+  config.pretend_clean = true;
+  const SeedOutcome outcome = capture(11, config, 1.0);
+  ASSERT_FALSE(outcome.ok());
+  const ReproBundle bundle = make_bundle(outcome, config, 2013);
+  EXPECT_EQ(bundle.oracle, "verifier-vs-des");
+  EXPECT_FALSE(bundle.expected.des_completed);
+
+  const ReplayOutcome rep = replay_bundle(bundle);
+  EXPECT_TRUE(rep.match()) << rep.mismatches.front();
+  EXPECT_GT(rep.observed.verifier_errors, 0u);
+}
+
+TEST(Replay, DetectsForgedDigests) {
+  DiffConfig config;
+  config.sim_jobs = 0;
+  const SeedOutcome outcome = capture(13, config, 0.0);
+  ASSERT_TRUE(outcome.ok());
+  ReproBundle bundle = make_bundle(outcome, config, 2013);
+  bundle.expected.des_digest ^= 1;  // corrupt one recorded digest
+  const ReplayOutcome rep = replay_bundle(bundle);
+  ASSERT_FALSE(rep.match());
+  EXPECT_NE(rep.mismatches.front().find("des_digest"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mb::gen
