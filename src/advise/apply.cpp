@@ -1,0 +1,159 @@
+#include "advise/apply.h"
+
+#include <cstdio>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+#include "support/hash.h"
+#include "support/version.h"
+
+namespace mb::advise {
+namespace {
+
+std::string pct(double frac) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * frac);
+  return buf;
+}
+
+std::string fmt1(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+core::BenchReport arm_report(const Arm& arm, std::vector<double> samples,
+                             const ApplyOptions& options,
+                             std::string_view scenario) {
+  core::BenchReport report;
+  report.suite = "advise-apply";
+  report.seed = options.seed;
+  report.plan.repetitions = options.reps;
+  report.plan.seed = options.seed;
+  core::BenchRecord record;
+  record.name = std::string(scenario) + "/" + arm.name;
+  record.metric = options.metric;
+  record.unit = options.unit;
+  record.direction = core::Direction::kMinimize;
+  record.samples = std::move(samples);
+  report.records.push_back(std::move(record));
+  return report;
+}
+
+}  // namespace
+
+void verify_recommendation(Recommendation& rec, std::string_view scenario,
+                           const Arm& baseline, const Arm& candidate,
+                           const ApplyOptions& options) {
+  if (!rec.appliable) return;
+  support::check(options.reps > 0, "verify_recommendation",
+                 "reps must be positive");
+
+  // Both arms, every repetition, as one campaign: cache hits replay
+  // byte-identically, misses run (serially when the arms touch the
+  // global obs registry). Keys carry only the arm name, rep and config
+  // hash — NOT the recommendation id — so the baseline arm, which is the
+  // same measurement for every recommendation of a scenario, is simulated
+  // once and replayed from cache for the rest. Rep i of both arms shares
+  // one derived measurement seed (paired noise).
+  std::vector<core::CampaignTask> tasks;
+  tasks.reserve(2 * options.reps);
+  for (const Arm* arm : {&baseline, &candidate}) {
+    for (std::uint32_t rep = 0; rep < options.reps; ++rep) {
+      const std::uint64_t rep_seed = support::derive_seed(options.seed, rep);
+      core::CampaignTask task;
+      task.key = {std::string(support::version()),
+                  "advise:" + std::string(scenario), arm->name,
+                  "rep=" + std::to_string(rep), rep_seed,
+                  options.config_hash};
+      task.run = [arm, rep_seed] {
+        return std::vector<double>{arm->measure(rep_seed)};
+      };
+      tasks.push_back(std::move(task));
+    }
+  }
+  core::CampaignOptions campaign = options.campaign;
+  if (options.serial_only) campaign.jobs = 1;
+  const core::CampaignResult result = core::run_campaign(tasks, campaign);
+  // Totals on stderr like every other sweeping command — never on
+  // stdout, which must stay byte-identical across cache states.
+  std::cerr << core::campaign_summary(result.stats, campaign) << "\n";
+
+  std::vector<double> base_samples, cand_samples;
+  for (std::uint32_t rep = 0; rep < options.reps; ++rep)
+    base_samples.push_back(result.samples[rep].at(0));
+  for (std::uint32_t rep = 0; rep < options.reps; ++rep)
+    cand_samples.push_back(result.samples[options.reps + rep].at(0));
+
+  const core::BenchReport base_report =
+      arm_report(baseline, std::move(base_samples), options, scenario);
+  const core::BenchReport cand_report =
+      arm_report(candidate, std::move(cand_samples), options, scenario);
+
+  // The candidate arm runs under a different record name than the
+  // baseline (the configuration changed); compare them under one name so
+  // compare_reports pairs them.
+  core::BenchReport cand_aligned = cand_report;
+  cand_aligned.records[0].name = base_report.records[0].name;
+  const core::CompareResult compared =
+      core::compare_reports(base_report, cand_aligned, options.compare);
+  support::check(compared.entries.size() == 1, "verify_recommendation",
+                 "expected exactly one compared record");
+  const core::Comparison& entry = compared.entries[0];
+
+  rec.measured_baseline = entry.baseline_center;
+  rec.measured_candidate = entry.candidate_center;
+  rec.measured_delta =
+      entry.baseline_center > 0.0
+          ? (entry.baseline_center - entry.candidate_center) /
+                entry.baseline_center
+          : 0.0;
+
+  const bool improved = entry.verdict == core::Verdict::kImproved;
+  const bool in_bracket = rec.measured_delta >= rec.predicted_delta_lo &&
+                          rec.measured_delta <= rec.predicted_delta_hi;
+  if (improved && in_bracket) {
+    rec.verdict = Verdict::kAccepted;
+    rec.verdict_reason =
+        "compare confirms a significant improvement and the measured "
+        "delta lands inside the predicted bracket [" +
+        pct(rec.predicted_delta_lo) + ", " + pct(rec.predicted_delta_hi) +
+        "]";
+  } else {
+    rec.verdict = Verdict::kRejected;
+    if (!improved) {
+      rec.verdict_reason =
+          "compare verdict '" + std::string(core::verdict_name(entry.verdict)) +
+          "': the measured delta does not clear the noise model "
+          "(threshold " +
+          pct(options.compare.min_rel_delta) + " and " +
+          fmt1(options.compare.threshold_sigma) + " sigma)";
+    } else {
+      rec.verdict_reason =
+          "significant improvement, but the measured delta " +
+          pct(rec.measured_delta) + " falls outside the predicted bracket [" +
+          pct(rec.predicted_delta_lo) + ", " + pct(rec.predicted_delta_hi) +
+          "] — the advisor's model was wrong even though the change helped";
+    }
+  }
+}
+
+mpi::Program rewrite_allreduce(const mpi::Program& program,
+                               std::string_view label) {
+  mpi::Program rewritten(program.ranks());
+  for (std::uint32_t r = 0; r < program.ranks(); ++r) {
+    for (const mpi::Op& op : program.rank(r)) {
+      if (op.kind == mpi::Op::Kind::kAllreduce && op.label == label) {
+        rewritten.append(r, mpi::Op::reduce(0, op.bytes, op.label));
+        rewritten.append(r, mpi::Op::bcast(0, op.bytes, op.label));
+      } else {
+        rewritten.append(r, op);
+      }
+    }
+  }
+  return rewritten;
+}
+
+}  // namespace mb::advise

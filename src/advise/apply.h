@@ -1,0 +1,69 @@
+// Guarded apply: a recommendation is a hypothesis, not an edict.
+//
+// verify_recommendation() re-runs the affected configuration — baseline
+// and candidate arms, several repetitions each, through the cache-backed
+// campaign runner — and hands both sample sets to the compare gate's
+// noise model. A recommendation is accepted only when (a) compare calls
+// the candidate a significant improvement AND (b) the measured delta
+// lands inside the advisor's own predicted bracket. Anything else is
+// recorded as rejected with the reason. The advisor therefore cannot
+// quietly take credit for noise, and a rejected recommendation is as
+// informative an artifact as an accepted one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "advise/advice.h"
+#include "core/campaign.h"
+#include "core/compare.h"
+#include "mpi/program.h"
+
+namespace mb::advise {
+
+/// One measurable configuration. measure() produces a single sample of
+/// the recommendation's metric; it must be a pure function of rep_seed
+/// (the campaign cache replays it byte-identically otherwise).
+struct Arm {
+  std::string name;  ///< e.g. "baseline" / "candidate"
+  std::function<double(std::uint64_t rep_seed)> measure;
+};
+
+struct ApplyOptions {
+  core::CampaignOptions campaign;
+  core::CompareOptions compare;
+  /// Repetitions per arm; rep i of both arms shares the same derived
+  /// seed, so run-to-run noise is paired rather than compounded.
+  std::uint32_t reps = 3;
+  std::uint64_t seed = 2013;
+  /// Hash of everything that shapes an arm's measurement besides its name
+  /// and rep seed (app parameters, fault plan, cluster knobs). Folded into
+  /// the campaign cache key so editing the scenario invalidates cached
+  /// arm samples instead of silently replaying stale ones.
+  std::uint64_t config_hash = 0;
+  std::string metric = "seconds";
+  std::string unit = "s";
+  /// DES arms publish to the global obs registry, which is
+  /// single-threaded by design — set this to force the campaign to one
+  /// job regardless of options.campaign.jobs. Pure-machine arms
+  /// (kernel sweeps) may leave it false and run in parallel.
+  bool serial_only = false;
+};
+
+/// Measures `baseline` vs `candidate` and records the verdict (accepted /
+/// rejected, measured values, reason) into `rec`. `scenario` namespaces
+/// the campaign cache keys. No-op for non-appliable recommendations.
+void verify_recommendation(Recommendation& rec, std::string_view scenario,
+                           const Arm& baseline, const Arm& candidate,
+                           const ApplyOptions& options);
+
+/// Rewrites every allreduce with `label` into the algorithm the
+/// switch-collective recommendation proposes: a binomial reduce to rank 0
+/// followed by a binomial bcast of the result. All other ops pass through
+/// untouched.
+mpi::Program rewrite_allreduce(const mpi::Program& program,
+                               std::string_view label);
+
+}  // namespace mb::advise

@@ -114,14 +114,46 @@ void register_probes(obs::TimeSampler& sampler, sim::EventQueue& queue,
   }
 }
 
+// Validates an explicit rank_map: every rank lands on a real node and no
+// node is oversubscribed past its core count.
+void check_rank_map(const ClusterConfig& config, std::uint32_t ranks) {
+  support::check(config.rank_map.size() == ranks, "run_on_cluster",
+                 "rank_map must have one entry per program rank");
+  std::vector<std::uint32_t> occupancy(config.nodes, 0);
+  for (std::uint32_t node : config.rank_map) {
+    support::check(node < config.nodes, "run_on_cluster",
+                   "rank_map entry names a node outside the cluster");
+    support::check(++occupancy[node] <= config.cores_per_node,
+                   "run_on_cluster",
+                   "rank_map oversubscribes a node past cores_per_node");
+  }
+}
+
 }  // namespace
+
+std::vector<std::uint32_t> ranks_on_node(const ClusterConfig& config,
+                                         std::uint32_t node) {
+  std::vector<std::uint32_t> ranks;
+  if (config.rank_map.empty()) {
+    for (std::uint32_t c = 0; c < config.cores_per_node; ++c)
+      ranks.push_back(node * config.cores_per_node + c);
+  } else {
+    for (std::uint32_t r = 0; r < config.rank_map.size(); ++r)
+      if (config.rank_map[r] == node) ranks.push_back(r);
+  }
+  return ranks;
+}
 
 AppRunResult run_on_cluster(const ClusterConfig& config,
                             const mpi::Program& program,
                             const RunHooks& hooks) {
-  support::check(program.ranks() == config.nodes * config.cores_per_node,
-                 "run_on_cluster",
-                 "program ranks must equal nodes * cores_per_node");
+  if (config.rank_map.empty()) {
+    support::check(program.ranks() == config.nodes * config.cores_per_node,
+                   "run_on_cluster",
+                   "program ranks must equal nodes * cores_per_node");
+  } else {
+    check_rank_map(config, program.ranks());
+  }
 
   // Fault injection (hooks, failure detector) and the time sampler need
   // the serial queue: they touch cross-shard state at arbitrary times.
@@ -144,8 +176,12 @@ AppRunResult run_on_cluster(const ClusterConfig& config,
 
   std::vector<net::NodeId> rank_to_host;
   rank_to_host.reserve(program.ranks());
-  for (std::uint32_t r = 0; r < program.ranks(); ++r)
-    rank_to_host.push_back(topo.hosts[r / config.cores_per_node]);
+  for (std::uint32_t r = 0; r < program.ranks(); ++r) {
+    const std::uint32_t node =
+        config.rank_map.empty() ? r / config.cores_per_node
+                                : config.rank_map[r];
+    rank_to_host.push_back(topo.hosts[node]);
+  }
 
   AppRunResult result;
   std::unique_ptr<mpi::Runtime> runtime;

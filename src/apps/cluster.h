@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "mpi/program.h"
 #include "mpi/runtime.h"
@@ -51,7 +52,18 @@ struct ClusterConfig {
   trace::SinkConfig trace_sink;
   /// Metrics time series; forces the serial engine when enabled.
   TimeSeriesConfig timeseries;
+  /// Explicit rank -> node placement. Empty = node-major packing (rank r
+  /// on node r / cores_per_node). When set it must have one entry per
+  /// program rank, every entry < nodes, and at most cores_per_node ranks
+  /// per node; nodes may be left empty (spare nodes the advisor migrates
+  /// ranks onto when one node degrades).
+  std::vector<std::uint32_t> rank_map;
 };
+
+/// Ranks placed on `node` under the config's mapping (rank_map when set,
+/// node-major packing otherwise). Empty for a spare node.
+std::vector<std::uint32_t> ranks_on_node(const ClusterConfig& config,
+                                         std::uint32_t node);
 
 /// The Tibidabo cluster as studied in the paper (Sec. II-B / IV).
 ClusterConfig tibidabo_cluster(std::uint32_t nodes);

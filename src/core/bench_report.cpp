@@ -43,7 +43,10 @@ void append_resultset(BenchReport& report, const ParamSpace& space,
   for (std::size_t v = 0; v < results.variants(); ++v) {
     BenchRecord record;
     record.name = std::string(base_name);
-    if (space.dims() > 0) record.name += "/" + space.at(v).to_string();
+    if (space.dims() > 0) {
+      record.name += "/";
+      record.name += space.at(v).to_string();
+    }
     record.platform = std::string(platform);
     record.metric = std::string(metric);
     record.unit = std::string(unit);

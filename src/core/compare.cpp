@@ -165,10 +165,15 @@ std::vector<MetricDelta> attribute_metrics(const BenchReport& baseline,
 
   // MetricSample::value is the counter/gauge value or the histogram sum —
   // either way the series' scalar magnitude.
+  std::vector<bool> cand_matched(candidate.metrics.size(), false);
   for (const auto& base : baseline.metrics) {
     const std::string key = base.key();
-    for (const auto& cand : candidate.metrics) {
+    bool matched = false;
+    for (std::size_t i = 0; i < candidate.metrics.size(); ++i) {
+      const auto& cand = candidate.metrics[i];
       if (cand.key() != key) continue;
+      matched = true;
+      cand_matched[i] = true;
       MetricDelta d;
       d.key = key;
       d.baseline = base.value;
@@ -181,6 +186,26 @@ std::vector<MetricDelta> attribute_metrics(const BenchReport& baseline,
       if (std::fabs(d.rel_delta) >= min_rel) deltas.push_back(std::move(d));
       break;
     }
+    if (!matched && base.value != 0.0) {
+      // Series vanished from the candidate: full negative movement.
+      MetricDelta d;
+      d.key = key;
+      d.baseline = base.value;
+      d.rel_delta = -1.0;
+      d.presence = MetricDelta::Presence::kBaselineOnly;
+      deltas.push_back(std::move(d));
+    }
+  }
+  for (std::size_t i = 0; i < candidate.metrics.size(); ++i) {
+    const auto& cand = candidate.metrics[i];
+    if (cand_matched[i] || cand.value == 0.0) continue;
+    // Series appeared in the candidate only: full positive movement.
+    MetricDelta d;
+    d.key = cand.key();
+    d.candidate = cand.value;
+    d.rel_delta = 1.0;
+    d.presence = MetricDelta::Presence::kCandidateOnly;
+    deltas.push_back(std::move(d));
   }
   std::sort(deltas.begin(), deltas.end(),
             [](const MetricDelta& a, const MetricDelta& b) {

@@ -84,18 +84,27 @@ CompareResult compare_reports(const BenchReport& baseline,
 
 /// One observability metric's movement between two reports.
 struct MetricDelta {
+  /// Whether the series exists in both reports or only one side. A
+  /// one-sided series is evidence too (a phase that appeared or vanished),
+  /// so it is listed explicitly instead of being silently dropped.
+  enum class Presence { kBoth, kBaselineOnly, kCandidateOnly };
+
   std::string key;  ///< series key, e.g. "mpi.time_s{kind=collective}"
   double baseline = 0.0;
   double candidate = 0.0;
   double rel_delta = 0.0;  ///< (candidate - baseline) / |baseline|
+  Presence presence = Presence::kBoth;
 };
 
 /// Pairs the optional "metrics" sections of two reports by series key and
 /// returns every series whose relative movement exceeds `min_rel`, sorted
-/// by |rel_delta| descending. Purely informational — this is how a
-/// confirmed end-to-end regression gets *attributed* to a phase (the
-/// biggest mover names the suspect subsystem); it never gates. Histogram
-/// series compare by their sum. Empty when either report lacks metrics.
+/// by |rel_delta| descending. Series present on only one side are always
+/// included (unless zero-valued) with `presence` set and rel_delta ±1, so
+/// a diff can never silently drop evidence. Purely informational — this
+/// is how a confirmed end-to-end regression gets *attributed* to a phase
+/// (the biggest mover names the suspect subsystem); it never gates.
+/// Histogram series compare by their sum. Empty when either report lacks
+/// a metrics section entirely (profiling was off).
 std::vector<MetricDelta> attribute_metrics(const BenchReport& baseline,
                                            const BenchReport& candidate,
                                            double min_rel = 0.01);

@@ -46,19 +46,27 @@ apps::RunHooks make_injector(const apps::ClusterConfig& config,
                                    const net::ClusterTopology& topo,
                                    mpi::Runtime& runtime,
                                    trace::Trace& tr) {
-    const std::uint32_t cpn = config.cores_per_node;
+    // Faults target *nodes*; which ranks that hits depends on the
+    // placement (rank_map-aware). A spare node carries no ranks, so a
+    // slowdown or crash there only drops the host link / leaves a mark.
+    const auto node_ranks = [&config](std::uint32_t node) {
+      return apps::ranks_on_node(config, node);
+    };
+    const auto mark_rank = [](const std::vector<std::uint32_t>& ranks) {
+      return ranks.empty() ? 0u : ranks.front();
+    };
 
     for (const NodeCrash& c : plan.crashes) {
       const net::NodeId host = topo.hosts[c.node];
       const net::NodeId leaf = leaf_of(topo, config, c.node);
       const std::uint32_t node = c.node;
+      const std::vector<std::uint32_t> ranks = node_ranks(node);
+      const std::uint32_t track = mark_rank(ranks);
       queue.schedule_in(c.at_s, [&queue, &network, &runtime, &tr, host,
-                                 leaf, node, cpn] {
-        for (std::uint32_t r = node * cpn; r < (node + 1) * cpn; ++r)
-          runtime.crash_rank(r);
+                                 leaf, node, ranks, track] {
+        for (std::uint32_t r : ranks) runtime.crash_rank(r);
         network.set_link_state(host, leaf, false);
-        mark(tr, node * cpn, queue.now(),
-             "crash:node" + std::to_string(node));
+        mark(tr, track, queue.now(), "crash:node" + std::to_string(node));
         obs::metrics().counter("fault.crashes").add(1.0);
       });
     }
@@ -66,17 +74,19 @@ apps::RunHooks make_injector(const apps::ClusterConfig& config,
     for (const NodeSlowdown& s : plan.slowdowns) {
       const std::uint32_t node = s.node;
       const double factor = s.factor;
-      queue.schedule_in(s.at_s, [&queue, &runtime, &tr, node, cpn, factor] {
-        for (std::uint32_t r = node * cpn; r < (node + 1) * cpn; ++r)
-          runtime.set_rank_slowdown(r, factor);
-        mark(tr, node * cpn, queue.now(),
+      const std::vector<std::uint32_t> ranks = node_ranks(node);
+      const std::uint32_t track = mark_rank(ranks);
+      queue.schedule_in(s.at_s, [&queue, &runtime, &tr, node, ranks, track,
+                                 factor] {
+        for (std::uint32_t r : ranks) runtime.set_rank_slowdown(r, factor);
+        mark(tr, track, queue.now(),
              "slowdown:node" + std::to_string(node));
         obs::metrics().counter("fault.slowdowns").add(1.0);
       });
-      queue.schedule_in(s.until_s, [&queue, &runtime, &tr, node, cpn] {
-        for (std::uint32_t r = node * cpn; r < (node + 1) * cpn; ++r)
-          runtime.set_rank_slowdown(r, 1.0);
-        mark(tr, node * cpn, queue.now(),
+      queue.schedule_in(s.until_s, [&queue, &runtime, &tr, node, ranks,
+                                    track] {
+        for (std::uint32_t r : ranks) runtime.set_rank_slowdown(r, 1.0);
+        mark(tr, track, queue.now(),
              "slowdown_end:node" + std::to_string(node));
       });
     }
@@ -85,17 +95,18 @@ apps::RunHooks make_injector(const apps::ClusterConfig& config,
       const net::NodeId host = topo.hosts[d.node];
       const net::NodeId leaf = leaf_of(topo, config, d.node);
       const std::uint32_t node = d.node;
+      const std::uint32_t track = mark_rank(node_ranks(node));
       queue.schedule_in(d.at_s, [&queue, &network, &tr, host, leaf, node,
-                                 cpn] {
+                                 track] {
         network.set_link_state(host, leaf, false);
-        mark(tr, node * cpn, queue.now(),
+        mark(tr, track, queue.now(),
              "link_down:node" + std::to_string(node));
         obs::metrics().counter("fault.link_downs").add(1.0);
       });
       queue.schedule_in(d.until_s, [&queue, &network, &tr, host, leaf,
-                                    node, cpn] {
+                                    node, track] {
         network.set_link_state(host, leaf, true);
-        mark(tr, node * cpn, queue.now(),
+        mark(tr, track, queue.now(),
              "link_up:node" + std::to_string(node));
       });
     }

@@ -40,7 +40,9 @@ void publish_machine(Registry& registry, const sim::Machine& machine) {
   const auto stats = machine.hierarchy().stats();
   for (std::size_t i = 0; i < stats.level.size(); ++i) {
     const cache::CacheStats& s = stats.level[i];
-    const Labels labels{{"level", "L" + std::to_string(i + 1)},
+    std::string level_name = "L";
+    level_name += std::to_string(i + 1);
+    const Labels labels{{"level", std::move(level_name)},
                         {"platform", platform}};
     registry.gauge("cache.accesses", labels)
         .set(static_cast<double>(s.accesses));

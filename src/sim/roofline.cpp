@@ -26,6 +26,160 @@ Roofline sp_roofline(const arch::Platform& platform) {
   return r;
 }
 
+namespace {
+
+// Scalar FP roof: add + mul pipes dual-issuing, capped at issue width.
+double scalar_flops_per_cycle(const arch::CoreConfig& core, bool dp) {
+  const double add_rt = arch::recip_throughput(
+      core, dp ? arch::OpClass::kFpAddDp : arch::OpClass::kFpAddSp);
+  const double mul_rt = arch::recip_throughput(
+      core, dp ? arch::OpClass::kFpMulDp : arch::OpClass::kFpMulSp);
+  double per_cycle = 0.0;
+  if (add_rt > 0.0) per_cycle += 1.0 / add_rt;
+  if (mul_rt > 0.0) per_cycle += 1.0 / mul_rt;
+  return std::min<double>(per_cycle, core.issue_width);
+}
+
+HierarchicalRoofline build_hierarchy(const arch::Platform& platform,
+                                     bool dp) {
+  HierarchicalRoofline h;
+
+  ComputeRoof scalar;
+  scalar.name = dp ? "scalar DP" : "scalar SP";
+  scalar.vector_bits = 0;
+  scalar.gflops =
+      platform.cores * platform.core.freq_hz *
+      scalar_flops_per_cycle(platform.core, dp) / 1e9;
+  h.compute.push_back(scalar);
+
+  const arch::CoreConfig& core = platform.core;
+  const double vec_rt = arch::recip_throughput(
+      core, dp ? arch::OpClass::kVecDp : arch::OpClass::kVecSp);
+  const bool has_vec =
+      core.vector_bits > 0 && vec_rt > 0.0 && (!dp || core.vector_dp);
+  if (has_vec) {
+    ComputeRoof vec;
+    const double lanes = core.vector_bits / (dp ? 64.0 : 32.0);
+    vec.name = std::string("vector ") + (dp ? "DP" : "SP") + " (" +
+               std::to_string(core.vector_bits) + "b)";
+    vec.vector_bits = core.vector_bits;
+    vec.gflops =
+        platform.cores * core.freq_hz * (2.0 * lanes / vec_rt) / 1e9;
+    h.compute.push_back(vec);
+  }
+
+  // One bandwidth roof per cache level: each core can absorb one line per
+  // load-to-use latency, so the chip-level roof is
+  // cores * line_bytes * freq / latency. Shared levels still serve every
+  // core, so the same scaling applies.
+  for (const arch::CacheConfig& c : platform.caches) {
+    MemoryLevel level;
+    level.name = c.name;
+    level.capacity_bytes = c.size_bytes;
+    const double lat = std::max<double>(1.0, c.latency_cycles);
+    level.bandwidth_gbs =
+        platform.cores * c.line_bytes * core.freq_hz / lat / 1e9;
+    h.levels.push_back(level);
+  }
+  MemoryLevel dram;
+  dram.name = "DRAM";
+  dram.capacity_bytes = 0;
+  dram.bandwidth_gbs = platform.mem.bandwidth_bytes_per_s / 1e9;
+  h.levels.push_back(dram);
+  return h;
+}
+
+}  // namespace
+
+const ComputeRoof& HierarchicalRoofline::peak() const {
+  support::check(!compute.empty(), "HierarchicalRoofline::peak",
+                 "no compute roofs");
+  return compute.back();
+}
+
+const ComputeRoof& HierarchicalRoofline::scalar() const {
+  support::check(!compute.empty(), "HierarchicalRoofline::scalar",
+                 "no compute roofs");
+  return compute.front();
+}
+
+const MemoryLevel& HierarchicalRoofline::level_for_working_set(
+    std::uint64_t bytes) const {
+  support::check(!levels.empty(),
+                 "HierarchicalRoofline::level_for_working_set", "no levels");
+  for (const MemoryLevel& level : levels) {
+    if (level.capacity_bytes != 0 && bytes <= level.capacity_bytes) {
+      return level;
+    }
+  }
+  return levels.back();  // DRAM
+}
+
+double HierarchicalRoofline::attainable(double ai, const MemoryLevel& level,
+                                        const ComputeRoof& roof) const {
+  support::check(ai > 0.0, "HierarchicalRoofline::attainable",
+                 "arithmetic intensity must be positive");
+  return std::min(roof.gflops, ai * level.bandwidth_gbs);
+}
+
+double HierarchicalRoofline::vector_speedup() const {
+  const double scalar_gflops = scalar().gflops;
+  if (scalar_gflops <= 0.0) return 1.0;
+  return std::max(1.0, peak().gflops / scalar_gflops);
+}
+
+HierarchicalRoofline hierarchical_dp_roofline(const arch::Platform& platform) {
+  return build_hierarchy(platform, /*dp=*/true);
+}
+
+HierarchicalRoofline hierarchical_sp_roofline(const arch::Platform& platform) {
+  return build_hierarchy(platform, /*dp=*/false);
+}
+
+HierarchicalPoint place_on_hierarchy(const HierarchicalRoofline& roof,
+                                     std::string name, const SimResult& run,
+                                     std::uint32_t cores,
+                                     std::uint64_t working_set_bytes,
+                                     bool vectorized) {
+  support::check(cores >= 1, "place_on_hierarchy", "cores must be >= 1");
+  const auto flops =
+      static_cast<double>(run.counters.get(counters::Counter::kFpOps));
+  support::check(flops > 0.0, "place_on_hierarchy",
+                 "run performed no floating-point work");
+  support::check(run.seconds > 0.0, "place_on_hierarchy",
+                 "run has no duration");
+
+  const MemoryLevel& level = roof.level_for_working_set(working_set_bytes);
+  // DRAM-resident runs report their real DRAM traffic; cache-resident
+  // runs move one working set through the serving level per pass — use
+  // the larger so the intensity never degenerates to "infinite".
+  const double bytes = std::max<double>(
+      {1.0, static_cast<double>(run.dram_bytes),
+       level.capacity_bytes != 0 ? static_cast<double>(working_set_bytes)
+                                 : 0.0});
+
+  const ComputeRoof& compute_roof =
+      vectorized ? roof.peak() : roof.scalar();
+
+  HierarchicalPoint p;
+  p.name = std::move(name);
+  p.intensity = flops / bytes;
+  p.achieved_gflops = flops / run.seconds / 1e9 * cores;
+  p.attainable_gflops = roof.attainable(p.intensity, level, compute_roof);
+  p.roofline_fraction = p.achieved_gflops / p.attainable_gflops;
+  p.memory_bound = p.intensity * level.bandwidth_gbs < compute_roof.gflops;
+  p.bound_by = p.memory_bound ? level.name + " bandwidth" : compute_roof.name;
+  if (!p.memory_bound && !vectorized) {
+    // Compute bound on the scalar roof: the vector roof (if any) caps the
+    // gain a wider-datapath variant could deliver at this intensity.
+    const double vec_attainable =
+        roof.attainable(p.intensity, level, roof.peak());
+    p.vector_headroom =
+        std::max(1.0, vec_attainable / p.attainable_gflops);
+  }
+  return p;
+}
+
 RooflinePoint place_on_roofline(const Roofline& roof, std::string name,
                                 const SimResult& run,
                                 std::uint32_t cores) {

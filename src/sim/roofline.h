@@ -46,4 +46,82 @@ RooflinePoint place_on_roofline(const Roofline& roof, std::string name,
                                 const SimResult& run,
                                 std::uint32_t cores);
 
+// ---------------------------------------------------------------------------
+// Hierarchical roofline (cache-level- and vector-width-aware).
+//
+// The flat roofline above answers "compute or DRAM bound?". The advisor
+// needs two finer questions answered per kernel: *which* memory level is
+// the binding roof for this working set, and how much headroom the vector
+// unit leaves over scalar issue. Both come straight from the `arch`
+// descriptor: one bandwidth roof per cache level (lines per cycle the
+// level can return) plus the DRAM roof, and one compute roof per datapath
+// (scalar FP pipes, vector unit at `core.vector_bits`).
+
+/// One compute ceiling: a datapath and its chip-level peak.
+struct ComputeRoof {
+  std::string name;               ///< "scalar DP", "vector SP (128b)", ...
+  double gflops = 0.0;
+  std::uint32_t vector_bits = 0;  ///< datapath width; 0 = scalar pipes
+};
+
+/// One bandwidth ceiling: a cache level or DRAM.
+struct MemoryLevel {
+  std::string name;            ///< "L1", "L2", "DRAM"
+  double bandwidth_gbs = 0.0;  ///< chip-level sustainable bandwidth
+  /// Working sets up to this many bytes are served from this level.
+  /// 0 marks the DRAM level (unbounded).
+  std::uint64_t capacity_bytes = 0;
+};
+
+/// The full hierarchy: compute roofs (scalar first, widest vector last)
+/// over memory roofs (L1 first, DRAM last). Built from a Platform.
+struct HierarchicalRoofline {
+  std::vector<ComputeRoof> compute;  ///< ordered narrow -> wide
+  std::vector<MemoryLevel> levels;   ///< ordered L1 -> DRAM
+
+  /// The highest compute roof (the flat roofline's `peak_gflops`).
+  const ComputeRoof& peak() const;
+  /// The scalar compute roof (always present).
+  const ComputeRoof& scalar() const;
+  /// The level a working set of `bytes` is served from (innermost level
+  /// whose capacity holds it; DRAM when none does).
+  const MemoryLevel& level_for_working_set(std::uint64_t bytes) const;
+  /// Attainable GFLOPS at intensity `ai` against one (level, roof) pair.
+  double attainable(double ai, const MemoryLevel& level,
+                    const ComputeRoof& roof) const;
+  /// peak vector roof / scalar roof (1.0 when there is no vector unit).
+  double vector_speedup() const;
+};
+
+/// Build the hierarchy from the platform descriptor. Cache-level
+/// bandwidth is modelled as one line per `latency_cycles` per core;
+/// the DRAM roof is `mem.bandwidth_bytes_per_s`.
+HierarchicalRoofline hierarchical_dp_roofline(const arch::Platform& platform);
+HierarchicalRoofline hierarchical_sp_roofline(const arch::Platform& platform);
+
+/// A kernel run placed on the hierarchy.
+struct HierarchicalPoint {
+  std::string name;
+  double intensity = 0.0;         ///< flops per byte at the binding level
+  double achieved_gflops = 0.0;   ///< chip-scaled achieved rate
+  double attainable_gflops = 0.0; ///< min(binding roofs) at this intensity
+  double roofline_fraction = 0.0; ///< achieved / attainable
+  std::string bound_by;           ///< "L2 bandwidth", "DRAM bandwidth",
+                                  ///< or a compute roof name
+  bool memory_bound = false;
+  /// Attainable gain from the widest vector roof when the run is pinned
+  /// under the scalar roof (1.0 = none: already vector or memory bound).
+  double vector_headroom = 1.0;
+};
+
+/// Places a simulated single-core run on the hierarchy. `working_set_bytes`
+/// selects the serving memory level; `vectorized` says whether the kernel
+/// already used the vector datapath (element width > 64 bits or explicit
+/// packed ops).
+HierarchicalPoint place_on_hierarchy(const HierarchicalRoofline& roof,
+                                     std::string name, const SimResult& run,
+                                     std::uint32_t cores,
+                                     std::uint64_t working_set_bytes,
+                                     bool vectorized);
+
 }  // namespace mb::sim

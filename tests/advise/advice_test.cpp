@@ -1,0 +1,160 @@
+// mb-advice v1 document model: naming, ranking, JSON round-trips and the
+// CLI rendering. The golden property throughout: serialization is a
+// bijection on the fields the schema defines, byte-stable across runs.
+#include "advise/advice.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mb::advise {
+namespace {
+
+Recommendation fired_remap() {
+  Recommendation r;
+  r.id = "remap-ranks:node2";
+  r.kind = Kind::kRemapRanks;
+  r.title = "migrate ranks 4,5 off slowed node 2 to a spare node";
+  r.action = "extend the cluster by one spare node";
+  r.target = "node2";
+  r.metric = "time_to_solution_s";
+  r.baseline_value = 12.5;
+  r.proposed_value = 2.0;
+  r.predicted_delta_lo = 0.15;
+  r.predicted_delta_hi = 0.9;
+  r.evidence.push_back({"mb-analysis", "/stragglers/0",
+                        "rank 5 holds 8.26 s of attributed wait"});
+  r.evidence.push_back(
+      {"mb-fault-plan", "/slowdowns/0", "node 2 runs 5x slower"});
+  r.appliable = true;
+  return r;
+}
+
+Recommendation accepted_remap() {
+  Recommendation r = fired_remap();
+  r.verdict = Verdict::kAccepted;
+  r.measured_baseline = 12.5;
+  r.measured_candidate = 4.5;
+  r.measured_delta = 0.64;
+  r.verdict_reason = "compare confirms a significant improvement";
+  return r;
+}
+
+AdviceReport sample_report() {
+  AdviceReport report;
+  report.scenario = "chaos:bigdft";
+  report.seed = 2013;
+  report.applied = true;
+  report.recommendations.push_back(accepted_remap());
+  Recommendation advisory;
+  advisory.id = "sim-jobs";
+  advisory.kind = Kind::kSimJobs;
+  advisory.title = "shard the simulator";
+  advisory.action = "re-run with --sim-jobs 8";
+  advisory.target = "--sim-jobs";
+  advisory.metric = "sim_wall_s";
+  advisory.predicted_delta_hi = 0.875;
+  advisory.verdict = Verdict::kAdvisory;
+  advisory.verdict_reason = "advisory: nothing for guarded apply to confirm";
+  report.recommendations.push_back(advisory);
+  return report;
+}
+
+TEST(Advice, KindNamesRoundTrip) {
+  for (Kind k : {Kind::kRemapRanks, Kind::kSwitchCollective,
+                 Kind::kCheckpointInterval, Kind::kKernelVariant,
+                 Kind::kSimJobs})
+    EXPECT_EQ(parse_kind(kind_name(k)), k);
+  EXPECT_THROW(parse_kind("frobnicate"), support::Error);
+}
+
+TEST(Advice, VerdictNamesRoundTrip) {
+  for (Verdict v : {Verdict::kPending, Verdict::kAccepted,
+                    Verdict::kRejected, Verdict::kAdvisory})
+    EXPECT_EQ(parse_verdict(verdict_name(v)), v);
+  EXPECT_THROW(parse_verdict("maybe"), support::Error);
+}
+
+TEST(Advice, JsonRoundTripIsByteIdentical) {
+  const AdviceReport report = sample_report();
+  const std::string once = to_json(report);
+  const AdviceReport parsed = advice_from_json(once);
+  EXPECT_EQ(to_json(parsed), once);
+}
+
+TEST(Advice, JsonRoundTripPreservesFields) {
+  const AdviceReport parsed = advice_from_json(to_json(sample_report()));
+  EXPECT_EQ(parsed.scenario, "chaos:bigdft");
+  EXPECT_EQ(parsed.seed, 2013u);
+  EXPECT_TRUE(parsed.applied);
+  ASSERT_EQ(parsed.recommendations.size(), 2u);
+  const Recommendation& r = parsed.recommendations[0];
+  EXPECT_EQ(r.id, "remap-ranks:node2");
+  EXPECT_EQ(r.kind, Kind::kRemapRanks);
+  EXPECT_EQ(r.verdict, Verdict::kAccepted);
+  EXPECT_DOUBLE_EQ(r.predicted_delta_lo, 0.15);
+  EXPECT_DOUBLE_EQ(r.predicted_delta_hi, 0.9);
+  EXPECT_DOUBLE_EQ(r.measured_delta, 0.64);
+  ASSERT_EQ(r.evidence.size(), 2u);
+  EXPECT_EQ(r.evidence[1].artifact, "mb-fault-plan");
+  EXPECT_EQ(r.evidence[1].pointer, "/slowdowns/0");
+  EXPECT_TRUE(r.appliable);
+  EXPECT_FALSE(parsed.recommendations[1].appliable);
+  EXPECT_EQ(parsed.recommendations[1].verdict, Verdict::kAdvisory);
+}
+
+TEST(Advice, JsonCarriesSchemaStamp) {
+  const std::string json = to_json(sample_report());
+  EXPECT_NE(json.find("\"schema\": \"mb-advice\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+}
+
+TEST(Advice, MeasuredFieldsOnlyAppearOnceVerdictExists) {
+  AdviceReport report;
+  report.scenario = "s";
+  report.recommendations.push_back(fired_remap());  // pending
+  const std::string json = to_json(report);
+  EXPECT_EQ(json.find("measured_baseline"), std::string::npos);
+  EXPECT_EQ(json.find("verdict_reason"), std::string::npos);
+  report.recommendations[0] = accepted_remap();
+  const std::string applied = to_json(report);
+  EXPECT_NE(applied.find("measured_baseline"), std::string::npos);
+  EXPECT_NE(applied.find("verdict_reason"), std::string::npos);
+}
+
+TEST(Advice, FromJsonRejectsForeignSchema) {
+  EXPECT_THROW(advice_from_json(R"({"schema": "mb-bench-report",
+      "schema_version": 1})"),
+               support::Error);
+  EXPECT_THROW(advice_from_json(R"({"schema": "mb-advice",
+      "schema_version": 99})"),
+               support::Error);
+}
+
+TEST(Advice, RankingSortsByPromisedWinThenId) {
+  AdviceReport report;
+  Recommendation a, b, c;
+  a.id = "b-small";
+  a.predicted_delta_hi = 0.1;
+  b.id = "a-tied";
+  b.predicted_delta_hi = 0.5;
+  c.id = "z-tied";
+  c.predicted_delta_hi = 0.5;
+  report.recommendations = {a, c, b};
+  rank_recommendations(report);
+  EXPECT_EQ(report.recommendations[0].id, "a-tied");
+  EXPECT_EQ(report.recommendations[1].id, "z-tied");
+  EXPECT_EQ(report.recommendations[2].id, "b-small");
+}
+
+TEST(Advice, RenderNamesScenarioVerdictsAndEvidence) {
+  const std::string text = render_advice(sample_report());
+  EXPECT_NE(text.find("chaos:bigdft"), std::string::npos);
+  EXPECT_NE(text.find("remap-ranks"), std::string::npos);
+  EXPECT_NE(text.find("accepted"), std::string::npos);
+  EXPECT_NE(text.find("mb-analysis/stragglers/0"), std::string::npos);
+  EXPECT_NE(text.find("verdicts applied"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mb::advise

@@ -166,5 +166,60 @@ TEST(Cluster, RankCountMustMatchNodes) {
   EXPECT_THROW(run_bigdft(tibidabo_cluster(2), p), support::Error);
 }
 
+TEST(Cluster, RanksOnNodeFollowsNodeMajorPackingByDefault) {
+  ClusterConfig config = tibidabo_cluster(4);
+  EXPECT_EQ(ranks_on_node(config, 0),
+            (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(ranks_on_node(config, 3),
+            (std::vector<std::uint32_t>{6, 7}));
+}
+
+TEST(Cluster, RankMapOverridesPlacementAndLeavesSparesEmpty) {
+  ClusterConfig config = tibidabo_cluster(4);
+  // Swap nodes 1 and 3 (the advisor's remap move in miniature).
+  config.rank_map = {0, 0, 3, 3, 2, 2, 1, 1};
+  EXPECT_EQ(ranks_on_node(config, 3),
+            (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(ranks_on_node(config, 1),
+            (std::vector<std::uint32_t>{6, 7}));
+}
+
+TEST(Cluster, RankMapIsValidatedAgainstTheCluster) {
+  BigDftParams p;
+  p.ranks = 8;
+  p.iterations = 1;
+  {
+    ClusterConfig config = tibidabo_cluster(4);
+    config.rank_map = {0, 0, 1};  // wrong cardinality
+    EXPECT_THROW(run_bigdft(config, p), support::Error);
+  }
+  {
+    ClusterConfig config = tibidabo_cluster(4);
+    config.rank_map = {0, 0, 1, 1, 2, 2, 9, 3};  // node outside cluster
+    EXPECT_THROW(run_bigdft(config, p), support::Error);
+  }
+  {
+    ClusterConfig config = tibidabo_cluster(4);
+    config.rank_map = {0, 0, 0, 1, 2, 2, 3, 3};  // node 0 oversubscribed
+    EXPECT_THROW(run_bigdft(config, p), support::Error);
+  }
+}
+
+TEST(Cluster, RemappedPlacementStillRunsToCompletion) {
+  BigDftParams p;
+  p.ranks = 8;
+  p.iterations = 2;
+  ClusterConfig config = tibidabo_cluster(5);  // node 4 starts spare
+  config.rank_map = {0, 0, 4, 4, 2, 2, 3, 3};  // node 1 vacated
+  const auto remapped = run_bigdft(config, p);
+  EXPECT_GT(remapped.makespan_s, 0.0);
+  // Identical topology modulo which node hosts ranks 2,3: makespan
+  // matches the default packing on the same 5-node cluster.
+  ClusterConfig packed = tibidabo_cluster(5);
+  packed.rank_map = {0, 0, 1, 1, 2, 2, 3, 3};
+  EXPECT_NEAR(run_bigdft(packed, p).makespan_s, remapped.makespan_s,
+              0.2 * remapped.makespan_s);
+}
+
 }  // namespace
 }  // namespace mb::apps

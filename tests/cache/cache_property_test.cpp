@@ -94,9 +94,13 @@ INSTANTIATE_TEST_SUITE_P(
                       Geometry{256 * 1024, 64, 8},
                       Geometry{1024, 64, 16}),  // fully associative
     [](const auto& info) {
-      return "s" + std::to_string(std::get<0>(info.param)) + "_l" +
-             std::to_string(std::get<1>(info.param)) + "_w" +
-             std::to_string(std::get<2>(info.param));
+      std::string name = "s";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_l";
+      name += std::to_string(std::get<1>(info.param));
+      name += "_w";
+      name += std::to_string(std::get<2>(info.param));
+      return name;
     });
 
 }  // namespace

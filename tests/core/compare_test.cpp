@@ -219,6 +219,31 @@ TEST(Compare, AttributeMetricsHandlesAppearFromZero) {
   EXPECT_DOUBLE_EQ(movers[0].rel_delta, 1.0);  // "appeared", sign only
 }
 
+TEST(Compare, AttributeMetricsKeepsOneSidedSeries) {
+  // A series present in only one snapshot is evidence too: a phase that
+  // vanished or appeared. Zero-valued one-sided series stay silent.
+  auto base = report_with({record("a", {1.0})});
+  auto cand = report_with({record("a", {1.0})});
+  base.metrics = {scalar("retries", {}, 7.0), scalar("idle", {}, 0.0)};
+  cand.metrics = {scalar("drops", {}, 3.0), scalar("spares", {}, 0.0)};
+  const auto movers = attribute_metrics(base, cand);
+  ASSERT_EQ(movers.size(), 2u);
+  const MetricDelta* vanished = nullptr;
+  const MetricDelta* appeared = nullptr;
+  for (const MetricDelta& d : movers) {
+    if (d.presence == MetricDelta::Presence::kBaselineOnly) vanished = &d;
+    if (d.presence == MetricDelta::Presence::kCandidateOnly) appeared = &d;
+  }
+  ASSERT_NE(vanished, nullptr);
+  EXPECT_NE(vanished->key.find("retries"), std::string::npos);
+  EXPECT_DOUBLE_EQ(vanished->rel_delta, -1.0);
+  EXPECT_DOUBLE_EQ(vanished->baseline, 7.0);
+  ASSERT_NE(appeared, nullptr);
+  EXPECT_NE(appeared->key.find("drops"), std::string::npos);
+  EXPECT_DOUBLE_EQ(appeared->rel_delta, 1.0);
+  EXPECT_DOUBLE_EQ(appeared->candidate, 3.0);
+}
+
 TEST(Compare, ThresholdSigmaIsTunable) {
   // Delta of ~4 pooled sigma: default threshold (3) fires, a stricter
   // threshold of 6 does not.

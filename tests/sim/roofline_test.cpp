@@ -86,5 +86,75 @@ TEST(Roofline, RequiresFlopsAndDuration) {
                support::Error);
 }
 
+TEST(HierarchicalRoofline, LevelsRunInnerToDramWithFallingBandwidth) {
+  const auto hier = hierarchical_dp_roofline(arch::tegra2_node());
+  ASSERT_EQ(hier.levels.size(), 3u);  // L1d, L2, DRAM
+  EXPECT_EQ(hier.levels.front().name, "L1d");
+  EXPECT_EQ(hier.levels.back().name, "DRAM");
+  EXPECT_EQ(hier.levels.back().capacity_bytes, 0u);  // unbounded
+  for (std::size_t i = 0; i + 1 < hier.levels.size(); ++i)
+    EXPECT_GT(hier.levels[i].bandwidth_gbs,
+              hier.levels[i + 1].bandwidth_gbs);
+}
+
+TEST(HierarchicalRoofline, WorkingSetSelectsTheServingLevel) {
+  const auto hier = hierarchical_dp_roofline(arch::tegra2_node());
+  EXPECT_EQ(hier.level_for_working_set(4 * 1024).name, "L1d");
+  EXPECT_EQ(hier.level_for_working_set(256 * 1024).name, "L2");
+  EXPECT_EQ(hier.level_for_working_set(64u << 20).name, "DRAM");
+}
+
+TEST(HierarchicalRoofline, VectorSpeedupReflectsTheDatapath) {
+  // Nehalem has SSE2 packed double: the DP hierarchy grows a vector roof
+  // above scalar issue. Tegra2's NEON is SP-only, so DP stays scalar.
+  const auto xeon = hierarchical_dp_roofline(arch::xeon_x5550());
+  EXPECT_GT(xeon.vector_speedup(), 1.0);
+  EXPECT_GT(xeon.peak().gflops, xeon.scalar().gflops);
+  EXPECT_EQ(xeon.compute.front().vector_bits, 0u);  // scalar first
+
+  const auto tegra = hierarchical_dp_roofline(arch::tegra2_node());
+  EXPECT_DOUBLE_EQ(tegra.vector_speedup(), 1.0);
+  EXPECT_DOUBLE_EQ(tegra.peak().gflops, tegra.scalar().gflops);
+}
+
+TEST(HierarchicalRoofline, StreamingRunBindsToDramBandwidth) {
+  const auto platform = arch::tegra2_node();
+  Machine m(platform, PagePolicy::kConsecutive, support::Rng(1));
+  kernels::MembenchParams p;
+  p.array_bytes = 4 * 1024 * 1024;  // DRAM resident
+  p.elem_bits = 64;
+  p.unroll = 8;
+  p.passes = 2;
+  const auto run = kernels::membench_run(m, p);
+  const auto point =
+      place_on_hierarchy(hierarchical_dp_roofline(platform), "membench",
+                         run.sim, platform.cores, p.array_bytes,
+                         /*vectorized=*/false);
+  EXPECT_TRUE(point.memory_bound);
+  EXPECT_EQ(point.bound_by, "DRAM bandwidth");
+  // Memory bound: the vector unit cannot help, so no headroom claimed.
+  EXPECT_DOUBLE_EQ(point.vector_headroom, 1.0);
+}
+
+TEST(HierarchicalRoofline, ComputeBoundScalarRunReportsVectorHeadroom) {
+  const auto platform = arch::xeon_x5550();
+  Machine m(platform, PagePolicy::kConsecutive, support::Rng(1));
+  kernels::LinpackParams p;
+  p.n = 96;
+  p.block = 32;  // cache-blocked LU: high intensity, compute bound
+  const auto run = kernels::linpack_run(m, p);
+  const auto hier = hierarchical_dp_roofline(platform);
+  const auto scalar = place_on_hierarchy(
+      hier, "linpack", run.sim, platform.cores,
+      static_cast<std::uint64_t>(p.n) * p.n * 8, /*vectorized=*/false);
+  EXPECT_FALSE(scalar.memory_bound);
+  EXPECT_GT(scalar.vector_headroom, 1.0);
+  // The same run flagged as already vectorized has nothing left to gain.
+  const auto vec = place_on_hierarchy(
+      hier, "linpack", run.sim, platform.cores,
+      static_cast<std::uint64_t>(p.n) * p.n * 8, /*vectorized=*/true);
+  EXPECT_DOUBLE_EQ(vec.vector_headroom, 1.0);
+}
+
 }  // namespace
 }  // namespace mb::sim

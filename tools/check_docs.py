@@ -39,6 +39,7 @@ LINKED_DOCS = [
     "CONTRIBUTING.md",
     "docs/schemas.md",
     "docs/cli.md",
+    "docs/advisor.md",
 ]
 
 

@@ -75,6 +75,17 @@
 //   mbctl replay <bundle.json>           re-execute an mb-repro bundle
 //       byte-identically and re-check every recorded digest; --sim-jobs
 //       overrides the sharded worker count (digests must not change)
+//   mbctl advise <bigdft|magicfilter>    performance advisor (src/advise)
+//       bigdft: runs the (optionally faulted) cluster scenario once,
+//       cross-references the timeline analysis with the static cost and
+//       PERF passes, and emits ranked mb-advice recommendations (migrate
+//       a slowed node's ranks, switch the allreduce algorithm, retune
+//       the checkpoint interval); magicfilter: sweeps the unroll
+//       variants on --platform and cites the hierarchical-roofline
+//       placement of the current one. --apply re-measures every
+//       appliable recommendation — baseline vs candidate arms through
+//       the campaign cache — and records accepted/rejected through the
+//       compare noise gate; --json writes the mb-advice document
 //
 // Every measuring command accepts --json <path> and then also writes a
 // machine-readable mb-bench-report document (core/bench_report.h). compare
@@ -103,6 +114,9 @@
 #include <string>
 #include <vector>
 
+#include "advise/advice.h"
+#include "advise/advisor.h"
+#include "advise/apply.h"
 #include "apps/bigdft.h"
 #include "apps/cluster.h"
 #include "apps/hpl.h"
@@ -214,6 +228,13 @@ using mb::support::kExitUsage;
       "           [--bundle-out PATH] [--pretend-clean] [--json PATH]\n"
       "  replay <bundle.json> [--sim-jobs N] [--jobs N]\n"
       "           [--bundle-out PATH]\n"
+      "  advise <bigdft|magicfilter> [--apply] [--reps N] [--seed N]\n"
+      "           [--json PATH] [campaign opts]\n"
+      "           (bigdft: [--faults plan.json] [--ranks N]\n"
+      "           [--iterations N] [--compute-s X] [--transpose-mb N]\n"
+      "           [--recv-timeout X] [--send-retries N] [--max-restarts N]\n"
+      "           [--tree tibidabo|upgraded] [--mtu N];\n"
+      "           magicfilter: [--platform P] [--unroll N])\n"
       "platform: snowball | xeon | tegra2 | exynos5 | @file\n"
       "capture opts: [--trace-ranks all|N|R1,R2,...] [--trace-buffer N]\n"
       "[--trace-kinds all|k1,k2,...] [--timeseries-out PATH]\n"
@@ -267,8 +288,8 @@ mb::arch::Platform resolve_platform(const std::string& spec) {
 class Options {
  public:
   Options(const std::vector<std::string>& args, std::size_t first) {
-    static const std::vector<std::string> kValueless = {"no-cache", "cost",
-                                                        "pretend-clean"};
+    static const std::vector<std::string> kValueless = {
+        "no-cache", "cost", "pretend-clean", "apply"};
     for (std::size_t i = first; i < args.size(); ++i) {
       const std::string& key = args[i];
       if (key.rfind("--", 0) != 0) usage("unexpected argument " + key);
@@ -553,6 +574,24 @@ int cmd_roofline(const mb::arch::Platform& p, Options& opts) {
             << " GFLOPS, ridge " << fmt_fixed(sp.ridge_intensity(), 2)
             << " flop/B\n"
             << "  memory:  " << fmt_fixed(dp.bandwidth_gbs, 2) << " GB/s\n";
+  // The cache-level- and vector-width-aware hierarchy the advisor cites:
+  // one compute ceiling per datapath, one bandwidth ceiling per level.
+  const auto hier = mb::sim::hierarchical_dp_roofline(p);
+  std::cout << "  compute roofs:\n";
+  for (const auto& roof : hier.compute)
+    std::cout << "    " << roof.name << ": " << fmt_fixed(roof.gflops, 2)
+              << " GFLOPS\n";
+  std::cout << "  memory roofs:\n";
+  for (const auto& level : hier.levels) {
+    std::cout << "    " << level.name << ": "
+              << fmt_fixed(level.bandwidth_gbs, 2) << " GB/s";
+    if (level.capacity_bytes > 0)
+      std::cout << " (working sets <= " << level.capacity_bytes / 1024
+                << " KiB)";
+    std::cout << '\n';
+  }
+  std::cout << "  vector speedup: " << fmt_fixed(hier.vector_speedup(), 2)
+            << "x over scalar\n";
   if (opts.has("json")) {
     mb::core::BenchReport report;
     report.suite = "roofline";
@@ -567,6 +606,12 @@ int cmd_roofline(const mb::arch::Platform& p, Options& opts) {
                D::kMaximize, {sp.peak_gflops});
     add_record(report, base + "/bandwidth", p.name, "bandwidth_gbs", "GB/s",
                D::kMaximize, {dp.bandwidth_gbs});
+    for (const auto& level : hier.levels)
+      add_record(report, base + "/" + level.name + "_bandwidth", p.name,
+                 "bandwidth_gbs", "GB/s", D::kMaximize,
+                 {level.bandwidth_gbs});
+    add_record(report, base + "/vector_speedup", p.name, "ratio", "x",
+               D::kMaximize, {hier.vector_speedup()});
     write_report(report, opts.get_str("json", ""));
   }
   return 0;
@@ -1461,9 +1506,20 @@ int cmd_compare(const std::string& baseline_path,
         {"Metric", "Baseline", "Candidate", "Delta %"});
     for (std::size_t i = 0; i < movers.size() && i < kMaxMovers; ++i) {
       const auto& m = movers[i];
-      attribution.add_row({m.key, mb::support::fmt_eng(m.baseline),
-                           mb::support::fmt_eng(m.candidate),
-                           fmt_fixed(100.0 * m.rel_delta, 2)});
+      // One-sided series render the absent side as "-" and say which way
+      // the series went instead of a meaningless percentage.
+      using Presence = mb::core::MetricDelta::Presence;
+      if (m.presence == Presence::kBaselineOnly) {
+        attribution.add_row(
+            {m.key, mb::support::fmt_eng(m.baseline), "-", "removed"});
+      } else if (m.presence == Presence::kCandidateOnly) {
+        attribution.add_row(
+            {m.key, "-", mb::support::fmt_eng(m.candidate), "added"});
+      } else {
+        attribution.add_row({m.key, mb::support::fmt_eng(m.baseline),
+                             mb::support::fmt_eng(m.candidate),
+                             fmt_fixed(100.0 * m.rel_delta, 2)});
+      }
     }
     std::cout << attribution;
     if (movers.size() > kMaxMovers)
@@ -1904,6 +1960,332 @@ int cmd_chaos(const std::string& app, Options& opts) {
 }
 
 // --------------------------------------------------------------------------
+// advise: recommendation engine + guarded apply (src/advise). The bigdft
+// mode measures the same scenario `chaos bigdft` runs (same defaults), so
+// a chaos investigation and the advice about it describe the same run.
+
+/// Everything that shapes a bigdft advise arm besides its rep seed. The
+/// campaign cache key folds a hash of this in, so editing the fault plan
+/// or any knob invalidates cached arm samples instead of replaying stale
+/// ones.
+struct BigDftArmConfig {
+  mb::apps::BigDftParams params;
+  mb::fault::FaultPlan plan;
+  std::uint32_t nodes = 0;
+  double recv_timeout_s = 2.0;
+  std::uint32_t send_retries = 3;
+  std::uint32_t max_restarts = 8;
+  // Candidate-side deviations from the measured configuration.
+  std::uint32_t extra_nodes = 0;        ///< spare nodes appended
+  std::vector<std::uint32_t> rank_map;  ///< empty = node-major default
+  std::string rewrite_allreduce_label;  ///< non-empty = switch algorithm
+  double checkpoint_interval_s = 0.0;   ///< > 0 = override the interval
+};
+
+/// One time-to-solution sample of a bigdft chaos configuration. The rep
+/// seed drives the application's compute skew; the fault-plan seed stays
+/// fixed — the injected environment is the hypothesis under test, not a
+/// noise source.
+double measure_bigdft_arm(const BigDftArmConfig& cfg,
+                          std::uint64_t rep_seed) {
+  mb::apps::BigDftParams params = cfg.params;
+  params.seed = rep_seed;
+  mb::mpi::Program program = mb::apps::bigdft_program(params);
+  if (!cfg.rewrite_allreduce_label.empty())
+    program =
+        mb::advise::rewrite_allreduce(program, cfg.rewrite_allreduce_label);
+  mb::fault::ChaosScenario scenario;
+  scenario.cluster = mb::apps::tibidabo_cluster(cfg.nodes + cfg.extra_nodes);
+  scenario.cluster.rank_map = cfg.rank_map;
+  scenario.cluster.mpi.recv_timeout_s = cfg.recv_timeout_s;
+  scenario.cluster.mpi.max_send_retries = cfg.send_retries;
+  scenario.max_restarts = cfg.max_restarts;
+  scenario.plan = cfg.plan;
+  if (cfg.checkpoint_interval_s > 0.0) {
+    scenario.plan.checkpoint.enabled = true;
+    scenario.plan.checkpoint.interval_s = cfg.checkpoint_interval_s;
+  }
+  const mb::fault::ChaosResult result =
+      mb::fault::run_chaos(scenario, program);
+  mb::support::check(result.completed, "advise --apply",
+                     "an apply arm did not complete — the candidate "
+                     "configuration broke recovery");
+  return result.time_to_solution_s;
+}
+
+/// Shared tail of both advise modes: render to stdout, publish the
+/// advise.* counters, optionally write the mb-advice document.
+void write_advice_outputs(const mb::advise::AdviceReport& report,
+                          Options& opts) {
+  std::cout << mb::advise::render_advice(report);
+  mb::advise::publish_advice_metrics(report);
+  if (opts.has("json")) {
+    const std::string path = opts.get_str("json", "");
+    std::ofstream out(path);
+    if (!out)
+      throw mb::support::Error("cannot open " + path + " for writing");
+    out << mb::advise::to_json(report) << '\n';
+    if (!out) throw mb::support::Error("write to " + path + " failed");
+    std::cerr << "wrote " << path << " (" << report.recommendations.size()
+              << " recommendation(s))\n";
+  }
+}
+
+/// Guarded apply for the bigdft scenario: per appliable recommendation,
+/// re-measures baseline vs candidate arms through the campaign cache and
+/// records the accepted/rejected verdict via the compare noise gate.
+void apply_bigdft(mb::advise::AdviceReport& report,
+                  const BigDftArmConfig& base, Options& opts) {
+  mb::advise::ApplyOptions apply;
+  apply.campaign = campaign_options(opts);
+  apply.compare.threshold_sigma =
+      opts.get_f64("threshold-sigma", apply.compare.threshold_sigma);
+  apply.compare.min_rel_delta =
+      opts.get_f64("min-rel", apply.compare.min_rel_delta);
+  apply.reps = static_cast<std::uint32_t>(opts.get_u64("reps", 3));
+  apply.seed = base.plan.seed;
+  apply.metric = "seconds";
+  apply.unit = "s";
+  // Chaos arms publish to the single-threaded obs registry, so the
+  // campaign must not shard them: --jobs N still resolves cache hits but
+  // misses run serially, keeping output byte-identical for any N.
+  apply.serial_only = true;
+  mb::support::Hasher hasher;
+  hasher.str(mb::fault::to_json(base.plan))
+      .u64(base.params.ranks)
+      .u64(base.params.iterations)
+      .f64(base.params.compute_s_per_iter)
+      .u64(base.params.transpose_bytes)
+      .f64(base.recv_timeout_s)
+      .u64(base.send_retries)
+      .u64(base.max_restarts);
+  apply.config_hash = hasher.digest();
+
+  const mb::advise::Arm baseline{"baseline",
+                                 [&base](std::uint64_t rep_seed) {
+                                   return measure_bigdft_arm(base, rep_seed);
+                                 }};
+  for (mb::advise::Recommendation& rec : report.recommendations) {
+    if (!rec.appliable) continue;
+    BigDftArmConfig cand = base;
+    if (rec.kind == mb::advise::Kind::kRemapRanks) {
+      // Vacate the degraded node onto a spare appended to the cluster;
+      // every other rank keeps its node-major home.
+      const auto degraded = static_cast<std::uint32_t>(rec.proposed_value);
+      for (std::uint32_t r = 0; r < base.params.ranks; ++r) {
+        const std::uint32_t home = r / 2;
+        cand.rank_map.push_back(home == degraded ? base.nodes : home);
+      }
+      cand.extra_nodes = 1;
+    } else if (rec.kind == mb::advise::Kind::kSwitchCollective) {
+      cand.rewrite_allreduce_label = rec.target;
+    } else if (rec.kind == mb::advise::Kind::kCheckpointInterval) {
+      cand.checkpoint_interval_s = rec.proposed_value;
+    } else {
+      continue;  // no mechanical arm for this kind
+    }
+    const mb::advise::Arm candidate{
+        rec.id, [&cand](std::uint64_t rep_seed) {
+          return measure_bigdft_arm(cand, rep_seed);
+        }};
+    mb::advise::verify_recommendation(rec, report.scenario, baseline,
+                                      candidate, apply);
+  }
+  report.applied = true;
+}
+
+int cmd_advise_bigdft(Options& opts) {
+  mb::fault::FaultPlan plan;
+  load_fault_plan(opts, plan);
+  plan.seed = effective_seed(opts, plan.seed);
+
+  BigDftArmConfig cfg;
+  cfg.params.ranks = static_cast<std::uint32_t>(opts.get_u64("ranks", 8));
+  cfg.params.iterations =
+      static_cast<std::uint32_t>(opts.get_u64("iterations", 6));
+  cfg.params.compute_s_per_iter = opts.get_f64("compute-s", 1.0);
+  cfg.params.transpose_bytes = opts.get_u64("transpose-mb", 8) << 20;
+  cfg.params.seed = plan.seed;
+  enforce_clean(mb::verify::lint_rank_count(cfg.params.ranks, 2, "--ranks"));
+  cfg.plan = plan;
+  cfg.nodes = cfg.params.ranks / 2;
+  cfg.recv_timeout_s = opts.get_f64("recv-timeout", 2.0);
+  cfg.send_retries =
+      static_cast<std::uint32_t>(opts.get_u64("send-retries", 3));
+  cfg.max_restarts =
+      static_cast<std::uint32_t>(opts.get_u64("max-restarts", 8));
+
+  mb::mpi::Program program = mb::apps::bigdft_program(cfg.params);
+
+  // Measure once: the run every piece of evidence points back into.
+  mb::fault::ChaosScenario scenario;
+  scenario.cluster = mb::apps::tibidabo_cluster(cfg.nodes);
+  scenario.cluster.mpi.recv_timeout_s = cfg.recv_timeout_s;
+  scenario.cluster.mpi.max_send_retries = cfg.send_retries;
+  scenario.max_restarts = cfg.max_restarts;
+  enforce_clean(mb::verify::lint_fault_plan(plan, scenario.cluster.nodes));
+  scenario.plan = plan;
+  mb::fault::ChaosResult measured;
+  {
+    mb::obs::ScopedSpan span(mb::obs::profiler(), "advise/measure");
+    measured = mb::fault::run_chaos(scenario, program);
+  }
+  if (!measured.completed) {
+    std::cerr << "advise: the measured scenario did not complete — fix "
+                 "recovery before tuning performance\n"
+              << measured.failure.to_string();
+    return kExitFindings;
+  }
+  measured.trace.set_provenance(std::string(mb::support::version()),
+                                plan.seed);
+  const mb::obs::Analysis analysis =
+      mb::obs::analyze_timeline(measured.trace, nullptr, {});
+
+  // Independent static view of the same program: contention-free bounds
+  // plus the PERF rule pack (the advisor cross-references both).
+  const mb::verify::CostDescriptor descriptor =
+      descriptor_for(program, opts);
+  const mb::verify::CostReport cost =
+      mb::verify::analyze_cost(program, descriptor);
+  const mb::verify::Report perf =
+      mb::verify::perf_pass(program, descriptor, cost, &plan, {});
+
+  mb::advise::ScenarioFacts facts;
+  facts.analysis = &analysis;
+  facts.cost = &cost;
+  facts.perf = &perf;
+  facts.plan = &plan;
+  facts.ranks = cfg.params.ranks;
+  facts.nodes = cfg.nodes;
+  facts.cores_per_node = 2;
+  facts.measured_makespan_s = measured.time_to_solution_s;
+  facts.sim_jobs = static_cast<std::uint32_t>(opts.get_u64("sim-jobs", 0));
+
+  mb::advise::AdviceReport report;
+  report.scenario = "chaos:bigdft";
+  report.seed = plan.seed;
+  report.recommendations = mb::advise::advise_scenario(facts);
+  mb::advise::rank_recommendations(report);
+
+  if (opts.has("apply")) apply_bigdft(report, cfg, opts);
+
+  write_advice_outputs(report, opts);
+  return kExitOk;
+}
+
+int cmd_advise_magicfilter(Options& opts) {
+  const auto platform =
+      resolve_platform(opts.get_str("platform", "tegra2"));
+  const std::uint64_t seed = effective_seed(opts, 1);
+  const auto current = static_cast<std::uint32_t>(opts.get_u64("unroll", 1));
+  if (current < 1 || current > 12) usage("--unroll must be in 1..12");
+  const auto co = campaign_options(opts);
+
+  // Sweep every unroll variant under the exact cache keys tune-magicfilter
+  // uses: it is the same measurement, so a prior tune run warms this sweep
+  // and vice versa.
+  mb::core::ParamSpace space;
+  space.add_range("unroll", 1, 12);
+  std::vector<mb::core::CampaignTask> tasks;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    mb::core::CampaignTask task;
+    task.key = {std::string(mb::support::version()), "tune-magicfilter",
+                platform.name, space.at(i).to_string() + " n=20 dims=1",
+                seed, 0};
+    const auto unroll =
+        static_cast<std::uint32_t>(space.at(i).get("unroll"));
+    task.run = [&platform, unroll, key = task.key]() {
+      mb::sim::Machine machine(
+          platform, mb::sim::PagePolicy::kConsecutive,
+          mb::support::Rng(mb::support::derive_seed(key.seed, key.hash())));
+      mb::kernels::MagicfilterParams params;
+      params.n = 20;
+      params.dims = 1;
+      params.unroll = unroll;
+      return std::vector<double>{
+          mb::kernels::magicfilter_run(machine, params).cycles_per_output};
+    };
+    tasks.push_back(std::move(task));
+  }
+  const auto campaign = run_campaign_reported(tasks, co);
+  std::vector<mb::advise::KernelSweepPoint> sweep;
+  for (std::size_t i = 0; i < space.size(); ++i)
+    sweep.push_back({static_cast<std::uint32_t>(space.at(i).get("unroll")),
+                     campaign.samples[i].at(0)});
+
+  // Place the current variant on the hierarchical roofline — the
+  // recommendation's evidence for what bounds the kernel and how much
+  // vector headroom is left.
+  mb::sim::Machine machine(
+      platform, mb::sim::PagePolicy::kConsecutive,
+      mb::support::Rng(mb::support::derive_seed(seed, 0x616476)));
+  mb::kernels::MagicfilterParams params;
+  params.n = 20;
+  params.dims = 1;
+  params.unroll = current;
+  const auto run = mb::kernels::magicfilter_run(machine, params);
+  const auto hier = mb::sim::hierarchical_dp_roofline(platform);
+  const std::uint64_t working_set =
+      2ull * params.n * params.n * params.n * sizeof(double);
+  const auto placement = mb::sim::place_on_hierarchy(
+      hier, "magicfilter", run.sim, 1, working_set, false);
+
+  mb::advise::AdviceReport report;
+  report.scenario = "magicfilter:" + platform.name;
+  report.seed = seed;
+  report.recommendations = mb::advise::advise_kernel(
+      platform, "magicfilter", sweep, current, placement);
+  mb::advise::rank_recommendations(report);
+
+  if (opts.has("apply")) {
+    mb::advise::ApplyOptions apply;
+    apply.campaign = co;
+    apply.compare.threshold_sigma =
+        opts.get_f64("threshold-sigma", apply.compare.threshold_sigma);
+    apply.compare.min_rel_delta =
+        opts.get_f64("min-rel", apply.compare.min_rel_delta);
+    apply.reps = static_cast<std::uint32_t>(opts.get_u64("reps", 3));
+    apply.seed = seed;
+    apply.metric = "cycles_per_output";
+    apply.unit = "cycles";
+    mb::support::Hasher hasher;
+    hasher.str(platform.name).u64(params.n).u64(params.dims).u64(current);
+    apply.config_hash = hasher.digest();
+    // Pure-machine arms: no shared state, so these may shard across
+    // --jobs workers (serial_only stays false).
+    auto arm = [&platform](std::string name, std::uint32_t unroll) {
+      return mb::advise::Arm{
+          std::move(name), [&platform, unroll](std::uint64_t rep_seed) {
+            mb::sim::Machine m(platform, mb::sim::PagePolicy::kConsecutive,
+                               mb::support::Rng(rep_seed));
+            mb::kernels::MagicfilterParams p;
+            p.n = 20;
+            p.dims = 1;
+            p.unroll = unroll;
+            return mb::kernels::magicfilter_run(m, p).cycles_per_output;
+          }};
+    };
+    for (mb::advise::Recommendation& rec : report.recommendations) {
+      if (!rec.appliable) continue;
+      mb::advise::verify_recommendation(
+          rec, report.scenario, arm("baseline", current),
+          arm(rec.id, static_cast<std::uint32_t>(rec.proposed_value)),
+          apply);
+    }
+    report.applied = true;
+  }
+
+  write_advice_outputs(report, opts);
+  return kExitOk;
+}
+
+int cmd_advise(const std::string& target, Options& opts) {
+  if (target == "bigdft") return cmd_advise_bigdft(opts);
+  if (target == "magicfilter") return cmd_advise_magicfilter(opts);
+  usage("unknown advise target '" + target + "' (bigdft|magicfilter)");
+}
+
+// --------------------------------------------------------------------------
 // fuzz / replay: differential fuzzing and mb-repro record/replay.
 
 struct SeedRange {
@@ -2243,6 +2625,11 @@ int dispatch(const std::vector<std::string>& args) {
     if (args.size() < 2) usage("replay needs <bundle.json>");
     Options opts(args, 2);
     return cmd_replay(args[1], opts);
+  }
+  if (cmd == "advise") {
+    if (args.size() < 2) usage("advise needs a target (bigdft|magicfilter)");
+    Options opts(args, 2);
+    return cmd_advise(args[1], opts);
   }
   if (args.size() < 2) usage(cmd + " needs a platform argument");
   const auto platform = resolve_platform(args[1]);
